@@ -1,0 +1,51 @@
+//! Microbenchmarks of geo-clustering (§3.4): union-find plus the spatial
+//! pair search, at the agent counts of the scaling study.
+
+use std::hint::black_box;
+
+use aim_core::cluster::geo_cluster;
+use aim_core::prelude::*;
+use aim_core::space::{GridSpace, Point, Space};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn crowd(n: u32, clusters: u32) -> Vec<(AgentId, Point)> {
+    // Agents concentrated around `clusters` hot spots, as at lunch time.
+    (0..n)
+        .map(|i| {
+            let c = i % clusters;
+            let cx = (c as i32 % 10) * 120 + 50;
+            let cy = (c as i32 / 10) * 120 + 50;
+            let dx = (i as i32).wrapping_mul(2654435761u32 as i32).rem_euclid(17) - 8;
+            let dy = (i as i32).wrapping_mul(40503).rem_euclid(17) - 8;
+            (AgentId(i), Point::new(cx + dx, cy + dy))
+        })
+        .collect()
+}
+
+fn bench_geo_cluster(c: &mut Criterion) {
+    let space = GridSpace::new(4000, 4000);
+    let params = RuleParams::genagent();
+    let mut g = c.benchmark_group("clustering/geo_cluster");
+    for n in [25u32, 100, 500, 1000] {
+        let agents = crowd(n, (n / 20).max(1));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &agents, |b, agents| {
+            b.iter(|| black_box(geo_cluster(&space, params, Step(0), black_box(agents))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairs_within(c: &mut Criterion) {
+    let space = GridSpace::new(4000, 4000);
+    let mut g = c.benchmark_group("clustering/pairs_within");
+    for n in [100u32, 1000] {
+        let pts: Vec<Point> = crowd(n, (n / 20).max(1)).into_iter().map(|(_, p)| p).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| black_box(space.pairs_within(black_box(pts), 5)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_geo_cluster, bench_pairs_within);
+criterion_main!(benches);

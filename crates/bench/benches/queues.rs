@@ -1,0 +1,48 @@
+//! Microbenchmarks of the priority queues backing the ready/ack channels
+//! (§3.1, §3.5).
+
+use std::hint::black_box;
+
+use aim_store::PriorityQueue;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_push_pop(c: &mut Criterion) {
+    c.bench_function("queues/push_pop_priority", |b| {
+        let q = PriorityQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            q.push(black_box(i % 64), i).unwrap();
+            black_box(q.try_pop());
+            i += 1;
+        });
+    });
+    c.bench_function("queues/push_pop_fifo", |b| {
+        let q = PriorityQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            q.push(0, i).unwrap();
+            black_box(q.try_pop());
+            i += 1;
+        });
+    });
+}
+
+fn bench_contended(c: &mut Criterion) {
+    // Throughput with a standing backlog (the busy-hour shape).
+    c.bench_function("queues/pop_with_backlog_1k", |b| {
+        let q = PriorityQueue::new();
+        for i in 0..1_000u64 {
+            q.push(i % 360, i).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let item = q.try_pop().expect("backlog maintained");
+            q.push((item + 1) % 360, item).unwrap();
+            black_box(item);
+            i += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_push_pop, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the embedded store (Redis substitute, §3.6): point
+//! ops and the optimistic transactions the dependency graph commits with.
+
+use std::hint::black_box;
+
+use aim_store::Db;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_point_ops(c: &mut Criterion) {
+    let db = Db::new();
+    for i in 0..10_000u32 {
+        db.set(format!("key:{i:06}"), i.to_be_bytes().to_vec());
+    }
+    c.bench_function("store/get", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let k = format!("key:{:06}", i % 10_000);
+            black_box(db.get(black_box(&k)));
+            i += 1;
+        });
+    });
+    c.bench_function("store/set", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let k = format!("key:{:06}", i % 10_000);
+            db.set(black_box(&k), i.to_be_bytes().to_vec());
+            i += 1;
+        });
+    });
+    c.bench_function("store/incr", |b| {
+        b.iter(|| {
+            black_box(db.incr("counter", 1).unwrap());
+        });
+    });
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    // The engine's commit shape: read-modify-write of a handful of agent
+    // records plus a counter, uncontended.
+    let db = Db::new();
+    for i in 0..1_000u32 {
+        db.set(format!("agent:{i:04}"), vec![0u8; 16]);
+    }
+    c.bench_function("store/txn_cluster_commit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let base = (i * 7) % 990;
+            db.transaction(|txn| {
+                for k in 0..4u32 {
+                    let key = format!("agent:{:04}", base + k);
+                    let v = txn.get(&key).unwrap_or_default();
+                    txn.set(&key, v.to_vec());
+                }
+                let c = txn.get_i64("commits")?;
+                txn.set_i64("commits", c + 1);
+                Ok(())
+            })
+            .unwrap();
+            i += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_point_ops, bench_transactions);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The reproduction driver: `repro <experiment> [--quick] [--out DIR]`.
+
+use aim_bench::experiments;
+use aim_bench::harness::RunEnv;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment> [--quick] [--out DIR]\n\
+         experiments: calibrate fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut env = RunEnv::default();
+    let mut exp: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => env.quick = true,
+            "--out" => {
+                env.out_dir = it.next().unwrap_or_else(|| usage()).into();
+            }
+            name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(exp) = exp else { usage() };
+    run(&exp, &env);
+}
+
+fn run(exp: &str, env: &RunEnv) {
+    match exp {
+        "ablate" => experiments::ablate::run(env),
+        "calibrate" => experiments::calibrate::run(env),
+        "fig1" => experiments::fig1::run(env),
+        "fig2" => experiments::fig2::run(env),
+        "fig3" => experiments::fig3::run(env),
+        "fig4a" => experiments::fig4::run_a(env),
+        "fig4b" => experiments::fig4::run_b(env),
+        "fig4c" => experiments::fig4::run_c(env),
+        "fig4" => {
+            experiments::fig4::run_a(env);
+            experiments::fig4::run_b(env);
+            experiments::fig4::run_c(env);
+        }
+        "fig5" => experiments::fig5::run(env),
+        "fig6" => experiments::fig6::run(env),
+        "fig7" => experiments::fig7::run(env),
+        "tab1" => experiments::tab1::run(env),
+        "spec" => experiments::spec::run(env),
+        "hybrid" => experiments::hybrid::run(env),
+        "all" => {
+            for e in [
+                "calibrate", "fig1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5",
+                "fig6", "fig7", "tab1", "ablate", "spec", "hybrid",
+            ] {
+                println!("\n########## {e} ##########\n");
+                run(e, env);
+            }
+        }
+        _ => usage(),
+    }
+}

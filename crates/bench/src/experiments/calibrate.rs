@@ -1,0 +1,92 @@
+//! Workload calibration report: compares the synthetic trace generator
+//! against the paper's published trace statistics (§4.1, §2.2).
+//!
+//! | statistic | paper |
+//! |---|---|
+//! | calls per simulated day (25 agents) | ≈56.7k |
+//! | mean input tokens | 642.6 |
+//! | mean output tokens | 21.9 |
+//! | busy-hour calls (12pm–1pm) | ≈5,000 |
+//! | quiet-hour calls (6am–7am) | ≈800 |
+//! | avg prior-step dependencies (incl. self) | 1.85 |
+
+use aim_trace::{gen, stats};
+
+use crate::harness::RunEnv;
+use crate::table::Table;
+
+/// Runs the calibration report.
+pub fn run(env: &RunEnv) {
+    let day = env.trace(&gen::GenConfig::full_day(42));
+    let s = stats::compute(&day);
+    let busy = day.window(gen::hour(12), gen::hour(1), "busy");
+    let quiet = day.window(gen::hour(6), gen::hour(1), "quiet");
+
+    let mut t = Table::new(
+        "Calibration vs paper trace statistics",
+        &["statistic", "paper", "ours"],
+    );
+    t.push_row(vec![
+        "calls/day (25 agents)".into(),
+        "56700".into(),
+        s.total_calls.to_string(),
+    ]);
+    t.push_row(vec![
+        "mean input tokens".into(),
+        "642.6".into(),
+        format!("{:.1}", s.mean_input_tokens),
+    ]);
+    t.push_row(vec![
+        "mean output tokens".into(),
+        "21.9".into(),
+        format!("{:.1}", s.mean_output_tokens),
+    ]);
+    t.push_row(vec![
+        "busy-hour calls".into(),
+        "~5000".into(),
+        busy.calls().len().to_string(),
+    ]);
+    t.push_row(vec![
+        "quiet-hour calls".into(),
+        "~800".into(),
+        quiet.calls().len().to_string(),
+    ]);
+    t.push_row(vec![
+        "avg deps/agent (incl self)".into(),
+        "1.85".into(),
+        format!("{:.2}", s.avg_dependencies),
+    ]);
+    t.push_row(vec![
+        "per-agent imbalance (CV)".into(),
+        "high (§2.2)".into(),
+        format!("{:.2}", s.agent_cv),
+    ]);
+    println!("{}", t.render());
+    t.write_csv(&env.out_dir).ok();
+
+    let mut mix = Table::new("Call kind mix", &["kind", "count", "fraction", "mean in", "mean out"]);
+    for (kind, count, frac) in stats::kind_mix(&s) {
+        let (mut in_sum, mut out_sum, mut n) = (0u64, 0u64, 0u64);
+        for c in day.calls().iter().filter(|c| c.kind == kind) {
+            in_sum += c.input_tokens as u64;
+            out_sum += c.output_tokens as u64;
+            n += 1;
+        }
+        let (mi, mo) = if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (in_sum as f64 / n as f64, out_sum as f64 / n as f64)
+        };
+        mix.push_row(vec![
+            kind.to_string(),
+            count.to_string(),
+            format!("{frac:.3}"),
+            format!("{mi:.0}"),
+            format!("{mo:.1}"),
+        ]);
+    }
+    println!("{}", mix.render());
+    mix.write_csv(&env.out_dir).ok();
+
+    println!("{}", stats::render_hourly(&s, 50));
+}

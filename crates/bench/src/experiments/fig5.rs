@@ -1,0 +1,17 @@
+//! Figure 5: busy/quiet-hour scaling, Llama-3-8B on NVIDIA L4 GPUs.
+//!
+//! Paper headline: speedup over `parallel-sync` grows from 1.88× at 25
+//! agents to 4.15× at 500, plateauing (3.94×) at 1000; AI Metropolis
+//! climbs from 53.1% to 97.0% of oracle on 8 GPUs, reaching oracle parity
+//! at 500 agents on one GPU.
+
+use aim_llm::presets;
+
+use crate::experiments::scaling::run_scaling;
+use crate::harness::RunEnv;
+
+/// Runs the Fig. 5 sweep.
+pub fn run(env: &RunEnv) {
+    let gpus: &[u32] = &[1, 8];
+    run_scaling(env, "Fig 5: scaling, Llama-3-8B on L4", &presets::l4_llama3_8b(), gpus);
+}

@@ -1,0 +1,19 @@
+//! Figure 6: busy/quiet-hour scaling, Llama-3-70B (TP4) on NVIDIA A100s.
+//!
+//! Paper headline: metropolis peaks at 1.97× over `parallel-sync` with 500
+//! agents (busy hour) and 2.01× in the 1000-agent quiet hour.
+
+use aim_llm::presets;
+
+use crate::experiments::scaling::run_scaling;
+use crate::harness::RunEnv;
+
+/// Runs the Fig. 6 sweep.
+pub fn run(env: &RunEnv) {
+    run_scaling(
+        env,
+        "Fig 6: scaling, Llama-3-70B TP4 on A100",
+        &presets::a100_tp4_llama3_70b(),
+        &[4, 8],
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 7: busy/quiet-hour scaling, Mixtral 8×7B (TP2, DP4) on 8 A100s.
+//!
+//! Paper headline: the lighter MoE leaves more GPU headroom, so peak
+//! speedups over `parallel-sync` rise to 2.97× (busy) and 2.29× (quiet)
+//! at 500 agents.
+
+use aim_llm::presets;
+
+use crate::experiments::scaling::run_scaling;
+use crate::harness::RunEnv;
+
+/// Runs the Fig. 7 sweep.
+pub fn run(env: &RunEnv) {
+    run_scaling(
+        env,
+        "Fig 7: scaling, Mixtral 8x7B TP2 on 8xA100",
+        &presets::a100_tp2_mixtral_8x7b(),
+        &[8],
+    );
+}

@@ -1,0 +1,16 @@
+//! One module per paper artifact. Each `run(env)` prints its tables and
+//! writes CSVs under `env.out_dir`.
+
+pub mod ablate;
+pub mod calibrate;
+pub mod fig1;
+pub mod scaling;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod hybrid;
+pub mod spec;
+pub mod tab1;

@@ -1,0 +1,279 @@
+//! Shared experiment machinery: trace caching, mode configuration, and run
+//! orchestration.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use aim_core::exec::sim::{run_sim, SimConfig};
+use aim_core::metrics::RunReport;
+use aim_core::policy::{DependencyPolicy, OracleGraph};
+use aim_core::prelude::*;
+use aim_core::space::GridSpace;
+use aim_core::workload::Workload;
+use aim_llm::{Preset, ServerConfig, SimServer};
+use aim_store::Db;
+use aim_trace::{codec, gen, oracle, Trace};
+
+/// The experiment arms of §4.2, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Original-implementation-style fully serialized baseline.
+    SingleThread,
+    /// Algorithm-1 global synchronization (strong baseline).
+    ParallelSync,
+    /// AI Metropolis.
+    Metropolis,
+    /// Ground-truth dependency management (upper bound).
+    Oracle,
+    /// All agents independent (scaling lower bound).
+    NoDependency,
+}
+
+impl Mode {
+    /// Label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::SingleThread => "single-thread",
+            Mode::ParallelSync => "parallel-sync",
+            Mode::Metropolis => "metropolis",
+            Mode::Oracle => "oracle",
+            Mode::NoDependency => "no-dependency",
+        }
+    }
+
+    /// The standard four arms of the full-day figures.
+    pub fn figure4() -> [Mode; 4] {
+        [Mode::SingleThread, Mode::ParallelSync, Mode::Metropolis, Mode::Oracle]
+    }
+}
+
+/// Everything shared across the runs of one experiment.
+#[derive(Debug)]
+pub struct RunEnv {
+    /// Output directory for CSVs (default `target/repro`).
+    pub out_dir: PathBuf,
+    /// Scale-down factor for `--quick` runs (1 = full size).
+    pub quick: bool,
+    /// Per-cluster-step dispatch CPU, µs.
+    pub step_cpu_us: u64,
+    /// Per-cluster commit CPU, µs.
+    pub commit_cpu_us: u64,
+    /// Worker-pool size: concurrent clusters in flight (the paper's worker
+    /// processes, §3.1). Workers hold their slot while blocked on LLM
+    /// calls, so at large agent counts the pool is contended and the
+    /// priority order of the ready queue matters (Table 1).
+    pub workers: Option<usize>,
+}
+
+impl Default for RunEnv {
+    fn default() -> Self {
+        RunEnv {
+            out_dir: PathBuf::from("target/repro"),
+            quick: false,
+            step_cpu_us: 2_000,
+            commit_cpu_us: 1_000,
+            workers: Some(48),
+        }
+    }
+}
+
+impl RunEnv {
+    /// Returns a cached trace for `cfg`, generating (and saving) it on
+    /// first use — generation of big villes takes a while and every
+    /// experiment replays the same traces, exactly like the paper reuses
+    /// its collected traces.
+    pub fn trace(&self, cfg: &gen::GenConfig) -> Trace {
+        let dir = self.out_dir.join("traces");
+        let name = format!(
+            "v{}x{}-seed{}-s{}+{}.trc",
+            cfg.villes, cfg.agents_per_ville, cfg.seed, cfg.window_start, cfg.window_len
+        );
+        let path = dir.join(name);
+        if let Ok(t) = codec::load(&path) {
+            return t;
+        }
+        let t = gen::generate(cfg);
+        std::fs::create_dir_all(&dir).ok();
+        codec::save(&t, &path).ok();
+        t
+    }
+}
+
+/// Executes one mode over `trace` on `gpus` GPUs of `preset` hardware.
+///
+/// `oracle_graph` is required for [`Mode::Oracle`] (mine once per trace
+/// with [`aim_trace::oracle::mine`] and share it across GPU counts).
+///
+/// # Panics
+///
+/// Panics if `Mode::Oracle` is requested without an oracle graph, or on
+/// internal scheduler errors (which would indicate a bug, not bad input).
+pub fn run_one(
+    env: &RunEnv,
+    trace: &Trace,
+    mode: Mode,
+    preset: &Preset,
+    gpus: u32,
+    priority: bool,
+    oracle_graph: Option<&Arc<OracleGraph>>,
+) -> RunReport {
+    let policy = match mode {
+        Mode::SingleThread | Mode::ParallelSync => DependencyPolicy::GlobalSync,
+        Mode::Metropolis => DependencyPolicy::Spatiotemporal,
+        Mode::Oracle => DependencyPolicy::Oracle(Arc::clone(
+            oracle_graph.expect("oracle mode needs a mined graph"),
+        )),
+        Mode::NoDependency => DependencyPolicy::NoDependency,
+    };
+    let sim = SimConfig {
+        step_cpu_us: env.step_cpu_us,
+        commit_cpu_us: env.commit_cpu_us,
+        serial_agents: mode == Mode::SingleThread,
+        max_concurrent_clusters: if mode == Mode::SingleThread {
+            Some(1)
+        } else {
+            env.workers
+        },
+        priority_ready_queue: priority,
+        record_timeline: false,
+    };
+    let replicas = preset.replicas_for_gpus(gpus);
+    let server_cfg = ServerConfig::from_preset(preset.clone(), replicas, priority);
+    let meta = trace.meta();
+    let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
+    let params = RuleParams::new(meta.radius_p, meta.max_vel);
+    let initial: Vec<_> =
+        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let mut scheduler = Scheduler::new(
+        space,
+        params,
+        policy,
+        Arc::new(Db::new()),
+        &initial,
+        Workload::target_step(trace),
+    )
+    .expect("scheduler construction");
+    let mut server = SimServer::new(server_cfg);
+    let mut report =
+        run_sim(&mut scheduler, trace, &mut server, &sim).expect("replay run");
+    report.mode = mode.label().to_string();
+    report
+}
+
+/// Executes the *speculative* engine (paper §6, `aim_core::spec`) over
+/// `trace` with the given run-ahead budget. `runahead == 0` reproduces
+/// [`Mode::Metropolis`] exactly.
+///
+/// # Panics
+///
+/// Panics on internal scheduler errors (a bug, not bad input).
+pub fn run_one_spec(
+    env: &RunEnv,
+    trace: &Trace,
+    runahead: u32,
+    preset: &Preset,
+    gpus: u32,
+    priority: bool,
+) -> RunReport {
+    use aim_core::spec::{run_spec_sim, SpecParams, SpecScheduler};
+    let sim = SimConfig {
+        step_cpu_us: env.step_cpu_us,
+        commit_cpu_us: env.commit_cpu_us,
+        serial_agents: false,
+        max_concurrent_clusters: env.workers,
+        priority_ready_queue: priority,
+        record_timeline: false,
+    };
+    let replicas = preset.replicas_for_gpus(gpus);
+    let server_cfg = ServerConfig::from_preset(preset.clone(), replicas, priority);
+    let meta = trace.meta();
+    let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
+    let params = RuleParams::new(meta.radius_p, meta.max_vel);
+    let initial: Vec<_> =
+        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let mut scheduler = SpecScheduler::new(
+        space,
+        params,
+        SpecParams::new(runahead),
+        Arc::new(Db::new()),
+        &initial,
+        Workload::target_step(trace),
+    )
+    .expect("spec scheduler construction");
+    let mut server = SimServer::new(server_cfg);
+    run_spec_sim(&mut scheduler, trace, &mut server, &sim).expect("speculative replay run")
+}
+
+/// Runs several modes over the same trace, returning `(mode, report)`
+/// pairs. The oracle graph is mined once if any mode needs it.
+pub fn run_modes(
+    env: &RunEnv,
+    trace: &Trace,
+    modes: &[Mode],
+    preset: &Preset,
+    gpus: u32,
+    priority: bool,
+) -> Vec<(Mode, RunReport)> {
+    let needs_oracle = modes.contains(&Mode::Oracle);
+    let graph = needs_oracle.then(|| Arc::new(oracle::mine(trace)));
+    modes
+        .iter()
+        .map(|&m| (m, run_one(env, trace, m, preset, gpus, priority, graph.as_ref())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_llm::presets;
+    use aim_world::clock_to_step;
+
+    fn small_trace(env: &RunEnv) -> Trace {
+        env.trace(&gen::GenConfig {
+            villes: 1,
+            agents_per_ville: 10,
+            seed: 3,
+            window_start: clock_to_step(9, 0),
+            window_len: 60,
+        })
+    }
+
+    #[test]
+    fn ordering_of_modes_holds_on_small_run() {
+        let env = RunEnv {
+            out_dir: std::env::temp_dir().join("aim-bench-harness-test"),
+            ..RunEnv::default()
+        };
+        let trace = small_trace(&env);
+        let preset = presets::tiny_test();
+        let runs = run_modes(
+            &env,
+            &trace,
+            &[Mode::SingleThread, Mode::ParallelSync, Mode::Metropolis, Mode::Oracle],
+            &preset,
+            1,
+            true,
+        );
+        let t = |m: Mode| {
+            runs.iter()
+                .find(|(mm, _)| *mm == m)
+                .map(|(_, r)| r.makespan)
+                .expect("mode ran")
+        };
+        assert!(t(Mode::Metropolis) <= t(Mode::ParallelSync));
+        assert!(t(Mode::ParallelSync) <= t(Mode::SingleThread));
+        assert!(t(Mode::Oracle) <= t(Mode::ParallelSync));
+    }
+
+    #[test]
+    fn trace_cache_roundtrips() {
+        let env = RunEnv {
+            out_dir: std::env::temp_dir().join("aim-bench-cache-test"),
+            ..RunEnv::default()
+        };
+        std::fs::remove_dir_all(&env.out_dir).ok();
+        let a = small_trace(&env);
+        let b = small_trace(&env); // second call loads from disk
+        assert_eq!(a, b);
+    }
+}

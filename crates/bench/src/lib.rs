@@ -1,0 +1,24 @@
+//! # aim-bench
+//!
+//! The reproduction harness: one experiment per table/figure of the AI
+//! Metropolis paper, plus shared machinery (trace caching, run
+//! orchestration, ASCII tables, CSV output).
+//!
+//! Run experiments with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p aim-bench --bin repro -- fig4a
+//! cargo run --release -p aim-bench --bin repro -- all --quick
+//! ```
+//!
+//! Results print as tables and are also written as CSV under
+//! `target/repro/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{run_modes, run_one, Mode, RunEnv};
+pub use table::Table;

@@ -1,0 +1,153 @@
+//! ASCII tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple result table: headers plus string rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (used for the CSV filename too).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each should match `headers` in length).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with box-drawing-free ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        line(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "| {h:<width$} ", width = widths[i]);
+        }
+        out.push_str("|\n");
+        line(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "| {cell:<width$} ", width = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        line(&mut out);
+        out
+    }
+
+    /// Writes the table as CSV into `dir` (named after the title).
+    ///
+    /// Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let fname = format!(
+            "{}.csv",
+            self.title
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        );
+        let path = dir.join(fname);
+        let mut body = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        body.push_str(
+            &self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","),
+        );
+        body.push('\n');
+        for row in &self.rows {
+            body.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            body.push('\n');
+        }
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// Formats seconds with 1 decimal.
+pub fn secs(t: aim_llm::VirtualTime) -> String {
+    format!("{:.1}", t.as_secs_f64())
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["mode", "time"]);
+        t.push_row(vec!["metropolis".into(), "1.0".into()]);
+        t.push_row(vec!["x".into(), "100000.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        let widths: Vec<usize> = rows.iter().map(|r| r.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{s}");
+    }
+
+    #[test]
+    fn csv_escapes_and_writes() {
+        let mut t = Table::new("CSV, test", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "plain".into()]);
+        let dir = std::env::temp_dir().join("aim-bench-test");
+        let path = t.write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"x,y\",plain"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(aim_llm::VirtualTime::from_secs_f64(12.34)), "12.3");
+        assert_eq!(speedup(1.444), "1.44x");
+        assert_eq!(pct(0.747), "74.7%");
+    }
+}

@@ -1,0 +1,210 @@
+//! Geo-clustering of coupled agents (paper §3.4).
+//!
+//! Coupled agents (same step, within `radius_p + max_vel`) must advance
+//! together because they may read each other's last-step writes and their
+//! own writes may conflict. A *cluster* is a connected component of the
+//! coupling relation among same-step agents, computed here with a
+//! [`DisjointSets`] union-find over the pairs reported by
+//! [`crate::space::Space::pairs_within`].
+
+use crate::ids::{AgentId, Step};
+use crate::rules::RuleParams;
+use crate::space::Space;
+
+/// A classic union-find (disjoint-set) structure with path compression and
+/// union by size.
+///
+/// # Example
+///
+/// ```
+/// use aim_core::cluster::DisjointSets;
+///
+/// let mut ds = DisjointSets::new(4);
+/// ds.union(0, 1);
+/// ds.union(2, 3);
+/// assert!(ds.same(0, 1));
+/// assert!(!ds.same(1, 2));
+/// assert_eq!(ds.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) =
+            if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Groups elements by representative, each group sorted ascending;
+    /// groups ordered by their smallest element.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.parent.len() {
+            let r = self.find(i);
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+/// Groups `agents` — all at step `step`, with their current positions —
+/// into clusters of transitively coupled agents.
+///
+/// Returns clusters as sorted member lists, ordered by smallest member id.
+/// This is the `geo_clustering` routine on line 8 of Algorithm 3.
+pub fn geo_cluster<S: Space>(
+    space: &S,
+    params: RuleParams,
+    step: Step,
+    agents: &[(AgentId, S::Pos)],
+) -> Vec<Vec<AgentId>> {
+    let _ = step; // all inputs share the step by contract; kept for clarity
+    let mut ds = DisjointSets::new(agents.len());
+    let pts: Vec<S::Pos> = agents.iter().map(|(_, p)| *p).collect();
+    for (i, j) in space.pairs_within(&pts, params.coupling_units()) {
+        ds.union(i, j);
+    }
+    ds.groups()
+        .into_iter()
+        .map(|g| g.into_iter().map(|i| agents[i].0).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{GridSpace, Point};
+
+    #[test]
+    fn union_find_basics() {
+        let mut ds = DisjointSets::new(5);
+        assert_eq!(ds.set_count(), 5);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        ds.union(3, 4);
+        assert!(ds.same(0, 1));
+        assert!(!ds.same(0, 3));
+        assert_eq!(ds.set_count(), 3);
+        assert_eq!(ds.groups(), vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn union_by_size_keeps_depth_small() {
+        let mut ds = DisjointSets::new(1000);
+        for i in 1..1000 {
+            ds.union(0, i);
+        }
+        assert_eq!(ds.set_count(), 1);
+        assert!(ds.same(1, 999));
+    }
+
+    #[test]
+    fn clustering_transitive_chain() {
+        // Chain of agents 5 apart: each couples with its neighbor (r+v=5),
+        // so the whole chain forms one cluster even though the ends are far
+        // apart.
+        let g = GridSpace::new(100, 100);
+        let p = RuleParams::genagent();
+        let agents: Vec<(AgentId, Point)> =
+            (0..5).map(|i| (AgentId(i), Point::new(i as i32 * 5, 0))).collect();
+        let clusters = geo_cluster(&g, p, Step(0), &agents);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 5);
+    }
+
+    #[test]
+    fn clustering_separates_distant_groups() {
+        let g = GridSpace::new(200, 200);
+        let p = RuleParams::genagent();
+        let agents = vec![
+            (AgentId(0), Point::new(0, 0)),
+            (AgentId(1), Point::new(3, 0)),
+            (AgentId(2), Point::new(100, 100)),
+            (AgentId(3), Point::new(103, 100)),
+            (AgentId(4), Point::new(50, 50)),
+        ];
+        let clusters = geo_cluster(&g, p, Step(0), &agents);
+        assert_eq!(
+            clusters,
+            vec![
+                vec![AgentId(0), AgentId(1)],
+                vec![AgentId(2), AgentId(3)],
+                vec![AgentId(4)]
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let g = GridSpace::new(10, 10);
+        let p = RuleParams::genagent();
+        assert!(geo_cluster::<GridSpace>(&g, p, Step(0), &[]).is_empty());
+        let one = vec![(AgentId(7), Point::new(1, 1))];
+        assert_eq!(geo_cluster(&g, p, Step(0), &one), vec![vec![AgentId(7)]]);
+    }
+}

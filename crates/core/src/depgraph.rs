@@ -1,0 +1,532 @@
+//! The spatiotemporal dependency graph (paper §3.3).
+//!
+//! Each node is an agent with its temporal (step) and spatial (position)
+//! state; edges are *derived* from the rules of [`crate::rules`]: an edge
+//! `B → A` means `A` is currently blocked by `B`, a double edge `A ↔ B`
+//! means the agents are coupled. Mirroring the paper, the authoritative
+//! node state lives in an in-memory database ([`aim_store::Db`], our Redis
+//! substitute) and every cluster advancement is applied as one
+//! transaction; an in-process mirror of the nodes answers the controller's
+//! queries (is an agent blocked? who couples with whom?) without round
+//! trips.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+
+use aim_store::{codec, Db, StoreError};
+
+use crate::ids::{AgentId, Step};
+use crate::rules::{self, RuleParams};
+use crate::space::Space;
+
+fn agent_key(a: AgentId) -> String {
+    format!("dep:agent:{:08}", a.0)
+}
+
+/// A dump of the graph for visualization (paper Fig. 3) and debugging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSnapshot {
+    /// `(agent, step, position label)` per node.
+    pub nodes: Vec<(AgentId, Step, String)>,
+    /// `(blocker, blocked)` pairs — the single arrows of Fig. 3.
+    pub blocked: Vec<(AgentId, AgentId)>,
+    /// Coupled pairs (`a < b`) — the double arrows of Fig. 3.
+    pub coupled: Vec<(AgentId, AgentId)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node<P> {
+    pos: P,
+    step: Step,
+}
+
+/// Store-backed node table plus rule-driven edge queries.
+///
+/// `DepGraph` deliberately stores only *nodes*; blocked/coupled edges are
+/// recomputed from the rules on demand. This keeps the database writes per
+/// cluster advancement O(cluster size) — the paper's workers do exactly
+/// this re-examination inside a transaction when they commit a cluster.
+pub struct DepGraph<S: Space> {
+    space: Arc<S>,
+    params: RuleParams,
+    db: Arc<Db>,
+    nodes: Vec<Node<S::Pos>>,
+    /// `(step, agent)` ordered index for lagging-agent scans.
+    step_index: BTreeSet<(u32, u32)>,
+}
+
+impl<S: Space> std::fmt::Debug for DepGraph<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DepGraph")
+            .field("agents", &self.nodes.len())
+            .field("min_step", &self.min_step())
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl<S: Space> DepGraph<S> {
+    /// Creates the graph with every agent at [`Step::ZERO`] and writes the
+    /// initial records to `db`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors from the initial population transaction.
+    pub fn new(
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        initial: &[S::Pos],
+    ) -> Result<Self, StoreError> {
+        let nodes: Vec<Node<S::Pos>> =
+            initial.iter().map(|p| Node { pos: *p, step: Step::ZERO }).collect();
+        let step_index = (0..nodes.len() as u32).map(|a| (0u32, a)).collect();
+        let graph = DepGraph { space, params, db, nodes, step_index };
+        graph.db.transaction(|txn| {
+            for (i, node) in graph.nodes.iter().enumerate() {
+                txn.set(agent_key(AgentId(i as u32)), graph.encode_node(node));
+            }
+            txn.set_i64("dep:commits", 0);
+            Ok(())
+        })?;
+        Ok(graph)
+    }
+
+    /// Rebuilds the in-memory mirror from the database — demonstrates that
+    /// the store, like the paper's Redis, holds the authoritative state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] if a record is missing or malformed.
+    pub fn recover(
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        num_agents: usize,
+    ) -> Result<Self, StoreError> {
+        let mut nodes = Vec::with_capacity(num_agents);
+        for i in 0..num_agents {
+            let raw = db
+                .get(agent_key(AgentId(i as u32)))
+                .ok_or_else(|| StoreError::Codec(format!("missing record for agent {i}")))?;
+            let mut rd = Bytes::from(raw);
+            let step = Step(codec::get_u32(&mut rd)?);
+            let pos = space.decode_pos(&mut rd)?;
+            nodes.push(Node { pos, step });
+        }
+        let step_index =
+            nodes.iter().enumerate().map(|(i, n)| (n.step.0, i as u32)).collect();
+        Ok(DepGraph { space, params, db, nodes, step_index })
+    }
+
+    fn encode_node(&self, node: &Node<S::Pos>) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        codec::put_u32(&mut buf, node.step.0);
+        self.space.encode_pos(node.pos, &mut buf);
+        buf.to_vec()
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph tracks no agents.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The rule parameters in force.
+    pub fn params(&self) -> RuleParams {
+        self.params
+    }
+
+    /// The space agents live in.
+    pub fn space(&self) -> &Arc<S> {
+        &self.space
+    }
+
+    /// The backing store holding the authoritative node records.
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// Current position of `a`.
+    pub fn pos(&self, a: AgentId) -> S::Pos {
+        self.nodes[a.index()].pos
+    }
+
+    /// Current (next-to-execute) step of `a`.
+    pub fn step(&self, a: AgentId) -> Step {
+        self.nodes[a.index()].step
+    }
+
+    /// The lowest step any agent is at — the paper's `base_step`.
+    pub fn min_step(&self) -> Step {
+        self.step_index.iter().next().map(|(s, _)| Step(*s)).unwrap_or(Step::ZERO)
+    }
+
+    /// Advances every `(agent, new_position)` in `updates` by one step, as
+    /// a single store transaction (the paper's worker-side graph update).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures; the mirror is only updated after
+    /// the transaction commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent id is out of range.
+    pub fn advance(&mut self, updates: &[(AgentId, S::Pos)]) -> Result<(), StoreError> {
+        // Compute the records outside the closure: retries must be
+        // idempotent and the mirror untouched until commit.
+        let records: Vec<(String, Vec<u8>)> = updates
+            .iter()
+            .map(|(a, pos)| {
+                let node = Node { pos: *pos, step: self.nodes[a.index()].step.next() };
+                (agent_key(*a), self.encode_node(&node))
+            })
+            .collect();
+        self.db.transaction(|txn| {
+            for (key, value) in &records {
+                txn.set(key, value.clone());
+            }
+            let commits = txn.get_i64("dep:commits")?;
+            txn.set_i64("dep:commits", commits + 1);
+            Ok(())
+        })?;
+        for (a, pos) in updates {
+            let node = &mut self.nodes[a.index()];
+            let was = (node.step.0, a.0);
+            let removed = self.step_index.remove(&was);
+            debug_assert!(removed, "agent {a} missing from step index");
+            node.step = node.step.next();
+            node.pos = *pos;
+            self.step_index.insert((node.step.0, a.0));
+        }
+        Ok(())
+    }
+
+    /// Rolls every `(agent, step, position)` in `updates` back to an
+    /// earlier state, as a single store transaction — the squash path of
+    /// speculative execution (paper §6, implemented in [`crate::spec`]).
+    ///
+    /// Unlike [`DepGraph::advance`], which always moves an agent forward by
+    /// exactly one step, a rollback may rewind several steps at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transaction failures; the mirror is only updated after
+    /// the transaction commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent id is out of range or a target step is *ahead*
+    /// of the agent's current step (rollback must rewind, not advance).
+    pub fn rollback(&mut self, updates: &[(AgentId, Step, S::Pos)]) -> Result<(), StoreError> {
+        let records: Vec<(String, Vec<u8>)> = updates
+            .iter()
+            .map(|(a, step, pos)| {
+                assert!(
+                    *step <= self.nodes[a.index()].step,
+                    "rollback of {a} to {step} is ahead of current {}",
+                    self.nodes[a.index()].step
+                );
+                (agent_key(*a), self.encode_node(&Node { pos: *pos, step: *step }))
+            })
+            .collect();
+        self.db.transaction(|txn| {
+            for (key, value) in &records {
+                txn.set(key, value.clone());
+            }
+            Ok(())
+        })?;
+        for (a, step, pos) in updates {
+            let node = &mut self.nodes[a.index()];
+            let was = (node.step.0, a.0);
+            let removed = self.step_index.remove(&was);
+            debug_assert!(removed, "agent {a} missing from step index");
+            node.step = *step;
+            node.pos = *pos;
+            self.step_index.insert((node.step.0, a.0));
+        }
+        Ok(())
+    }
+
+    /// Cluster advancements committed so far (read from the store).
+    pub fn commits(&self) -> i64 {
+        self.db
+            .get("dep:commits")
+            .map(|v| i64::from_be_bytes(v.as_ref().try_into().unwrap_or([0; 8])))
+            .unwrap_or(0)
+    }
+
+    /// First agent (in `(step, id)` order) that blocks `a`, if any.
+    ///
+    /// Scans agents at strictly lower steps, nearest step first, applying
+    /// the blocking rule with its gap-dependent radius. `None` means `a`'s
+    /// cluster may advance as far as `a` is concerned.
+    pub fn first_blocker(&self, a: AgentId) -> Option<AgentId> {
+        let node = &self.nodes[a.index()];
+        let sa = node.step.0;
+        for &(sb, b) in self.step_index.range(..(sa, 0u32)) {
+            let delta = sa - sb;
+            let units = self.params.blocking_units(delta);
+            if self.space.within_units(node.pos, self.nodes[b as usize].pos, units) {
+                return Some(AgentId(b));
+            }
+        }
+        None
+    }
+
+    /// All agents that block `a` (diagnostics; the scheduler uses
+    /// [`DepGraph::first_blocker`]).
+    pub fn blockers_of(&self, a: AgentId) -> Vec<AgentId> {
+        let node = &self.nodes[a.index()];
+        let sa = node.step.0;
+        self.step_index
+            .range(..(sa, 0u32))
+            .filter(|&&(sb, b)| {
+                let units = self.params.blocking_units(sa - sb);
+                self.space.within_units(node.pos, self.nodes[b as usize].pos, units)
+            })
+            .map(|&(_, b)| AgentId(b))
+            .collect()
+    }
+
+    /// Agents at the same step as `a` within the coupling radius
+    /// (excluding `a`).
+    pub fn coupled_neighbors(&self, a: AgentId) -> Vec<AgentId> {
+        let node = &self.nodes[a.index()];
+        let s = node.step.0;
+        let units = self.params.coupling_units();
+        self.step_index
+            .range((s, 0u32)..(s + 1, 0u32))
+            .filter(|&&(_, b)| b != a.0)
+            .filter(|&&(_, b)| self.space.within_units(node.pos, self.nodes[b as usize].pos, units))
+            .map(|&(_, b)| AgentId(b))
+            .collect()
+    }
+
+    /// Agents whose current step is `<= step`, in `(step, id)` order —
+    /// the candidates that could still write into a read performed at
+    /// `step` (used by speculative retirement clearance).
+    pub fn agents_at_or_below(
+        &self,
+        step: Step,
+    ) -> impl Iterator<Item = (Step, AgentId)> + '_ {
+        self.step_index.range(..(step.0 + 1, 0u32)).map(|&(s, a)| (Step(s), AgentId(a)))
+    }
+
+    /// Agents whose step equals `step` (sorted by id).
+    pub fn agents_at_step(&self, step: Step) -> Vec<AgentId> {
+        self.step_index
+            .range((step.0, 0u32)..(step.0 + 1, 0u32))
+            .map(|&(_, b)| AgentId(b))
+            .collect()
+    }
+
+    /// Verifies the §3.2 validity condition over the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violating pair.
+    pub fn validate(&self) -> Result<(), String> {
+        let states: Vec<(S::Pos, Step)> =
+            self.nodes.iter().map(|n| (n.pos, n.step)).collect();
+        match rules::find_violation(self.space.as_ref(), self.params, &states) {
+            None => Ok(()),
+            Some((i, j)) => Err(format!(
+                "validity violated: agent{} at {:?}/{} vs agent{} at {:?}/{}",
+                i,
+                self.nodes[i].pos,
+                self.nodes[i].step,
+                j,
+                self.nodes[j].pos,
+                self.nodes[j].step
+            )),
+        }
+    }
+
+    /// Dumps nodes and derived edges (O(n²)) for visualization.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let mut blocked = Vec::new();
+        let mut coupled = Vec::new();
+        for i in 0..self.nodes.len() {
+            let a = AgentId(i as u32);
+            for b in self.blockers_of(a) {
+                blocked.push((b, a));
+            }
+            for b in self.coupled_neighbors(a) {
+                if a.0 < b.0 {
+                    coupled.push((a, b));
+                }
+            }
+        }
+        GraphSnapshot {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (AgentId(i as u32), n.step, format!("{:?}", n.pos)))
+                .collect(),
+            blocked,
+            coupled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{GridSpace, Point};
+
+    fn graph(points: &[(i32, i32)]) -> DepGraph<GridSpace> {
+        let space = Arc::new(GridSpace::new(100, 140));
+        let db = Arc::new(Db::new());
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        DepGraph::new(space, RuleParams::genagent(), db, &initial).unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_step_zero_everywhere() {
+        let g = graph(&[(0, 0), (10, 10), (20, 20)]);
+        assert_eq!(g.len(), 3);
+        for i in 0..3 {
+            assert_eq!(g.step(AgentId(i)), Step::ZERO);
+        }
+        assert_eq!(g.min_step(), Step::ZERO);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn advance_moves_step_and_position() {
+        let mut g = graph(&[(0, 0), (50, 50)]);
+        g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
+        assert_eq!(g.step(AgentId(0)), Step(1));
+        assert_eq!(g.pos(AgentId(0)), Point::new(1, 0));
+        assert_eq!(g.step(AgentId(1)), Step(0));
+        assert_eq!(g.min_step(), Step(0));
+        assert_eq!(g.commits(), 1);
+    }
+
+    #[test]
+    fn blockers_follow_gap_radius() {
+        let mut g = graph(&[(0, 0), (8, 0), (50, 50)]);
+        // Move agent 1 three steps ahead (staying at x=8).
+        for _ in 0..3 {
+            g.advance(&[(AgentId(1), Point::new(8, 0))]).unwrap();
+        }
+        // Gap 3: blocking radius (3+1)*1+4 = 8 → agent 0 at dist 8 blocks 1.
+        assert_eq!(g.first_blocker(AgentId(1)), Some(AgentId(0)));
+        assert_eq!(g.blockers_of(AgentId(1)), vec![AgentId(0)]);
+        // Agent 0 is at the min step: nothing can block it.
+        assert_eq!(g.first_blocker(AgentId(0)), None);
+        // Agent 2 is far away: unblocked despite lagging agents.
+        for _ in 0..3 {
+            g.advance(&[(AgentId(2), Point::new(50, 50))]).unwrap();
+        }
+        assert_eq!(g.first_blocker(AgentId(2)), None);
+    }
+
+    #[test]
+    fn coupled_neighbors_same_step_only() {
+        let mut g = graph(&[(0, 0), (5, 0), (6, 0)]);
+        assert_eq!(g.coupled_neighbors(AgentId(0)), vec![AgentId(1)]);
+        assert_eq!(g.coupled_neighbors(AgentId(1)), vec![AgentId(0), AgentId(2)]);
+        // Advance agent 1: no longer same step, couples with nobody.
+        g.advance(&[(AgentId(1), Point::new(5, 0))]).unwrap();
+        assert!(g.coupled_neighbors(AgentId(1)).is_empty());
+        assert!(g.coupled_neighbors(AgentId(0)).is_empty());
+    }
+
+    #[test]
+    fn agents_at_step_buckets() {
+        let mut g = graph(&[(0, 0), (50, 0), (99, 0)]);
+        g.advance(&[(AgentId(2), Point::new(99, 1))]).unwrap();
+        assert_eq!(g.agents_at_step(Step(0)), vec![AgentId(0), AgentId(1)]);
+        assert_eq!(g.agents_at_step(Step(1)), vec![AgentId(2)]);
+        assert!(g.agents_at_step(Step(2)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_contains_expected_edges() {
+        let mut g = graph(&[(0, 0), (4, 0), (30, 30)]);
+        // Advance the far agent so a blocked edge exists… it is too far to
+        // be blocked; instead advance the near pair's neighbor.
+        g.advance(&[(AgentId(2), Point::new(30, 30))]).unwrap();
+        let snap = g.snapshot();
+        assert_eq!(snap.nodes.len(), 3);
+        assert!(snap.coupled.contains(&(AgentId(0), AgentId(1))));
+        assert!(snap.blocked.is_empty());
+    }
+
+    #[test]
+    fn recover_matches_live_state() {
+        let space = Arc::new(GridSpace::new(100, 140));
+        let db = Arc::new(Db::new());
+        let initial = vec![Point::new(0, 0), Point::new(20, 20)];
+        let mut g =
+            DepGraph::new(Arc::clone(&space), RuleParams::genagent(), Arc::clone(&db), &initial)
+                .unwrap();
+        g.advance(&[(AgentId(0), Point::new(1, 1))]).unwrap();
+        g.advance(&[(AgentId(0), Point::new(2, 2))]).unwrap();
+        let r = DepGraph::recover(space, RuleParams::genagent(), db, 2).unwrap();
+        assert_eq!(r.step(AgentId(0)), Step(2));
+        assert_eq!(r.pos(AgentId(0)), Point::new(2, 2));
+        assert_eq!(r.step(AgentId(1)), Step(0));
+        assert_eq!(r.min_step(), Step(0));
+    }
+
+    #[test]
+    fn rollback_rewinds_step_and_position() {
+        let mut g = graph(&[(0, 0), (50, 50)]);
+        g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
+        g.advance(&[(AgentId(0), Point::new(2, 0))]).unwrap();
+        assert_eq!(g.step(AgentId(0)), Step(2));
+        g.rollback(&[(AgentId(0), Step(1), Point::new(1, 0))]).unwrap();
+        assert_eq!(g.step(AgentId(0)), Step(1));
+        assert_eq!(g.pos(AgentId(0)), Point::new(1, 0));
+        assert_eq!(g.min_step(), Step(0));
+        // The store reflects the rollback: recovery sees the rewound state.
+        let r = DepGraph::recover(
+            Arc::new(GridSpace::new(100, 140)),
+            RuleParams::genagent(),
+            Arc::clone(g.db()),
+            2,
+        )
+        .unwrap();
+        assert_eq!(r.step(AgentId(0)), Step(1));
+        assert_eq!(r.pos(AgentId(0)), Point::new(1, 0));
+    }
+
+    #[test]
+    fn rollback_to_current_step_is_identity_on_step() {
+        let mut g = graph(&[(0, 0)]);
+        g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
+        g.rollback(&[(AgentId(0), Step(1), Point::new(0, 1))]).unwrap();
+        assert_eq!(g.step(AgentId(0)), Step(1));
+        assert_eq!(g.pos(AgentId(0)), Point::new(0, 1));
+    }
+
+    #[test]
+    fn rollback_ahead_of_current_step_panics() {
+        let mut g = graph(&[(0, 0)]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.rollback(&[(AgentId(0), Step(3), Point::new(0, 0))]).unwrap();
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn validate_detects_violation() {
+        // Force an invalid state through raw advances: two adjacent agents
+        // with a step gap of 2 violates dist > radius_p + max_vel.
+        let mut g = graph(&[(0, 0), (1, 0)]);
+        g.advance(&[(AgentId(1), Point::new(1, 0))]).unwrap();
+        g.advance(&[(AgentId(1), Point::new(1, 0))]).unwrap();
+        assert!(g.validate().is_err());
+    }
+}

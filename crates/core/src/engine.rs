@@ -1,0 +1,255 @@
+//! The high-level engine facade: configure once, run replays.
+
+use std::sync::Arc;
+
+use aim_llm::{ServerConfig, SimServer};
+use aim_store::Db;
+
+use crate::error::EngineError;
+use crate::exec::sim::{run_sim, SimConfig};
+use crate::ids::AgentId;
+use crate::metrics::RunReport;
+use crate::policy::DependencyPolicy;
+use crate::rules::RuleParams;
+use crate::scheduler::Scheduler;
+use crate::space::Space;
+use crate::workload::Workload;
+
+/// A configured simulation engine over space `S`.
+///
+/// `Engine` bundles the pieces a benchmark run needs — space, rule
+/// parameters, dependency policy, serving deployment, and executor knobs —
+/// and exposes [`Engine::run_replay`], which executes a recorded workload
+/// and returns the measured [`RunReport`]. Each run is hermetic: a fresh
+/// dependency store and serving simulator are created per call, so engines
+/// can be reused across workloads and runs are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use aim_core::prelude::*;
+/// use aim_llm::{presets, ServerConfig};
+///
+/// # use aim_core::workload::CallSpec;
+/// # struct Nothing;
+/// # impl Workload<Point> for Nothing {
+/// #     fn num_agents(&self) -> usize { 2 }
+/// #     fn target_step(&self) -> Step { Step(2) }
+/// #     fn initial_pos(&self, a: AgentId) -> Point { Point::new(a.0 as i32 * 50, 0) }
+/// #     fn calls(&self, _: AgentId, _: Step) -> Vec<CallSpec> { Vec::new() }
+/// #     fn pos_after(&self, a: AgentId, _: Step) -> Point { self.initial_pos(a) }
+/// # }
+/// # fn main() -> Result<(), EngineError> {
+/// let engine = Engine::builder(GridSpace::new(100, 140))
+///     .rules(RuleParams::genagent())
+///     .policy(DependencyPolicy::Spatiotemporal)
+///     .server(ServerConfig::from_preset(presets::tiny_test(), 1, true))
+///     .build();
+/// let report = engine.run_replay(&Nothing)?;
+/// assert_eq!(report.mode, "metropolis");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Engine<S: Space> {
+    space: Arc<S>,
+    params: RuleParams,
+    policy: DependencyPolicy,
+    server: ServerConfig,
+    sim: SimConfig,
+    speculation: Option<crate::spec::SpecParams>,
+}
+
+impl<S: Space> Engine<S> {
+    /// Starts building an engine over `space`.
+    pub fn builder(space: S) -> EngineBuilder<S> {
+        EngineBuilder {
+            space: Arc::new(space),
+            params: RuleParams::genagent(),
+            policy: DependencyPolicy::Spatiotemporal,
+            server: None,
+            sim: SimConfig::default(),
+            speculation: None,
+        }
+    }
+
+    /// The rule parameters in force.
+    pub fn params(&self) -> RuleParams {
+        self.params
+    }
+
+    /// The dependency policy in force.
+    pub fn policy(&self) -> &DependencyPolicy {
+        &self.policy
+    }
+
+    /// Executes `workload` to completion in virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from the scheduler or store.
+    pub fn run_replay<W>(&self, workload: &W) -> Result<RunReport, EngineError>
+    where
+        W: Workload<S::Pos> + ?Sized,
+    {
+        let initial: Vec<S::Pos> = (0..workload.num_agents() as u32)
+            .map(|a| workload.initial_pos(AgentId(a)))
+            .collect();
+        let mut server = SimServer::new(self.server.clone());
+        if let Some(spec) = self.speculation {
+            let mut scheduler = crate::spec::SpecScheduler::new(
+                Arc::clone(&self.space),
+                self.params,
+                spec,
+                Arc::new(Db::new()),
+                &initial,
+                workload.target_step(),
+            )?;
+            return crate::spec::run_spec_sim(&mut scheduler, workload, &mut server, &self.sim);
+        }
+        let mut scheduler = Scheduler::new(
+            Arc::clone(&self.space),
+            self.params,
+            self.policy.clone(),
+            Arc::new(Db::new()),
+            &initial,
+            workload.target_step(),
+        )?;
+        run_sim(&mut scheduler, workload, &mut server, &self.sim)
+    }
+}
+
+/// Builder for [`Engine`] (see [`Engine::builder`]).
+#[derive(Debug)]
+pub struct EngineBuilder<S: Space> {
+    space: Arc<S>,
+    params: RuleParams,
+    policy: DependencyPolicy,
+    server: Option<ServerConfig>,
+    sim: SimConfig,
+    speculation: Option<crate::spec::SpecParams>,
+}
+
+impl<S: Space> EngineBuilder<S> {
+    /// Sets the rule parameters (default: [`RuleParams::genagent`]).
+    pub fn rules(mut self, params: RuleParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the dependency policy (default: spatiotemporal OOO).
+    pub fn policy(mut self, policy: DependencyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the serving deployment (required).
+    pub fn server(mut self, server: ServerConfig) -> Self {
+        self.server = Some(server);
+        self
+    }
+
+    /// Sets executor knobs (default: [`SimConfig::default`]).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Runs replays under the *speculative* engine (paper §6, see
+    /// [`crate::spec`]) instead of the conservative policy. The policy
+    /// set via [`EngineBuilder::policy`] is ignored for speculative runs
+    /// (speculation always starts from the spatiotemporal rules).
+    pub fn speculation(mut self, spec: crate::spec::SpecParams) -> Self {
+        self.speculation = Some(spec);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server configuration was provided.
+    pub fn build(self) -> Engine<S> {
+        Engine {
+            space: self.space,
+            params: self.params,
+            policy: self.policy,
+            server: self.server.expect("EngineBuilder::server is required"),
+            sim: self.sim,
+            speculation: self.speculation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{GridSpace, Point};
+    use crate::workload::testutil::TableWorkload;
+    use crate::workload::CallSpec;
+    use aim_llm::{presets, CallKind};
+
+    fn engine(policy: DependencyPolicy) -> Engine<GridSpace> {
+        Engine::builder(GridSpace::new(100, 140))
+            .policy(policy)
+            .server(ServerConfig::from_preset(presets::tiny_test(), 2, true))
+            .build()
+    }
+
+    #[test]
+    fn engine_runs_and_is_reusable() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(90, 90)], 2)
+            .with_call(0, 0, CallSpec::new(100, 10, CallKind::Plan));
+        let e = engine(DependencyPolicy::Spatiotemporal);
+        let r1 = e.run_replay(&w).unwrap();
+        let r2 = e.run_replay(&w).unwrap();
+        assert_eq!(r1.makespan, r2.makespan, "hermetic runs must be identical");
+        assert_eq!(r1.total_calls, 1);
+        assert_eq!(r1.mode, "metropolis");
+    }
+
+    #[test]
+    fn policies_report_their_labels() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0)], 1);
+        for (policy, label) in [
+            (DependencyPolicy::GlobalSync, "parallel-sync"),
+            (DependencyPolicy::NoDependency, "no-dependency"),
+        ] {
+            let r = engine(policy).run_replay(&w).unwrap();
+            assert_eq!(r.mode, label);
+        }
+    }
+
+    #[test]
+    fn target_step_comes_from_workload() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0)], 5);
+        let r = engine(DependencyPolicy::NoDependency).run_replay(&w).unwrap();
+        assert_eq!(r.sched.agent_steps, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "server is required")]
+    fn missing_server_panics() {
+        let _ = Engine::builder(GridSpace::new(10, 10)).build();
+    }
+
+    #[test]
+    fn speculative_engine_reports_spec_stats() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(10, 0)], 8)
+            .with_call(0, 0, CallSpec::new(400, 200, CallKind::Plan))
+            .with_call(1, 6, CallSpec::new(50, 5, CallKind::Plan));
+        let conservative = engine(DependencyPolicy::Spatiotemporal).run_replay(&w).unwrap();
+        assert!(conservative.spec.is_none());
+        let speculative = Engine::builder(GridSpace::new(100, 140))
+            .server(ServerConfig::from_preset(presets::tiny_test(), 2, true))
+            .speculation(crate::spec::SpecParams::new(4))
+            .build()
+            .run_replay(&w)
+            .unwrap();
+        let sr = speculative.spec.expect("speculative runs report stats");
+        assert_eq!(sr.stats.retired_steps, 16);
+        assert!(speculative.mode.starts_with("metropolis-spec"));
+        assert!(speculative.makespan <= conservative.makespan);
+    }
+}

@@ -1,0 +1,550 @@
+//! Hybrid interactive + offline execution (paper §6 "Offline and
+//! Interactive").
+//!
+//! The paper frames games like The Sims as hybrids: the part the player
+//! talks to needs *latency*, while background agents should run as an
+//! offline simulation optimized for *throughput*. This driver replays a
+//! background simulation exactly like [`crate::exec::sim::run_sim`] while
+//! injecting an open-loop stream of latency-critical chat requests
+//! ([`InteractiveLoad`]) into the same serving engine, and reports both
+//! sides of the trade: the simulation's completion time and the
+//! interactive stream's latency distribution.
+//!
+//! Pair it with [`aim_llm::ServerConfig::with_interactive_lane`] to give
+//! the interactive lane admission priority and reserved batch slots, or
+//! run it against a FIFO/priority-only server to measure what the player
+//! experiences without QoS.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use aim_llm::{CallKind, LlmRequest, RequestId, SimServer, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+use crate::error::EngineError;
+use crate::exec::sim::SimConfig;
+use crate::ids::{AgentId, ClusterId};
+use crate::metrics::RunReport;
+use crate::scheduler::{Cluster, Scheduler};
+use crate::space::Space;
+use crate::workload::{CallSpec, Workload};
+
+/// Deterministic open-loop interactive traffic: `count` chat-style
+/// requests with pseudo-exponential interarrival times.
+///
+/// # Example
+///
+/// ```
+/// use aim_core::exec::hybrid::InteractiveLoad;
+///
+/// let load = InteractiveLoad::chat(2_000_000, 100, 7); // ~2s apart
+/// let arrivals = load.arrivals();
+/// assert_eq!(arrivals.len(), 100);
+/// assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InteractiveLoad {
+    /// Mean interarrival time, µs (virtual time).
+    pub mean_interarrival_us: u64,
+    /// Prompt tokens per request.
+    pub input_tokens: u32,
+    /// Generated tokens per request.
+    pub output_tokens: u32,
+    /// Number of requests to inject.
+    pub count: u32,
+    /// Seed for the deterministic arrival process.
+    pub seed: u64,
+}
+
+impl InteractiveLoad {
+    /// A chat-like load: 250 prompt / 80 generated tokens per turn.
+    pub fn chat(mean_interarrival_us: u64, count: u32, seed: u64) -> Self {
+        InteractiveLoad {
+            mean_interarrival_us,
+            input_tokens: 250,
+            output_tokens: 80,
+            count,
+            seed,
+        }
+    }
+
+    /// The deterministic arrival times (strictly increasing).
+    pub fn arrivals(&self) -> Vec<VirtualTime> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        let mut at = 0u64;
+        let mut state = self.seed | 1;
+        for _ in 0..self.count {
+            // splitmix-style hash → uniform in (0,1) → exponential.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let u = ((z >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            let dt = (-(u.ln()) * self.mean_interarrival_us as f64) as u64;
+            at += dt.max(1);
+            out.push(VirtualTime::from_micros(at));
+        }
+        out
+    }
+}
+
+/// Latency distribution of the interactive stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct InteractiveReport {
+    /// Requests injected.
+    pub count: u64,
+    /// Mean end-to-end latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: u64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Worst observed latency, µs.
+    pub max_us: u64,
+}
+
+impl InteractiveReport {
+    fn from_latencies(mut lat: Vec<u64>) -> Self {
+        lat.sort_unstable();
+        let count = lat.len() as u64;
+        let mean = if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<u64>() as f64 / lat.len() as f64
+        };
+        let pct = |q: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+            lat[idx]
+        };
+        InteractiveReport {
+            count,
+            mean_us: mean,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: lat.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Start(ClusterId),
+    Commit(ClusterId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: VirtualTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct MemberChain {
+    agent: AgentId,
+    calls: Vec<CallSpec>,
+    next: usize,
+}
+
+struct Active {
+    cluster: Cluster,
+    chains: Vec<MemberChain>,
+    remaining: usize,
+}
+
+/// Runs the background simulation to completion while serving `load`'s
+/// interactive stream on the same engine; returns the simulation report
+/// (makespan measured at the last cluster commit) and the interactive
+/// latency distribution.
+///
+/// # Errors
+///
+/// Propagates store failures and reports scheduler deadlock as
+/// [`EngineError::Deadlock`].
+///
+/// # Panics
+///
+/// Panics if `cfg.serial_agents` is set — the hybrid driver models the
+/// deployment shape of §6, which is inherently concurrent.
+pub fn run_hybrid_sim<S, W>(
+    scheduler: &mut Scheduler<S>,
+    workload: &W,
+    server: &mut SimServer,
+    load: &InteractiveLoad,
+    cfg: &SimConfig,
+) -> Result<(RunReport, InteractiveReport), EngineError>
+where
+    S: Space,
+    W: Workload<S::Pos> + ?Sized,
+{
+    assert!(!cfg.serial_agents, "hybrid runs are inherently concurrent");
+    // Interactive request ids live in a disjoint namespace so completions
+    // can be told apart from simulation calls.
+    const INTERACTIVE_BASE: u64 = 1 << 40;
+    let arrivals = load.arrivals();
+    let mut next_arrival = 0usize;
+    let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
+
+    let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut backlog: BinaryHeap<Reverse<(u64, u64, ClusterId)>> = BinaryHeap::new();
+    let mut active: HashMap<ClusterId, Active> = HashMap::new();
+    let mut req_map: HashMap<RequestId, (ClusterId, usize)> = HashMap::new();
+    let mut slots_used = 0usize;
+    let mut event_seq = 0u64;
+    let mut next_req = 0u64;
+    let mut backlog_seq = 0u64;
+    let mut now = VirtualTime::ZERO;
+    let mut total_calls = 0u64;
+    let mut total_in = 0u64;
+    let mut total_out = 0u64;
+    let mut sim_done_at: Option<VirtualTime> = None;
+    let limit = cfg.max_concurrent_clusters.unwrap_or(usize::MAX);
+
+    macro_rules! schedule {
+        ($at:expr, $kind:expr) => {{
+            events.push(Reverse(Ev { at: $at, seq: event_seq, kind: $kind }));
+            event_seq += 1;
+        }};
+    }
+    macro_rules! pull_ready {
+        () => {
+            for cluster in scheduler.ready_clusters() {
+                let prio = if cfg.priority_ready_queue { cluster.step.priority() } else { 0 };
+                active.insert(
+                    cluster.id,
+                    Active { cluster: cluster.clone(), chains: Vec::new(), remaining: 0 },
+                );
+                backlog.push(Reverse((prio, backlog_seq, cluster.id)));
+                backlog_seq += 1;
+            }
+        };
+    }
+    macro_rules! drain_slots {
+        ($now:expr) => {
+            while slots_used < limit {
+                let Some(Reverse((_, _, cid))) = backlog.pop() else { break };
+                slots_used += 1;
+                schedule!($now + VirtualTime::from_micros(cfg.step_cpu_us), EvKind::Start(cid));
+            }
+        };
+    }
+    macro_rules! submit_call {
+        ($cid:expr, $member:expr, $at:expr) => {{
+            let a = active.get_mut(&$cid).expect("active cluster");
+            let chain = &mut a.chains[$member];
+            let spec = chain.calls[chain.next];
+            chain.next += 1;
+            let id = RequestId(next_req);
+            next_req += 1;
+            req_map.insert(id, ($cid, $member));
+            total_calls += 1;
+            total_in += spec.input_tokens as u64;
+            total_out += spec.output_tokens as u64;
+            server.submit(
+                $at,
+                LlmRequest::new(
+                    id,
+                    chain.agent.0,
+                    a.cluster.step.priority(),
+                    spec.input_tokens,
+                    spec.output_tokens,
+                    spec.kind,
+                ),
+            );
+        }};
+    }
+
+    pull_ready!();
+    drain_slots!(now);
+
+    loop {
+        let t_ev = events.peek().map(|Reverse(e)| e.at);
+        let t_srv = server.next_event();
+        let t_arr = arrivals.get(next_arrival).copied();
+        let next = [t_ev, t_srv, t_arr].into_iter().flatten().min();
+        let Some(next) = next else { break };
+        now = next;
+
+        if t_arr.is_some_and(|t| t <= next) {
+            // Inject every interactive request due now.
+            while arrivals.get(next_arrival).is_some_and(|t| *t <= next) {
+                let at = arrivals[next_arrival];
+                let id = RequestId(INTERACTIVE_BASE + next_arrival as u64);
+                let req = LlmRequest::new(
+                    id,
+                    u32::MAX,
+                    0,
+                    load.input_tokens,
+                    load.output_tokens,
+                    CallKind::Converse,
+                )
+                .interactive();
+                server.submit(at, req);
+                next_arrival += 1;
+            }
+        }
+        if t_srv.is_some_and(|t| t <= next) {
+            for c in server.advance(next) {
+                if c.req.id.0 >= INTERACTIVE_BASE {
+                    latencies.push(c.latency().as_micros());
+                    continue;
+                }
+                let (cid, member) =
+                    req_map.remove(&c.req.id).expect("completion for unknown request");
+                let a = active.get_mut(&cid).expect("completion for inactive cluster");
+                let chain = &a.chains[member];
+                if chain.next < chain.calls.len() {
+                    submit_call!(cid, member, c.finished_at);
+                    continue;
+                }
+                a.remaining -= 1;
+                if a.remaining == 0 {
+                    schedule!(
+                        c.finished_at + VirtualTime::from_micros(cfg.commit_cpu_us),
+                        EvKind::Commit(cid)
+                    );
+                }
+            }
+        }
+        while events.peek().is_some_and(|Reverse(e)| e.at <= next) {
+            let Reverse(ev) = events.pop().expect("peeked");
+            match ev.kind {
+                EvKind::Start(cid) => {
+                    let a = active.get_mut(&cid).expect("started cluster is active");
+                    let step = a.cluster.step;
+                    a.chains = a
+                        .cluster
+                        .members
+                        .iter()
+                        .map(|m| MemberChain {
+                            agent: *m,
+                            calls: workload.calls(*m, step),
+                            next: 0,
+                        })
+                        .collect();
+                    a.remaining = a.chains.iter().filter(|c| !c.calls.is_empty()).count();
+                    if a.remaining == 0 {
+                        schedule!(
+                            ev.at + VirtualTime::from_micros(cfg.commit_cpu_us),
+                            EvKind::Commit(cid)
+                        );
+                        continue;
+                    }
+                    let idxs: Vec<usize> = active[&cid]
+                        .chains
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| !c.calls.is_empty())
+                        .map(|(i, _)| i)
+                        .collect();
+                    for i in idxs {
+                        submit_call!(cid, i, ev.at);
+                    }
+                }
+                EvKind::Commit(cid) => {
+                    let a = active.remove(&cid).expect("committed cluster is active");
+                    let step = a.cluster.step;
+                    let new_pos: Vec<(AgentId, S::Pos)> = a
+                        .cluster
+                        .members
+                        .iter()
+                        .map(|m| (*m, workload.pos_after(*m, step)))
+                        .collect();
+                    scheduler.complete(&cid, &new_pos)?;
+                    slots_used -= 1;
+                    pull_ready!();
+                    drain_slots!(ev.at);
+                    if scheduler.is_done() && sim_done_at.is_none() {
+                        sim_done_at = Some(ev.at);
+                    }
+                }
+            }
+        }
+    }
+
+    if !scheduler.is_done() {
+        return Err(EngineError::Deadlock {
+            detail: format!(
+                "hybrid simulation stalled at {now}: {} clusters in flight, {} active",
+                scheduler.inflight_len(),
+                active.len()
+            ),
+        });
+    }
+
+    let makespan = sim_done_at.unwrap_or(now);
+    let m = server.metrics();
+    let report = RunReport {
+        mode: "hybrid".to_string(),
+        makespan,
+        total_calls,
+        total_input_tokens: total_in,
+        total_output_tokens: total_out,
+        achieved_parallelism: m.achieved_parallelism(makespan),
+        gpu_utilization: m.utilization(makespan),
+        sched: scheduler.stats(),
+        server: Some(m),
+        spec: None,
+        timeline: None,
+    };
+    Ok((report, InteractiveReport::from_latencies(latencies)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Step;
+    use crate::policy::DependencyPolicy;
+    use crate::rules::RuleParams;
+    use crate::space::{GridSpace, Point};
+    use crate::workload::testutil::TableWorkload;
+    use aim_llm::{presets, ServerConfig};
+    use aim_store::Db;
+    use std::sync::Arc;
+
+    fn mk_sched(initial: &[Point], target: u32) -> Scheduler<GridSpace> {
+        Scheduler::new(
+            Arc::new(GridSpace::new(500, 500)),
+            RuleParams::genagent(),
+            DependencyPolicy::Spatiotemporal,
+            Arc::new(Db::new()),
+            initial,
+            Step(target),
+        )
+        .unwrap()
+    }
+
+    fn busy_workload(steps: u32) -> TableWorkload {
+        let mut w = TableWorkload::stationary(
+            vec![Point::new(0, 0), Point::new(200, 200), Point::new(400, 0)],
+            steps,
+        );
+        for s in 0..steps {
+            for a in 0..3 {
+                w = w.with_call(a, s, CallSpec::new(300, 60, CallKind::Plan));
+            }
+        }
+        w
+    }
+
+    fn run(
+        server_cfg: ServerConfig,
+        load: InteractiveLoad,
+    ) -> (RunReport, InteractiveReport) {
+        let w = busy_workload(6);
+        let mut sched = mk_sched(&w.initial, 6);
+        let mut server = SimServer::new(server_cfg);
+        run_hybrid_sim(&mut sched, &w, &mut server, &load, &SimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_load_reports_zeros() {
+        let cfg = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+        let load = InteractiveLoad::chat(1, 0, 1);
+        assert!(load.arrivals().is_empty());
+        let (report, ir) = run(cfg, load);
+        assert_eq!(ir.count, 0);
+        assert_eq!(ir.p99_us, 0);
+        assert_eq!(ir.mean_us, 0.0);
+        assert!(report.makespan > VirtualTime::ZERO, "the simulation still runs");
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_increasing() {
+        let load = InteractiveLoad::chat(50_000, 200, 42);
+        let a = load.arrivals();
+        let b = load.arrivals();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        // Mean interarrival lands in the right ballpark (±50%).
+        let mean = a.last().unwrap().as_micros() as f64 / a.len() as f64;
+        assert!((25_000.0..75_000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn all_interactive_requests_are_served() {
+        let cfg = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+        let load = InteractiveLoad::chat(20_000, 50, 7);
+        let (report, ir) = run(cfg, load);
+        assert_eq!(ir.count, 50);
+        assert!(ir.p50_us <= ir.p95_us && ir.p95_us <= ir.p99_us && ir.p99_us <= ir.max_us);
+        assert!(ir.mean_us > 0.0);
+        assert!(report.makespan > VirtualTime::ZERO);
+        assert_eq!(report.total_calls, 18, "3 agents x 6 steps, interactive not counted");
+    }
+
+    #[test]
+    fn lane_qos_cuts_interactive_tail_latency() {
+        // Saturate a single small replica with background work and a
+        // steady interactive stream; the lane-aware server with reserved
+        // slots must deliver a far better interactive p95.
+        let load = InteractiveLoad::chat(15_000, 60, 11);
+        let fifo = ServerConfig::from_preset(presets::tiny_test(), 1, false);
+        let lane = ServerConfig::from_preset(presets::tiny_test(), 1, true)
+            .with_interactive_lane(2);
+        let (_, ir_fifo) = run(fifo, load);
+        let (_, ir_lane) = run(lane, load);
+        assert!(
+            ir_lane.p95_us < ir_fifo.p95_us,
+            "lane QoS must cut tail latency: {} vs {}",
+            ir_lane.p95_us,
+            ir_fifo.p95_us
+        );
+    }
+
+    #[test]
+    fn background_pays_a_bounded_price_for_qos() {
+        let load = InteractiveLoad::chat(15_000, 60, 11);
+        let plain = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+        let lane = ServerConfig::from_preset(presets::tiny_test(), 1, true)
+            .with_interactive_lane(2);
+        let (bg_plain, _) = run(plain, load);
+        let (bg_lane, _) = run(lane, load);
+        // QoS may slow the simulation, but not catastrophically (< 2x).
+        assert!(
+            bg_lane.makespan.as_secs_f64() < bg_plain.makespan.as_secs_f64() * 2.0,
+            "{} vs {}",
+            bg_lane.makespan,
+            bg_plain.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_hybrid_runs() {
+        let cfg = ServerConfig::from_preset(presets::tiny_test(), 2, true)
+            .with_interactive_lane(1);
+        let load = InteractiveLoad::chat(10_000, 40, 3);
+        let (r1, i1) = run(cfg.clone(), load);
+        let (r2, i2) = run(cfg, load);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn interactive_stream_outliving_simulation_is_drained() {
+        // Sparse arrivals stretching far past the short simulation.
+        let cfg = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+        let load = InteractiveLoad::chat(2_000_000, 10, 5);
+        let (report, ir) = run(cfg, load);
+        assert_eq!(ir.count, 10, "post-simulation arrivals still served");
+        assert!(report.makespan > VirtualTime::ZERO);
+    }
+}

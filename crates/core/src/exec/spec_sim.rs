@@ -1,0 +1,607 @@
+//! Discrete-event (virtual-time) execution of a replayed workload under
+//! the *speculative* scheduler (paper §6, [`crate::spec`]).
+//!
+//! The driver mirrors [`crate::exec::sim::run_sim`] with the optimistic
+//! twists: poisoned in-flight executions run to completion (no
+//! preemption) and their results are dropped; squashed committed steps
+//! re-execute when their agents re-emit; and every discarded execution's
+//! LLM calls are accounted as waste in [`RunReport::spec`]. Replayed
+//! workloads are deterministic, so the simulation outcome is identical
+//! to the conservative schedule — what changes is completion time
+//! (higher concurrency) against wasted tokens (misspeculation).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use aim_llm::{LlmRequest, RequestId, SimServer, VirtualTime};
+
+use crate::error::EngineError;
+use crate::ids::{AgentId, ClusterId};
+use crate::metrics::{CallSpan, RunReport, Timeline};
+use crate::scheduler::Cluster;
+use crate::space::Space;
+use crate::spec::{SpecReport, SpecScheduler};
+use crate::workload::{CallSpec, Workload};
+
+pub use crate::exec::sim::SimConfig;
+
+/// Alias kept for discoverability: the speculative driver reuses the
+/// discrete-event knobs of [`SimConfig`].
+pub type SpecSimConfig = SimConfig;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Start(ClusterId),
+    Commit(ClusterId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: VirtualTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Cost {
+    calls: u64,
+    input: u64,
+    output: u64,
+}
+
+struct MemberChain {
+    agent: AgentId,
+    calls: Vec<CallSpec>,
+    next: usize,
+    cost: Cost,
+}
+
+struct Active {
+    cluster: Cluster,
+    chains: Vec<MemberChain>,
+    remaining: usize,
+    cursor: usize,
+}
+
+/// Drives the speculative `scheduler` over `workload` against `server`
+/// until every agent has retired at the target step; returns the
+/// measured [`RunReport`] with [`RunReport::spec`] populated.
+///
+/// Deterministic: identical inputs produce identical reports.
+///
+/// # Errors
+///
+/// Propagates store failures and reports scheduler deadlock as
+/// [`EngineError::Deadlock`].
+pub fn run_spec_sim<S, W>(
+    scheduler: &mut SpecScheduler<S>,
+    workload: &W,
+    server: &mut SimServer,
+    cfg: &SimConfig,
+) -> Result<RunReport, EngineError>
+where
+    S: Space,
+    W: Workload<S::Pos> + ?Sized,
+{
+    let mut exec = SpecExec {
+        events: BinaryHeap::new(),
+        backlog: BinaryHeap::new(),
+        active: HashMap::new(),
+        req_map: HashMap::new(),
+        open_spans: HashMap::new(),
+        timeline: cfg.record_timeline.then(Timeline::default),
+        committed_cost: HashMap::new(),
+        waste: Cost::default(),
+        slots_used: 0,
+        event_seq: 0,
+        next_req: 0,
+        backlog_seq: 0,
+        now: VirtualTime::ZERO,
+        total_calls: 0,
+        total_in: 0,
+        total_out: 0,
+        cfg: cfg.clone(),
+    };
+    exec.pull_ready(scheduler)?;
+    exec.drain_slots(exec.now);
+
+    loop {
+        let t_ev = exec.events.peek().map(|Reverse(e)| e.at);
+        let t_srv = server.next_event();
+        let next = match (t_ev, t_srv) {
+            (None, None) => break,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        exec.now = next;
+        if t_srv.is_some_and(|t| t <= next) {
+            for c in server.advance(next) {
+                exec.on_completion(scheduler, server, c.req, c.finished_at)?;
+            }
+        }
+        while exec.events.peek().is_some_and(|Reverse(e)| e.at <= next) {
+            let Reverse(ev) = exec.events.pop().expect("peeked");
+            exec.on_event(scheduler, server, workload, ev)?;
+        }
+    }
+
+    if !scheduler.is_done() {
+        return Err(EngineError::Deadlock {
+            detail: format!(
+                "speculative simulation stalled at {}: {} clusters in flight, \
+                 {} active records, {} live entries",
+                exec.now,
+                scheduler.inflight_len(),
+                exec.active.len(),
+                scheduler.live_entries()
+            ),
+        });
+    }
+
+    let makespan = exec.now;
+    let m = server.metrics();
+    let stats = scheduler.stats();
+    Ok(RunReport {
+        mode: format!("metropolis-spec({})", scheduler.spec_params().max_runahead),
+        makespan,
+        total_calls: exec.total_calls,
+        total_input_tokens: exec.total_in,
+        total_output_tokens: exec.total_out,
+        achieved_parallelism: m.achieved_parallelism(makespan),
+        gpu_utilization: m.utilization(makespan),
+        sched: crate::scheduler::SchedStats {
+            clusters_emitted: stats.emitted_firm + stats.emitted_spec,
+            agent_steps: stats.agent_steps,
+            watcher_wakes: 0,
+            blocked_evals: stats.spec_denied,
+            max_step_skew: stats.max_step_skew,
+            max_cluster_size: stats.max_cluster_size,
+        },
+        server: Some(m),
+        spec: Some(SpecReport {
+            stats,
+            wasted_calls: exec.waste.calls,
+            wasted_input_tokens: exec.waste.input,
+            wasted_output_tokens: exec.waste.output,
+        }),
+        timeline: exec.timeline,
+    })
+}
+
+struct SpecExec {
+    events: BinaryHeap<Reverse<Ev>>,
+    backlog: BinaryHeap<Reverse<(u64, u64, ClusterId)>>,
+    active: HashMap<ClusterId, Active>,
+    req_map: HashMap<RequestId, (ClusterId, usize)>,
+    open_spans: HashMap<RequestId, CallSpan>,
+    timeline: Option<Timeline>,
+    /// Cost of the most recent *accepted* execution per (agent, step);
+    /// charged to waste when that execution is squashed.
+    committed_cost: HashMap<(u32, u32), Cost>,
+    waste: Cost,
+    slots_used: usize,
+    event_seq: u64,
+    next_req: u64,
+    backlog_seq: u64,
+    now: VirtualTime,
+    total_calls: u64,
+    total_in: u64,
+    total_out: u64,
+    cfg: SimConfig,
+}
+
+impl SpecExec {
+    fn schedule(&mut self, at: VirtualTime, kind: EvKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.events.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    fn account_squashed<S: Space>(&mut self, scheduler: &mut SpecScheduler<S>) {
+        for (agent, step) in scheduler.drain_squashed() {
+            if let Some(cost) = self.committed_cost.remove(&(agent.0, step.0)) {
+                self.waste.calls += cost.calls;
+                self.waste.input += cost.input;
+                self.waste.output += cost.output;
+            }
+        }
+    }
+
+    fn pull_ready<S: Space>(
+        &mut self,
+        scheduler: &mut SpecScheduler<S>,
+    ) -> Result<(), EngineError> {
+        let ready = scheduler.ready_clusters()?;
+        self.account_squashed(scheduler);
+        for cluster in ready {
+            let prio = if self.cfg.priority_ready_queue { cluster.step.priority() } else { 0 };
+            let seq = self.backlog_seq;
+            self.backlog_seq += 1;
+            self.active.insert(
+                cluster.id,
+                Active { cluster: cluster.clone(), chains: Vec::new(), remaining: 0, cursor: 0 },
+            );
+            self.backlog.push(Reverse((prio, seq, cluster.id)));
+        }
+        Ok(())
+    }
+
+    fn drain_slots(&mut self, now: VirtualTime) {
+        let limit = self.cfg.max_concurrent_clusters.unwrap_or(usize::MAX);
+        while self.slots_used < limit {
+            let Some(Reverse((_, _, cid))) = self.backlog.pop() else { break };
+            self.slots_used += 1;
+            self.schedule(
+                now + VirtualTime::from_micros(self.cfg.step_cpu_us),
+                EvKind::Start(cid),
+            );
+        }
+    }
+
+    fn submit_call(&mut self, server: &mut SimServer, cid: ClusterId, member_idx: usize, at: VirtualTime) {
+        let active = self.active.get_mut(&cid).expect("active cluster");
+        let chain = &mut active.chains[member_idx];
+        let spec = chain.calls[chain.next];
+        chain.next += 1;
+        chain.cost.calls += 1;
+        chain.cost.input += spec.input_tokens as u64;
+        chain.cost.output += spec.output_tokens as u64;
+        let id = RequestId(self.next_req);
+        self.next_req += 1;
+        let req = LlmRequest::new(
+            id,
+            chain.agent.0,
+            active.cluster.step.priority(),
+            spec.input_tokens,
+            spec.output_tokens,
+            spec.kind,
+        );
+        self.req_map.insert(id, (cid, member_idx));
+        self.total_calls += 1;
+        self.total_in += spec.input_tokens as u64;
+        self.total_out += spec.output_tokens as u64;
+        if self.timeline.is_some() {
+            self.open_spans.insert(
+                id,
+                CallSpan {
+                    agent: chain.agent,
+                    step: active.cluster.step,
+                    kind: spec.kind,
+                    start: at,
+                    end: at,
+                },
+            );
+        }
+        server.submit(at, req);
+    }
+
+    fn on_event<S: Space, W: Workload<S::Pos> + ?Sized>(
+        &mut self,
+        scheduler: &mut SpecScheduler<S>,
+        server: &mut SimServer,
+        workload: &W,
+        ev: Ev,
+    ) -> Result<(), EngineError> {
+        match ev.kind {
+            EvKind::Start(cid) => {
+                let active = self.active.get_mut(&cid).expect("started cluster is active");
+                let step = active.cluster.step;
+                active.chains = active
+                    .cluster
+                    .members
+                    .iter()
+                    .map(|m| MemberChain {
+                        agent: *m,
+                        calls: workload.calls(*m, step),
+                        next: 0,
+                        cost: Cost::default(),
+                    })
+                    .collect();
+                active.remaining = active.chains.iter().filter(|c| !c.calls.is_empty()).count();
+                if active.remaining == 0 {
+                    self.schedule(
+                        ev.at + VirtualTime::from_micros(self.cfg.commit_cpu_us),
+                        EvKind::Commit(cid),
+                    );
+                    return Ok(());
+                }
+                if self.cfg.serial_agents {
+                    let first =
+                        self.active[&cid].chains.iter().position(|c| !c.calls.is_empty());
+                    if let Some(i) = first {
+                        self.active.get_mut(&cid).expect("active").cursor = i;
+                        self.submit_call(server, cid, i, ev.at);
+                    }
+                } else {
+                    let idxs: Vec<usize> = self.active[&cid]
+                        .chains
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| !c.calls.is_empty())
+                        .map(|(i, _)| i)
+                        .collect();
+                    for i in idxs {
+                        self.submit_call(server, cid, i, ev.at);
+                    }
+                }
+            }
+            EvKind::Commit(cid) => {
+                let active = self.active.remove(&cid).expect("committed cluster is active");
+                let step = active.cluster.step;
+                let new_pos: Vec<(AgentId, S::Pos)> = active
+                    .cluster
+                    .members
+                    .iter()
+                    .map(|m| (*m, workload.pos_after(*m, step)))
+                    .collect();
+                let outcome = scheduler.complete(&cid, &new_pos)?;
+                self.account_squashed(scheduler);
+                if outcome.committed {
+                    for chain in &active.chains {
+                        self.committed_cost.insert((chain.agent.0, step.0), chain.cost);
+                    }
+                    if let Some(tl) = &mut self.timeline {
+                        tl.commits.push((step, ev.at));
+                    }
+                } else {
+                    // Poisoned: the issued calls are pure waste; the
+                    // members re-emit from their rolled-back steps.
+                    for chain in &active.chains {
+                        self.waste.calls += chain.cost.calls;
+                        self.waste.input += chain.cost.input;
+                        self.waste.output += chain.cost.output;
+                    }
+                }
+                self.slots_used -= 1;
+                self.pull_ready(scheduler)?;
+                self.drain_slots(ev.at);
+            }
+        }
+        Ok(())
+    }
+
+    fn on_completion<S: Space>(
+        &mut self,
+        scheduler: &mut SpecScheduler<S>,
+        server: &mut SimServer,
+        req: LlmRequest,
+        at: VirtualTime,
+    ) -> Result<(), EngineError> {
+        let _ = scheduler;
+        if let Some(mut span) = self.open_spans.remove(&req.id) {
+            span.end = at;
+            if let Some(tl) = &mut self.timeline {
+                tl.spans.push(span);
+            }
+        }
+        let (cid, member_idx) =
+            self.req_map.remove(&req.id).expect("completion for unknown request");
+        let active = self.active.get_mut(&cid).expect("completion for inactive cluster");
+        let chain = &active.chains[member_idx];
+        if chain.next < chain.calls.len() {
+            self.submit_call(server, cid, member_idx, at);
+            return Ok(());
+        }
+        active.remaining -= 1;
+        if self.cfg.serial_agents && active.remaining > 0 {
+            let next = active
+                .chains
+                .iter()
+                .enumerate()
+                .skip(active.cursor + 1)
+                .find(|(_, c)| !c.calls.is_empty() && c.next == 0)
+                .map(|(i, _)| i);
+            if let Some(i) = next {
+                active.cursor = i;
+                self.submit_call(server, cid, i, at);
+            }
+            return Ok(());
+        }
+        if active.remaining == 0 {
+            self.schedule(
+                at + VirtualTime::from_micros(self.cfg.commit_cpu_us),
+                EvKind::Commit(cid),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::sim::run_sim;
+    use crate::ids::Step;
+    use crate::policy::DependencyPolicy;
+    use crate::rules::RuleParams;
+    use crate::scheduler::Scheduler;
+    use crate::space::{GridSpace, Point};
+    use crate::spec::SpecParams;
+    use crate::workload::testutil::TableWorkload;
+    use aim_llm::{presets, CallKind, ServerConfig};
+    use aim_store::Db;
+    use std::sync::Arc;
+
+    fn mk_spec_sched(
+        initial: &[Point],
+        runahead: u32,
+        target: u32,
+    ) -> SpecScheduler<GridSpace> {
+        SpecScheduler::new(
+            Arc::new(GridSpace::new(500, 500)),
+            RuleParams::genagent(),
+            SpecParams::new(runahead),
+            Arc::new(Db::new()),
+            initial,
+            Step(target),
+        )
+        .unwrap()
+    }
+
+    fn mk_server() -> SimServer {
+        SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 1, true))
+    }
+
+    fn spec(input: u32, output: u32) -> CallSpec {
+        CallSpec::new(input, output, CallKind::Plan)
+    }
+
+    #[test]
+    fn empty_workload_completes() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0)], 3);
+        let mut s = mk_spec_sched(&w.initial, 4, 3);
+        let mut server = mk_server();
+        let r = run_spec_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap();
+        assert_eq!(r.total_calls, 0);
+        assert_eq!(r.makespan, VirtualTime::from_micros(3 * 3_000));
+        let sr = r.spec.unwrap();
+        assert_eq!(sr.wasted_calls, 0);
+        assert_eq!(sr.stats.retired_steps, 3);
+    }
+
+    #[test]
+    fn runahead_zero_matches_conservative_executor() {
+        // The same imbalanced workload under the conservative scheduler
+        // and under speculation-disabled SpecScheduler must complete in
+        // exactly the same virtual time.
+        let mut w = TableWorkload::stationary(
+            vec![Point::new(0, 0), Point::new(10, 0), Point::new(200, 200)],
+            6,
+        );
+        for s in 0..6u32 {
+            w = w
+                .with_call(0, s, spec(400, 40))
+                .with_call(1, s, spec(50, 5))
+                .with_call(2, s, spec(120, 12));
+        }
+        let conservative = {
+            let mut s = Scheduler::new(
+                Arc::new(GridSpace::new(500, 500)),
+                RuleParams::genagent(),
+                DependencyPolicy::Spatiotemporal,
+                Arc::new(Db::new()),
+                &w.initial,
+                Step(6),
+            )
+            .unwrap();
+            let mut server = mk_server();
+            run_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap()
+        };
+        let speculative = {
+            let mut s = mk_spec_sched(&w.initial, 0, 6);
+            let mut server = mk_server();
+            run_spec_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap()
+        };
+        assert_eq!(conservative.makespan, speculative.makespan);
+        assert_eq!(conservative.total_calls, speculative.total_calls);
+        assert_eq!(speculative.spec.unwrap().wasted_calls, 0);
+    }
+
+    #[test]
+    fn speculation_overlaps_blocked_work() {
+        // Agent 0 owns one huge call at step 0; agent 1 (10 away) has
+        // steady work every step. Conservatively agent 1 stalls at gap 5
+        // until the huge call commits; speculatively its remaining steps
+        // overlap it, cutting completion time. Nothing is ever squashed
+        // (the agents never move), so the speedup is free.
+        let mut w =
+            TableWorkload::stationary(vec![Point::new(0, 0), Point::new(10, 0)], 12);
+        w = w.with_call(0, 0, spec(600, 1200));
+        for s in 0..12u32 {
+            w = w.with_call(1, s, spec(200, 60));
+        }
+        let run = |runahead: u32| {
+            let mut s = mk_spec_sched(&w.initial, runahead, 12);
+            let mut server = mk_server();
+            run_spec_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap()
+        };
+        let blocked = run(0);
+        let ahead = run(8);
+        assert!(
+            ahead.makespan < blocked.makespan,
+            "speculation {} must beat conservative {}",
+            ahead.makespan,
+            blocked.makespan
+        );
+        let sr = ahead.spec.unwrap();
+        assert_eq!(sr.wasted_calls, 0, "stationary agents never misspeculate");
+        assert!(sr.stats.emitted_spec > 0);
+        assert_eq!(sr.stats.retired_steps, 24, "all agent-steps validated");
+    }
+
+    #[test]
+    fn misspeculation_is_charged_as_waste() {
+        // Agent 0 walks toward agent 1 while its long step-0 call holds
+        // the commit back; agent 1's speculative steps read state that
+        // agent 0's arrival invalidates.
+        let mut w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(6, 0)], 8);
+        w = w.with_call(0, 0, spec(600, 900));
+        for s in 0..8u32 {
+            w = w.with_call(1, s, spec(100, 20));
+            // Agent 0 walks one cell east per step.
+            w = w.with_move(0, s, Point::new(s as i32 + 1, 0));
+        }
+        let mut s = mk_spec_sched(&w.initial, 4, 8);
+        let mut server = mk_server();
+        let r = run_spec_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap();
+        let sr = r.spec.unwrap();
+        assert!(sr.stats.squashed_steps > 0, "the approach must squash: {:?}", sr.stats);
+        assert!(sr.wasted_calls > 0, "squashed steps carried calls");
+        assert!(
+            r.total_calls > 8 + 1,
+            "re-executions are re-issued: {} calls",
+            r.total_calls
+        );
+        assert!(sr.waste_fraction(r.total_input_tokens, r.total_output_tokens) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let mut w = TableWorkload::stationary(
+            vec![Point::new(0, 0), Point::new(8, 0), Point::new(30, 30)],
+            5,
+        );
+        for s in 0..5u32 {
+            w = w.with_call(0, s, spec(300, 30)).with_call(1, s, spec(80, 8));
+            w = w.with_move(1, s, Point::new(8 - s as i32, 0));
+        }
+        let run = || {
+            let mut s = mk_spec_sched(&w.initial, 3, 5);
+            let mut server = mk_server();
+            run_spec_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_calls, b.total_calls);
+        assert_eq!(a.spec, b.spec);
+    }
+
+    #[test]
+    fn worker_slots_respected() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(300, 300)], 1)
+            .with_call(0, 0, spec(100, 10))
+            .with_call(1, 0, spec(100, 10));
+        let run = |slots| {
+            let mut s = mk_spec_sched(&w.initial, 4, 1);
+            let mut server = mk_server();
+            let cfg = SimConfig { max_concurrent_clusters: slots, ..SimConfig::default() };
+            run_spec_sim(&mut s, &w, &mut server, &cfg).unwrap()
+        };
+        let free = run(None);
+        let one = run(Some(1));
+        assert!(one.makespan > free.makespan);
+    }
+}

@@ -1,0 +1,332 @@
+//! Controller/worker runtime over OS threads — Algorithm 3, literally.
+//!
+//! The controller (the calling thread) owns the [`Scheduler`]; it pushes
+//! ready clusters into a shared priority `ready_queue` and consumes
+//! completion confirmations from an `ack_queue`, both priority-ordered by
+//! simulation step (§3.1, §3.5). Worker threads pull clusters, run **one
+//! thread per member agent** (the paper maps agents to threads and workers
+//! to processes — Rust has no GIL, so workers are threads too), resolve
+//! and commit the step through the user's [`ClusterProgram`], and
+//! acknowledge.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aim_llm::LlmBackend;
+use aim_store::PriorityQueue;
+use serde::{Deserialize, Serialize};
+
+use crate::error::EngineError;
+use crate::ids::{AgentId, Step};
+use crate::scheduler::{Cluster, Scheduler};
+use crate::space::Space;
+
+/// User-defined agent/world logic executed by the threaded runtime.
+///
+/// This is the developer-facing surface the paper describes in §2.1: the
+/// engine owns scheduling and state-update plumbing, the developer supplies
+/// `agent.proceed` (here [`ClusterProgram::agent_step`]) and
+/// `world.resolve_conflict_and_commit` (here [`ClusterProgram::commit`]).
+pub trait ClusterProgram<S: Space>: Send + Sync {
+    /// Opaque per-agent action produced by a step.
+    type Action: Send + 'static;
+
+    /// Runs one agent's step: perceive, retrieve, plan — making as many
+    /// blocking `llm` calls as needed — and returns the agent's intended
+    /// action. Called concurrently for every member of a cluster.
+    fn agent_step(&self, agent: AgentId, step: Step, llm: &dyn LlmBackend) -> Self::Action;
+
+    /// Resolves conflicts between the cluster's actions, commits them to
+    /// the world, and returns each member's new position. Called once per
+    /// cluster, serialized with respect to the same world region by
+    /// construction (coupled agents share a cluster).
+    fn commit(
+        &self,
+        cluster: &Cluster,
+        actions: Vec<(AgentId, Self::Action)>,
+    ) -> Vec<(AgentId, S::Pos)>;
+}
+
+/// Configuration of the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadedConfig {
+    /// Worker threads pulling clusters (paper: "the number of workers can
+    /// be adjusted based on available CPU resources").
+    pub workers: usize,
+    /// Order both queues by step (§3.5) instead of FIFO.
+    pub priority_enabled: bool,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig { workers: 4, priority_enabled: true }
+    }
+}
+
+/// Wall-clock measurements of a threaded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ThreadedReport {
+    /// Wall time from start to completion.
+    pub wall: Duration,
+    /// Clusters executed.
+    pub clusters: u64,
+    /// Agent-steps executed.
+    pub agent_steps: u64,
+}
+
+/// Runs `scheduler` to completion with `cfg.workers` worker threads
+/// executing `program` against `backend`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Deadlock`] if the scheduler reports no ready and
+/// no in-flight work before finishing (a rule bug), and propagates store
+/// errors from completions.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is resumed on the caller).
+pub fn run_threaded<S, P>(
+    scheduler: &mut Scheduler<S>,
+    program: Arc<P>,
+    backend: Arc<dyn LlmBackend>,
+    cfg: ThreadedConfig,
+) -> Result<ThreadedReport, EngineError>
+where
+    S: Space,
+    P: ClusterProgram<S> + 'static,
+{
+    assert!(cfg.workers > 0, "at least one worker is required");
+    type Ack<P2> = (crate::ids::ClusterId, Vec<(AgentId, P2)>);
+    let ready: Arc<PriorityQueue<Cluster>> = Arc::new(PriorityQueue::new());
+    let ack: Arc<PriorityQueue<Ack<S::Pos>>> = Arc::new(PriorityQueue::new());
+    let started = Instant::now();
+    let mut clusters = 0u64;
+    let mut agent_steps = 0u64;
+
+    let result = std::thread::scope(|scope| -> Result<(), EngineError> {
+        // Workers: pull cluster → one thread per agent → commit → ack.
+        let mut handles = Vec::new();
+        for _ in 0..cfg.workers {
+            let ready = Arc::clone(&ready);
+            let ack = Arc::clone(&ack);
+            let program = Arc::clone(&program);
+            let backend = Arc::clone(&backend);
+            let priority = cfg.priority_enabled;
+            handles.push(scope.spawn(move || {
+                while let Some(cluster) = ready.pop() {
+                    let actions: Vec<(AgentId, P::Action)> = std::thread::scope(|agents| {
+                        let mut joins = Vec::with_capacity(cluster.members.len());
+                        for &m in &cluster.members {
+                            let program = Arc::clone(&program);
+                            let backend = Arc::clone(&backend);
+                            let step = cluster.step;
+                            joins.push((
+                                m,
+                                agents.spawn(move || {
+                                    program.agent_step(m, step, backend.as_ref())
+                                }),
+                            ));
+                        }
+                        joins
+                            .into_iter()
+                            .map(|(m, j)| (m, j.join().expect("agent thread panicked")))
+                            .collect()
+                    });
+                    let new_pos = program.commit(&cluster, actions);
+                    let prio = if priority { cluster.step.priority() } else { 0 };
+                    if ack.push(prio, (cluster.id, new_pos)).is_err() {
+                        break; // controller gone
+                    }
+                }
+            }));
+        }
+
+        // Controller loop on the calling thread.
+        let push_ready = |sched: &mut Scheduler<S>| {
+            let mut n = 0;
+            for c in sched.ready_clusters() {
+                let prio = if cfg.priority_enabled { c.step.priority() } else { 0 };
+                ready.push(prio, c).expect("ready queue closed prematurely");
+                n += 1;
+            }
+            n
+        };
+        push_ready(scheduler);
+        while !scheduler.is_done() {
+            if scheduler.inflight_len() == 0 {
+                ready.close();
+                ack.close();
+                return Err(EngineError::Deadlock {
+                    detail: "no in-flight clusters and none ready".to_string(),
+                });
+            }
+            let Some((cid, new_pos)) = ack.pop() else {
+                return Err(EngineError::Deadlock {
+                    detail: "ack queue closed with work outstanding".to_string(),
+                });
+            };
+            clusters += 1;
+            agent_steps += new_pos.len() as u64;
+            scheduler.complete(&cid, &new_pos)?;
+            push_ready(scheduler);
+        }
+        ready.close();
+        ack.close();
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+        Ok(())
+    });
+    result?;
+
+    Ok(ThreadedReport { wall: started.elapsed(), clusters, agent_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DependencyPolicy;
+    use crate::rules::RuleParams;
+    use crate::space::{GridSpace, Point};
+    use aim_llm::{CallKind, InstantBackend, LlmRequest, RequestId};
+    use aim_store::Db;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Program: each agent makes one LLM call per step and random-walks +1
+    /// in x; records the order of (agent, step) commits for verification.
+    struct WalkProgram {
+        calls: AtomicU64,
+        req_ids: AtomicU64,
+        positions: Mutex<HashMap<u32, Point>>,
+        log: Mutex<Vec<(u32, u32)>>,
+    }
+
+    impl WalkProgram {
+        fn new(initial: &[Point]) -> Self {
+            WalkProgram {
+                calls: AtomicU64::new(0),
+                req_ids: AtomicU64::new(0),
+                positions: Mutex::new(
+                    initial.iter().enumerate().map(|(i, p)| (i as u32, *p)).collect(),
+                ),
+                log: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl ClusterProgram<GridSpace> for WalkProgram {
+        type Action = Point;
+
+        fn agent_step(&self, agent: AgentId, _step: Step, llm: &dyn LlmBackend) -> Point {
+            let id = RequestId(self.req_ids.fetch_add(1, Ordering::Relaxed));
+            llm.call(&LlmRequest::new(id, agent.0, 0, 64, 8, CallKind::Plan));
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let cur = self.positions.lock()[&agent.0];
+            Point::new(cur.x + 1, cur.y)
+        }
+
+        fn commit(
+            &self,
+            cluster: &Cluster,
+            actions: Vec<(AgentId, Point)>,
+        ) -> Vec<(AgentId, Point)> {
+            let mut log = self.log.lock();
+            let mut pos = self.positions.lock();
+            for (a, p) in &actions {
+                pos.insert(a.0, *p);
+                log.push((a.0, cluster.step.0));
+            }
+            actions
+        }
+    }
+
+    fn mk_sched(initial: &[Point], policy: DependencyPolicy, target: u32) -> Scheduler<GridSpace> {
+        Scheduler::new(
+            Arc::new(GridSpace::new(1000, 1000)),
+            RuleParams::genagent(),
+            policy,
+            Arc::new(Db::new()),
+            initial,
+            Step(target),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threaded_run_completes_and_counts() {
+        let initial = vec![Point::new(0, 0), Point::new(100, 100), Point::new(200, 200)];
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 4);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let report =
+            run_threaded(&mut sched, Arc::clone(&program), backend, ThreadedConfig::default())
+                .unwrap();
+        assert!(sched.is_done());
+        assert_eq!(report.agent_steps, 12);
+        assert_eq!(program.calls.load(Ordering::Relaxed), 12);
+        // Per-agent step order must be strictly increasing.
+        let log = program.log.lock();
+        let mut last: HashMap<u32, u32> = HashMap::new();
+        for (a, s) in log.iter() {
+            if let Some(prev) = last.get(a) {
+                assert!(s > prev, "agent {a} committed step {s} after {prev}");
+            }
+            last.insert(*a, *s);
+        }
+    }
+
+    #[test]
+    fn threaded_respects_coupling() {
+        // Two adjacent agents must commit each step together (same cluster),
+        // so their per-step commit entries must be adjacent in the log.
+        let initial = vec![Point::new(0, 0), Point::new(2, 0)];
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 3);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig { workers: 2, priority_enabled: true },
+        )
+        .unwrap();
+        assert!(sched.is_done());
+        assert!(sched.stats().max_cluster_size >= 2);
+        assert!(sched.graph().validate().is_ok());
+    }
+
+    #[test]
+    fn threaded_with_many_workers_and_agents() {
+        let initial: Vec<Point> =
+            (0..20).map(|i| Point::new((i % 5) * 50, (i / 5) * 50)).collect();
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 5);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let report = run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig { workers: 8, priority_enabled: true },
+        )
+        .unwrap();
+        assert!(sched.is_done());
+        assert_eq!(report.agent_steps, 100);
+        assert!(sched.graph().validate().is_ok());
+    }
+
+    #[test]
+    fn global_sync_threaded_matches_lockstep() {
+        let initial = vec![Point::new(0, 0), Point::new(500, 500)];
+        let mut sched = mk_sched(&initial, DependencyPolicy::GlobalSync, 3);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let report =
+            run_threaded(&mut sched, program, backend, ThreadedConfig::default()).unwrap();
+        assert_eq!(report.clusters, 3, "one barrier cluster per step");
+        assert_eq!(sched.stats().max_step_skew, 0);
+    }
+}

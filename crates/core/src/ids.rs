@@ -1,0 +1,119 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an agent within one simulation (dense, zero-based).
+///
+/// Agent ids index directly into the engine's internal tables, so they must
+/// be `0..num_agents` as reported by the workload.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AgentId(pub u32);
+
+impl AgentId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+impl From<u32> for AgentId {
+    fn from(v: u32) -> Self {
+        AgentId(v)
+    }
+}
+
+/// A simulation time step (10 simulated seconds in GenAgent — paper §2.1).
+///
+/// `Step(s)` denotes the *task* of executing step `s`; an agent whose
+/// current step is `s` has committed steps `0..s` and is about to (or is
+/// currently) executing step `s`. Lower steps have higher scheduling
+/// priority (§3.5).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Step(pub u32);
+
+impl Step {
+    /// Step zero, where every simulation starts.
+    pub const ZERO: Step = Step(0);
+
+    /// The following step.
+    pub fn next(self) -> Step {
+        Step(self.0 + 1)
+    }
+
+    /// This step as a `u64` priority key (lower = more urgent).
+    pub fn priority(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Absolute difference in steps.
+    pub fn abs_diff(self, other: Step) -> u32 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step{}", self.0)
+    }
+}
+
+impl From<u32> for Step {
+    fn from(v: u32) -> Self {
+        Step(v)
+    }
+}
+
+/// Identifier of a scheduled cluster instance (unique per run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub u64);
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_arithmetic() {
+        assert_eq!(Step(3).next(), Step(4));
+        assert_eq!(Step(3).abs_diff(Step(7)), 4);
+        assert_eq!(Step(7).abs_diff(Step(3)), 4);
+        assert_eq!(Step(5).priority(), 5);
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(Step(1) < Step(2));
+        assert!(AgentId(1) < AgentId(2));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(AgentId(3).to_string(), "agent3");
+        assert_eq!(Step(9).to_string(), "step9");
+        assert_eq!(ClusterId(2).to_string(), "cluster2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AgentId::from(4u32), AgentId(4));
+        assert_eq!(Step::from(4u32), Step(4));
+        assert_eq!(AgentId(7).index(), 7usize);
+    }
+}

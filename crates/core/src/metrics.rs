@@ -1,0 +1,176 @@
+//! Run reports: the measurements the paper's evaluation is built from.
+
+use aim_llm::{CallKind, ServerMetrics, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AgentId, Step};
+use crate::scheduler::SchedStats;
+
+/// One LLM call's lifetime on the timeline (Fig. 1's colored bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallSpan {
+    /// Issuing agent.
+    pub agent: AgentId,
+    /// Step the call belongs to.
+    pub step: Step,
+    /// Agent function.
+    pub kind: CallKind,
+    /// Submission time.
+    pub start: VirtualTime,
+    /// Completion time.
+    pub end: VirtualTime,
+}
+
+/// Optional recording of every call span plus step-commit marks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// All call spans, in completion order.
+    pub spans: Vec<CallSpan>,
+    /// `(step, commit time)` of every cluster commit.
+    pub commits: Vec<(Step, VirtualTime)>,
+}
+
+impl Timeline {
+    /// Renders an ASCII approximation of the paper's Fig. 1: one row per
+    /// agent, colored by call kind (here: a letter per kind), over
+    /// `columns` buckets of the run.
+    pub fn render_ascii(&self, num_agents: usize, columns: usize) -> String {
+        let end = self
+            .spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(VirtualTime::ZERO)
+            .as_micros()
+            .max(1);
+        let mut rows = vec![vec![b' '; columns]; num_agents];
+        for span in &self.spans {
+            let a = span.agent.index();
+            if a >= num_agents {
+                continue;
+            }
+            let c0 = (span.start.as_micros() * columns as u64 / end) as usize;
+            let c1 = (span.end.as_micros() * columns as u64 / end) as usize;
+            let glyph = span.kind.as_str().as_bytes()[0].to_ascii_uppercase();
+            for c in c0..=c1.min(columns - 1) {
+                rows[a][c] = glyph;
+            }
+        }
+        let mut out = String::new();
+        for (a, row) in rows.iter().enumerate() {
+            out.push_str(&format!("agent{a:>4} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+/// The result of executing one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct RunReport {
+    /// Policy label (`parallel-sync`, `metropolis`, …).
+    pub mode: String,
+    /// Completion time of the whole simulation.
+    pub makespan: VirtualTime,
+    /// Number of LLM calls issued.
+    pub total_calls: u64,
+    /// Sum of prompt tokens.
+    pub total_input_tokens: u64,
+    /// Sum of generated tokens.
+    pub total_output_tokens: u64,
+    /// The paper's achieved parallelism: average outstanding LLM requests
+    /// over the execution (§4.2 reports 0.95 / 1.94 / 3.46 for
+    /// single-thread / parallel-sync / metropolis at 25 agents, 8 GPUs).
+    pub achieved_parallelism: f64,
+    /// Average replica busy fraction.
+    pub gpu_utilization: f64,
+    /// Scheduler counters.
+    pub sched: SchedStats,
+    /// Serving-engine counters.
+    pub server: Option<ServerMetrics>,
+    /// Speculation accounting (present for speculative runs, §6).
+    pub spec: Option<crate::spec::SpecReport>,
+    /// Optional per-call timeline (Fig. 1).
+    pub timeline: Option<Timeline>,
+}
+
+impl RunReport {
+    /// Speedup of this run over `other` (by makespan).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        other.makespan.as_secs_f64() / self.makespan.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// This run's completion time as a fraction of `faster`'s
+    /// (e.g. "74.7% of oracle performance" compares makespans).
+    pub fn fraction_of(&self, faster: &RunReport) -> f64 {
+        faster.makespan.as_secs_f64() / self.makespan.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(makespan_us: u64) -> RunReport {
+        RunReport {
+            mode: "test".into(),
+            makespan: VirtualTime::from_micros(makespan_us),
+            total_calls: 0,
+            total_input_tokens: 0,
+            total_output_tokens: 0,
+            achieved_parallelism: 0.0,
+            gpu_utilization: 0.0,
+            sched: SchedStats::default(),
+            server: None,
+            spec: None,
+            timeline: None,
+        }
+    }
+
+    #[test]
+    fn speedup_and_fraction() {
+        let fast = report(50);
+        let slow = report(100);
+        assert_eq!(fast.speedup_over(&slow), 2.0);
+        assert_eq!(slow.fraction_of(&fast), 0.5);
+    }
+
+    #[test]
+    fn timeline_ascii_shape() {
+        let tl = Timeline {
+            spans: vec![
+                CallSpan {
+                    agent: AgentId(0),
+                    step: Step(0),
+                    kind: CallKind::Plan,
+                    start: VirtualTime::ZERO,
+                    end: VirtualTime::from_micros(50),
+                },
+                CallSpan {
+                    agent: AgentId(1),
+                    step: Step(0),
+                    kind: CallKind::Converse,
+                    start: VirtualTime::from_micros(50),
+                    end: VirtualTime::from_micros(100),
+                },
+            ],
+            commits: vec![],
+        };
+        let art = tl.render_ascii(2, 20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('P'));
+        assert!(lines[1].contains('C'));
+        // Agent 0's bar occupies the left half, agent 1's the right.
+        assert!(lines[0].find('P').unwrap() < lines[1].find('C').unwrap());
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let tl = Timeline::default();
+        let art = tl.render_ascii(1, 10);
+        assert!(art.contains("agent"));
+    }
+}

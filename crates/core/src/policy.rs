@@ -1,0 +1,205 @@
+//! Dependency-management policies — the experiment arms of §4.2.
+//!
+//! * [`DependencyPolicy::GlobalSync`] — Algorithm 1: one global barrier per
+//!   step (the paper's `parallel-sync`; with serialized agents it is also
+//!   the `single-thread` baseline).
+//! * [`DependencyPolicy::Spatiotemporal`] — AI Metropolis itself: the
+//!   conservative coupling/blocking rules of §3.2.
+//! * [`DependencyPolicy::Oracle`] — ground-truth dependencies mined from a
+//!   finished trace (§4.2): agents synchronize only around steps where they
+//!   *actually* appeared in each other's observation space. Unattainable
+//!   online; an upper bound on dependency management.
+//! * [`DependencyPolicy::NoDependency`] — all agents fully independent
+//!   (§4.3's scaling lower bound; ignores causality).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::cluster::DisjointSets;
+use crate::ids::{AgentId, Step};
+
+/// Ground-truth per-step interaction structure extracted from a trace.
+///
+/// `OracleGraph` stores, for every step `s`, the connected components of
+/// the *actual interaction graph* (pairs of agents within observation
+/// range of each other during `s`). Under the oracle policy a component is
+/// the unit of execution for step `s`: its members barrier with each other
+/// before and after the step, and with nobody else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleGraph {
+    num_agents: usize,
+    /// `components[s]` = clusters (sorted member lists) for step `s`.
+    components: Vec<Vec<Vec<u32>>>,
+    /// `lookup[s][agent]` = index into `components[s]`.
+    lookup: Vec<Vec<u32>>,
+    /// Interaction degree sums for `avg_dependencies`.
+    total_degree: u64,
+}
+
+impl OracleGraph {
+    /// Builds the oracle from per-step interaction pairs.
+    ///
+    /// `per_step_pairs[s]` lists unordered agent pairs that interacted
+    /// during step `s` (the miner uses "within perception radius", matching
+    /// §4.2's "appear in each other's observation space").
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references an agent `>= num_agents`.
+    pub fn from_interactions(num_agents: usize, per_step_pairs: &[Vec<(u32, u32)>]) -> Self {
+        let mut components = Vec::with_capacity(per_step_pairs.len());
+        let mut lookup = Vec::with_capacity(per_step_pairs.len());
+        let mut total_degree = 0u64;
+        for pairs in per_step_pairs {
+            let mut ds = DisjointSets::new(num_agents);
+            for &(a, b) in pairs {
+                assert!(
+                    (a as usize) < num_agents && (b as usize) < num_agents,
+                    "interaction pair ({a},{b}) out of range"
+                );
+                ds.union(a as usize, b as usize);
+                total_degree += 2;
+            }
+            let groups = ds.groups();
+            let mut look = vec![0u32; num_agents];
+            let mut comps = Vec::with_capacity(groups.len());
+            for (ci, g) in groups.into_iter().enumerate() {
+                for &m in &g {
+                    look[m] = ci as u32;
+                }
+                comps.push(g.into_iter().map(|m| m as u32).collect());
+            }
+            components.push(comps);
+            lookup.push(look);
+        }
+        OracleGraph { num_agents, components, lookup, total_degree }
+    }
+
+    /// Number of agents the oracle covers.
+    pub fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+
+    /// Number of steps the oracle covers.
+    pub fn num_steps(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Members of `agent`'s component for `step` (sorted). Agents beyond
+    /// the mined horizon act as singletons.
+    pub fn component_of(&self, step: Step, agent: AgentId) -> Vec<u32> {
+        match self.components.get(step.0 as usize) {
+            Some(comps) => comps[self.lookup[step.0 as usize][agent.index()] as usize].clone(),
+            None => vec![agent.0],
+        }
+    }
+
+    /// All components at `step`.
+    pub fn components_at(&self, step: Step) -> &[Vec<u32>] {
+        self.components.get(step.0 as usize).map(|c| c.as_slice()).unwrap_or(&[])
+    }
+
+    /// The paper's §2.2 statistic: average number of prior-step agents each
+    /// agent depends on, **including itself** (GenAgent measures 1.85 vs
+    /// the all-to-all 25).
+    pub fn avg_dependencies(&self) -> f64 {
+        if self.num_agents == 0 || self.components.is_empty() {
+            return 1.0;
+        }
+        1.0 + self.total_degree as f64 / (self.num_agents as f64 * self.components.len() as f64)
+    }
+}
+
+/// How the scheduler decides which agents may advance (see module docs).
+#[derive(Clone)]
+pub enum DependencyPolicy {
+    /// Global step barrier over all agents (Algorithm 1).
+    GlobalSync,
+    /// AI Metropolis out-of-order rules (§3.2–3.4).
+    Spatiotemporal,
+    /// Ground-truth dependencies from a mined [`OracleGraph`].
+    Oracle(Arc<OracleGraph>),
+    /// No dependencies at all: every agent advances freely.
+    NoDependency,
+}
+
+impl DependencyPolicy {
+    /// Short identifier used in reports (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DependencyPolicy::GlobalSync => "parallel-sync",
+            DependencyPolicy::Spatiotemporal => "metropolis",
+            DependencyPolicy::Oracle(_) => "oracle",
+            DependencyPolicy::NoDependency => "no-dependency",
+        }
+    }
+}
+
+impl fmt::Debug for DependencyPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DependencyPolicy::{}", self.label())
+    }
+}
+
+impl PartialEq for DependencyPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (DependencyPolicy::GlobalSync, DependencyPolicy::GlobalSync)
+            | (DependencyPolicy::Spatiotemporal, DependencyPolicy::Spatiotemporal)
+            | (DependencyPolicy::NoDependency, DependencyPolicy::NoDependency) => true,
+            (DependencyPolicy::Oracle(a), DependencyPolicy::Oracle(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_components_and_lookup() {
+        // Step 0: 0-1 interact, 2 alone. Step 1: 1-2 interact, 0 alone.
+        let o = OracleGraph::from_interactions(3, &[vec![(0, 1)], vec![(1, 2)]]);
+        assert_eq!(o.num_steps(), 2);
+        assert_eq!(o.component_of(Step(0), AgentId(0)), vec![0, 1]);
+        assert_eq!(o.component_of(Step(0), AgentId(2)), vec![2]);
+        assert_eq!(o.component_of(Step(1), AgentId(0)), vec![0]);
+        assert_eq!(o.component_of(Step(1), AgentId(2)), vec![1, 2]);
+        // Beyond horizon: singleton.
+        assert_eq!(o.component_of(Step(5), AgentId(1)), vec![1]);
+    }
+
+    #[test]
+    fn oracle_transitive_components() {
+        let o = OracleGraph::from_interactions(4, &[vec![(0, 1), (1, 2)]]);
+        assert_eq!(o.component_of(Step(0), AgentId(2)), vec![0, 1, 2]);
+        assert_eq!(o.components_at(Step(0)).len(), 2);
+    }
+
+    #[test]
+    fn avg_dependencies_counts_self() {
+        // 3 agents, 2 steps, one pair per step: degree sum = 4 over 6
+        // agent-steps → 1 + 4/6.
+        let o = OracleGraph::from_interactions(3, &[vec![(0, 1)], vec![(1, 2)]]);
+        assert!((o.avg_dependencies() - (1.0 + 4.0 / 6.0)).abs() < 1e-12);
+        // No interactions at all → exactly 1 (self).
+        let lonely = OracleGraph::from_interactions(3, &[vec![], vec![]]);
+        assert_eq!(lonely.avg_dependencies(), 1.0);
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(DependencyPolicy::GlobalSync.label(), "parallel-sync");
+        assert_eq!(DependencyPolicy::Spatiotemporal.label(), "metropolis");
+        assert_eq!(DependencyPolicy::NoDependency.label(), "no-dependency");
+        let o = Arc::new(OracleGraph::from_interactions(1, &[]));
+        assert_eq!(DependencyPolicy::Oracle(o).label(), "oracle");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pair_rejected() {
+        OracleGraph::from_interactions(2, &[vec![(0, 5)]]);
+    }
+}

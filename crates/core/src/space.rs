@@ -1,0 +1,440 @@
+//! Spaces: where agents live and how distance is measured.
+//!
+//! The dependency rules of §3.2 only consume distances, so the engine is
+//! generic over a [`Space`]. The paper's evaluation world is a 2-D grid
+//! ([`GridSpace`]); §6 points out the same rules apply to non-Euclidean
+//! settings such as social networks, which [`SocialSpace`] demonstrates
+//! (distance = hops in a relationship graph).
+
+use std::fmt;
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use aim_store::{codec, StoreError};
+
+/// A position on a 2-D integer grid.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Column (grows east).
+    pub x: i32,
+    /// Row (grows south).
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance (exact integer arithmetic).
+    pub fn dist2(self, other: Point) -> u64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        (dx * dx + dy * dy) as u64
+    }
+
+    /// Euclidean distance.
+    pub fn dist(self, other: Point) -> f64 {
+        (self.dist2(other) as f64).sqrt()
+    }
+
+    /// Manhattan (L1) distance, used by the A* heuristic.
+    pub fn manhattan(self, other: Point) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A metric space the dependency rules can reason about.
+///
+/// The engine compares distances against integer *rule thresholds* of the
+/// form `radius_p + k·max_vel` (§3.2), delivered here as `units`.
+/// Implementations should make [`Space::within_units`] exact — the grid
+/// space compares squared integers so no floating-point edge cases can flip
+/// a scheduling decision.
+///
+/// Positions are encoded into the dependency-graph database, hence the
+/// codec methods.
+pub trait Space: Send + Sync + 'static {
+    /// An agent position.
+    type Pos: Copy + fmt::Debug + Send + Sync + PartialEq + 'static;
+
+    /// Distance between two positions (diagnostics and reporting).
+    fn dist(&self, a: Self::Pos, b: Self::Pos) -> f64;
+
+    /// Is `dist(a, b) <= units`? Must be exact.
+    fn within_units(&self, a: Self::Pos, b: Self::Pos, units: u64) -> bool;
+
+    /// Serializes a position for the dependency-graph store.
+    fn encode_pos(&self, pos: Self::Pos, buf: &mut BytesMut);
+
+    /// Deserializes a position written by [`Space::encode_pos`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] on malformed input.
+    fn decode_pos(&self, buf: &mut Bytes) -> Result<Self::Pos, StoreError>;
+
+    /// All unordered index pairs `(i, j)`, `i < j`, with
+    /// `dist(pts[i], pts[j]) <= units`. The default implementation is the
+    /// O(n²) scan; spatially indexable spaces should override it.
+    fn pairs_within(&self, pts: &[Self::Pos], units: u64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if self.within_units(pts[i], pts[j], units) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The 2-D integer grid with Euclidean distance — SmallVille's space
+/// (a 100×140 grid in the paper, §4.2).
+///
+/// # Example
+///
+/// ```
+/// use aim_core::space::{GridSpace, Point, Space};
+///
+/// let g = GridSpace::new(100, 140);
+/// let a = Point::new(0, 0);
+/// let b = Point::new(3, 4);
+/// assert_eq!(g.dist(a, b), 5.0);
+/// assert!(g.within_units(a, b, 5));
+/// assert!(!g.within_units(a, b, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpace {
+    width: u32,
+    height: u32,
+}
+
+impl GridSpace {
+    /// Creates a grid of `width × height` cells.
+    ///
+    /// The bounds are advisory (used by world generators and validation);
+    /// distance math works for any coordinates.
+    pub fn new(width: u32, height: u32) -> Self {
+        GridSpace { width, height }
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Whether `p` lies inside the grid bounds.
+    pub fn in_bounds(&self, p: Point) -> bool {
+        p.x >= 0 && p.y >= 0 && (p.x as u32) < self.width && (p.y as u32) < self.height
+    }
+}
+
+impl Space for GridSpace {
+    type Pos = Point;
+
+    fn dist(&self, a: Point, b: Point) -> f64 {
+        a.dist(b)
+    }
+
+    fn within_units(&self, a: Point, b: Point, units: u64) -> bool {
+        // Exact: compare squared integers.
+        a.dist2(b) <= units * units
+    }
+
+    fn encode_pos(&self, pos: Point, buf: &mut BytesMut) {
+        codec::put_i32(buf, pos.x);
+        codec::put_i32(buf, pos.y);
+    }
+
+    fn decode_pos(&self, buf: &mut Bytes) -> Result<Point, StoreError> {
+        Ok(Point::new(codec::get_i32(buf)?, codec::get_i32(buf)?))
+    }
+
+    fn pairs_within(&self, pts: &[Point], units: u64) -> Vec<(usize, usize)> {
+        // Spatial hashing: bucket points into cells of side `units`; only
+        // points in the same or adjacent cells can be within range.
+        if pts.len() < 8 {
+            // Tiny inputs: the plain scan is faster than hashing.
+            let mut out = Vec::new();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if self.within_units(pts[i], pts[j], units) {
+                        out.push((i, j));
+                    }
+                }
+            }
+            return out;
+        }
+        use std::collections::HashMap;
+        let cell = units.max(1) as i64;
+        let key = |p: Point| ((p.x as i64).div_euclid(cell), (p.y as i64).div_euclid(cell));
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in pts.iter().enumerate() {
+            buckets.entry(key(*p)).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            let (cx, cy) = key(*p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(cand) = buckets.get(&(cx + dx, cy + dy)) else { continue };
+                    for &j in cand {
+                        if j > i && self.within_units(*p, pts[j], units) {
+                            out.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// A node in a [`SocialSpace`] graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A non-Euclidean space where distance is the hop count in an undirected
+/// graph — the "social network" generalization sketched in paper §6.
+///
+/// Agents "perceive" their graph neighborhood (e.g. posts by friends) and
+/// "move" by hopping along edges, so `radius_p` and `max_vel` translate
+/// directly to hop counts. All-pairs shortest paths are precomputed at
+/// construction (BFS per node, `O(V·(V+E))`), which is fine for the
+/// community-graph sizes this is meant for; unreachable pairs are at
+/// infinite distance and never couple or block.
+///
+/// # Example
+///
+/// ```
+/// use aim_core::space::{NodeId, SocialSpace, Space};
+///
+/// // 0 - 1 - 2 - 3 (a path), 4 isolated
+/// let s = SocialSpace::new(5, &[(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(s.dist(NodeId(0), NodeId(3)), 3.0);
+/// assert!(s.within_units(NodeId(0), NodeId(2), 2));
+/// assert!(!s.within_units(NodeId(0), NodeId(4), 100)); // unreachable
+/// ```
+#[derive(Debug, Clone)]
+pub struct SocialSpace {
+    n: usize,
+    /// Row-major hop distances; `u16::MAX` encodes "unreachable".
+    dist: Vec<u16>,
+    adjacency: Vec<Vec<u32>>,
+}
+
+const UNREACHABLE: u16 = u16::MAX;
+
+impl SocialSpace {
+    /// Builds the space from an undirected edge list over nodes `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n` or `n` exceeds `u16`
+    /// addressable distance bookkeeping (65k nodes).
+    pub fn new(n: usize, edges: &[(u32, u32)]) -> Self {
+        assert!(n < u16::MAX as usize, "SocialSpace supports < 65535 nodes");
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            if a != b {
+                adjacency[a as usize].push(b);
+                adjacency[b as usize].push(a);
+            }
+        }
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in 0..n {
+            let row = src * n;
+            dist[row + src] = 0;
+            queue.clear();
+            queue.push_back(src as u32);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[row + u as usize];
+                for &v in &adjacency[u as usize] {
+                    if dist[row + v as usize] == UNREACHABLE {
+                        dist[row + v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        SocialSpace { n, dist, adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direct neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        &self.adjacency[node.0 as usize]
+    }
+
+    /// Hop distance, `None` when unreachable.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let d = self.dist[a.0 as usize * self.n + b.0 as usize];
+        (d != UNREACHABLE).then_some(d as u32)
+    }
+}
+
+impl Space for SocialSpace {
+    type Pos = NodeId;
+
+    fn dist(&self, a: NodeId, b: NodeId) -> f64 {
+        match self.hops(a, b) {
+            Some(d) => d as f64,
+            None => f64::INFINITY,
+        }
+    }
+
+    fn within_units(&self, a: NodeId, b: NodeId, units: u64) -> bool {
+        match self.hops(a, b) {
+            Some(d) => d as u64 <= units,
+            None => false,
+        }
+    }
+
+    fn encode_pos(&self, pos: NodeId, buf: &mut BytesMut) {
+        codec::put_u32(buf, pos.0);
+    }
+
+    fn decode_pos(&self, buf: &mut Bytes) -> Result<NodeId, StoreError> {
+        Ok(NodeId(codec::get_u32(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distances() {
+        let a = Point::new(1, 2);
+        let b = Point::new(4, 6);
+        assert_eq!(a.dist2(b), 25);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.manhattan(b), 7);
+    }
+
+    #[test]
+    fn grid_within_is_exact_at_boundary() {
+        let g = GridSpace::new(10, 10);
+        // 3-4-5 triangle: distance exactly 5.
+        assert!(g.within_units(Point::new(0, 0), Point::new(3, 4), 5));
+        assert!(!g.within_units(Point::new(0, 0), Point::new(3, 4), 4));
+        // Large coordinates must not overflow.
+        assert!(!g.within_units(Point::new(-100_000, 0), Point::new(100_000, 0), 1000));
+    }
+
+    #[test]
+    fn grid_bounds() {
+        let g = GridSpace::new(100, 140);
+        assert!(g.in_bounds(Point::new(0, 0)));
+        assert!(g.in_bounds(Point::new(99, 139)));
+        assert!(!g.in_bounds(Point::new(100, 0)));
+        assert!(!g.in_bounds(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn grid_pos_codec_roundtrip() {
+        let g = GridSpace::new(10, 10);
+        let mut buf = BytesMut::new();
+        g.encode_pos(Point::new(-7, 42), &mut buf);
+        let mut rd = Bytes::from(buf.freeze());
+        assert_eq!(g.decode_pos(&mut rd).unwrap(), Point::new(-7, 42));
+    }
+
+    #[test]
+    fn pairs_within_matches_naive_scan() {
+        let g = GridSpace::new(1000, 1000);
+        // Deterministic pseudo-random layout.
+        let mut pts = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 33) % 300;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = (state >> 33) % 300;
+            pts.push(Point::new(x as i32, y as i32));
+        }
+        for units in [1u64, 5, 17, 50] {
+            let mut naive = Vec::new();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if g.within_units(pts[i], pts[j], units) {
+                        naive.push((i, j));
+                    }
+                }
+            }
+            let fast = g.pairs_within(&pts, units);
+            assert_eq!(fast, naive, "units={units}");
+        }
+    }
+
+    #[test]
+    fn social_space_hops_and_reachability() {
+        let s = SocialSpace::new(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]);
+        assert_eq!(s.hops(NodeId(0), NodeId(2)), Some(2));
+        assert_eq!(s.hops(NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(s.hops(NodeId(0), NodeId(4)), None);
+        assert_eq!(s.dist(NodeId(0), NodeId(4)), f64::INFINITY);
+        assert!(!s.within_units(NodeId(0), NodeId(4), u64::MAX));
+        assert_eq!(s.neighbors(NodeId(1)), &[0, 2]);
+    }
+
+    #[test]
+    fn social_pairs_within_default_impl() {
+        let s = SocialSpace::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        let pts = vec![NodeId(0), NodeId(1), NodeId(3)];
+        assert_eq!(s.pairs_within(&pts, 1), vec![(0, 1)]);
+        assert_eq!(s.pairs_within(&pts, 2), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn social_pos_codec_roundtrip() {
+        let s = SocialSpace::new(3, &[(0, 1)]);
+        let mut buf = BytesMut::new();
+        s.encode_pos(NodeId(2), &mut buf);
+        let mut rd = Bytes::from(buf.freeze());
+        assert_eq!(s.decode_pos(&mut rd).unwrap(), NodeId(2));
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_tolerated() {
+        let s = SocialSpace::new(3, &[(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(s.hops(NodeId(0), NodeId(1)), Some(1));
+    }
+}

@@ -1,0 +1,1097 @@
+//! The optimistic scheduler: conservative §3.2 scheduling with bounded
+//! run-ahead, race detection, cascading squash, and retirement.
+//!
+//! See the [module docs](crate::spec) for the protocol. The interface
+//! mirrors [`crate::scheduler::Scheduler`] — callers pull
+//! [`ready_clusters`](SpecScheduler::ready_clusters) and report
+//! [`complete`](SpecScheduler::complete) — with three differences: both
+//! calls can perform store writes (squash rollbacks), `complete` returns
+//! a [`CommitOutcome`] saying whether the execution was accepted, and
+//! discarded work is reported through
+//! [`drain_squashed`](SpecScheduler::drain_squashed) so the caller can
+//! account its LLM calls as waste.
+//!
+//! # Safety nets, from first line of defense to last
+//!
+//! 1. **Emission vetting** (in `ready_clusters`): before a cluster at
+//!    step `s` starts, run-ahead entries whose state overlaps its
+//!    read/write region are squashed out (nobody reads future state);
+//!    a *certain race* — a lagging agent already inside the combined
+//!    read+write radius, whose very next commit must collide — denies
+//!    speculation outright; and a same-step cluster in flight within
+//!    coupling range defers emission (the agents belong together).
+//! 2. **Commit-time checks** (in `complete`): a committing write poisons
+//!    overlapping *in-flight* executions and squashes overlapping
+//!    entries that were created while it ran. With the GenAgent geometry
+//!    (write radius = movement radius = `max_vel`) emission vetting
+//!    provably prevents most of these; they remain as load-bearing
+//!    checks for overlapping flights and as defense-in-depth elsewhere.
+//! 3. **Observation edges**: each emission records which speculative
+//!    states fell inside its perception region; the squash cascade
+//!    invalidates observers transitively. Under the standard radii this
+//!    set is empty by construction (vetting keeps speculative state out
+//!    of read regions) — it is a backstop for exotic `Space` geometries.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+use aim_store::{Db, StoreError};
+
+use crate::depgraph::DepGraph;
+use crate::ids::{AgentId, ClusterId, Step};
+use crate::rules::RuleParams;
+use crate::scheduler::Cluster;
+use crate::space::Space;
+use crate::spec::table::{EntryTable, SpecEntry};
+use crate::spec::{SpecParams, SpecStats};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AgentState {
+    Waiting,
+    InFlight,
+    Finished,
+}
+
+struct Inflight<P> {
+    cluster: Cluster,
+    /// Member start positions at emission, aligned with `cluster.members`.
+    starts: Vec<P>,
+    /// Speculative states within perception range at emission.
+    observed: Vec<(AgentId, Step)>,
+    /// Hit by a squash while executing: discard the result on completion.
+    poisoned: bool,
+}
+
+/// What happened when a cluster execution was reported complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CommitOutcome {
+    /// `true`: the execution was accepted and the agents advanced.
+    /// `false`: the execution read stale or since-discarded state and was
+    /// dropped; its members re-emit from their rolled-back steps.
+    pub committed: bool,
+}
+
+/// The speculative out-of-order scheduler (paper §6's future-work design).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use aim_core::prelude::*;
+/// use aim_core::spec::{SpecParams, SpecScheduler};
+/// use aim_store::Db;
+///
+/// # fn main() -> Result<(), aim_store::StoreError> {
+/// let mut sched = SpecScheduler::new(
+///     Arc::new(GridSpace::new(100, 140)),
+///     RuleParams::genagent(),
+///     SpecParams::new(2),
+///     Arc::new(Db::new()),
+///     &[Point::new(0, 0), Point::new(60, 60)],
+///     Step(2),
+/// )?;
+/// while !sched.is_done() {
+///     let ready = sched.ready_clusters()?;
+///     for c in ready {
+///         let pos: Vec<_> =
+///             c.members.iter().map(|m| (*m, sched.graph().pos(*m))).collect();
+///         sched.complete(&c.id, &pos)?;
+///     }
+/// }
+/// assert_eq!(sched.stats().retired_steps, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SpecScheduler<S: Space> {
+    graph: DepGraph<S>,
+    params: RuleParams,
+    spec: SpecParams,
+    target_step: Step,
+    state: Vec<AgentState>,
+    /// `(step, agent)` entries needing readiness evaluation.
+    dirty: BTreeSet<(u32, u32)>,
+    /// agent → agents to re-dirty when it completes or advances.
+    watchers: HashMap<u32, Vec<u32>>,
+    inflight: HashMap<ClusterId, Inflight<S::Pos>>,
+    inflight_by_step: HashMap<u32, Vec<ClusterId>>,
+    inflight_of: Vec<Option<ClusterId>>,
+    table: EntryTable<S::Pos>,
+    /// `(step, instance)` retirement candidates.
+    retire_dirty: BTreeSet<(u32, u64)>,
+    /// clearance-blocking agent → instances to re-check when it moves.
+    retire_watch: HashMap<u32, Vec<u64>>,
+    /// Discarded `(agent, step)` executions awaiting caller pickup.
+    squash_log: Vec<(AgentId, Step)>,
+    next_cluster: u64,
+    finished: usize,
+    stats: SpecStats,
+}
+
+impl<S: Space> std::fmt::Debug for SpecScheduler<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecScheduler")
+            .field("agents", &self.graph.len())
+            .field("target_step", &self.target_step)
+            .field("max_runahead", &self.spec.max_runahead)
+            .field("live_entries", &self.table.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl<S: Space> SpecScheduler<S> {
+    /// Creates a speculative scheduler with all agents at step 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors from the initial graph population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `target_step` is zero.
+    pub fn new(
+        space: Arc<S>,
+        params: RuleParams,
+        spec: SpecParams,
+        db: Arc<Db>,
+        initial: &[S::Pos],
+        target_step: Step,
+    ) -> Result<Self, StoreError> {
+        assert!(!initial.is_empty(), "at least one agent is required");
+        assert!(target_step > Step::ZERO, "target_step must be positive");
+        let graph = DepGraph::new(space, params, db, initial)?;
+        let n = initial.len();
+        Ok(SpecScheduler {
+            graph,
+            params,
+            spec,
+            target_step,
+            state: vec![AgentState::Waiting; n],
+            dirty: (0..n as u32).map(|a| (0u32, a)).collect(),
+            watchers: HashMap::new(),
+            inflight: HashMap::new(),
+            inflight_by_step: HashMap::new(),
+            inflight_of: vec![None; n],
+            table: EntryTable::new(n),
+            retire_dirty: BTreeSet::new(),
+            retire_watch: HashMap::new(),
+            squash_log: Vec::new(),
+            next_cluster: 0,
+            finished: 0,
+            stats: SpecStats::default(),
+        })
+    }
+
+    /// The dependency graph (positions, steps).
+    pub fn graph(&self) -> &DepGraph<S> {
+        &self.graph
+    }
+
+    /// The speculation parameters in force.
+    pub fn spec_params(&self) -> SpecParams {
+        self.spec
+    }
+
+    /// The step at which agents finish.
+    pub fn target_step(&self) -> Step {
+        self.target_step
+    }
+
+    /// Counters for reporting.
+    pub fn stats(&self) -> SpecStats {
+        self.stats
+    }
+
+    /// Live (unretired) speculative entries.
+    pub fn live_entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Clusters currently handed out and not yet completed.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Discarded `(agent, step)` executions since the last call — the
+    /// caller re-executes them implicitly (the agents re-emit) and should
+    /// account their LLM calls as wasted work.
+    pub fn drain_squashed(&mut self) -> Vec<(AgentId, Step)> {
+        std::mem::take(&mut self.squash_log)
+    }
+
+    /// Every agent has *retired* at the target step: all executions are
+    /// validated final — no squash can rewind the simulation anymore.
+    pub fn is_done(&self) -> bool {
+        self.finished == self.state.len() && self.table.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Current step skew: max step − min step over all agents.
+    pub fn current_skew(&self) -> u32 {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        for a in 0..self.state.len() {
+            let s = self.graph.step(AgentId(a as u32)).0;
+            min = min.min(s);
+            max = max.max(s);
+        }
+        max - min
+    }
+
+    fn space(&self) -> &S {
+        self.graph.space().as_ref()
+    }
+
+    /// Computes and returns every cluster that may execute now, marking
+    /// members in-flight. Blocked clusters with remaining run-ahead
+    /// budget (and no certain race) are emitted optimistically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors from squash rollbacks performed while
+    /// clearing run-ahead state out of a forming cluster's read region.
+    pub fn ready_clusters(&mut self) -> Result<Vec<Cluster>, StoreError> {
+        let mut out = Vec::new();
+        while let Some(&(s, a)) = self.dirty.iter().next() {
+            self.dirty.remove(&(s, a));
+            if self.state[a as usize] != AgentState::Waiting
+                || self.graph.step(AgentId(a)).0 != s
+            {
+                continue; // stale entry
+            }
+            // Grow the coupled cluster over waiting same-step agents.
+            let mut members = vec![AgentId(a)];
+            let mut seen: BTreeSet<u32> = BTreeSet::from([a]);
+            let mut frontier = vec![AgentId(a)];
+            while let Some(x) = frontier.pop() {
+                for nb in self.graph.coupled_neighbors(x) {
+                    if self.state[nb.index()] == AgentState::Waiting && seen.insert(nb.0) {
+                        members.push(nb);
+                        frontier.push(nb);
+                    }
+                }
+            }
+            members.sort_unstable();
+            let starts: Vec<S::Pos> = members.iter().map(|m| self.graph.pos(*m)).collect();
+
+            // Safety net 1a: run-ahead state overlapping this cluster's
+            // combined read/write region is about to become stale —
+            // squash it *before* executing (nobody reads future state),
+            // then re-evaluate: membership may change.
+            let coupling = self.params.coupling_units();
+            let mut seeds: Vec<(AgentId, Step)> = Vec::new();
+            for e in self.table.iter_live() {
+                if e.step.0 >= s
+                    && !members.contains(&e.agent)
+                    && starts.iter().any(|p| self.space().within_units(e.start_pos, *p, coupling))
+                {
+                    seeds.push((e.agent, e.step));
+                }
+            }
+            if !seeds.is_empty() {
+                self.cascade(seeds)?;
+                self.dirty.insert((s, a));
+                continue;
+            }
+
+            // Safety net 1b: a same-step cluster already executing within
+            // coupling range means these agents belong together — wait
+            // for it rather than executing a conflicting write.
+            if let Some(defer_on) = self.same_step_inflight_nearby(s, &starts) {
+                self.stats.deferrals += 1;
+                let list = self.watchers.entry(defer_on.0).or_default();
+                for m in &members {
+                    if !list.contains(&m.0) {
+                        list.push(m.0);
+                    }
+                    self.dirty.remove(&(s, m.0));
+                }
+                continue;
+            }
+
+            // Conservative blocking check; blocked clusters may run ahead
+            // within budget unless the race is already certain.
+            let mut blocker = None;
+            for m in &members {
+                if let Some(b) = self.graph.first_blocker(*m) {
+                    blocker = Some(b);
+                    break;
+                }
+            }
+            let speculative = match blocker {
+                None => false,
+                Some(b) => {
+                    let budget_ok = self.spec.speculation_enabled()
+                        && members
+                            .iter()
+                            .all(|m| (self.table.stack_len(*m) as u32) < self.spec.max_runahead);
+                    // Safety net 1c: a laggard already within the
+                    // combined read+write radius collides on its very
+                    // next commit — speculating is guaranteed waste.
+                    let hopeless = budget_ok && self.certain_race(Step(s), &starts);
+                    if !budget_ok || hopeless {
+                        if self.spec.speculation_enabled() {
+                            self.stats.spec_denied += 1;
+                        }
+                        let list = self.watchers.entry(b.0).or_default();
+                        for m in &members {
+                            if !list.contains(&m.0) {
+                                list.push(m.0);
+                            }
+                            self.dirty.remove(&(s, m.0));
+                        }
+                        continue;
+                    }
+                    true
+                }
+            };
+
+            // Safety net 3: record which speculative states this
+            // execution can perceive — if any squashes, this execution
+            // is invalidated with it.
+            let radius = self.params.radius_p as u64;
+            let mut observed = Vec::new();
+            let occupied: Vec<AgentId> = self.table.occupied().collect();
+            for y in occupied {
+                if members.contains(&y) {
+                    continue;
+                }
+                let ypos = self.graph.pos(y);
+                if starts.iter().any(|p| self.space().within_units(ypos, *p, radius)) {
+                    observed.push((y, self.graph.step(y)));
+                }
+            }
+
+            out.push(self.emit(Step(s), members, starts, observed, speculative));
+        }
+        Ok(out)
+    }
+
+    /// Is some agent at a step below `s` close enough that its next
+    /// commit's write region must overlap this cluster's read region?
+    fn certain_race(&self, s: Step, starts: &[S::Pos]) -> bool {
+        let coupling = self.params.coupling_units();
+        for (_, b) in self.graph.agents_at_or_below(Step(s.0.saturating_sub(1))) {
+            let bpos = self.graph.pos(b);
+            if starts.iter().any(|p| self.space().within_units(bpos, *p, coupling)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn same_step_inflight_nearby(&self, step: u32, starts: &[S::Pos]) -> Option<AgentId> {
+        let coupling = self.params.coupling_units();
+        let cids = self.inflight_by_step.get(&step)?;
+        for cid in cids {
+            let rec = &self.inflight[cid];
+            for st in &rec.starts {
+                if starts.iter().any(|p| self.space().within_units(*st, *p, coupling)) {
+                    return Some(rec.cluster.members[0]);
+                }
+            }
+        }
+        None
+    }
+
+    fn emit(
+        &mut self,
+        step: Step,
+        members: Vec<AgentId>,
+        starts: Vec<S::Pos>,
+        observed: Vec<(AgentId, Step)>,
+        speculative: bool,
+    ) -> Cluster {
+        debug_assert!(!members.is_empty());
+        for m in &members {
+            debug_assert_eq!(self.state[m.index()], AgentState::Waiting);
+            self.state[m.index()] = AgentState::InFlight;
+            self.dirty.remove(&(step.0, m.0));
+        }
+        let id = ClusterId(self.next_cluster);
+        self.next_cluster += 1;
+        if speculative {
+            self.stats.emitted_spec += 1;
+        } else {
+            self.stats.emitted_firm += 1;
+        }
+        self.stats.agent_steps += members.len() as u64;
+        self.stats.max_cluster_size = self.stats.max_cluster_size.max(members.len() as u32);
+        let cluster = Cluster { id, step, members };
+        self.inflight_by_step.entry(step.0).or_default().push(id);
+        for m in &cluster.members {
+            self.inflight_of[m.index()] = Some(id);
+        }
+        self.inflight
+            .insert(id, Inflight { cluster: cluster.clone(), starts, observed, poisoned: false });
+        cluster
+    }
+
+    /// Reports a cluster execution finished at the recorded positions.
+    ///
+    /// Runs race detection against live run-ahead state, cascades any
+    /// squashes, then either accepts the execution (agents advance, an
+    /// entry is recorded, retirement runs) or discards it (stale reads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors from graph advancement or rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not in flight or `new_pos` does not match
+    /// its members.
+    pub fn complete(
+        &mut self,
+        cluster: &ClusterId,
+        new_pos: &[(AgentId, S::Pos)],
+    ) -> Result<CommitOutcome, StoreError> {
+        let rec = self
+            .inflight
+            .remove(cluster)
+            .unwrap_or_else(|| panic!("{cluster} is not in flight"));
+        if let Some(list) = self.inflight_by_step.get_mut(&rec.cluster.step.0) {
+            list.retain(|c| c != cluster);
+            if list.is_empty() {
+                self.inflight_by_step.remove(&rec.cluster.step.0);
+            }
+        }
+        for m in &rec.cluster.members {
+            self.inflight_of[m.index()] = None;
+        }
+        assert_eq!(new_pos.len(), rec.cluster.members.len(), "positions must cover all members");
+        for (a, _) in new_pos {
+            assert!(
+                rec.cluster.members.contains(a),
+                "{a} is not a member of {}",
+                rec.cluster.id
+            );
+            assert_eq!(self.state[a.index()], AgentState::InFlight);
+        }
+
+        if rec.poisoned {
+            return Ok(self.discard(&rec));
+        }
+
+        let s = rec.cluster.step;
+        let coupling = self.params.coupling_units();
+
+        // Safety net 2a: this commit writes ball(start, max_vel) at step
+        // s; any live entry at step >= s whose read ball overlaps was
+        // created while this cluster flew and read stale state.
+        let mut seeds: Vec<(AgentId, Step)> = Vec::new();
+        for e in self.table.iter_live() {
+            if e.step >= s
+                && !rec.cluster.members.contains(&e.agent)
+                && rec
+                    .starts
+                    .iter()
+                    .any(|p| self.space().within_units(e.start_pos, *p, coupling))
+            {
+                seeds.push((e.agent, e.step));
+            }
+        }
+        // Safety net 2b: the same hazard for executions still in flight —
+        // poison them so their results are dropped on completion (no
+        // preemption mid-inference, matching §3.5).
+        let mut poison: Vec<ClusterId> = Vec::new();
+        for (cid2, rec2) in &self.inflight {
+            if rec2.poisoned || rec2.cluster.step < s {
+                continue;
+            }
+            let hit = rec2.starts.iter().any(|st2| {
+                rec.starts.iter().any(|st| self.space().within_units(*st2, *st, coupling))
+            });
+            if hit {
+                poison.push(*cid2);
+            }
+        }
+        for cid2 in poison {
+            self.inflight.get_mut(&cid2).expect("collected above").poisoned = true;
+        }
+
+        self.cascade(seeds)?;
+
+        // The cascade may have rolled back this very cluster's members
+        // (their earlier steps were invalidated) — then this execution
+        // read discarded state and must be dropped too.
+        let valid = rec
+            .cluster
+            .members
+            .iter()
+            .all(|m| self.graph.step(*m) == s && self.state[m.index()] == AgentState::InFlight);
+        if !valid {
+            return Ok(self.discard(&rec));
+        }
+
+        // Accept: advance the graph, record the entry, retire eagerly.
+        self.graph.advance(new_pos)?;
+        let end_of = |m: &AgentId| {
+            new_pos
+                .iter()
+                .find(|(a, _)| a == m)
+                .map(|(_, p)| *p)
+                .expect("validated above")
+        };
+        let entries: Vec<SpecEntry<S::Pos>> = rec
+            .cluster
+            .members
+            .iter()
+            .zip(&rec.starts)
+            .map(|(m, start)| SpecEntry {
+                agent: *m,
+                step: s,
+                start_pos: *start,
+                end_pos: end_of(m),
+                instance: cluster.0,
+            })
+            .collect();
+        self.table.push_instance(cluster.0, s, entries, rec.observed.clone());
+        self.stats.max_live_entries = self.stats.max_live_entries.max(self.table.len() as u32);
+        self.retire_dirty.insert((s.0, cluster.0));
+
+        for m in &rec.cluster.members {
+            let step = self.graph.step(*m);
+            if step >= self.target_step {
+                self.state[m.index()] = AgentState::Finished;
+                self.finished += 1;
+            } else {
+                self.state[m.index()] = AgentState::Waiting;
+                self.dirty.insert((step.0, m.0));
+            }
+        }
+        self.wake_watchers(&rec.cluster.members);
+        for m in &rec.cluster.members {
+            self.wake_retire_watch(*m);
+        }
+        self.run_retirement();
+        let skew = self.current_skew();
+        self.stats.max_step_skew = self.stats.max_step_skew.max(skew);
+        Ok(CommitOutcome { committed: true })
+    }
+
+    /// Drops a poisoned or invalidated execution: members return to
+    /// Waiting at their (possibly rolled back) current steps.
+    fn discard(&mut self, rec: &Inflight<S::Pos>) -> CommitOutcome {
+        for m in &rec.cluster.members {
+            self.state[m.index()] = AgentState::Waiting;
+            self.dirty.insert((self.graph.step(*m).0, m.0));
+        }
+        self.stats.poisoned_clusters += 1;
+        self.stats.poisoned_steps += rec.cluster.members.len() as u64;
+        self.wake_watchers(&rec.cluster.members);
+        self.run_retirement();
+        CommitOutcome { committed: false }
+    }
+
+    fn wake_watchers(&mut self, members: &[AgentId]) {
+        for m in members {
+            if let Some(watchers) = self.watchers.remove(&m.0) {
+                for w in watchers {
+                    if self.state[w as usize] == AgentState::Waiting {
+                        self.dirty.insert((self.graph.step(AgentId(w)).0, w));
+                    }
+                }
+            }
+        }
+    }
+
+    fn wake_retire_watch(&mut self, agent: AgentId) {
+        if let Some(list) = self.retire_watch.remove(&agent.0) {
+            for seq in list {
+                if let Some(inst) = self.table.instance(seq) {
+                    self.retire_dirty.insert((inst.step.0, seq));
+                }
+            }
+        }
+    }
+
+    /// The anti-message cascade: discards entries at or above the seed
+    /// steps, rolls the graph back, and transitively invalidates cluster
+    /// partners and executions that observed discarded state.
+    fn cascade(&mut self, seeds: Vec<(AgentId, Step)>) -> Result<(), StoreError> {
+        let mut work: VecDeque<(AgentId, Step)> = seeds.into();
+        let mut rollback: HashMap<u32, (Step, S::Pos)> = HashMap::new();
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        while let Some((x, u)) = work.pop_front() {
+            // An execution in flight at or above the squash point is
+            // reading discarded state: poison it.
+            if let Some(cid) = self.inflight_of[x.index()] {
+                let rec = self.inflight.get_mut(&cid).expect("inflight_of is consistent");
+                if rec.cluster.step >= u {
+                    rec.poisoned = true;
+                }
+            }
+            let dropped = self.table.squash_from(x, u);
+            if dropped.is_empty() {
+                continue;
+            }
+            touched.insert(x.0);
+            let low = dropped[0];
+            match rollback.get(&x.0) {
+                Some((prev, _)) if *prev <= low.step => {}
+                _ => {
+                    rollback.insert(x.0, (low.step, low.start_pos));
+                }
+            }
+            for e in &dropped {
+                self.squash_log.push((e.agent, e.step));
+                self.stats.squashed_steps += 1;
+                if let Some(inst) = self.table.remove_instance(e.instance) {
+                    for p in inst.members {
+                        if p != x {
+                            work.push_back((p, e.step));
+                        }
+                    }
+                }
+            }
+            // Executions that observed any of the discarded states.
+            let new_step = rollback[&x.0].0;
+            for seq in self.table.observers_above(x, new_step) {
+                if let Some(inst) = self.table.instance(seq) {
+                    let step = inst.step;
+                    for p in inst.members.clone() {
+                        work.push_back((p, step));
+                    }
+                }
+            }
+        }
+        if !rollback.is_empty() {
+            let mut batch: Vec<(AgentId, Step, S::Pos)> =
+                rollback.iter().map(|(a, (s, p))| (AgentId(*a), *s, *p)).collect();
+            batch.sort_unstable_by_key(|(a, _, _)| a.0);
+            self.graph.rollback(&batch)?;
+        }
+        for a in touched {
+            if self.inflight_of[a as usize].is_some() {
+                continue; // requeued when the poisoned completion arrives
+            }
+            if self.state[a as usize] == AgentState::Finished {
+                self.finished -= 1;
+            }
+            self.state[a as usize] = AgentState::Waiting;
+            self.dirty.insert((self.graph.step(AgentId(a)).0, a));
+        }
+        Ok(())
+    }
+
+    /// Retires every instance whose reads can no longer be invalidated.
+    fn run_retirement(&mut self) {
+        while let Some(&(step, seq)) = self.retire_dirty.iter().next() {
+            self.retire_dirty.remove(&(step, seq));
+            self.try_retire_instance(seq);
+        }
+    }
+
+    fn try_retire_instance(&mut self, seq: u64) {
+        let Some(inst) = self.table.instance(seq) else {
+            return; // squashed since it was queued
+        };
+        let members = inst.members.clone();
+        let observed = inst.observed.clone();
+        // Entries retire oldest-first: every member's front entry must be
+        // this instance (predecessors retired). Re-queued when the
+        // predecessor's instance retires.
+        for m in &members {
+            match self.table.front(*m) {
+                Some(e) if e.instance == seq => {}
+                _ => return,
+            }
+        }
+        // Everything this execution read must itself be final. Re-queued
+        // when the observed entry retires (or squashed along with it).
+        for (y, q) in &observed {
+            if q.0 > 0 && self.table.has_step(*y, Step(q.0 - 1)) {
+                return;
+            }
+        }
+        // Clearance: no agent may still write into the read region —
+        // including by rolling back and re-executing, so agents with live
+        // entries are assessed from their rollback floor (their oldest
+        // entry), not their current state.
+        for m in &members {
+            let e = *self.table.front(*m).expect("front checked above");
+            if let Some(b) = self.clearance_blocker(&members, e.start_pos, e.step) {
+                self.retire_watch.entry(b.0).or_default().push(seq);
+                return;
+            }
+        }
+        // Retire the whole instance atomically.
+        self.table.remove_instance(seq);
+        for m in &members {
+            let retired = self.table.retire_front(*m);
+            debug_assert_eq!(retired.instance, seq);
+            self.stats.retired_steps += 1;
+            if let Some(next) = self.table.front(*m) {
+                self.retire_dirty.insert((next.step.0, next.instance));
+            }
+            for obs in self.table.observers_above(*m, retired.step) {
+                if let Some(i2) = self.table.instance(obs) {
+                    self.retire_dirty.insert((i2.step.0, obs));
+                }
+            }
+            self.wake_retire_watch(*m);
+        }
+    }
+
+    /// First agent that could still write into `ball(start, radius_p)` at
+    /// step `step` — the §3.2 blocking rule evaluated from each agent's
+    /// deepest possible rollback state.
+    fn clearance_blocker(
+        &self,
+        members: &[AgentId],
+        start: S::Pos,
+        step: Step,
+    ) -> Option<AgentId> {
+        // Agents without live entries: assessed at their current state.
+        for (tb, b) in self.graph.agents_at_or_below(step) {
+            if members.contains(&b) || self.table.stack_len(b) > 0 {
+                continue; // co-members retire together; entry-holders below
+            }
+            let units = self.params.blocking_units(step.0 - tb.0);
+            if self.space().within_units(start, self.graph.pos(b), units) {
+                return Some(b);
+            }
+        }
+        // Agents with live entries could squash back to their oldest
+        // entry and re-execute from there.
+        for b in self.table.occupied() {
+            if members.contains(&b) {
+                continue;
+            }
+            let front = self.table.front(b).expect("occupied agents have entries");
+            if front.step > step {
+                continue;
+            }
+            let units = self.params.blocking_units(step.0 - front.step.0);
+            if self.space().within_units(start, front.start_pos, units) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{GridSpace, Point};
+
+    const A: AgentId = AgentId(0);
+    const B: AgentId = AgentId(1);
+    const C: AgentId = AgentId(2);
+
+    fn sched(points: &[(i32, i32)], runahead: u32, target: u32) -> SpecScheduler<GridSpace> {
+        let space = Arc::new(GridSpace::new(400, 400));
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        SpecScheduler::new(
+            space,
+            RuleParams::genagent(),
+            SpecParams::new(runahead),
+            Arc::new(Db::new()),
+            &initial,
+            Step(target),
+        )
+        .unwrap()
+    }
+
+    /// Completes `c` in place (agents stay put).
+    fn finish(s: &mut SpecScheduler<GridSpace>, c: &Cluster) -> CommitOutcome {
+        let pos: Vec<(AgentId, Point)> =
+            c.members.iter().map(|m| (*m, s.graph().pos(*m))).collect();
+        s.complete(&c.id, &pos).unwrap()
+    }
+
+    /// Completes `c` moving `mover` to `to` (others stay put).
+    fn finish_moving(
+        s: &mut SpecScheduler<GridSpace>,
+        c: &Cluster,
+        mover: AgentId,
+        to: Point,
+    ) -> CommitOutcome {
+        let pos: Vec<(AgentId, Point)> = c
+            .members
+            .iter()
+            .map(|m| (*m, if *m == mover { to } else { s.graph().pos(*m) }))
+            .collect();
+        s.complete(&c.id, &pos).unwrap()
+    }
+
+    /// Runs `agent`'s singleton clusters to exhaustion (stationary),
+    /// returning how many executions committed.
+    fn run_solo(s: &mut SpecScheduler<GridSpace>, agent: AgentId) -> u32 {
+        let mut advanced = 0;
+        loop {
+            let ready = s.ready_clusters().unwrap();
+            let Some(c) = ready.iter().find(|c| c.members == vec![agent]) else {
+                assert!(ready.is_empty(), "unexpected clusters: {ready:?}");
+                return advanced;
+            };
+            let c = c.clone();
+            if finish(s, &c).committed {
+                advanced += 1;
+            }
+        }
+    }
+
+    /// Drives the scheduler to completion with stationary agents.
+    fn drain(s: &mut SpecScheduler<GridSpace>) {
+        let mut safety = 0;
+        while !s.is_done() {
+            let ready = s.ready_clusters().unwrap();
+            assert!(
+                !ready.is_empty() || s.inflight_len() > 0,
+                "no ready clusters and nothing in flight: deadlock"
+            );
+            for c in ready {
+                finish(s, &c);
+            }
+            safety += 1;
+            assert!(safety < 10_000, "failed to converge");
+        }
+    }
+
+    #[test]
+    fn conservative_mode_matches_blocking_rule() {
+        // Agents 10 apart; with runahead 0 agent B stops exactly where the
+        // conservative scheduler stops: blocked at gap 5 (10 <= (5+1)+4).
+        let mut s = sched(&[(0, 0), (10, 0)], 0, 20);
+        let ready = s.ready_clusters().unwrap();
+        assert_eq!(ready.len(), 2);
+        finish(&mut s, &ready[1]);
+        let advanced = 1 + run_solo(&mut s, B);
+        assert_eq!(advanced, 5);
+        assert_eq!(s.stats().emitted_spec, 0);
+        assert_eq!(s.stats().spec_denied, 0, "disabled speculation is not 'denied'");
+        assert_eq!(s.live_entries(), 0, "conservative executions retire eagerly");
+    }
+
+    #[test]
+    fn speculation_runs_past_conservative_block() {
+        let mut s = sched(&[(0, 0), (10, 0)], 3, 20);
+        let ready = s.ready_clusters().unwrap();
+        finish(&mut s, &ready[1]);
+        let advanced = 1 + run_solo(&mut s, B);
+        assert_eq!(advanced, 8, "5 conservative + 3 speculative");
+        assert_eq!(s.stats().emitted_spec, 3);
+        assert_eq!(s.live_entries(), 3, "speculative entries await validation");
+        assert!(s.stats().spec_denied >= 1, "budget exhaustion recorded");
+    }
+
+    #[test]
+    fn distant_laggard_commit_retires_runahead() {
+        let mut s = sched(&[(0, 0), (10, 0)], 3, 20);
+        let ready = s.ready_clusters().unwrap();
+        let c0 = ready[0].clone();
+        finish(&mut s, &ready[1]);
+        run_solo(&mut s, B);
+        assert_eq!(s.live_entries(), 3);
+        // The laggard commits step 0 in place: no overlap (distance 10 >
+        // coupling 5), and its advance retires the now-cleared entry.
+        let out = finish(&mut s, &c0);
+        assert!(out.committed);
+        assert!(s.drain_squashed().is_empty());
+        assert_eq!(s.live_entries(), 2, "entry at gap-cleared step retired");
+        assert_eq!(s.stats().squashed_steps, 0);
+    }
+
+    #[test]
+    fn emission_squash_rolls_back_overlapping_runahead() {
+        // B speculates two steps while A's step 0 is in flight; A then
+        // advances next to B's read region: emission of A's step-1
+        // cluster squashes B's stale entries, and the two agents couple.
+        let mut s = sched(&[(0, 0), (6, 0)], 2, 20);
+        let ready = s.ready_clusters().unwrap();
+        let c_a = ready[0].clone();
+        finish(&mut s, &ready[1]);
+        let advanced = 1 + run_solo(&mut s, B);
+        assert_eq!(advanced, 3, "1 firm + 2 speculative");
+        assert_eq!(s.live_entries(), 2);
+        // A commits step 0 one cell toward B: its *start* (0,0) is 6 away
+        // from B's entries, so the commit itself does not race...
+        let out = finish_moving(&mut s, &c_a, A, Point::new(1, 0));
+        assert!(out.committed);
+        assert!(s.drain_squashed().is_empty());
+        // ...but A's next emission from (1,0) is 5 away: squash, then
+        // couple.
+        let ready = s.ready_clusters().unwrap();
+        assert_eq!(s.drain_squashed(), vec![(B, Step(1)), (B, Step(2))]);
+        assert_eq!(s.graph().step(B), Step(1), "rolled back to first stale step");
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].members, vec![A, B], "squashed agent re-couples");
+        assert_eq!(ready[0].step, Step(1));
+        finish(&mut s, &ready[0]);
+        drain(&mut s);
+        assert!(s.is_done());
+        assert_eq!(s.graph().step(A), Step(20));
+        assert_eq!(s.graph().step(B), Step(20));
+    }
+
+    #[test]
+    fn inflight_speculation_is_poisoned_not_preempted() {
+        let mut s = sched(&[(0, 0), (6, 0)], 2, 20);
+        let ready = s.ready_clusters().unwrap();
+        let c_a = ready[0].clone();
+        finish(&mut s, &ready[1]); // B step 0 (firm, retires)
+        let c_b1 = s.ready_clusters().unwrap()[0].clone();
+        finish(&mut s, &c_b1); // B step 1 (speculative, entry lives)
+        assert_eq!(s.live_entries(), 1);
+        let c_b2 = s.ready_clusters().unwrap()[0].clone();
+        assert_eq!(c_b2.step, Step(2));
+        // Hold B's step-2 speculation in flight; A commits toward B.
+        let out = finish_moving(&mut s, &c_a, A, Point::new(1, 0));
+        assert!(out.committed);
+        // A's step-1 emission squashes B's entry AND poisons the flight.
+        let ready = s.ready_clusters().unwrap();
+        assert_eq!(s.drain_squashed(), vec![(B, Step(1))]);
+        assert_eq!(ready.len(), 1, "A executes alone; B is still in flight");
+        assert_eq!(ready[0].members, vec![A]);
+        let poisoned = finish(&mut s, &c_b2);
+        assert!(!poisoned.committed, "poisoned in-flight result must be dropped");
+        assert_eq!(s.stats().poisoned_clusters, 1);
+        assert_eq!(s.graph().step(B), Step(1), "B re-executes from the squash point");
+        finish(&mut s, &ready[0]);
+        drain(&mut s);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn certain_race_speculation_is_denied() {
+        // B walks adjacent to the unexecuted laggard: any further
+        // speculation is guaranteed to be squashed, so it is denied.
+        let mut s = sched(&[(0, 0), (6, 0)], 4, 20);
+        let ready = s.ready_clusters().unwrap();
+        finish(&mut s, &ready[1]); // firm step 0
+        let c_b1 = s.ready_clusters().unwrap()[0].clone();
+        finish_moving(&mut s, &c_b1, B, Point::new(5, 0)); // spec step 1
+        assert_eq!(s.live_entries(), 1);
+        let denied_at = s.stats().spec_denied;
+        assert!(s.ready_clusters().unwrap().is_empty(), "B must not run further");
+        assert_eq!(s.stats().spec_denied, denied_at + 1);
+        assert_eq!(s.live_entries(), 1, "no new speculative work");
+    }
+
+    #[test]
+    fn same_step_inflight_defers_emission() {
+        // B's speculative step 2 is in flight when A arrives at step 2
+        // within coupling range: A defers, B's stale result is then
+        // squashed, and the two couple.
+        let mut s = sched(&[(0, 0), (7, 0)], 2, 20);
+        let ready = s.ready_clusters().unwrap();
+        let c_a0 = ready[0].clone();
+        finish(&mut s, &ready[1]); // B step 0 firm
+        let c_b1 = s.ready_clusters().unwrap()[0].clone();
+        finish(&mut s, &c_b1); // B step 1 firm (7 > blocking 6)
+        let c_b2 = s.ready_clusters().unwrap()[0].clone();
+        assert_eq!(c_b2.step, Step(2), "B blocked at step 2 → speculative");
+        // Hold c_b2 in flight. A walks two steps to (2,0).
+        finish_moving(&mut s, &c_a0, A, Point::new(1, 0));
+        let c_a1 = s.ready_clusters().unwrap()[0].clone();
+        finish_moving(&mut s, &c_a1, A, Point::new(2, 0));
+        // A's step-2 cluster would sit within coupling of in-flight B@2.
+        assert!(s.ready_clusters().unwrap().is_empty(), "A must defer");
+        assert_eq!(s.stats().deferrals, 1);
+        // B's completion wakes A; its entry is then squashed at A's
+        // emission and the agents couple at step 2.
+        finish(&mut s, &c_b2);
+        let ready = s.ready_clusters().unwrap();
+        assert_eq!(s.drain_squashed(), vec![(B, Step(2))]);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].members, vec![A, B]);
+        assert_eq!(ready[0].step, Step(2));
+        finish(&mut s, &ready[0]);
+        drain(&mut s);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn coupled_speculation_squashes_partners_together() {
+        // B and C are permanently coupled; both speculate past A. A race
+        // against B's entries must take partner C's executions down too.
+        let mut s = sched(&[(0, 0), (6, 0), (8, 0)], 2, 20);
+        let ready = s.ready_clusters().unwrap();
+        assert_eq!(ready.len(), 2);
+        let c_a = ready[0].clone();
+        assert_eq!(ready[1].members, vec![B, C]);
+        let mut c_bc = ready[1].clone();
+        loop {
+            finish(&mut s, &c_bc);
+            let next = s.ready_clusters().unwrap();
+            let Some(c) = next.first() else { break };
+            c_bc = c.clone();
+        }
+        assert_eq!(s.live_entries(), 4, "two speculative joint steps");
+        finish_moving(&mut s, &c_a, A, Point::new(1, 0));
+        let ready = s.ready_clusters().unwrap();
+        let squashed = s.drain_squashed();
+        assert!(squashed.contains(&(B, Step(1))));
+        assert!(squashed.contains(&(C, Step(1))), "partner rolled back: {squashed:?}");
+        assert_eq!(squashed.len(), 4);
+        assert_eq!(s.graph().step(C), Step(1));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].members, vec![A, B, C], "all three couple after the squash");
+        finish(&mut s, &ready[0]);
+        drain(&mut s);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn successful_speculation_validates_after_laggard_passes() {
+        // B finishes the whole run speculatively; once A (far enough to
+        // never interact) catches up, everything retires with zero waste.
+        let mut s = sched(&[(0, 0), (6, 0)], 4, 3);
+        let ready = s.ready_clusters().unwrap();
+        let c_a = ready[0].clone();
+        finish(&mut s, &ready[1]);
+        run_solo(&mut s, B);
+        assert_eq!(s.graph().step(B), Step(3), "B reached the target speculatively");
+        assert!(!s.is_done(), "unvalidated speculation is not done");
+        assert_eq!(s.live_entries(), 2);
+        finish(&mut s, &c_a);
+        drain(&mut s);
+        assert!(s.is_done());
+        assert_eq!(s.stats().squashed_steps, 0, "no waste when speculation wins");
+        assert_eq!(s.stats().emitted_spec, 2);
+        assert_eq!(s.stats().retired_steps, 6);
+    }
+
+    #[test]
+    fn single_agent_trivially_completes() {
+        let mut s = sched(&[(5, 5)], 4, 10);
+        drain(&mut s);
+        assert!(s.is_done());
+        assert_eq!(s.stats().retired_steps, 10);
+        assert_eq!(s.stats().emitted_spec, 0);
+    }
+
+    #[test]
+    fn distant_agents_never_speculate() {
+        let mut s = sched(&[(0, 0), (200, 200)], 4, 3);
+        drain(&mut s);
+        let st = s.stats();
+        assert_eq!(st.emitted_spec, 0);
+        assert_eq!(st.emitted_firm, 6);
+        assert_eq!(st.retired_steps, 6);
+        assert_eq!(st.waste_ratio(), 0.0);
+    }
+
+    #[test]
+    fn completion_validation_panics_on_bad_cluster() {
+        let mut s = sched(&[(0, 0)], 0, 2);
+        let _ready = s.ready_clusters().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.complete(&ClusterId(999), &[]).unwrap();
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn skew_is_tracked() {
+        let mut s = sched(&[(0, 0), (100, 100)], 2, 4);
+        let ready = s.ready_clusters().unwrap();
+        finish(&mut s, &ready[1]);
+        run_solo(&mut s, B);
+        assert_eq!(s.current_skew(), 4);
+        assert!(s.stats().max_step_skew >= 4);
+    }
+}

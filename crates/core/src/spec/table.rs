@@ -1,0 +1,367 @@
+//! Bookkeeping for speculative executions: per-agent entry stacks, the
+//! cluster instances they ran in, and the observation index used for
+//! cascading invalidation.
+//!
+//! An **entry** records one optimistically executed agent-step: the
+//! position the agent read the world from (`start_pos`), where it ended
+//! up, and which cluster instance it executed with. Entries live from
+//! commit until they either *retire* (validated — popped from the front
+//! of the agent's stack, oldest first) or are *squashed* (invalidated —
+//! popped from the back, newest first). The two disciplines never
+//! interleave on the same entry, so each agent's live entries always form
+//! a contiguous run of steps.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use crate::ids::{AgentId, Step};
+
+/// One speculatively executed (unretired) agent-step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecEntry<P> {
+    /// The executing agent.
+    pub agent: AgentId,
+    /// The step this execution performed.
+    pub step: Step,
+    /// Position the step was executed from (the agent's state after
+    /// `step - 1`); its perception ball is centered here.
+    pub start_pos: P,
+    /// Position after the step committed.
+    pub end_pos: P,
+    /// The cluster instance this execution belonged to.
+    pub instance: u64,
+}
+
+/// A committed cluster execution whose entries are still live.
+#[derive(Debug, Clone)]
+pub(crate) struct Instance {
+    pub step: Step,
+    pub members: Vec<AgentId>,
+    /// `(agent, graph step at observation)`: speculative states within
+    /// perception range that this execution read. Invalidated when the
+    /// observed agent squashes below the observed step.
+    pub observed: Vec<(AgentId, Step)>,
+}
+
+/// The live-entry table: stacks, instances, and the observation index.
+pub struct EntryTable<P> {
+    stacks: Vec<VecDeque<SpecEntry<P>>>,
+    instances: HashMap<u64, Instance>,
+    /// observed agent → `(observed step, observing instance)`; cleaned
+    /// lazily (dead instances are skipped on read).
+    observers: HashMap<u32, Vec<(u32, u64)>>,
+    /// Agents with at least one live entry (for race scans).
+    occupied: BTreeSet<u32>,
+    live: usize,
+}
+
+impl<P> fmt::Debug for EntryTable<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EntryTable")
+            .field("agents", &self.stacks.len())
+            .field("live_entries", &self.live)
+            .field("instances", &self.instances.len())
+            .finish()
+    }
+}
+
+impl<P: Copy + fmt::Debug + PartialEq> EntryTable<P> {
+    /// Creates an empty table for `num_agents` agents.
+    pub fn new(num_agents: usize) -> Self {
+        EntryTable {
+            stacks: (0..num_agents).map(|_| VecDeque::new()).collect(),
+            instances: HashMap::new(),
+            observers: HashMap::new(),
+            occupied: BTreeSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Total live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Live entries of `agent`, oldest first.
+    pub fn stack(&self, agent: AgentId) -> impl Iterator<Item = &SpecEntry<P>> {
+        self.stacks[agent.index()].iter()
+    }
+
+    /// Number of live entries of `agent`.
+    pub fn stack_len(&self, agent: AgentId) -> usize {
+        self.stacks[agent.index()].len()
+    }
+
+    /// The oldest live entry of `agent`.
+    pub fn front(&self, agent: AgentId) -> Option<&SpecEntry<P>> {
+        self.stacks[agent.index()].front()
+    }
+
+    /// Whether `agent`'s state after `step` is still speculative, i.e. a
+    /// live entry for `step` exists.
+    pub fn has_step(&self, agent: AgentId, step: Step) -> bool {
+        let stack = &self.stacks[agent.index()];
+        match (stack.front(), stack.back()) {
+            (Some(f), Some(b)) => f.step <= step && step <= b.step,
+            _ => false,
+        }
+    }
+
+    /// Iterates every live entry (agents in id order, steps ascending).
+    pub fn iter_live(&self) -> impl Iterator<Item = &SpecEntry<P>> {
+        self.occupied.iter().flat_map(|a| self.stacks[*a as usize].iter())
+    }
+
+    /// Agents with at least one live entry, in id order.
+    pub fn occupied(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.occupied.iter().map(|a| AgentId(*a))
+    }
+
+    /// Records a committed cluster execution: one entry per member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member's new entry does not directly follow its stack
+    /// (live steps must stay contiguous) or `members` disagrees with
+    /// `entries`.
+    pub(crate) fn push_instance(
+        &mut self,
+        seq: u64,
+        step: Step,
+        entries: Vec<SpecEntry<P>>,
+        observed: Vec<(AgentId, Step)>,
+    ) {
+        debug_assert!(!entries.is_empty());
+        let members: Vec<AgentId> = entries.iter().map(|e| e.agent).collect();
+        for entry in entries {
+            debug_assert_eq!(entry.step, step);
+            debug_assert_eq!(entry.instance, seq);
+            let stack = &mut self.stacks[entry.agent.index()];
+            if let Some(back) = stack.back() {
+                assert_eq!(
+                    back.step.next(),
+                    step,
+                    "{} entry for {step} must follow {}",
+                    entry.agent,
+                    back.step
+                );
+            }
+            self.occupied.insert(entry.agent.0);
+            stack.push_back(entry);
+            self.live += 1;
+        }
+        for (obs, at) in &observed {
+            self.observers.entry(obs.0).or_default().push((at.0, seq));
+        }
+        let prev = self.instances.insert(seq, Instance { step, members, observed });
+        debug_assert!(prev.is_none(), "instance {seq} recorded twice");
+    }
+
+    /// The instance record for `seq`, if its entries are still live.
+    pub(crate) fn instance(&self, seq: u64) -> Option<&Instance> {
+        self.instances.get(&seq)
+    }
+
+    /// Drops `agent`'s entries at steps `>= step` (newest first),
+    /// returning them oldest-first.
+    ///
+    /// Instance records are *not* removed: the squash cascade needs their
+    /// member lists to roll cluster partners back, and removes each record
+    /// once via `remove_instance`.
+    pub fn squash_from(&mut self, agent: AgentId, step: Step) -> Vec<SpecEntry<P>> {
+        let stack = &mut self.stacks[agent.index()];
+        let mut dropped = Vec::new();
+        while stack.back().is_some_and(|e| e.step >= step) {
+            let entry = stack.pop_back().expect("checked non-empty");
+            self.live -= 1;
+            dropped.push(entry);
+        }
+        if stack.is_empty() {
+            self.occupied.remove(&agent.0);
+        }
+        dropped.reverse();
+        dropped
+    }
+
+    /// Retires the oldest entry of `agent`.
+    ///
+    /// The caller (the retirement pass) must retire whole instances: it
+    /// removes the instance record once via `remove_instance` and pops
+    /// each member's front entry with this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` has no live entries.
+    pub fn retire_front(&mut self, agent: AgentId) -> SpecEntry<P> {
+        let stack = &mut self.stacks[agent.index()];
+        let entry = stack.pop_front().unwrap_or_else(|| panic!("{agent} has no live entries"));
+        self.live -= 1;
+        if stack.is_empty() {
+            self.occupied.remove(&agent.0);
+        }
+        entry
+    }
+
+    /// Removes an instance record (used by retirement; squash removes
+    /// records as it drops entries).
+    pub(crate) fn remove_instance(&mut self, seq: u64) -> Option<Instance> {
+        self.instances.remove(&seq)
+    }
+
+    /// Live instances that observed `agent` at a step strictly greater
+    /// than `step` — their reads consumed state that a squash of `agent`
+    /// back to `step` discards.
+    pub fn observers_above(&mut self, agent: AgentId, step: Step) -> Vec<u64> {
+        let Some(list) = self.observers.get_mut(&agent.0) else { return Vec::new() };
+        // Lazily drop edges whose instance is gone.
+        list.retain(|(_, seq)| self.instances.contains_key(seq));
+        let out: Vec<u64> = list
+            .iter()
+            .filter(|(at, _)| Step(*at) > step)
+            .map(|(_, seq)| *seq)
+            .collect();
+        if list.is_empty() {
+            self.observers.remove(&agent.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Point;
+
+    fn entry(agent: u32, step: u32, x: i32, instance: u64) -> SpecEntry<Point> {
+        SpecEntry {
+            agent: AgentId(agent),
+            step: Step(step),
+            start_pos: Point::new(x, 0),
+            end_pos: Point::new(x + 1, 0),
+            instance,
+        }
+    }
+
+    #[test]
+    fn push_and_query_stack() {
+        let mut t = EntryTable::new(3);
+        assert!(t.is_empty());
+        t.push_instance(0, Step(0), vec![entry(1, 0, 5, 0)], vec![]);
+        t.push_instance(1, Step(1), vec![entry(1, 1, 6, 1)], vec![]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.stack_len(AgentId(1)), 2);
+        assert_eq!(t.stack_len(AgentId(0)), 0);
+        assert_eq!(t.front(AgentId(1)).unwrap().step, Step(0));
+        assert!(t.has_step(AgentId(1), Step(0)));
+        assert!(t.has_step(AgentId(1), Step(1)));
+        assert!(!t.has_step(AgentId(1), Step(2)));
+        assert!(!t.has_step(AgentId(0), Step(0)));
+        assert_eq!(t.iter_live().count(), 2);
+    }
+
+    #[test]
+    fn push_joint_instance_records_members() {
+        let mut t = EntryTable::new(3);
+        t.push_instance(7, Step(2), vec![entry(0, 2, 0, 7), entry(2, 2, 3, 7)], vec![]);
+        let inst = t.instance(7).unwrap();
+        assert_eq!(inst.step, Step(2));
+        assert_eq!(inst.members, vec![AgentId(0), AgentId(2)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must follow")]
+    fn non_contiguous_push_panics() {
+        let mut t = EntryTable::new(1);
+        t.push_instance(0, Step(0), vec![entry(0, 0, 0, 0)], vec![]);
+        t.push_instance(1, Step(2), vec![entry(0, 2, 0, 1)], vec![]);
+    }
+
+    #[test]
+    fn squash_drops_newest_first_and_instances() {
+        let mut t = EntryTable::new(1);
+        for s in 0..4 {
+            t.push_instance(s as u64, Step(s), vec![entry(0, s, s as i32, s as u64)], vec![]);
+        }
+        let dropped = t.squash_from(AgentId(0), Step(2));
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(dropped[0].step, Step(2), "returned oldest-first");
+        assert_eq!(dropped[1].step, Step(3));
+        assert_eq!(t.stack_len(AgentId(0)), 2);
+        // Records stay until the cascade removes them explicitly.
+        assert!(t.instance(2).is_some());
+        for e in &dropped {
+            t.remove_instance(e.instance);
+        }
+        assert!(t.instance(2).is_none());
+        assert!(t.instance(3).is_none());
+        assert!(t.instance(1).is_some());
+        // Squashing below everything empties the stack.
+        let rest = t.squash_from(AgentId(0), Step(0));
+        assert_eq!(rest.len(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.iter_live().count(), 0);
+    }
+
+    #[test]
+    fn squash_from_future_step_is_noop() {
+        let mut t = EntryTable::new(1);
+        t.push_instance(0, Step(0), vec![entry(0, 0, 0, 0)], vec![]);
+        assert!(t.squash_from(AgentId(0), Step(5)).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn retire_pops_oldest() {
+        let mut t = EntryTable::new(1);
+        t.push_instance(0, Step(3), vec![entry(0, 3, 0, 0)], vec![]);
+        t.push_instance(1, Step(4), vec![entry(0, 4, 1, 1)], vec![]);
+        let retired = t.retire_front(AgentId(0));
+        assert_eq!(retired.step, Step(3));
+        assert_eq!(t.front(AgentId(0)).unwrap().step, Step(4));
+        t.remove_instance(0);
+        assert!(t.instance(0).is_none());
+    }
+
+    #[test]
+    fn observers_filter_by_step_and_liveness() {
+        let mut t = EntryTable::new(3);
+        // Instance 0 observed agent 2 at step 3; instance 1 at step 5.
+        t.push_instance(0, Step(6), vec![entry(0, 6, 0, 0)], vec![(AgentId(2), Step(3))]);
+        t.push_instance(1, Step(6), vec![entry(1, 6, 50, 1)], vec![(AgentId(2), Step(5))]);
+        // Squash of agent 2 back to step 4 invalidates only instance 1.
+        assert_eq!(t.observers_above(AgentId(2), Step(4)), vec![1]);
+        // Squash to step 2 invalidates both.
+        let mut both = t.observers_above(AgentId(2), Step(2));
+        both.sort_unstable();
+        assert_eq!(both, vec![0, 1]);
+        // Dead instances are skipped (and cleaned).
+        for e in t.squash_from(AgentId(1), Step(6)) {
+            t.remove_instance(e.instance);
+        }
+        assert_eq!(t.observers_above(AgentId(2), Step(2)), vec![0]);
+    }
+
+    #[test]
+    fn observers_of_unobserved_agent_is_empty() {
+        let mut t = EntryTable::<Point>::new(2);
+        assert!(t.observers_above(AgentId(0), Step(0)).is_empty());
+    }
+
+    #[test]
+    fn contiguity_after_squash_then_push() {
+        let mut t = EntryTable::new(1);
+        t.push_instance(0, Step(0), vec![entry(0, 0, 0, 0)], vec![]);
+        t.push_instance(1, Step(1), vec![entry(0, 1, 1, 1)], vec![]);
+        t.squash_from(AgentId(0), Step(1));
+        // Re-execution of step 1 pushes again at the back.
+        t.push_instance(2, Step(1), vec![entry(0, 1, 9, 2)], vec![]);
+        assert_eq!(t.stack_len(AgentId(0)), 2);
+        assert_eq!(t.front(AgentId(0)).unwrap().step, Step(0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Workload abstraction: what each agent does at each step.
+//!
+//! The paper benchmarks in *replay mode* (§4.1): recorded traces fix every
+//! agent's LLM calls (with token counts) and movement, so different
+//! schedulers can be compared on identical work. [`Workload`] is that
+//! replay interface; `aim-trace` implements it for recorded/synthesized
+//! traces, and tests implement it inline with closures or tables.
+
+use aim_llm::CallKind;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AgentId, Step};
+
+/// One LLM call an agent makes during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallSpec {
+    /// Prompt tokens.
+    pub input_tokens: u32,
+    /// Generation tokens (replayed with `ignore_eos` semantics).
+    pub output_tokens: u32,
+    /// Which agent function issued it.
+    pub kind: CallKind,
+}
+
+impl CallSpec {
+    /// Creates a call spec.
+    pub fn new(input_tokens: u32, output_tokens: u32, kind: CallKind) -> Self {
+        CallSpec { input_tokens, output_tokens, kind }
+    }
+}
+
+/// A replayable workload over positions of type `P`.
+///
+/// Implementations must be deterministic: the executor may query the same
+/// `(agent, step)` multiple times.
+pub trait Workload<P>: Send + Sync {
+    /// Number of agents (ids are `0..num_agents`).
+    fn num_agents(&self) -> usize;
+
+    /// Steps to execute (agents run steps `0..target_step`).
+    fn target_step(&self) -> Step;
+
+    /// Where `agent` starts (before step 0).
+    fn initial_pos(&self, agent: AgentId) -> P;
+
+    /// The LLM calls `agent` performs during `step`, in issue order
+    /// (each call waits for the previous one's response — Algorithm 2's
+    /// perceive → retrieve → plan chain).
+    fn calls(&self, agent: AgentId, step: Step) -> Vec<CallSpec>;
+
+    /// Where `agent` is after committing `step`.
+    fn pos_after(&self, agent: AgentId, step: Step) -> P;
+
+    /// Total LLM calls in the whole workload (for reporting); the default
+    /// sums [`Workload::calls`] over all agent-steps.
+    fn total_calls(&self) -> u64 {
+        let mut n = 0u64;
+        for a in 0..self.num_agents() {
+            for s in 0..self.target_step().0 {
+                n += self.calls(AgentId(a as u32), Step(s)).len() as u64;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Small table-driven workloads shared by executor tests.
+
+    use super::*;
+    use crate::space::Point;
+    use std::collections::HashMap;
+
+    /// A workload defined by explicit tables; agents default to staying at
+    /// their initial position issuing no calls.
+    #[derive(Debug, Clone)]
+    pub struct TableWorkload {
+        pub n: usize,
+        pub target: Step,
+        pub initial: Vec<Point>,
+        pub calls: HashMap<(u32, u32), Vec<CallSpec>>,
+        pub moves: HashMap<(u32, u32), Point>,
+    }
+
+    impl TableWorkload {
+        pub fn stationary(initial: Vec<Point>, target: u32) -> Self {
+            TableWorkload {
+                n: initial.len(),
+                target: Step(target),
+                initial,
+                calls: HashMap::new(),
+                moves: HashMap::new(),
+            }
+        }
+
+        pub fn with_call(mut self, agent: u32, step: u32, spec: CallSpec) -> Self {
+            self.calls.entry((agent, step)).or_default().push(spec);
+            self
+        }
+
+        pub fn with_move(mut self, agent: u32, step: u32, to: Point) -> Self {
+            self.moves.insert((agent, step), to);
+            self
+        }
+    }
+
+    impl Workload<Point> for TableWorkload {
+        fn num_agents(&self) -> usize {
+            self.n
+        }
+        fn target_step(&self) -> Step {
+            self.target
+        }
+        fn initial_pos(&self, agent: AgentId) -> Point {
+            self.initial[agent.index()]
+        }
+        fn calls(&self, agent: AgentId, step: Step) -> Vec<CallSpec> {
+            self.calls.get(&(agent.0, step.0)).cloned().unwrap_or_default()
+        }
+        fn pos_after(&self, agent: AgentId, step: Step) -> Point {
+            // Last explicit move at or before `step`, else initial.
+            (0..=step.0)
+                .rev()
+                .find_map(|s| self.moves.get(&(agent.0, s)))
+                .copied()
+                .unwrap_or(self.initial[agent.index()])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::TableWorkload;
+    use super::*;
+    use crate::space::Point;
+
+    #[test]
+    fn table_workload_defaults() {
+        let w = TableWorkload::stationary(vec![Point::new(1, 1)], 3);
+        assert_eq!(w.num_agents(), 1);
+        assert_eq!(w.target_step(), Step(3));
+        assert!(w.calls(AgentId(0), Step(0)).is_empty());
+        assert_eq!(w.pos_after(AgentId(0), Step(2)), Point::new(1, 1));
+        assert_eq!(w.total_calls(), 0);
+    }
+
+    #[test]
+    fn table_workload_with_entries() {
+        let w = TableWorkload::stationary(vec![Point::new(0, 0)], 3)
+            .with_call(0, 1, CallSpec::new(100, 10, CallKind::Plan))
+            .with_call(0, 1, CallSpec::new(50, 5, CallKind::Reflect))
+            .with_move(0, 1, Point::new(1, 0));
+        assert_eq!(w.calls(AgentId(0), Step(1)).len(), 2);
+        assert_eq!(w.total_calls(), 2);
+        assert_eq!(w.pos_after(AgentId(0), Step(0)), Point::new(0, 0));
+        assert_eq!(w.pos_after(AgentId(0), Step(1)), Point::new(1, 0));
+        assert_eq!(w.pos_after(AgentId(0), Step(2)), Point::new(1, 0), "moves persist");
+    }
+}

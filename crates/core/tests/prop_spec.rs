@@ -1,0 +1,295 @@
+//! Property tests for speculative execution (paper §6, `aim_core::spec`).
+//!
+//! The contract under test: for *any* agent layout, movement pattern,
+//! run-ahead budget, and adversarial completion order, the speculative
+//! scheduler (a) terminates with every agent retired at the target step,
+//! (b) produces exactly the same simulation outcome as the conservative
+//! §3.2 schedule (replay determinism makes outcomes comparable), and
+//! (c) keeps its books straight — every emitted execution is eventually
+//! retired exactly once or reported squashed/poisoned.
+
+use std::sync::Arc;
+
+use aim_core::policy::DependencyPolicy;
+use aim_core::prelude::*;
+use aim_core::spec::{SpecParams, SpecScheduler};
+use aim_core::workload::CallSpec;
+use aim_llm::{presets, CallKind, ServerConfig, SimServer};
+use aim_store::Db;
+use proptest::prelude::*;
+
+/// Deterministic per-(agent, step) hash — the replay-mode contract.
+fn mix(seed: u64, agent: u32, step: u32) -> u64 {
+    let mut x = seed ^ ((agent as u64) << 32) ^ step as u64;
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 32;
+    x
+}
+
+/// A replayable workload whose calls and unit-step movement derive from a
+/// seed: identical queries always return identical answers, so squashed
+/// steps re-execute bit-identically (the paper's replay mode).
+#[derive(Debug, Clone)]
+struct HashWorkload {
+    initial: Vec<Point>,
+    target: Step,
+    seed: u64,
+}
+
+impl HashWorkload {
+    fn pos(&self, agent: AgentId, steps_done: u32) -> Point {
+        let mut p = self.initial[agent.index()];
+        for s in 0..steps_done {
+            let d = mix(self.seed, agent.0, s) % 5;
+            let (dx, dy) = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)][d as usize];
+            p = Point::new(p.x + dx, p.y + dy);
+        }
+        p
+    }
+}
+
+impl Workload<Point> for HashWorkload {
+    fn num_agents(&self) -> usize {
+        self.initial.len()
+    }
+    fn target_step(&self) -> Step {
+        self.target
+    }
+    fn initial_pos(&self, agent: AgentId) -> Point {
+        self.initial[agent.index()]
+    }
+    fn calls(&self, agent: AgentId, step: Step) -> Vec<CallSpec> {
+        let h = mix(self.seed ^ 0xabcd, agent.0, step.0);
+        let n = (h % 3) as usize; // 0..=2 calls per step
+        (0..n)
+            .map(|i| {
+                let hh = mix(h, agent.0, i as u32);
+                CallSpec::new(50 + (hh % 300) as u32, 4 + (hh % 40) as u32, CallKind::Plan)
+            })
+            .collect()
+    }
+    fn pos_after(&self, agent: AgentId, step: Step) -> Point {
+        self.pos(agent, step.0 + 1)
+    }
+}
+
+fn arb_points(n: usize, extent: i32) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0..extent, 0..extent), n..=n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+/// Runs the conservative scheduler over the workload (complete everything
+/// each round) and returns the final per-agent positions.
+fn conservative_outcome(w: &HashWorkload) -> Vec<Point> {
+    let mut sched = Scheduler::new(
+        Arc::new(GridSpace::new(64, 64)),
+        RuleParams::genagent(),
+        DependencyPolicy::Spatiotemporal,
+        Arc::new(Db::new()),
+        &w.initial,
+        w.target,
+    )
+    .unwrap();
+    let mut safety = 0;
+    while !sched.is_done() {
+        safety += 1;
+        assert!(safety < 100_000, "conservative run failed to converge");
+        for c in sched.ready_clusters() {
+            let pos: Vec<(AgentId, Point)> =
+                c.members.iter().map(|m| (*m, w.pos_after(*m, c.step))).collect();
+            sched.complete(&c.id, &pos).unwrap();
+        }
+    }
+    (0..w.initial.len()).map(|a| sched.graph().pos(AgentId(a as u32))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adversarial speculative execution: random completion order, random
+    /// run-ahead budget, seeded movement. Must terminate fully retired
+    /// with the conservative outcome and consistent accounting.
+    #[test]
+    fn adversarial_spec_schedules_terminate_and_match(
+        points in arb_points(7, 24),
+        target in 2u32..7,
+        runahead in 0u32..5,
+        seed in any::<u64>(),
+        picks in proptest::collection::vec(any::<u16>(), 0..600),
+    ) {
+        let w = HashWorkload { initial: points.clone(), target: Step(target), seed };
+        let expected = conservative_outcome(&w);
+
+        let mut sched = SpecScheduler::new(
+            Arc::new(GridSpace::new(64, 64)),
+            RuleParams::genagent(),
+            SpecParams::new(runahead),
+            Arc::new(Db::new()),
+            &points,
+            Step(target),
+        ).unwrap();
+
+        let mut pending: Vec<Cluster> = Vec::new();
+        let mut pick_iter = picks.into_iter();
+        let mut squash_total = 0usize;
+        let mut safety = 0;
+        while !sched.is_done() {
+            safety += 1;
+            prop_assert!(safety < 50_000, "speculative run failed to converge");
+            pending.extend(sched.ready_clusters().unwrap());
+            squash_total += sched.drain_squashed().len();
+            prop_assert!(
+                !pending.is_empty() || sched.inflight_len() > 0,
+                "deadlock: nothing ready, nothing in flight"
+            );
+            if pending.is_empty() {
+                continue;
+            }
+            let pick = pick_iter.next().unwrap_or(0) as usize % pending.len();
+            let cluster = pending.swap_remove(pick);
+            let pos: Vec<(AgentId, Point)> = cluster
+                .members
+                .iter()
+                .map(|m| (*m, w.pos_after(*m, cluster.step)))
+                .collect();
+            sched.complete(&cluster.id, &pos).unwrap();
+            squash_total += sched.drain_squashed().len();
+        }
+        prop_assert_eq!(pending.len(), 0, "nothing may remain pending at completion");
+        prop_assert_eq!(sched.live_entries(), 0);
+
+        // Outcome equivalence with the conservative schedule.
+        for a in 0..points.len() {
+            prop_assert_eq!(sched.graph().step(AgentId(a as u32)), Step(target));
+            prop_assert_eq!(
+                sched.graph().pos(AgentId(a as u32)),
+                expected[a],
+                "agent {} final position diverged", a
+            );
+        }
+        prop_assert!(sched.graph().validate().is_ok());
+
+        // Accounting: every agent-step retires exactly once; emissions
+        // cover retirements plus discarded work; the squash log matches
+        // the squash counter.
+        let st = sched.stats();
+        prop_assert_eq!(st.retired_steps, (points.len() as u64) * target as u64);
+        prop_assert_eq!(squash_total as u64, st.squashed_steps);
+        prop_assert_eq!(
+            st.agent_steps,
+            st.retired_steps + st.squashed_steps + st.poisoned_steps,
+            "every emitted execution must retire or be discarded"
+        );
+        if runahead == 0 {
+            prop_assert_eq!(st.emitted_spec, 0);
+            prop_assert_eq!(st.squashed_steps, 0, "no speculation, no waste");
+            prop_assert_eq!(st.poisoned_clusters, 0);
+        }
+    }
+
+    /// With run-ahead 0 the speculative scheduler emits the conservative
+    /// schedule verbatim (same clusters, same order, round by round).
+    #[test]
+    fn spec_zero_emits_conservative_schedule(
+        points in arb_points(8, 20),
+        target in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let w = HashWorkload { initial: points.clone(), target: Step(target), seed };
+        let space = Arc::new(GridSpace::new(64, 64));
+        let mut cons = Scheduler::new(
+            Arc::clone(&space),
+            RuleParams::genagent(),
+            DependencyPolicy::Spatiotemporal,
+            Arc::new(Db::new()),
+            &points,
+            Step(target),
+        ).unwrap();
+        let mut spec = SpecScheduler::new(
+            space,
+            RuleParams::genagent(),
+            SpecParams::conservative(),
+            Arc::new(Db::new()),
+            &points,
+            Step(target),
+        ).unwrap();
+
+        let mut safety = 0;
+        loop {
+            safety += 1;
+            prop_assert!(safety < 50_000);
+            let a = cons.ready_clusters();
+            let b = spec.ready_clusters().unwrap();
+            let a_sig: Vec<(Step, Vec<AgentId>)> =
+                a.iter().map(|c| (c.step, c.members.clone())).collect();
+            let b_sig: Vec<(Step, Vec<AgentId>)> =
+                b.iter().map(|c| (c.step, c.members.clone())).collect();
+            prop_assert_eq!(&a_sig, &b_sig, "schedules diverged");
+            if a.is_empty() {
+                break;
+            }
+            for c in a {
+                let pos: Vec<(AgentId, Point)> =
+                    c.members.iter().map(|m| (*m, w.pos_after(*m, c.step))).collect();
+                cons.complete(&c.id, &pos).unwrap();
+            }
+            for c in b {
+                let pos: Vec<(AgentId, Point)> =
+                    c.members.iter().map(|m| (*m, w.pos_after(*m, c.step))).collect();
+                spec.complete(&c.id, &pos).unwrap();
+            }
+        }
+        prop_assert!(cons.is_done());
+        prop_assert!(spec.is_done());
+        prop_assert_eq!(spec.drain_squashed().len(), 0);
+    }
+
+    /// Executor-level: the speculative DES run completes for any budget,
+    /// never loses work (issued calls ≥ workload calls; the surplus is
+    /// exactly the re-executed waste), and speculation never slows the
+    /// virtual-time completion compared to run-ahead 0.
+    #[test]
+    fn spec_executor_accounting_holds(
+        points in arb_points(6, 22),
+        target in 2u32..6,
+        runahead in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let w = HashWorkload { initial: points.clone(), target: Step(target), seed };
+        let run = |budget: u32| {
+            let mut sched = SpecScheduler::new(
+                Arc::new(GridSpace::new(64, 64)),
+                RuleParams::genagent(),
+                SpecParams::new(budget),
+                Arc::new(Db::new()),
+                &points,
+                Step(target),
+            ).unwrap();
+            let mut server =
+                SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 1, true));
+            aim_core::spec::run_spec_sim(
+                &mut sched,
+                &w,
+                &mut server,
+                &aim_core::exec::sim::SimConfig::default(),
+            ).unwrap()
+        };
+        let base = run(0);
+        let ahead = run(runahead);
+        let workload_calls = w.total_calls();
+        prop_assert_eq!(base.total_calls, workload_calls, "runahead 0 never re-executes");
+        let sr = ahead.spec.clone().unwrap();
+        prop_assert_eq!(
+            ahead.total_calls,
+            workload_calls + sr.wasted_calls,
+            "issued = workload + re-executed waste"
+        );
+        prop_assert!(
+            ahead.total_input_tokens >= base.total_input_tokens,
+            "re-execution can only add tokens"
+        );
+    }
+}
+

@@ -1,0 +1,247 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::request::{LlmRequest, LlmResponse, RequestId};
+use crate::server::{ServerConfig, SimServer};
+use crate::time::VirtualTime;
+
+/// A blocking LLM inference backend, as seen by the threaded runtime's
+/// worker threads (paper §3.6: workers talk to the serving engine through a
+/// thin shim layer).
+///
+/// Implementations must be shareable across worker threads. The engine
+/// never preempts an in-flight call (§3.5), so `call` simply blocks until
+/// the response is available. Implement this trait to connect a real
+/// serving engine (e.g. an OpenAI-compatible HTTP endpoint); this crate
+/// ships [`InstantBackend`] for tests and [`RealtimeSimBackend`], which
+/// serves calls from the virtual-time simulator paced against the wall
+/// clock.
+pub trait LlmBackend: Send + Sync {
+    /// Executes one request to completion.
+    fn call(&self, req: &LlmRequest) -> LlmResponse;
+
+    /// Human-readable backend description (for logs and reports).
+    fn describe(&self) -> String {
+        "llm-backend".to_string()
+    }
+}
+
+/// A backend that completes every call immediately.
+///
+/// Useful for scheduler-logic tests where serving time is irrelevant.
+///
+/// # Example
+///
+/// ```
+/// use aim_llm::{CallKind, InstantBackend, LlmBackend, LlmRequest, RequestId};
+///
+/// let b = InstantBackend::new();
+/// let r = b.call(&LlmRequest::new(RequestId(0), 0, 0, 100, 7, CallKind::Plan));
+/// assert_eq!(r.output_tokens, 7);
+/// assert_eq!(b.calls(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct InstantBackend {
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl InstantBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of calls served so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl LlmBackend for InstantBackend {
+    fn call(&self, req: &LlmRequest) -> LlmResponse {
+        self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        LlmResponse { id: req.id, output_tokens: req.output_tokens }
+    }
+
+    fn describe(&self) -> String {
+        "instant".to_string()
+    }
+}
+
+struct RtInner {
+    server: SimServer,
+    done: HashMap<RequestId, u32>,
+}
+
+/// An [`LlmBackend`] that answers calls from the virtual-time
+/// [`SimServer`], pacing completions against the wall clock.
+///
+/// One wall-clock second corresponds to [`RealtimeSimBackend::time_scale`]
+/// virtual seconds, so demos can run a "realistic" deployment sped up by,
+/// say, 100×. Multiple worker threads may call concurrently; their requests
+/// batch inside the shared simulated engine exactly as they would in a real
+/// continuous-batching server — so the *threaded* runtime exhibits the same
+/// batching economics as the discrete-event runtime.
+pub struct RealtimeSimBackend {
+    inner: Mutex<RtInner>,
+    progressed: Condvar,
+    epoch: Instant,
+    time_scale: f64,
+    name: String,
+}
+
+impl fmt::Debug for RealtimeSimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RealtimeSimBackend")
+            .field("name", &self.name)
+            .field("time_scale", &self.time_scale)
+            .finish()
+    }
+}
+
+impl RealtimeSimBackend {
+    /// Creates a backend over `cfg`, running `time_scale` virtual seconds
+    /// per wall-clock second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not finite and positive.
+    pub fn new(cfg: ServerConfig, time_scale: f64) -> Self {
+        assert!(time_scale.is_finite() && time_scale > 0.0, "time_scale must be positive");
+        let name = format!("realtime-sim({}, {}x)", cfg.name, time_scale);
+        RealtimeSimBackend {
+            inner: Mutex::new(RtInner { server: SimServer::new(cfg), done: HashMap::new() }),
+            progressed: Condvar::new(),
+            epoch: Instant::now(),
+            time_scale,
+            name,
+        }
+    }
+
+    /// Virtual seconds simulated per wall-clock second.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    fn wall_to_virtual(&self, wall: Duration) -> VirtualTime {
+        VirtualTime::from_secs_f64(wall.as_secs_f64() * self.time_scale)
+    }
+
+    fn virtual_to_wall(&self, vt: VirtualTime) -> Duration {
+        Duration::from_secs_f64(vt.as_secs_f64() / self.time_scale)
+    }
+
+    fn pump(&self, inner: &mut RtInner) {
+        // Advance the simulator to "wall now" (in virtual units), stashing
+        // completions. Never move the clock backwards.
+        let vt_now = self.wall_to_virtual(self.epoch.elapsed()).max(inner.server.now());
+        for c in inner.server.advance(vt_now) {
+            inner.done.insert(c.req.id, c.req.output_tokens);
+        }
+    }
+}
+
+impl LlmBackend for RealtimeSimBackend {
+    fn call(&self, req: &LlmRequest) -> LlmResponse {
+        let mut inner = self.inner.lock();
+        self.pump(&mut inner);
+        let now = inner.server.now();
+        inner.server.submit(now, *req);
+        self.progressed.notify_all();
+        loop {
+            if let Some(output_tokens) = inner.done.remove(&req.id) {
+                self.progressed.notify_all();
+                return LlmResponse { id: req.id, output_tokens };
+            }
+            match inner.server.next_event() {
+                Some(t) => {
+                    let wall_deadline = self.epoch + self.virtual_to_wall(t);
+                    let timed_out = self
+                        .progressed
+                        .wait_until(&mut inner, wall_deadline)
+                        .timed_out();
+                    if timed_out {
+                        self.pump(&mut inner);
+                        self.progressed.notify_all();
+                    }
+                }
+                None => {
+                    // Our request is outstanding but the engine is idle —
+                    // another thread must pump; wait briefly and retry.
+                    self.progressed
+                        .wait_for(&mut inner, Duration::from_millis(1));
+                    self.pump(&mut inner);
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::request::CallKind;
+    use std::sync::Arc;
+
+    fn fast_cfg() -> ServerConfig {
+        // tiny preset at 10_000x wall speed keeps the test fast.
+        ServerConfig::from_preset(presets::tiny_test(), 2, true)
+    }
+
+    #[test]
+    fn instant_backend_counts_calls() {
+        let b = InstantBackend::new();
+        for i in 0..5 {
+            b.call(&LlmRequest::new(RequestId(i), 0, 0, 10, 3, CallKind::Other));
+        }
+        assert_eq!(b.calls(), 5);
+        assert_eq!(b.describe(), "instant");
+    }
+
+    #[test]
+    fn realtime_backend_serves_single_call() {
+        let b = RealtimeSimBackend::new(fast_cfg(), 50_000.0);
+        let r = b.call(&LlmRequest::new(RequestId(1), 0, 0, 100, 4, CallKind::Plan));
+        assert_eq!(r.id, RequestId(1));
+        assert_eq!(r.output_tokens, 4);
+    }
+
+    #[test]
+    fn realtime_backend_serves_concurrent_calls() {
+        let b = Arc::new(RealtimeSimBackend::new(fast_cfg(), 50_000.0));
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let r = b.call(&LlmRequest::new(
+                        RequestId(i),
+                        i as u32,
+                        i % 3,
+                        50 + (i as u32) * 10,
+                        2 + (i as u32) % 5,
+                        CallKind::Converse,
+                    ));
+                    assert_eq!(r.id, RequestId(i));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn backend_is_object_safe() {
+        let b: Box<dyn LlmBackend> = Box::new(InstantBackend::new());
+        let r = b.call(&LlmRequest::new(RequestId(0), 0, 0, 1, 1, CallKind::Other));
+        assert_eq!(r.output_tokens, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! # aim-llm
+//!
+//! LLM serving for AI Metropolis: request/response types, an analytical
+//! cost model, a **virtual-time continuous-batching serving simulator**, and
+//! the [`LlmBackend`] trait for plugging real engines into the threaded
+//! runtime.
+//!
+//! The AI Metropolis paper (§4.1) evaluates against SGLang running Llama-3
+//! 8B/70B and Mixtral 8×7B on NVIDIA L4 and A100 GPUs. Those GPUs are not
+//! available here, so this crate substitutes a *simulated* serving engine
+//! ([`SimServer`]) that reproduces the performance characteristics the
+//! scheduler interacts with:
+//!
+//! * **iteration-level continuous batching** (Orca/vLLM/SGLang style): each
+//!   engine iteration decodes every running sequence once and processes a
+//!   bounded chunk of pending prefill;
+//! * a **concave throughput-vs-batch curve**: iterations have a latency
+//!   floor (weight streaming, [`CostModel::iter_floor_us`]) so small batches
+//!   underutilize the GPU and throughput saturates around
+//!   [`CostModel::saturation_batch`] — this is exactly why the paper's
+//!   out-of-order scheduling wins by raising concurrency;
+//! * **priority admission without preemption** (§3.5): pending requests are
+//!   admitted lowest-simulation-step first when priorities are enabled,
+//!   FIFO otherwise;
+//! * **data parallelism** across replicas with shortest-queue routing, and
+//!   tensor-parallel presets whose cost models fold in TP efficiency;
+//! * **KV-cache capacity** limits with reserve-on-admit accounting.
+//!
+//! Calibrated hardware/model presets live in [`presets`]; each documents the
+//! arithmetic tying it to public hardware numbers.
+//!
+//! # Example: simulate a burst of requests
+//!
+//! ```
+//! use aim_llm::{presets, CallKind, LlmRequest, RequestId, ServerConfig, SimServer, VirtualTime};
+//!
+//! let cfg = ServerConfig::from_preset(presets::l4_llama3_8b(), 1, true);
+//! let mut server = SimServer::new(cfg);
+//! for i in 0..8 {
+//!     server.submit(
+//!         VirtualTime::ZERO,
+//!         LlmRequest::new(RequestId(i), i as u32, 0, 640, 22, CallKind::Plan),
+//!     );
+//! }
+//! let mut done = 0;
+//! while let Some(t) = server.next_event() {
+//!     done += server.advance(t).len();
+//! }
+//! assert_eq!(done, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod cost;
+pub mod presets;
+mod request;
+mod server;
+mod time;
+
+pub use backend::{InstantBackend, LlmBackend, RealtimeSimBackend};
+pub use cost::CostModel;
+pub use presets::Preset;
+pub use request::{CallKind, Lane, LlmRequest, LlmResponse, RequestId};
+pub use server::{Completion, ReplicaMetrics, ServerConfig, ServerMetrics, SimServer};
+pub use time::VirtualTime;

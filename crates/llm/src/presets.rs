@@ -1,0 +1,198 @@
+//! Calibrated hardware/model presets for the serving simulator.
+//!
+//! Each preset models **one data-parallel replica** of a deployment from the
+//! paper's evaluation (§4.1); tensor parallelism is folded into the cost
+//! model, so e.g. a TP-4 Llama-3-70B replica occupies
+//! [`Preset::gpus_per_replica`]` = 4` physical GPUs. The numbers are derived
+//! from public hardware specs (memory bandwidth for the decode floor, FLOPs
+//! at a realistic MFU for prefill) and are intended to reproduce the *shape*
+//! of the paper's results — who wins and by what factor — not absolute
+//! seconds on the authors' testbed.
+
+use crate::cost::CostModel;
+
+/// A named, calibrated replica configuration.
+///
+/// Use [`crate::ServerConfig::from_preset`] to instantiate a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preset {
+    /// Identifier such as `"L4/llama3-8b"`.
+    pub name: &'static str,
+    /// Iteration cost model of one replica.
+    pub cost: CostModel,
+    /// Maximum concurrently running sequences per replica.
+    pub max_running: u32,
+    /// Per-replica KV cache capacity in tokens.
+    pub kv_capacity_tokens: u64,
+    /// Chunked-prefill budget per iteration, tokens.
+    pub prefill_chunk: u32,
+    /// Physical GPUs consumed by one replica (TP degree).
+    pub gpus_per_replica: u32,
+}
+
+impl Preset {
+    /// Number of replicas a deployment of `gpus` GPUs provides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is not a positive multiple of
+    /// [`Preset::gpus_per_replica`].
+    pub fn replicas_for_gpus(&self, gpus: u32) -> u32 {
+        assert!(
+            gpus > 0 && gpus % self.gpus_per_replica == 0,
+            "{} requires a multiple of {} GPUs, got {gpus}",
+            self.name,
+            self.gpus_per_replica
+        );
+        gpus / self.gpus_per_replica
+    }
+}
+
+/// Llama-3-8B-Instruct on one NVIDIA L4 (paper Figs. 4a and 5).
+///
+/// Calibration: an L4 has ≈300 GB/s of memory bandwidth and ≈121 TFLOPS
+/// dense FP16. Streaming 16 GB of FP16 weights gives a ≈53 ms decode floor
+/// (≈19 tok/s single-stream). Prefill at ≈50% MFU (60 TFLOPS over
+/// 16 GFLOP/token) is ≈3.7k tok/s → 270 µs/token. The decode slope of
+/// 1.3 ms/seq saturates the engine near batch 40 (peak ≈770 decode tok/s).
+/// 8 GB left for KV at ≈128 KB/token (GQA, 32 layers) ≈ 64k tokens.
+pub fn l4_llama3_8b() -> Preset {
+    Preset {
+        name: "L4/llama3-8b",
+        cost: CostModel::new(52_000.0, 270.0, 1_300.0, 500.0),
+        max_running: 64,
+        kv_capacity_tokens: 64_000,
+        prefill_chunk: 2_048,
+        gpus_per_replica: 1,
+    }
+}
+
+/// Llama-3-70B-Instruct, tensor-parallel over four NVIDIA A100-80GB
+/// (paper Figs. 4b and 6; 8-GPU points run two of these replicas).
+///
+/// Calibration: 4×2039 GB/s at ~70% TP efficiency streams the 140 GB of
+/// weights in ≈24.5 ms (floor). Prefill: 140 GFLOP/token against
+/// 4×312 TFLOPS at ~45% MFU ≈ 4k tok/s → 250 µs/token. Decode slope
+/// 390 µs/seq → saturation near batch 63, peak ≈2.6k decode tok/s. KV:
+/// 4×80−140 = 180 GB at ≈327 KB/token ≈ 550k tokens. The extra 200 µs of
+/// per-iteration overhead models NCCL all-reduce latency.
+pub fn a100_tp4_llama3_70b() -> Preset {
+    Preset {
+        name: "A100-TP4/llama3-70b",
+        cost: CostModel::new(24_500.0, 250.0, 390.0, 700.0),
+        max_running: 128,
+        kv_capacity_tokens: 550_000,
+        prefill_chunk: 4_096,
+        gpus_per_replica: 4,
+    }
+}
+
+/// Mixtral-8×7B-Instruct, tensor-parallel over two NVIDIA A100-80GB
+/// (paper Fig. 7 runs four such replicas on 8 GPUs — the paper notes the
+/// MoE "can leverage higher data parallelism").
+///
+/// Calibration: 94 GB of weights but only ~13B active parameters per
+/// token. Small batches touch a subset of experts, large batches touch
+/// most, so we use a 15 ms effective floor over 2×2039 GB/s at ~75%
+/// efficiency. Prefill: 26 GFLOP/token at ~45% MFU of 2×312 TFLOPS ≈
+/// 10.5k tok/s → 95 µs/token. Decode slope 290 µs/seq → saturation ≈52,
+/// peak ≈3.4k tok/s. KV (GQA, 32 layers ≈128 KB/token) from the ≈66 GB
+/// headroom ≈ 400k tokens.
+pub fn a100_tp2_mixtral_8x7b() -> Preset {
+    Preset {
+        name: "A100-TP2/mixtral-8x7b",
+        cost: CostModel::new(15_000.0, 95.0, 290.0, 600.0),
+        max_running: 128,
+        kv_capacity_tokens: 400_000,
+        prefill_chunk: 4_096,
+        gpus_per_replica: 2,
+    }
+}
+
+/// One L4 configured as a *game server* for hybrid interactive
+/// deployments (paper §6): identical silicon to [`l4_llama3_8b`], but the
+/// running batch is capped at 12 sequences so a decode iteration never
+/// exceeds ≈68 ms — bounding per-token latency for player-facing traffic
+/// at the price of background throughput. (Production serving engines
+/// expose exactly this knob, e.g. `max_num_seqs`.) KV is sized to match
+/// the smaller batch.
+pub fn l4_game_server() -> Preset {
+    Preset {
+        name: "L4/llama3-8b-game",
+        cost: CostModel::new(52_000.0, 270.0, 1_300.0, 500.0),
+        max_running: 12,
+        kv_capacity_tokens: 24_000,
+        prefill_chunk: 2_048,
+        gpus_per_replica: 1,
+    }
+}
+
+/// A deliberately fast, tiny preset for unit tests and examples: floor
+/// 1 ms, saturation batch 10. Not calibrated to any hardware.
+pub fn tiny_test() -> Preset {
+    Preset {
+        name: "test/tiny",
+        cost: CostModel::new(1_000.0, 10.0, 100.0, 0.0),
+        max_running: 16,
+        kv_capacity_tokens: 1_000_000,
+        prefill_chunk: 512,
+        gpus_per_replica: 1,
+    }
+}
+
+/// All calibrated presets (excludes [`tiny_test`]).
+pub fn all() -> Vec<Preset> {
+    vec![l4_llama3_8b(), a100_tp4_llama3_70b(), a100_tp2_mixtral_8x7b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_math() {
+        assert_eq!(l4_llama3_8b().replicas_for_gpus(8), 8);
+        assert_eq!(a100_tp4_llama3_70b().replicas_for_gpus(8), 2);
+        assert_eq!(a100_tp2_mixtral_8x7b().replicas_for_gpus(8), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn invalid_gpu_count_rejected() {
+        a100_tp4_llama3_70b().replicas_for_gpus(6);
+    }
+
+    #[test]
+    fn presets_have_sane_saturation() {
+        for p in all() {
+            let sat = p.cost.saturation_batch();
+            assert!(
+                (8..=256).contains(&sat),
+                "{}: saturation batch {sat} outside plausible serving range",
+                p.name
+            );
+            assert!(p.max_running >= sat / 2, "{}: max_running below saturation", p.name);
+        }
+    }
+
+    #[test]
+    fn mixtral_outpaces_dense_70b() {
+        // The paper attributes Mixtral's higher speedups to its lighter
+        // compute; per-replica peak decode throughput must reflect that.
+        let mixtral = a100_tp2_mixtral_8x7b().cost.peak_decode_tok_per_s();
+        let dense = a100_tp4_llama3_70b().cost.peak_decode_tok_per_s();
+        assert!(mixtral > dense);
+    }
+
+    #[test]
+    fn workload_request_cost_sanity() {
+        // The paper's mean request is 642.6 input / 21.9 output tokens.
+        // On the L4 preset that should cost a few hundred ms of GPU time —
+        // the regime where one full day (~56.7k calls) takes hours on one
+        // GPU, as in Fig. 4a.
+        let p = l4_llama3_8b();
+        let t = p.cost.isolated_latency(643, 22, p.prefill_chunk);
+        let secs = t.as_secs_f64();
+        assert!((0.1..3.0).contains(&secs), "per-request latency {secs}s implausible");
+    }
+}

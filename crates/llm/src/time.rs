@@ -1,0 +1,163 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the simulator's virtual clock, in integer microseconds.
+///
+/// All event times in the discrete-event executor and the serving simulator
+/// are integer microseconds so that runs are bit-for-bit deterministic;
+/// analytical cost models compute in `f64` and round **up** when converting
+/// (see [`VirtualTime::from_micros_f64_ceil`]) so durations never collapse
+/// to zero.
+///
+/// # Example
+///
+/// ```
+/// use aim_llm::VirtualTime;
+///
+/// let t = VirtualTime::from_secs_f64(1.5);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!((t + VirtualTime::from_micros(500_000)).as_secs_f64(), 2.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+    /// The maximum representable virtual time (used as an "infinite" bound).
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates a time from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualTime(us)
+    }
+
+    /// Creates a time from fractional seconds (rounds to nearest µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "virtual time must be finite and non-negative");
+        VirtualTime((secs * 1e6).round() as u64)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding **up** so
+    /// that positive costs never become zero-length events.
+    pub fn from_micros_f64_ceil(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "virtual duration must be finite and non-negative");
+        VirtualTime(us.ceil() as u64)
+    }
+
+    /// This time as integer microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, rhs: VirtualTime) -> VirtualTime {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the earlier of two times.
+    pub fn min(self, rhs: VirtualTime) -> VirtualTime {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.checked_sub(rhs.0).expect("virtual time underflow"))
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = VirtualTime::from_secs_f64(2.5);
+        assert_eq!(t.as_micros(), 2_500_000);
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-12);
+        assert_eq!(VirtualTime::from_micros(7).as_micros(), 7);
+    }
+
+    #[test]
+    fn ceil_conversion_never_zero_for_positive() {
+        assert_eq!(VirtualTime::from_micros_f64_ceil(0.0001).as_micros(), 1);
+        assert_eq!(VirtualTime::from_micros_f64_ceil(0.0).as_micros(), 0);
+        assert_eq!(VirtualTime::from_micros_f64_ceil(2.0).as_micros(), 2);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = VirtualTime::from_micros(10);
+        let b = VirtualTime::from_micros(3);
+        assert_eq!((a + b).as_micros(), 13);
+        assert_eq!((a - b).as_micros(), 7);
+        assert_eq!(b.saturating_sub(a), VirtualTime::ZERO);
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = VirtualTime::from_micros(1) - VirtualTime::from_micros(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_panics() {
+        let _ = VirtualTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(VirtualTime::from_micros(1_234_000).to_string(), "1.234s");
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by store operations.
+///
+/// All public fallible operations in this crate return [`StoreError`].
+/// The type is `Send + Sync + 'static` so it can cross thread boundaries
+/// and be boxed into `std::io::Error` if needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An optimistic transaction failed validation more than the configured
+    /// number of times (another writer kept invalidating its read set).
+    TxnConflict {
+        /// Number of attempts made before giving up.
+        attempts: u32,
+    },
+    /// A transaction closure aborted with a user-supplied message.
+    ///
+    /// Returned by [`crate::Txn::abort`]; the transaction's buffered writes
+    /// are discarded.
+    TxnAborted(String),
+    /// A value could not be decoded as the requested type (e.g. an `incr`
+    /// on a non-integer value).
+    Codec(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TxnConflict { attempts } => {
+                write!(f, "transaction conflicted after {attempts} attempts")
+            }
+            StoreError::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            StoreError::Codec(msg) => write!(f, "value codec error: {msg}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = StoreError::TxnConflict { attempts: 3 };
+        let s = e.to_string();
+        assert!(s.starts_with("transaction conflicted"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<StoreError>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", StoreError::Codec("x".into())).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Model-based property tests: the store behaves like a HashMap, the
+//! priority queue like a stable sort, and transactions serialize.
+
+use aim_store::{Db, PriorityQueue};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u8, Vec<u8>),
+    Del(u8),
+    Incr(u8, i16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..8)).prop_map(|(k, v)| Op::Set(k, v)),
+        any::<u8>().prop_map(Op::Del),
+        (any::<u8>(), any::<i16>()).prop_map(|(k, d)| Op::Incr(k, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Db point operations match a HashMap model (incr keys are kept in a
+    /// disjoint namespace so type confusion cannot arise).
+    #[test]
+    fn db_matches_hashmap_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let db = Db::new();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut counters: HashMap<String, i64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Set(k, v) => {
+                    let key = format!("kv:{k}");
+                    db.set(&key, v.clone());
+                    model.insert(key, v);
+                }
+                Op::Del(k) => {
+                    let key = format!("kv:{k}");
+                    let was = db.del(&key);
+                    prop_assert_eq!(was, model.remove(&key).is_some());
+                }
+                Op::Incr(k, d) => {
+                    let key = format!("ctr:{k}");
+                    let got = db.incr(&key, d as i64).unwrap();
+                    let c = counters.entry(key).or_insert(0);
+                    *c += d as i64;
+                    prop_assert_eq!(got, *c);
+                }
+            }
+        }
+        for (k, v) in &model {
+            let got = db.get(k);
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        prop_assert_eq!(db.len(), model.len() + counters.len());
+    }
+
+    /// Pops come out sorted by (priority, insertion order).
+    #[test]
+    fn priority_queue_is_stable_sort(items in proptest::collection::vec(0u64..10, 0..100)) {
+        let q = PriorityQueue::new();
+        for (i, p) in items.iter().enumerate() {
+            q.push(*p, i).unwrap();
+        }
+        let mut expect: Vec<(u64, usize)> =
+            items.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        expect.sort();
+        let mut got = Vec::new();
+        while let Some(i) = q.try_pop() {
+            got.push((items[i], i));
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Concurrent transactional increments over random key sets lose no
+    /// updates (serializability on a torture workload).
+    #[test]
+    fn txn_increments_serialize(
+        keysets in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 1..4), 2..5
+        )
+    ) {
+        let db = std::sync::Arc::new(Db::new());
+        let mut expected: HashMap<u8, i64> = HashMap::new();
+        for ks in &keysets {
+            for k in ks {
+                *expected.entry(*k).or_insert(0) += 50;
+            }
+        }
+        std::thread::scope(|s| {
+            for ks in &keysets {
+                let db = std::sync::Arc::clone(&db);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        db.transaction(|txn| {
+                            for k in ks {
+                                let cur = txn.get_i64(format!("c{k}"))?;
+                                txn.set_i64(format!("c{k}"), cur + 1);
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        for (k, v) in expected {
+            let got = db.incr(format!("c{k}"), 0).unwrap();
+            prop_assert_eq!(got, v, "lost updates on key {}", k);
+        }
+    }
+}

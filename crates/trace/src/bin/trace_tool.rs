@@ -1,0 +1,241 @@
+//! `trace_tool` — inspect, generate, slice, and replay AI Metropolis
+//! trace files.
+//!
+//! ```text
+//! trace_tool gen out.trc --villes 1 --seed 42 --start-hour 12 --hours 1
+//! trace_tool info out.trc
+//! trace_tool stats out.trc
+//! trace_tool hourly out.trc
+//! trace_tool window out.trc 0 60 sliced.trc
+//! trace_tool replay out.trc --mode metropolis --gpus 4
+//! trace_tool replay out.trc --mode spec:4 --gpus 8 --preset l4
+//! ```
+
+use aim_trace::{codec, gen, stats, Trace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool gen <out.trc> [--villes N] [--agents N] [--seed S] \
+         [--start-hour H] [--hours H]\n  trace_tool info <file>\n  trace_tool stats <file>\n  \
+         trace_tool hourly <file>\n  trace_tool window <file> <from-step> <len> <out.trc>\n  \
+         trace_tool replay <file> [--mode single-thread|parallel-sync|metropolis|oracle|\
+         no-dependency|spec:<k>] [--gpus N] [--preset l4|a100|mixtral|game] [--no-priority]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Trace {
+    match codec::load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") if args.len() == 2 => cmd_info(&load(&args[1])),
+        Some("stats") if args.len() == 2 => cmd_stats(&load(&args[1])),
+        Some("hourly") if args.len() == 2 => cmd_hourly(&load(&args[1])),
+        Some("window") if args.len() == 5 => cmd_window(&args[1..]),
+        Some("replay") if args.len() >= 2 => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_replay(args: &[String]) {
+    use aim_core::exec::sim::{run_sim, SimConfig};
+    use aim_core::policy::DependencyPolicy;
+    use aim_core::prelude::*;
+    use aim_core::spec::{run_spec_sim, SpecParams, SpecScheduler};
+    use aim_core::workload::Workload;
+    use aim_llm::{presets, ServerConfig, SimServer};
+    use aim_store::Db;
+    use std::sync::Arc;
+
+    let trace = load(&args[0]);
+    let mut mode = "metropolis".to_string();
+    let mut gpus = 1u32;
+    let mut preset_name = "l4".to_string();
+    let mut priority = true;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--mode" => mode = it.next().cloned().unwrap_or_else(|| usage()),
+            "--gpus" => {
+                gpus = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--preset" => preset_name = it.next().cloned().unwrap_or_else(|| usage()),
+            "--no-priority" => priority = false,
+            _ => usage(),
+        }
+    }
+    let preset = match preset_name.as_str() {
+        "l4" => presets::l4_llama3_8b(),
+        "a100" => presets::a100_tp4_llama3_70b(),
+        "mixtral" => presets::a100_tp2_mixtral_8x7b(),
+        "game" => presets::l4_game_server(),
+        _ => usage(),
+    };
+    let meta = trace.meta();
+    let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
+    let params = RuleParams::new(meta.radius_p, meta.max_vel);
+    let initial: Vec<Point> =
+        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let replicas = preset.replicas_for_gpus(gpus);
+    let server_cfg = ServerConfig::from_preset(preset, replicas, priority);
+    let target = Workload::target_step(&trace);
+    let single_thread = mode == "single-thread";
+    let sim = SimConfig {
+        serial_agents: single_thread,
+        max_concurrent_clusters: if single_thread { Some(1) } else { Some(48) },
+        priority_ready_queue: priority,
+        ..SimConfig::default()
+    };
+
+    let report = if let Some(budget) = mode.strip_prefix("spec:") {
+        let budget: u32 = budget.parse().unwrap_or_else(|_| usage());
+        let mut sched = SpecScheduler::new(
+            space,
+            params,
+            SpecParams::new(budget),
+            Arc::new(Db::new()),
+            &initial,
+            target,
+        )
+        .expect("scheduler");
+        let mut server = SimServer::new(server_cfg);
+        run_spec_sim(&mut sched, &trace, &mut server, &sim).expect("replay")
+    } else {
+        let policy = match mode.as_str() {
+            "single-thread" | "parallel-sync" => DependencyPolicy::GlobalSync,
+            "metropolis" => DependencyPolicy::Spatiotemporal,
+            "oracle" => {
+                DependencyPolicy::Oracle(Arc::new(aim_trace::oracle::mine(&trace)))
+            }
+            "no-dependency" => DependencyPolicy::NoDependency,
+            _ => usage(),
+        };
+        let mut sched =
+            Scheduler::new(space, params, policy, Arc::new(Db::new()), &initial, target)
+                .expect("scheduler");
+        let mut server = SimServer::new(server_cfg);
+        let mut r = run_sim(&mut sched, &trace, &mut server, &sim).expect("replay");
+        r.mode = mode.clone();
+        r
+    };
+
+    println!("mode             : {}", report.mode);
+    println!("deployment       : {gpus} GPU(s), {replicas} replica(s) of {preset_name}");
+    println!("completion time  : {:.1}s", report.makespan.as_secs_f64());
+    println!("llm calls issued : {}", report.total_calls);
+    println!(
+        "tokens           : {} in / {} out",
+        report.total_input_tokens, report.total_output_tokens
+    );
+    println!("parallelism      : {:.2}", report.achieved_parallelism);
+    println!("gpu utilization  : {:.1}%", report.gpu_utilization * 100.0);
+    println!("max step skew    : {}", report.sched.max_step_skew);
+    if let Some(sr) = &report.spec {
+        println!(
+            "speculation      : {} run-ahead, {} squashed, {} poisoned, {:.2}% tokens wasted",
+            sr.stats.emitted_spec,
+            sr.stats.squashed_steps,
+            sr.stats.poisoned_clusters,
+            100.0 * sr.waste_fraction(report.total_input_tokens, report.total_output_tokens)
+        );
+    }
+}
+
+fn cmd_gen(args: &[String]) {
+    let Some(out) = args.first() else { usage() };
+    let mut cfg = gen::GenConfig {
+        villes: 1,
+        agents_per_ville: 25,
+        seed: 42,
+        window_start: gen::hour(12),
+        window_len: gen::hour(1),
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let val = || -> u64 {
+            it.clone().next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--villes" => cfg.villes = val() as u32,
+            "--agents" => cfg.agents_per_ville = val() as u32,
+            "--seed" => cfg.seed = val(),
+            "--start-hour" => cfg.window_start = gen::hour(val() as u32),
+            "--hours" => cfg.window_len = gen::hour(val() as u32),
+            _ => usage(),
+        }
+        it.next();
+    }
+    eprintln!(
+        "generating {} agents, steps {}..{} (seed {})…",
+        cfg.num_agents(),
+        cfg.window_start,
+        cfg.window_start + cfg.window_len,
+        cfg.seed
+    );
+    let t = gen::generate(&cfg);
+    if let Err(e) = codec::save(&t, out) {
+        eprintln!("error writing {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} calls to {out}", t.calls().len());
+}
+
+fn cmd_info(t: &Trace) {
+    let m = t.meta();
+    println!("name        : {}", m.name);
+    println!("agents      : {}", m.num_agents);
+    println!("steps       : {} (absolute {}..{})", m.num_steps, m.start_step, m.start_step + m.num_steps);
+    println!("map         : {}x{}", m.map_width, m.map_height);
+    println!("rules       : radius_p={} max_vel={}", m.radius_p, m.max_vel);
+    println!("seed        : {}", m.seed);
+    println!("llm calls   : {}", t.calls().len());
+}
+
+fn cmd_stats(t: &Trace) {
+    let s = stats::compute(t);
+    println!("total calls      : {}", s.total_calls);
+    println!("mean input toks  : {:.1}", s.mean_input_tokens);
+    println!("mean output toks : {:.1}", s.mean_output_tokens);
+    println!("mean chain len   : {:.2}", s.mean_chain_len);
+    println!("agent CV         : {:.2}", s.agent_cv);
+    println!("avg deps/agent   : {:.2} (incl. self)", s.avg_dependencies);
+    println!("by kind:");
+    for (kind, count, frac) in stats::kind_mix(&s) {
+        if count > 0 {
+            println!("  {kind:<10} {count:>8}  ({:.1}%)", frac * 100.0);
+        }
+    }
+}
+
+fn cmd_hourly(t: &Trace) {
+    let s = stats::compute(t);
+    print!("{}", stats::render_hourly(&s, 50));
+}
+
+fn cmd_window(args: &[String]) {
+    let t = load(&args[0]);
+    let (Ok(from), Ok(len)) = (args[1].parse::<u32>(), args[2].parse::<u32>()) else { usage() };
+    if from + len > t.meta().num_steps || len == 0 {
+        eprintln!(
+            "window {from}+{len} out of range (trace has {} steps)",
+            t.meta().num_steps
+        );
+        std::process::exit(1);
+    }
+    let w = t.window(from, len, format!("{}[{from}+{len}]", t.meta().name));
+    if let Err(e) = codec::save(&w, &args[3]) {
+        eprintln!("error writing {}: {e}", args[3]);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} calls to {}", w.calls().len(), args[3]);
+}

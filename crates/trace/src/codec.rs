@@ -1,0 +1,347 @@
+//! Line-oriented trace file format.
+//!
+//! The format is deliberately simple enough to inspect with a pager and to
+//! parse without external dependencies:
+//!
+//! ```text
+//! AIMTRACE v1
+//! M name=<str> agents=<n> start=<s> steps=<k> w=<w> h=<h> rp=<r> mv=<v> seed=<seed>
+//! I <agent> <x> <y>                      # initial position, one per agent
+//! C <agent> <step> <seq> <kind> <in> <out>
+//! P <agent> <step> <x> <y>               # position after <step>, only when it changed
+//! ```
+//!
+//! `P` records are sparse (stationary agents are omitted); the reader
+//! reconstructs the dense matrix. Call and position lines may interleave
+//! but must be grouped non-decreasing by step for streaming writers (the
+//! reader tolerates any order).
+
+use std::io::{BufRead, Write};
+
+use aim_core::space::Point;
+use aim_llm::CallKind;
+
+use crate::format::{Trace, TraceBuilder, TraceMeta};
+use crate::TraceError;
+
+const MAGIC: &str = "AIMTRACE v1";
+
+/// Serializes `trace` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace(trace: &Trace, w: &mut impl Write) -> Result<(), TraceError> {
+    let m = trace.meta();
+    writeln!(w, "{MAGIC}")?;
+    writeln!(
+        w,
+        "M name={} agents={} start={} steps={} w={} h={} rp={} mv={} seed={}",
+        m.name.replace(' ', "_"),
+        m.num_agents,
+        m.start_step,
+        m.num_steps,
+        m.map_width,
+        m.map_height,
+        m.radius_p,
+        m.max_vel,
+        m.seed
+    )?;
+    for agent in 0..m.num_agents {
+        let p = trace.initial_position(agent);
+        writeln!(w, "I {agent} {} {}", p.x, p.y)?;
+    }
+    for c in trace.calls() {
+        writeln!(
+            w,
+            "C {} {} {} {} {} {}",
+            c.agent,
+            c.step,
+            c.seq,
+            c.kind.as_str(),
+            c.input_tokens,
+            c.output_tokens
+        )?;
+    }
+    for step in 0..m.num_steps {
+        for agent in 0..m.num_agents {
+            let prev = if step == 0 {
+                trace.initial_position(agent)
+            } else {
+                trace.position_after(agent, step - 1)
+            };
+            let cur = trace.position_after(agent, step);
+            if cur != prev {
+                writeln!(w, "P {agent} {step} {} {}", cur.x, cur.y)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> TraceError {
+    TraceError::Parse(format!("line {line_no}: {msg}"))
+}
+
+/// Deserializes a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on any malformed line and
+/// [`TraceError::Io`] on read failures.
+pub fn read_trace(r: &mut impl BufRead) -> Result<Trace, TraceError> {
+    let mut lines = r.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
+    if first?.trim() != MAGIC {
+        return Err(parse_err(1, "bad magic (expected AIMTRACE v1)"));
+    }
+    let (no, meta_line) = lines.next().ok_or_else(|| parse_err(2, "missing meta line"))?;
+    let meta_line = meta_line?;
+    let meta = parse_meta(no + 1, &meta_line)?;
+
+    let n = meta.num_agents;
+    let steps = meta.num_steps;
+    let mut initial = vec![Point::new(0, 0); n as usize];
+    let mut seen_initial = vec![false; n as usize];
+    let mut calls = Vec::new();
+    let mut moves: Vec<(u32, u32, Point)> = Vec::new();
+
+    for (no, line) in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_ascii_whitespace();
+        let tag = f.next().expect("nonempty line has a tag");
+        let mut next_u32 = |what: &str| -> Result<u32, TraceError> {
+            f.next()
+                .ok_or_else(|| parse_err(no + 1, format!("missing {what}")))?
+                .parse::<u32>()
+                .map_err(|e| parse_err(no + 1, format!("bad {what}: {e}")))
+        };
+        match tag {
+            "I" => {
+                let agent = next_u32("agent")?;
+                let x = next_i32(&mut f, no + 1, "x")?;
+                let y = next_i32(&mut f, no + 1, "y")?;
+                if agent >= n {
+                    return Err(parse_err(no + 1, format!("agent {agent} out of range")));
+                }
+                initial[agent as usize] = Point::new(x, y);
+                seen_initial[agent as usize] = true;
+            }
+            "C" => {
+                let agent = next_u32("agent")?;
+                let step = next_u32("step")?;
+                let _seq = next_u32("seq")?;
+                let kind_s = f
+                    .next()
+                    .ok_or_else(|| parse_err(no + 1, "missing kind"))?;
+                let kind = CallKind::from_str_opt(kind_s)
+                    .ok_or_else(|| parse_err(no + 1, format!("unknown kind {kind_s}")))?;
+                let input = next_u32_from(&mut f, no + 1, "input tokens")?;
+                let output = next_u32_from(&mut f, no + 1, "output tokens")?;
+                if agent >= n || step >= steps {
+                    return Err(parse_err(no + 1, "call out of range"));
+                }
+                calls.push((agent, step, kind, input, output));
+            }
+            "P" => {
+                let agent = next_u32("agent")?;
+                let step = next_u32("step")?;
+                let x = next_i32(&mut f, no + 1, "x")?;
+                let y = next_i32(&mut f, no + 1, "y")?;
+                if agent >= n || step >= steps {
+                    return Err(parse_err(no + 1, "position out of range"));
+                }
+                moves.push((step, agent, Point::new(x, y)));
+            }
+            other => return Err(parse_err(no + 1, format!("unknown record tag {other}"))),
+        }
+    }
+    if let Some(missing) = seen_initial.iter().position(|s| !s) {
+        return Err(TraceError::Parse(format!("missing initial position for agent {missing}")));
+    }
+
+    // Rebuild dense positions from sparse moves.
+    let mut builder = TraceBuilder::new(meta, &initial);
+    for (agent, step, kind, input, output) in calls {
+        builder.push_call(agent, step, kind, input, output);
+    }
+    moves.sort_by_key(|&(step, agent, _)| (step, agent));
+    let mut cur = initial;
+    let mut mi = 0usize;
+    for step in 0..steps {
+        while mi < moves.len() && moves[mi].0 == step {
+            cur[moves[mi].1 as usize] = moves[mi].2;
+            mi += 1;
+        }
+        builder.push_positions(&cur);
+    }
+    Ok(builder.finish())
+}
+
+fn next_i32<'a>(
+    f: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    what: &str,
+) -> Result<i32, TraceError> {
+    f.next()
+        .ok_or_else(|| parse_err(line_no, format!("missing {what}")))?
+        .parse::<i32>()
+        .map_err(|e| parse_err(line_no, format!("bad {what}: {e}")))
+}
+
+fn next_u32_from<'a>(
+    f: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    what: &str,
+) -> Result<u32, TraceError> {
+    f.next()
+        .ok_or_else(|| parse_err(line_no, format!("missing {what}")))?
+        .parse::<u32>()
+        .map_err(|e| parse_err(line_no, format!("bad {what}: {e}")))
+}
+
+fn parse_meta(line_no: usize, line: &str) -> Result<TraceMeta, TraceError> {
+    if !line.starts_with("M ") {
+        return Err(parse_err(line_no, "expected meta line starting with 'M '"));
+    }
+    let mut name = String::new();
+    let mut fields: std::collections::HashMap<&str, &str> = Default::default();
+    for kv in line[2..].split_ascii_whitespace() {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| parse_err(line_no, format!("bad meta field {kv}")))?;
+        if k == "name" {
+            name = v.replace('_', " ");
+        } else {
+            fields.insert(k, v);
+        }
+    }
+    let get = |k: &str| -> Result<u64, TraceError> {
+        fields
+            .get(k)
+            .ok_or_else(|| parse_err(line_no, format!("missing meta field {k}")))?
+            .parse::<u64>()
+            .map_err(|e| parse_err(line_no, format!("bad meta field {k}: {e}")))
+    };
+    Ok(TraceMeta {
+        name,
+        num_agents: get("agents")? as u32,
+        start_step: get("start")? as u32,
+        num_steps: get("steps")? as u32,
+        map_width: get("w")? as u32,
+        map_height: get("h")? as u32,
+        radius_p: get("rp")? as u32,
+        max_vel: get("mv")? as u32,
+        seed: get("seed")?,
+    })
+}
+
+/// Writes `trace` to a file path.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save(trace: &Trace, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_trace(trace, &mut w)
+}
+
+/// Reads a trace from a file path.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<Trace, TraceError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    read_trace(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::testutil::tiny;
+
+    #[test]
+    fn roundtrip_exact() {
+        let t = tiny();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_is_human_readable() {
+        let t = tiny();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("AIMTRACE v1\n"));
+        assert!(text.contains("C 0 0 0 plan 100 10"));
+        assert!(text.contains("I 1 9 9"));
+        // Stationary agent rows are omitted (agent 1 moves every step,
+        // agent 0 too, so all P records exist here); at least the count is
+        // bounded by steps × agents.
+        assert!(text.lines().filter(|l| l.starts_with("P ")).count() <= 6);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut cur = std::io::Cursor::new(b"NOTATRACE\n".to_vec());
+        assert!(matches!(read_trace(&mut cur), Err(TraceError::Parse(_))));
+    }
+
+    #[test]
+    fn corrupt_lines_are_located() {
+        let t = tiny();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("C 0 0 0 plan oops 10\n");
+        let err = read_trace(&mut std::io::Cursor::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line"), "error should cite the line: {msg}");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let t = tiny();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("C 9 0 0 plan 10 10\n");
+        assert!(matches!(
+            read_trace(&mut std::io::Cursor::new(text.as_bytes())),
+            Err(TraceError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = tiny();
+        let dir = std::env::temp_dir().join("aim-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.trc");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let t = tiny();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n# a trailing comment\n");
+        let back = read_trace(&mut std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(t, back);
+    }
+}

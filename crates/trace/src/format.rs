@@ -1,0 +1,345 @@
+//! The in-memory trace representation and its [`Workload`] replay impl.
+
+use std::collections::HashMap;
+
+use aim_core::space::Point;
+use aim_core::workload::{CallSpec, Workload};
+use aim_core::{AgentId, Step};
+use aim_llm::CallKind;
+use serde::{Deserialize, Serialize};
+
+/// Trace header: everything needed to interpret the body and to configure
+/// a matching scheduler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Human-readable label, e.g. `"smallville-day-seed42"`.
+    pub name: String,
+    /// Number of agents (ids `0..num_agents`).
+    pub num_agents: u32,
+    /// Absolute step (since midnight of day 0) the trace starts at.
+    pub start_step: u32,
+    /// Number of steps covered (replay target).
+    pub num_steps: u32,
+    /// Map width in tiles (for reports).
+    pub map_width: u32,
+    /// Map height in tiles.
+    pub map_height: u32,
+    /// Perception radius the world was generated with.
+    pub radius_p: u32,
+    /// Movement/information speed limit per step.
+    pub max_vel: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// One recorded LLM call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallEvent {
+    /// Issuing agent.
+    pub agent: u32,
+    /// Step *relative to the trace start* (0-based).
+    pub step: u32,
+    /// Position within the agent's chain for that step.
+    pub seq: u32,
+    /// Agent function that issued the call.
+    pub kind: CallKind,
+    /// Prompt tokens.
+    pub input_tokens: u32,
+    /// Generation tokens.
+    pub output_tokens: u32,
+}
+
+/// A complete recorded workload: call chains plus a dense position matrix.
+///
+/// Positions are stored for the trace start (`pos_matrix[0]`) and after
+/// every step (`pos_matrix[s + 1]`), each row holding `num_agents` points.
+/// `Trace` implements [`Workload`] so it can be handed straight to the
+/// engine's executors — this is the paper's replay mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    meta: TraceMeta,
+    calls: Vec<CallEvent>,
+    /// `(num_steps + 1) × num_agents`, row-major by step.
+    positions: Vec<Point>,
+    /// `(agent, step)` → `(offset, len)` into `calls`.
+    #[serde(skip)]
+    index: HashMap<(u32, u32), (u32, u32)>,
+}
+
+impl Trace {
+    /// The trace header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// All calls, sorted by `(step, agent, seq)`.
+    pub fn calls(&self) -> &[CallEvent] {
+        &self.calls
+    }
+
+    /// Position of `agent` at the start of the trace.
+    pub fn initial_position(&self, agent: u32) -> Point {
+        self.positions[agent as usize]
+    }
+
+    /// Position of `agent` after committing relative step `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` or `step` is out of range.
+    pub fn position_after(&self, agent: u32, step: u32) -> Point {
+        let row = (step + 1) as usize;
+        assert!(row <= self.meta.num_steps as usize, "step {step} out of range");
+        self.positions[row * self.meta.num_agents as usize + agent as usize]
+    }
+
+    /// The call chain of `(agent, step)` (possibly empty).
+    pub fn chain(&self, agent: u32, step: u32) -> &[CallEvent] {
+        match self.index.get(&(agent, step)) {
+            Some(&(off, len)) => &self.calls[off as usize..(off + len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Extracts the sub-trace covering relative steps
+    /// `[from, from + len)` — e.g. the paper's busy (12pm–1pm) and quiet
+    /// (6am–7am) hour windows out of a full-day trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the trace bounds or `len` is zero.
+    pub fn window(&self, from: u32, len: u32, name: impl Into<String>) -> Trace {
+        assert!(len > 0, "window must be non-empty");
+        assert!(
+            from + len <= self.meta.num_steps,
+            "window {from}+{len} out of {} steps",
+            self.meta.num_steps
+        );
+        let meta = TraceMeta {
+            name: name.into(),
+            start_step: self.meta.start_step + from,
+            num_steps: len,
+            ..self.meta.clone()
+        };
+        let n = self.meta.num_agents as usize;
+        let positions =
+            self.positions[from as usize * n..(from + len + 1) as usize * n].to_vec();
+        let calls: Vec<CallEvent> = self
+            .calls
+            .iter()
+            .filter(|c| c.step >= from && c.step < from + len)
+            .map(|c| CallEvent { step: c.step - from, ..*c })
+            .collect();
+        let mut t = Trace { meta, calls, positions, index: HashMap::new() };
+        t.rebuild_index();
+        t
+    }
+
+    pub(crate) fn rebuild_index(&mut self) {
+        self.index.clear();
+        let mut i = 0usize;
+        while i < self.calls.len() {
+            let key = (self.calls[i].agent, self.calls[i].step);
+            let start = i;
+            while i < self.calls.len()
+                && (self.calls[i].agent, self.calls[i].step) == key
+            {
+                i += 1;
+            }
+            self.index.insert(key, (start as u32, (i - start) as u32));
+        }
+    }
+
+    pub(crate) fn from_parts(
+        meta: TraceMeta,
+        mut calls: Vec<CallEvent>,
+        positions: Vec<Point>,
+    ) -> Trace {
+        assert_eq!(
+            positions.len(),
+            ((meta.num_steps + 1) * meta.num_agents) as usize,
+            "position matrix size mismatch"
+        );
+        calls.sort_by_key(|c| (c.step, c.agent, c.seq));
+        let mut t = Trace { meta, calls, positions, index: HashMap::new() };
+        t.rebuild_index();
+        t
+    }
+}
+
+impl Workload<Point> for Trace {
+    fn num_agents(&self) -> usize {
+        self.meta.num_agents as usize
+    }
+
+    fn target_step(&self) -> Step {
+        Step(self.meta.num_steps)
+    }
+
+    fn initial_pos(&self, agent: AgentId) -> Point {
+        self.initial_position(agent.0)
+    }
+
+    fn calls(&self, agent: AgentId, step: Step) -> Vec<CallSpec> {
+        self.chain(agent.0, step.0)
+            .iter()
+            .map(|c| CallSpec::new(c.input_tokens, c.output_tokens, c.kind))
+            .collect()
+    }
+
+    fn pos_after(&self, agent: AgentId, step: Step) -> Point {
+        self.position_after(agent.0, step.0)
+    }
+
+    fn total_calls(&self) -> u64 {
+        self.calls.len() as u64
+    }
+}
+
+/// Incrementally builds a [`Trace`] (used by the generator and the codec).
+#[derive(Debug)]
+pub struct TraceBuilder {
+    meta: TraceMeta,
+    calls: Vec<CallEvent>,
+    positions: Vec<Point>,
+    seq_counter: HashMap<(u32, u32), u32>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace with the given header and initial positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != meta.num_agents`.
+    pub fn new(meta: TraceMeta, initial: &[Point]) -> Self {
+        assert_eq!(initial.len(), meta.num_agents as usize, "initial positions mismatch");
+        let mut positions =
+            Vec::with_capacity(((meta.num_steps + 1) * meta.num_agents) as usize);
+        positions.extend_from_slice(initial);
+        TraceBuilder { meta, calls: Vec::new(), positions, seq_counter: HashMap::new() }
+    }
+
+    /// Appends one call to `(agent, step)`'s chain (seq auto-assigned).
+    pub fn push_call(&mut self, agent: u32, step: u32, kind: CallKind, input: u32, output: u32) {
+        let seq = self.seq_counter.entry((agent, step)).or_insert(0);
+        self.calls.push(CallEvent {
+            agent,
+            step,
+            seq: *seq,
+            kind,
+            input_tokens: input,
+            output_tokens: output,
+        });
+        *seq += 1;
+    }
+
+    /// Appends the position row for the step that just committed; rows must
+    /// arrive in step order, `num_agents` points at a time.
+    pub fn push_positions(&mut self, row: &[Point]) {
+        assert_eq!(row.len(), self.meta.num_agents as usize, "position row size mismatch");
+        self.positions.extend_from_slice(row);
+    }
+
+    /// Finalizes the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of position rows does not match
+    /// `meta.num_steps`.
+    pub fn finish(self) -> Trace {
+        Trace::from_parts(self.meta, self.calls, self.positions)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A tiny hand-built trace: 2 agents, 3 steps.
+    pub fn tiny() -> Trace {
+        let meta = TraceMeta {
+            name: "tiny".into(),
+            num_agents: 2,
+            start_step: 100,
+            num_steps: 3,
+            map_width: 10,
+            map_height: 10,
+            radius_p: 4,
+            max_vel: 1,
+            seed: 1,
+        };
+        let mut b = TraceBuilder::new(meta, &[Point::new(0, 0), Point::new(9, 9)]);
+        b.push_call(0, 0, CallKind::Plan, 100, 10);
+        b.push_call(0, 0, CallKind::Perceive, 50, 5);
+        b.push_call(1, 1, CallKind::Converse, 200, 20);
+        b.push_positions(&[Point::new(1, 0), Point::new(9, 9)]); // after step 0
+        b.push_positions(&[Point::new(2, 0), Point::new(9, 8)]); // after step 1
+        b.push_positions(&[Point::new(3, 0), Point::new(9, 7)]); // after step 2
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::tiny;
+    use super::*;
+
+    #[test]
+    fn builder_assigns_chain_seq() {
+        let t = tiny();
+        let chain = t.chain(0, 0);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].seq, 0);
+        assert_eq!(chain[0].kind, CallKind::Plan);
+        assert_eq!(chain[1].seq, 1);
+        assert!(t.chain(0, 1).is_empty());
+        assert!(t.chain(5, 0).is_empty(), "unknown agent yields empty chain");
+    }
+
+    #[test]
+    fn positions_by_step() {
+        let t = tiny();
+        assert_eq!(t.initial_position(0), Point::new(0, 0));
+        assert_eq!(t.position_after(0, 0), Point::new(1, 0));
+        assert_eq!(t.position_after(1, 2), Point::new(9, 7));
+    }
+
+    #[test]
+    fn workload_impl_replays() {
+        let t = tiny();
+        assert_eq!(Workload::num_agents(&t), 2);
+        assert_eq!(Workload::target_step(&t), Step(3));
+        assert_eq!(t.total_calls(), 3);
+        let specs = Workload::calls(&t, AgentId(0), Step(0));
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].input_tokens, 100);
+        assert_eq!(Workload::pos_after(&t, AgentId(1), Step(1)), Point::new(9, 8));
+    }
+
+    #[test]
+    fn window_rebases_steps_and_positions() {
+        let t = tiny();
+        let w = t.window(1, 2, "tiny-window");
+        assert_eq!(w.meta().start_step, 101);
+        assert_eq!(w.meta().num_steps, 2);
+        assert_eq!(w.initial_position(0), Point::new(1, 0), "window starts after step 0");
+        let chain = w.chain(1, 0);
+        assert_eq!(chain.len(), 1, "agent 1's step-1 call lands at window step 0");
+        assert_eq!(chain[0].kind, CallKind::Converse);
+        assert_eq!(w.position_after(0, 1), Point::new(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn window_bounds_checked() {
+        tiny().window(2, 5, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "position matrix size mismatch")]
+    fn mismatched_positions_rejected() {
+        let t = tiny();
+        let meta = t.meta().clone();
+        let _ = Trace::from_parts(meta, vec![], vec![Point::new(0, 0)]);
+    }
+}

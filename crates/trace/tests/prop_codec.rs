@@ -1,0 +1,107 @@
+//! Property tests: arbitrary well-formed traces round-trip through the
+//! codec bit-exactly, and windowing composes.
+
+use aim_core::space::Point;
+use aim_llm::CallKind;
+use aim_trace::{codec, Trace, TraceBuilder, TraceMeta};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ArbTrace {
+    agents: u32,
+    steps: u32,
+    calls: Vec<(u32, u32, u8, u32, u32)>, // agent, step, kind idx, in, out
+    moves: Vec<(u32, u32, i8, i8)>,       // agent, step, dx, dy
+}
+
+fn arb_trace() -> impl Strategy<Value = ArbTrace> {
+    (2u32..6, 2u32..10).prop_flat_map(|(agents, steps)| {
+        let calls = proptest::collection::vec(
+            (0..agents, 0..steps, 0u8..7, 1u32..3000, 1u32..200),
+            0..40,
+        );
+        let moves =
+            proptest::collection::vec((0..agents, 0..steps, -1i8..=1, -1i8..=1), 0..60);
+        (Just(agents), Just(steps), calls, moves).prop_map(|(agents, steps, calls, moves)| {
+            ArbTrace { agents, steps, calls, moves }
+        })
+    })
+}
+
+fn build(t: &ArbTrace) -> Trace {
+    let meta = TraceMeta {
+        name: "prop trace".into(),
+        num_agents: t.agents,
+        start_step: 100,
+        num_steps: t.steps,
+        map_width: 64,
+        map_height: 64,
+        radius_p: 4,
+        max_vel: 1,
+        seed: 5,
+    };
+    let initial: Vec<Point> =
+        (0..t.agents).map(|a| Point::new(a as i32 * 3 + 5, 10)).collect();
+    let mut b = TraceBuilder::new(meta, &initial);
+    for (agent, step, kind, input, output) in &t.calls {
+        b.push_call(*agent, *step, CallKind::ALL[*kind as usize], *input, *output);
+    }
+    // Apply moves cumulatively per step, clamped to the map.
+    let mut pos = initial;
+    let mut moves = t.moves.clone();
+    moves.sort_by_key(|&(a, s, _, _)| (s, a));
+    for step in 0..t.steps {
+        for &(a, s, dx, dy) in &moves {
+            if s == step {
+                let p = &mut pos[a as usize];
+                p.x = (p.x + dx as i32).clamp(0, 63);
+                p.y = (p.y + dy as i32).clamp(0, 63);
+            }
+        }
+        b.push_positions(&pos);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn codec_roundtrips_arbitrary_traces(t in arb_trace()) {
+        let trace = build(&t);
+        let mut buf = Vec::new();
+        codec::write_trace(&trace, &mut buf).unwrap();
+        let back = codec::read_trace(&mut std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn windows_compose(t in arb_trace()) {
+        let trace = build(&t);
+        prop_assume!(trace.meta().num_steps >= 4);
+        let half = trace.meta().num_steps / 2;
+        // window(0, n) == identity on calls/positions.
+        let full = trace.window(0, trace.meta().num_steps, "full");
+        prop_assert_eq!(full.calls().len(), trace.calls().len());
+        // window of a window == direct window.
+        let w1 = trace.window(1, trace.meta().num_steps - 1, "w1");
+        let w2 = w1.window(half - 1, 2, "w2");
+        let direct = trace.window(half, 2, "direct");
+        prop_assert_eq!(w2.calls().len(), direct.calls().len());
+        for a in 0..trace.meta().num_agents {
+            prop_assert_eq!(w2.initial_position(a), direct.initial_position(a));
+            prop_assert_eq!(w2.position_after(a, 1), direct.position_after(a, 1));
+        }
+    }
+
+    #[test]
+    fn oracle_mining_is_deterministic_and_bounded(t in arb_trace()) {
+        let trace = build(&t);
+        let a = aim_trace::oracle::mine(&trace);
+        let b = aim_trace::oracle::mine(&trace);
+        prop_assert_eq!(&a, &b);
+        let avg = a.avg_dependencies();
+        prop_assert!(avg >= 1.0);
+        prop_assert!(avg <= trace.meta().num_agents as f64);
+    }
+}

@@ -1,0 +1,84 @@
+//! Conversations: the dependency-heavy part of the workload.
+//!
+//! When two agents are within speaking distance, one of them may strike up
+//! a dialogue. Mirroring GenAgent, the whole conversation resolves within
+//! the initiator's step: alternating utterances form one long *sequential*
+//! chain of `Converse` LLM calls closed by a `Summarize` — under global
+//! synchronization every other agent waits at the barrier while the
+//! dialogue runs, which is exactly the straggler pattern of the paper's
+//! Fig. 1 and the reason busy hours parallelize so poorly (§2.2). The
+//! participants stand within `radius_p`, so the engine's rules couple
+//! their clusters and the oracle miner records a real interaction.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance (grid units) within which a conversation can start.
+pub const CONV_RADIUS: u64 = 3;
+
+/// Cooldown steps after a conversation before the same agent starts
+/// another (30 simulated minutes).
+pub const CONV_COOLDOWN: u32 = 180;
+
+/// A record of a held conversation (used in logs and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conversation {
+    /// The other agent.
+    pub partner: u32,
+    /// Step during which the dialogue ran.
+    pub step: u32,
+    /// Total utterances exchanged.
+    pub turns: u32,
+}
+
+/// Samples a total utterance count: 3–22, heavy-tailed (mean ≈ 10).
+///
+/// The tail matters: with hundreds of agents, *some* long dialogue is in
+/// flight during almost every step, so the global barrier of Algorithm 1
+/// degenerates to one conversation at a time — the effect behind the
+/// paper's 4.15× busy-hour speedup at 500 agents.
+pub fn sample_turns(unit: f32) -> u32 {
+    // `unit` is a uniform [0,1) sample from the caller's deterministic rng.
+    let turns = 3.0 + 19.0 * unit.powf(1.5);
+    (turns as u32).min(22)
+}
+
+/// Probability that an agent initiates a conversation with a nearby
+/// candidate.
+///
+/// Combines the persona's chattiness, friendship, and the venue's social
+/// factor (lunch at the cafe is ~15× more conversational than idling at
+/// home — this is what concentrates the busy hour).
+pub fn start_probability(chattiness: f32, is_friend: bool, social_factor: f32) -> f32 {
+    let base = if is_friend { 0.060 } else { 0.012 };
+    (base * chattiness * social_factor).min(0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turns_within_bounds_and_skewed_short() {
+        assert_eq!(sample_turns(0.0), 3);
+        assert!(sample_turns(0.999) <= 22);
+        // Median sample (unit = 0.5) lands below the midpoint of the range.
+        assert!(sample_turns(0.5) <= 10);
+    }
+
+    #[test]
+    fn probability_ordering() {
+        let friendly = start_probability(1.0, true, 3.0);
+        let stranger = start_probability(1.0, false, 3.0);
+        let asleep = start_probability(1.0, true, 0.0);
+        assert!(friendly > stranger);
+        assert_eq!(asleep, 0.0);
+        assert!(friendly <= 0.9);
+    }
+
+    #[test]
+    fn conversation_record_is_plain_data() {
+        let c = Conversation { partner: 3, step: 100, turns: 5 };
+        assert_eq!(c, c.clone());
+        assert!(format!("{c:?}").contains("partner"));
+    }
+}

@@ -1,0 +1,216 @@
+//! The GenAgent memory stream (paper §2.1, Algorithm 2's `retrieve`).
+//!
+//! Agents log what they observe; retrieval scores memories by
+//! **recency × importance × relevance** and feeds the top-k into prompts,
+//! which is why GenAgent prompt lengths grow over a simulated day. When
+//! accumulated importance crosses a threshold the agent *reflects*,
+//! synthesizing higher-level memories — an extra LLM call chain.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of memory an entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MemoryKind {
+    /// Something perceived in the world.
+    Observation,
+    /// A conversation summary.
+    Conversation,
+    /// A synthesized reflection.
+    Reflection,
+    /// A plan decision.
+    Plan,
+}
+
+/// One record in the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryEntry {
+    /// Absolute step when recorded.
+    pub step: u32,
+    /// Kind of record.
+    pub kind: MemoryKind,
+    /// Poignancy in `[0, 10]` (GenAgent's importance score).
+    pub importance: f32,
+    /// Bag of keyword ids (subjects, places, partners).
+    pub keywords: Vec<u32>,
+}
+
+/// Accumulated importance that triggers a reflection (GenAgent uses 150
+/// over recent events; ours is scaled to per-step importance rates).
+pub const REFLECTION_THRESHOLD: f32 = 200.0;
+
+/// An agent's append-only memory stream with scored retrieval.
+///
+/// # Example
+///
+/// ```
+/// use aim_world::memory::{MemoryKind, MemoryStream};
+///
+/// let mut m = MemoryStream::new();
+/// m.observe(10, MemoryKind::Observation, 3.0, vec![1, 2]);
+/// m.observe(500, MemoryKind::Observation, 3.0, vec![2, 3]);
+/// let hits = m.retrieve(510, &[2], 1);
+/// assert_eq!(hits[0].step, 500, "recent relevant memory wins");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStream {
+    entries: Vec<MemoryEntry>,
+    since_reflection: f32,
+}
+
+impl MemoryStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[MemoryEntry] {
+        &self.entries
+    }
+
+    /// Appends a memory.
+    pub fn observe(&mut self, step: u32, kind: MemoryKind, importance: f32, keywords: Vec<u32>) {
+        self.since_reflection += importance;
+        self.entries.push(MemoryEntry { step, kind, importance, keywords });
+    }
+
+    /// Scores and returns the top-`k` memories for a query at `now`.
+    ///
+    /// Score = `0.5·recency + 0.3·importance/10 + 1.0·relevance`, with
+    /// exponential recency decay (half-life ≈ half a simulated day) and
+    /// relevance = fraction of query keywords present. Ties break toward
+    /// more recent entries. This mirrors GenAgent's weighted retrieval.
+    pub fn retrieve(&self, now: u32, query: &[u32], k: usize) -> Vec<&MemoryEntry> {
+        let mut scored: Vec<(f64, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let age = now.saturating_sub(e.step) as f64;
+                let recency = (-age / 6000.0).exp(); // half-life ~0.48 day
+                let relevance = if query.is_empty() {
+                    0.0
+                } else {
+                    query.iter().filter(|q| e.keywords.contains(q)).count() as f64
+                        / query.len() as f64
+                };
+                let score =
+                    0.5 * recency + 0.3 * (e.importance as f64 / 10.0) + relevance;
+                (score, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).expect("scores are finite").then(b.1.cmp(&a.1))
+        });
+        scored.into_iter().take(k).map(|(_, i)| &self.entries[i]).collect()
+    }
+
+    /// Whether enough importance accumulated to trigger a reflection.
+    pub fn should_reflect(&self) -> bool {
+        self.since_reflection >= REFLECTION_THRESHOLD
+    }
+
+    /// Records a reflection at `step` and resets the trigger accumulator.
+    pub fn reflect(&mut self, step: u32, keywords: Vec<u32>) {
+        self.entries.push(MemoryEntry {
+            step,
+            kind: MemoryKind::Reflection,
+            importance: 8.0,
+            keywords,
+        });
+        self.since_reflection = 0.0;
+    }
+
+    /// Estimated prompt-token contribution of retrieved context: grows with
+    /// the log of stream size, mimicking GenAgent's growing prompts.
+    pub fn context_tokens(&self) -> u32 {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        (15.0 * (1.0 + (self.entries.len() as f64).ln())).min(120.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieval_prefers_relevance() {
+        let mut m = MemoryStream::new();
+        m.observe(0, MemoryKind::Observation, 5.0, vec![1]);
+        m.observe(0, MemoryKind::Observation, 5.0, vec![2]);
+        let hits = m.retrieve(10, &[2], 1);
+        assert_eq!(hits[0].keywords, vec![2]);
+    }
+
+    #[test]
+    fn retrieval_prefers_recent_among_equals() {
+        let mut m = MemoryStream::new();
+        m.observe(0, MemoryKind::Observation, 5.0, vec![1]);
+        m.observe(8000, MemoryKind::Observation, 5.0, vec![1]);
+        let hits = m.retrieve(8640, &[1], 1);
+        assert_eq!(hits[0].step, 8000);
+    }
+
+    #[test]
+    fn retrieval_prefers_important_old_over_trivial_old() {
+        let mut m = MemoryStream::new();
+        m.observe(100, MemoryKind::Observation, 9.5, vec![]);
+        m.observe(100, MemoryKind::Observation, 0.5, vec![]);
+        let hits = m.retrieve(200, &[], 1);
+        assert!(hits[0].importance > 9.0);
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let mut m = MemoryStream::new();
+        for i in 0..10 {
+            m.observe(i, MemoryKind::Observation, 1.0, vec![i]);
+        }
+        assert_eq!(m.retrieve(20, &[], 3).len(), 3);
+        assert_eq!(m.retrieve(20, &[], 100).len(), 10);
+    }
+
+    #[test]
+    fn reflection_trigger_and_reset() {
+        let mut m = MemoryStream::new();
+        assert!(!m.should_reflect());
+        let mut step = 0;
+        while !m.should_reflect() {
+            m.observe(step, MemoryKind::Observation, 5.0, vec![]);
+            step += 1;
+            assert!(step < 100, "threshold should be reachable");
+        }
+        m.reflect(step, vec![7]);
+        assert!(!m.should_reflect(), "reflection resets the accumulator");
+        assert_eq!(m.entries().last().unwrap().kind, MemoryKind::Reflection);
+    }
+
+    #[test]
+    fn context_grows_sublinearly() {
+        let mut m = MemoryStream::new();
+        assert_eq!(m.context_tokens(), 0);
+        for i in 0..100 {
+            m.observe(i, MemoryKind::Observation, 1.0, vec![]);
+        }
+        let c100 = m.context_tokens();
+        for i in 100..1000 {
+            m.observe(i, MemoryKind::Observation, 1.0, vec![]);
+        }
+        let c1000 = m.context_tokens();
+        assert!(c100 > 0 && c1000 > c100);
+        assert!(c1000 < c100 * 3, "growth must be logarithmic, got {c100} → {c1000}");
+    }
+}

@@ -1,0 +1,148 @@
+//! A* pathfinding over walkable tiles (4-connected, Manhattan heuristic).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use aim_core::space::Point;
+
+use crate::grid::TileMap;
+
+/// Finds a shortest 4-connected walkable path from `from` to `to`
+/// (inclusive of both endpoints). Returns `None` when unreachable or when
+/// either endpoint is not walkable.
+///
+/// The returned path starts at `from`; following one element per step obeys
+/// the world's `max_vel = 1` movement rule.
+///
+/// # Example
+///
+/// ```
+/// use aim_core::space::Point;
+/// use aim_world::grid::TileMap;
+/// use aim_world::pathfind::astar;
+///
+/// let map = TileMap::open(10, 10);
+/// let path = astar(&map, Point::new(0, 0), Point::new(3, 0)).unwrap();
+/// assert_eq!(path.len(), 4); // 0,0 → 1,0 → 2,0 → 3,0
+/// ```
+pub fn astar(map: &TileMap, from: Point, to: Point) -> Option<Vec<Point>> {
+    if !map.is_walkable(from) || !map.is_walkable(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let w = map.width() as usize;
+    let h = map.height() as usize;
+    let idx = |p: Point| p.y as usize * w + p.x as usize;
+    const UNSEEN: u32 = u32::MAX;
+    let mut g = vec![UNSEEN; w * h];
+    let mut parent = vec![u32::MAX; w * h];
+    let mut heap: BinaryHeap<Reverse<(u32, u32, Point)>> = BinaryHeap::new();
+    g[idx(from)] = 0;
+    heap.push(Reverse((from.manhattan(to), 0, from)));
+    while let Some(Reverse((_, cost, p))) = heap.pop() {
+        if p == to {
+            // Reconstruct.
+            let mut path = vec![to];
+            let mut cur = idx(to);
+            while parent[cur] != u32::MAX {
+                cur = parent[cur] as usize;
+                path.push(Point::new((cur % w) as i32, (cur / w) as i32));
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if cost > g[idx(p)] {
+            continue; // stale heap entry
+        }
+        // Neighbor order fixed (E, W, S, N) for determinism.
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let n = Point::new(p.x + dx, p.y + dy);
+            if !map.is_walkable(n) {
+                continue;
+            }
+            let ncost = cost + 1;
+            if ncost < g[idx(n)] {
+                g[idx(n)] = ncost;
+                parent[idx(n)] = idx(p) as u32;
+                heap.push(Reverse((ncost + n.manhattan(to), ncost, n)));
+            }
+        }
+    }
+    None
+}
+
+/// Shortest walkable distance in steps, if reachable ([`astar`] length − 1).
+pub fn path_len(map: &TileMap, from: Point, to: Point) -> Option<u32> {
+    astar(map, from, to).map(|p| (p.len() - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::AreaKind;
+
+    #[test]
+    fn straight_line_is_optimal() {
+        let m = TileMap::open(20, 20);
+        let p = astar(&m, Point::new(2, 3), Point::new(9, 3)).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[0], Point::new(2, 3));
+        assert_eq!(p[7], Point::new(9, 3));
+        // Consecutive points are 4-adjacent.
+        for pair in p.windows(2) {
+            assert_eq!(pair[0].manhattan(pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn routes_around_walls_through_door() {
+        let mut m = TileMap::open(30, 30);
+        m.add_building("b", AreaKind::Work, Point::new(10, 10), Point::new(20, 20));
+        let inside = Point::new(15, 15);
+        let outside = Point::new(0, 15);
+        let path = astar(&m, outside, inside).unwrap();
+        let door = m.areas()[0].door;
+        assert!(path.contains(&door), "must enter through the door");
+        // And the path length beats the naive manhattan (walls force a detour).
+        assert!(path.len() as u32 > outside.manhattan(inside));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut sealed = TileMap::open(9, 9);
+        sealed.add_building("box", AreaKind::Work, Point::new(3, 3), Point::new(6, 6));
+        // A wall tile itself is not walkable → None.
+        assert!(astar(&sealed, Point::new(0, 0), Point::new(3, 3)).is_none());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = TileMap::open(5, 5);
+        assert_eq!(astar(&m, Point::new(2, 2), Point::new(2, 2)).unwrap().len(), 1);
+        assert!(astar(&m, Point::new(-1, 0), Point::new(2, 2)).is_none());
+        assert_eq!(path_len(&m, Point::new(0, 0), Point::new(4, 4)), Some(8));
+    }
+
+    #[test]
+    fn deterministic_paths() {
+        let m = TileMap::smallville(10);
+        let a = m.areas()[0].door;
+        let b = m.areas_of(AreaKind::Cafe)[0].door;
+        assert_eq!(astar(&m, a, b), astar(&m, a, b));
+    }
+
+    #[test]
+    fn all_smallville_doors_are_mutually_reachable() {
+        let m = TileMap::smallville(25);
+        let doors: Vec<Point> = m.areas().iter().map(|a| a.door).collect();
+        let hub = doors[0];
+        for d in &doors {
+            assert!(
+                path_len(&m, hub, *d).is_some(),
+                "door {d} unreachable from {hub}"
+            );
+        }
+    }
+}

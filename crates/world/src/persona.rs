@@ -1,0 +1,189 @@
+//! Personas: identities, homes, workplaces, and the friendship graph.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{AreaKind, TileMap};
+
+const FIRST_NAMES: [&str; 25] = [
+    "Abigail", "Arthur", "Ayesha", "Carlos", "Carmen", "Eddy", "Francisco", "Giorgio", "Hailey",
+    "Isabella", "Jennifer", "John", "Klaus", "Latoya", "Maria", "Mei", "Rajiv", "Ryan", "Sam",
+    "Tamara", "Tom", "Wolfgang", "Yuriko", "Adam", "Jane",
+];
+
+/// One character: identity plus static world attachments.
+///
+/// Mirrors the GenAgent setup (paper §2.1: "each agent possesses its own
+/// personality, social relationships, and daily routines").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Persona {
+    /// Agent id (dense, 0-based).
+    pub id: u32,
+    /// Display name, unique per village.
+    pub name: String,
+    /// Index of the agent's home in [`TileMap::areas`].
+    pub home_area: usize,
+    /// Index of the agent's workplace in [`TileMap::areas`].
+    pub work_area: usize,
+    /// Propensity to start conversations, in `[0.4, 1.6]`.
+    pub chattiness: f32,
+    /// Friend agent ids (symmetric).
+    pub friends: Vec<u32>,
+}
+
+impl Persona {
+    /// Whether `other` is a friend.
+    pub fn is_friend(&self, other: u32) -> bool {
+        self.friends.contains(&other)
+    }
+}
+
+/// Generates `n` personas over `map`, assigning homes round-robin over
+/// houses and workplaces over work/cafe/store areas, plus a symmetric
+/// friendship graph of 2–4 friends each.
+///
+/// Agents are distributed per ville when the map was
+/// [concatenated](TileMap::concatenated): an agent's home, work and friends
+/// all live in its own ville, matching the paper's scaling setup where each
+/// SmallVille segment replays an independent trace.
+///
+/// # Panics
+///
+/// Panics if the map has no houses or no workplaces.
+pub fn generate_personas(map: &TileMap, n: u32, rng: &mut StdRng) -> Vec<Persona> {
+    let houses: Vec<usize> = map
+        .areas()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.kind == AreaKind::House)
+        .map(|(i, _)| i)
+        .collect();
+    let jobs: Vec<usize> = map
+        .areas()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| matches!(a.kind, AreaKind::Work | AreaKind::Cafe | AreaKind::Store))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!houses.is_empty(), "map has no houses");
+    assert!(!jobs.is_empty(), "map has no workplaces");
+
+    // Group houses by ville (x-extent): houses are already pushed in ville
+    // order by `concatenated`, so round-robin per contiguous region works
+    // out to per-ville assignment for equal agents-per-ville counts.
+    let mut personas: Vec<Persona> = (0..n)
+        .map(|id| {
+            let home_area = houses[id as usize % houses.len()];
+            // Pick the job whose door is nearest the home's ville to keep
+            // commutes within a ville.
+            let home_x = map.areas()[home_area].door.x;
+            let work_area = *jobs
+                .iter()
+                .min_by_key(|&&j| {
+                    let dx = (map.areas()[j].door.x - home_x).unsigned_abs();
+                    // Mix in the id so jobs spread across agents.
+                    (dx / 100, (j as u32).wrapping_add(id * 7) % 5)
+                })
+                .expect("jobs nonempty");
+            Persona {
+                id,
+                name: format!("{} {}", FIRST_NAMES[id as usize % FIRST_NAMES.len()], id / 25),
+                home_area,
+                work_area,
+                chattiness: 0.4 + rng.random::<f32>() * 1.2,
+                friends: Vec::new(),
+            }
+        })
+        .collect();
+
+    // Friendships: 2–4 per agent, within the same ville (same house block
+    // of `houses.len() / villes`), symmetric.
+    let per_ville = FIRST_NAMES.len() as u32; // 25 agents per ville by convention
+    for id in 0..n {
+        let ville = id / per_ville;
+        let lo = ville * per_ville;
+        let hi = ((ville + 1) * per_ville).min(n);
+        let want = 2 + (rng.random::<u32>() % 3);
+        let mut attempts = 0;
+        while (personas[id as usize].friends.len() as u32) < want && attempts < 32 {
+            attempts += 1;
+            if hi - lo < 2 {
+                break;
+            }
+            let f = lo + rng.random_range(0..(hi - lo));
+            if f != id && !personas[id as usize].friends.contains(&f) {
+                personas[id as usize].friends.push(f);
+                if !personas[f as usize].friends.contains(&id) {
+                    personas[f as usize].friends.push(id);
+                }
+            }
+        }
+        personas[id as usize].friends.sort_unstable();
+    }
+    personas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_unique_homes_for_25() {
+        let map = TileMap::smallville(25);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ps = generate_personas(&map, 25, &mut rng);
+        assert_eq!(ps.len(), 25);
+        let mut homes: Vec<usize> = ps.iter().map(|p| p.home_area).collect();
+        homes.sort_unstable();
+        homes.dedup();
+        assert_eq!(homes.len(), 25, "each agent gets its own house");
+    }
+
+    #[test]
+    fn friendships_are_symmetric_and_in_range() {
+        let map = TileMap::smallville(25);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ps = generate_personas(&map, 25, &mut rng);
+        for p in &ps {
+            assert!(!p.friends.is_empty(), "{} has no friends", p.name);
+            for &f in &p.friends {
+                assert!(f < 25);
+                assert!(ps[f as usize].is_friend(p.id), "friendship must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let map = TileMap::smallville(25);
+        let a = generate_personas(&map, 25, &mut StdRng::seed_from_u64(9));
+        let b = generate_personas(&map, 25, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_ville_agents_stay_local() {
+        let map = TileMap::smallville(25).concatenated(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ps = generate_personas(&map, 100, &mut rng);
+        for p in &ps {
+            let ville = p.id / 25;
+            let home_door = map.areas()[p.home_area].door;
+            assert_eq!(map.ville_of(home_door, 100), ville, "home in own ville");
+            for &f in &p.friends {
+                assert_eq!(f / 25, ville, "friends stay within the ville");
+            }
+        }
+    }
+
+    #[test]
+    fn chattiness_in_band() {
+        let map = TileMap::smallville(25);
+        let ps = generate_personas(&map, 25, &mut StdRng::seed_from_u64(3));
+        for p in &ps {
+            assert!((0.4..=1.6).contains(&p.chattiness));
+        }
+    }
+}

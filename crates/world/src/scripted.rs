@@ -1,0 +1,183 @@
+//! The "scripted LLM": deterministic decisions and token-length sampling.
+//!
+//! Self-play trace generation needs an LLM stand-in for two things: (1)
+//! behavioral decisions (start a conversation? how many turns?) and (2)
+//! realistic request shapes (prompt/generation token counts per call
+//! kind). Both must be **order-independent** so that lock-step and
+//! out-of-order executions of the same world produce identical outcomes —
+//! therefore every draw comes from a stateless RNG keyed by
+//! `(seed, agent, step, salt)` rather than a shared mutable stream.
+//!
+//! Token-length distributions are calibrated so a full 25-agent day matches
+//! the paper's trace statistics (§4.1): ≈56.7k calls/day, mean input
+//! ≈642.6 tokens, mean output ≈21.9 tokens.
+
+use aim_llm::CallKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A stateless deterministic RNG for one `(agent, step, salt)` site.
+///
+/// # Example
+///
+/// ```
+/// use aim_world::scripted::SiteRng;
+///
+/// let a = SiteRng::new(42, 3, 100, 0).unit();
+/// let b = SiteRng::new(42, 3, 100, 0).unit();
+/// assert_eq!(a, b, "same site, same draw");
+/// assert_ne!(a, SiteRng::new(42, 3, 101, 0).unit());
+/// ```
+#[derive(Debug)]
+pub struct SiteRng(StdRng);
+
+impl SiteRng {
+    /// Creates the RNG for a decision site.
+    pub fn new(seed: u64, agent: u32, step: u32, salt: u32) -> Self {
+        // SplitMix64-style mixing of the site coordinates into one seed.
+        let mut z = seed
+            ^ (agent as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (step as u64).wrapping_mul(0xBF58476D1CE4E5B9)
+            ^ (salt as u64).wrapping_mul(0x94D049BB133111EB);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        SiteRng(StdRng::seed_from_u64(z))
+    }
+
+    /// Uniform `[0, 1)`.
+    pub fn unit(&mut self) -> f32 {
+        self.0.random::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u32) -> u32 {
+        self.0.random_range(0..n)
+    }
+
+    /// Approximately normal sample via Box–Muller, clamped to
+    /// `[mean − 3σ, mean + 3σ]` and to ≥ `min`.
+    pub fn normal(&mut self, mean: f64, sigma: f64, min: f64) -> f64 {
+        let u1 = (self.0.random::<f64>()).max(1e-9);
+        let u2 = self.0.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + sigma * z).clamp((mean - 3.0 * sigma).max(min), mean + 3.0 * sigma)
+    }
+}
+
+/// Samples `(input_tokens, output_tokens)` for a call.
+///
+/// `context_bonus` models prompt growth from memory retrieval (GenAgent
+/// prompts lengthen over the day); `turn` lengthens conversation prompts as
+/// the dialogue history accumulates.
+pub fn sample_call_tokens(
+    rng: &mut SiteRng,
+    kind: CallKind,
+    context_bonus: u32,
+    turn: u32,
+) -> (u32, u32) {
+    let (in_mean, in_sigma, out_mean, out_sigma) = match kind {
+        CallKind::Perceive => (480.0, 100.0, 14.0, 4.0),
+        CallKind::Retrieve => (520.0, 120.0, 16.0, 5.0),
+        CallKind::Plan => (660.0, 170.0, 40.0, 14.0),
+        CallKind::Reflect => (800.0, 190.0, 60.0, 15.0),
+        CallKind::Converse => (420.0 + 45.0 * turn as f64, 85.0, 48.0, 15.0),
+        CallKind::Summarize => (620.0, 140.0, 48.0, 12.0),
+        _ => (560.0, 140.0, 22.0, 8.0),
+    };
+    let input = rng.normal(in_mean, in_sigma, 16.0) as u32 + context_bonus;
+    let output = rng.normal(out_mean, out_sigma, 1.0) as u32;
+    (input, output.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_rng_is_deterministic_and_site_sensitive() {
+        let draw = |agent, step, salt| SiteRng::new(7, agent, step, salt).unit();
+        assert_eq!(draw(1, 2, 3), draw(1, 2, 3));
+        assert_ne!(draw(1, 2, 3), draw(2, 2, 3));
+        assert_ne!(draw(1, 2, 3), draw(1, 3, 3));
+        assert_ne!(draw(1, 2, 3), draw(1, 2, 4));
+    }
+
+    #[test]
+    fn normal_respects_bounds() {
+        let mut rng = SiteRng::new(1, 0, 0, 0);
+        for _ in 0..1000 {
+            let x = rng.normal(100.0, 20.0, 10.0);
+            assert!((40.0..=160.0).contains(&x), "3-sigma clamp violated: {x}");
+        }
+        let mut rng = SiteRng::new(1, 0, 0, 1);
+        let tight = rng.normal(5.0, 10.0, 4.0);
+        assert!(tight >= 4.0, "min clamp violated: {tight}");
+    }
+
+    #[test]
+    fn token_mixture_matches_paper_scale() {
+        // Weighted by the village's empirical call mix (perceive-dominated),
+        // means must land near 642.6 in / 21.9 out (±25%).
+        let mix = [
+            (CallKind::Perceive, 0.58),
+            (CallKind::Retrieve, 0.22),
+            (CallKind::Plan, 0.12),
+            (CallKind::Converse, 0.05),
+            (CallKind::Reflect, 0.015),
+            (CallKind::Summarize, 0.015),
+        ];
+        let mut in_sum = 0.0;
+        let mut out_sum = 0.0;
+        let mut salt = 0;
+        for (kind, weight) in mix {
+            let mut in_avg = 0.0;
+            let mut out_avg = 0.0;
+            const N: u32 = 2000;
+            for i in 0..N {
+                let mut rng = SiteRng::new(99, i, salt, 0);
+                let turn = if kind == CallKind::Converse { i % 8 } else { 0 };
+                let (inp, out) = sample_call_tokens(&mut rng, kind, 100, turn);
+                in_avg += inp as f64 / N as f64;
+                out_avg += out as f64 / N as f64;
+            }
+            in_sum += weight * in_avg;
+            out_sum += weight * out_avg;
+            salt += 1;
+        }
+        assert!(
+            (480.0..=810.0).contains(&in_sum),
+            "mixture input mean {in_sum:.1} too far from 642.6"
+        );
+        assert!(
+            (15.0..=29.0).contains(&out_sum),
+            "mixture output mean {out_sum:.1} too far from 21.9"
+        );
+    }
+
+    #[test]
+    fn conversation_prompts_grow_with_turns() {
+        let sample = |turn| {
+            let mut acc = 0u64;
+            for i in 0..200 {
+                let mut rng = SiteRng::new(5, i, turn, 2);
+                acc += sample_call_tokens(&mut rng, CallKind::Converse, 0, turn).0 as u64;
+            }
+            acc / 200
+        };
+        assert!(sample(8) > sample(0) + 250, "turn 8 prompts must be much longer");
+    }
+
+    #[test]
+    fn outputs_are_never_zero() {
+        for i in 0..500 {
+            let mut rng = SiteRng::new(3, i, i, 9);
+            let (_, out) = sample_call_tokens(&mut rng, CallKind::Perceive, 0, 0);
+            assert!(out >= 1);
+        }
+    }
+}

@@ -1,0 +1,797 @@
+//! The assembled world: agents living a day in (possibly concatenated)
+//! SmallVille.
+//!
+//! # Two-phase steps
+//!
+//! Executing an agent's step is split into a **pure plan** and a
+//! **mutating commit**:
+//!
+//! * [`Village::plan_step`] reads only committed world state (positions,
+//!   conversation states, schedules) plus a *stateless* per-`(agent, step)`
+//!   RNG, and returns a [`StepPlan`] — the LLM calls to issue, the intended
+//!   move, and buffered side effects;
+//! * [`Village::commit_step`] applies a batch of plans atomically,
+//!   resolving conflicts deterministically (lowest-id initiator wins a
+//!   contested conversation).
+//!
+//! This mirrors the paper's worker loop (`agent.proceed` then
+//! `world.resolve_conflict_and_commit`, Algorithm 3) and is what makes
+//! out-of-order execution *outcome-equivalent* to lock-step: any schedule
+//! that respects the §3.2 rules commits the same plans in the same
+//! per-agent order, so world evolution is identical — a property the
+//! integration tests verify.
+
+use aim_core::space::Point;
+use aim_core::workload::CallSpec;
+use aim_llm::CallKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::conversation::{sample_turns, start_probability, CONV_COOLDOWN, CONV_RADIUS};
+use crate::grid::TileMap;
+use crate::memory::{MemoryKind, MemoryStream};
+use crate::pathfind::astar;
+use crate::persona::{generate_personas, Persona};
+use crate::schedule::{ActivityKind, DailySchedule, ScheduleEntry};
+use crate::scripted::{sample_call_tokens, SiteRng};
+
+/// Configuration of a generated village.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VillageConfig {
+    /// SmallVille copies laid side by side (paper §4.3 scaling).
+    pub villes: u32,
+    /// Agents per copy (25 in the paper).
+    pub agents_per_ville: u32,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+}
+
+impl Default for VillageConfig {
+    fn default() -> Self {
+        VillageConfig { villes: 1, agents_per_ville: 25, seed: 42 }
+    }
+}
+
+impl VillageConfig {
+    /// Total agent count.
+    pub fn num_agents(&self) -> u32 {
+        self.villes * self.agents_per_ville
+    }
+}
+
+/// Things that happened during a commit (event log for tests/demos).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WorldEventKind {
+    /// Agent got out of bed (morning planning chain fired).
+    WokeUp,
+    /// Agent went to sleep.
+    Slept,
+    /// A conversation between two agents began.
+    ConversationStarted {
+        /// The other participant.
+        partner: u32,
+    },
+    /// A conversation ended (summaries written to memory).
+    ConversationEnded {
+        /// The other participant.
+        partner: u32,
+    },
+    /// A reflection was synthesized.
+    Reflected,
+}
+
+/// A committed world event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorldEvent {
+    /// Absolute step of the commit.
+    pub step: u32,
+    /// Acting agent.
+    pub agent: u32,
+    /// What happened.
+    pub kind: WorldEventKind,
+}
+
+/// The buffered outcome of planning one agent-step (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPlan {
+    /// LLM calls to issue, in order (each waits for the previous).
+    pub calls: Vec<CallSpec>,
+    /// Position after the step commits.
+    pub move_to: Point,
+    pub(crate) new_path: Option<Vec<Point>>,
+    /// One-step conversation held during this step: `(partner, turns)`.
+    pub(crate) conv_full: Option<(u32, u32)>,
+    pub(crate) memory_adds: Vec<(MemoryKind, f32, Vec<u32>)>,
+    pub(crate) wake_change: Option<bool>,
+    pub(crate) reflected: bool,
+}
+
+impl StepPlan {
+    /// Whether this plan wakes the agent up (morning chain).
+    pub fn wakes_up(&self) -> bool {
+        self.wake_change == Some(true)
+    }
+
+    /// Whether this plan holds a full conversation (and with whom).
+    pub fn conversation(&self) -> Option<(u32, u32)> {
+        self.conv_full
+    }
+
+    fn stay(pos: Point) -> Self {
+        StepPlan {
+            calls: Vec::new(),
+            move_to: pos,
+            new_path: None,
+            conv_full: None,
+            memory_adds: Vec::new(),
+            wake_change: None,
+            reflected: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AgentRt {
+    persona: Persona,
+    schedule: DailySchedule,
+    pos: Point,
+    /// Remaining tiles toward `target` (next tile first; `pos` excluded).
+    path: Vec<Point>,
+    target: Point,
+    cooldown_until: u32,
+    awake: bool,
+    last_block_start: u32,
+    memory: MemoryStream,
+}
+
+/// The world. See the module docs for the plan/commit protocol.
+#[derive(Debug, Clone)]
+pub struct Village {
+    cfg: VillageConfig,
+    map: TileMap,
+    agents: Vec<AgentRt>,
+    events: Vec<WorldEvent>,
+    /// Spatial hash of committed positions (cell side [`BUCKET_CELL`]),
+    /// so neighbor queries stay O(local density) at 1000 agents.
+    buckets: std::collections::HashMap<(i32, i32), Vec<u32>>,
+}
+
+/// Spatial-hash cell side; ≥ the largest query radius used in planning.
+const BUCKET_CELL: i32 = 8;
+
+fn bucket_of(p: Point) -> (i32, i32) {
+    (p.x.div_euclid(BUCKET_CELL), p.y.div_euclid(BUCKET_CELL))
+}
+
+// Perception tuning (see DESIGN.md §4.4 and the stats tests in aim-trace):
+// chosen so a 25-agent day lands near the paper's 56.7k calls, and —
+// just as important for scheduling studies — so per-step work is *bursty*:
+// most agent-steps issue nothing, a few issue multi-call chains. That
+// imbalance is what §2.2 identifies as the source of low parallelism
+// under global synchronization.
+const PERCEIVE_BASE: f32 = 0.085;
+const PERCEIVE_PER_NEIGHBOR: f32 = 0.032;
+const PERCEIVE_CAP: f32 = 0.38;
+const AMBIENT_P: f32 = 0.085;
+const REACT_RETRIEVE_P: f32 = 0.75;
+
+// Salts for the stateless decision RNG.
+const SALT_PERCEIVE: u32 = 1;
+const SALT_TOKENS: u32 = 2;
+const SALT_CONV: u32 = 3;
+const SALT_REACT: u32 = 4;
+
+impl Village {
+    /// Generates a village from `cfg` (deterministic in the seed).
+    pub fn generate(cfg: &VillageConfig) -> Self {
+        let base = TileMap::smallville(cfg.agents_per_ville.min(40));
+        let map = if cfg.villes > 1 { base.concatenated(cfg.villes) } else { base };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let personas = generate_personas(&map, cfg.num_agents(), &mut rng);
+        let agents = personas
+            .into_iter()
+            .map(|persona| {
+                let schedule = DailySchedule::generate(&map, &persona, &mut rng);
+                let pos = Self::seat_static(&map, persona.id, persona.home_area);
+                AgentRt {
+                    pos,
+                    target: pos,
+                    path: Vec::new(),
+                    cooldown_until: 0,
+                    awake: false,
+                    last_block_start: u32::MAX,
+                    memory: MemoryStream::new(),
+                    schedule,
+                    persona,
+                }
+            })
+            .collect();
+        let mut village =
+            Village { cfg: *cfg, map, agents, events: Vec::new(), buckets: Default::default() };
+        for i in 0..village.agents.len() {
+            let pos = village.agents[i].pos;
+            village.buckets.entry(bucket_of(pos)).or_default().push(i as u32);
+        }
+        village
+    }
+
+    /// The configuration used to generate the village.
+    pub fn config(&self) -> &VillageConfig {
+        &self.cfg
+    }
+
+    /// The tile map.
+    pub fn map(&self) -> &TileMap {
+        &self.map
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Current (committed) position of `agent`.
+    pub fn pos(&self, agent: u32) -> Point {
+        self.agents[agent as usize].pos
+    }
+
+    /// All committed positions, by agent id.
+    pub fn positions(&self) -> Vec<Point> {
+        self.agents.iter().map(|a| a.pos).collect()
+    }
+
+    /// The persona of `agent`.
+    pub fn persona(&self, agent: u32) -> &Persona {
+        &self.agents[agent as usize].persona
+    }
+
+    /// Step until which `agent` is on conversation cooldown.
+    pub fn conversation_cooldown(&self, agent: u32) -> u32 {
+        self.agents[agent as usize].cooldown_until
+    }
+
+    /// Committed world events so far.
+    pub fn events(&self) -> &[WorldEvent] {
+        &self.events
+    }
+
+    /// A deterministic per-agent spot inside an area's interior.
+    fn seat_static(map: &TileMap, agent: u32, area_idx: usize) -> Point {
+        let area = &map.areas()[area_idx];
+        let w = (area.max.x - area.min.x - 1).max(1);
+        let h = (area.max.y - area.min.y - 1).max(1);
+        let hx = (agent as i32).wrapping_mul(31) & 0x7fff;
+        let hy = (agent as i32).wrapping_mul(57) & 0x7fff;
+        let p = Point::new(area.min.x + 1 + hx % w, area.min.y + 1 + hy % h);
+        if map.is_walkable(p) {
+            p
+        } else {
+            area.anchor()
+        }
+    }
+
+    fn seat(&self, agent: u32, area_idx: usize) -> Point {
+        Self::seat_static(&self.map, agent, area_idx)
+    }
+
+    /// Awake agents within `units` of `agent`'s committed position
+    /// (excluding `agent`), sorted nearest-first then by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `units` exceeds the spatial-hash cell size, which
+    /// would silently miss neighbors.
+    pub fn neighbors_within(&self, agent: u32, units: u64) -> Vec<u32> {
+        debug_assert!(units as i32 <= BUCKET_CELL, "query radius exceeds bucket cell");
+        let me = self.agents[agent as usize].pos;
+        let (cx, cy) = bucket_of(me);
+        let mut out: Vec<(u64, u32)> = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) else { continue };
+                for &i in ids {
+                    if i == agent || !self.agents[i as usize].awake {
+                        continue;
+                    }
+                    let d2 = me.dist2(self.agents[i as usize].pos);
+                    if d2 <= units * units {
+                        out.push((d2, i));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Plans `agent`'s step `step` against committed state (pure; see
+    /// module docs).
+    pub fn plan_step(&self, agent: u32, step: u32) -> StepPlan {
+        let a = &self.agents[agent as usize];
+        let block: ScheduleEntry = a.schedule.at(step);
+        let seed = self.cfg.seed;
+
+        // --- Sleep / wake transitions -----------------------------------
+        if block.kind == ActivityKind::Sleep {
+            let mut plan = self.plan_movement(agent, block.area);
+            if a.awake {
+                plan.wake_change = Some(false);
+            }
+            return plan; // silent: no calls while heading to/being in bed
+        }
+        if !a.awake {
+            // Wake up: morning chain (retrieve yesterday, plan the day).
+            let mut plan = StepPlan::stay(a.pos);
+            plan.wake_change = Some(true);
+            let ctx = a.memory.context_tokens();
+            let mut trng = SiteRng::new(seed, agent, step, SALT_TOKENS);
+            // Morning chain: recall yesterday, then draft the day plan and
+            // decompose it (GenAgent plans hierarchically: day → hourly).
+            for kind in [CallKind::Retrieve, CallKind::Plan, CallKind::Plan, CallKind::Plan] {
+                let (i, o) = sample_call_tokens(&mut trng, kind, ctx, 0);
+                plan.calls.push(CallSpec::new(i, o, kind));
+            }
+            plan.memory_adds.push((MemoryKind::Plan, 4.0, vec![agent]));
+            return plan;
+        }
+
+        // --- Movement toward the scheduled area --------------------------
+        let mut plan = self.plan_movement(agent, block.area);
+        let ctx = a.memory.context_tokens();
+        let mut trng = SiteRng::new(seed, agent, step, SALT_TOKENS);
+
+        // --- Activity boundary: re-planning chain -------------------------
+        if a.last_block_start != block.start {
+            for kind in [CallKind::Retrieve, CallKind::Plan] {
+                let (i, o) = sample_call_tokens(&mut trng, kind, ctx, 0);
+                plan.calls.push(CallSpec::new(i, o, kind));
+            }
+            plan.memory_adds.push((MemoryKind::Plan, 3.0, vec![agent]));
+        }
+
+        // --- Perception ---------------------------------------------------
+        let neighbors = self.neighbors_within(agent, 4); // radius_p
+        let crowd = neighbors.len().min(5) as f32;
+        let p = if neighbors.is_empty() {
+            AMBIENT_P * Self::perceive_factor(block.kind) * 0.5
+        } else {
+            ((PERCEIVE_BASE + PERCEIVE_PER_NEIGHBOR * crowd)
+                * Self::perceive_factor(block.kind))
+            .min(PERCEIVE_CAP)
+        };
+        let mut prng = SiteRng::new(seed, agent, step, SALT_PERCEIVE);
+        if prng.unit() < p {
+            let (i, o) = sample_call_tokens(&mut trng, CallKind::Perceive, ctx, 0);
+            plan.calls.push(CallSpec::new(i, o, CallKind::Perceive));
+            let kws: Vec<u32> = neighbors.iter().take(3).copied().collect();
+            plan.memory_adds.push((MemoryKind::Observation, 1.0 + 2.0 * prng.unit(), kws));
+            // Perceived events usually warrant reactions: retrieve related
+            // memories (often for several perceived events), and half the
+            // time also decide on an action — GenAgent's react path. This
+            // makes active steps multi-call chains, reproducing the heavy
+            // per-step imbalance of Fig. 1.
+            let mut rrng = SiteRng::new(seed, agent, step, SALT_REACT);
+            if rrng.unit() < REACT_RETRIEVE_P {
+                let extra_retrieves = 1 + (rrng.unit() * 2.0) as u32; // 1-2
+                for _ in 0..extra_retrieves {
+                    let (i, o) = sample_call_tokens(&mut trng, CallKind::Retrieve, ctx, 0);
+                    plan.calls.push(CallSpec::new(i, o, CallKind::Retrieve));
+                }
+                if rrng.unit() < 0.55 {
+                    let (i, o) = sample_call_tokens(&mut trng, CallKind::Plan, ctx, 0);
+                    plan.calls.push(CallSpec::new(i, o, CallKind::Plan));
+                }
+            }
+        }
+
+        // --- Reflection ----------------------------------------------------
+        // GenAgent reflections are multi-question trees: generate focal
+        // questions, retrieve evidence for each, then synthesize insights.
+        // The resulting 5-call chain is one of the longest non-conversation
+        // chains in the workload (a Fig. 1 "straggler").
+        if a.memory.should_reflect() {
+            for kind in [
+                CallKind::Plan, // focal questions
+                CallKind::Retrieve,
+                CallKind::Retrieve,
+                CallKind::Reflect,
+                CallKind::Reflect,
+            ] {
+                let (i, o) = sample_call_tokens(&mut trng, kind, ctx, 0);
+                plan.calls.push(CallSpec::new(i, o, kind));
+            }
+            plan.reflected = true;
+        }
+
+        // --- Conversation initiation ---------------------------------------
+        if step >= a.cooldown_until {
+            let social = block.kind.social_factor();
+            if social > 0.0 {
+                let candidates: Vec<u32> = self
+                    .neighbors_within(agent, CONV_RADIUS)
+                    .into_iter()
+                    .filter(|&c| step >= self.agents[c as usize].cooldown_until)
+                    .collect();
+                if let Some(&cand) = candidates.first() {
+                    let p = start_probability(
+                        a.persona.chattiness,
+                        a.persona.is_friend(cand),
+                        social,
+                    );
+                    let mut crng = SiteRng::new(seed, agent, step, SALT_CONV);
+                    if crng.unit() < p {
+                        // GenAgent resolves a whole dialogue within the
+                        // step: alternating utterances form one long
+                        // sequential chain (the Fig. 1 stragglers that
+                        // dominate the busy hour), closed by a summary.
+                        let turns = sample_turns(crng.unit());
+                        for turn in 0..turns {
+                            let (i, o) =
+                                sample_call_tokens(&mut trng, CallKind::Converse, ctx, turn);
+                            plan.calls.push(CallSpec::new(i, o, CallKind::Converse));
+                        }
+                        let (i, o) = sample_call_tokens(&mut trng, CallKind::Summarize, ctx, 0);
+                        plan.calls.push(CallSpec::new(i, o, CallKind::Summarize));
+                        plan.conv_full = Some((cand, turns));
+                        plan.memory_adds.push((MemoryKind::Conversation, 6.0, vec![agent, cand]));
+                        // Stay put to talk.
+                        plan.move_to = a.pos;
+                        plan.new_path = None;
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    fn perceive_factor(kind: ActivityKind) -> f32 {
+        match kind {
+            ActivityKind::Sleep => 0.0,
+            ActivityKind::Home => 1.1,
+            ActivityKind::Work => 1.0,
+            ActivityKind::Lunch => 1.8,
+            ActivityKind::Shop => 1.2,
+            ActivityKind::Social => 1.2,
+        }
+    }
+
+    /// Movement half of a plan: follow (or recompute) the path toward the
+    /// agent's seat in `area_idx`, advancing at most one tile (max_vel=1).
+    fn plan_movement(&self, agent: u32, area_idx: usize) -> StepPlan {
+        let a = &self.agents[agent as usize];
+        let seat = self.seat(agent, area_idx);
+        if a.pos == seat {
+            return StepPlan::stay(a.pos);
+        }
+        // Reuse the cached path when it still leads to the right target.
+        if a.target == seat {
+            if let Some(&next) = a.path.first() {
+                if a.pos.manhattan(next) == 1 && self.map.is_walkable(next) {
+                    let mut plan = StepPlan::stay(next);
+                    plan.move_to = next;
+                    return plan;
+                }
+            }
+        }
+        // (Re)plan.
+        match astar(&self.map, a.pos, seat) {
+            Some(path) if path.len() >= 2 => {
+                let tail: Vec<Point> = path[1..].to_vec();
+                let mut plan = StepPlan::stay(tail[0]);
+                plan.new_path = Some(tail);
+                plan
+            }
+            _ => StepPlan::stay(a.pos), // unreachable seat: stay put
+        }
+    }
+
+    /// Applies a batch of plans for `step` atomically (see module docs).
+    ///
+    /// Plans are applied in ascending agent order; contested conversation
+    /// initiations resolve toward the lowest initiator id, and initiations
+    /// whose partner is not part of this batch are dropped (the engine's
+    /// coupling rules guarantee partners share a cluster, so this only
+    /// fires under deliberately unsound policies).
+    ///
+    /// Returns the events committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent id is out of range or appears twice.
+    pub fn commit_step(&mut self, step: u32, plans: &[(u32, StepPlan)]) -> Vec<WorldEvent> {
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        order.sort_by_key(|&i| plans[i].0);
+        for w in order.windows(2) {
+            assert_ne!(plans[w[0]].0, plans[w[1]].0, "duplicate agent in commit batch");
+        }
+        let mut events = Vec::new();
+        let Village { agents, buckets, .. } = self;
+        for &i in &order {
+            let (agent, plan) = &plans[i];
+            let block_start = agents[*agent as usize].schedule.at(step).start;
+            let a = &mut agents[*agent as usize];
+            if let Some(awake) = plan.wake_change {
+                a.awake = awake;
+                events.push(WorldEvent {
+                    step,
+                    agent: *agent,
+                    kind: if awake { WorldEventKind::WokeUp } else { WorldEventKind::Slept },
+                });
+            }
+            if let Some(path) = &plan.new_path {
+                a.path = path.clone();
+                a.target = *path.last().expect("paths are non-empty");
+            }
+            if plan.move_to != a.pos {
+                let (old_b, new_b) = (bucket_of(a.pos), bucket_of(plan.move_to));
+                a.pos = plan.move_to;
+                if a.path.first() == Some(&plan.move_to) {
+                    a.path.remove(0);
+                }
+                if old_b != new_b {
+                    let cell = buckets.get_mut(&old_b).expect("agent was indexed");
+                    cell.retain(|&x| x != *agent);
+                    buckets.entry(new_b).or_default().push(*agent);
+                }
+            }
+            for (kind, importance, kws) in &plan.memory_adds {
+                a.memory.observe(step, *kind, *importance, kws.clone());
+            }
+            if plan.reflected {
+                a.memory.reflect(step, vec![*agent]);
+                events.push(WorldEvent { step, agent: *agent, kind: WorldEventKind::Reflected });
+            }
+            a.last_block_start = block_start;
+        }
+        // Conversation commits after all individual updates, lowest
+        // initiator first (deterministic conflict resolution: a partner
+        // already engaged this step declines later initiations).
+        for &i in &order {
+            let (agent, plan) = &plans[i];
+            let Some((partner, _turns)) = plan.conv_full else { continue };
+            let partner_in_batch = plans.iter().any(|(a2, _)| *a2 == partner);
+            if !partner_in_batch {
+                continue;
+            }
+            if !self.agents[partner as usize].awake {
+                continue;
+            }
+            // Both sides go on cooldown; the partner remembers the chat.
+            self.agents[*agent as usize].cooldown_until = step + CONV_COOLDOWN;
+            self.agents[partner as usize].cooldown_until = step + CONV_COOLDOWN;
+            let kws = vec![*agent, partner];
+            self.agents[partner as usize].memory.observe(
+                step,
+                MemoryKind::Conversation,
+                6.0,
+                kws,
+            );
+            events.push(WorldEvent {
+                step,
+                agent: *agent,
+                kind: WorldEventKind::ConversationStarted { partner },
+            });
+            events.push(WorldEvent {
+                step,
+                agent: *agent,
+                kind: WorldEventKind::ConversationEnded { partner },
+            });
+        }
+        self.events.extend(events.iter().copied());
+        events
+    }
+
+    /// Runs the world in global lock-step over `[start, end)`, invoking
+    /// `sink(step, agent, plan, new_pos)` for every agent-step — the
+    /// self-play loop used for trace synthesis.
+    pub fn run_lockstep(
+        &mut self,
+        start: u32,
+        end: u32,
+        mut sink: impl FnMut(u32, u32, &StepPlan, Point),
+    ) {
+        for step in start..end {
+            let plans: Vec<(u32, StepPlan)> = (0..self.agents.len() as u32)
+                .map(|a| (a, self.plan_step(a, step)))
+                .collect();
+            self.commit_step(step, &plans);
+            for (agent, plan) in &plans {
+                sink(step, *agent, plan, self.agents[*agent as usize].pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clock_to_step, STEPS_PER_HOUR};
+
+    fn village() -> Village {
+        Village::generate(&VillageConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = village();
+        let b = village();
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.persona(3), b.persona(3));
+    }
+
+    #[test]
+    fn agents_start_asleep_at_home() {
+        let v = village();
+        for agent in 0..v.num_agents() as u32 {
+            let home = v.persona(agent).home_area;
+            let area = &v.map().areas()[home];
+            assert!(area.contains(v.pos(agent)), "{agent} must start in its home");
+            assert!(!v.agents[agent as usize].awake);
+        }
+    }
+
+    #[test]
+    fn night_steps_emit_no_calls() {
+        let mut v = village();
+        let mut calls = 0u64;
+        let start = clock_to_step(2, 0);
+        v.run_lockstep(start, start + 30, |_, _, plan, _| calls += plan.calls.len() as u64);
+        assert_eq!(calls, 0, "2am: everyone asleep, no LLM traffic");
+    }
+
+    #[test]
+    fn morning_wakes_emit_planning_chains() {
+        let mut v = village();
+        let mut wakes = 0;
+        let mut chains = 0;
+        v.run_lockstep(clock_to_step(5, 0), clock_to_step(9, 0), |_, _, plan, _| {
+            if plan.wake_change == Some(true) {
+                wakes += 1;
+                assert_eq!(plan.calls.len(), 4, "wake chain = retrieve + 3 plans");
+                chains += 1;
+            }
+        });
+        assert_eq!(wakes, 25, "everyone wakes between 5am and 9am");
+        assert_eq!(chains, 25);
+    }
+
+    #[test]
+    fn agents_reach_work_by_late_morning() {
+        let mut v = village();
+        v.run_lockstep(0, clock_to_step(11, 0), |_, _, _, _| {});
+        let mut at_work = 0;
+        for agent in 0..25u32 {
+            let work = v.persona(agent).work_area;
+            if v.map().areas()[work].contains(v.pos(agent)) {
+                at_work += 1;
+            }
+        }
+        assert!(at_work >= 20, "most agents should be at work by 11am, got {at_work}");
+    }
+
+    #[test]
+    fn movement_respects_max_vel_and_walls() {
+        let mut v = village();
+        let mut prev = v.positions();
+        v.run_lockstep(clock_to_step(8, 0), clock_to_step(8, 0) + 120, |step, agent, _, new| {
+            let old = prev[agent as usize];
+            assert!(
+                old.manhattan(new) <= 1,
+                "agent {agent} jumped {old} → {new} at step {step}"
+            );
+            assert!(v_is_walkable_proxy(new), "agent {agent} stood on a wall at {new}");
+            prev[agent as usize] = new;
+        });
+        // Walkability re-checked against a fresh map (v is borrowed in the closure).
+        fn v_is_walkable_proxy(p: Point) -> bool {
+            TileMap::smallville(25).is_walkable(p)
+        }
+    }
+
+    #[test]
+    fn lunch_hour_produces_conversations() {
+        let mut v = village();
+        v.run_lockstep(0, clock_to_step(13, 30), |_, _, _, _| {});
+        let started = v
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, WorldEventKind::ConversationStarted { .. }))
+            .count();
+        assert!(started >= 3, "a day through lunch should spark conversations, got {started}");
+        // Conversations happened between nearby agents and produced calls.
+        let conv_calls = v.events().iter().any(|e| {
+            matches!(e.kind, WorldEventKind::ConversationEnded { .. })
+        });
+        assert!(conv_calls, "at least one conversation should have ended");
+    }
+
+    #[test]
+    fn busy_hour_is_busier_than_quiet_hour() {
+        let mut v = village();
+        let mut by_window = [0u64; 2];
+        let quiet = clock_to_step(6, 0)..clock_to_step(7, 0);
+        let busy = clock_to_step(12, 0)..clock_to_step(13, 0);
+        v.run_lockstep(0, clock_to_step(14, 0), |step, _, plan, _| {
+            if quiet.contains(&step) {
+                by_window[0] += plan.calls.len() as u64;
+            } else if busy.contains(&step) {
+                by_window[1] += plan.calls.len() as u64;
+            }
+        });
+        assert!(
+            by_window[1] > by_window[0] * 2,
+            "busy hour ({}) must far exceed quiet hour ({})",
+            by_window[1],
+            by_window[0]
+        );
+    }
+
+    #[test]
+    fn conversations_form_one_step_chains() {
+        let mut v = village();
+        // (step, agent, #converse, #summarize) per initiation plan.
+        let mut chains: Vec<(u32, u32, usize, usize)> = Vec::new();
+        v.run_lockstep(0, clock_to_step(13, 0), |step, agent, plan, _| {
+            if plan.conv_full.is_some() {
+                let conv =
+                    plan.calls.iter().filter(|c| c.kind == CallKind::Converse).count();
+                let summ =
+                    plan.calls.iter().filter(|c| c.kind == CallKind::Summarize).count();
+                chains.push((step, agent, conv, summ));
+            }
+        });
+        let started: Vec<WorldEvent> = v
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, WorldEventKind::ConversationStarted { .. }))
+            .copied()
+            .collect();
+        assert!(!started.is_empty(), "a morning through lunch should start a conversation");
+        for ev in &started {
+            // The initiator's step plan carries the whole alternating
+            // dialogue: ≥3 utterances plus one closing summary.
+            let chain = chains
+                .iter()
+                .find(|(s, a, _, _)| *s == ev.step && *a == ev.agent)
+                .expect("initiator planned a conversation chain");
+            assert!(chain.2 >= 3, "dialogue too short: {chain:?}");
+            assert_eq!(chain.3, 1, "exactly one summary per conversation");
+        }
+        // Cooldown: the initiator of the first conversation is on cooldown.
+        let first = started[0];
+        assert!(v.conversation_cooldown(first.agent) > first.step);
+    }
+
+    #[test]
+    fn plan_is_pure() {
+        let v = village();
+        let step = clock_to_step(9, 0);
+        let p1 = v.plan_step(3, step);
+        let p2 = v.plan_step(3, step);
+        assert_eq!(p1, p2, "plan_step must be deterministic and side-effect free");
+    }
+
+    #[test]
+    fn commit_rejects_duplicate_agents() {
+        let mut v = village();
+        let plan = v.plan_step(0, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v.commit_step(0, &[(0, plan.clone()), (0, plan.clone())]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn one_hour_runs_quickly_and_produces_calls() {
+        let mut v = village();
+        let mut calls = 0u64;
+        v.run_lockstep(clock_to_step(8, 0), clock_to_step(8, 0) + STEPS_PER_HOUR, |_, _, p, _| {
+            calls += p.calls.len() as u64
+        });
+        // Note: agents were never woken (we skipped the morning), so this
+        // measures wake-chain + work-hour traffic after a cold start.
+        assert!(calls > 100, "an active hour must produce traffic, got {calls}");
+    }
+}

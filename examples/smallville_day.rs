@@ -1,0 +1,75 @@
+//! A full simulated day in SmallVille: generate the workload, inspect its
+//! diurnal shape, and compare every scheduling mode on a 4-GPU deployment.
+//!
+//! ```text
+//! cargo run --release --example smallville_day
+//! ```
+
+use std::sync::Arc;
+
+use ai_metropolis::core::exec::sim::{run_sim, SimConfig};
+use ai_metropolis::core::workload::Workload;
+use ai_metropolis::llm::{presets, ServerConfig, SimServer};
+use ai_metropolis::prelude::*;
+use ai_metropolis::store::Db;
+use ai_metropolis::trace::{gen, oracle, stats};
+
+fn main() {
+    println!("Generating one simulated day of 25-agent SmallVille…");
+    let trace = gen::generate(&GenConfig::full_day(42));
+    let s = stats::compute(&trace);
+    println!(
+        "{} LLM calls | mean {:.0} input / {:.0} output tokens | {:.2} deps/agent\n",
+        s.total_calls, s.mean_input_tokens, s.mean_output_tokens, s.avg_dependencies
+    );
+    println!("Calls per simulated hour (the paper's Fig. 4c):");
+    println!("{}", stats::render_hourly(&s, 46));
+
+    let preset = presets::l4_llama3_8b();
+    let server = ServerConfig::from_preset(preset.clone(), 4, true);
+    let graph = Arc::new(oracle::mine(&trace));
+    let meta = trace.meta();
+    let initial: Vec<Point> =
+        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+
+    println!("Replaying the day on 4 simulated L4 GPUs…\n");
+    let mut baseline = None;
+    for (name, policy, sim) in [
+        (
+            "single-thread",
+            DependencyPolicy::GlobalSync,
+            SimConfig::single_thread(),
+        ),
+        ("parallel-sync", DependencyPolicy::GlobalSync, SimConfig::default()),
+        ("metropolis", DependencyPolicy::Spatiotemporal, SimConfig::default()),
+        (
+            "oracle",
+            DependencyPolicy::Oracle(Arc::clone(&graph)),
+            SimConfig::default(),
+        ),
+    ] {
+        let mut sched = Scheduler::new(
+            Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
+            RuleParams::new(meta.radius_p, meta.max_vel),
+            policy,
+            Arc::new(Db::new()),
+            &initial,
+            Workload::target_step(&trace),
+        )
+        .expect("scheduler");
+        let mut llm = SimServer::new(server.clone());
+        let report = run_sim(&mut sched, &trace, &mut llm, &sim).expect("replay");
+        let vs = baseline
+            .get_or_insert(report.makespan.as_secs_f64())
+            .to_owned()
+            / report.makespan.as_secs_f64();
+        println!(
+            "{name:>14}: {:>9.1}s ({vs:4.2}x vs single-thread) | parallelism {:>5.2} | skew {:>3} steps",
+            report.makespan.as_secs_f64(),
+            report.achieved_parallelism,
+            report.sched.max_step_skew
+        );
+    }
+    println!("\nLower completion time with identical simulation outcome — that");
+    println!("is the whole point of out-of-order execution (paper §3).");
+}

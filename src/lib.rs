@@ -1,0 +1,45 @@
+//! # AI Metropolis — reproduction facade
+//!
+//! One-stop crate re-exporting the whole workspace:
+//!
+//! * [`core`] — the out-of-order scheduling engine (rules,
+//!   dependency graph, clustering, scheduler, executors, speculative
+//!   execution with rollback, hybrid interactive driver).
+//! * [`llm`] — the virtual-time LLM serving simulator and backend
+//!   traits.
+//! * [`world`] — the GenAgent-style SmallVille substrate.
+//! * [`trace`] — workload traces: generation, codec, oracle
+//!   mining, critical paths.
+//! * [`store`] — the embedded transactional KV store.
+//!
+//! See the repository README for a tour and `examples/` for runnable
+//! programs; the paper's tables and figures regenerate via
+//! `cargo run --release -p aim-bench --bin repro -- all`.
+//!
+//! ```
+//! use ai_metropolis::prelude::*;
+//! use ai_metropolis::llm::{presets, ServerConfig};
+//!
+//! let engine = Engine::builder(GridSpace::new(100, 140))
+//!     .policy(DependencyPolicy::Spatiotemporal)
+//!     .server(ServerConfig::from_preset(presets::tiny_test(), 1, true))
+//!     .build();
+//! # let _ = engine;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use aim_core as core;
+pub use aim_llm as llm;
+pub use aim_store as store;
+pub use aim_trace as trace;
+pub use aim_world as world;
+
+/// Commonly used names from every crate.
+pub mod prelude {
+    pub use aim_core::prelude::*;
+    pub use aim_core::workload::{CallSpec, Workload};
+    pub use aim_llm::{CallKind, LlmBackend, LlmRequest, LlmResponse, RequestId, VirtualTime};
+    pub use aim_trace::{gen::GenConfig, Trace};
+    pub use aim_world::{Village, VillageConfig};
+}
