@@ -39,7 +39,10 @@ fn bench_pairs_within(c: &mut Criterion) {
     let space = GridSpace::new(4000, 4000);
     let mut g = c.benchmark_group("clustering/pairs_within");
     for n in [100u32, 1000] {
-        let pts: Vec<Point> = crowd(n, (n / 20).max(1)).into_iter().map(|(_, p)| p).collect();
+        let pts: Vec<Point> = crowd(n, (n / 20).max(1))
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
             b.iter(|| black_box(space.pairs_within(black_box(pts), 5)));
         });

@@ -14,7 +14,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn scatter(n: u32, spread: i32) -> Vec<Point> {
     (0..n)
         .map(|i| {
-            let x = (i as i32).wrapping_mul(2654435761u32 as i32).rem_euclid(spread);
+            let x = (i as i32)
+                .wrapping_mul(2654435761u32 as i32)
+                .rem_euclid(spread);
             let y = (i as i32).wrapping_mul(40503).rem_euclid(spread);
             Point::new(x, y)
         })
@@ -40,7 +42,9 @@ fn bench_advance(c: &mut Criterion) {
             b.iter(|| {
                 let a = AgentId(i % n);
                 let pos = graph.pos(a);
-                graph.advance(black_box(&[(a, Point::new(pos.x, pos.y))])).unwrap();
+                graph
+                    .advance(black_box(&[(a, Point::new(pos.x, pos.y))]))
+                    .unwrap();
                 i += 1;
             });
         });
@@ -84,5 +88,10 @@ fn bench_coupled_neighbors(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_advance, bench_first_blocker, bench_coupled_neighbors);
+criterion_group!(
+    benches,
+    bench_advance,
+    bench_first_blocker,
+    bench_coupled_neighbors
+);
 criterion_main!(benches);

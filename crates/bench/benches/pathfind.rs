@@ -9,8 +9,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_astar(c: &mut Criterion) {
     let map = TileMap::smallville(25);
     let areas = map.areas();
-    let homes: Vec<_> = areas.iter().filter(|a| a.name.starts_with("house")).collect();
-    let cafe = areas.iter().find(|a| a.name.contains("Cafe")).expect("cafe");
+    let homes: Vec<_> = areas
+        .iter()
+        .filter(|a| a.name.starts_with("house"))
+        .collect();
+    let cafe = areas
+        .iter()
+        .find(|a| a.name.contains("Cafe"))
+        .expect("cafe");
 
     c.bench_function("pathfind/home_to_cafe", |b| {
         let mut i = 0usize;

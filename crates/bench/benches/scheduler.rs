@@ -25,8 +25,9 @@ fn trace_25() -> aim_trace::Trace {
 
 fn replay(trace: &aim_trace::Trace, policy: DependencyPolicy, priority: bool) -> f64 {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -36,10 +37,15 @@ fn replay(trace: &aim_trace::Trace, policy: DependencyPolicy, priority: bool) ->
         Workload::target_step(trace),
     )
     .unwrap();
-    let mut server =
-        SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 4, priority));
-    let sim = SimConfig { priority_ready_queue: priority, ..SimConfig::default() };
-    run_sim(&mut sched, trace, &mut server, &sim).unwrap().makespan.as_secs_f64()
+    let mut server = SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 4, priority));
+    let sim = SimConfig {
+        priority_ready_queue: priority,
+        ..SimConfig::default()
+    };
+    run_sim(&mut sched, trace, &mut server, &sim)
+        .unwrap()
+        .makespan
+        .as_secs_f64()
 }
 
 fn bench_replay_policies(c: &mut Criterion) {
@@ -66,11 +72,13 @@ fn bench_priority_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler/priority_ablation");
     g.sample_size(10);
     for (name, priority) in [("with", true), ("without", false)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &priority, |b, &priority| {
-            b.iter(|| {
-                black_box(replay(&trace, DependencyPolicy::Spatiotemporal, priority))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &priority,
+            |b, &priority| {
+                b.iter(|| black_box(replay(&trace, DependencyPolicy::Spatiotemporal, priority)));
+            },
+        );
     }
     g.finish();
 }
@@ -93,13 +101,21 @@ fn bench_ready_clusters(c: &mut Criterion) {
         let mut pending = sched.ready_clusters();
         b.iter(|| {
             let c = pending.pop().expect("always refilled");
-            let pos: Vec<(AgentId, Point)> =
-                c.members.iter().map(|m| (*m, sched.graph().pos(*m))).collect();
+            let pos: Vec<(AgentId, Point)> = c
+                .members
+                .iter()
+                .map(|m| (*m, sched.graph().pos(*m)))
+                .collect();
             sched.complete(&c.id, &pos).unwrap();
             pending.extend(sched.ready_clusters());
         });
     });
 }
 
-criterion_group!(benches, bench_replay_policies, bench_priority_ablation, bench_ready_clusters);
+criterion_group!(
+    benches,
+    bench_replay_policies,
+    bench_priority_ablation,
+    bench_ready_clusters
+);
 criterion_main!(benches);

@@ -45,8 +45,7 @@ fn bench_burst_drain(c: &mut Criterion) {
 
 fn bench_submit_advance(c: &mut Criterion) {
     c.bench_function("serving/submit_advance_steady", |b| {
-        let mut server =
-            SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 2, true));
+        let mut server = SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 2, true));
         let mut i = 0u64;
         b.iter(|| {
             server.submit(

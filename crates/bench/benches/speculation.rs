@@ -29,8 +29,9 @@ fn trace_25() -> aim_trace::Trace {
 
 fn spec_replay(trace: &aim_trace::Trace, runahead: u32) -> f64 {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = SpecScheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -71,8 +72,9 @@ fn bench_spec_replay(c: &mut Criterion) {
 fn bench_spec_cycle(c: &mut Criterion) {
     let mut g = c.benchmark_group("speculation/emit_complete_retire");
     for n in [25usize, 250, 1000] {
-        let initial: Vec<Point> =
-            (0..n).map(|i| Point::new((i as i32) * 13, (i as i32) * 13)).collect();
+        let initial: Vec<Point> = (0..n)
+            .map(|i| Point::new((i as i32) * 13, (i as i32) * 13))
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut s = SpecScheduler::new(
@@ -133,7 +135,8 @@ fn bench_squash_cascade(c: &mut Criterion) {
                 // A hops 5 cells over 5 commits, then its emission squashes.
                 let mut cluster = c_a;
                 for x in 1..=5 {
-                    s.complete(&cluster.id, &[(AgentId(0), Point::new(x, 0))]).unwrap();
+                    s.complete(&cluster.id, &[(AgentId(0), Point::new(x, 0))])
+                        .unwrap();
                     if let Some(c) = s.ready_clusters().unwrap().first() {
                         cluster = c.clone();
                     }
@@ -145,5 +148,10 @@ fn bench_squash_cascade(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_spec_replay, bench_spec_cycle, bench_squash_cascade);
+criterion_group!(
+    benches,
+    bench_spec_replay,
+    bench_spec_cycle,
+    bench_squash_cascade
+);
 criterion_main!(benches);

@@ -11,16 +11,24 @@ fn bench_generate_hour(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracegen/busy_hour");
     g.sample_size(10);
     for villes in [1u32, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(villes * 25), &villes, |b, &villes| {
-            b.iter(|| black_box(gen::generate(&gen::GenConfig::busy_hour(villes, 42))));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(villes * 25),
+            &villes,
+            |b, &villes| {
+                b.iter(|| black_box(gen::generate(&gen::GenConfig::busy_hour(villes, 42))));
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_plan_step(c: &mut Criterion) {
     use aim_world::{Village, VillageConfig};
-    let mut v = Village::generate(&VillageConfig { villes: 4, agents_per_ville: 25, seed: 1 });
+    let mut v = Village::generate(&VillageConfig {
+        villes: 4,
+        agents_per_ville: 25,
+        seed: 1,
+    });
     let noon = clock_to_step(12, 0);
     v.run_lockstep(0, noon, |_, _, _, _| {});
     c.bench_function("tracegen/plan_step_noon_100agents", |b| {
@@ -42,5 +50,10 @@ fn bench_oracle_mine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generate_hour, bench_plan_step, bench_oracle_mine);
+criterion_group!(
+    benches,
+    bench_generate_hour,
+    bench_plan_step,
+    bench_oracle_mine
+);
 criterion_main!(benches);

@@ -53,8 +53,20 @@ fn run(exp: &str, env: &RunEnv) {
         "hybrid" => experiments::hybrid::run(env),
         "all" => {
             for e in [
-                "calibrate", "fig1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5",
-                "fig6", "fig7", "tab1", "ablate", "spec", "hybrid",
+                "calibrate",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4a",
+                "fig4b",
+                "fig4c",
+                "fig5",
+                "fig6",
+                "fig7",
+                "tab1",
+                "ablate",
+                "spec",
+                "hybrid",
             ] {
                 println!("\n########## {e} ##########\n");
                 run(e, env);

@@ -27,8 +27,9 @@ fn replay(
     replicas: u32,
 ) -> aim_core::metrics::RunReport {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(radius_p, meta.max_vel),
@@ -41,7 +42,10 @@ fn replay(
     let mut cfg = ServerConfig::from_preset(presets::l4_llama3_8b(), replicas, true);
     cfg.prefix_caching = caching;
     let mut server = SimServer::new(cfg);
-    let sim = SimConfig { max_concurrent_clusters: workers, ..SimConfig::default() };
+    let sim = SimConfig {
+        max_concurrent_clusters: workers,
+        ..SimConfig::default()
+    };
     run_sim(&mut sched, trace, &mut server, &sim).expect("replay")
 }
 
@@ -52,7 +56,10 @@ pub fn run(env: &RunEnv) {
     let base = replay(&trace, trace.meta().radius_p, Some(48), false, 8);
 
     let mut t = Table::new(
-        format!("Ablations ({} agents, busy hour, 8 L4s)", trace.meta().num_agents),
+        format!(
+            "Ablations ({} agents, busy hour, 8 L4s)",
+            trace.meta().num_agents
+        ),
         &["knob", "setting", "time (s)", "vs base", "parallelism"],
     );
     let mut row = |knob: &str, setting: String, r: &aim_core::metrics::RunReport| {
@@ -68,7 +75,9 @@ pub fn run(env: &RunEnv) {
 
     for workers in [Some(8), Some(16), None] {
         let r = replay(&trace, trace.meta().radius_p, workers, false, 8);
-        let label = workers.map(|w| w.to_string()).unwrap_or_else(|| "unbounded".into());
+        let label = workers
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "unbounded".into());
         row("workers", label, &r);
     }
     let cached = replay(&trace, trace.meta().radius_p, Some(48), true, 8);

@@ -64,7 +64,10 @@ pub fn run(env: &RunEnv) {
     println!("{}", t.render());
     t.write_csv(&env.out_dir).ok();
 
-    let mut mix = Table::new("Call kind mix", &["kind", "count", "fraction", "mean in", "mean out"]);
+    let mut mix = Table::new(
+        "Call kind mix",
+        &["kind", "count", "fraction", "mean in", "mean out"],
+    );
     for (kind, count, frac) in stats::kind_mix(&s) {
         let (mut in_sum, mut out_sum, mut n) = (0u64, 0u64, 0u64);
         for c in day.calls().iter().filter(|c| c.kind == kind) {

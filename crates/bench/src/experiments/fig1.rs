@@ -37,7 +37,10 @@ pub fn run(env: &RunEnv) {
     let mut t = Table::new("Fig 1: execution snippet summary", &["metric", "value"]);
     t.push_row(vec!["window (sim steps)".into(), "90".into()]);
     t.push_row(vec!["llm calls".into(), report.total_calls.to_string()]);
-    t.push_row(vec!["cluster commits".into(), timeline.commits.len().to_string()]);
+    t.push_row(vec![
+        "cluster commits".into(),
+        timeline.commits.len().to_string(),
+    ]);
     t.push_row(vec![
         "achieved parallelism".into(),
         format!("{:.2}", report.achieved_parallelism),
@@ -58,8 +61,9 @@ fn replay_with_timeline(env: &RunEnv, trace: &aim_trace::Trace) -> RunReport {
         ..SimConfig::default()
     };
     let meta = trace.meta();
-    let initial: Vec<_> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<_> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut scheduler = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),

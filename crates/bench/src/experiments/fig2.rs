@@ -26,7 +26,13 @@ pub fn run(env: &RunEnv) {
     println!("Scene: A at (80,120) — far away; B (10,10) and C (13,10) — adjacent.\n");
     let mut t = Table::new(
         "Fig 2: step-sync vs actual dependencies",
-        &["pair", "dist", "global-sync says", "rules say (same step)", "rules say (B one step behind)"],
+        &[
+            "pair",
+            "dist",
+            "global-sync says",
+            "rules say (same step)",
+            "rules say (B one step behind)",
+        ],
     );
     for (i, (na, pa)) in scene.iter().enumerate() {
         for (nb, pb) in scene.iter().skip(i + 1) {
@@ -36,8 +42,16 @@ pub fn run(env: &RunEnv) {
                 format!("{na}-{nb}"),
                 format!("{:.1}", g.dist(*pa, *pb)),
                 "depend (barrier)".into(),
-                if same { "coupled".into() } else { "independent".to_string() },
-                if ahead { "blocked".into() } else { "independent".to_string() },
+                if same {
+                    "coupled".into()
+                } else {
+                    "independent".to_string()
+                },
+                if ahead {
+                    "blocked".into()
+                } else {
+                    "independent".to_string()
+                },
             ]);
         }
     }
@@ -46,10 +60,22 @@ pub fn run(env: &RunEnv) {
 
     // The assertions behind the figure.
     let (a, b, c) = (scene[0].1, scene[1].1, scene[2].1);
-    assert!(!rules::coupled(&g, params, (a, Step(1)), (b, Step(1))), "A-B false dependency");
-    assert!(!rules::blocked_by(&g, params, (a, Step(2)), (b, Step(1))), "A can run ahead of B");
-    assert!(rules::coupled(&g, params, (b, Step(1)), (c, Step(1))), "B-C real dependency");
-    assert!(rules::blocked_by(&g, params, (c, Step(2)), (b, Step(1))), "C cannot run ahead of B");
+    assert!(
+        !rules::coupled(&g, params, (a, Step(1)), (b, Step(1))),
+        "A-B false dependency"
+    );
+    assert!(
+        !rules::blocked_by(&g, params, (a, Step(2)), (b, Step(1))),
+        "A can run ahead of B"
+    );
+    assert!(
+        rules::coupled(&g, params, (b, Step(1)), (c, Step(1))),
+        "B-C real dependency"
+    );
+    assert!(
+        rules::blocked_by(&g, params, (c, Step(2)), (b, Step(1))),
+        "C cannot run ahead of B"
+    );
     println!(
         "Under global sync all 3 pairs depend each step; the rules keep only B-C.\n\
          False dependencies removed: 2 of 3 (A-B, A-C)."

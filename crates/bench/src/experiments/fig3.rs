@@ -22,17 +22,22 @@ pub fn run(env: &RunEnv) {
     // Six agents: A,B coupled at step x+1; C,D,E around the cafe at step x
     // (C,D coupled); F far away at step x+1.
     let initial = vec![
-        Point::new(50, 50), // A
-        Point::new(54, 50), // B
-        Point::new(50, 56), // C (6 south of A: blocks A/B's next advance)
-        Point::new(53, 57), // D
-        Point::new(70, 50), // E
+        Point::new(50, 50),  // A
+        Point::new(54, 50),  // B
+        Point::new(50, 56),  // C (6 south of A: blocks A/B's next advance)
+        Point::new(53, 57),  // D
+        Point::new(70, 50),  // E
         Point::new(90, 120), // F
     ];
     let mut graph =
         DepGraph::new(Arc::clone(&space), params, Arc::new(Db::new()), &initial).unwrap();
     // Advance A, B (they advance together as a coupled cluster) and F.
-    graph.advance(&[(AgentId(0), Point::new(50, 50)), (AgentId(1), Point::new(54, 50))]).unwrap();
+    graph
+        .advance(&[
+            (AgentId(0), Point::new(50, 50)),
+            (AgentId(1), Point::new(54, 50)),
+        ])
+        .unwrap();
     graph.advance(&[(AgentId(5), Point::new(90, 120))]).unwrap();
 
     let snap = graph.snapshot();
@@ -52,23 +57,47 @@ pub fn run(env: &RunEnv) {
             .coupled
             .iter()
             .filter(|(x, y)| x == agent || y == agent)
-            .map(|(x, y)| if x == agent { names[y.index()] } else { names[x.index()] })
+            .map(|(x, y)| {
+                if x == agent {
+                    names[y.index()]
+                } else {
+                    names[x.index()]
+                }
+            })
             .collect();
         t.push_row(vec![
             names[agent.index()].to_string(),
             format!("{}", step.0),
             pos.clone(),
-            if blockers.is_empty() { "-".into() } else { blockers.join(",") },
-            if coupled.is_empty() { "-".into() } else { coupled.join(",") },
-            if blockers.is_empty() { "ready".into() } else { "blocked".to_string() },
+            if blockers.is_empty() {
+                "-".into()
+            } else {
+                blockers.join(",")
+            },
+            if coupled.is_empty() {
+                "-".into()
+            } else {
+                coupled.join(",")
+            },
+            if blockers.is_empty() {
+                "ready".into()
+            } else {
+                "blocked".to_string()
+            },
         ]);
     }
     println!("{}", t.render());
     t.write_csv(&env.out_dir).ok();
 
     // The figure's invariants, asserted.
-    assert!(snap.coupled.contains(&(AgentId(0), AgentId(1))), "A <-> B coupled");
-    assert!(snap.coupled.contains(&(AgentId(2), AgentId(3))), "C <-> D coupled");
+    assert!(
+        snap.coupled.contains(&(AgentId(0), AgentId(1))),
+        "A <-> B coupled"
+    );
+    assert!(
+        snap.coupled.contains(&(AgentId(2), AgentId(3))),
+        "C <-> D coupled"
+    );
     assert!(
         snap.blocked.contains(&(AgentId(2), AgentId(0))),
         "A (ahead) is blocked by lagging nearby C"
@@ -77,7 +106,10 @@ pub fn run(env: &RunEnv) {
         !snap.blocked.iter().any(|(_, to)| *to == AgentId(5)),
         "distant F is not blocked by anyone"
     );
-    assert!(graph.validate().is_ok(), "state satisfies the validity condition");
+    assert!(
+        graph.validate().is_ok(),
+        "state satisfies the validity condition"
+    );
     println!("Single arrows = blocked-by; double = coupled. F ran ahead freely;");
     println!("A/B advanced one step but now wait for the lagging C cluster.");
 }

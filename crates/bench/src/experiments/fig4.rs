@@ -85,7 +85,12 @@ fn run_fig4(env: &RunEnv, title: &str, preset: &aim_llm::Preset, gpu_counts: &[u
 /// Fig. 4a: Llama-3-8B on L4s.
 pub fn run_a(env: &RunEnv) {
     let gpus: &[u32] = if env.quick { &[1, 8] } else { &[1, 2, 4, 8] };
-    run_fig4(env, "Fig 4a: full day, Llama-3-8B on L4 GPUs", &presets::l4_llama3_8b(), gpus);
+    run_fig4(
+        env,
+        "Fig 4a: full day, Llama-3-8B on L4 GPUs",
+        &presets::l4_llama3_8b(),
+        gpus,
+    );
 }
 
 /// Fig. 4b: Llama-3-70B TP4 on A100s.

@@ -13,5 +13,10 @@ use crate::harness::RunEnv;
 /// Runs the Fig. 5 sweep.
 pub fn run(env: &RunEnv) {
     let gpus: &[u32] = &[1, 8];
-    run_scaling(env, "Fig 5: scaling, Llama-3-8B on L4", &presets::l4_llama3_8b(), gpus);
+    run_scaling(
+        env,
+        "Fig 5: scaling, Llama-3-8B on L4",
+        &presets::l4_llama3_8b(),
+        gpus,
+    );
 }

@@ -73,11 +73,10 @@ impl Qos {
         match self {
             Qos::Fifo => ServerConfig::from_preset(preset, replicas, false),
             Qos::StepPriority => ServerConfig::from_preset(preset, replicas, true),
-            Qos::Lane => {
-                ServerConfig::from_preset(preset, replicas, true).with_interactive_lane(0)
+            Qos::Lane => ServerConfig::from_preset(preset, replicas, true).with_interactive_lane(0),
+            Qos::LaneReserve => {
+                ServerConfig::from_preset(preset, replicas, true).with_interactive_lane(reserve)
             }
-            Qos::LaneReserve => ServerConfig::from_preset(preset, replicas, true)
-                .with_interactive_lane(reserve),
         }
     }
 }
@@ -90,8 +89,9 @@ fn run_arm(
     load: InteractiveLoad,
 ) -> (RunReport, InteractiveReport) {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -122,8 +122,11 @@ pub fn run(env: &RunEnv) {
 
     // Load intensities: casual (one turn every ~8s of virtual time),
     // engaged (~2s), frantic (~0.5s).
-    let loads: &[(&str, u64)] =
-        &[("casual 1/8s", 8_000_000), ("engaged 1/2s", 2_000_000), ("frantic 2/s", 500_000)];
+    let loads: &[(&str, u64)] = &[
+        ("casual 1/8s", 8_000_000),
+        ("engaged 1/2s", 2_000_000),
+        ("frantic 2/s", 500_000),
+    ];
     let count = if env.quick { 150 } else { 400 };
 
     // Baseline: the simulation alone (step-priority server, no stream).
@@ -139,9 +142,7 @@ pub fn run(env: &RunEnv) {
     for (load_name, mean_us) in loads {
         let load = InteractiveLoad::chat(*mean_us, count, 7);
         let mut t = Table::new(
-            format!(
-                "Hybrid QoS — {load_name} chat over {agents}-agent busy hour ({gpus} L4s)"
-            ),
+            format!("Hybrid QoS — {load_name} chat over {agents}-agent busy hour ({gpus} L4s)"),
             &[
                 "policy",
                 "chat p50 (ms)",
@@ -163,8 +164,7 @@ pub fn run(env: &RunEnv) {
                 secs(bg.makespan),
                 format!(
                     "{:+.1}%",
-                    (bg.makespan.as_secs_f64() / baseline.makespan.as_secs_f64() - 1.0)
-                        * 100.0
+                    (bg.makespan.as_secs_f64() / baseline.makespan.as_secs_f64() - 1.0) * 100.0
                 ),
             ]);
         }

@@ -4,7 +4,6 @@
 pub mod ablate;
 pub mod calibrate;
 pub mod fig1;
-pub mod scaling;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -12,5 +11,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod hybrid;
+pub mod scaling;
 pub mod spec;
 pub mod tab1;

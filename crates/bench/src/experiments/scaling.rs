@@ -80,7 +80,10 @@ pub fn run_scaling(env: &RunEnv, title: &str, preset: &Preset, gpu_counts: &[u32
                     .map(|&m| (m, run_one(env, &trace, m, preset, gpus, true, Some(&graph))))
                     .collect();
                 let get = |m: Mode| {
-                    runs.iter().find(|(mm, _)| *mm == m).map(|(_, r)| r).expect("ran")
+                    runs.iter()
+                        .find(|(mm, _)| *mm == m)
+                        .map(|(_, r)| r)
+                        .expect("ran")
                 };
                 let ps = get(Mode::ParallelSync).makespan.as_secs_f64();
                 let or = get(Mode::Oracle).makespan.as_secs_f64();

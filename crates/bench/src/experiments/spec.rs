@@ -42,8 +42,7 @@ pub fn run(env: &RunEnv) {
 
         let sync = run_one(env, &trace, Mode::ParallelSync, &preset, gpus, true, None);
         let cons = run_one(env, &trace, Mode::Metropolis, &preset, gpus, true, None);
-        let orac =
-            run_one(env, &trace, Mode::Oracle, &preset, gpus, true, Some(&graph));
+        let orac = run_one(env, &trace, Mode::Oracle, &preset, gpus, true, Some(&graph));
 
         let mut t = Table::new(
             format!("Speculation vs conservative ({agents} agents, busy hour, {gpus} L4s)"),
@@ -144,7 +143,13 @@ pub fn run(env: &RunEnv) {
     let agents = trace.meta().num_agents;
     let mut t = Table::new(
         format!("Priority × speculation ({agents} agents, busy hour, {gpus} L4s)"),
-        &["engine", "w/ priority (s)", "w/o priority (s)", "priority gain", "waste w/o"],
+        &[
+            "engine",
+            "w/ priority (s)",
+            "w/o priority (s)",
+            "priority gain",
+            "waste w/o",
+        ],
     );
     let cons_on = run_one(env, &trace, Mode::Metropolis, &preset, gpus, true, None);
     let cons_off = run_one(env, &trace, Mode::Metropolis, &preset, gpus, false, None);
@@ -163,10 +168,7 @@ pub fn run(env: &RunEnv) {
         secs(spec_on.makespan),
         secs(spec_off.makespan),
         pct(spec_off.makespan.as_secs_f64() / spec_on.makespan.as_secs_f64() - 1.0),
-        pct(sr_off.waste_fraction(
-            spec_off.total_input_tokens,
-            spec_off.total_output_tokens,
-        )),
+        pct(sr_off.waste_fraction(spec_off.total_input_tokens, spec_off.total_output_tokens)),
     ]);
     println!("{}", t.render());
     t.write_csv(&env.out_dir).ok();

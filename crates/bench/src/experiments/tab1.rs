@@ -21,8 +21,19 @@ pub fn run(env: &RunEnv) {
     let graph = Arc::new(oracle::mine(&trace));
     let preset = presets::l4_llama3_8b();
     let mut t = Table::new(
-        format!("Table 1: priority scheduling ({} agents, busy hour)", trace.meta().num_agents),
-        &["gpus", "mode", "w/ priority (s)", "w/o priority (s)", "priority speedup", "par w/", "par w/o"],
+        format!(
+            "Table 1: priority scheduling ({} agents, busy hour)",
+            trace.meta().num_agents
+        ),
+        &[
+            "gpus",
+            "mode",
+            "w/ priority (s)",
+            "w/o priority (s)",
+            "priority speedup",
+            "par w/",
+            "par w/o",
+        ],
     );
     for gpus in [4u32, 8] {
         for mode in [Mode::Metropolis, Mode::Oracle] {

@@ -43,7 +43,12 @@ impl Mode {
 
     /// The standard four arms of the full-day figures.
     pub fn figure4() -> [Mode; 4] {
-        [Mode::SingleThread, Mode::ParallelSync, Mode::Metropolis, Mode::Oracle]
+        [
+            Mode::SingleThread,
+            Mode::ParallelSync,
+            Mode::Metropolis,
+            Mode::Oracle,
+        ]
     }
 }
 
@@ -142,8 +147,9 @@ pub fn run_one(
     let meta = trace.meta();
     let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
     let params = RuleParams::new(meta.radius_p, meta.max_vel);
-    let initial: Vec<_> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<_> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut scheduler = Scheduler::new(
         space,
         params,
@@ -154,8 +160,7 @@ pub fn run_one(
     )
     .expect("scheduler construction");
     let mut server = SimServer::new(server_cfg);
-    let mut report =
-        run_sim(&mut scheduler, trace, &mut server, &sim).expect("replay run");
+    let mut report = run_sim(&mut scheduler, trace, &mut server, &sim).expect("replay run");
     report.mode = mode.label().to_string();
     report
 }
@@ -189,8 +194,9 @@ pub fn run_one_spec(
     let meta = trace.meta();
     let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
     let params = RuleParams::new(meta.radius_p, meta.max_vel);
-    let initial: Vec<_> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<_> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut scheduler = SpecScheduler::new(
         space,
         params,
@@ -218,7 +224,12 @@ pub fn run_modes(
     let graph = needs_oracle.then(|| Arc::new(oracle::mine(trace)));
     modes
         .iter()
-        .map(|&m| (m, run_one(env, trace, m, preset, gpus, priority, graph.as_ref())))
+        .map(|&m| {
+            (
+                m,
+                run_one(env, trace, m, preset, gpus, priority, graph.as_ref()),
+            )
+        })
         .collect()
 }
 
@@ -249,7 +260,12 @@ mod tests {
         let runs = run_modes(
             &env,
             &trace,
-            &[Mode::SingleThread, Mode::ParallelSync, Mode::Metropolis, Mode::Oracle],
+            &[
+                Mode::SingleThread,
+                Mode::ParallelSync,
+                Mode::Metropolis,
+                Mode::Oracle,
+            ],
             &preset,
             1,
             true,

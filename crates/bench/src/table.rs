@@ -90,7 +90,12 @@ impl Table {
             }
         };
         body.push_str(
-            &self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","),
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         body.push('\n');
         for row in &self.rows {
@@ -130,7 +135,10 @@ mod tests {
         assert!(s.contains("== Demo =="));
         let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
         let widths: Vec<usize> = rows.iter().map(|r| r.len()).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{s}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{s}"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
     }
 
     /// Number of elements.
@@ -76,8 +80,11 @@ impl DisjointSets {
         if ra == rb {
             return false;
         }
-        let (big, small) =
-            if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         self.sets -= 1;
@@ -170,8 +177,9 @@ mod tests {
         // apart.
         let g = GridSpace::new(100, 100);
         let p = RuleParams::genagent();
-        let agents: Vec<(AgentId, Point)> =
-            (0..5).map(|i| (AgentId(i), Point::new(i as i32 * 5, 0))).collect();
+        let agents: Vec<(AgentId, Point)> = (0..5)
+            .map(|i| (AgentId(i), Point::new(i as i32 * 5, 0)))
+            .collect();
         let clusters = geo_cluster(&g, p, Step(0), &agents);
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].len(), 5);

@@ -80,10 +80,21 @@ impl<S: Space> DepGraph<S> {
         db: Arc<Db>,
         initial: &[S::Pos],
     ) -> Result<Self, StoreError> {
-        let nodes: Vec<Node<S::Pos>> =
-            initial.iter().map(|p| Node { pos: *p, step: Step::ZERO }).collect();
+        let nodes: Vec<Node<S::Pos>> = initial
+            .iter()
+            .map(|p| Node {
+                pos: *p,
+                step: Step::ZERO,
+            })
+            .collect();
         let step_index = (0..nodes.len() as u32).map(|a| (0u32, a)).collect();
-        let graph = DepGraph { space, params, db, nodes, step_index };
+        let graph = DepGraph {
+            space,
+            params,
+            db,
+            nodes,
+            step_index,
+        };
         graph.db.transaction(|txn| {
             for (i, node) in graph.nodes.iter().enumerate() {
                 txn.set(agent_key(AgentId(i as u32)), graph.encode_node(node));
@@ -116,9 +127,18 @@ impl<S: Space> DepGraph<S> {
             let pos = space.decode_pos(&mut rd)?;
             nodes.push(Node { pos, step });
         }
-        let step_index =
-            nodes.iter().enumerate().map(|(i, n)| (n.step.0, i as u32)).collect();
-        Ok(DepGraph { space, params, db, nodes, step_index })
+        let step_index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.step.0, i as u32))
+            .collect();
+        Ok(DepGraph {
+            space,
+            params,
+            db,
+            nodes,
+            step_index,
+        })
     }
 
     fn encode_node(&self, node: &Node<S::Pos>) -> Vec<u8> {
@@ -165,7 +185,11 @@ impl<S: Space> DepGraph<S> {
 
     /// The lowest step any agent is at — the paper's `base_step`.
     pub fn min_step(&self) -> Step {
-        self.step_index.iter().next().map(|(s, _)| Step(*s)).unwrap_or(Step::ZERO)
+        self.step_index
+            .iter()
+            .next()
+            .map(|(s, _)| Step(*s))
+            .unwrap_or(Step::ZERO)
     }
 
     /// Advances every `(agent, new_position)` in `updates` by one step, as
@@ -185,7 +209,10 @@ impl<S: Space> DepGraph<S> {
         let records: Vec<(String, Vec<u8>)> = updates
             .iter()
             .map(|(a, pos)| {
-                let node = Node { pos: *pos, step: self.nodes[a.index()].step.next() };
+                let node = Node {
+                    pos: *pos,
+                    step: self.nodes[a.index()].step.next(),
+                };
                 (agent_key(*a), self.encode_node(&node))
             })
             .collect();
@@ -234,7 +261,13 @@ impl<S: Space> DepGraph<S> {
                     "rollback of {a} to {step} is ahead of current {}",
                     self.nodes[a.index()].step
                 );
-                (agent_key(*a), self.encode_node(&Node { pos: *pos, step: *step }))
+                (
+                    agent_key(*a),
+                    self.encode_node(&Node {
+                        pos: *pos,
+                        step: *step,
+                    }),
+                )
             })
             .collect();
         self.db.transaction(|txn| {
@@ -274,7 +307,10 @@ impl<S: Space> DepGraph<S> {
         for &(sb, b) in self.step_index.range(..(sa, 0u32)) {
             let delta = sa - sb;
             let units = self.params.blocking_units(delta);
-            if self.space.within_units(node.pos, self.nodes[b as usize].pos, units) {
+            if self
+                .space
+                .within_units(node.pos, self.nodes[b as usize].pos, units)
+            {
                 return Some(AgentId(b));
             }
         }
@@ -290,7 +326,8 @@ impl<S: Space> DepGraph<S> {
             .range(..(sa, 0u32))
             .filter(|&&(sb, b)| {
                 let units = self.params.blocking_units(sa - sb);
-                self.space.within_units(node.pos, self.nodes[b as usize].pos, units)
+                self.space
+                    .within_units(node.pos, self.nodes[b as usize].pos, units)
             })
             .map(|&(_, b)| AgentId(b))
             .collect()
@@ -305,7 +342,10 @@ impl<S: Space> DepGraph<S> {
         self.step_index
             .range((s, 0u32)..(s + 1, 0u32))
             .filter(|&&(_, b)| b != a.0)
-            .filter(|&&(_, b)| self.space.within_units(node.pos, self.nodes[b as usize].pos, units))
+            .filter(|&&(_, b)| {
+                self.space
+                    .within_units(node.pos, self.nodes[b as usize].pos, units)
+            })
             .map(|&(_, b)| AgentId(b))
             .collect()
     }
@@ -313,11 +353,10 @@ impl<S: Space> DepGraph<S> {
     /// Agents whose current step is `<= step`, in `(step, id)` order —
     /// the candidates that could still write into a read performed at
     /// `step` (used by speculative retirement clearance).
-    pub fn agents_at_or_below(
-        &self,
-        step: Step,
-    ) -> impl Iterator<Item = (Step, AgentId)> + '_ {
-        self.step_index.range(..(step.0 + 1, 0u32)).map(|&(s, a)| (Step(s), AgentId(a)))
+    pub fn agents_at_or_below(&self, step: Step) -> impl Iterator<Item = (Step, AgentId)> + '_ {
+        self.step_index
+            .range(..(step.0 + 1, 0u32))
+            .map(|&(s, a)| (Step(s), AgentId(a)))
     }
 
     /// Agents whose step equals `step` (sorted by id).
@@ -334,18 +373,12 @@ impl<S: Space> DepGraph<S> {
     ///
     /// Returns a human-readable description of the first violating pair.
     pub fn validate(&self) -> Result<(), String> {
-        let states: Vec<(S::Pos, Step)> =
-            self.nodes.iter().map(|n| (n.pos, n.step)).collect();
+        let states: Vec<(S::Pos, Step)> = self.nodes.iter().map(|n| (n.pos, n.step)).collect();
         match rules::find_violation(self.space.as_ref(), self.params, &states) {
             None => Ok(()),
             Some((i, j)) => Err(format!(
                 "validity violated: agent{} at {:?}/{} vs agent{} at {:?}/{}",
-                i,
-                self.nodes[i].pos,
-                self.nodes[i].step,
-                j,
-                self.nodes[j].pos,
-                self.nodes[j].step
+                i, self.nodes[i].pos, self.nodes[i].step, j, self.nodes[j].pos, self.nodes[j].step
             )),
         }
     }
@@ -435,7 +468,10 @@ mod tests {
     fn coupled_neighbors_same_step_only() {
         let mut g = graph(&[(0, 0), (5, 0), (6, 0)]);
         assert_eq!(g.coupled_neighbors(AgentId(0)), vec![AgentId(1)]);
-        assert_eq!(g.coupled_neighbors(AgentId(1)), vec![AgentId(0), AgentId(2)]);
+        assert_eq!(
+            g.coupled_neighbors(AgentId(1)),
+            vec![AgentId(0), AgentId(2)]
+        );
         // Advance agent 1: no longer same step, couples with nobody.
         g.advance(&[(AgentId(1), Point::new(5, 0))]).unwrap();
         assert!(g.coupled_neighbors(AgentId(1)).is_empty());
@@ -468,9 +504,13 @@ mod tests {
         let space = Arc::new(GridSpace::new(100, 140));
         let db = Arc::new(Db::new());
         let initial = vec![Point::new(0, 0), Point::new(20, 20)];
-        let mut g =
-            DepGraph::new(Arc::clone(&space), RuleParams::genagent(), Arc::clone(&db), &initial)
-                .unwrap();
+        let mut g = DepGraph::new(
+            Arc::clone(&space),
+            RuleParams::genagent(),
+            Arc::clone(&db),
+            &initial,
+        )
+        .unwrap();
         g.advance(&[(AgentId(0), Point::new(1, 1))]).unwrap();
         g.advance(&[(AgentId(0), Point::new(2, 2))]).unwrap();
         let r = DepGraph::recover(space, RuleParams::genagent(), db, 2).unwrap();
@@ -486,7 +526,8 @@ mod tests {
         g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
         g.advance(&[(AgentId(0), Point::new(2, 0))]).unwrap();
         assert_eq!(g.step(AgentId(0)), Step(2));
-        g.rollback(&[(AgentId(0), Step(1), Point::new(1, 0))]).unwrap();
+        g.rollback(&[(AgentId(0), Step(1), Point::new(1, 0))])
+            .unwrap();
         assert_eq!(g.step(AgentId(0)), Step(1));
         assert_eq!(g.pos(AgentId(0)), Point::new(1, 0));
         assert_eq!(g.min_step(), Step(0));
@@ -506,7 +547,8 @@ mod tests {
     fn rollback_to_current_step_is_identity_on_step() {
         let mut g = graph(&[(0, 0)]);
         g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
-        g.rollback(&[(AgentId(0), Step(1), Point::new(0, 1))]).unwrap();
+        g.rollback(&[(AgentId(0), Step(1), Point::new(0, 1))])
+            .unwrap();
         assert_eq!(g.step(AgentId(0)), Step(1));
         assert_eq!(g.pos(AgentId(0)), Point::new(0, 1));
     }
@@ -515,7 +557,8 @@ mod tests {
     fn rollback_ahead_of_current_step_panics() {
         let mut g = graph(&[(0, 0)]);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            g.rollback(&[(AgentId(0), Step(3), Point::new(0, 0))]).unwrap();
+            g.rollback(&[(AgentId(0), Step(3), Point::new(0, 0))])
+                .unwrap();
         }));
         assert!(result.is_err());
     }

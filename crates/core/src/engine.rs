@@ -199,8 +199,11 @@ mod tests {
 
     #[test]
     fn engine_runs_and_is_reusable() {
-        let w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(90, 90)], 2)
-            .with_call(0, 0, CallSpec::new(100, 10, CallKind::Plan));
+        let w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(90, 90)], 2).with_call(
+            0,
+            0,
+            CallSpec::new(100, 10, CallKind::Plan),
+        );
         let e = engine(DependencyPolicy::Spatiotemporal);
         let r1 = e.run_replay(&w).unwrap();
         let r2 = e.run_replay(&w).unwrap();
@@ -224,7 +227,9 @@ mod tests {
     #[test]
     fn target_step_comes_from_workload() {
         let w = TableWorkload::stationary(vec![Point::new(0, 0)], 5);
-        let r = engine(DependencyPolicy::NoDependency).run_replay(&w).unwrap();
+        let r = engine(DependencyPolicy::NoDependency)
+            .run_replay(&w)
+            .unwrap();
         assert_eq!(r.sched.agent_steps, 5);
     }
 
@@ -239,7 +244,9 @@ mod tests {
         let w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(10, 0)], 8)
             .with_call(0, 0, CallSpec::new(400, 200, CallKind::Plan))
             .with_call(1, 6, CallSpec::new(50, 5, CallKind::Plan));
-        let conservative = engine(DependencyPolicy::Spatiotemporal).run_replay(&w).unwrap();
+        let conservative = engine(DependencyPolicy::Spatiotemporal)
+            .run_replay(&w)
+            .unwrap();
         assert!(conservative.spec.is_none());
         let speculative = Engine::builder(GridSpace::new(100, 140))
             .server(ServerConfig::from_preset(presets::tiny_test(), 2, true))

@@ -220,17 +220,29 @@ where
 
     macro_rules! schedule {
         ($at:expr, $kind:expr) => {{
-            events.push(Reverse(Ev { at: $at, seq: event_seq, kind: $kind }));
+            events.push(Reverse(Ev {
+                at: $at,
+                seq: event_seq,
+                kind: $kind,
+            }));
             event_seq += 1;
         }};
     }
     macro_rules! pull_ready {
         () => {
             for cluster in scheduler.ready_clusters() {
-                let prio = if cfg.priority_ready_queue { cluster.step.priority() } else { 0 };
+                let prio = if cfg.priority_ready_queue {
+                    cluster.step.priority()
+                } else {
+                    0
+                };
                 active.insert(
                     cluster.id,
-                    Active { cluster: cluster.clone(), chains: Vec::new(), remaining: 0 },
+                    Active {
+                        cluster: cluster.clone(),
+                        chains: Vec::new(),
+                        remaining: 0,
+                    },
                 );
                 backlog.push(Reverse((prio, backlog_seq, cluster.id)));
                 backlog_seq += 1;
@@ -240,9 +252,14 @@ where
     macro_rules! drain_slots {
         ($now:expr) => {
             while slots_used < limit {
-                let Some(Reverse((_, _, cid))) = backlog.pop() else { break };
+                let Some(Reverse((_, _, cid))) = backlog.pop() else {
+                    break;
+                };
                 slots_used += 1;
-                schedule!($now + VirtualTime::from_micros(cfg.step_cpu_us), EvKind::Start(cid));
+                schedule!(
+                    $now + VirtualTime::from_micros(cfg.step_cpu_us),
+                    EvKind::Start(cid)
+                );
             }
         };
     }
@@ -307,9 +324,12 @@ where
                     latencies.push(c.latency().as_micros());
                     continue;
                 }
-                let (cid, member) =
-                    req_map.remove(&c.req.id).expect("completion for unknown request");
-                let a = active.get_mut(&cid).expect("completion for inactive cluster");
+                let (cid, member) = req_map
+                    .remove(&c.req.id)
+                    .expect("completion for unknown request");
+                let a = active
+                    .get_mut(&cid)
+                    .expect("completion for inactive cluster");
                 let chain = &a.chains[member];
                 if chain.next < chain.calls.len() {
                     submit_call!(cid, member, c.finished_at);
@@ -445,10 +465,7 @@ mod tests {
         w
     }
 
-    fn run(
-        server_cfg: ServerConfig,
-        load: InteractiveLoad,
-    ) -> (RunReport, InteractiveReport) {
+    fn run(server_cfg: ServerConfig, load: InteractiveLoad) -> (RunReport, InteractiveReport) {
         let w = busy_workload(6);
         let mut sched = mk_sched(&w.initial, 6);
         let mut server = SimServer::new(server_cfg);
@@ -464,7 +481,10 @@ mod tests {
         assert_eq!(ir.count, 0);
         assert_eq!(ir.p99_us, 0);
         assert_eq!(ir.mean_us, 0.0);
-        assert!(report.makespan > VirtualTime::ZERO, "the simulation still runs");
+        assert!(
+            report.makespan > VirtualTime::ZERO,
+            "the simulation still runs"
+        );
     }
 
     #[test]
@@ -488,7 +508,10 @@ mod tests {
         assert!(ir.p50_us <= ir.p95_us && ir.p95_us <= ir.p99_us && ir.p99_us <= ir.max_us);
         assert!(ir.mean_us > 0.0);
         assert!(report.makespan > VirtualTime::ZERO);
-        assert_eq!(report.total_calls, 18, "3 agents x 6 steps, interactive not counted");
+        assert_eq!(
+            report.total_calls, 18,
+            "3 agents x 6 steps, interactive not counted"
+        );
     }
 
     #[test]
@@ -498,8 +521,8 @@ mod tests {
         // slots must deliver a far better interactive p95.
         let load = InteractiveLoad::chat(15_000, 60, 11);
         let fifo = ServerConfig::from_preset(presets::tiny_test(), 1, false);
-        let lane = ServerConfig::from_preset(presets::tiny_test(), 1, true)
-            .with_interactive_lane(2);
+        let lane =
+            ServerConfig::from_preset(presets::tiny_test(), 1, true).with_interactive_lane(2);
         let (_, ir_fifo) = run(fifo, load);
         let (_, ir_lane) = run(lane, load);
         assert!(
@@ -514,8 +537,8 @@ mod tests {
     fn background_pays_a_bounded_price_for_qos() {
         let load = InteractiveLoad::chat(15_000, 60, 11);
         let plain = ServerConfig::from_preset(presets::tiny_test(), 1, true);
-        let lane = ServerConfig::from_preset(presets::tiny_test(), 1, true)
-            .with_interactive_lane(2);
+        let lane =
+            ServerConfig::from_preset(presets::tiny_test(), 1, true).with_interactive_lane(2);
         let (bg_plain, _) = run(plain, load);
         let (bg_lane, _) = run(lane, load);
         // QoS may slow the simulation, but not catastrophically (< 2x).
@@ -529,8 +552,7 @@ mod tests {
 
     #[test]
     fn deterministic_hybrid_runs() {
-        let cfg = ServerConfig::from_preset(presets::tiny_test(), 2, true)
-            .with_interactive_lane(1);
+        let cfg = ServerConfig::from_preset(presets::tiny_test(), 2, true).with_interactive_lane(1);
         let load = InteractiveLoad::chat(10_000, 40, 3);
         let (r1, i1) = run(cfg.clone(), load);
         let (r2, i2) = run(cfg, load);

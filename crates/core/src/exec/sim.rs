@@ -216,12 +216,21 @@ impl SimExec {
 
     fn pull_ready<S: Space>(&mut self, scheduler: &mut Scheduler<S>) {
         for cluster in scheduler.ready_clusters() {
-            let prio = if self.cfg.priority_ready_queue { cluster.step.priority() } else { 0 };
+            let prio = if self.cfg.priority_ready_queue {
+                cluster.step.priority()
+            } else {
+                0
+            };
             let seq = self.backlog_seq;
             self.backlog_seq += 1;
             self.active.insert(
                 cluster.id,
-                Active { cluster: cluster.clone(), chains: Vec::new(), remaining: 0, cursor: 0 },
+                Active {
+                    cluster: cluster.clone(),
+                    chains: Vec::new(),
+                    remaining: 0,
+                    cursor: 0,
+                },
             );
             self.backlog.push(Reverse((prio, seq, cluster.id)));
         }
@@ -230,7 +239,9 @@ impl SimExec {
     fn drain_slots(&mut self, now: VirtualTime) {
         let limit = self.cfg.max_concurrent_clusters.unwrap_or(usize::MAX);
         while self.slots_used < limit {
-            let Some(Reverse((_, _, cid))) = self.backlog.pop() else { break };
+            let Some(Reverse((_, _, cid))) = self.backlog.pop() else {
+                break;
+            };
             self.slots_used += 1;
             self.schedule(
                 now + VirtualTime::from_micros(self.cfg.step_cpu_us),
@@ -290,13 +301,20 @@ impl SimExec {
     ) -> Result<(), EngineError> {
         match ev.kind {
             EvKind::Start(cid) => {
-                let active = self.active.get_mut(&cid).expect("started cluster is active");
+                let active = self
+                    .active
+                    .get_mut(&cid)
+                    .expect("started cluster is active");
                 let step = active.cluster.step;
                 active.chains = active
                     .cluster
                     .members
                     .iter()
-                    .map(|m| MemberChain { agent: *m, calls: workload.calls(*m, step), next: 0 })
+                    .map(|m| MemberChain {
+                        agent: *m,
+                        calls: workload.calls(*m, step),
+                        next: 0,
+                    })
                     .collect();
                 active.remaining = active.chains.iter().filter(|c| !c.calls.is_empty()).count();
                 if active.remaining == 0 {
@@ -307,8 +325,10 @@ impl SimExec {
                     return Ok(());
                 }
                 if self.cfg.serial_agents {
-                    let first =
-                        self.active[&cid].chains.iter().position(|c| !c.calls.is_empty());
+                    let first = self.active[&cid]
+                        .chains
+                        .iter()
+                        .position(|c| !c.calls.is_empty());
                     if let Some(i) = first {
                         self.active.get_mut(&cid).expect("active").cursor = i;
                         self.submit_call(server, scheduler, cid, i, ev.at);
@@ -327,7 +347,10 @@ impl SimExec {
                 }
             }
             EvKind::Commit(cid) => {
-                let active = self.active.remove(&cid).expect("committed cluster is active");
+                let active = self
+                    .active
+                    .remove(&cid)
+                    .expect("committed cluster is active");
                 let step = active.cluster.step;
                 let new_pos: Vec<(AgentId, S::Pos)> = active
                     .cluster
@@ -360,9 +383,14 @@ impl SimExec {
                 tl.spans.push(span);
             }
         }
-        let (cid, member_idx) =
-            self.req_map.remove(&req.id).expect("completion for unknown request");
-        let active = self.active.get_mut(&cid).expect("completion for inactive cluster");
+        let (cid, member_idx) = self
+            .req_map
+            .remove(&req.id)
+            .expect("completion for unknown request");
+        let active = self
+            .active
+            .get_mut(&cid)
+            .expect("completion for inactive cluster");
         let chain = &active.chains[member_idx];
         let chain_has_more = chain.next < chain.calls.len();
         if chain_has_more {
@@ -446,12 +474,18 @@ mod tests {
             .with_call(0, 0, spec(100, 5));
         let mut s = mk_sched(&w.initial, DependencyPolicy::Spatiotemporal, 1);
         let mut server = mk_server();
-        let cfg = SimConfig { record_timeline: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            record_timeline: true,
+            ..SimConfig::default()
+        };
         let r = run_sim(&mut s, &w, &mut server, &cfg).unwrap();
         assert_eq!(r.total_calls, 2);
         let tl = r.timeline.unwrap();
         assert_eq!(tl.spans.len(), 2);
-        assert!(tl.spans[0].end <= tl.spans[1].start, "chain calls must not overlap");
+        assert!(
+            tl.spans[0].end <= tl.spans[1].start,
+            "chain calls must not overlap"
+        );
     }
 
     #[test]
@@ -461,12 +495,19 @@ mod tests {
             .with_call(1, 0, spec(200, 20));
         let mut s = mk_sched(&w.initial, DependencyPolicy::GlobalSync, 1);
         let mut server = mk_server();
-        let cfg = SimConfig { record_timeline: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            record_timeline: true,
+            ..SimConfig::default()
+        };
         let r = run_sim(&mut s, &w, &mut server, &cfg).unwrap();
         let tl = r.timeline.unwrap();
         assert_eq!(tl.spans.len(), 2);
         let overlap = tl.spans[0].start < tl.spans[1].end && tl.spans[1].start < tl.spans[0].end;
-        assert!(overlap, "parallel-sync agents should issue concurrently: {:?}", tl.spans);
+        assert!(
+            overlap,
+            "parallel-sync agents should issue concurrently: {:?}",
+            tl.spans
+        );
         assert!(r.achieved_parallelism > 1.0);
     }
 
@@ -477,7 +518,10 @@ mod tests {
             .with_call(1, 0, spec(200, 20));
         let mut s = mk_sched(&w.initial, DependencyPolicy::GlobalSync, 1);
         let mut server = mk_server();
-        let cfg = SimConfig { record_timeline: true, ..SimConfig::single_thread() };
+        let cfg = SimConfig {
+            record_timeline: true,
+            ..SimConfig::single_thread()
+        };
         let r = run_sim(&mut s, &w, &mut server, &cfg).unwrap();
         let tl = r.timeline.unwrap();
         assert!(
@@ -497,7 +541,8 @@ mod tests {
         let heavy = |w: TableWorkload| {
             (0..4).fold(w, |w, s| {
                 let (h, l) = if s % 2 == 0 { (0, 1) } else { (1, 0) };
-                w.with_call(h, s, spec(400, 80)).with_call(l, s, spec(20, 2))
+                w.with_call(h, s, spec(400, 80))
+                    .with_call(l, s, spec(20, 2))
             })
         };
         let w = heavy(TableWorkload::stationary(
@@ -517,7 +562,11 @@ mod tests {
             ooo.makespan,
             sync.makespan
         );
-        assert_eq!(ooo.sched.max_step_skew > 0, true, "agent 1 must have run ahead");
+        assert_eq!(
+            ooo.sched.max_step_skew > 0,
+            true,
+            "agent 1 must have run ahead"
+        );
     }
 
     #[test]
@@ -551,7 +600,10 @@ mod tests {
         let run = |slots| {
             let mut s = mk_sched(&w.initial, DependencyPolicy::Spatiotemporal, 1);
             let mut server = mk_server();
-            let cfg = SimConfig { max_concurrent_clusters: slots, ..SimConfig::default() };
+            let cfg = SimConfig {
+                max_concurrent_clusters: slots,
+                ..SimConfig::default()
+            };
             run_sim(&mut s, &w, &mut server, &cfg).unwrap()
         };
         let free = run(None);
@@ -569,7 +621,10 @@ mod tests {
         let mut s = mk_sched(&w.initial, DependencyPolicy::Spatiotemporal, 6);
         let mut server = mk_server();
         let r = run_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap();
-        assert!(r.sched.max_cluster_size >= 2, "agents must have coupled while close");
+        assert!(
+            r.sched.max_cluster_size >= 2,
+            "agents must have coupled while close"
+        );
         assert!(s.graph().validate().is_ok());
     }
 }

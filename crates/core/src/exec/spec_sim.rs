@@ -226,12 +226,21 @@ impl SpecExec {
         let ready = scheduler.ready_clusters()?;
         self.account_squashed(scheduler);
         for cluster in ready {
-            let prio = if self.cfg.priority_ready_queue { cluster.step.priority() } else { 0 };
+            let prio = if self.cfg.priority_ready_queue {
+                cluster.step.priority()
+            } else {
+                0
+            };
             let seq = self.backlog_seq;
             self.backlog_seq += 1;
             self.active.insert(
                 cluster.id,
-                Active { cluster: cluster.clone(), chains: Vec::new(), remaining: 0, cursor: 0 },
+                Active {
+                    cluster: cluster.clone(),
+                    chains: Vec::new(),
+                    remaining: 0,
+                    cursor: 0,
+                },
             );
             self.backlog.push(Reverse((prio, seq, cluster.id)));
         }
@@ -241,7 +250,9 @@ impl SpecExec {
     fn drain_slots(&mut self, now: VirtualTime) {
         let limit = self.cfg.max_concurrent_clusters.unwrap_or(usize::MAX);
         while self.slots_used < limit {
-            let Some(Reverse((_, _, cid))) = self.backlog.pop() else { break };
+            let Some(Reverse((_, _, cid))) = self.backlog.pop() else {
+                break;
+            };
             self.slots_used += 1;
             self.schedule(
                 now + VirtualTime::from_micros(self.cfg.step_cpu_us),
@@ -250,7 +261,13 @@ impl SpecExec {
         }
     }
 
-    fn submit_call(&mut self, server: &mut SimServer, cid: ClusterId, member_idx: usize, at: VirtualTime) {
+    fn submit_call(
+        &mut self,
+        server: &mut SimServer,
+        cid: ClusterId,
+        member_idx: usize,
+        at: VirtualTime,
+    ) {
         let active = self.active.get_mut(&cid).expect("active cluster");
         let chain = &mut active.chains[member_idx];
         let spec = chain.calls[chain.next];
@@ -296,7 +313,10 @@ impl SpecExec {
     ) -> Result<(), EngineError> {
         match ev.kind {
             EvKind::Start(cid) => {
-                let active = self.active.get_mut(&cid).expect("started cluster is active");
+                let active = self
+                    .active
+                    .get_mut(&cid)
+                    .expect("started cluster is active");
                 let step = active.cluster.step;
                 active.chains = active
                     .cluster
@@ -318,8 +338,10 @@ impl SpecExec {
                     return Ok(());
                 }
                 if self.cfg.serial_agents {
-                    let first =
-                        self.active[&cid].chains.iter().position(|c| !c.calls.is_empty());
+                    let first = self.active[&cid]
+                        .chains
+                        .iter()
+                        .position(|c| !c.calls.is_empty());
                     if let Some(i) = first {
                         self.active.get_mut(&cid).expect("active").cursor = i;
                         self.submit_call(server, cid, i, ev.at);
@@ -338,7 +360,10 @@ impl SpecExec {
                 }
             }
             EvKind::Commit(cid) => {
-                let active = self.active.remove(&cid).expect("committed cluster is active");
+                let active = self
+                    .active
+                    .remove(&cid)
+                    .expect("committed cluster is active");
                 let step = active.cluster.step;
                 let new_pos: Vec<(AgentId, S::Pos)> = active
                     .cluster
@@ -350,7 +375,8 @@ impl SpecExec {
                 self.account_squashed(scheduler);
                 if outcome.committed {
                     for chain in &active.chains {
-                        self.committed_cost.insert((chain.agent.0, step.0), chain.cost);
+                        self.committed_cost
+                            .insert((chain.agent.0, step.0), chain.cost);
                     }
                     if let Some(tl) = &mut self.timeline {
                         tl.commits.push((step, ev.at));
@@ -386,9 +412,14 @@ impl SpecExec {
                 tl.spans.push(span);
             }
         }
-        let (cid, member_idx) =
-            self.req_map.remove(&req.id).expect("completion for unknown request");
-        let active = self.active.get_mut(&cid).expect("completion for inactive cluster");
+        let (cid, member_idx) = self
+            .req_map
+            .remove(&req.id)
+            .expect("completion for unknown request");
+        let active = self
+            .active
+            .get_mut(&cid)
+            .expect("completion for inactive cluster");
         let chain = &active.chains[member_idx];
         if chain.next < chain.calls.len() {
             self.submit_call(server, cid, member_idx, at);
@@ -434,11 +465,7 @@ mod tests {
     use aim_store::Db;
     use std::sync::Arc;
 
-    fn mk_spec_sched(
-        initial: &[Point],
-        runahead: u32,
-        target: u32,
-    ) -> SpecScheduler<GridSpace> {
+    fn mk_spec_sched(initial: &[Point], runahead: u32, target: u32) -> SpecScheduler<GridSpace> {
         SpecScheduler::new(
             Arc::new(GridSpace::new(500, 500)),
             RuleParams::genagent(),
@@ -516,8 +543,7 @@ mod tests {
         // until the huge call commits; speculatively its remaining steps
         // overlap it, cutting completion time. Nothing is ever squashed
         // (the agents never move), so the speedup is free.
-        let mut w =
-            TableWorkload::stationary(vec![Point::new(0, 0), Point::new(10, 0)], 12);
+        let mut w = TableWorkload::stationary(vec![Point::new(0, 0), Point::new(10, 0)], 12);
         w = w.with_call(0, 0, spec(600, 1200));
         for s in 0..12u32 {
             w = w.with_call(1, s, spec(200, 60));
@@ -557,7 +583,11 @@ mod tests {
         let mut server = mk_server();
         let r = run_spec_sim(&mut s, &w, &mut server, &SimConfig::default()).unwrap();
         let sr = r.spec.unwrap();
-        assert!(sr.stats.squashed_steps > 0, "the approach must squash: {:?}", sr.stats);
+        assert!(
+            sr.stats.squashed_steps > 0,
+            "the approach must squash: {:?}",
+            sr.stats
+        );
         assert!(sr.wasted_calls > 0, "squashed steps carried calls");
         assert!(
             r.total_calls > 8 + 1,
@@ -574,7 +604,9 @@ mod tests {
             5,
         );
         for s in 0..5u32 {
-            w = w.with_call(0, s, spec(300, 30)).with_call(1, s, spec(80, 8));
+            w = w
+                .with_call(0, s, spec(300, 30))
+                .with_call(1, s, spec(80, 8));
             w = w.with_move(1, s, Point::new(8 - s as i32, 0));
         }
         let run = || {
@@ -597,7 +629,10 @@ mod tests {
         let run = |slots| {
             let mut s = mk_spec_sched(&w.initial, 4, 1);
             let mut server = mk_server();
-            let cfg = SimConfig { max_concurrent_clusters: slots, ..SimConfig::default() };
+            let cfg = SimConfig {
+                max_concurrent_clusters: slots,
+                ..SimConfig::default()
+            };
             run_spec_sim(&mut s, &w, &mut server, &cfg).unwrap()
         };
         let free = run(None);

@@ -59,7 +59,10 @@ pub struct ThreadedConfig {
 
 impl Default for ThreadedConfig {
     fn default() -> Self {
-        ThreadedConfig { workers: 4, priority_enabled: true }
+        ThreadedConfig {
+            workers: 4,
+            priority_enabled: true,
+        }
     }
 }
 
@@ -124,9 +127,7 @@ where
                             let step = cluster.step;
                             joins.push((
                                 m,
-                                agents.spawn(move || {
-                                    program.agent_step(m, step, backend.as_ref())
-                                }),
+                                agents.spawn(move || program.agent_step(m, step, backend.as_ref())),
                             ));
                         }
                         joins
@@ -147,7 +148,11 @@ where
         let push_ready = |sched: &mut Scheduler<S>| {
             let mut n = 0;
             for c in sched.ready_clusters() {
-                let prio = if cfg.priority_enabled { c.step.priority() } else { 0 };
+                let prio = if cfg.priority_enabled {
+                    c.step.priority()
+                } else {
+                    0
+                };
                 ready.push(prio, c).expect("ready queue closed prematurely");
                 n += 1;
             }
@@ -181,7 +186,11 @@ where
     });
     result?;
 
-    Ok(ThreadedReport { wall: started.elapsed(), clusters, agent_steps })
+    Ok(ThreadedReport {
+        wall: started.elapsed(),
+        clusters,
+        agent_steps,
+    })
 }
 
 #[cfg(test)]
@@ -211,7 +220,11 @@ mod tests {
                 calls: AtomicU64::new(0),
                 req_ids: AtomicU64::new(0),
                 positions: Mutex::new(
-                    initial.iter().enumerate().map(|(i, p)| (i as u32, *p)).collect(),
+                    initial
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i as u32, *p))
+                        .collect(),
                 ),
                 log: Mutex::new(Vec::new()),
             }
@@ -262,9 +275,13 @@ mod tests {
         let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 4);
         let program = Arc::new(WalkProgram::new(&initial));
         let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
-        let report =
-            run_threaded(&mut sched, Arc::clone(&program), backend, ThreadedConfig::default())
-                .unwrap();
+        let report = run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig::default(),
+        )
+        .unwrap();
         assert!(sched.is_done());
         assert_eq!(report.agent_steps, 12);
         assert_eq!(program.calls.load(Ordering::Relaxed), 12);
@@ -291,7 +308,10 @@ mod tests {
             &mut sched,
             Arc::clone(&program),
             backend,
-            ThreadedConfig { workers: 2, priority_enabled: true },
+            ThreadedConfig {
+                workers: 2,
+                priority_enabled: true,
+            },
         )
         .unwrap();
         assert!(sched.is_done());
@@ -301,8 +321,9 @@ mod tests {
 
     #[test]
     fn threaded_with_many_workers_and_agents() {
-        let initial: Vec<Point> =
-            (0..20).map(|i| Point::new((i % 5) * 50, (i / 5) * 50)).collect();
+        let initial: Vec<Point> = (0..20)
+            .map(|i| Point::new((i % 5) * 50, (i / 5) * 50))
+            .collect();
         let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 5);
         let program = Arc::new(WalkProgram::new(&initial));
         let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
@@ -310,7 +331,10 @@ mod tests {
             &mut sched,
             Arc::clone(&program),
             backend,
-            ThreadedConfig { workers: 8, priority_enabled: true },
+            ThreadedConfig {
+                workers: 8,
+                priority_enabled: true,
+            },
         )
         .unwrap();
         assert!(sched.is_done());
@@ -324,8 +348,7 @@ mod tests {
         let mut sched = mk_sched(&initial, DependencyPolicy::GlobalSync, 3);
         let program = Arc::new(WalkProgram::new(&initial));
         let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
-        let report =
-            run_threaded(&mut sched, program, backend, ThreadedConfig::default()).unwrap();
+        let report = run_threaded(&mut sched, program, backend, ThreadedConfig::default()).unwrap();
         assert_eq!(report.clusters, 3, "one barrier cluster per step");
         assert_eq!(sched.stats().max_step_skew, 0);
     }

@@ -72,7 +72,12 @@ impl OracleGraph {
             components.push(comps);
             lookup.push(look);
         }
-        OracleGraph { num_agents, components, lookup, total_degree }
+        OracleGraph {
+            num_agents,
+            components,
+            lookup,
+            total_degree,
+        }
     }
 
     /// Number of agents the oracle covers.
@@ -96,7 +101,10 @@ impl OracleGraph {
 
     /// All components at `step`.
     pub fn components_at(&self, step: Step) -> &[Vec<u32>] {
-        self.components.get(step.0 as usize).map(|c| c.as_slice()).unwrap_or(&[])
+        self.components
+            .get(step.0 as usize)
+            .map(|c| c.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The paper's §2.2 statistic: average number of prior-step agents each

@@ -217,10 +217,25 @@ mod tests {
         let g = grid();
         let p = RuleParams::genagent();
         // Gap 1: valid iff dist > radius_p = 4.
-        assert!(pair_valid(&g, p, (Point::new(0, 0), Step(1)), (Point::new(5, 0), Step(2))));
-        assert!(!pair_valid(&g, p, (Point::new(0, 0), Step(1)), (Point::new(4, 0), Step(2))));
+        assert!(pair_valid(
+            &g,
+            p,
+            (Point::new(0, 0), Step(1)),
+            (Point::new(5, 0), Step(2))
+        ));
+        assert!(!pair_valid(
+            &g,
+            p,
+            (Point::new(0, 0), Step(1)),
+            (Point::new(4, 0), Step(2))
+        ));
         // Same step is always valid.
-        assert!(pair_valid(&g, p, (Point::new(0, 0), Step(1)), (Point::new(0, 0), Step(1))));
+        assert!(pair_valid(
+            &g,
+            p,
+            (Point::new(0, 0), Step(1)),
+            (Point::new(0, 0), Step(1))
+        ));
     }
 
     #[test]

@@ -222,9 +222,17 @@ impl<S: Space> Scheduler<S> {
             .inflight
             .remove(cluster)
             .unwrap_or_else(|| panic!("{cluster} is not in flight"));
-        assert_eq!(new_pos.len(), cluster.members.len(), "positions must cover all members");
+        assert_eq!(
+            new_pos.len(),
+            cluster.members.len(),
+            "positions must cover all members"
+        );
         for (a, _) in new_pos {
-            assert!(cluster.members.contains(a), "{a} is not a member of {}", cluster.id);
+            assert!(
+                cluster.members.contains(a),
+                "{a} is not a member of {}",
+                cluster.id
+            );
             assert_eq!(self.state[a.index()], AgentState::InFlight);
         }
         self.graph.advance(new_pos)?;
@@ -308,9 +316,7 @@ impl<S: Space> Scheduler<S> {
         let mut out = Vec::new();
         while let Some(&(s, a)) = self.dirty.iter().next() {
             self.dirty.remove(&(s, a));
-            if self.state[a as usize] != AgentState::Waiting
-                || self.graph.step(AgentId(a)).0 != s
-            {
+            if self.state[a as usize] != AgentState::Waiting || self.graph.step(AgentId(a)).0 != s {
                 continue;
             }
             out.push(self.emit(Step(s), vec![AgentId(a)]));
@@ -319,19 +325,18 @@ impl<S: Space> Scheduler<S> {
     }
 
     fn ready_oracle(&mut self) -> Vec<Cluster> {
-        let DependencyPolicy::Oracle(oracle) = self.policy.clone() else { unreachable!() };
+        let DependencyPolicy::Oracle(oracle) = self.policy.clone() else {
+            unreachable!()
+        };
         let mut out = Vec::new();
         while let Some(&(s, a)) = self.dirty.iter().next() {
             self.dirty.remove(&(s, a));
-            if self.state[a as usize] != AgentState::Waiting
-                || self.graph.step(AgentId(a)).0 != s
-            {
+            if self.state[a as usize] != AgentState::Waiting || self.graph.step(AgentId(a)).0 != s {
                 continue;
             }
             let comp = oracle.component_of(Step(s), AgentId(a));
             let all_arrived = comp.iter().all(|&m| {
-                self.state[m as usize] == AgentState::Waiting
-                    && self.graph.step(AgentId(m)).0 == s
+                self.state[m as usize] == AgentState::Waiting && self.graph.step(AgentId(m)).0 == s
             });
             if all_arrived {
                 let members: Vec<AgentId> = comp.iter().map(|&m| AgentId(m)).collect();
@@ -347,9 +352,7 @@ impl<S: Space> Scheduler<S> {
         let mut out = Vec::new();
         while let Some(&(s, a)) = self.dirty.iter().next() {
             self.dirty.remove(&(s, a));
-            if self.state[a as usize] != AgentState::Waiting
-                || self.graph.step(AgentId(a)).0 != s
-            {
+            if self.state[a as usize] != AgentState::Waiting || self.graph.step(AgentId(a)).0 != s {
                 continue; // stale entry
             }
             // Grow the coupled cluster from `a` over waiting same-step
@@ -403,11 +406,7 @@ mod tests {
     use crate::policy::OracleGraph;
     use crate::space::{GridSpace, Point};
 
-    fn sched(
-        points: &[(i32, i32)],
-        policy: DependencyPolicy,
-        target: u32,
-    ) -> Scheduler<GridSpace> {
+    fn sched(points: &[(i32, i32)], policy: DependencyPolicy, target: u32) -> Scheduler<GridSpace> {
         let space = Arc::new(GridSpace::new(200, 200));
         let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
         Scheduler::new(
@@ -436,7 +435,10 @@ mod tests {
             assert_eq!(ready.len(), 1, "one barriered cluster per step");
             assert_eq!(ready[0].step, Step(step));
             assert_eq!(ready[0].members.len(), 2);
-            assert!(s.ready_clusters().is_empty(), "no work while the barrier is open");
+            assert!(
+                s.ready_clusters().is_empty(),
+                "no work while the barrier is open"
+            );
             finish(&mut s, &ready[0]);
         }
         assert!(s.is_done());
@@ -463,7 +465,11 @@ mod tests {
 
     #[test]
     fn spatiotemporal_couples_adjacent_agents() {
-        let mut s = sched(&[(0, 0), (5, 0), (100, 100)], DependencyPolicy::Spatiotemporal, 2);
+        let mut s = sched(
+            &[(0, 0), (5, 0), (100, 100)],
+            DependencyPolicy::Spatiotemporal,
+            2,
+        );
         let ready = s.ready_clusters();
         assert_eq!(ready.len(), 2);
         assert_eq!(ready[0].members, vec![AgentId(0), AgentId(1)]);
@@ -540,7 +546,10 @@ mod tests {
         assert_eq!(ready.len(), 2, "step 0 components are singletons");
         // Finish agent 0's step 0; its step-1 component needs agent 1.
         finish(&mut s, &ready[0]);
-        assert!(s.ready_clusters().is_empty(), "agent0 must wait for agent1 at step 1");
+        assert!(
+            s.ready_clusters().is_empty(),
+            "agent0 must wait for agent1 at step 1"
+        );
         finish(&mut s, &ready[1]);
         let joint = s.ready_clusters();
         assert_eq!(joint.len(), 1);
@@ -584,7 +593,8 @@ mod tests {
     fn movement_is_respected_on_complete() {
         let mut s = sched(&[(0, 0)], DependencyPolicy::NoDependency, 1);
         let ready = s.ready_clusters();
-        s.complete(&ready[0].id, &[(AgentId(0), Point::new(1, 1))]).unwrap();
+        s.complete(&ready[0].id, &[(AgentId(0), Point::new(1, 1))])
+            .unwrap();
         assert_eq!(s.graph().pos(AgentId(0)), Point::new(1, 1));
         assert!(s.is_done());
     }

@@ -194,7 +194,9 @@ impl Space for GridSpace {
             let (cx, cy) = key(*p);
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    let Some(cand) = buckets.get(&(cx + dx, cy + dy)) else { continue };
+                    let Some(cand) = buckets.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
                     for &j in cand {
                         if j > i && self.within_units(*p, pts[j], units) {
                             out.push((i, j));
@@ -262,7 +264,10 @@ impl SocialSpace {
         assert!(n < u16::MAX as usize, "SocialSpace supports < 65535 nodes");
         let mut adjacency = vec![Vec::new(); n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge ({a},{b}) out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a},{b}) out of range"
+            );
             if a != b {
                 adjacency[a as usize].push(b);
                 adjacency[b as usize].push(a);
@@ -384,9 +389,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut state = 12345u64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 33) % 300;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = (state >> 33) % 300;
             pts.push(Point::new(x as i32, y as i32));
         }

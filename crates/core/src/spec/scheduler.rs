@@ -254,9 +254,7 @@ impl<S: Space> SpecScheduler<S> {
         let mut out = Vec::new();
         while let Some(&(s, a)) = self.dirty.iter().next() {
             self.dirty.remove(&(s, a));
-            if self.state[a as usize] != AgentState::Waiting
-                || self.graph.step(AgentId(a)).0 != s
-            {
+            if self.state[a as usize] != AgentState::Waiting || self.graph.step(AgentId(a)).0 != s {
                 continue; // stale entry
             }
             // Grow the coupled cluster over waiting same-step agents.
@@ -283,7 +281,9 @@ impl<S: Space> SpecScheduler<S> {
             for e in self.table.iter_live() {
                 if e.step.0 >= s
                     && !members.contains(&e.agent)
-                    && starts.iter().any(|p| self.space().within_units(e.start_pos, *p, coupling))
+                    && starts
+                        .iter()
+                        .any(|p| self.space().within_units(e.start_pos, *p, coupling))
                 {
                     seeds.push((e.agent, e.step));
                 }
@@ -357,7 +357,10 @@ impl<S: Space> SpecScheduler<S> {
                     continue;
                 }
                 let ypos = self.graph.pos(y);
-                if starts.iter().any(|p| self.space().within_units(ypos, *p, radius)) {
+                if starts
+                    .iter()
+                    .any(|p| self.space().within_units(ypos, *p, radius))
+                {
                     observed.push((y, self.graph.step(y)));
                 }
             }
@@ -373,7 +376,10 @@ impl<S: Space> SpecScheduler<S> {
         let coupling = self.params.coupling_units();
         for (_, b) in self.graph.agents_at_or_below(Step(s.0.saturating_sub(1))) {
             let bpos = self.graph.pos(b);
-            if starts.iter().any(|p| self.space().within_units(bpos, *p, coupling)) {
+            if starts
+                .iter()
+                .any(|p| self.space().within_units(bpos, *p, coupling))
+            {
                 return true;
             }
         }
@@ -386,7 +392,10 @@ impl<S: Space> SpecScheduler<S> {
         for cid in cids {
             let rec = &self.inflight[cid];
             for st in &rec.starts {
-                if starts.iter().any(|p| self.space().within_units(*st, *p, coupling)) {
+                if starts
+                    .iter()
+                    .any(|p| self.space().within_units(*st, *p, coupling))
+                {
                     return Some(rec.cluster.members[0]);
                 }
             }
@@ -422,8 +431,15 @@ impl<S: Space> SpecScheduler<S> {
         for m in &cluster.members {
             self.inflight_of[m.index()] = Some(id);
         }
-        self.inflight
-            .insert(id, Inflight { cluster: cluster.clone(), starts, observed, poisoned: false });
+        self.inflight.insert(
+            id,
+            Inflight {
+                cluster: cluster.clone(),
+                starts,
+                observed,
+                poisoned: false,
+            },
+        );
         cluster
     }
 
@@ -459,7 +475,11 @@ impl<S: Space> SpecScheduler<S> {
         for m in &rec.cluster.members {
             self.inflight_of[m.index()] = None;
         }
-        assert_eq!(new_pos.len(), rec.cluster.members.len(), "positions must cover all members");
+        assert_eq!(
+            new_pos.len(),
+            rec.cluster.members.len(),
+            "positions must cover all members"
+        );
         for (a, _) in new_pos {
             assert!(
                 rec.cluster.members.contains(a),
@@ -500,14 +520,19 @@ impl<S: Space> SpecScheduler<S> {
                 continue;
             }
             let hit = rec2.starts.iter().any(|st2| {
-                rec.starts.iter().any(|st| self.space().within_units(*st2, *st, coupling))
+                rec.starts
+                    .iter()
+                    .any(|st| self.space().within_units(*st2, *st, coupling))
             });
             if hit {
                 poison.push(*cid2);
             }
         }
         for cid2 in poison {
-            self.inflight.get_mut(&cid2).expect("collected above").poisoned = true;
+            self.inflight
+                .get_mut(&cid2)
+                .expect("collected above")
+                .poisoned = true;
         }
 
         self.cascade(seeds)?;
@@ -546,7 +571,8 @@ impl<S: Space> SpecScheduler<S> {
                 instance: cluster.0,
             })
             .collect();
-        self.table.push_instance(cluster.0, s, entries, rec.observed.clone());
+        self.table
+            .push_instance(cluster.0, s, entries, rec.observed.clone());
         self.stats.max_live_entries = self.stats.max_live_entries.max(self.table.len() as u32);
         self.retire_dirty.insert((s.0, cluster.0));
 
@@ -617,7 +643,10 @@ impl<S: Space> SpecScheduler<S> {
             // An execution in flight at or above the squash point is
             // reading discarded state: poison it.
             if let Some(cid) = self.inflight_of[x.index()] {
-                let rec = self.inflight.get_mut(&cid).expect("inflight_of is consistent");
+                let rec = self
+                    .inflight
+                    .get_mut(&cid)
+                    .expect("inflight_of is consistent");
                 if rec.cluster.step >= u {
                     rec.poisoned = true;
                 }
@@ -657,8 +686,10 @@ impl<S: Space> SpecScheduler<S> {
             }
         }
         if !rollback.is_empty() {
-            let mut batch: Vec<(AgentId, Step, S::Pos)> =
-                rollback.iter().map(|(a, (s, p))| (AgentId(*a), *s, *p)).collect();
+            let mut batch: Vec<(AgentId, Step, S::Pos)> = rollback
+                .iter()
+                .map(|(a, (s, p))| (AgentId(*a), *s, *p))
+                .collect();
             batch.sort_unstable_by_key(|(a, _, _)| a.0);
             self.graph.rollback(&batch)?;
         }
@@ -737,12 +768,7 @@ impl<S: Space> SpecScheduler<S> {
     /// First agent that could still write into `ball(start, radius_p)` at
     /// step `step` — the §3.2 blocking rule evaluated from each agent's
     /// deepest possible rollback state.
-    fn clearance_blocker(
-        &self,
-        members: &[AgentId],
-        start: S::Pos,
-        step: Step,
-    ) -> Option<AgentId> {
+    fn clearance_blocker(&self, members: &[AgentId], start: S::Pos, step: Step) -> Option<AgentId> {
         // Agents without live entries: assessed at their current state.
         for (tb, b) in self.graph.agents_at_or_below(step) {
             if members.contains(&b) || self.table.stack_len(b) > 0 {
@@ -862,8 +888,16 @@ mod tests {
         let advanced = 1 + run_solo(&mut s, B);
         assert_eq!(advanced, 5);
         assert_eq!(s.stats().emitted_spec, 0);
-        assert_eq!(s.stats().spec_denied, 0, "disabled speculation is not 'denied'");
-        assert_eq!(s.live_entries(), 0, "conservative executions retire eagerly");
+        assert_eq!(
+            s.stats().spec_denied,
+            0,
+            "disabled speculation is not 'denied'"
+        );
+        assert_eq!(
+            s.live_entries(),
+            0,
+            "conservative executions retire eagerly"
+        );
     }
 
     #[test]
@@ -916,7 +950,11 @@ mod tests {
         // couple.
         let ready = s.ready_clusters().unwrap();
         assert_eq!(s.drain_squashed(), vec![(B, Step(1)), (B, Step(2))]);
-        assert_eq!(s.graph().step(B), Step(1), "rolled back to first stale step");
+        assert_eq!(
+            s.graph().step(B),
+            Step(1),
+            "rolled back to first stale step"
+        );
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].members, vec![A, B], "squashed agent re-couples");
         assert_eq!(ready[0].step, Step(1));
@@ -947,9 +985,16 @@ mod tests {
         assert_eq!(ready.len(), 1, "A executes alone; B is still in flight");
         assert_eq!(ready[0].members, vec![A]);
         let poisoned = finish(&mut s, &c_b2);
-        assert!(!poisoned.committed, "poisoned in-flight result must be dropped");
+        assert!(
+            !poisoned.committed,
+            "poisoned in-flight result must be dropped"
+        );
         assert_eq!(s.stats().poisoned_clusters, 1);
-        assert_eq!(s.graph().step(B), Step(1), "B re-executes from the squash point");
+        assert_eq!(
+            s.graph().step(B),
+            Step(1),
+            "B re-executes from the squash point"
+        );
         finish(&mut s, &ready[0]);
         drain(&mut s);
         assert!(s.is_done());
@@ -966,7 +1011,10 @@ mod tests {
         finish_moving(&mut s, &c_b1, B, Point::new(5, 0)); // spec step 1
         assert_eq!(s.live_entries(), 1);
         let denied_at = s.stats().spec_denied;
-        assert!(s.ready_clusters().unwrap().is_empty(), "B must not run further");
+        assert!(
+            s.ready_clusters().unwrap().is_empty(),
+            "B must not run further"
+        );
         assert_eq!(s.stats().spec_denied, denied_at + 1);
         assert_eq!(s.live_entries(), 1, "no new speculative work");
     }
@@ -1025,11 +1073,18 @@ mod tests {
         let ready = s.ready_clusters().unwrap();
         let squashed = s.drain_squashed();
         assert!(squashed.contains(&(B, Step(1))));
-        assert!(squashed.contains(&(C, Step(1))), "partner rolled back: {squashed:?}");
+        assert!(
+            squashed.contains(&(C, Step(1))),
+            "partner rolled back: {squashed:?}"
+        );
         assert_eq!(squashed.len(), 4);
         assert_eq!(s.graph().step(C), Step(1));
         assert_eq!(ready.len(), 1);
-        assert_eq!(ready[0].members, vec![A, B, C], "all three couple after the squash");
+        assert_eq!(
+            ready[0].members,
+            vec![A, B, C],
+            "all three couple after the squash"
+        );
         finish(&mut s, &ready[0]);
         drain(&mut s);
         assert!(s.is_done());
@@ -1044,13 +1099,21 @@ mod tests {
         let c_a = ready[0].clone();
         finish(&mut s, &ready[1]);
         run_solo(&mut s, B);
-        assert_eq!(s.graph().step(B), Step(3), "B reached the target speculatively");
+        assert_eq!(
+            s.graph().step(B),
+            Step(3),
+            "B reached the target speculatively"
+        );
         assert!(!s.is_done(), "unvalidated speculation is not done");
         assert_eq!(s.live_entries(), 2);
         finish(&mut s, &c_a);
         drain(&mut s);
         assert!(s.is_done());
-        assert_eq!(s.stats().squashed_steps, 0, "no waste when speculation wins");
+        assert_eq!(
+            s.stats().squashed_steps,
+            0,
+            "no waste when speculation wins"
+        );
         assert_eq!(s.stats().emitted_spec, 2);
         assert_eq!(s.stats().retired_steps, 6);
     }

@@ -114,7 +114,9 @@ impl<P: Copy + fmt::Debug + PartialEq> EntryTable<P> {
 
     /// Iterates every live entry (agents in id order, steps ascending).
     pub fn iter_live(&self) -> impl Iterator<Item = &SpecEntry<P>> {
-        self.occupied.iter().flat_map(|a| self.stacks[*a as usize].iter())
+        self.occupied
+            .iter()
+            .flat_map(|a| self.stacks[*a as usize].iter())
     }
 
     /// Agents with at least one live entry, in id order.
@@ -158,7 +160,14 @@ impl<P: Copy + fmt::Debug + PartialEq> EntryTable<P> {
         for (obs, at) in &observed {
             self.observers.entry(obs.0).or_default().push((at.0, seq));
         }
-        let prev = self.instances.insert(seq, Instance { step, members, observed });
+        let prev = self.instances.insert(
+            seq,
+            Instance {
+                step,
+                members,
+                observed,
+            },
+        );
         debug_assert!(prev.is_none(), "instance {seq} recorded twice");
     }
 
@@ -199,7 +208,9 @@ impl<P: Copy + fmt::Debug + PartialEq> EntryTable<P> {
     /// Panics if `agent` has no live entries.
     pub fn retire_front(&mut self, agent: AgentId) -> SpecEntry<P> {
         let stack = &mut self.stacks[agent.index()];
-        let entry = stack.pop_front().unwrap_or_else(|| panic!("{agent} has no live entries"));
+        let entry = stack
+            .pop_front()
+            .unwrap_or_else(|| panic!("{agent} has no live entries"));
         self.live -= 1;
         if stack.is_empty() {
             self.occupied.remove(&agent.0);
@@ -217,7 +228,9 @@ impl<P: Copy + fmt::Debug + PartialEq> EntryTable<P> {
     /// than `step` — their reads consumed state that a squash of `agent`
     /// back to `step` discards.
     pub fn observers_above(&mut self, agent: AgentId, step: Step) -> Vec<u64> {
-        let Some(list) = self.observers.get_mut(&agent.0) else { return Vec::new() };
+        let Some(list) = self.observers.get_mut(&agent.0) else {
+            return Vec::new();
+        };
         // Lazily drop edges whose instance is gone.
         list.retain(|(_, seq)| self.instances.contains_key(seq));
         let out: Vec<u64> = list
@@ -267,7 +280,12 @@ mod tests {
     #[test]
     fn push_joint_instance_records_members() {
         let mut t = EntryTable::new(3);
-        t.push_instance(7, Step(2), vec![entry(0, 2, 0, 7), entry(2, 2, 3, 7)], vec![]);
+        t.push_instance(
+            7,
+            Step(2),
+            vec![entry(0, 2, 0, 7), entry(2, 2, 3, 7)],
+            vec![],
+        );
         let inst = t.instance(7).unwrap();
         assert_eq!(inst.step, Step(2));
         assert_eq!(inst.members, vec![AgentId(0), AgentId(2)]);
@@ -286,7 +304,12 @@ mod tests {
     fn squash_drops_newest_first_and_instances() {
         let mut t = EntryTable::new(1);
         for s in 0..4 {
-            t.push_instance(s as u64, Step(s), vec![entry(0, s, s as i32, s as u64)], vec![]);
+            t.push_instance(
+                s as u64,
+                Step(s),
+                vec![entry(0, s, s as i32, s as u64)],
+                vec![],
+            );
         }
         let dropped = t.squash_from(AgentId(0), Step(2));
         assert_eq!(dropped.len(), 2);
@@ -332,8 +355,18 @@ mod tests {
     fn observers_filter_by_step_and_liveness() {
         let mut t = EntryTable::new(3);
         // Instance 0 observed agent 2 at step 3; instance 1 at step 5.
-        t.push_instance(0, Step(6), vec![entry(0, 6, 0, 0)], vec![(AgentId(2), Step(3))]);
-        t.push_instance(1, Step(6), vec![entry(1, 6, 50, 1)], vec![(AgentId(2), Step(5))]);
+        t.push_instance(
+            0,
+            Step(6),
+            vec![entry(0, 6, 0, 0)],
+            vec![(AgentId(2), Step(3))],
+        );
+        t.push_instance(
+            1,
+            Step(6),
+            vec![entry(1, 6, 50, 1)],
+            vec![(AgentId(2), Step(5))],
+        );
         // Squash of agent 2 back to step 4 invalidates only instance 1.
         assert_eq!(t.observers_above(AgentId(2), Step(4)), vec![1]);
         // Squash to step 2 invalidates both.

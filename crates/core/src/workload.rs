@@ -25,7 +25,11 @@ pub struct CallSpec {
 impl CallSpec {
     /// Creates a call spec.
     pub fn new(input_tokens: u32, output_tokens: u32, kind: CallKind) -> Self {
-        CallSpec { input_tokens, output_tokens, kind }
+        CallSpec {
+            input_tokens,
+            output_tokens,
+            kind,
+        }
     }
 }
 
@@ -116,7 +120,10 @@ pub(crate) mod testutil {
             self.initial[agent.index()]
         }
         fn calls(&self, agent: AgentId, step: Step) -> Vec<CallSpec> {
-            self.calls.get(&(agent.0, step.0)).cloned().unwrap_or_default()
+            self.calls
+                .get(&(agent.0, step.0))
+                .cloned()
+                .unwrap_or_default()
         }
         fn pos_after(&self, agent: AgentId, step: Step) -> Point {
             // Last explicit move at or before `step`, else initial.
@@ -155,6 +162,10 @@ mod tests {
         assert_eq!(w.total_calls(), 2);
         assert_eq!(w.pos_after(AgentId(0), Step(0)), Point::new(0, 0));
         assert_eq!(w.pos_after(AgentId(0), Step(1)), Point::new(1, 0));
-        assert_eq!(w.pos_after(AgentId(0), Step(2)), Point::new(1, 0), "moves persist");
+        assert_eq!(
+            w.pos_after(AgentId(0), Step(2)),
+            Point::new(1, 0),
+            "moves persist"
+        );
     }
 }

@@ -250,7 +250,10 @@ mod social_space_scheduling {
     fn disconnected_components_never_interact() {
         // Two separate triangles: infinite hop distance between them, so
         // one component can run arbitrarily far ahead.
-        let space = Arc::new(SocialSpace::new(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]));
+        let space = Arc::new(SocialSpace::new(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        ));
         let initial = vec![NodeId(0), NodeId(3)];
         let mut sched = Scheduler::new(
             space,

@@ -97,12 +97,17 @@ fn conservative_outcome(w: &HashWorkload) -> Vec<Point> {
         safety += 1;
         assert!(safety < 100_000, "conservative run failed to converge");
         for c in sched.ready_clusters() {
-            let pos: Vec<(AgentId, Point)> =
-                c.members.iter().map(|m| (*m, w.pos_after(*m, c.step))).collect();
+            let pos: Vec<(AgentId, Point)> = c
+                .members
+                .iter()
+                .map(|m| (*m, w.pos_after(*m, c.step)))
+                .collect();
             sched.complete(&c.id, &pos).unwrap();
         }
     }
-    (0..w.initial.len()).map(|a| sched.graph().pos(AgentId(a as u32))).collect()
+    (0..w.initial.len())
+        .map(|a| sched.graph().pos(AgentId(a as u32)))
+        .collect()
 }
 
 proptest! {
@@ -292,4 +297,3 @@ proptest! {
         );
     }
 }
-

@@ -62,8 +62,12 @@ impl InstantBackend {
 
 impl LlmBackend for InstantBackend {
     fn call(&self, req: &LlmRequest) -> LlmResponse {
-        self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        LlmResponse { id: req.id, output_tokens: req.output_tokens }
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        LlmResponse {
+            id: req.id,
+            output_tokens: req.output_tokens,
+        }
     }
 
     fn describe(&self) -> String {
@@ -110,10 +114,16 @@ impl RealtimeSimBackend {
     ///
     /// Panics if `time_scale` is not finite and positive.
     pub fn new(cfg: ServerConfig, time_scale: f64) -> Self {
-        assert!(time_scale.is_finite() && time_scale > 0.0, "time_scale must be positive");
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time_scale must be positive"
+        );
         let name = format!("realtime-sim({}, {}x)", cfg.name, time_scale);
         RealtimeSimBackend {
-            inner: Mutex::new(RtInner { server: SimServer::new(cfg), done: HashMap::new() }),
+            inner: Mutex::new(RtInner {
+                server: SimServer::new(cfg),
+                done: HashMap::new(),
+            }),
             progressed: Condvar::new(),
             epoch: Instant::now(),
             time_scale,
@@ -137,7 +147,9 @@ impl RealtimeSimBackend {
     fn pump(&self, inner: &mut RtInner) {
         // Advance the simulator to "wall now" (in virtual units), stashing
         // completions. Never move the clock backwards.
-        let vt_now = self.wall_to_virtual(self.epoch.elapsed()).max(inner.server.now());
+        let vt_now = self
+            .wall_to_virtual(self.epoch.elapsed())
+            .max(inner.server.now());
         for c in inner.server.advance(vt_now) {
             inner.done.insert(c.req.id, c.req.output_tokens);
         }
@@ -154,7 +166,10 @@ impl LlmBackend for RealtimeSimBackend {
         loop {
             if let Some(output_tokens) = inner.done.remove(&req.id) {
                 self.progressed.notify_all();
-                return LlmResponse { id: req.id, output_tokens };
+                return LlmResponse {
+                    id: req.id,
+                    output_tokens,
+                };
             }
             match inner.server.next_event() {
                 Some(t) => {

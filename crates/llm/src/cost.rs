@@ -64,10 +64,21 @@ impl CostModel {
             ("decode_us_per_seq", decode_us_per_seq),
             ("iter_overhead_us", iter_overhead_us),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative, got {v}"
+            );
         }
-        assert!(decode_us_per_seq > 0.0, "decode_us_per_seq must be positive");
-        CostModel { iter_floor_us, prefill_us_per_token, decode_us_per_seq, iter_overhead_us }
+        assert!(
+            decode_us_per_seq > 0.0,
+            "decode_us_per_seq must be positive"
+        );
+        CostModel {
+            iter_floor_us,
+            prefill_us_per_token,
+            decode_us_per_seq,
+            iter_overhead_us,
+        }
     }
 
     /// Duration of one iteration prefilling `prefill_tokens` and decoding
@@ -99,7 +110,12 @@ impl CostModel {
     /// prefill followed by one iteration per output token. This is the
     /// building block of the paper's `critical` lower bound (§4.2), which
     /// charges each call its unloaded latency.
-    pub fn isolated_latency(&self, input_tokens: u32, output_tokens: u32, chunk: u32) -> VirtualTime {
+    pub fn isolated_latency(
+        &self,
+        input_tokens: u32,
+        output_tokens: u32,
+        chunk: u32,
+    ) -> VirtualTime {
         let chunk = chunk.max(1);
         let mut t = VirtualTime::ZERO;
         let mut remaining = input_tokens;
@@ -157,7 +173,10 @@ mod tests {
         let sat = m.saturation_batch();
         let tsat = m.decode_throughput_at(sat);
         let t4x = m.decode_throughput_at(sat * 4);
-        assert!(t8 > 7.0 * t1, "below saturation extra sequences are nearly free");
+        assert!(
+            t8 > 7.0 * t1,
+            "below saturation extra sequences are nearly free"
+        );
         assert!(tsat > t8);
         // Beyond saturation throughput stops growing meaningfully (within 10%).
         assert!(t4x < tsat * 1.10);

@@ -142,7 +142,11 @@ pub fn tiny_test() -> Preset {
 
 /// All calibrated presets (excludes [`tiny_test`]).
 pub fn all() -> Vec<Preset> {
-    vec![l4_llama3_8b(), a100_tp4_llama3_70b(), a100_tp2_mixtral_8x7b()]
+    vec![
+        l4_llama3_8b(),
+        a100_tp4_llama3_70b(),
+        a100_tp2_mixtral_8x7b(),
+    ]
 }
 
 #[cfg(test)]
@@ -171,7 +175,11 @@ mod tests {
                 "{}: saturation batch {sat} outside plausible serving range",
                 p.name
             );
-            assert!(p.max_running >= sat / 2, "{}: max_running below saturation", p.name);
+            assert!(
+                p.max_running >= sat / 2,
+                "{}: max_running below saturation",
+                p.name
+            );
         }
     }
 
@@ -193,6 +201,9 @@ mod tests {
         let p = l4_llama3_8b();
         let t = p.cost.isolated_latency(643, 22, p.prefill_chunk);
         let secs = t.as_secs_f64();
-        assert!((0.1..3.0).contains(&secs), "per-request latency {secs}s implausible");
+        assert!(
+            (0.1..3.0).contains(&secs),
+            "per-request latency {secs}s implausible"
+        );
     }
 }

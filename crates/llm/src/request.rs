@@ -20,9 +20,7 @@ impl fmt::Display for RequestId {
 /// whose colored bars are exactly these categories): perception filtering,
 /// memory retrieval scoring, action planning, periodic reflection, and
 /// conversation turns with a closing summary.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum CallKind {
     /// Rank/filter perceived events for salience.
@@ -73,7 +71,10 @@ impl CallKind {
 
     /// Small stable index (e.g. for per-kind histograms).
     pub fn index(self) -> usize {
-        CallKind::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+        CallKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind in ALL")
     }
 }
 
@@ -150,7 +151,15 @@ impl LlmRequest {
         output_tokens: u32,
         kind: CallKind,
     ) -> Self {
-        LlmRequest { id, agent, step, input_tokens, output_tokens, kind, lane: Lane::Background }
+        LlmRequest {
+            id,
+            agent,
+            step,
+            input_tokens,
+            output_tokens,
+            kind,
+            lane: Lane::Background,
+        }
     }
 
     /// Marks this request latency-critical (paper §6's interactive class).

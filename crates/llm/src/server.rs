@@ -367,9 +367,21 @@ impl SimServer {
         self.accrue(now);
         self.outstanding += 1;
         self.submitted += 1;
-        let priority = if self.cfg.priority_enabled { req.step } else { 0 };
-        let lane = if self.cfg.lane_aware { req.lane.rank() } else { 0 };
-        let key = PendKey { lane, priority, seq: self.arrival_seq };
+        let priority = if self.cfg.priority_enabled {
+            req.step
+        } else {
+            0
+        };
+        let lane = if self.cfg.lane_aware {
+            req.lane.rank()
+        } else {
+            0
+        };
+        let key = PendKey {
+            lane,
+            priority,
+            seq: self.arrival_seq,
+        };
         self.arrival_seq += 1;
         let target = self
             .replicas
@@ -377,7 +389,11 @@ impl SimServer {
             .min_by_key(|r| (r.load(), r.id))
             .map(|r| r.id)
             .expect("at least one replica");
-        self.replicas[target].pending.push(Reverse(Pending { key, req, submitted_at: now }));
+        self.replicas[target].pending.push(Reverse(Pending {
+            key,
+            req,
+            submitted_at: now,
+        }));
         self.try_start(target, now);
     }
 
@@ -472,7 +488,9 @@ impl SimServer {
         // latency-critical arrival never waits for a background decode to
         // drain (§6's hybrid deployment).
         let background_limit = if self.cfg.lane_aware {
-            cfg_max_running.saturating_sub(self.cfg.interactive_reserve as usize).max(1)
+            cfg_max_running
+                .saturating_sub(self.cfg.interactive_reserve as usize)
+                .max(1)
         } else {
             cfg_max_running
         };
@@ -488,7 +506,9 @@ impl SimServer {
         // and KV. Interactive requests sort first, so stopping at a
         // background head never strands an interactive request behind it.
         while replica.running.len() < cfg_max_running {
-            let Some(Reverse(head)) = replica.pending.peek() else { break };
+            let Some(Reverse(head)) = replica.pending.peek() else {
+                break;
+            };
             if head.req.lane == crate::Lane::Background
                 && self.cfg.lane_aware
                 && replica.running.len() >= background_limit
@@ -532,8 +552,10 @@ impl SimServer {
         if replica.running.is_empty() {
             return;
         }
-        replica.metrics.peak_running =
-            replica.metrics.peak_running.max(replica.running.len() as u32);
+        replica.metrics.peak_running = replica
+            .metrics
+            .peak_running
+            .max(replica.running.len() as u32);
         // Assign this iteration's work: decode every prefill-complete
         // sequence; spend up to `chunk` tokens of prefill FCFS.
         let mut prefill_budget = chunk;
@@ -553,7 +575,9 @@ impl SimServer {
         if prefill_tokens == 0 && decode_seqs == 0 {
             return; // nothing runnable (should not happen; defensive)
         }
-        let dt = cost.iter_time(prefill_tokens, decode_seqs).max(VirtualTime::from_micros(1));
+        let dt = cost
+            .iter_time(prefill_tokens, decode_seqs)
+            .max(VirtualTime::from_micros(1));
         replica.iter_end = Some(now + dt);
         replica.metrics.busy_us += dt.as_micros();
         replica.metrics.iterations += 1;
@@ -583,7 +607,14 @@ mod tests {
     }
 
     fn req(id: u64, step: u64, input: u32, output: u32) -> LlmRequest {
-        LlmRequest::new(RequestId(id), id as u32, step, input, output, CallKind::Plan)
+        LlmRequest::new(
+            RequestId(id),
+            id as u32,
+            step,
+            input,
+            output,
+            CallKind::Plan,
+        )
     }
 
     #[test]
@@ -617,7 +648,10 @@ mod tests {
         let done = s.drain();
         let order: Vec<u64> = done.iter().map(|c| c.req.id.0).collect();
         assert_eq!(order[0], 0, "running request is never preempted");
-        assert_eq!(order[1], 99, "interactive must jump all background work: {order:?}");
+        assert_eq!(
+            order[1], 99,
+            "interactive must jump all background work: {order:?}"
+        );
     }
 
     #[test]
@@ -735,7 +769,10 @@ mod tests {
         let order: Vec<u64> = done.iter().map(|c| c.req.id.0).collect();
         let pos = |id: u64| order.iter().position(|x| *x == id).unwrap();
         // Request 5 has the lowest step (95), request 0 the highest (100).
-        assert!(pos(5) < pos(0), "low-step request must complete first: {order:?}");
+        assert!(
+            pos(5) < pos(0),
+            "low-step request must complete first: {order:?}"
+        );
         assert!(pos(4) < pos(1), "priority order violated: {order:?}");
     }
 
@@ -785,9 +822,16 @@ mod tests {
         }
         // Shortest-queue routing spreads the 8 requests 2 per replica
         // (running + pending, since the first admit starts an iteration).
-        let loads: Vec<usize> =
-            s.replicas.iter().map(|r| r.running.len() + r.pending.len()).collect();
-        assert_eq!(loads, vec![2, 2, 2, 2], "shortest-queue routing should balance");
+        let loads: Vec<usize> = s
+            .replicas
+            .iter()
+            .map(|r| r.running.len() + r.pending.len())
+            .collect();
+        assert_eq!(
+            loads,
+            vec![2, 2, 2, 2],
+            "shortest-queue routing should balance"
+        );
         let done = s.drain();
         assert_eq!(done.len(), 8);
         let m = s.metrics();
@@ -818,7 +862,12 @@ mod tests {
             for i in 0..20 {
                 s.submit(
                     VirtualTime::from_micros(i * 13),
-                    req(i, (i * 7) % 5, 30 + (i as u32 * 17) % 200, 1 + (i as u32) % 9),
+                    req(
+                        i,
+                        (i * 7) % 5,
+                        30 + (i as u32 * 17) % 200,
+                        1 + (i as u32) % 9,
+                    ),
                 );
             }
             s.drain()
@@ -844,7 +893,10 @@ mod tests {
         let par = m.achieved_parallelism(makespan);
         assert!(par > 1.0 && par <= 2.0, "parallelism {par} out of range");
         let util = m.utilization(makespan);
-        assert!(util > 0.9, "single busy replica should be ~fully utilized, got {util}");
+        assert!(
+            util > 0.9,
+            "single busy replica should be ~fully utilized, got {util}"
+        );
     }
 
     #[test]
@@ -869,7 +921,10 @@ mod tests {
             let mut s = SimServer::new(cfg);
             let mut at = VirtualTime::ZERO;
             for i in 0..6 {
-                s.submit(at, LlmRequest::new(RequestId(i), 7, 0, 400, 4, CallKind::Plan));
+                s.submit(
+                    at,
+                    LlmRequest::new(RequestId(i), 7, 0, 400, 4, CallKind::Plan),
+                );
                 at = at + VirtualTime::from_micros(1);
             }
             let done = s.drain();
@@ -880,7 +935,10 @@ mod tests {
         let (warm, cached_on) = run(true);
         assert_eq!(cached_off, 0);
         assert!(cached_on > 0, "cache must register hits");
-        assert!(warm < cold, "caching must reduce completion time: {warm} vs {cold}");
+        assert!(
+            warm < cold,
+            "caching must reduce completion time: {warm} vs {cold}"
+        );
     }
 
     #[test]
@@ -889,9 +947,15 @@ mod tests {
         cfg.prefix_caching = true;
         let mut s = SimServer::new(cfg);
         // Two different agents: neither benefits from the other's prefix.
-        s.submit(VirtualTime::ZERO, LlmRequest::new(RequestId(0), 1, 0, 400, 2, CallKind::Plan));
+        s.submit(
+            VirtualTime::ZERO,
+            LlmRequest::new(RequestId(0), 1, 0, 400, 2, CallKind::Plan),
+        );
         let _ = s.drain();
-        s.submit(s.now(), LlmRequest::new(RequestId(1), 2, 0, 400, 2, CallKind::Plan));
+        s.submit(
+            s.now(),
+            LlmRequest::new(RequestId(1), 2, 0, 400, 2, CallKind::Plan),
+        );
         let _ = s.drain();
         assert_eq!(
             s.metrics().replicas[0].cached_prefill_tokens,

@@ -42,14 +42,20 @@ impl VirtualTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "virtual time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "virtual time must be finite and non-negative"
+        );
         VirtualTime((secs * 1e6).round() as u64)
     }
 
     /// Creates a duration from fractional microseconds, rounding **up** so
     /// that positive costs never become zero-length events.
     pub fn from_micros_f64_ceil(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "virtual duration must be finite and non-negative");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "virtual duration must be finite and non-negative"
+        );
         VirtualTime(us.ceil() as u64)
     }
 

@@ -1,9 +1,7 @@
 //! Property tests for the serving simulator: conservation, monotonicity,
 //! and determinism over arbitrary request mixes.
 
-use aim_llm::{
-    CallKind, CostModel, LlmRequest, RequestId, ServerConfig, SimServer, VirtualTime,
-};
+use aim_llm::{CallKind, CostModel, LlmRequest, RequestId, ServerConfig, SimServer, VirtualTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -17,7 +15,12 @@ struct ReqSpec {
 fn arb_reqs(max: usize) -> impl Strategy<Value = Vec<ReqSpec>> {
     proptest::collection::vec(
         (0u64..500_000, 0u64..20, 1u32..2000, 0u32..64).prop_map(|(at_us, step, input, output)| {
-            ReqSpec { at_us, step, input, output }
+            ReqSpec {
+                at_us,
+                step,
+                input,
+                output,
+            }
         }),
         1..max,
     )
@@ -53,11 +56,20 @@ fn run(cfg: ServerConfig, reqs: &[ReqSpec]) -> Vec<(u64, u64)> {
         }
         server.submit(
             VirtualTime::from_micros(r.at_us),
-            LlmRequest::new(RequestId(i as u64), 0, r.step, r.input, r.output, CallKind::Other),
+            LlmRequest::new(
+                RequestId(i as u64),
+                0,
+                r.step,
+                r.input,
+                r.output,
+                CallKind::Other,
+            ),
         );
     }
     done.extend(server.drain());
-    done.into_iter().map(|c| (c.req.id.0, c.finished_at.as_micros())).collect()
+    done.into_iter()
+        .map(|c| (c.req.id.0, c.finished_at.as_micros()))
+        .collect()
 }
 
 proptest! {

@@ -106,7 +106,9 @@ impl Db {
     /// Creates an empty database.
     pub fn new() -> Self {
         Db {
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(ShardInner::default())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(ShardInner::default()))
+                .collect(),
             gets: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             txn_commits: AtomicU64::new(0),
@@ -157,7 +159,10 @@ impl Db {
     /// Returns `true` if `key` is present.
     pub fn contains(&self, key: impl AsRef<[u8]>) -> bool {
         let key = key.as_ref();
-        self.shards[Self::shard_index(key)].read().map.contains_key(key)
+        self.shards[Self::shard_index(key)]
+            .read()
+            .map
+            .contains_key(key)
     }
 
     /// Atomically adds `delta` to the signed 64-bit integer at `key`
@@ -178,7 +183,10 @@ impl Db {
             None => 0,
             Some(e) => {
                 let raw: [u8; 8] = e.value.as_ref().try_into().map_err(|_| {
-                    StoreError::Codec(format!("incr on non-integer value of len {}", e.value.len()))
+                    StoreError::Codec(format!(
+                        "incr on non-integer value of len {}",
+                        e.value.len()
+                    ))
                 })?;
                 i64::from_be_bytes(raw)
             }
@@ -187,7 +195,10 @@ impl Db {
         let version = shard.bump();
         shard.map.insert(
             Bytes::copy_from_slice(key_ref),
-            Entry { version, value: Bytes::copy_from_slice(&next.to_be_bytes()) },
+            Entry {
+                version,
+                value: Bytes::copy_from_slice(&next.to_be_bytes()),
+            },
         );
         Ok(next)
     }
@@ -343,7 +354,10 @@ mod tests {
         db.set("other:1", vec![0]);
         let got = db.scan_prefix("agent:");
         let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_ref()).collect();
-        assert_eq!(keys, vec![&b"agent:1"[..], &b"agent:10"[..], &b"agent:2"[..]]);
+        assert_eq!(
+            keys,
+            vec![&b"agent:1"[..], &b"agent:10"[..], &b"agent:2"[..]]
+        );
     }
 
     #[test]
@@ -366,7 +380,10 @@ mod tests {
         db.del("k");
         db.set("k", vec![2]);
         let (v2, _) = db.versioned_get(b"k").unwrap();
-        assert!(v2 > v1, "recreated key must have a fresh version ({v1} vs {v2})");
+        assert!(
+            v2 > v1,
+            "recreated key must have a fresh version ({v1} vs {v2})"
+        );
     }
 
     #[test]

@@ -119,7 +119,11 @@ impl<T> PriorityQueue<T> {
     /// Creates an empty, open queue.
     pub fn new() -> Self {
         PriorityQueue {
-            inner: Mutex::new(Inner { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
             available: Condvar::new(),
         }
     }
@@ -137,7 +141,11 @@ impl<T> PriorityQueue<T> {
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.heap.push(HeapEntry { priority, seq, item });
+        inner.heap.push(HeapEntry {
+            priority,
+            seq,
+            item,
+        });
         drop(inner);
         self.available.notify_one();
         Ok(())
@@ -276,7 +284,10 @@ mod tests {
     #[test]
     fn pop_timeout_times_out() {
         let q: PriorityQueue<u32> = PriorityQueue::new();
-        assert_eq!(q.pop_timeout(Duration::from_millis(10)), PopResult::TimedOut);
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            PopResult::TimedOut
+        );
         q.push(0, 1).unwrap();
         assert_eq!(q.pop_timeout(Duration::from_millis(10)), PopResult::Item(1));
         q.close();

@@ -31,7 +31,11 @@ pub struct Txn<'db> {
 
 impl<'db> Txn<'db> {
     fn new(db: &'db Db) -> Self {
-        Txn { db, reads: HashMap::new(), writes: HashMap::new() }
+        Txn {
+            db,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+        }
     }
 
     /// Reads `key`, recording it in the transaction's read set.
@@ -54,12 +58,14 @@ impl<'db> Txn<'db> {
 
     /// Buffers a write of `value` to `key`.
     pub fn set(&mut self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) {
-        self.writes.insert(Bytes::copy_from_slice(key.as_ref()), Some(value.into()));
+        self.writes
+            .insert(Bytes::copy_from_slice(key.as_ref()), Some(value.into()));
     }
 
     /// Buffers a deletion of `key`.
     pub fn del(&mut self, key: impl AsRef<[u8]>) {
-        self.writes.insert(Bytes::copy_from_slice(key.as_ref()), None);
+        self.writes
+            .insert(Bytes::copy_from_slice(key.as_ref()), None);
     }
 
     /// Reads `key` as a big-endian `i64` (absent counts as 0).
@@ -137,7 +143,9 @@ impl<'db> Txn<'db> {
         // Apply the write set.
         let n_writes = self.writes.len() as u64;
         for (key, value) in self.writes {
-            let shard = guards.get_mut(&Db::shard_index(&key)).expect("shard locked");
+            let shard = guards
+                .get_mut(&Db::shard_index(&key))
+                .expect("shard locked");
             match value {
                 Some(value) => {
                     let version = shard.bump();
@@ -169,7 +177,9 @@ pub(crate) fn run<T>(
         }
         db.txn_conflicts.fetch_add(1, Ordering::Relaxed);
     }
-    Err(StoreError::TxnConflict { attempts: max_attempts.max(1) })
+    Err(StoreError::TxnConflict {
+        attempts: max_attempts.max(1),
+    })
 }
 
 #[cfg(test)]
@@ -229,9 +239,7 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        let v = db
-            .transaction(|txn| txn.get_i64("c"))
-            .unwrap();
+        let v = db.transaction(|txn| txn.get_i64("c")).unwrap();
         assert_eq!(v, 2000);
     }
 

@@ -14,7 +14,8 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..8)).prop_map(|(k, v)| Op::Set(k, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(k, v)| Op::Set(k, v)),
         any::<u8>().prop_map(Op::Del),
         (any::<u8>(), any::<i16>()).prop_map(|(k, d)| Op::Incr(k, d)),
     ]

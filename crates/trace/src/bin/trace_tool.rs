@@ -67,7 +67,10 @@ fn cmd_replay(args: &[String]) {
         match flag.as_str() {
             "--mode" => mode = it.next().cloned().unwrap_or_else(|| usage()),
             "--gpus" => {
-                gpus = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                gpus = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--preset" => preset_name = it.next().cloned().unwrap_or_else(|| usage()),
             "--no-priority" => priority = false,
@@ -84,8 +87,9 @@ fn cmd_replay(args: &[String]) {
     let meta = trace.meta();
     let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
     let params = RuleParams::new(meta.radius_p, meta.max_vel);
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let replicas = preset.replicas_for_gpus(gpus);
     let server_cfg = ServerConfig::from_preset(preset, replicas, priority);
     let target = Workload::target_step(&trace);
@@ -114,9 +118,7 @@ fn cmd_replay(args: &[String]) {
         let policy = match mode.as_str() {
             "single-thread" | "parallel-sync" => DependencyPolicy::GlobalSync,
             "metropolis" => DependencyPolicy::Spatiotemporal,
-            "oracle" => {
-                DependencyPolicy::Oracle(Arc::new(aim_trace::oracle::mine(&trace)))
-            }
+            "oracle" => DependencyPolicy::Oracle(Arc::new(aim_trace::oracle::mine(&trace))),
             "no-dependency" => DependencyPolicy::NoDependency,
             _ => usage(),
         };
@@ -163,7 +165,10 @@ fn cmd_gen(args: &[String]) {
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let val = || -> u64 {
-            it.clone().next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            it.clone()
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
         };
         match flag.as_str() {
             "--villes" => cfg.villes = val() as u32,
@@ -194,9 +199,17 @@ fn cmd_info(t: &Trace) {
     let m = t.meta();
     println!("name        : {}", m.name);
     println!("agents      : {}", m.num_agents);
-    println!("steps       : {} (absolute {}..{})", m.num_steps, m.start_step, m.start_step + m.num_steps);
+    println!(
+        "steps       : {} (absolute {}..{})",
+        m.num_steps,
+        m.start_step,
+        m.start_step + m.num_steps
+    );
     println!("map         : {}x{}", m.map_width, m.map_height);
-    println!("rules       : radius_p={} max_vel={}", m.radius_p, m.max_vel);
+    println!(
+        "rules       : radius_p={} max_vel={}",
+        m.radius_p, m.max_vel
+    );
     println!("seed        : {}", m.seed);
     println!("llm calls   : {}", t.calls().len());
 }
@@ -224,7 +237,9 @@ fn cmd_hourly(t: &Trace) {
 
 fn cmd_window(args: &[String]) {
     let t = load(&args[0]);
-    let (Ok(from), Ok(len)) = (args[1].parse::<u32>(), args[2].parse::<u32>()) else { usage() };
+    let (Ok(from), Ok(len)) = (args[1].parse::<u32>(), args[2].parse::<u32>()) else {
+        usage()
+    };
     if from + len > t.meta().num_steps || len == 0 {
         eprintln!(
             "window {from}+{len} out of range (trace has {} steps)",

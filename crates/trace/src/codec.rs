@@ -95,7 +95,9 @@ pub fn read_trace(r: &mut impl BufRead) -> Result<Trace, TraceError> {
     if first?.trim() != MAGIC {
         return Err(parse_err(1, "bad magic (expected AIMTRACE v1)"));
     }
-    let (no, meta_line) = lines.next().ok_or_else(|| parse_err(2, "missing meta line"))?;
+    let (no, meta_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing meta line"))?;
     let meta_line = meta_line?;
     let meta = parse_meta(no + 1, &meta_line)?;
 
@@ -135,9 +137,7 @@ pub fn read_trace(r: &mut impl BufRead) -> Result<Trace, TraceError> {
                 let agent = next_u32("agent")?;
                 let step = next_u32("step")?;
                 let _seq = next_u32("seq")?;
-                let kind_s = f
-                    .next()
-                    .ok_or_else(|| parse_err(no + 1, "missing kind"))?;
+                let kind_s = f.next().ok_or_else(|| parse_err(no + 1, "missing kind"))?;
                 let kind = CallKind::from_str_opt(kind_s)
                     .ok_or_else(|| parse_err(no + 1, format!("unknown kind {kind_s}")))?;
                 let input = next_u32_from(&mut f, no + 1, "input tokens")?;
@@ -161,7 +161,9 @@ pub fn read_trace(r: &mut impl BufRead) -> Result<Trace, TraceError> {
         }
     }
     if let Some(missing) = seen_initial.iter().position(|s| !s) {
-        return Err(TraceError::Parse(format!("missing initial position for agent {missing}")));
+        return Err(TraceError::Parse(format!(
+            "missing initial position for agent {missing}"
+        )));
     }
 
     // Rebuild dense positions from sparse moves.

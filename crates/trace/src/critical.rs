@@ -157,7 +157,10 @@ mod tests {
             })
             .sum::<u64>()
             + (t.meta().num_steps as u64 * t.meta().num_agents as u64 * 3_000);
-        assert!(cp.time.as_micros() < serial, "critical must beat full serialization");
+        assert!(
+            cp.time.as_micros() < serial,
+            "critical must beat full serialization"
+        );
         // And it is at least the heaviest single agent's own serial chain.
         let agent0: u64 = (0..t.meta().num_steps)
             .flat_map(|s| t.chain(0, s))
@@ -204,6 +207,9 @@ mod tests {
         let p = presets::tiny_test();
         let cp = critical_path(&t, &p.cost, p.prefill_chunk, 0, 0);
         assert_eq!(cp.tokens, 0);
-        assert_eq!(no_dependency_bound(&t, &p.cost, p.prefill_chunk, 1), VirtualTime::ZERO);
+        assert_eq!(
+            no_dependency_bound(&t, &p.cost, p.prefill_chunk, 1),
+            VirtualTime::ZERO
+        );
     }
 }

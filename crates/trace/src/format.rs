@@ -89,7 +89,10 @@ impl Trace {
     /// Panics if `agent` or `step` is out of range.
     pub fn position_after(&self, agent: u32, step: u32) -> Point {
         let row = (step + 1) as usize;
-        assert!(row <= self.meta.num_steps as usize, "step {step} out of range");
+        assert!(
+            row <= self.meta.num_steps as usize,
+            "step {step} out of range"
+        );
         self.positions[row * self.meta.num_agents as usize + agent as usize]
     }
 
@@ -122,15 +125,22 @@ impl Trace {
             ..self.meta.clone()
         };
         let n = self.meta.num_agents as usize;
-        let positions =
-            self.positions[from as usize * n..(from + len + 1) as usize * n].to_vec();
+        let positions = self.positions[from as usize * n..(from + len + 1) as usize * n].to_vec();
         let calls: Vec<CallEvent> = self
             .calls
             .iter()
             .filter(|c| c.step >= from && c.step < from + len)
-            .map(|c| CallEvent { step: c.step - from, ..*c })
+            .map(|c| CallEvent {
+                step: c.step - from,
+                ..*c
+            })
             .collect();
-        let mut t = Trace { meta, calls, positions, index: HashMap::new() };
+        let mut t = Trace {
+            meta,
+            calls,
+            positions,
+            index: HashMap::new(),
+        };
         t.rebuild_index();
         t
     }
@@ -141,9 +151,7 @@ impl Trace {
         while i < self.calls.len() {
             let key = (self.calls[i].agent, self.calls[i].step);
             let start = i;
-            while i < self.calls.len()
-                && (self.calls[i].agent, self.calls[i].step) == key
-            {
+            while i < self.calls.len() && (self.calls[i].agent, self.calls[i].step) == key {
                 i += 1;
             }
             self.index.insert(key, (start as u32, (i - start) as u32));
@@ -161,7 +169,12 @@ impl Trace {
             "position matrix size mismatch"
         );
         calls.sort_by_key(|c| (c.step, c.agent, c.seq));
-        let mut t = Trace { meta, calls, positions, index: HashMap::new() };
+        let mut t = Trace {
+            meta,
+            calls,
+            positions,
+            index: HashMap::new(),
+        };
         t.rebuild_index();
         t
     }
@@ -212,11 +225,19 @@ impl TraceBuilder {
     ///
     /// Panics if `initial.len() != meta.num_agents`.
     pub fn new(meta: TraceMeta, initial: &[Point]) -> Self {
-        assert_eq!(initial.len(), meta.num_agents as usize, "initial positions mismatch");
-        let mut positions =
-            Vec::with_capacity(((meta.num_steps + 1) * meta.num_agents) as usize);
+        assert_eq!(
+            initial.len(),
+            meta.num_agents as usize,
+            "initial positions mismatch"
+        );
+        let mut positions = Vec::with_capacity(((meta.num_steps + 1) * meta.num_agents) as usize);
         positions.extend_from_slice(initial);
-        TraceBuilder { meta, calls: Vec::new(), positions, seq_counter: HashMap::new() }
+        TraceBuilder {
+            meta,
+            calls: Vec::new(),
+            positions,
+            seq_counter: HashMap::new(),
+        }
     }
 
     /// Appends one call to `(agent, step)`'s chain (seq auto-assigned).
@@ -236,7 +257,11 @@ impl TraceBuilder {
     /// Appends the position row for the step that just committed; rows must
     /// arrive in step order, `num_agents` points at a time.
     pub fn push_positions(&mut self, row: &[Point]) {
-        assert_eq!(row.len(), self.meta.num_agents as usize, "position row size mismatch");
+        assert_eq!(
+            row.len(),
+            self.meta.num_agents as usize,
+            "position row size mismatch"
+        );
         self.positions.extend_from_slice(row);
     }
 
@@ -313,7 +338,10 @@ mod tests {
         let specs = Workload::calls(&t, AgentId(0), Step(0));
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[0].input_tokens, 100);
-        assert_eq!(Workload::pos_after(&t, AgentId(1), Step(1)), Point::new(9, 8));
+        assert_eq!(
+            Workload::pos_after(&t, AgentId(1), Step(1)),
+            Point::new(9, 8)
+        );
     }
 
     #[test]
@@ -322,9 +350,17 @@ mod tests {
         let w = t.window(1, 2, "tiny-window");
         assert_eq!(w.meta().start_step, 101);
         assert_eq!(w.meta().num_steps, 2);
-        assert_eq!(w.initial_position(0), Point::new(1, 0), "window starts after step 0");
+        assert_eq!(
+            w.initial_position(0),
+            Point::new(1, 0),
+            "window starts after step 0"
+        );
         let chain = w.chain(1, 0);
-        assert_eq!(chain.len(), 1, "agent 1's step-1 call lands at window step 0");
+        assert_eq!(
+            chain.len(),
+            1,
+            "agent 1's step-1 call lands at window step 0"
+        );
         assert_eq!(chain[0].kind, CallKind::Converse);
         assert_eq!(w.position_after(0, 1), Point::new(3, 0));
     }

@@ -160,7 +160,10 @@ mod tests {
             let mut prev = t.initial_position(agent);
             for step in 0..60 {
                 let cur = t.position_after(agent, step);
-                assert!(prev.manhattan(cur) <= 1, "agent {agent} teleported at {step}");
+                assert!(
+                    prev.manhattan(cur) <= 1,
+                    "agent {agent} teleported at {step}"
+                );
                 prev = cur;
             }
         }
@@ -206,7 +209,10 @@ mod tests {
         assert_eq!(t.meta().map_width, 200);
         // Second ville's agents start in the second copy (x >= 100).
         for agent in 5..10 {
-            assert!(t.initial_position(agent).x >= 100, "ville-1 agent in ville-0 space");
+            assert!(
+                t.initial_position(agent).x >= 100,
+                "ville-1 agent in ville-0 space"
+            );
         }
     }
 }

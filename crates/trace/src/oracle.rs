@@ -51,7 +51,9 @@ pub fn interaction_pairs(trace: &Trace) -> Vec<Vec<(u32, u32)>> {
             let (cx, cy) = ((p.x as i64).div_euclid(cell), (p.y as i64).div_euclid(cell));
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    let Some(cand) = buckets.get(&(cx + dx, cy + dy)) else { continue };
+                    let Some(cand) = buckets.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
                     for &j in cand {
                         if j as usize > i && p.dist2(pos[j as usize]) <= r2 {
                             pairs.push((i as u32, j));
@@ -79,10 +81,7 @@ pub fn interaction_pairs(trace: &Trace) -> Vec<Vec<(u32, u32)>> {
 /// assert!(g.avg_dependencies() < 5.0);
 /// ```
 pub fn mine(trace: &Trace) -> OracleGraph {
-    OracleGraph::from_interactions(
-        trace.meta().num_agents as usize,
-        &interaction_pairs(trace),
-    )
+    OracleGraph::from_interactions(trace.meta().num_agents as usize, &interaction_pairs(trace))
 }
 
 #[cfg(test)]
@@ -168,7 +167,10 @@ mod tests {
             .find(|c| c.kind == aim_llm::CallKind::Converse);
         if let Some(c) = conv {
             let comp = g.component_of(Step(c.step), AgentId(c.agent));
-            assert!(comp.len() >= 2, "a conversing agent cannot be alone: {comp:?}");
+            assert!(
+                comp.len() >= 2,
+                "a conversing agent cannot be alone: {comp:?}"
+            );
         }
     }
 }

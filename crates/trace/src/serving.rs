@@ -36,10 +36,7 @@ pub struct ServingRequest {
 /// `spans` must come from a run with `record_timeline` enabled; arrivals
 /// are the span starts, sorted ascending (ties broken by agent then step
 /// for determinism). Token counts are carried per call.
-pub fn requests_from_timeline(
-    timeline: &Timeline,
-    workload: &crate::Trace,
-) -> Vec<ServingRequest> {
+pub fn requests_from_timeline(timeline: &Timeline, workload: &crate::Trace) -> Vec<ServingRequest> {
     // Walk each agent-step chain in the trace alongside the timeline's
     // spans so token counts can be recovered: the nth span of a given
     // (agent, step) corresponds to the nth chain entry.
@@ -52,9 +49,10 @@ pub fn requests_from_timeline(
             let key = (span.agent.0, span.step.0);
             let idx = seen.entry(key).or_insert(0);
             let chain = workload.chain(span.agent.0, span.step.0);
-            let call = chain.get(*idx).copied().unwrap_or_else(|| {
-                panic!("timeline span without matching trace call at {key:?}")
-            });
+            let call = chain
+                .get(*idx)
+                .copied()
+                .unwrap_or_else(|| panic!("timeline span without matching trace call at {key:?}"));
             *idx += 1;
             ServingRequest {
                 arrival_us: span.start.as_micros(),
@@ -74,10 +72,7 @@ pub fn requests_from_timeline(
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_csv(
-    requests: &[ServingRequest],
-    w: &mut impl Write,
-) -> Result<(), TraceError> {
+pub fn write_csv(requests: &[ServingRequest], w: &mut impl Write) -> Result<(), TraceError> {
     writeln!(w, "arrival_us,agent,step,input_tokens,output_tokens")?;
     for r in requests {
         writeln!(
@@ -108,7 +103,12 @@ pub struct ArrivalStats {
 /// Computes [`ArrivalStats`].
 pub fn arrival_stats(requests: &[ServingRequest]) -> ArrivalStats {
     if requests.is_empty() {
-        return ArrivalStats { requests: 0, span_us: 0, mean_rate: 0.0, burstiness: 0.0 };
+        return ArrivalStats {
+            requests: 0,
+            span_us: 0,
+            mean_rate: 0.0,
+            burstiness: 0.0,
+        };
     }
     let span_us = requests.last().map(|r| r.arrival_us).unwrap_or(0).max(1);
     let mut buckets = vec![0u64; (span_us / 1_000_000 + 1) as usize];
@@ -145,8 +145,9 @@ mod tests {
             window_len: 40,
         });
         let meta = trace.meta();
-        let initial: Vec<Point> =
-            (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+        let initial: Vec<Point> = (0..meta.num_agents)
+            .map(|a| trace.initial_position(a))
+            .collect();
         let mut sched = Scheduler::new(
             Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
             RuleParams::new(meta.radius_p, meta.max_vel),
@@ -156,9 +157,11 @@ mod tests {
             Workload::target_step(&trace),
         )
         .unwrap();
-        let mut server =
-            SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 2, true));
-        let sim = SimConfig { record_timeline: true, ..SimConfig::default() };
+        let mut server = SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 2, true));
+        let sim = SimConfig {
+            record_timeline: true,
+            ..SimConfig::default()
+        };
         let report = run_sim(&mut sched, &trace, &mut server, &sim).unwrap();
         (report.timeline.expect("recorded"), trace)
     }
@@ -193,8 +196,20 @@ mod tests {
     #[test]
     fn csv_shape() {
         let reqs = vec![
-            ServingRequest { arrival_us: 0, agent: 1, step: 0, input_tokens: 10, output_tokens: 2 },
-            ServingRequest { arrival_us: 5, agent: 2, step: 1, input_tokens: 20, output_tokens: 3 },
+            ServingRequest {
+                arrival_us: 0,
+                agent: 1,
+                step: 0,
+                input_tokens: 10,
+                output_tokens: 2,
+            },
+            ServingRequest {
+                arrival_us: 5,
+                agent: 2,
+                step: 1,
+                input_tokens: 20,
+                output_tokens: 3,
+            },
         ];
         let mut buf = Vec::new();
         write_csv(&reqs, &mut buf).unwrap();

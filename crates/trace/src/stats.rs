@@ -80,8 +80,15 @@ pub fn render_hourly(stats: &TraceStats, width: usize) -> String {
     let max = *stats.calls_per_hour.iter().max().unwrap_or(&1);
     let mut out = String::new();
     for (h, &count) in stats.calls_per_hour.iter().enumerate() {
-        let bar = if max == 0 { 0 } else { (count as usize * width) / max as usize };
-        out.push_str(&format!("{h:>2}:00 |{:<width$}| {count}\n", "#".repeat(bar)));
+        let bar = if max == 0 {
+            0
+        } else {
+            (count as usize * width) / max as usize
+        };
+        out.push_str(&format!(
+            "{h:>2}:00 |{:<width$}| {count}\n",
+            "#".repeat(bar)
+        ));
     }
     out
 }
@@ -115,7 +122,11 @@ mod tests {
         });
         let s = compute(&t);
         assert_eq!(s.total_calls, t.calls().len() as u64);
-        assert!(s.mean_input_tokens > 300.0, "inputs too short: {}", s.mean_input_tokens);
+        assert!(
+            s.mean_input_tokens > 300.0,
+            "inputs too short: {}",
+            s.mean_input_tokens
+        );
         assert!(s.mean_output_tokens < 80.0);
         assert!(s.mean_chain_len >= 1.0);
         // All calls fall in hours 10–12.
@@ -158,7 +169,14 @@ mod tests {
         let total: f64 = mix.iter().map(|(_, _, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9);
         // Perception dominates the GenAgent-style loop.
-        let perceive = mix.iter().find(|(k, _, _)| *k == CallKind::Perceive).unwrap();
-        assert!(perceive.2 > 0.2, "perceive fraction {:.2} too low", perceive.2);
+        let perceive = mix
+            .iter()
+            .find(|(k, _, _)| *k == CallKind::Perceive)
+            .unwrap();
+        assert!(
+            perceive.2 > 0.2,
+            "perceive fraction {:.2} too low",
+            perceive.2
+        );
     }
 }

@@ -16,14 +16,16 @@ struct ArbTrace {
 
 fn arb_trace() -> impl Strategy<Value = ArbTrace> {
     (2u32..6, 2u32..10).prop_flat_map(|(agents, steps)| {
-        let calls = proptest::collection::vec(
-            (0..agents, 0..steps, 0u8..7, 1u32..3000, 1u32..200),
-            0..40,
-        );
-        let moves =
-            proptest::collection::vec((0..agents, 0..steps, -1i8..=1, -1i8..=1), 0..60);
+        let calls =
+            proptest::collection::vec((0..agents, 0..steps, 0u8..7, 1u32..3000, 1u32..200), 0..40);
+        let moves = proptest::collection::vec((0..agents, 0..steps, -1i8..=1, -1i8..=1), 0..60);
         (Just(agents), Just(steps), calls, moves).prop_map(|(agents, steps, calls, moves)| {
-            ArbTrace { agents, steps, calls, moves }
+            ArbTrace {
+                agents,
+                steps,
+                calls,
+                moves,
+            }
         })
     })
 }
@@ -40,11 +42,18 @@ fn build(t: &ArbTrace) -> Trace {
         max_vel: 1,
         seed: 5,
     };
-    let initial: Vec<Point> =
-        (0..t.agents).map(|a| Point::new(a as i32 * 3 + 5, 10)).collect();
+    let initial: Vec<Point> = (0..t.agents)
+        .map(|a| Point::new(a as i32 * 3 + 5, 10))
+        .collect();
     let mut b = TraceBuilder::new(meta, &initial);
     for (agent, step, kind, input, output) in &t.calls {
-        b.push_call(*agent, *step, CallKind::ALL[*kind as usize], *input, *output);
+        b.push_call(
+            *agent,
+            *step,
+            CallKind::ALL[*kind as usize],
+            *input,
+            *output,
+        );
     }
     // Apply moves cumulatively per step, clamped to the map.
     let mut pos = initial;

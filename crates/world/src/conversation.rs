@@ -77,7 +77,11 @@ mod tests {
 
     #[test]
     fn conversation_record_is_plain_data() {
-        let c = Conversation { partner: 3, step: 100, turns: 5 };
+        let c = Conversation {
+            partner: 3,
+            step: 100,
+            turns: 5,
+        };
         assert_eq!(c, c.clone());
         assert!(format!("{c:?}").contains("partner"));
     }

@@ -140,8 +140,14 @@ impl TileMap {
         min: Point,
         max: Point,
     ) -> usize {
-        assert!(max.x - min.x >= 2 && max.y - min.y >= 2, "building needs at least 3x3 tiles");
-        assert!(self.in_bounds(min) && self.in_bounds(max), "building out of bounds");
+        assert!(
+            max.x - min.x >= 2 && max.y - min.y >= 2,
+            "building needs at least 3x3 tiles"
+        );
+        assert!(
+            self.in_bounds(min) && self.in_bounds(max),
+            "building out of bounds"
+        );
         for x in min.x..=max.x {
             self.set_walkable(Point::new(x, min.y), false);
             self.set_walkable(Point::new(x, max.y), false);
@@ -153,7 +159,13 @@ impl TileMap {
         // Door at the middle of the south wall.
         let door = Point::new((min.x + max.x) / 2, max.y);
         self.set_walkable(door, true);
-        self.areas.push(Area { name: name.into(), kind, min, max, door });
+        self.areas.push(Area {
+            name: name.into(),
+            kind,
+            min,
+            max,
+            door,
+        });
         self.areas.len() - 1
     }
 
@@ -164,7 +176,10 @@ impl TileMap {
     ///
     /// Panics if `houses` exceeds the 40 lots the layout provides.
     pub fn smallville(houses: u32) -> Self {
-        assert!(houses <= 40, "smallville supports at most 40 houses, asked for {houses}");
+        assert!(
+            houses <= 40,
+            "smallville supports at most 40 houses, asked for {houses}"
+        );
         let mut map = TileMap::open(100, 140);
         // Residential rows: lots of 10×10 with a 7×7 house, 5 lots per row,
         // 8 rows available on the east side (x in 50..100).
@@ -181,11 +196,36 @@ impl TileMap {
             );
         }
         // Civic west side.
-        map.add_building("Hobbs Cafe", AreaKind::Cafe, Point::new(10, 10), Point::new(24, 22));
-        map.add_building("The Rose Bar", AreaKind::Bar, Point::new(10, 40), Point::new(24, 52));
-        map.add_building("Willow Store", AreaKind::Store, Point::new(10, 70), Point::new(22, 80));
-        map.add_building("Oak Hill College", AreaKind::Work, Point::new(30, 96), Point::new(46, 112));
-        map.add_building("Town Office", AreaKind::Work, Point::new(10, 96), Point::new(24, 112));
+        map.add_building(
+            "Hobbs Cafe",
+            AreaKind::Cafe,
+            Point::new(10, 10),
+            Point::new(24, 22),
+        );
+        map.add_building(
+            "The Rose Bar",
+            AreaKind::Bar,
+            Point::new(10, 40),
+            Point::new(24, 52),
+        );
+        map.add_building(
+            "Willow Store",
+            AreaKind::Store,
+            Point::new(10, 70),
+            Point::new(22, 80),
+        );
+        map.add_building(
+            "Oak Hill College",
+            AreaKind::Work,
+            Point::new(30, 96),
+            Point::new(46, 112),
+        );
+        map.add_building(
+            "Town Office",
+            AreaKind::Work,
+            Point::new(10, 96),
+            Point::new(24, 112),
+        );
         // The park is an open area (no walls), marked for schedules.
         map.areas.push(Area {
             name: "Johnson Park".into(),
@@ -249,7 +289,10 @@ mod tests {
         let m = TileMap::open(10, 10);
         assert!(m.is_walkable(Point::new(0, 0)));
         assert!(m.is_walkable(Point::new(9, 9)));
-        assert!(!m.is_walkable(Point::new(10, 9)), "out of bounds is not walkable");
+        assert!(
+            !m.is_walkable(Point::new(10, 9)),
+            "out of bounds is not walkable"
+        );
         assert!(!m.is_walkable(Point::new(-1, 0)));
     }
 

@@ -78,6 +78,10 @@ mod tests {
         assert_eq!(step_to_clock(0), (0, 0));
         assert_eq!(step_to_clock(clock_to_step(12, 30)), (12, 30));
         assert_eq!(clock_to_step(24, 0), STEPS_PER_DAY);
-        assert_eq!(step_to_clock(STEPS_PER_DAY + 6), (0, 1), "wraps around midnight");
+        assert_eq!(
+            step_to_clock(STEPS_PER_DAY + 6),
+            (0, 1),
+            "wraps around midnight"
+        );
     }
 }

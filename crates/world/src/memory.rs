@@ -82,7 +82,12 @@ impl MemoryStream {
     /// Appends a memory.
     pub fn observe(&mut self, step: u32, kind: MemoryKind, importance: f32, keywords: Vec<u32>) {
         self.since_reflection += importance;
-        self.entries.push(MemoryEntry { step, kind, importance, keywords });
+        self.entries.push(MemoryEntry {
+            step,
+            kind,
+            importance,
+            keywords,
+        });
     }
 
     /// Scores and returns the top-`k` memories for a query at `now`.
@@ -105,15 +110,20 @@ impl MemoryStream {
                     query.iter().filter(|q| e.keywords.contains(q)).count() as f64
                         / query.len() as f64
                 };
-                let score =
-                    0.5 * recency + 0.3 * (e.importance as f64 / 10.0) + relevance;
+                let score = 0.5 * recency + 0.3 * (e.importance as f64 / 10.0) + relevance;
                 (score, i)
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).expect("scores are finite").then(b.1.cmp(&a.1))
+            b.0.partial_cmp(&a.0)
+                .expect("scores are finite")
+                .then(b.1.cmp(&a.1))
         });
-        scored.into_iter().take(k).map(|(_, i)| &self.entries[i]).collect()
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(_, i)| &self.entries[i])
+            .collect()
     }
 
     /// Whether enough importance accumulated to trigger a reflection.
@@ -211,6 +221,9 @@ mod tests {
         }
         let c1000 = m.context_tokens();
         assert!(c100 > 0 && c1000 > c100);
-        assert!(c1000 < c100 * 3, "growth must be logarithmic, got {c100} → {c1000}");
+        assert!(
+            c1000 < c100 * 3,
+            "growth must be logarithmic, got {c100} → {c1000}"
+        );
     }
 }

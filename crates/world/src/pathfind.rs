@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn degenerate_cases() {
         let m = TileMap::open(5, 5);
-        assert_eq!(astar(&m, Point::new(2, 2), Point::new(2, 2)).unwrap().len(), 1);
+        assert_eq!(
+            astar(&m, Point::new(2, 2), Point::new(2, 2)).unwrap().len(),
+            1
+        );
         assert!(astar(&m, Point::new(-1, 0), Point::new(2, 2)).is_none());
         assert_eq!(path_len(&m, Point::new(0, 0), Point::new(4, 4)), Some(8));
     }

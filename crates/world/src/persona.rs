@@ -1,15 +1,37 @@
 //! Personas: identities, homes, workplaces, and the friendship graph.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::grid::{AreaKind, TileMap};
 
 const FIRST_NAMES: [&str; 25] = [
-    "Abigail", "Arthur", "Ayesha", "Carlos", "Carmen", "Eddy", "Francisco", "Giorgio", "Hailey",
-    "Isabella", "Jennifer", "John", "Klaus", "Latoya", "Maria", "Mei", "Rajiv", "Ryan", "Sam",
-    "Tamara", "Tom", "Wolfgang", "Yuriko", "Adam", "Jane",
+    "Abigail",
+    "Arthur",
+    "Ayesha",
+    "Carlos",
+    "Carmen",
+    "Eddy",
+    "Francisco",
+    "Giorgio",
+    "Hailey",
+    "Isabella",
+    "Jennifer",
+    "John",
+    "Klaus",
+    "Latoya",
+    "Maria",
+    "Mei",
+    "Rajiv",
+    "Ryan",
+    "Sam",
+    "Tamara",
+    "Tom",
+    "Wolfgang",
+    "Yuriko",
+    "Adam",
+    "Jane",
 ];
 
 /// One character: identity plus static world attachments.
@@ -88,7 +110,11 @@ pub fn generate_personas(map: &TileMap, n: u32, rng: &mut StdRng) -> Vec<Persona
                 .expect("jobs nonempty");
             Persona {
                 id,
-                name: format!("{} {}", FIRST_NAMES[id as usize % FIRST_NAMES.len()], id / 25),
+                name: format!(
+                    "{} {}",
+                    FIRST_NAMES[id as usize % FIRST_NAMES.len()],
+                    id / 25
+                ),
                 home_area,
                 work_area,
                 chattiness: 0.4 + rng.random::<f32>() * 1.2,
@@ -150,7 +176,10 @@ mod tests {
             assert!(!p.friends.is_empty(), "{} has no friends", p.name);
             for &f in &p.friends {
                 assert!(f < 25);
-                assert!(ps[f as usize].is_friend(p.id), "friendship must be symmetric");
+                assert!(
+                    ps[f as usize].is_friend(p.id),
+                    "friendship must be symmetric"
+                );
             }
         }
     }

@@ -69,7 +69,10 @@ impl ClusterProgram<GridSpace> for VillageProgram {
 
     fn agent_step(&self, agent: AgentId, step: Step, llm: &dyn LlmBackend) -> StepPlan {
         // Plan under the world lock (cheap, reads committed state only)…
-        let plan = self.village.lock().plan_step(agent.0, self.step_offset + step.0);
+        let plan = self
+            .village
+            .lock()
+            .plan_step(agent.0, self.step_offset + step.0);
         // …then issue the plan's LLM calls without holding it.
         for call in &plan.calls {
             let id = RequestId(self.req_ids.fetch_add(1, Ordering::Relaxed));
@@ -91,11 +94,13 @@ impl ClusterProgram<GridSpace> for VillageProgram {
         cluster: &Cluster,
         actions: Vec<(AgentId, StepPlan)>,
     ) -> Vec<(AgentId, Point)> {
-        let plans: Vec<(u32, StepPlan)> =
-            actions.into_iter().map(|(a, p)| (a.0, p)).collect();
+        let plans: Vec<(u32, StepPlan)> = actions.into_iter().map(|(a, p)| (a.0, p)).collect();
         let mut village = self.village.lock();
         village.commit_step(self.step_offset + cluster.step.0, &plans);
-        plans.into_iter().map(|(a, p)| (AgentId(a), p.move_to)).collect()
+        plans
+            .into_iter()
+            .map(|(a, p)| (AgentId(a), p.move_to))
+            .collect()
     }
 }
 
@@ -111,7 +116,11 @@ mod tests {
     use std::sync::Arc;
 
     fn run_live(policy: DependencyPolicy, steps: u32) -> (Village, u64) {
-        let village = Village::generate(&VillageConfig { villes: 1, agents_per_ville: 10, seed: 5 });
+        let village = Village::generate(&VillageConfig {
+            villes: 1,
+            agents_per_ville: 10,
+            seed: 5,
+        });
         let program = Arc::new(VillageProgram::new(village));
         let initial = program.initial_positions();
         let mut sched = Scheduler::new(
@@ -124,19 +133,31 @@ mod tests {
         )
         .unwrap();
         let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
-        run_threaded(&mut sched, Arc::clone(&program), backend, ThreadedConfig::default())
-            .unwrap();
+        run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig::default(),
+        )
+        .unwrap();
         assert!(sched.is_done());
         assert!(sched.graph().validate().is_ok());
         let calls = program.calls_made();
-        (Arc::try_unwrap(program).expect("sole owner").into_village(), calls)
+        (
+            Arc::try_unwrap(program).expect("sole owner").into_village(),
+            calls,
+        )
     }
 
     #[test]
     fn live_village_runs_under_metropolis() {
         // A morning window: agents asleep → no calls, but world advances.
         let (v, _calls) = run_live(DependencyPolicy::Spatiotemporal, 20);
-        assert_eq!(v.events().len(), 0, "asleep at midnight: no events in 20 steps");
+        assert_eq!(
+            v.events().len(),
+            0,
+            "asleep at midnight: no events in 20 steps"
+        );
     }
 
     #[test]
@@ -147,7 +168,11 @@ mod tests {
         let steps = 60;
         let (ooo, ooo_calls) = run_live(DependencyPolicy::Spatiotemporal, steps);
         let (sync, sync_calls) = run_live(DependencyPolicy::GlobalSync, steps);
-        assert_eq!(ooo.positions(), sync.positions(), "final positions must match");
+        assert_eq!(
+            ooo.positions(),
+            sync.positions(),
+            "final positions must match"
+        );
         assert_eq!(ooo.events(), sync.events(), "world event logs must match");
         assert_eq!(ooo_calls, sync_calls, "same calls issued");
     }

@@ -6,7 +6,7 @@
 //! evening. Each persona's times are jittered so arrivals spread out.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::grid::{AreaKind, TileMap};
@@ -125,12 +125,28 @@ impl DailySchedule {
             area: home,
         }];
         let wake = at(clock_to_step(6, 15), jitter(rng, 50 * 6));
-        entries.push(ScheduleEntry { start: wake, kind: ActivityKind::Home, area: home });
+        entries.push(ScheduleEntry {
+            start: wake,
+            kind: ActivityKind::Home,
+            area: home,
+        });
         let leave = at(clock_to_step(8, 30), jitter(rng, 30 * 6));
-        entries.push(ScheduleEntry { start: leave, kind: ActivityKind::Work, area: work });
-        let lunch_area = if rng.random::<f32>() < 0.8 { cafe } else { home };
+        entries.push(ScheduleEntry {
+            start: leave,
+            kind: ActivityKind::Work,
+            area: work,
+        });
+        let lunch_area = if rng.random::<f32>() < 0.8 {
+            cafe
+        } else {
+            home
+        };
         let lunch = at(clock_to_step(12, 0), jitter(rng, 15 * 6));
-        entries.push(ScheduleEntry { start: lunch, kind: ActivityKind::Lunch, area: lunch_area });
+        entries.push(ScheduleEntry {
+            start: lunch,
+            kind: ActivityKind::Lunch,
+            area: lunch_area,
+        });
         entries.push(ScheduleEntry {
             start: at(clock_to_step(13, 0), jitter(rng, 10 * 6)),
             kind: ActivityKind::Work,
@@ -198,12 +214,28 @@ mod tests {
     #[test]
     fn wraps_before_first_entry() {
         let s = DailySchedule::new(vec![
-            ScheduleEntry { start: 100, kind: ActivityKind::Home, area: 0 },
-            ScheduleEntry { start: 200, kind: ActivityKind::Work, area: 1 },
+            ScheduleEntry {
+                start: 100,
+                kind: ActivityKind::Home,
+                area: 0,
+            },
+            ScheduleEntry {
+                start: 200,
+                kind: ActivityKind::Work,
+                area: 1,
+            },
         ]);
-        assert_eq!(s.at(50).kind, ActivityKind::Work, "pre-first-entry = yesterday's last");
+        assert_eq!(
+            s.at(50).kind,
+            ActivityKind::Work,
+            "pre-first-entry = yesterday's last"
+        );
         assert_eq!(s.at(150).kind, ActivityKind::Home);
-        assert_eq!(s.at(STEPS_PER_DAY + 150).kind, ActivityKind::Home, "wraps across days");
+        assert_eq!(
+            s.at(STEPS_PER_DAY + 150).kind,
+            ActivityKind::Home,
+            "wraps across days"
+        );
     }
 
     #[test]
@@ -222,7 +254,10 @@ mod tests {
                 cafe_lunches += 1;
             }
         }
-        assert!(cafe_lunches >= 15, "cafe should dominate lunches, got {cafe_lunches}/25");
+        assert!(
+            cafe_lunches >= 15,
+            "cafe should dominate lunches, got {cafe_lunches}/25"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use aim_llm::CallKind;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A stateless deterministic RNG for one `(agent, step, salt)` site.
 ///
@@ -169,7 +169,10 @@ mod tests {
             }
             acc / 200
         };
-        assert!(sample(8) > sample(0) + 250, "turn 8 prompts must be much longer");
+        assert!(
+            sample(8) > sample(0) + 250,
+            "turn 8 prompts must be much longer"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub struct VillageConfig {
 
 impl Default for VillageConfig {
     fn default() -> Self {
-        VillageConfig { villes: 1, agents_per_ville: 25, seed: 42 }
+        VillageConfig {
+            villes: 1,
+            agents_per_ville: 25,
+            seed: 42,
+        }
     }
 }
 
@@ -187,7 +191,11 @@ impl Village {
     /// Generates a village from `cfg` (deterministic in the seed).
     pub fn generate(cfg: &VillageConfig) -> Self {
         let base = TileMap::smallville(cfg.agents_per_ville.min(40));
-        let map = if cfg.villes > 1 { base.concatenated(cfg.villes) } else { base };
+        let map = if cfg.villes > 1 {
+            base.concatenated(cfg.villes)
+        } else {
+            base
+        };
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let personas = generate_personas(&map, cfg.num_agents(), &mut rng);
         let agents = personas
@@ -208,11 +216,20 @@ impl Village {
                 }
             })
             .collect();
-        let mut village =
-            Village { cfg: *cfg, map, agents, events: Vec::new(), buckets: Default::default() };
+        let mut village = Village {
+            cfg: *cfg,
+            map,
+            agents,
+            events: Vec::new(),
+            buckets: Default::default(),
+        };
         for i in 0..village.agents.len() {
             let pos = village.agents[i].pos;
-            village.buckets.entry(bucket_of(pos)).or_default().push(i as u32);
+            village
+                .buckets
+                .entry(bucket_of(pos))
+                .or_default()
+                .push(i as u32);
         }
         village
     }
@@ -252,7 +269,14 @@ impl Village {
         self.agents[agent as usize].cooldown_until
     }
 
-    /// Committed world events so far.
+    /// Committed world events so far, in canonical chronological order.
+    ///
+    /// The log is ordered by `(step, phase, agent)` — phase 0 being the
+    /// per-agent wake/reflect updates and phase 1 the conversation
+    /// commits — which is exactly the order a global lock-step run
+    /// produces. Out-of-order executors commit clusters as they retire,
+    /// so [`Village::commit_step`] re-canonicalizes on append; this is
+    /// what makes the log comparable across scheduling policies.
     pub fn events(&self) -> &[WorldEvent] {
         &self.events
     }
@@ -284,13 +308,18 @@ impl Village {
     /// Panics (debug) if `units` exceeds the spatial-hash cell size, which
     /// would silently miss neighbors.
     pub fn neighbors_within(&self, agent: u32, units: u64) -> Vec<u32> {
-        debug_assert!(units as i32 <= BUCKET_CELL, "query radius exceeds bucket cell");
+        debug_assert!(
+            units as i32 <= BUCKET_CELL,
+            "query radius exceeds bucket cell"
+        );
         let me = self.agents[agent as usize].pos;
         let (cx, cy) = bucket_of(me);
         let mut out: Vec<(u64, u32)> = Vec::new();
         for dx in -1..=1 {
             for dy in -1..=1 {
-                let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) else { continue };
+                let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
                 for &i in ids {
                     if i == agent || !self.agents[i as usize].awake {
                         continue;
@@ -329,7 +358,12 @@ impl Village {
             let mut trng = SiteRng::new(seed, agent, step, SALT_TOKENS);
             // Morning chain: recall yesterday, then draft the day plan and
             // decompose it (GenAgent plans hierarchically: day → hourly).
-            for kind in [CallKind::Retrieve, CallKind::Plan, CallKind::Plan, CallKind::Plan] {
+            for kind in [
+                CallKind::Retrieve,
+                CallKind::Plan,
+                CallKind::Plan,
+                CallKind::Plan,
+            ] {
                 let (i, o) = sample_call_tokens(&mut trng, kind, ctx, 0);
                 plan.calls.push(CallSpec::new(i, o, kind));
             }
@@ -357,16 +391,16 @@ impl Village {
         let p = if neighbors.is_empty() {
             AMBIENT_P * Self::perceive_factor(block.kind) * 0.5
         } else {
-            ((PERCEIVE_BASE + PERCEIVE_PER_NEIGHBOR * crowd)
-                * Self::perceive_factor(block.kind))
-            .min(PERCEIVE_CAP)
+            ((PERCEIVE_BASE + PERCEIVE_PER_NEIGHBOR * crowd) * Self::perceive_factor(block.kind))
+                .min(PERCEIVE_CAP)
         };
         let mut prng = SiteRng::new(seed, agent, step, SALT_PERCEIVE);
         if prng.unit() < p {
             let (i, o) = sample_call_tokens(&mut trng, CallKind::Perceive, ctx, 0);
             plan.calls.push(CallSpec::new(i, o, CallKind::Perceive));
             let kws: Vec<u32> = neighbors.iter().take(3).copied().collect();
-            plan.memory_adds.push((MemoryKind::Observation, 1.0 + 2.0 * prng.unit(), kws));
+            plan.memory_adds
+                .push((MemoryKind::Observation, 1.0 + 2.0 * prng.unit(), kws));
             // Perceived events usually warrant reactions: retrieve related
             // memories (often for several perceived events), and half the
             // time also decide on an action — GenAgent's react path. This
@@ -415,11 +449,8 @@ impl Village {
                     .filter(|&c| step >= self.agents[c as usize].cooldown_until)
                     .collect();
                 if let Some(&cand) = candidates.first() {
-                    let p = start_probability(
-                        a.persona.chattiness,
-                        a.persona.is_friend(cand),
-                        social,
-                    );
+                    let p =
+                        start_probability(a.persona.chattiness, a.persona.is_friend(cand), social);
                     let mut crng = SiteRng::new(seed, agent, step, SALT_CONV);
                     if crng.unit() < p {
                         // GenAgent resolves a whole dialogue within the
@@ -435,7 +466,8 @@ impl Village {
                         let (i, o) = sample_call_tokens(&mut trng, CallKind::Summarize, ctx, 0);
                         plan.calls.push(CallSpec::new(i, o, CallKind::Summarize));
                         plan.conv_full = Some((cand, turns));
-                        plan.memory_adds.push((MemoryKind::Conversation, 6.0, vec![agent, cand]));
+                        plan.memory_adds
+                            .push((MemoryKind::Conversation, 6.0, vec![agent, cand]));
                         // Stay put to talk.
                         plan.move_to = a.pos;
                         plan.new_path = None;
@@ -504,10 +536,15 @@ impl Village {
         let mut order: Vec<usize> = (0..plans.len()).collect();
         order.sort_by_key(|&i| plans[i].0);
         for w in order.windows(2) {
-            assert_ne!(plans[w[0]].0, plans[w[1]].0, "duplicate agent in commit batch");
+            assert_ne!(
+                plans[w[0]].0, plans[w[1]].0,
+                "duplicate agent in commit batch"
+            );
         }
         let mut events = Vec::new();
-        let Village { agents, buckets, .. } = self;
+        let Village {
+            agents, buckets, ..
+        } = self;
         for &i in &order {
             let (agent, plan) = &plans[i];
             let block_start = agents[*agent as usize].schedule.at(step).start;
@@ -517,7 +554,11 @@ impl Village {
                 events.push(WorldEvent {
                     step,
                     agent: *agent,
-                    kind: if awake { WorldEventKind::WokeUp } else { WorldEventKind::Slept },
+                    kind: if awake {
+                        WorldEventKind::WokeUp
+                    } else {
+                        WorldEventKind::Slept
+                    },
                 });
             }
             if let Some(path) = &plan.new_path {
@@ -541,7 +582,11 @@ impl Village {
             }
             if plan.reflected {
                 a.memory.reflect(step, vec![*agent]);
-                events.push(WorldEvent { step, agent: *agent, kind: WorldEventKind::Reflected });
+                events.push(WorldEvent {
+                    step,
+                    agent: *agent,
+                    kind: WorldEventKind::Reflected,
+                });
             }
             a.last_block_start = block_start;
         }
@@ -550,7 +595,9 @@ impl Village {
         // already engaged this step declines later initiations).
         for &i in &order {
             let (agent, plan) = &plans[i];
-            let Some((partner, _turns)) = plan.conv_full else { continue };
+            let Some((partner, _turns)) = plan.conv_full else {
+                continue;
+            };
             let partner_in_batch = plans.iter().any(|(a2, _)| *a2 == partner);
             if !partner_in_batch {
                 continue;
@@ -562,12 +609,9 @@ impl Village {
             self.agents[*agent as usize].cooldown_until = step + CONV_COOLDOWN;
             self.agents[partner as usize].cooldown_until = step + CONV_COOLDOWN;
             let kws = vec![*agent, partner];
-            self.agents[partner as usize].memory.observe(
-                step,
-                MemoryKind::Conversation,
-                6.0,
-                kws,
-            );
+            self.agents[partner as usize]
+                .memory
+                .observe(step, MemoryKind::Conversation, 6.0, kws);
             events.push(WorldEvent {
                 step,
                 agent: *agent,
@@ -579,7 +623,30 @@ impl Village {
                 kind: WorldEventKind::ConversationEnded { partner },
             });
         }
+        // Keep the log in canonical `(step, phase, agent)` order (see
+        // `events()`): out-of-order executors commit clusters as they
+        // retire, so a batch may land behind already-logged events from
+        // agents that ran ahead. The batch itself is produced in
+        // canonical order, so appending preserves the invariant unless
+        // the first new key sorts before the current tail; the sort is
+        // stable, keeping an agent's wake-before-reflect (and a
+        // conversation's start-before-end) production order.
+        fn key(e: &WorldEvent) -> (u32, u8, u32) {
+            let phase = match e.kind {
+                WorldEventKind::ConversationStarted { .. }
+                | WorldEventKind::ConversationEnded { .. } => 1,
+                _ => 0,
+            };
+            (e.step, phase, e.agent)
+        }
+        let out_of_order = match (self.events.last(), events.first()) {
+            (Some(tail), Some(first)) => key(first) < key(tail),
+            _ => false,
+        };
         self.events.extend(events.iter().copied());
+        if out_of_order {
+            self.events.sort_by_key(key);
+        }
         events
     }
 
@@ -627,7 +694,10 @@ mod tests {
         for agent in 0..v.num_agents() as u32 {
             let home = v.persona(agent).home_area;
             let area = &v.map().areas()[home];
-            assert!(area.contains(v.pos(agent)), "{agent} must start in its home");
+            assert!(
+                area.contains(v.pos(agent)),
+                "{agent} must start in its home"
+            );
             assert!(!v.agents[agent as usize].awake);
         }
     }
@@ -637,7 +707,9 @@ mod tests {
         let mut v = village();
         let mut calls = 0u64;
         let start = clock_to_step(2, 0);
-        v.run_lockstep(start, start + 30, |_, _, plan, _| calls += plan.calls.len() as u64);
+        v.run_lockstep(start, start + 30, |_, _, plan, _| {
+            calls += plan.calls.len() as u64
+        });
         assert_eq!(calls, 0, "2am: everyone asleep, no LLM traffic");
     }
 
@@ -668,22 +740,32 @@ mod tests {
                 at_work += 1;
             }
         }
-        assert!(at_work >= 20, "most agents should be at work by 11am, got {at_work}");
+        assert!(
+            at_work >= 20,
+            "most agents should be at work by 11am, got {at_work}"
+        );
     }
 
     #[test]
     fn movement_respects_max_vel_and_walls() {
         let mut v = village();
         let mut prev = v.positions();
-        v.run_lockstep(clock_to_step(8, 0), clock_to_step(8, 0) + 120, |step, agent, _, new| {
-            let old = prev[agent as usize];
-            assert!(
-                old.manhattan(new) <= 1,
-                "agent {agent} jumped {old} → {new} at step {step}"
-            );
-            assert!(v_is_walkable_proxy(new), "agent {agent} stood on a wall at {new}");
-            prev[agent as usize] = new;
-        });
+        v.run_lockstep(
+            clock_to_step(8, 0),
+            clock_to_step(8, 0) + 120,
+            |step, agent, _, new| {
+                let old = prev[agent as usize];
+                assert!(
+                    old.manhattan(new) <= 1,
+                    "agent {agent} jumped {old} → {new} at step {step}"
+                );
+                assert!(
+                    v_is_walkable_proxy(new),
+                    "agent {agent} stood on a wall at {new}"
+                );
+                prev[agent as usize] = new;
+            },
+        );
         // Walkability re-checked against a fresh map (v is borrowed in the closure).
         fn v_is_walkable_proxy(p: Point) -> bool {
             TileMap::smallville(25).is_walkable(p)
@@ -699,11 +781,15 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.kind, WorldEventKind::ConversationStarted { .. }))
             .count();
-        assert!(started >= 3, "a day through lunch should spark conversations, got {started}");
+        assert!(
+            started >= 3,
+            "a day through lunch should spark conversations, got {started}"
+        );
         // Conversations happened between nearby agents and produced calls.
-        let conv_calls = v.events().iter().any(|e| {
-            matches!(e.kind, WorldEventKind::ConversationEnded { .. })
-        });
+        let conv_calls = v
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, WorldEventKind::ConversationEnded { .. }));
         assert!(conv_calls, "at least one conversation should have ended");
     }
 
@@ -735,10 +821,16 @@ mod tests {
         let mut chains: Vec<(u32, u32, usize, usize)> = Vec::new();
         v.run_lockstep(0, clock_to_step(13, 0), |step, agent, plan, _| {
             if plan.conv_full.is_some() {
-                let conv =
-                    plan.calls.iter().filter(|c| c.kind == CallKind::Converse).count();
-                let summ =
-                    plan.calls.iter().filter(|c| c.kind == CallKind::Summarize).count();
+                let conv = plan
+                    .calls
+                    .iter()
+                    .filter(|c| c.kind == CallKind::Converse)
+                    .count();
+                let summ = plan
+                    .calls
+                    .iter()
+                    .filter(|c| c.kind == CallKind::Summarize)
+                    .count();
                 chains.push((step, agent, conv, summ));
             }
         });
@@ -748,7 +840,10 @@ mod tests {
             .filter(|e| matches!(e.kind, WorldEventKind::ConversationStarted { .. }))
             .copied()
             .collect();
-        assert!(!started.is_empty(), "a morning through lunch should start a conversation");
+        assert!(
+            !started.is_empty(),
+            "a morning through lunch should start a conversation"
+        );
         for ev in &started {
             // The initiator's step plan carries the whole alternating
             // dialogue: ≥3 utterances plus one closing summary.
@@ -770,7 +865,10 @@ mod tests {
         let step = clock_to_step(9, 0);
         let p1 = v.plan_step(3, step);
         let p2 = v.plan_step(3, step);
-        assert_eq!(p1, p2, "plan_step must be deterministic and side-effect free");
+        assert_eq!(
+            p1, p2,
+            "plan_step must be deterministic and side-effect free"
+        );
     }
 
     #[test]
@@ -787,11 +885,16 @@ mod tests {
     fn one_hour_runs_quickly_and_produces_calls() {
         let mut v = village();
         let mut calls = 0u64;
-        v.run_lockstep(clock_to_step(8, 0), clock_to_step(8, 0) + STEPS_PER_HOUR, |_, _, p, _| {
-            calls += p.calls.len() as u64
-        });
+        v.run_lockstep(
+            clock_to_step(8, 0),
+            clock_to_step(8, 0) + STEPS_PER_HOUR,
+            |_, _, p, _| calls += p.calls.len() as u64,
+        );
         // Note: agents were never woken (we skipped the morning), so this
         // measures wake-chain + work-hour traffic after a cold start.
-        assert!(calls > 100, "an active hour must produce traffic, got {calls}");
+        assert!(
+            calls > 100,
+            "an active hour must produce traffic, got {calls}"
+        );
     }
 }

@@ -7,7 +7,11 @@ use aim_world::{clock_to_step, Village, VillageConfig};
 use proptest::prelude::*;
 
 fn village(seed: u64, agents: u32) -> Village {
-    Village::generate(&VillageConfig { villes: 1, agents_per_ville: agents, seed })
+    Village::generate(&VillageConfig {
+        villes: 1,
+        agents_per_ville: agents,
+        seed,
+    })
 }
 
 proptest! {

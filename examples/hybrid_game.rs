@@ -28,8 +28,9 @@ fn main() {
         window_len: 360,
     });
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
 
     // The player sends a chat turn every ~2 simulated seconds.
     let load = InteractiveLoad::chat(2_000_000, 300, 7);
@@ -49,7 +50,10 @@ fn main() {
 
     let arms: [(&str, ServerConfig); 3] = [
         ("fifo", ServerConfig::from_preset(preset.clone(), 1, false)),
-        ("step-priority", ServerConfig::from_preset(preset.clone(), 1, true)),
+        (
+            "step-priority",
+            ServerConfig::from_preset(preset.clone(), 1, true),
+        ),
         (
             "lane + 3-slot reserve",
             ServerConfig::from_preset(preset.clone(), 1, true).with_interactive_lane(3),
@@ -71,9 +75,14 @@ fn main() {
         )
         .expect("scheduler");
         let mut server = SimServer::new(server_cfg);
-        let (report, chat) =
-            run_hybrid_sim(&mut sched, &trace, &mut server, &load, &SimConfig::default())
-                .expect("hybrid run");
+        let (report, chat) = run_hybrid_sim(
+            &mut sched,
+            &trace,
+            &mut server,
+            &load,
+            &SimConfig::default(),
+        )
+        .expect("hybrid run");
         println!(
             "{:>22} | {:>9.0} | {:>9.0} | {:>9.0} | {:>12.1}",
             name,

@@ -58,7 +58,10 @@ fn main() {
         &mut scheduler,
         Arc::clone(&program),
         backend,
-        ThreadedConfig { workers: 4, priority_enabled: true },
+        ThreadedConfig {
+            workers: 4,
+            priority_enabled: true,
+        },
     )
     .expect("threaded run");
     println!(
@@ -70,9 +73,14 @@ fn main() {
     println!("llm calls issued live: {}", program.calls_made());
     println!("max step skew: {} steps", scheduler.stats().max_step_skew);
     assert!(scheduler.is_done());
-    assert!(scheduler.graph().validate().is_ok(), "causality held throughout");
+    assert!(
+        scheduler.graph().validate().is_ok(),
+        "causality held throughout"
+    );
 
-    let village = Arc::try_unwrap(program).expect("workers joined").into_village();
+    let village = Arc::try_unwrap(program)
+        .expect("workers joined")
+        .into_village();
     println!("world events committed: {}", village.events().len());
     println!("\nThe same scheduler that replays benchmarks drives live worlds:");
     println!("plug an HTTP backend into `LlmBackend` and this becomes a game loop.");

@@ -31,7 +31,10 @@ fn main() {
 
     // 3. Run the same workload under lock-step and out-of-order policies.
     let mut results = Vec::new();
-    for policy in [DependencyPolicy::GlobalSync, DependencyPolicy::Spatiotemporal] {
+    for policy in [
+        DependencyPolicy::GlobalSync,
+        DependencyPolicy::Spatiotemporal,
+    ] {
         let engine = Engine::builder(GridSpace::new(
             trace.meta().map_width,
             trace.meta().map_height,
@@ -55,5 +58,8 @@ fn main() {
     //    dependencies between distant agents.
     let speedup = results[1].speedup_over(&results[0]);
     println!("\nAI Metropolis speedup over parallel-sync: {speedup:.2}x");
-    assert!(speedup >= 1.0, "out-of-order must never lose to the barrier");
+    assert!(
+        speedup >= 1.0,
+        "out-of-order must never lose to the barrier"
+    );
 }

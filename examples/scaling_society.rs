@@ -12,7 +12,10 @@ use ai_metropolis::trace::gen;
 fn main() {
     let preset = presets::l4_llama3_8b();
     println!("busy hour (12pm-1pm), Llama-3-8B on 8 simulated L4 GPUs\n");
-    println!("{:>7} | {:>13} | {:>11} | {:>8}", "agents", "parallel-sync", "metropolis", "speedup");
+    println!(
+        "{:>7} | {:>13} | {:>11} | {:>8}",
+        "agents", "parallel-sync", "metropolis", "speedup"
+    );
     println!("{}", "-".repeat(50));
     for villes in [1u32, 2, 4, 8] {
         let trace = gen::generate(&GenConfig::busy_hour(villes, 42));

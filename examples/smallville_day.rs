@@ -29,8 +29,9 @@ fn main() {
     let server = ServerConfig::from_preset(preset.clone(), 4, true);
     let graph = Arc::new(oracle::mine(&trace));
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
 
     println!("Replaying the day on 4 simulated L4 GPUs…\n");
     let mut baseline = None;
@@ -40,8 +41,16 @@ fn main() {
             DependencyPolicy::GlobalSync,
             SimConfig::single_thread(),
         ),
-        ("parallel-sync", DependencyPolicy::GlobalSync, SimConfig::default()),
-        ("metropolis", DependencyPolicy::Spatiotemporal, SimConfig::default()),
+        (
+            "parallel-sync",
+            DependencyPolicy::GlobalSync,
+            SimConfig::default(),
+        ),
+        (
+            "metropolis",
+            DependencyPolicy::Spatiotemporal,
+            SimConfig::default(),
+        ),
         (
             "oracle",
             DependencyPolicy::Oracle(Arc::clone(&graph)),

@@ -115,5 +115,8 @@ fn main() {
          the same rule algebra as the grid, in a different metric space."
     );
     assert!(ooo.makespan <= sync.makespan);
-    assert!(ooo.sched.max_step_skew > 0, "communities should have drifted in step");
+    assert!(
+        ooo.sched.max_step_skew > 0,
+        "communities should have drifted in step"
+    );
 }

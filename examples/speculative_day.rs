@@ -21,8 +21,9 @@ fn main() {
     println!("Generating the busy hour (12pm-1pm) of 25-agent SmallVille…\n");
     let trace = gen::generate(&GenConfig::busy_hour(1, 42));
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let space = || Arc::new(GridSpace::new(meta.map_width, meta.map_height));
     let params = RuleParams::new(meta.radius_p, meta.max_vel);
     let server = ServerConfig::from_preset(presets::l4_llama3_8b(), 4, true);
@@ -53,8 +54,7 @@ fn main() {
     )
     .expect("scheduler");
     let mut llm = SimServer::new(server.clone());
-    let oracle_run =
-        run_sim(&mut sched, &trace, &mut llm, &SimConfig::default()).expect("replay");
+    let oracle_run = run_sim(&mut sched, &trace, &mut llm, &SimConfig::default()).expect("replay");
 
     println!(
         "conservative metropolis: {:>8.1}s  (parallelism {:.2})",

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and (behind the
+//! `derive` feature) the matching no-op derive macros from the sibling
+//! `serde_derive` shim. See that crate's docs for why this is sound for
+//! this workspace: the derives are structural annotations only, and no
+//! code takes serde bounds.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

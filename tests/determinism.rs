@@ -33,8 +33,9 @@ fn des_replay_is_reproducible() {
     let trace = gen::generate(&cfg());
     let run = || {
         let meta = trace.meta();
-        let initial: Vec<Point> =
-            (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+        let initial: Vec<Point> = (0..meta.num_agents)
+            .map(|a| trace.initial_position(a))
+            .collect();
         let mut sched = Scheduler::new(
             Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
             RuleParams::new(meta.radius_p, meta.max_vel),
@@ -79,8 +80,13 @@ fn threaded_world_outcome_is_reproducible() {
         )
         .unwrap();
         let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
-        run_threaded(&mut sched, Arc::clone(&program), backend, ThreadedConfig::default())
-            .unwrap();
+        run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig::default(),
+        )
+        .unwrap();
         let v = Arc::try_unwrap(program).expect("joined").into_village();
         (v.positions(), v.events().to_vec())
     };

@@ -24,8 +24,11 @@ fn run_live(
     steps: u32,
     workers: usize,
 ) -> Village {
-    let mut village =
-        Village::generate(&VillageConfig { villes: 1, agents_per_ville: agents, seed });
+    let mut village = Village::generate(&VillageConfig {
+        villes: 1,
+        agents_per_ville: agents,
+        seed,
+    });
     if start > 0 {
         village.run_lockstep(0, start, |_, _, _, _| {});
     }
@@ -45,12 +48,20 @@ fn run_live(
         &mut sched,
         Arc::clone(&program),
         backend,
-        ThreadedConfig { workers, priority_enabled: true },
+        ThreadedConfig {
+            workers,
+            priority_enabled: true,
+        },
     )
     .expect("threaded run");
     assert!(sched.is_done());
-    assert!(sched.graph().validate().is_ok(), "causality invariant violated");
-    Arc::try_unwrap(program).expect("workers joined").into_village()
+    assert!(
+        sched.graph().validate().is_ok(),
+        "causality invariant violated"
+    );
+    Arc::try_unwrap(program)
+        .expect("workers joined")
+        .into_village()
 }
 
 fn assert_worlds_equal(a: &Village, b: &Village) {
@@ -115,8 +126,9 @@ fn replayed_positions_match_generated_trace() {
         window_len: 60,
     });
     let meta = trace.meta().clone();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -126,8 +138,7 @@ fn replayed_positions_match_generated_trace() {
         Workload::target_step(&trace),
     )
     .unwrap();
-    let mut server =
-        SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 2, true));
+    let mut server = SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 2, true));
     run_sim(&mut sched, &trace, &mut server, &SimConfig::default()).unwrap();
     for a in 0..meta.num_agents {
         assert_eq!(

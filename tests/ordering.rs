@@ -18,8 +18,9 @@ use ai_metropolis::world::clock_to_step;
 
 fn replay(trace: &Trace, policy: DependencyPolicy, sim: &SimConfig, replicas: u32) -> RunReport {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -54,15 +55,43 @@ fn mode_hierarchy_holds() {
     let preset = presets::l4_llama3_8b();
     let cp = critical::critical_path(&trace, &preset.cost, preset.prefill_chunk, 2_000, 1_000);
 
-    let single = replay(&trace, DependencyPolicy::GlobalSync, &SimConfig::single_thread(), 2);
-    let sync = replay(&trace, DependencyPolicy::GlobalSync, &SimConfig::default(), 2);
-    let metro = replay(&trace, DependencyPolicy::Spatiotemporal, &SimConfig::default(), 2);
-    let orc =
-        replay(&trace, DependencyPolicy::Oracle(graph), &SimConfig::default(), 2);
+    let single = replay(
+        &trace,
+        DependencyPolicy::GlobalSync,
+        &SimConfig::single_thread(),
+        2,
+    );
+    let sync = replay(
+        &trace,
+        DependencyPolicy::GlobalSync,
+        &SimConfig::default(),
+        2,
+    );
+    let metro = replay(
+        &trace,
+        DependencyPolicy::Spatiotemporal,
+        &SimConfig::default(),
+        2,
+    );
+    let orc = replay(
+        &trace,
+        DependencyPolicy::Oracle(graph),
+        &SimConfig::default(),
+        2,
+    );
 
-    assert!(metro.makespan <= sync.makespan, "metropolis lost to the barrier");
-    assert!(sync.makespan <= single.makespan, "parallel-sync lost to serial");
-    assert!(orc.makespan <= metro.makespan, "conservative rules beat the oracle?");
+    assert!(
+        metro.makespan <= sync.makespan,
+        "metropolis lost to the barrier"
+    );
+    assert!(
+        sync.makespan <= single.makespan,
+        "parallel-sync lost to serial"
+    );
+    assert!(
+        orc.makespan <= metro.makespan,
+        "conservative rules beat the oracle?"
+    );
     assert!(
         cp.time <= orc.makespan + VirtualTime::from_micros(1),
         "oracle ran faster than the critical lower bound: {} < {}",
@@ -78,9 +107,18 @@ fn mode_hierarchy_holds() {
 fn speedup_grows_with_agent_count() {
     let ratio = |villes: u32| {
         let trace = work_trace(villes, 7);
-        let sync = replay(&trace, DependencyPolicy::GlobalSync, &SimConfig::default(), 8);
-        let metro =
-            replay(&trace, DependencyPolicy::Spatiotemporal, &SimConfig::default(), 8);
+        let sync = replay(
+            &trace,
+            DependencyPolicy::GlobalSync,
+            &SimConfig::default(),
+            8,
+        );
+        let metro = replay(
+            &trace,
+            DependencyPolicy::Spatiotemporal,
+            &SimConfig::default(),
+            8,
+        );
         sync.makespan.as_secs_f64() / metro.makespan.as_secs_f64()
     };
     let small = ratio(1);
@@ -94,8 +132,18 @@ fn speedup_grows_with_agent_count() {
 #[test]
 fn more_gpus_never_hurt() {
     let trace = work_trace(2, 11);
-    let one = replay(&trace, DependencyPolicy::Spatiotemporal, &SimConfig::default(), 1);
-    let eight = replay(&trace, DependencyPolicy::Spatiotemporal, &SimConfig::default(), 8);
+    let one = replay(
+        &trace,
+        DependencyPolicy::Spatiotemporal,
+        &SimConfig::default(),
+        1,
+    );
+    let eight = replay(
+        &trace,
+        DependencyPolicy::Spatiotemporal,
+        &SimConfig::default(),
+        8,
+    );
     assert!(eight.makespan <= one.makespan);
     assert!(eight.gpu_utilization <= one.gpu_utilization + 1e-9);
 }
@@ -105,8 +153,9 @@ fn priority_never_hurts_under_contention() {
     let trace = work_trace(4, 13);
     let mk = |priority: bool| {
         let meta = trace.meta();
-        let initial: Vec<Point> =
-            (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+        let initial: Vec<Point> = (0..meta.num_agents)
+            .map(|a| trace.initial_position(a))
+            .collect();
         let mut sched = Scheduler::new(
             Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
             RuleParams::new(meta.radius_p, meta.max_vel),

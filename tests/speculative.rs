@@ -27,8 +27,9 @@ fn lunch_trace(villes: u32, seed: u64) -> Trace {
 
 fn conservative_run(trace: &Trace, replicas: u32) -> ai_metropolis::core::metrics::RunReport {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -38,8 +39,11 @@ fn conservative_run(trace: &Trace, replicas: u32) -> ai_metropolis::core::metric
         Workload::target_step(trace),
     )
     .unwrap();
-    let mut server =
-        SimServer::new(ServerConfig::from_preset(presets::tiny_test(), replicas, true));
+    let mut server = SimServer::new(ServerConfig::from_preset(
+        presets::tiny_test(),
+        replicas,
+        true,
+    ));
     run_sim(&mut sched, trace, &mut server, &SimConfig::default()).unwrap()
 }
 
@@ -49,8 +53,9 @@ fn speculative_run(
     runahead: u32,
 ) -> (ai_metropolis::core::metrics::RunReport, Vec<Point>) {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = SpecScheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -60,8 +65,11 @@ fn speculative_run(
         Workload::target_step(trace),
     )
     .unwrap();
-    let mut server =
-        SimServer::new(ServerConfig::from_preset(presets::tiny_test(), replicas, true));
+    let mut server = SimServer::new(ServerConfig::from_preset(
+        presets::tiny_test(),
+        replicas,
+        true,
+    ));
     let report = run_spec_sim(&mut sched, trace, &mut server, &SimConfig::default()).unwrap();
     let finals = (0..meta.num_agents)
         .map(|a| sched.graph().pos(ai_metropolis::core::AgentId(a)))
@@ -81,7 +89,10 @@ fn speculative_replay_reproduces_trace_trajectories() {
         for a in 0..meta.num_agents {
             let expected =
                 Workload::pos_after(&trace, ai_metropolis::core::AgentId(a), Step(target.0 - 1));
-            assert_eq!(finals[a as usize], expected, "agent {a} diverged (runahead {runahead})");
+            assert_eq!(
+                finals[a as usize], expected,
+                "agent {a} diverged (runahead {runahead})"
+            );
         }
         let spec = report.spec.expect("speculative runs carry spec stats");
         assert_eq!(
@@ -103,8 +114,7 @@ fn speculation_stays_within_its_waste_of_conservative() {
         let cons = conservative_run(&trace, 2);
         let (spec, _) = speculative_run(&trace, 2, 4);
         let sr = spec.spec.as_ref().expect("spec stats");
-        let waste =
-            sr.waste_fraction(spec.total_input_tokens, spec.total_output_tokens);
+        let waste = sr.waste_fraction(spec.total_input_tokens, spec.total_output_tokens);
         let bound = cons.makespan.as_secs_f64() * (1.0 + waste + 0.03);
         assert!(
             spec.makespan.as_secs_f64() <= bound,
@@ -198,8 +208,9 @@ fn speculation_generalizes_to_social_space() {
 fn hybrid_driver_serves_chat_against_real_trace() {
     let trace = lunch_trace(1, 9);
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     let mut sched = Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -213,9 +224,14 @@ fn hybrid_driver_serves_chat_against_real_trace() {
         ServerConfig::from_preset(presets::tiny_test(), 1, true).with_interactive_lane(2),
     );
     let load = InteractiveLoad::chat(50_000, 40, 13);
-    let (report, chat) =
-        run_hybrid_sim(&mut sched, &trace, &mut server, &load, &SimConfig::default())
-            .unwrap();
+    let (report, chat) = run_hybrid_sim(
+        &mut sched,
+        &trace,
+        &mut server,
+        &load,
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert_eq!(chat.count, 40, "every chat turn answered");
     assert!(chat.p50_us <= chat.p95_us && chat.p95_us <= chat.max_us);
     assert_eq!(

@@ -51,8 +51,9 @@ impl ClusterProgram<GridSpace> for TraceProgram {
 
 fn mk_sched(trace: &Trace, policy: DependencyPolicy) -> Scheduler<GridSpace> {
     let meta = trace.meta();
-    let initial: Vec<Point> =
-        (0..meta.num_agents).map(|a| trace.initial_position(a)).collect();
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
     Scheduler::new(
         Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
         RuleParams::new(meta.radius_p, meta.max_vel),
@@ -91,7 +92,10 @@ fn same_scheduling_work_in_both_executors() {
         &mut thr_sched,
         Arc::clone(&program),
         backend,
-        ThreadedConfig { workers: 6, priority_enabled: true },
+        ThreadedConfig {
+            workers: 6,
+            priority_enabled: true,
+        },
     )
     .unwrap();
 
@@ -127,8 +131,7 @@ fn threaded_oracle_policy_also_completes() {
         calls: AtomicU64::new(0),
     });
     let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
-    let report =
-        run_threaded(&mut sched, program, backend, ThreadedConfig::default()).unwrap();
+    let report = run_threaded(&mut sched, program, backend, ThreadedConfig::default()).unwrap();
     assert!(sched.is_done());
     assert_eq!(
         report.agent_steps,

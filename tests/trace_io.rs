@@ -60,10 +60,7 @@ fn window_matches_direct_generation_statistics() {
     assert_eq!(sliced.calls().len(), direct.calls().len());
     for a in 0..10 {
         assert_eq!(sliced.initial_position(a), direct.initial_position(a));
-        assert_eq!(
-            sliced.position_after(a, 359),
-            direct.position_after(a, 359)
-        );
+        assert_eq!(sliced.position_after(a, 359), direct.position_after(a, 359));
     }
     let ss = stats::compute(&sliced);
     let sd = stats::compute(&direct);
