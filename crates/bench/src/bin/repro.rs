@@ -6,7 +6,7 @@ use aim_bench::harness::RunEnv;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--quick] [--out DIR]\n\
-         experiments: calibrate fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid all"
+         experiments: calibrate fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet all"
     );
     std::process::exit(2);
 }
@@ -51,6 +51,7 @@ fn run(exp: &str, env: &RunEnv) {
         "tab1" => experiments::tab1::run(env),
         "spec" => experiments::spec::run(env),
         "hybrid" => experiments::hybrid::run(env),
+        "fleet" => experiments::fleet::run(env),
         "all" => {
             for e in [
                 "calibrate",
@@ -67,6 +68,7 @@ fn run(exp: &str, env: &RunEnv) {
                 "ablate",
                 "spec",
                 "hybrid",
+                "fleet",
             ] {
                 println!("\n########## {e} ##########\n");
                 run(e, env);

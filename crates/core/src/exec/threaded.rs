@@ -67,7 +67,7 @@ impl Default for ThreadedConfig {
 }
 
 /// Wall-clock measurements of a threaded run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ThreadedReport {
     /// Wall time from start to completion.
@@ -76,6 +76,10 @@ pub struct ThreadedReport {
     pub clusters: u64,
     /// Agent-steps executed.
     pub agent_steps: u64,
+    /// The serving backend's [`LlmBackend::describe`] string — with a
+    /// [`aim_llm::Fleet`] backend this names every replica, so a report
+    /// fully identifies the deployment that produced it.
+    pub backend: String,
 }
 
 /// Runs `scheduler` to completion with `cfg.workers` worker threads
@@ -190,6 +194,7 @@ where
         wall: started.elapsed(),
         clusters,
         agent_steps,
+        backend: backend.describe(),
     })
 }
 
@@ -340,6 +345,53 @@ mod tests {
         assert!(sched.is_done());
         assert_eq!(report.agent_steps, 100);
         assert!(sched.graph().validate().is_ok());
+    }
+
+    #[test]
+    fn report_identifies_the_backend() {
+        let initial = vec![Point::new(0, 0)];
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 2);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let report = run_threaded(&mut sched, program, backend, ThreadedConfig::default()).unwrap();
+        assert_eq!(report.backend, "instant");
+    }
+
+    #[test]
+    fn threaded_run_over_heterogeneous_fleet() {
+        use aim_llm::{FleetConfig, LatencyProfile, ReplicaSpec, RoutePolicyKind};
+
+        let initial: Vec<Point> = (0..8).map(|i| Point::new(i * 100, 0)).collect();
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 4);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let fleet = Arc::new(
+            FleetConfig::new("core-test", RoutePolicyKind::RoundRobin)
+                .with_replica(ReplicaSpec::instant())
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("fast", 10),
+                    5,
+                    None,
+                ))
+                .build(),
+        );
+        let backend: Arc<dyn LlmBackend> = Arc::clone(&fleet) as Arc<dyn LlmBackend>;
+        let report = run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig::default(),
+        )
+        .unwrap();
+        assert!(sched.is_done());
+        assert_eq!(report.agent_steps, 32);
+        let m = fleet.metrics();
+        assert_eq!(
+            m.total_served(),
+            32,
+            "every LLM call went through the fleet"
+        );
+        assert!(m.all_replicas_served(), "both replica types served: {m:?}");
+        assert!(report.backend.starts_with("fleet(core-test, round-robin"));
     }
 
     #[test]

@@ -16,17 +16,21 @@ use crate::time::VirtualTime;
 /// never preempts an in-flight call (§3.5), so `call` simply blocks until
 /// the response is available. Implement this trait to connect a real
 /// serving engine (e.g. an OpenAI-compatible HTTP endpoint); this crate
-/// ships [`InstantBackend`] for tests and [`RealtimeSimBackend`], which
-/// serves calls from the virtual-time simulator paced against the wall
-/// clock.
+/// ships [`InstantBackend`] for tests, [`RealtimeSimBackend`] (the
+/// virtual-time simulator paced against the wall clock),
+/// [`crate::ReplayBackend`] (recorded latency distributions), and
+/// [`crate::Fleet`] (N heterogeneous replicas behind a routing policy).
 pub trait LlmBackend: Send + Sync {
     /// Executes one request to completion.
     fn call(&self, req: &LlmRequest) -> LlmResponse;
 
     /// Human-readable backend description (for logs and reports).
-    fn describe(&self) -> String {
-        "llm-backend".to_string()
-    }
+    ///
+    /// Required, deliberately: every backend must identify itself
+    /// distinctively — the threaded runtime records it in its report and
+    /// fleets display it per replica, so a generic fallback string would
+    /// make heterogeneous deployments unreadable.
+    fn describe(&self) -> String;
 }
 
 /// A backend that completes every call immediately.

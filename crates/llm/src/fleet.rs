@@ -1,0 +1,564 @@
+//! A heterogeneous **serving fleet**: N independently configured
+//! [`LlmBackend`] replicas behind one pluggable [`RoutePolicy`].
+//!
+//! The paper's deployments are homogeneous — one [`crate::SimServer`]
+//! models every GPU. Real massive-agent serving is not: a site mixes
+//! hardware generations, dedicates latency-bounded replicas to
+//! interactive traffic, and swaps routing policies per experiment. A
+//! [`Fleet`] models exactly that: each replica is its own backend (a
+//! virtual-time simulated engine, a latency-replay engine, an instant
+//! test stub — anything implementing [`LlmBackend`]), and the fleet
+//! itself implements [`LlmBackend`], so it plugs into the threaded
+//! runtime anywhere a single backend does.
+//!
+//! The architecture is a strict layering:
+//!
+//! ```text
+//! LlmBackend (trait)  ←  replica: SimServer / replay / instant / custom
+//!        ↑
+//!   Fleet::call  →  RoutePolicy::route(req, replica views)  →  replica.call
+//! ```
+//!
+//! Deployments are described declaratively by [`FleetConfig`] (the
+//! fleet-level generalization of [`crate::ServerConfig`]) and built with
+//! [`FleetConfig::build`].
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::backend::{InstantBackend, LlmBackend, RealtimeSimBackend};
+use crate::presets::Preset;
+use crate::replay::{LatencyProfile, ReplayBackend};
+use crate::request::{Lane, LlmRequest, LlmResponse};
+use crate::router::{ReplicaView, RoutePolicy, RoutePolicyKind};
+use crate::server::ServerConfig;
+
+/// How one fleet replica is backed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BackendSpec {
+    /// A virtual-time [`crate::SimServer`] paced against the wall clock
+    /// ([`RealtimeSimBackend`]) at `time_scale` virtual seconds per
+    /// wall-clock second.
+    Sim {
+        /// Engine deployment config (usually 1 replica — the fleet is
+        /// the data-parallel layer now).
+        cfg: ServerConfig,
+        /// Virtual seconds per wall-clock second.
+        time_scale: f64,
+    },
+    /// A [`ReplayBackend`] over a recorded latency distribution;
+    /// `time_scale` of `None` means unpaced (no sleeping).
+    Replay {
+        /// The recorded distribution to replay.
+        profile: LatencyProfile,
+        /// Sampling seed (same seed → same per-request latencies).
+        seed: u64,
+        /// Virtual µs per wall-clock µs, or `None` to never sleep.
+        time_scale: Option<f64>,
+    },
+    /// An [`InstantBackend`] (tests and routing-overhead benches).
+    Instant,
+}
+
+impl BackendSpec {
+    fn build(&self) -> Arc<dyn LlmBackend> {
+        match self {
+            BackendSpec::Sim { cfg, time_scale } => {
+                Arc::new(RealtimeSimBackend::new(cfg.clone(), *time_scale))
+            }
+            BackendSpec::Replay {
+                profile,
+                seed,
+                time_scale,
+            } => Arc::new(match time_scale {
+                Some(scale) => ReplayBackend::new(profile.clone(), *seed, *scale),
+                None => ReplayBackend::unpaced(profile.clone(), *seed),
+            }),
+            BackendSpec::Instant => Arc::new(InstantBackend::new()),
+        }
+    }
+}
+
+/// One replica slot of a [`FleetConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSpec {
+    /// The backend behind this replica.
+    pub backend: BackendSpec,
+    /// Tag the replica for interactive traffic (consumed by the
+    /// [`crate::LaneAware`] policy; other policies ignore it).
+    pub interactive: bool,
+}
+
+impl ReplicaSpec {
+    /// A simulated-engine replica (see [`BackendSpec::Sim`]).
+    pub fn sim(cfg: ServerConfig, time_scale: f64) -> Self {
+        ReplicaSpec {
+            backend: BackendSpec::Sim { cfg, time_scale },
+            interactive: false,
+        }
+    }
+
+    /// A latency-replay replica (see [`BackendSpec::Replay`]).
+    pub fn replay(profile: LatencyProfile, seed: u64, time_scale: Option<f64>) -> Self {
+        ReplicaSpec {
+            backend: BackendSpec::Replay {
+                profile,
+                seed,
+                time_scale,
+            },
+            interactive: false,
+        }
+    }
+
+    /// An instant replica (see [`BackendSpec::Instant`]).
+    pub fn instant() -> Self {
+        ReplicaSpec {
+            backend: BackendSpec::Instant,
+            interactive: false,
+        }
+    }
+
+    /// Tags the replica for interactive traffic.
+    pub fn interactive(mut self) -> Self {
+        self.interactive = true;
+        self
+    }
+}
+
+/// Declarative description of a heterogeneous serving fleet — the
+/// fleet-level counterpart of [`ServerConfig`].
+///
+/// # Example
+///
+/// ```
+/// use aim_llm::{presets, FleetConfig, LatencyProfile, ReplicaSpec, RoutePolicyKind, ServerConfig};
+///
+/// let sim = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+/// let fleet = FleetConfig::new("mixed", RoutePolicyKind::RoundRobin)
+///     .with_replica(ReplicaSpec::sim(sim, 1_000_000.0))
+///     .with_replica(ReplicaSpec::replay(LatencyProfile::constant("prod", 150_000), 7, None))
+///     .build();
+/// assert_eq!(fleet.replica_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Human-readable fleet name (for reports).
+    pub name: String,
+    /// Routing policy to instantiate at build time.
+    pub policy: RoutePolicyKind,
+    /// Replica slots, in id order.
+    pub replicas: Vec<ReplicaSpec>,
+}
+
+impl FleetConfig {
+    /// Creates an empty fleet description.
+    pub fn new(name: impl Into<String>, policy: RoutePolicyKind) -> Self {
+        FleetConfig {
+            name: name.into(),
+            policy,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Appends a replica slot.
+    pub fn with_replica(mut self, replica: ReplicaSpec) -> Self {
+        self.replicas.push(replica);
+        self
+    }
+
+    /// A homogeneous fleet: `replicas` simulated single-engine replicas
+    /// of `preset`, paced at `time_scale` — the [`ServerConfig`] +
+    /// [`Preset`] story lifted to the fleet layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn homogeneous(
+        preset: Preset,
+        replicas: u32,
+        policy: RoutePolicyKind,
+        time_scale: f64,
+    ) -> Self {
+        assert!(replicas > 0, "at least one replica is required");
+        let name = format!("{}x{}", replicas, preset.name);
+        let mut cfg = FleetConfig::new(name, policy);
+        for _ in 0..replicas {
+            cfg = cfg.with_replica(ReplicaSpec::sim(
+                ServerConfig::from_preset(preset.clone(), 1, true),
+                time_scale,
+            ));
+        }
+        cfg
+    }
+
+    /// Instantiates the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no replicas.
+    pub fn build(self) -> Fleet {
+        assert!(
+            !self.replicas.is_empty(),
+            "fleet needs at least one replica"
+        );
+        let backends = self
+            .replicas
+            .iter()
+            .map(|r| (r.backend.build(), r.interactive))
+            .collect();
+        Fleet::from_backends(self.name, self.policy.build(), backends)
+    }
+}
+
+struct FleetReplica {
+    backend: Arc<dyn LlmBackend>,
+    interactive: bool,
+    description: String,
+    outstanding: AtomicUsize,
+    peak_outstanding: AtomicUsize,
+    served: AtomicU64,
+    interactive_served: AtomicU64,
+}
+
+/// Snapshot of one replica's fleet-level counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FleetReplicaMetrics {
+    /// Replica id within the fleet.
+    pub replica: usize,
+    /// The replica backend's [`LlmBackend::describe`] string.
+    pub description: String,
+    /// Whether the replica is tagged interactive.
+    pub interactive: bool,
+    /// Calls completed by this replica.
+    pub served: u64,
+    /// Of those, calls on [`Lane::Interactive`].
+    pub interactive_served: u64,
+    /// Maximum concurrently in-flight calls observed.
+    pub peak_outstanding: usize,
+}
+
+/// Snapshot of a whole fleet (see [`Fleet::metrics`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FleetMetrics {
+    /// Fleet name.
+    pub name: String,
+    /// Active routing policy name.
+    pub policy: String,
+    /// Per-replica counters, in replica-id order.
+    pub replicas: Vec<FleetReplicaMetrics>,
+}
+
+impl FleetMetrics {
+    /// Total calls served across replicas.
+    pub fn total_served(&self) -> u64 {
+        self.replicas.iter().map(|r| r.served).sum()
+    }
+
+    /// Whether every replica served at least one call.
+    pub fn all_replicas_served(&self) -> bool {
+        self.replicas.iter().all(|r| r.served > 0)
+    }
+}
+
+/// The serving fleet: replicas + routing policy, itself an
+/// [`LlmBackend`].
+///
+/// Worker threads call [`LlmBackend::call`]; the fleet snapshots per-
+/// replica load into [`ReplicaView`]s, asks the [`RoutePolicy`] for a
+/// replica, and forwards the (blocking) call. Counters are lock-free, so
+/// routing adds only a few atomic operations per call.
+pub struct Fleet {
+    name: String,
+    policy: Box<dyn RoutePolicy>,
+    replicas: Vec<FleetReplica>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("name", &self.name)
+            .field("policy", &self.policy.name())
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet from already-constructed backends — the escape
+    /// hatch for replica types [`BackendSpec`] does not describe (custom
+    /// [`LlmBackend`] impls, shared backends). Each entry is
+    /// `(backend, interactive tag)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn from_backends(
+        name: impl Into<String>,
+        policy: Box<dyn RoutePolicy>,
+        backends: Vec<(Arc<dyn LlmBackend>, bool)>,
+    ) -> Self {
+        assert!(!backends.is_empty(), "fleet needs at least one replica");
+        Fleet {
+            name: name.into(),
+            policy,
+            replicas: backends
+                .into_iter()
+                .map(|(backend, interactive)| FleetReplica {
+                    description: backend.describe(),
+                    backend,
+                    interactive,
+                    outstanding: AtomicUsize::new(0),
+                    peak_outstanding: AtomicUsize::new(0),
+                    served: AtomicU64::new(0),
+                    interactive_served: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Fleet name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Active routing policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Per-replica counters so far.
+    pub fn metrics(&self) -> FleetMetrics {
+        FleetMetrics {
+            name: self.name.clone(),
+            policy: self.policy.name().to_string(),
+            replicas: self
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(id, r)| FleetReplicaMetrics {
+                    replica: id,
+                    description: r.description.clone(),
+                    interactive: r.interactive,
+                    served: r.served.load(Ordering::Relaxed),
+                    interactive_served: r.interactive_served.load(Ordering::Relaxed),
+                    peak_outstanding: r.peak_outstanding.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    fn views(&self) -> Vec<ReplicaView> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(id, r)| ReplicaView {
+                id,
+                outstanding: r.outstanding.load(Ordering::Relaxed),
+                served: r.served.load(Ordering::Relaxed),
+                interactive: r.interactive,
+            })
+            .collect()
+    }
+}
+
+impl LlmBackend for Fleet {
+    fn call(&self, req: &LlmRequest) -> LlmResponse {
+        let views = self.views();
+        let id = self.policy.route(req, &views);
+        assert!(
+            id < self.replicas.len(),
+            "route policy {} returned replica {id} of {}",
+            self.policy.name(),
+            self.replicas.len()
+        );
+        let replica = &self.replicas[id];
+        let now = replica.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        replica.peak_outstanding.fetch_max(now, Ordering::Relaxed);
+        let resp = replica.backend.call(req);
+        replica.outstanding.fetch_sub(1, Ordering::Relaxed);
+        replica.served.fetch_add(1, Ordering::Relaxed);
+        if req.lane == Lane::Interactive {
+            replica.interactive_served.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    fn describe(&self) -> String {
+        let mut out = format!(
+            "fleet({}, {}, {} replicas: ",
+            self.name,
+            self.policy.name(),
+            self.replicas.len()
+        );
+        for (i, r) in self.replicas.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            let _ = write!(out, "{}", r.description);
+            if r.interactive {
+                out.push_str(" [interactive]");
+            }
+        }
+        out.push(')');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::request::{CallKind, RequestId};
+
+    fn req(id: u64) -> LlmRequest {
+        LlmRequest::new(RequestId(id), id as u32, 0, 20, 2, CallKind::Plan)
+    }
+
+    fn instant_fleet(n: usize, policy: RoutePolicyKind) -> Fleet {
+        let mut cfg = FleetConfig::new("test", policy);
+        for _ in 0..n {
+            cfg = cfg.with_replica(ReplicaSpec::instant());
+        }
+        cfg.build()
+    }
+
+    #[test]
+    fn round_robin_spreads_exactly() {
+        let fleet = instant_fleet(3, RoutePolicyKind::RoundRobin);
+        for i in 0..9 {
+            fleet.call(&req(i));
+        }
+        let m = fleet.metrics();
+        assert_eq!(m.total_served(), 9);
+        assert!(m.replicas.iter().all(|r| r.served == 3), "{m:?}");
+        assert!(m.all_replicas_served());
+    }
+
+    #[test]
+    fn least_outstanding_balances_sequential_calls() {
+        // Sequential calls always see zero outstanding, so the tie-break
+        // sends everything to replica 0 — the documented behavior.
+        let fleet = instant_fleet(2, RoutePolicyKind::LeastOutstanding);
+        for i in 0..4 {
+            fleet.call(&req(i));
+        }
+        let m = fleet.metrics();
+        assert_eq!(m.replicas[0].served, 4);
+        assert_eq!(m.replicas[1].served, 0);
+    }
+
+    #[test]
+    fn lane_aware_splits_traffic_by_tag() {
+        let fleet = FleetConfig::new("split", RoutePolicyKind::LaneAware)
+            .with_replica(ReplicaSpec::instant())
+            .with_replica(ReplicaSpec::instant().interactive())
+            .build();
+        for i in 0..6 {
+            fleet.call(&req(i));
+            fleet.call(&req(100 + i).interactive());
+        }
+        let m = fleet.metrics();
+        assert_eq!(m.replicas[0].served, 6);
+        assert_eq!(m.replicas[0].interactive_served, 0);
+        assert_eq!(m.replicas[1].served, 6);
+        assert_eq!(m.replicas[1].interactive_served, 6);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_mixes_backend_types() {
+        let sim = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+        let fleet = FleetConfig::new("mixed", RoutePolicyKind::RoundRobin)
+            .with_replica(ReplicaSpec::sim(sim, 100_000.0))
+            .with_replica(ReplicaSpec::replay(
+                LatencyProfile::constant("prod", 10),
+                3,
+                None,
+            ))
+            .build();
+        for i in 0..4 {
+            fleet.call(&req(i));
+        }
+        let m = fleet.metrics();
+        assert!(m.all_replicas_served(), "{m:?}");
+        assert!(m.replicas[0].description.contains("realtime-sim"));
+        assert!(m.replicas[1].description.contains("replay"));
+    }
+
+    #[test]
+    fn describe_lists_policy_and_replicas() {
+        let fleet = FleetConfig::new("demo", RoutePolicyKind::LaneAware)
+            .with_replica(ReplicaSpec::instant())
+            .with_replica(ReplicaSpec::instant().interactive())
+            .build();
+        let d = fleet.describe();
+        assert!(d.contains("fleet(demo, lane-aware, 2 replicas"), "{d}");
+        assert!(d.contains("instant"), "{d}");
+        assert!(d.contains("[interactive]"), "{d}");
+    }
+
+    #[test]
+    fn homogeneous_constructor_builds_n_sim_replicas() {
+        let fleet =
+            FleetConfig::homogeneous(presets::tiny_test(), 3, RoutePolicyKind::RoundRobin, 1e6)
+                .build();
+        assert_eq!(fleet.replica_count(), 3);
+        assert_eq!(fleet.policy_name(), "round-robin");
+        assert!(fleet.describe().contains("test/tiny"));
+    }
+
+    #[test]
+    fn concurrent_calls_track_outstanding_peaks() {
+        let fleet = Arc::new(
+            FleetConfig::new("conc", RoutePolicyKind::LeastOutstanding)
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("ms", 1_000),
+                    0,
+                    Some(1.0), // 1 ms wall per call
+                ))
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("ms", 1_000),
+                    0,
+                    Some(1.0),
+                ))
+                .build(),
+        );
+        // All callers release together, so the 1 ms-wall calls overlap
+        // and least-outstanding must spill past replica 0.
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let fleet = Arc::clone(&fleet);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    fleet.call(&req(i));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let m = fleet.metrics();
+        assert_eq!(m.total_served(), 8);
+        assert!(
+            m.all_replicas_served(),
+            "least-outstanding must overflow to replica 1 under concurrency: {m:?}"
+        );
+        assert!(m.replicas.iter().all(|r| r.peak_outstanding >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_fleet_rejected() {
+        let _ = FleetConfig::new("empty", RoutePolicyKind::RoundRobin).build();
+    }
+}

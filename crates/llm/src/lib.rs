@@ -29,6 +29,47 @@
 //! Calibrated hardware/model presets live in [`presets`]; each documents the
 //! arithmetic tying it to public hardware numbers.
 //!
+//! # Serving fleets
+//!
+//! Beyond the single simulated engine, this crate models **heterogeneous
+//! serving fleets** — the deployment shape massive-agent workloads
+//! actually run on. The layering is:
+//!
+//! 1. **backend trait** — [`LlmBackend`] is the unit of serving capacity:
+//!    [`InstantBackend`], [`RealtimeSimBackend`] (a [`SimServer`] paced
+//!    against the wall clock), and [`ReplayBackend`] (latencies sampled
+//!    from a recorded [`LatencyProfile`], e.g. exported by `trace_tool
+//!    latency`);
+//! 2. **replica** — a [`ReplicaSpec`] wraps one backend plus fleet-level
+//!    tags (e.g. `interactive` for dedicated player-facing capacity);
+//! 3. **router** — a [`RoutePolicy`] ([`RoundRobin`], [`LeastOutstanding`],
+//!    [`LaneAware`]) picks the replica for each request from live
+//!    [`ReplicaView`]s;
+//! 4. **fleet** — [`Fleet`] owns the replicas and the policy, and is
+//!    itself an [`LlmBackend`], so the threaded runtime drives a mixed
+//!    fleet exactly like a single engine.
+//!
+//! # Example: a mixed fleet of a simulated engine and a latency replay
+//!
+//! ```
+//! use aim_llm::{
+//!     presets, CallKind, FleetConfig, LatencyProfile, LlmBackend, LlmRequest, ReplicaSpec,
+//!     RequestId, RoutePolicyKind, ServerConfig,
+//! };
+//!
+//! let sim = ServerConfig::from_preset(presets::tiny_test(), 1, true);
+//! let fleet = FleetConfig::new("demo", RoutePolicyKind::RoundRobin)
+//!     .with_replica(ReplicaSpec::sim(sim, 1_000_000.0))
+//!     .with_replica(ReplicaSpec::replay(LatencyProfile::constant("prod", 50), 7, None))
+//!     .build();
+//! for i in 0..4 {
+//!     fleet.call(&LlmRequest::new(RequestId(i), i as u32, 0, 64, 8, CallKind::Plan));
+//! }
+//! let metrics = fleet.metrics();
+//! assert_eq!(metrics.total_served(), 4);
+//! assert!(metrics.all_replicas_served(), "round-robin hits every replica");
+//! ```
+//!
 //! # Example: simulate a burst of requests
 //!
 //! ```
@@ -54,14 +95,22 @@
 
 mod backend;
 mod cost;
+mod fleet;
 pub mod presets;
+mod replay;
 mod request;
+mod router;
 mod server;
 mod time;
 
 pub use backend::{InstantBackend, LlmBackend, RealtimeSimBackend};
 pub use cost::CostModel;
+pub use fleet::{BackendSpec, Fleet, FleetConfig, FleetMetrics, FleetReplicaMetrics, ReplicaSpec};
 pub use presets::Preset;
+pub use replay::{LatencyProfile, ReplayBackend, ReplayMetrics};
 pub use request::{CallKind, Lane, LlmRequest, LlmResponse, RequestId};
+pub use router::{
+    LaneAware, LeastOutstanding, ReplicaView, RoundRobin, RoutePolicy, RoutePolicyKind,
+};
 pub use server::{Completion, ReplicaMetrics, ServerConfig, ServerMetrics, SimServer};
 pub use time::VirtualTime;

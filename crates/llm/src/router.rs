@@ -1,0 +1,270 @@
+//! Pluggable request routing for a heterogeneous serving [`Fleet`].
+//!
+//! The paper's deployments route data-parallel replicas with a single
+//! hard-wired shortest-queue rule inside [`crate::SimServer`]. A *fleet*
+//! generalizes that: replicas may be entirely different backends (different
+//! presets, a latency-replay engine, a real HTTP endpoint…), and the
+//! routing rule is a user-pluggable [`RoutePolicy`] — routing/placement
+//! policy dominates at scale, so it must be swappable per experiment.
+//!
+//! [`Fleet`]: crate::Fleet
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::request::{Lane, LlmRequest};
+
+/// A router's read-only view of one fleet replica at decision time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ReplicaView {
+    /// Replica index within the fleet (stable across the run).
+    pub id: usize,
+    /// Calls currently in flight on this replica.
+    pub outstanding: usize,
+    /// Calls completed by this replica so far.
+    pub served: u64,
+    /// Whether the replica is tagged for interactive traffic (see
+    /// [`LaneAware`]).
+    pub interactive: bool,
+}
+
+/// Picks the replica that serves the next request.
+///
+/// Implementations must be shareable across the threaded runtime's worker
+/// threads; `route` is called once per [`crate::LlmBackend::call`] on the
+/// fleet and must return an index `< replicas.len()`. `replicas` is never
+/// empty and is ordered by replica id.
+pub trait RoutePolicy: Send + Sync {
+    /// Chooses the replica index for `req`.
+    fn route(&self, req: &LlmRequest, replicas: &[ReplicaView]) -> usize;
+
+    /// Stable policy name (for logs, metrics, and CLI round-trips).
+    fn name(&self) -> &'static str;
+}
+
+/// Cycles through replicas in order, ignoring load and lanes.
+///
+/// The baseline policy: perfectly fair in request *count*, oblivious to
+/// heterogeneity — a slow replica gets the same share as a fast one, which
+/// is exactly the failure mode the other policies exist to fix.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// Creates the policy, starting at replica 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutePolicy for RoundRobin {
+    fn route(&self, _req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % replicas.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Routes to the replica with the fewest in-flight calls (join the
+/// shortest queue), ties broken by lowest replica id.
+///
+/// On a heterogeneous fleet this is self-balancing: a fast replica drains
+/// its queue sooner, stays short, and therefore absorbs proportionally
+/// more traffic than a slow one.
+#[derive(Debug, Default)]
+pub struct LeastOutstanding;
+
+impl LeastOutstanding {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+fn least_outstanding_of<'a>(replicas: impl Iterator<Item = &'a ReplicaView>) -> Option<usize> {
+    replicas.min_by_key(|r| (r.outstanding, r.id)).map(|r| r.id)
+}
+
+impl RoutePolicy for LeastOutstanding {
+    fn route(&self, _req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
+        least_outstanding_of(replicas.iter()).expect("fleet has at least one replica")
+    }
+
+    fn name(&self) -> &'static str {
+        "least-outstanding"
+    }
+}
+
+/// Partitions the fleet by service class (paper §6's hybrid deployment,
+/// fleet-level): [`Lane::Interactive`] requests go to replicas tagged
+/// `interactive`, background requests to the untagged rest, each side
+/// balanced by least-outstanding.
+///
+/// Degrades gracefully: if the partition a request belongs to is empty
+/// (no replica tagged, or all tagged), the whole fleet is eligible — the
+/// policy then behaves exactly like [`LeastOutstanding`].
+#[derive(Debug, Default)]
+pub struct LaneAware;
+
+impl LaneAware {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutePolicy for LaneAware {
+    fn route(&self, req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
+        let wants_interactive = req.lane == Lane::Interactive;
+        least_outstanding_of(
+            replicas
+                .iter()
+                .filter(|r| r.interactive == wants_interactive),
+        )
+        .or_else(|| least_outstanding_of(replicas.iter()))
+        .expect("fleet has at least one replica")
+    }
+
+    fn name(&self) -> &'static str {
+        "lane-aware"
+    }
+}
+
+/// Declarative name for a shipped [`RoutePolicy`] — the serializable /
+/// CLI-facing counterpart, used by [`crate::FleetConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicyKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastOutstanding`] (the default).
+    #[default]
+    LeastOutstanding,
+    /// [`LaneAware`].
+    LaneAware,
+}
+
+impl RoutePolicyKind {
+    /// All shipped policies, in display order.
+    pub const ALL: [RoutePolicyKind; 3] = [
+        RoutePolicyKind::RoundRobin,
+        RoutePolicyKind::LeastOutstanding,
+        RoutePolicyKind::LaneAware,
+    ];
+
+    /// Stable name matching the built policy's [`RoutePolicy::name`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RoutePolicyKind::RoundRobin => "round-robin",
+            RoutePolicyKind::LeastOutstanding => "least-outstanding",
+            RoutePolicyKind::LaneAware => "lane-aware",
+        }
+    }
+
+    /// Parses a name produced by [`RoutePolicyKind::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<RoutePolicyKind> {
+        RoutePolicyKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn RoutePolicy> {
+        match self {
+            RoutePolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            RoutePolicyKind::LeastOutstanding => Box::new(LeastOutstanding::new()),
+            RoutePolicyKind::LaneAware => Box::new(LaneAware::new()),
+        }
+    }
+}
+
+impl fmt::Display for RoutePolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{CallKind, RequestId};
+
+    fn req(lane: Lane) -> LlmRequest {
+        let r = LlmRequest::new(RequestId(1), 0, 0, 10, 2, CallKind::Plan);
+        match lane {
+            Lane::Interactive => r.interactive(),
+            Lane::Background => r,
+        }
+    }
+
+    fn views(outstanding: &[usize]) -> Vec<ReplicaView> {
+        outstanding
+            .iter()
+            .enumerate()
+            .map(|(id, &o)| ReplicaView {
+                id,
+                outstanding: o,
+                served: 0,
+                interactive: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = RoundRobin::new();
+        let v = views(&[5, 0, 0]);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| p.route(&req(Lane::Background), &v))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2], "load must be ignored");
+    }
+
+    #[test]
+    fn least_outstanding_picks_min_then_lowest_id() {
+        let p = LeastOutstanding::new();
+        assert_eq!(p.route(&req(Lane::Background), &views(&[3, 1, 2])), 1);
+        assert_eq!(p.route(&req(Lane::Background), &views(&[2, 1, 1])), 1);
+        assert_eq!(p.route(&req(Lane::Background), &views(&[0, 0, 0])), 0);
+    }
+
+    #[test]
+    fn lane_aware_partitions_by_tag() {
+        let p = LaneAware::new();
+        let mut v = views(&[0, 9]);
+        v[1].interactive = true;
+        assert_eq!(p.route(&req(Lane::Background), &v), 0);
+        assert_eq!(
+            p.route(&req(Lane::Interactive), &v),
+            1,
+            "interactive must go to the tagged replica even when loaded"
+        );
+    }
+
+    #[test]
+    fn lane_aware_degrades_to_least_outstanding() {
+        let p = LaneAware::new();
+        // No replica tagged: interactive falls back to the whole fleet.
+        assert_eq!(p.route(&req(Lane::Interactive), &views(&[2, 1])), 1);
+        // All tagged: background falls back likewise.
+        let mut v = views(&[2, 1]);
+        v[0].interactive = true;
+        v[1].interactive = true;
+        assert_eq!(p.route(&req(Lane::Background), &v), 1);
+    }
+
+    #[test]
+    fn kind_roundtrip_and_names_match_policies() {
+        for k in RoutePolicyKind::ALL {
+            assert_eq!(RoutePolicyKind::from_str_opt(k.as_str()), Some(k));
+            assert_eq!(k.build().name(), k.as_str(), "kind and policy disagree");
+        }
+        assert_eq!(RoutePolicyKind::from_str_opt("nope"), None);
+        assert_eq!(
+            RoutePolicyKind::default(),
+            RoutePolicyKind::LeastOutstanding
+        );
+    }
+}

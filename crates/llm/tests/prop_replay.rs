@@ -1,0 +1,165 @@
+//! Property tests for the latency-replay backend: determinism under a
+//! fixed seed, independence from call order and threading, sample
+//! provenance, and codec round-tripping.
+
+use aim_llm::{CallKind, LatencyProfile, LlmBackend, LlmRequest, ReplayBackend, RequestId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ReqSpec {
+    id: u64,
+    agent: u32,
+    step: u64,
+    kind_idx: usize,
+}
+
+impl ReqSpec {
+    fn request(&self) -> LlmRequest {
+        LlmRequest::new(
+            RequestId(self.id),
+            self.agent,
+            self.step,
+            100,
+            5,
+            CallKind::ALL[self.kind_idx],
+        )
+    }
+}
+
+fn arb_profile() -> impl Strategy<Value = LatencyProfile> {
+    proptest::collection::vec((0usize..CallKind::ALL.len(), 0u64..1_000_000), 1..64).prop_map(
+        |samples| {
+            let mut p = LatencyProfile::new("prop");
+            for (kind_idx, us) in samples {
+                p.push(CallKind::ALL[kind_idx], us);
+            }
+            p
+        },
+    )
+}
+
+fn arb_reqs(max: usize) -> impl Strategy<Value = Vec<ReqSpec>> {
+    proptest::collection::vec(
+        (
+            0u64..10_000,
+            0u32..256,
+            0u64..50,
+            0usize..CallKind::ALL.len(),
+        )
+            .prop_map(|(id, agent, step, kind_idx)| ReqSpec {
+                id,
+                agent,
+                step,
+                kind_idx,
+            }),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A fixed (profile, seed) pair fully determines every request's
+    /// latency — across backend instances and across call orders.
+    #[test]
+    fn replay_is_deterministic_under_fixed_seed(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        reqs in arb_reqs(32),
+    ) {
+        let a = ReplayBackend::unpaced(profile.clone(), seed);
+        let b = ReplayBackend::unpaced(profile, seed);
+        let forward: Vec<u64> =
+            reqs.iter().map(|r| a.planned_latency_us(&r.request())).collect();
+        // Same requests in reverse order against a fresh instance.
+        let mut backward: Vec<u64> =
+            reqs.iter().rev().map(|r| b.planned_latency_us(&r.request())).collect();
+        backward.reverse();
+        prop_assert_eq!(&forward, &backward, "latency must be order-independent");
+        // And identical when re-asked (no hidden per-call state).
+        for (r, &expected) in reqs.iter().zip(&forward) {
+            prop_assert_eq!(a.planned_latency_us(&r.request()), expected);
+        }
+    }
+
+    /// Every replayed latency is an actual sample of the profile, and
+    /// `call` accounts exactly the planned latencies.
+    #[test]
+    fn replayed_latencies_come_from_the_profile(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        reqs in arb_reqs(32),
+    ) {
+        let backend = ReplayBackend::unpaced(profile.clone(), seed);
+        let all: Vec<u64> = CallKind::ALL
+            .iter()
+            .flat_map(|&k| profile.samples_for(k).to_vec())
+            .collect();
+        let mut expected_total = 0u64;
+        for r in &reqs {
+            let req = r.request();
+            let lat = backend.planned_latency_us(&req);
+            let own = profile.samples_for(req.kind);
+            if own.is_empty() {
+                prop_assert!(all.contains(&lat), "pooled fallback sample");
+            } else {
+                prop_assert!(own.contains(&lat), "per-kind sample");
+            }
+            expected_total += lat;
+            backend.call(&req);
+        }
+        let m = backend.metrics();
+        prop_assert_eq!(m.calls, reqs.len() as u64);
+        prop_assert_eq!(m.replayed_us, expected_total);
+    }
+
+    /// Concurrent calls from many threads replay the same per-request
+    /// latencies as a serial run (the property the equivalence tests
+    /// lean on: thread interleaving never changes what is served).
+    #[test]
+    fn threading_does_not_change_latencies(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        reqs in arb_reqs(16),
+    ) {
+        let backend = std::sync::Arc::new(ReplayBackend::unpaced(profile, seed));
+        let serial: u64 = reqs
+            .iter()
+            .map(|r| backend.planned_latency_us(&r.request()))
+            .sum();
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|r| {
+                let backend = std::sync::Arc::clone(&backend);
+                let r = r.clone();
+                std::thread::spawn(move || backend.call(&r.request()))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("replay call thread");
+        }
+        prop_assert_eq!(backend.metrics().replayed_us, serial);
+    }
+
+    /// Profiles survive the AIMLAT codec byte-for-byte in behavior: a
+    /// reloaded profile drives a backend identically.
+    #[test]
+    fn codec_roundtrip_preserves_replay_behavior(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+        reqs in arb_reqs(16),
+    ) {
+        let mut buf = Vec::new();
+        profile.write_to(&mut buf).unwrap();
+        let reloaded = LatencyProfile::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(&profile, &reloaded);
+        let a = ReplayBackend::unpaced(profile, seed);
+        let b = ReplayBackend::unpaced(reloaded, seed);
+        for r in &reqs {
+            prop_assert_eq!(
+                a.planned_latency_us(&r.request()),
+                b.planned_latency_us(&r.request())
+            );
+        }
+    }
+}

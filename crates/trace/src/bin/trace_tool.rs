@@ -9,7 +9,12 @@
 //! trace_tool window out.trc 0 60 sliced.trc
 //! trace_tool replay out.trc --mode metropolis --gpus 4
 //! trace_tool replay out.trc --mode spec:4 --gpus 8 --preset l4
+//! trace_tool latency out.trc out.lat --preset l4 --gpus 2 --step-us 500000
 //! ```
+//!
+//! `latency` exports the serving-latency distribution the trace induces
+//! on a deployment as an `AIMLAT v1` profile, ready to be imported by
+//! `aim_llm::ReplayBackend` (e.g. as a fleet replica).
 
 use aim_trace::{codec, gen, stats, Trace};
 
@@ -19,7 +24,9 @@ fn usage() -> ! {
          [--start-hour H] [--hours H]\n  trace_tool info <file>\n  trace_tool stats <file>\n  \
          trace_tool hourly <file>\n  trace_tool window <file> <from-step> <len> <out.trc>\n  \
          trace_tool replay <file> [--mode single-thread|parallel-sync|metropolis|oracle|\
-         no-dependency|spec:<k>] [--gpus N] [--preset l4|a100|mixtral|game] [--no-priority]"
+         no-dependency|spec:<k>] [--gpus N] [--preset l4|a100|mixtral|game|tiny] [--no-priority]\n  \
+         trace_tool latency <file> <out.lat> [--preset l4|a100|mixtral|game|tiny] [--gpus N] \
+         [--step-us U] [--no-priority]"
     );
     std::process::exit(2);
 }
@@ -34,6 +41,19 @@ fn load(path: &str) -> Trace {
     }
 }
 
+/// The one preset table shared by `replay` and `latency`.
+fn parse_preset(name: &str) -> aim_llm::Preset {
+    use aim_llm::presets;
+    match name {
+        "l4" => presets::l4_llama3_8b(),
+        "a100" => presets::a100_tp4_llama3_70b(),
+        "mixtral" => presets::a100_tp2_mixtral_8x7b(),
+        "game" => presets::l4_game_server(),
+        "tiny" => presets::tiny_test(),
+        _ => usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -43,8 +63,59 @@ fn main() {
         Some("hourly") if args.len() == 2 => cmd_hourly(&load(&args[1])),
         Some("window") if args.len() == 5 => cmd_window(&args[1..]),
         Some("replay") if args.len() >= 2 => cmd_replay(&args[1..]),
+        Some("latency") if args.len() >= 3 => cmd_latency(&args[1..]),
         _ => usage(),
     }
+}
+
+fn cmd_latency(args: &[String]) {
+    use aim_llm::ServerConfig;
+    use aim_trace::latency;
+
+    let out = &args[1];
+    if out.starts_with('-') {
+        // A forgotten <out.lat> would otherwise silently create a file
+        // named after the next flag.
+        usage();
+    }
+    let trace = load(&args[0]);
+    let mut gpus = 1u32;
+    let mut preset_name = "l4".to_string();
+    let mut priority = true;
+    let mut step_us = 1_000_000u64;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--gpus" => {
+                gpus = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--step-us" => {
+                step_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--preset" => preset_name = it.next().cloned().unwrap_or_else(|| usage()),
+            "--no-priority" => priority = false,
+            _ => usage(),
+        }
+    }
+    let preset = parse_preset(&preset_name);
+    let replicas = preset.replicas_for_gpus(gpus);
+    let cfg = ServerConfig::from_preset(preset, replicas, priority);
+    let profile = latency::mine(&trace, cfg, step_us);
+    if let Err(e) = profile.save(out) {
+        eprintln!("error writing {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {} latency samples (mean {:.1} ms) to {out}",
+        profile.len(),
+        profile.mean_us() / 1e3
+    );
 }
 
 fn cmd_replay(args: &[String]) {
@@ -53,7 +124,7 @@ fn cmd_replay(args: &[String]) {
     use aim_core::prelude::*;
     use aim_core::spec::{run_spec_sim, SpecParams, SpecScheduler};
     use aim_core::workload::Workload;
-    use aim_llm::{presets, ServerConfig, SimServer};
+    use aim_llm::{ServerConfig, SimServer};
     use aim_store::Db;
     use std::sync::Arc;
 
@@ -77,13 +148,7 @@ fn cmd_replay(args: &[String]) {
             _ => usage(),
         }
     }
-    let preset = match preset_name.as_str() {
-        "l4" => presets::l4_llama3_8b(),
-        "a100" => presets::a100_tp4_llama3_70b(),
-        "mixtral" => presets::a100_tp2_mixtral_8x7b(),
-        "game" => presets::l4_game_server(),
-        _ => usage(),
-    };
+    let preset = parse_preset(&preset_name);
     let meta = trace.meta();
     let space = Arc::new(GridSpace::new(meta.map_width, meta.map_height));
     let params = RuleParams::new(meta.radius_p, meta.max_vel);

@@ -24,6 +24,9 @@
 //!   agent" statistic.
 //! * [`critical`] — token- and time-weighted critical paths (the
 //!   `critical` lower bound of §4.2).
+//! * [`latency`] — mining [`aim_llm::LatencyProfile`]s from traces so a
+//!   [`aim_llm::ReplayBackend`] (or a whole heterogeneous fleet replica)
+//!   can serve the latency distribution a reference deployment measured.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,6 +35,7 @@ pub mod codec;
 pub mod critical;
 mod format;
 pub mod gen;
+pub mod latency;
 pub mod oracle;
 pub mod serving;
 pub mod stats;

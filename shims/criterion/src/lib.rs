@@ -5,10 +5,29 @@
 //! macros, backed by a simple wall-clock harness: each benchmark is
 //! warmed up once, then timed over a fixed number of samples and the
 //! per-iteration median is printed as
-//! `bench <name> ... <time>`. No statistics, plots, or baselines — the
-//! goal is that `cargo bench` runs and prints comparable numbers.
+//! `bench <name> ... <time>`. No statistics or plots — the goal is that
+//! `cargo bench` runs and prints comparable numbers.
+//!
+//! # Baselines: `--json`
+//!
+//! Passing `--json` after `--` (`cargo bench -- --json`) additionally
+//! writes `BENCH_<target>.json` at the workspace root (the nearest
+//! ancestor directory holding a `Cargo.lock`), where `<target>` is the
+//! bench binary's name with cargo's trailing `-<hash>` stripped. The
+//! file maps every benchmark name to its median ns/iter:
+//!
+//! ```json
+//! { "bench": "fleet", "median_ns": { "fleet/route/round-robin/2": 65 } }
+//! ```
+//!
+//! The file is rewritten after each measurement, so even an interrupted
+//! run leaves a valid baseline of what completed. Committed baselines
+//! plus this output are what CHANGES.md bench-delta notes diff against.
 
+use std::collections::BTreeMap;
 use std::fmt::{self, Display};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -105,6 +124,80 @@ fn human(d: Duration) -> String {
 
 const DEFAULT_SAMPLES: usize = 10;
 
+/// The `--json` baseline file path and the bench target name it is
+/// named after, decided once per process (None = json mode off).
+fn json_sink() -> Option<&'static (PathBuf, String)> {
+    static SINK: OnceLock<Option<(PathBuf, String)>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        if !std::env::args().any(|a| a == "--json") {
+            return None;
+        }
+        let target = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .map(|s| strip_cargo_hash(&s).to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let root = workspace_root(&std::env::current_dir().unwrap_or_default());
+        Some((root.join(format!("BENCH_{target}.json")), target))
+    })
+    .as_ref()
+}
+
+/// Collected `name → median ns/iter` results of this process.
+static RESULTS: Mutex<BTreeMap<String, u128>> = Mutex::new(BTreeMap::new());
+
+/// Strips cargo's `-<16 hex digits>` binary-name suffix, if present.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name
+        }
+        _ => stem,
+    }
+}
+
+/// The nearest ancestor of `from` holding a `Cargo.lock` (the workspace
+/// root), or `from` itself when none is found.
+fn workspace_root(from: &Path) -> PathBuf {
+    let mut dir = from;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return from.to_path_buf(),
+        }
+    }
+}
+
+/// Renders the baseline JSON document (stable key order, minimal
+/// escaping — benchmark names are plain identifiers and `/`).
+fn render_json(target: &str, results: &BTreeMap<String, u128>) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = format!(
+        "{{\n  \"bench\": \"{}\",\n  \"median_ns\": {{\n",
+        esc(target)
+    );
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\": {ns}{sep}\n", esc(name)));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn record(name: &str, time: Duration) {
+    let Some((path, target)) = json_sink() else {
+        return;
+    };
+    let mut results = RESULTS.lock().expect("results poisoned");
+    results.insert(name.to_string(), time.as_nanos());
+    if let Err(e) = std::fs::write(path, render_json(target, &results)) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
+
 fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
         samples,
@@ -112,7 +205,10 @@ fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
     };
     f(&mut b);
     match b.last {
-        Some(t) => println!("bench {name:<40} {}", human(t)),
+        Some(t) => {
+            println!("bench {name:<40} {}", human(t));
+            record(name, t);
+        }
         None => println!("bench {name:<40} (no measurement)"),
     }
 }
@@ -124,7 +220,8 @@ pub struct Criterion {
 }
 
 impl Criterion {
-    /// Accepts CLI args for compatibility; they are ignored.
+    /// Accepts CLI args for compatibility. The only recognized flag is
+    /// `--json` (see the module docs); everything else is ignored.
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -245,5 +342,39 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn cargo_hash_suffix_is_stripped() {
+        assert_eq!(strip_cargo_hash("fleet-0123456789abcdef"), "fleet");
+        assert_eq!(strip_cargo_hash("fleet"), "fleet");
+        assert_eq!(strip_cargo_hash("round-robin"), "round-robin");
+        assert_eq!(
+            strip_cargo_hash("two-part-0123456789abcdef"),
+            "two-part",
+            "only the trailing hash goes"
+        );
+    }
+
+    #[test]
+    fn workspace_root_walks_up_to_cargo_lock() {
+        let dir = std::env::temp_dir().join("criterion-shim-root-test");
+        let nested = dir.join("a").join("b");
+        std::fs::create_dir_all(&nested).unwrap();
+        std::fs::write(dir.join("Cargo.lock"), "").unwrap();
+        assert_eq!(workspace_root(&nested), dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_sorted() {
+        let mut results = BTreeMap::new();
+        results.insert("g/b".to_string(), 20u128);
+        results.insert("g/a".to_string(), 10u128);
+        let json = render_json("smoke", &results);
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"smoke\",\n  \"median_ns\": {\n    \"g/a\": 10,\n    \"g/b\": 20\n  }\n}\n"
+        );
     }
 }

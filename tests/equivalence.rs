@@ -24,6 +24,26 @@ fn run_live(
     steps: u32,
     workers: usize,
 ) -> Village {
+    run_live_on(
+        policy,
+        seed,
+        agents,
+        start,
+        steps,
+        workers,
+        Arc::new(InstantBackend::new()),
+    )
+}
+
+fn run_live_on(
+    policy: DependencyPolicy,
+    seed: u64,
+    agents: u32,
+    start: u32,
+    steps: u32,
+    workers: usize,
+    backend: Arc<dyn LlmBackend>,
+) -> Village {
     let mut village = Village::generate(&VillageConfig {
         villes: 1,
         agents_per_ville: agents,
@@ -43,7 +63,6 @@ fn run_live(
         Step(steps),
     )
     .expect("scheduler");
-    let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
     run_threaded(
         &mut sched,
         Arc::clone(&program),
@@ -106,6 +125,55 @@ fn ooo_outcome_is_stable_across_worker_counts() {
     let a = run_live(DependencyPolicy::Spatiotemporal, 5, 12, start, 50, 2);
     let b = run_live(DependencyPolicy::Spatiotemporal, 5, 12, start, 50, 8);
     assert_worlds_equal(&a, &b);
+}
+
+#[test]
+fn heterogeneous_fleet_equals_lockstep_oracle() {
+    // The fleet layer must be invisible to the simulation outcome: a
+    // lock-step run on the instant backend is the oracle, and an
+    // out-of-order run whose calls are scattered across a *heterogeneous*
+    // fleet (a paced simulated engine + a latency-replay replica, behind
+    // each shipped policy) must land in the identical world state —
+    // routing and replica latencies reorder work, never observations.
+    use ai_metropolis::llm::{
+        presets, FleetConfig, LatencyProfile, ReplicaSpec, RoutePolicyKind, ServerConfig,
+    };
+
+    let start = clock_to_step(12, 0);
+    let oracle = run_live(DependencyPolicy::GlobalSync, 11, 12, start, 50, 4);
+    let mut profile = LatencyProfile::new("equivalence");
+    for i in 0..16u64 {
+        profile.push(ai_metropolis::llm::CallKind::Plan, 2_000 + i * 500);
+        profile.push(ai_metropolis::llm::CallKind::Converse, 1_000 + i * 300);
+    }
+    for policy in RoutePolicyKind::ALL {
+        let fleet = Arc::new(
+            FleetConfig::new("equiv", policy)
+                .with_replica(ReplicaSpec::sim(
+                    ServerConfig::from_preset(presets::tiny_test(), 1, true),
+                    500_000.0,
+                ))
+                .with_replica(
+                    ReplicaSpec::replay(profile.clone(), 3, Some(500_000.0)).interactive(),
+                )
+                .build(),
+        );
+        let ooo = run_live_on(
+            DependencyPolicy::Spatiotemporal,
+            11,
+            12,
+            start,
+            50,
+            8,
+            Arc::clone(&fleet) as Arc<dyn LlmBackend>,
+        );
+        assert_worlds_equal(&oracle, &ooo);
+        let m = fleet.metrics();
+        assert!(
+            m.total_served() > 0,
+            "{policy}: the run must have gone through the fleet"
+        );
+    }
 }
 
 #[test]
