@@ -8,7 +8,7 @@ use aim_core::prelude::*;
 use aim_core::space::{GridSpace, Point, Space};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn crowd(n: u32, clusters: u32) -> Vec<(AgentId, Point)> {
+fn crowd(n: u32, clusters: u32) -> Vec<(AgentId, Step, Point)> {
     // Agents concentrated around `clusters` hot spots, as at lunch time.
     (0..n)
         .map(|i| {
@@ -17,7 +17,7 @@ fn crowd(n: u32, clusters: u32) -> Vec<(AgentId, Point)> {
             let cy = (c as i32 / 10) * 120 + 50;
             let dx = (i as i32).wrapping_mul(2654435761u32 as i32).rem_euclid(17) - 8;
             let dy = (i as i32).wrapping_mul(40503).rem_euclid(17) - 8;
-            (AgentId(i), Point::new(cx + dx, cy + dy))
+            (AgentId(i), Step(0), Point::new(cx + dx, cy + dy))
         })
         .collect()
 }
@@ -26,7 +26,7 @@ fn bench_geo_cluster(c: &mut Criterion) {
     let space = GridSpace::new(4000, 4000);
     let params = RuleParams::genagent();
     let mut g = c.benchmark_group("clustering/geo_cluster");
-    for n in [25u32, 100, 500, 1000] {
+    for n in [25u32, 100, 500, 1000, 2000, 5000] {
         let agents = crowd(n, (n / 20).max(1));
         g.bench_with_input(BenchmarkId::from_parameter(n), &agents, |b, agents| {
             b.iter(|| black_box(geo_cluster(&space, params, Step(0), black_box(agents))));
@@ -38,10 +38,10 @@ fn bench_geo_cluster(c: &mut Criterion) {
 fn bench_pairs_within(c: &mut Criterion) {
     let space = GridSpace::new(4000, 4000);
     let mut g = c.benchmark_group("clustering/pairs_within");
-    for n in [100u32, 1000] {
+    for n in [100u32, 1000, 5000] {
         let pts: Vec<Point> = crowd(n, (n / 20).max(1))
             .into_iter()
-            .map(|(_, p)| p)
+            .map(|(_, _, p)| p)
             .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
             b.iter(|| black_box(space.pairs_within(black_box(pts), 5)));
@@ -50,5 +50,18 @@ fn bench_pairs_within(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_geo_cluster, bench_pairs_within);
+fn bench_calibration(c: &mut Criterion) {
+    // Machine-speed reference for bench_gate normalization (see
+    // `aim_bench::calibration_spin`).
+    c.bench_function("calibration/spin", |b| {
+        b.iter(|| black_box(aim_bench::calibration_spin()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_geo_cluster,
+    bench_pairs_within
+);
 criterion_main!(benches);

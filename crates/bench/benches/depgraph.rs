@@ -88,8 +88,17 @@ fn bench_coupled_neighbors(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_calibration(c: &mut Criterion) {
+    // Machine-speed reference for bench_gate normalization (see
+    // `aim_bench::calibration_spin`).
+    c.bench_function("calibration/spin", |b| {
+        b.iter(|| black_box(aim_bench::calibration_spin()))
+    });
+}
+
 criterion_group!(
     benches,
+    bench_calibration,
     bench_advance,
     bench_first_blocker,
     bench_coupled_neighbors

@@ -23,6 +23,16 @@ fn trace_25() -> aim_trace::Trace {
     })
 }
 
+fn trace_1000() -> aim_trace::Trace {
+    gen::generate(&gen::GenConfig {
+        villes: 40,
+        agents_per_ville: 25,
+        seed: 42,
+        window_start: clock_to_step(12, 0),
+        window_len: 60,
+    })
+}
+
 fn replay(trace: &aim_trace::Trace, policy: DependencyPolicy, priority: bool) -> f64 {
     let meta = trace.meta();
     let initial: Vec<Point> = (0..meta.num_agents)
@@ -57,6 +67,26 @@ fn bench_replay_policies(c: &mut Criterion) {
         ("parallel-sync", DependencyPolicy::GlobalSync),
         ("metropolis", DependencyPolicy::Spatiotemporal),
         ("oracle", DependencyPolicy::Oracle(oracle_graph)),
+        ("no-dependency", DependencyPolicy::NoDependency),
+    ];
+    for (name, policy) in arms {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            b.iter(|| black_box(replay(&trace, policy.clone(), true)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay_1000(c: &mut Criterion) {
+    // The scaling regime (OpenCity-style massive-agent worlds): the same
+    // 10-minute lunch window at 1000 agents across 40 villes. This is the
+    // bench the spatial index and incremental edge maintenance exist for —
+    // without them the dependency-tracking loop is quadratic in agents.
+    let trace = trace_1000();
+    let mut g = c.benchmark_group("scheduler/replay_10min_1000agents");
+    g.sample_size(10);
+    let arms: Vec<(&str, DependencyPolicy)> = vec![
+        ("metropolis", DependencyPolicy::Spatiotemporal),
         ("no-dependency", DependencyPolicy::NoDependency),
     ];
     for (name, policy) in arms {
@@ -112,9 +142,19 @@ fn bench_ready_clusters(c: &mut Criterion) {
     });
 }
 
+fn bench_calibration(c: &mut Criterion) {
+    // Machine-speed reference for bench_gate normalization (see
+    // `aim_bench::calibration_spin`).
+    c.bench_function("calibration/spin", |b| {
+        b.iter(|| black_box(aim_bench::calibration_spin()))
+    });
+}
+
 criterion_group!(
     benches,
+    bench_calibration,
     bench_replay_policies,
+    bench_replay_1000,
     bench_priority_ablation,
     bench_ready_clusters
 );

@@ -103,24 +103,41 @@ impl DisjointSets {
 
     /// Groups elements by representative, each group sorted ascending;
     /// groups ordered by their smallest element.
+    ///
+    /// One O(n) pass: scanning elements in ascending order both discovers
+    /// groups in smallest-member order and fills each group pre-sorted,
+    /// so no hashing or sorting is needed (the root→group mapping is a
+    /// dense scratch table indexed by representative).
     pub fn groups(&mut self) -> Vec<Vec<usize>> {
-        use std::collections::HashMap;
-        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
-        for i in 0..self.parent.len() {
+        let n = self.parent.len();
+        let mut slot: Vec<u32> = vec![u32::MAX; n];
+        let mut out: Vec<Vec<usize>> = Vec::with_capacity(self.sets);
+        for i in 0..n {
             let r = self.find(i);
-            by_root.entry(r).or_default().push(i);
+            let g = if slot[r] == u32::MAX {
+                slot[r] = out.len() as u32;
+                out.push(Vec::new());
+                out.len() - 1
+            } else {
+                slot[r] as usize
+            };
+            out[g].push(i);
         }
-        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
-        for g in &mut out {
-            g.sort_unstable();
-        }
-        out.sort_by_key(|g| g[0]);
         out
     }
 }
 
-/// Groups `agents` — all at step `step`, with their current positions —
-/// into clusters of transitively coupled agents.
+/// Groups `agents` — each given with its current step and position — into
+/// clusters of transitively coupled agents.
+///
+/// # Same-step contract
+///
+/// Coupling is only defined between agents at the **same** step (§3.2):
+/// mixing steps here would union agents the rules forbid from advancing
+/// together. Every input must therefore carry `step`; this precondition
+/// is *checked* (a `debug_assert!`), not assumed — callers gathering
+/// agents from a [`crate::depgraph::DepGraph`] pass the steps they
+/// already hold, and release builds pay nothing.
 ///
 /// Returns clusters as sorted member lists, ordered by smallest member id.
 /// This is the `geo_clustering` routine on line 8 of Algorithm 3.
@@ -128,11 +145,19 @@ pub fn geo_cluster<S: Space>(
     space: &S,
     params: RuleParams,
     step: Step,
-    agents: &[(AgentId, S::Pos)],
+    agents: &[(AgentId, Step, S::Pos)],
 ) -> Vec<Vec<AgentId>> {
-    let _ = step; // all inputs share the step by contract; kept for clarity
+    debug_assert!(
+        agents.iter().all(|(_, s, _)| *s == step),
+        "geo_cluster requires every agent at {step}; got {:?}",
+        agents
+            .iter()
+            .filter(|(_, s, _)| *s != step)
+            .map(|(a, s, _)| (*a, *s))
+            .collect::<Vec<_>>()
+    );
     let mut ds = DisjointSets::new(agents.len());
-    let pts: Vec<S::Pos> = agents.iter().map(|(_, p)| *p).collect();
+    let pts: Vec<S::Pos> = agents.iter().map(|(_, _, p)| *p).collect();
     for (i, j) in space.pairs_within(&pts, params.coupling_units()) {
         ds.union(i, j);
     }
@@ -177,8 +202,8 @@ mod tests {
         // apart.
         let g = GridSpace::new(100, 100);
         let p = RuleParams::genagent();
-        let agents: Vec<(AgentId, Point)> = (0..5)
-            .map(|i| (AgentId(i), Point::new(i as i32 * 5, 0)))
+        let agents: Vec<(AgentId, Step, Point)> = (0..5)
+            .map(|i| (AgentId(i), Step(0), Point::new(i as i32 * 5, 0)))
             .collect();
         let clusters = geo_cluster(&g, p, Step(0), &agents);
         assert_eq!(clusters.len(), 1);
@@ -190,11 +215,11 @@ mod tests {
         let g = GridSpace::new(200, 200);
         let p = RuleParams::genagent();
         let agents = vec![
-            (AgentId(0), Point::new(0, 0)),
-            (AgentId(1), Point::new(3, 0)),
-            (AgentId(2), Point::new(100, 100)),
-            (AgentId(3), Point::new(103, 100)),
-            (AgentId(4), Point::new(50, 50)),
+            (AgentId(0), Step(0), Point::new(0, 0)),
+            (AgentId(1), Step(0), Point::new(3, 0)),
+            (AgentId(2), Step(0), Point::new(100, 100)),
+            (AgentId(3), Step(0), Point::new(103, 100)),
+            (AgentId(4), Step(0), Point::new(50, 50)),
         ];
         let clusters = geo_cluster(&g, p, Step(0), &agents);
         assert_eq!(
@@ -212,7 +237,22 @@ mod tests {
         let g = GridSpace::new(10, 10);
         let p = RuleParams::genagent();
         assert!(geo_cluster::<GridSpace>(&g, p, Step(0), &[]).is_empty());
-        let one = vec![(AgentId(7), Point::new(1, 1))];
+        let one = vec![(AgentId(7), Step(0), Point::new(1, 1))];
         assert_eq!(geo_cluster(&g, p, Step(0), &one), vec![vec![AgentId(7)]]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn mixed_step_input_is_rejected() {
+        let g = GridSpace::new(10, 10);
+        let p = RuleParams::genagent();
+        let agents = vec![
+            (AgentId(0), Step(0), Point::new(0, 0)),
+            (AgentId(1), Step(1), Point::new(1, 0)),
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            geo_cluster(&g, p, Step(0), &agents)
+        }));
+        assert!(result.is_err(), "same-step contract must be enforced");
     }
 }

@@ -9,21 +9,40 @@
 //! transaction; an in-process mirror of the nodes answers the controller's
 //! queries (is an agent blocked? who couples with whom?) without round
 //! trips.
+//!
+//! # Incremental edge maintenance
+//!
+//! Blocked/coupled edges are **maintained**, not recomputed per query:
+//! when a commit (or rollback) moves a set of agents, only the edges
+//! *incident to those agents* are torn down and rebuilt, using the
+//! space's [`SpatialIndex`] to enumerate candidate neighbors instead of
+//! scanning the population. This is sound because an edge between two
+//! agents that both stayed put cannot change — positions are fixed and
+//! the blocking radius depends only on the pair's step gap — and, by the
+//! validity argument of §3.2 (Appendix A), an agent advancing can only
+//! *shed* edges it has to bystanders, never create one; every edge it
+//! gains is incident to it and therefore rebuilt here. Queries
+//! ([`DepGraph::first_blocker`], [`DepGraph::coupled_of`]) then serve
+//! from adjacency lists in O(degree) without allocating.
+//!
+//! The node table in the store remains the authoritative state; adjacency
+//! is a derived cache that [`DepGraph::recover`] rebuilds from scratch,
+//! which the property tests exploit to cross-check the incremental
+//! maintenance against a full rebuild after every operation.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 
-use aim_store::{codec, Db, StoreError};
+use aim_store::{codec, Db, Key, StoreError};
 
 use crate::ids::{AgentId, Step};
 use crate::rules::{self, RuleParams};
-use crate::space::Space;
+use crate::space::{Space, SpatialIndex};
 
-fn agent_key(a: AgentId) -> String {
-    format!("dep:agent:{:08}", a.0)
-}
+/// Namespace tag of the per-agent node records (`Key::tagged_u32`).
+const AGENT_TAG: [u8; 4] = *b"dagt";
 
 /// A dump of the graph for visualization (paper Fig. 3) and debugging.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,12 +61,45 @@ struct Node<P> {
     step: Step,
 }
 
-/// Store-backed node table plus rule-driven edge queries.
+/// Whether a [`DepGraph`] maintains the derived blocked/coupled edges.
 ///
-/// `DepGraph` deliberately stores only *nodes*; blocked/coupled edges are
-/// recomputed from the rules on demand. This keeps the database writes per
-/// cluster advancement O(cluster size) — the paper's workers do exactly
-/// this re-examination inside a transaction when they commit a cluster.
+/// Edge maintenance costs a little work on every commit; policies that
+/// never ask edge questions (global-sync, no-dependency, oracle — they
+/// schedule without consulting the spatiotemporal rules) run with
+/// [`EdgeMode::Off`] so the ablation arms do not pay for machinery only
+/// the metropolis policy uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeMode {
+    /// Keep blocked/coupled adjacency up to date incrementally on every
+    /// advance/rollback. Edge queries are O(degree).
+    Maintained,
+    /// Skip edge maintenance entirely. Edge queries
+    /// ([`DepGraph::first_blocker`], [`DepGraph::coupled_of`],
+    /// [`DepGraph::blockers_of`], [`DepGraph::snapshot`]) panic.
+    Off,
+}
+
+/// The derived-edge state of a [`DepGraph`] in [`EdgeMode::Maintained`].
+struct Edges<S: Space> {
+    /// Dynamic neighborhood index, when the space provides one.
+    index: Option<Box<dyn SpatialIndex<S::Pos>>>,
+    /// Same-step coupling partners per agent, ascending by id.
+    coupled: Vec<Vec<AgentId>>,
+    /// Agents currently blocking each agent, ascending by id.
+    blockers: Vec<Vec<AgentId>>,
+    /// Reverse of `blockers`: agents each agent currently blocks.
+    blockees: Vec<Vec<AgentId>>,
+    /// Reused candidate buffer for index queries.
+    scratch: Vec<u32>,
+}
+
+/// Store-backed node table plus incrementally maintained rule edges.
+///
+/// The store holds only *nodes* (database writes per cluster advancement
+/// stay O(cluster size), as in the paper's worker transactions); the
+/// in-process mirror additionally maintains the derived blocked/coupled
+/// adjacency so controller queries are O(degree) — see the
+/// [module docs](self) for the maintenance invariant.
 pub struct DepGraph<S: Space> {
     space: Arc<S>,
     params: RuleParams,
@@ -55,6 +107,13 @@ pub struct DepGraph<S: Space> {
     nodes: Vec<Node<S::Pos>>,
     /// `(step, agent)` ordered index for lagging-agent scans.
     step_index: BTreeSet<(u32, u32)>,
+    /// Interned store key per agent record (allocation-free write path).
+    keys: Vec<Key>,
+    commits_key: Key,
+    /// Maintained edge state, present in [`EdgeMode::Maintained`].
+    edges: Option<Edges<S>>,
+    /// Reused `(agent, encoded record)` buffer for transactions.
+    records: Vec<(u32, Bytes)>,
 }
 
 impl<S: Space> std::fmt::Debug for DepGraph<S> {
@@ -80,6 +139,22 @@ impl<S: Space> DepGraph<S> {
         db: Arc<Db>,
         initial: &[S::Pos],
     ) -> Result<Self, StoreError> {
+        Self::new_with_mode(space, params, db, initial, EdgeMode::Maintained)
+    }
+
+    /// [`DepGraph::new`] with explicit control over edge maintenance (see
+    /// [`EdgeMode`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors from the initial population transaction.
+    pub fn new_with_mode(
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        initial: &[S::Pos],
+        mode: EdgeMode,
+    ) -> Result<Self, StoreError> {
         let nodes: Vec<Node<S::Pos>> = initial
             .iter()
             .map(|p| Node {
@@ -87,22 +162,201 @@ impl<S: Space> DepGraph<S> {
                 step: Step::ZERO,
             })
             .collect();
-        let step_index = (0..nodes.len() as u32).map(|a| (0u32, a)).collect();
-        let graph = DepGraph {
-            space,
-            params,
-            db,
-            nodes,
-            step_index,
-        };
+        let graph = Self::assemble(space, params, db, nodes, mode);
         graph.db.transaction(|txn| {
             for (i, node) in graph.nodes.iter().enumerate() {
-                txn.set(agent_key(AgentId(i as u32)), graph.encode_node(node));
+                txn.set_key(&graph.keys[i], graph.encode_node(node));
             }
             txn.set_i64("dep:commits", 0);
             Ok(())
         })?;
         Ok(graph)
+    }
+
+    /// Builds the full in-process mirror (step index, spatial index,
+    /// adjacency) around an already-decided node table.
+    fn assemble(
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        nodes: Vec<Node<S::Pos>>,
+        mode: EdgeMode,
+    ) -> Self {
+        let n = nodes.len();
+        let step_index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.step.0, i as u32))
+            .collect();
+        let keys = (0..n as u32)
+            .map(|a| Key::tagged_u32(AGENT_TAG, a))
+            .collect();
+        let edges = match mode {
+            EdgeMode::Off => None,
+            EdgeMode::Maintained => {
+                let mut index = space.make_index(params.coupling_units());
+                if let Some(idx) = index.as_mut() {
+                    for (i, node) in nodes.iter().enumerate() {
+                        idx.insert(i as u32, node.pos);
+                    }
+                }
+                Some(Edges {
+                    index,
+                    coupled: vec![Vec::new(); n],
+                    blockers: vec![Vec::new(); n],
+                    blockees: vec![Vec::new(); n],
+                    scratch: Vec::new(),
+                })
+            }
+        };
+        let mut graph = DepGraph {
+            space,
+            params,
+            db,
+            nodes,
+            step_index,
+            keys,
+            commits_key: Key::new("dep:commits"),
+            edges,
+            records: Vec::new(),
+        };
+        graph.rebuild_edges();
+        graph
+    }
+
+    /// The edge maintenance mode in force.
+    pub fn edge_mode(&self) -> EdgeMode {
+        if self.edges.is_some() {
+            EdgeMode::Maintained
+        } else {
+            EdgeMode::Off
+        }
+    }
+
+    fn edges(&self) -> &Edges<S> {
+        self.edges
+            .as_ref()
+            .expect("edge queries require EdgeMode::Maintained")
+    }
+
+    /// Recomputes every blocked/coupled edge from scratch (initialisation
+    /// and recovery; steady-state maintenance is incremental).
+    fn rebuild_edges(&mut self) {
+        let Some(edges) = self.edges.as_mut() else {
+            return;
+        };
+        for list in edges
+            .coupled
+            .iter_mut()
+            .chain(edges.blockers.iter_mut())
+            .chain(edges.blockees.iter_mut())
+        {
+            list.clear();
+        }
+        for a in 0..self.nodes.len() as u32 {
+            self.relink(AgentId(a), true);
+        }
+    }
+
+    /// The widest rule radius relevant to `a` right now: the blocking
+    /// threshold at `a`'s largest possible step gap (which also covers the
+    /// coupling threshold, `blocking_units(0)`).
+    fn query_units(&self, step: Step) -> u64 {
+        let lo = self.min_step().0;
+        let hi = self.max_step().0;
+        let gap = (step.0 - lo.min(step.0)).max(hi.max(step.0) - step.0);
+        self.params.blocking_units(gap)
+    }
+
+    /// Rebuilds the edges incident to `a` from its current node state.
+    ///
+    /// With `forward_only`, only neighbors with a larger id are linked —
+    /// used by [`DepGraph::rebuild_edges`], where every agent is visited
+    /// and each unordered pair must be linked exactly once. Incremental
+    /// callers pass `false` (and detach `a` first). No-op in
+    /// [`EdgeMode::Off`].
+    fn relink(&mut self, a: AgentId, forward_only: bool) {
+        let Some(mut edges) = self.edges.take() else {
+            return;
+        };
+        let node = self.nodes[a.index()];
+        let units = self.query_units(node.step);
+        edges.scratch.clear();
+        let mut scratch = std::mem::take(&mut edges.scratch);
+        let candidates: &[u32] = match edges.index.as_ref() {
+            Some(idx) => {
+                idx.query(node.pos, units, &mut scratch);
+                &scratch
+            }
+            None => {
+                scratch.extend(0..self.nodes.len() as u32);
+                &scratch
+            }
+        };
+        for &c in candidates {
+            if c == a.0 || (forward_only && c < a.0) {
+                continue;
+            }
+            let b = AgentId(c);
+            let other = self.nodes[b.index()];
+            if other.step == node.step {
+                if self
+                    .space
+                    .within_units(node.pos, other.pos, self.params.coupling_units())
+                {
+                    insert_sorted(&mut edges.coupled[a.index()], b);
+                    insert_sorted(&mut edges.coupled[b.index()], a);
+                }
+            } else {
+                // The lower-step agent blocks the higher-step one inside
+                // the gap-widened radius.
+                let (lo, hi) = if node.step < other.step {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let gap = node.step.abs_diff(other.step);
+                if self
+                    .space
+                    .within_units(node.pos, other.pos, self.params.blocking_units(gap))
+                {
+                    insert_sorted(&mut edges.blockers[hi.index()], lo);
+                    insert_sorted(&mut edges.blockees[lo.index()], hi);
+                }
+            }
+        }
+        edges.scratch = scratch;
+        self.edges = Some(edges);
+    }
+
+    /// Applies one committed `(step, pos)` mirror update and tears down the
+    /// agent's incident edges; callers [`DepGraph::relink`] every updated
+    /// agent once the whole batch's node states are in place.
+    fn apply_node(&mut self, a: AgentId, step: Step, pos: S::Pos) {
+        let node = &mut self.nodes[a.index()];
+        let was = (node.step.0, a.0);
+        let removed = self.step_index.remove(&was);
+        debug_assert!(removed, "agent {a} missing from step index");
+        if let Some(edges) = self.edges.as_mut() {
+            if let Some(idx) = edges.index.as_mut() {
+                idx.update(a.0, node.pos, pos);
+            }
+        }
+        node.step = step;
+        node.pos = pos;
+        self.step_index.insert((step.0, a.0));
+        // Detach every edge incident to `a` (both directions).
+        if let Some(edges) = self.edges.as_mut() {
+            for b in std::mem::take(&mut edges.coupled[a.index()]) {
+                remove_sorted(&mut edges.coupled[b.index()], a);
+            }
+            for b in std::mem::take(&mut edges.blockers[a.index()]) {
+                remove_sorted(&mut edges.blockees[b.index()], a);
+            }
+            for b in std::mem::take(&mut edges.blockees[a.index()]) {
+                remove_sorted(&mut edges.blockers[b.index()], a);
+            }
+        }
     }
 
     /// Rebuilds the in-memory mirror from the database — demonstrates that
@@ -120,32 +374,27 @@ impl<S: Space> DepGraph<S> {
         let mut nodes = Vec::with_capacity(num_agents);
         for i in 0..num_agents {
             let raw = db
-                .get(agent_key(AgentId(i as u32)))
+                .get(Key::tagged_u32(AGENT_TAG, i as u32))
                 .ok_or_else(|| StoreError::Codec(format!("missing record for agent {i}")))?;
-            let mut rd = Bytes::from(raw);
+            let mut rd = raw;
             let step = Step(codec::get_u32(&mut rd)?);
             let pos = space.decode_pos(&mut rd)?;
             nodes.push(Node { pos, step });
         }
-        let step_index = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.step.0, i as u32))
-            .collect();
-        Ok(DepGraph {
+        Ok(Self::assemble(
             space,
             params,
             db,
             nodes,
-            step_index,
-        })
+            EdgeMode::Maintained,
+        ))
     }
 
-    fn encode_node(&self, node: &Node<S::Pos>) -> Vec<u8> {
+    fn encode_node(&self, node: &Node<S::Pos>) -> Bytes {
         let mut buf = BytesMut::new();
         codec::put_u32(&mut buf, node.step.0);
         self.space.encode_pos(node.pos, &mut buf);
-        buf.to_vec()
+        buf.freeze()
     }
 
     /// Number of agents.
@@ -192,6 +441,16 @@ impl<S: Space> DepGraph<S> {
             .unwrap_or(Step::ZERO)
     }
 
+    /// The highest step any agent is at; `max_step() - min_step()` is the
+    /// current step skew, O(log n) from the step index.
+    pub fn max_step(&self) -> Step {
+        self.step_index
+            .iter()
+            .next_back()
+            .map(|(s, _)| Step(*s))
+            .unwrap_or(Step::ZERO)
+    }
+
     /// Advances every `(agent, new_position)` in `updates` by one step, as
     /// a single store transaction (the paper's worker-side graph update).
     ///
@@ -204,34 +463,49 @@ impl<S: Space> DepGraph<S> {
     ///
     /// Panics if an agent id is out of range.
     pub fn advance(&mut self, updates: &[(AgentId, S::Pos)]) -> Result<(), StoreError> {
-        // Compute the records outside the closure: retries must be
-        // idempotent and the mirror untouched until commit.
-        let records: Vec<(String, Vec<u8>)> = updates
-            .iter()
-            .map(|(a, pos)| {
-                let node = Node {
-                    pos: *pos,
-                    step: self.nodes[a.index()].step.next(),
-                };
-                (agent_key(*a), self.encode_node(&node))
+        // Encode the records outside the closure: retries must be
+        // idempotent and the mirror untouched until commit. The buffer,
+        // keys, and values are all reused/refcounted — the loop allocates
+        // once per record for the encoded value and nothing else.
+        let mut records = std::mem::take(&mut self.records);
+        records.clear();
+        records.extend(updates.iter().map(|(a, pos)| {
+            let node = Node {
+                pos: *pos,
+                step: self.nodes[a.index()].step.next(),
+            };
+            (a.0, self.encode_node(&node))
+        }));
+        let result = {
+            let keys = &self.keys;
+            let commits_key = &self.commits_key;
+            self.db.transaction(|txn| {
+                for (a, value) in &records {
+                    txn.set_key(&keys[*a as usize], value.clone());
+                }
+                let commits = txn
+                    .get_key(commits_key)
+                    .map(|v| {
+                        v.as_ref()
+                            .try_into()
+                            .map(i64::from_be_bytes)
+                            .map_err(|_| StoreError::Codec("bad commit counter".into()))
+                    })
+                    .transpose()?
+                    .unwrap_or(0);
+                txn.set_key(commits_key, (commits + 1).to_be_bytes().to_vec());
+                Ok(())
             })
-            .collect();
-        self.db.transaction(|txn| {
-            for (key, value) in &records {
-                txn.set(key, value.clone());
-            }
-            let commits = txn.get_i64("dep:commits")?;
-            txn.set_i64("dep:commits", commits + 1);
-            Ok(())
-        })?;
-        for (a, pos) in updates {
-            let node = &mut self.nodes[a.index()];
-            let was = (node.step.0, a.0);
-            let removed = self.step_index.remove(&was);
-            debug_assert!(removed, "agent {a} missing from step index");
-            node.step = node.step.next();
-            node.pos = *pos;
-            self.step_index.insert((node.step.0, a.0));
+        };
+        records.clear();
+        self.records = records;
+        result?;
+        for &(a, pos) in updates {
+            let next = self.nodes[a.index()].step.next();
+            self.apply_node(a, next, pos);
+        }
+        for &(a, _) in updates {
+            self.relink(a, false);
         }
         Ok(())
     }
@@ -253,37 +527,39 @@ impl<S: Space> DepGraph<S> {
     /// Panics if an agent id is out of range or a target step is *ahead*
     /// of the agent's current step (rollback must rewind, not advance).
     pub fn rollback(&mut self, updates: &[(AgentId, Step, S::Pos)]) -> Result<(), StoreError> {
-        let records: Vec<(String, Vec<u8>)> = updates
-            .iter()
-            .map(|(a, step, pos)| {
-                assert!(
-                    *step <= self.nodes[a.index()].step,
-                    "rollback of {a} to {step} is ahead of current {}",
-                    self.nodes[a.index()].step
-                );
-                (
-                    agent_key(*a),
-                    self.encode_node(&Node {
-                        pos: *pos,
-                        step: *step,
-                    }),
-                )
+        let mut records = std::mem::take(&mut self.records);
+        records.clear();
+        records.extend(updates.iter().map(|(a, step, pos)| {
+            assert!(
+                *step <= self.nodes[a.index()].step,
+                "rollback of {a} to {step} is ahead of current {}",
+                self.nodes[a.index()].step
+            );
+            (
+                a.0,
+                self.encode_node(&Node {
+                    pos: *pos,
+                    step: *step,
+                }),
+            )
+        }));
+        let result = {
+            let keys = &self.keys;
+            self.db.transaction(|txn| {
+                for (a, value) in &records {
+                    txn.set_key(&keys[*a as usize], value.clone());
+                }
+                Ok(())
             })
-            .collect();
-        self.db.transaction(|txn| {
-            for (key, value) in &records {
-                txn.set(key, value.clone());
-            }
-            Ok(())
-        })?;
-        for (a, step, pos) in updates {
-            let node = &mut self.nodes[a.index()];
-            let was = (node.step.0, a.0);
-            let removed = self.step_index.remove(&was);
-            debug_assert!(removed, "agent {a} missing from step index");
-            node.step = *step;
-            node.pos = *pos;
-            self.step_index.insert((node.step.0, a.0));
+        };
+        records.clear();
+        self.records = records;
+        result?;
+        for &(a, step, pos) in updates {
+            self.apply_node(a, step, pos);
+        }
+        for &(a, _, _) in updates {
+            self.relink(a, false);
         }
         Ok(())
     }
@@ -298,56 +574,34 @@ impl<S: Space> DepGraph<S> {
 
     /// First agent (in `(step, id)` order) that blocks `a`, if any.
     ///
-    /// Scans agents at strictly lower steps, nearest step first, applying
-    /// the blocking rule with its gap-dependent radius. `None` means `a`'s
-    /// cluster may advance as far as `a` is concerned.
+    /// Served from the maintained adjacency in O(blocker count), without
+    /// allocating. `None` means `a`'s cluster may advance as far as `a`
+    /// is concerned.
     pub fn first_blocker(&self, a: AgentId) -> Option<AgentId> {
-        let node = &self.nodes[a.index()];
-        let sa = node.step.0;
-        for &(sb, b) in self.step_index.range(..(sa, 0u32)) {
-            let delta = sa - sb;
-            let units = self.params.blocking_units(delta);
-            if self
-                .space
-                .within_units(node.pos, self.nodes[b as usize].pos, units)
-            {
-                return Some(AgentId(b));
-            }
-        }
-        None
+        self.edges().blockers[a.index()]
+            .iter()
+            .copied()
+            .min_by_key(|b| (self.nodes[b.index()].step.0, b.0))
     }
 
-    /// All agents that block `a` (diagnostics; the scheduler uses
-    /// [`DepGraph::first_blocker`]).
+    /// All agents that block `a`, in `(step, id)` order (diagnostics; the
+    /// scheduler uses [`DepGraph::first_blocker`]).
     pub fn blockers_of(&self, a: AgentId) -> Vec<AgentId> {
-        let node = &self.nodes[a.index()];
-        let sa = node.step.0;
-        self.step_index
-            .range(..(sa, 0u32))
-            .filter(|&&(sb, b)| {
-                let units = self.params.blocking_units(sa - sb);
-                self.space
-                    .within_units(node.pos, self.nodes[b as usize].pos, units)
-            })
-            .map(|&(_, b)| AgentId(b))
-            .collect()
+        let mut out = self.edges().blockers[a.index()].clone();
+        out.sort_unstable_by_key(|b| (self.nodes[b.index()].step.0, b.0));
+        out
     }
 
     /// Agents at the same step as `a` within the coupling radius
-    /// (excluding `a`).
+    /// (excluding `a`), ascending by id — the maintained adjacency slice,
+    /// no allocation.
+    pub fn coupled_of(&self, a: AgentId) -> &[AgentId] {
+        &self.edges().coupled[a.index()]
+    }
+
+    /// Allocating convenience form of [`DepGraph::coupled_of`].
     pub fn coupled_neighbors(&self, a: AgentId) -> Vec<AgentId> {
-        let node = &self.nodes[a.index()];
-        let s = node.step.0;
-        let units = self.params.coupling_units();
-        self.step_index
-            .range((s, 0u32)..(s + 1, 0u32))
-            .filter(|&&(_, b)| b != a.0)
-            .filter(|&&(_, b)| {
-                self.space
-                    .within_units(node.pos, self.nodes[b as usize].pos, units)
-            })
-            .map(|&(_, b)| AgentId(b))
-            .collect()
+        self.coupled_of(a).to_vec()
     }
 
     /// Agents whose current step is `<= step`, in `(step, id)` order —
@@ -383,7 +637,9 @@ impl<S: Space> DepGraph<S> {
         }
     }
 
-    /// Dumps nodes and derived edges (O(n²)) for visualization.
+    /// Dumps nodes and the maintained edges (O(n + edges)) for
+    /// visualization and for cross-checking incremental maintenance
+    /// against a from-scratch rebuild.
     pub fn snapshot(&self) -> GraphSnapshot {
         let mut blocked = Vec::new();
         let mut coupled = Vec::new();
@@ -408,6 +664,22 @@ impl<S: Space> DepGraph<S> {
             blocked,
             coupled,
         }
+    }
+}
+
+/// Inserts `x` into an id-sorted adjacency list, keeping it sorted;
+/// idempotent (re-linking an existing edge is a no-op), which lets a batch
+/// update relink both endpoints of an intra-batch edge safely.
+fn insert_sorted(list: &mut Vec<AgentId>, x: AgentId) {
+    if let Err(at) = list.binary_search(&x) {
+        list.insert(at, x);
+    }
+}
+
+/// Removes `x` from an id-sorted adjacency list if present.
+fn remove_sorted(list: &mut Vec<AgentId>, x: AgentId) {
+    if let Ok(at) = list.binary_search(&x) {
+        list.remove(at);
     }
 }
 

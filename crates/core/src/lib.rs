@@ -30,6 +30,18 @@
 //! [`spec`] (the §6 future-work design: speculative execution with race
 //! detection and rollback), and [`engine`] (a one-stop facade).
 //!
+//! # Scaling past 1k agents
+//!
+//! The dependency-tracking loop stays sub-quadratic through two
+//! structures documented in their modules: the uniform-grid spatial
+//! index of [`space`] (`pairs_within` over sorted cell keys plus the
+//! dynamic [`space::SpatialIndex`]) and the incremental blocked/coupled
+//! edge maintenance of [`depgraph`] (only edges incident to agents that
+//! moved are repaired per commit; queries serve from adjacency without
+//! allocating). Both preserve *exactness* — every index candidate is
+//! re-checked with [`space::Space::within_units`], so spatial indexing
+//! can never flip a scheduling decision, only make it cheaper.
+//!
 //! # Quick start
 //!
 //! ```

@@ -13,7 +13,7 @@
 //! neighborhood instead of rescanning the world — the scoreboard analogy
 //! of the paper's out-of-order execution.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use aim_store::{Db, StoreError};
@@ -103,12 +103,19 @@ pub struct Scheduler<S: Space> {
     state: Vec<AgentState>,
     /// `(step, agent)` entries needing readiness evaluation.
     dirty: BTreeSet<(u32, u32)>,
-    /// blocker agent → agents to re-dirty when it advances.
-    watchers: HashMap<u32, Vec<u32>>,
-    inflight: HashMap<ClusterId, Cluster>,
+    /// blocker agent → agents to re-dirty when it advances (dense, one
+    /// slot per agent — ids index directly, no hashing).
+    watchers: Vec<Vec<u32>>,
+    inflight: std::collections::HashMap<ClusterId, Cluster>,
     next_cluster: u64,
     finished: usize,
     stats: SchedStats,
+    /// Cluster-growth scratch: `stamp[a] == epoch` marks `a` as already
+    /// collected into the cluster being grown (reset-free visited set).
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Reused BFS frontier for cluster growth.
+    frontier: Vec<AgentId>,
 }
 
 impl<S: Space> std::fmt::Debug for Scheduler<S> {
@@ -124,6 +131,14 @@ impl<S: Space> std::fmt::Debug for Scheduler<S> {
 
 impl<S: Space> Scheduler<S> {
     /// Creates a scheduler with all agents at step 0.
+    ///
+    /// Only the spatiotemporal policy needs the graph's derived
+    /// blocked/coupled edges, so for every other policy the underlying
+    /// [`DepGraph`] is built with
+    /// [`EdgeMode::Off`](crate::depgraph::EdgeMode) and **edge queries on
+    /// [`Scheduler::graph`] panic** (node queries — positions, steps,
+    /// `validate` — always work). Build a standalone [`DepGraph`] if you
+    /// need edge introspection alongside an ablation policy.
     ///
     /// # Errors
     ///
@@ -142,7 +157,14 @@ impl<S: Space> Scheduler<S> {
     ) -> Result<Self, StoreError> {
         assert!(!initial.is_empty(), "at least one agent is required");
         assert!(target_step > Step::ZERO, "target_step must be positive");
-        let graph = DepGraph::new(space, params, db, initial)?;
+        // Only the spatiotemporal policy consults the graph's derived
+        // edges; the ablation policies schedule without them and skip the
+        // per-commit maintenance cost.
+        let mode = match policy {
+            DependencyPolicy::Spatiotemporal => crate::depgraph::EdgeMode::Maintained,
+            _ => crate::depgraph::EdgeMode::Off,
+        };
+        let graph = DepGraph::new_with_mode(space, params, db, initial, mode)?;
         let n = initial.len();
         Ok(Scheduler {
             graph,
@@ -150,15 +172,22 @@ impl<S: Space> Scheduler<S> {
             target_step,
             state: vec![AgentState::Waiting; n],
             dirty: (0..n as u32).map(|a| (0u32, a)).collect(),
-            watchers: HashMap::new(),
-            inflight: HashMap::new(),
+            watchers: vec![Vec::new(); n],
+            inflight: std::collections::HashMap::new(),
             next_cluster: 0,
             finished: 0,
             stats: SchedStats::default(),
+            stamp: vec![0; n],
+            epoch: 0,
+            frontier: Vec::new(),
         })
     }
 
     /// The dependency graph (positions, steps, edge queries).
+    ///
+    /// Edge queries (`first_blocker`, `coupled_of`, `blockers_of`,
+    /// `snapshot`) are only available under
+    /// [`DependencyPolicy::Spatiotemporal`] — see [`Scheduler::new`].
     pub fn graph(&self) -> &DepGraph<S> {
         &self.graph
     }
@@ -246,12 +275,10 @@ impl<S: Space> Scheduler<S> {
                 self.dirty.insert((step.0, a.0));
             }
             // Wake agents that were blocked on this member.
-            if let Some(watchers) = self.watchers.remove(&a.0) {
-                for w in watchers {
-                    if self.state[w as usize] == AgentState::Waiting {
-                        self.stats.watcher_wakes += 1;
-                        self.dirty.insert((self.graph.step(AgentId(w)).0, w));
-                    }
+            for w in std::mem::take(&mut self.watchers[a.index()]) {
+                if self.state[w as usize] == AgentState::Waiting {
+                    self.stats.watcher_wakes += 1;
+                    self.dirty.insert((self.graph.step(AgentId(w)).0, w));
                 }
             }
         }
@@ -260,16 +287,10 @@ impl<S: Space> Scheduler<S> {
         Ok(())
     }
 
-    /// Current step skew: max step − min step over all agents.
+    /// Current step skew: max step − min step over all agents, read from
+    /// the graph's step index in O(log n).
     pub fn current_skew(&self) -> u32 {
-        let mut min = u32::MAX;
-        let mut max = 0u32;
-        for a in 0..self.state.len() {
-            let s = self.graph.step(AgentId(a as u32)).0;
-            min = min.min(s);
-            max = max.max(s);
-        }
-        max - min
+        self.graph.max_step().0 - self.graph.min_step().0
     }
 
     fn emit(&mut self, step: Step, members: Vec<AgentId>) -> Cluster {
@@ -356,15 +377,23 @@ impl<S: Space> Scheduler<S> {
                 continue; // stale entry
             }
             // Grow the coupled cluster from `a` over waiting same-step
-            // agents (transitive closure of the coupling relation).
+            // agents (transitive closure of the coupling relation). The
+            // coupling edges come straight off the graph's maintained
+            // adjacency; the visited set is an epoch stamp, so the whole
+            // growth allocates nothing beyond the emitted member list.
+            self.epoch += 1;
+            self.stamp[a as usize] = self.epoch;
             let mut members = vec![AgentId(a)];
-            let mut seen: BTreeSet<u32> = BTreeSet::from([a]);
-            let mut frontier = vec![AgentId(a)];
-            while let Some(x) = frontier.pop() {
-                for nb in self.graph.coupled_neighbors(x) {
-                    if self.state[nb.index()] == AgentState::Waiting && seen.insert(nb.0) {
+            self.frontier.clear();
+            self.frontier.push(AgentId(a));
+            while let Some(x) = self.frontier.pop() {
+                for &nb in self.graph.coupled_of(x) {
+                    if self.state[nb.index()] == AgentState::Waiting
+                        && self.stamp[nb.index()] != self.epoch
+                    {
+                        self.stamp[nb.index()] = self.epoch;
                         members.push(nb);
-                        frontier.push(nb);
+                        self.frontier.push(nb);
                     }
                 }
             }
@@ -381,7 +410,7 @@ impl<S: Space> Scheduler<S> {
             match blocker {
                 Some(b) => {
                     self.stats.blocked_evals += 1;
-                    let list = self.watchers.entry(b.0).or_default();
+                    let list = &mut self.watchers[b.index()];
                     for m in &members {
                         if !list.contains(&m.0) {
                             list.push(m.0);

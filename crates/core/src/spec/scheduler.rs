@@ -228,14 +228,7 @@ impl<S: Space> SpecScheduler<S> {
 
     /// Current step skew: max step − min step over all agents.
     pub fn current_skew(&self) -> u32 {
-        let mut min = u32::MAX;
-        let mut max = 0u32;
-        for a in 0..self.state.len() {
-            let s = self.graph.step(AgentId(a as u32)).0;
-            min = min.min(s);
-            max = max.max(s);
-        }
-        max - min
+        self.graph.max_step().0 - self.graph.min_step().0
     }
 
     fn space(&self) -> &S {
@@ -257,12 +250,13 @@ impl<S: Space> SpecScheduler<S> {
             if self.state[a as usize] != AgentState::Waiting || self.graph.step(AgentId(a)).0 != s {
                 continue; // stale entry
             }
-            // Grow the coupled cluster over waiting same-step agents.
+            // Grow the coupled cluster over waiting same-step agents,
+            // straight off the graph's maintained coupling adjacency.
             let mut members = vec![AgentId(a)];
             let mut seen: BTreeSet<u32> = BTreeSet::from([a]);
             let mut frontier = vec![AgentId(a)];
             while let Some(x) = frontier.pop() {
-                for nb in self.graph.coupled_neighbors(x) {
+                for &nb in self.graph.coupled_of(x) {
                     if self.state[nb.index()] == AgentState::Waiting && seen.insert(nb.0) {
                         members.push(nb);
                         frontier.push(nb);

@@ -1,0 +1,142 @@
+//! Property tests for incremental dependency-graph maintenance: a
+//! [`DepGraph`] driven by arbitrary advance/rollback sequences must look
+//! **identical** — nodes, blocked edges, coupled edges — to (a) a graph
+//! rebuilt from scratch out of the authoritative store records and (b) a
+//! brute-force oracle that evaluates the §3.2 rules over every pair. The
+//! incremental path shares no code with (b), so agreement pins down both
+//! the maintenance and the spatial-index candidate generation.
+
+use std::sync::Arc;
+
+use aim_core::depgraph::DepGraph;
+use aim_core::prelude::*;
+use aim_core::rules::{self, RuleParams};
+use aim_core::space::{GridSpace, Point};
+use aim_store::Db;
+use proptest::prelude::*;
+
+/// Expected snapshot edges computed pair-by-pair from the rules alone.
+fn oracle_edges(g: &DepGraph<GridSpace>) -> (Vec<(AgentId, AgentId)>, Vec<(AgentId, AgentId)>) {
+    let space = GridSpace::new(64, 64);
+    let params = g.params();
+    let n = g.len() as u32;
+    let mut blocked = Vec::new();
+    let mut coupled = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let sa = (g.pos(AgentId(a)), g.step(AgentId(a)));
+            let sb = (g.pos(AgentId(b)), g.step(AgentId(b)));
+            // Strictly lagging blockers only (same-step closeness is
+            // coupling, resolved by clustering).
+            if sb.1 < sa.1 && rules::blocked_by(&space, params, sa, sb) {
+                blocked.push((AgentId(b), AgentId(a)));
+            }
+            if a < b && rules::coupled(&space, params, sa, sb) {
+                coupled.push((AgentId(a), AgentId(b)));
+            }
+        }
+    }
+    blocked.sort_unstable();
+    coupled.sort_unstable();
+    (blocked, coupled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random advance/rollback sequences: after every operation the
+    /// incrementally maintained graph equals a from-scratch rebuild and
+    /// the pairwise rules oracle.
+    #[test]
+    fn incremental_equals_rebuild_and_oracle(
+        points in proptest::collection::vec((0i32..48, 0i32..48), 2..10),
+        ops in proptest::collection::vec(
+            (any::<u16>(), 0u8..10, -2i32..3, -2i32..3),
+            1..60
+        ),
+        params in (1u32..5, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let space = Arc::new(GridSpace::new(64, 64));
+        let db = Arc::new(Db::new());
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut g = DepGraph::new(
+            Arc::clone(&space),
+            params,
+            Arc::clone(&db),
+            &initial,
+        ).unwrap();
+
+        for (pick, kind, dx, dy) in ops {
+            let a = AgentId(pick as u32 % g.len() as u32);
+            let cur = g.pos(a);
+            let moved = Point::new(cur.x + dx, cur.y + dy);
+            if kind < 8 || g.step(a) == Step::ZERO {
+                // Advance one step with an arbitrary move (the graph API
+                // does not bound displacement; maintenance must not rely
+                // on max_vel-sized moves).
+                g.advance(&[(a, moved)]).unwrap();
+            } else {
+                // Rollback to a random earlier step.
+                let target = Step(pick as u32 % g.step(a).0);
+                g.rollback(&[(a, target, moved)]).unwrap();
+            }
+
+            let live = g.snapshot();
+            let rebuilt = DepGraph::recover(
+                Arc::clone(&space),
+                params,
+                Arc::clone(&db),
+                g.len(),
+            ).unwrap().snapshot();
+            prop_assert_eq!(&live, &rebuilt, "live graph diverged from store rebuild");
+
+            let (blocked, coupled) = oracle_edges(&g);
+            let mut live_blocked = live.blocked.clone();
+            live_blocked.sort_unstable();
+            let mut live_coupled = live.coupled.clone();
+            live_coupled.sort_unstable();
+            prop_assert_eq!(live_blocked, blocked, "blocked edges diverged from rules oracle");
+            prop_assert_eq!(live_coupled, coupled, "coupled edges diverged from rules oracle");
+        }
+    }
+
+    /// Cluster-sized batch advances (several agents in one transaction,
+    /// the worker commit shape) maintain edges exactly as a rebuild does.
+    #[test]
+    fn batch_advance_equals_rebuild(
+        points in proptest::collection::vec((0i32..32, 0i32..32), 3..9),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u16>(), -1i32..2, -1i32..2), 1..4),
+            1..25
+        ),
+        params in (1u32..4, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let space = Arc::new(GridSpace::new(64, 64));
+        let db = Arc::new(Db::new());
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut g = DepGraph::new(Arc::clone(&space), params, Arc::clone(&db), &initial).unwrap();
+        for batch in batches {
+            // Distinct agents per batch (a cluster never repeats members).
+            let mut updates: Vec<(AgentId, Point)> = Vec::new();
+            for (pick, dx, dy) in batch {
+                let a = AgentId(pick as u32 % g.len() as u32);
+                if updates.iter().any(|(x, _)| *x == a) {
+                    continue;
+                }
+                let cur = g.pos(a);
+                updates.push((a, Point::new(cur.x + dx, cur.y + dy)));
+            }
+            g.advance(&updates).unwrap();
+            let rebuilt = DepGraph::recover(
+                Arc::clone(&space),
+                params,
+                Arc::clone(&db),
+                g.len(),
+            ).unwrap();
+            prop_assert_eq!(g.snapshot(), rebuilt.snapshot());
+        }
+    }
+}

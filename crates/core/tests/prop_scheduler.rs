@@ -153,8 +153,8 @@ proptest! {
     ) {
         let g = GridSpace::new(64, 64);
         let params = RuleParams::new(r, v);
-        let agents: Vec<(AgentId, Point)> =
-            points.iter().enumerate().map(|(i, p)| (AgentId(i as u32), *p)).collect();
+        let agents: Vec<(AgentId, Step, Point)> =
+            points.iter().enumerate().map(|(i, p)| (AgentId(i as u32), Step(0), *p)).collect();
         let clusters = geo_cluster(&g, params, Step(0), &agents);
         // Reference: union-find over the naive pair scan.
         let mut ds = DisjointSets::new(points.len());
@@ -173,14 +173,16 @@ proptest! {
         prop_assert_eq!(clusters, expect);
     }
 
-    /// The spatial-hash pair search agrees with the naive O(n²) scan.
+    /// The uniform-grid pair search agrees with the naive O(n²) scan
+    /// (as a set — `pairs_within` leaves pair order unspecified).
     #[test]
     fn pairs_within_matches_naive(
         points in arb_points(40, 60),
         units in 1u64..12,
     ) {
         let g = GridSpace::new(64, 64);
-        let fast = g.pairs_within(&points, units);
+        let mut fast = g.pairs_within(&points, units);
+        fast.sort_unstable();
         let mut naive = Vec::new();
         for i in 0..points.len() {
             for j in (i + 1)..points.len() {

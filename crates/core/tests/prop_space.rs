@@ -1,0 +1,125 @@
+//! Property tests for the uniform-grid spatial index: exactness is
+//! load-bearing. `within_units` decides scheduling (coupled/blocked), so
+//! the grid-bucketed `pairs_within` must return **exactly** the brute-force
+//! O(n²) oracle's pair set — on dense clouds, on points exactly on the
+//! `units` boundary, and on negative/extreme coordinates where naive
+//! arithmetic would overflow.
+
+use aim_core::prelude::*;
+use aim_core::space::{GridSpace, Point, Space, SpatialIndex};
+use proptest::prelude::*;
+
+/// Brute-force oracle: every pair, exact check.
+fn oracle_pairs(g: &GridSpace, pts: &[Point], units: u64) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            if g.within_units(pts[i], pts[j], units) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+fn sorted(mut pairs: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Point clouds over wildly different extents, including the full i32
+/// range (cell coordinates at the packing limits) and tight crowds (many
+/// same-cell and adjacent-cell pairs).
+fn arb_cloud() -> impl Strategy<Value = Vec<Point>> {
+    let coord = prop_oneof![
+        (-30i32..30, -30i32..30),
+        (-5000i32..5000, -5000i32..5000),
+        (i32::MIN..i32::MAX, i32::MIN..i32::MAX),
+        // Hug the extremes so div_euclid cells sit on the packable edge.
+        (i32::MAX - 40..i32::MAX, i32::MIN..i32::MIN + 40),
+    ];
+    proptest::collection::vec(coord, 0..60)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The grid-bucketed pair search equals the oracle's pair set.
+    #[test]
+    fn grid_pairs_equal_oracle(
+        pts in arb_cloud(),
+        units in prop_oneof![1u64..40, 1000u64..5000, Just(u64::MAX)],
+    ) {
+        let g = GridSpace::new(100, 140);
+        prop_assert_eq!(
+            sorted(g.pairs_within(&pts, units)),
+            oracle_pairs(&g, &pts, units)
+        );
+    }
+
+    /// Points *exactly* on the `units` boundary: seed a crowd with scaled
+    /// 3-4-5 and axis-aligned offsets whose distances hit `units`
+    /// exactly, where a float comparison (or an off-by-one cell walk)
+    /// would flip pairs.
+    #[test]
+    fn grid_pairs_exact_on_boundary(
+        base in proptest::collection::vec((-200i32..200, -200i32..200), 1..12),
+        k in 1i32..9,
+    ) {
+        let units = 5 * k as u64;
+        let mut pts = Vec::new();
+        for (x, y) in base {
+            let p = Point::new(x, y);
+            pts.push(p);
+            pts.push(Point::new(x + 3 * k, y + 4 * k)); // dist = 5k exactly
+            pts.push(Point::new(x + 5 * k, y));         // dist = 5k exactly
+            pts.push(Point::new(x + 5 * k + 1, y));     // dist = 5k + 1: out
+            pts.push(Point::new(x - 3 * k, y + 4 * k));
+        }
+        let g = GridSpace::new(100, 140);
+        let got = sorted(g.pairs_within(&pts, units));
+        let want = oracle_pairs(&g, &pts, units);
+        prop_assert_eq!(&got, &want);
+        // Sanity: the construction really exercises the boundary.
+        prop_assert!(
+            pts.iter().any(|p| p.dist2_u128(pts[0]) == (units as u128).pow(2)),
+            "no boundary pair generated"
+        );
+    }
+
+    /// The dynamic index's query contract: after any insert/update
+    /// sequence, every tracked point within `units` of any probe is in
+    /// the query result (superset semantics).
+    #[test]
+    fn uniform_grid_query_is_superset(
+        initial in proptest::collection::vec((-300i32..300, -300i32..300), 1..40),
+        moves in proptest::collection::vec((any::<u16>(), -300i32..300, -300i32..300), 0..60),
+        units in 1u64..40,
+        probe in (-300i32..300, -300i32..300),
+    ) {
+        let g = GridSpace::new(100, 140);
+        let mut idx = g.make_index(5).expect("grid is indexable");
+        let mut pts: Vec<Point> = initial.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(i as u32, *p);
+        }
+        for (pick, x, y) in moves {
+            let a = pick as usize % pts.len();
+            let to = Point::new(x, y);
+            idx.update(a as u32, pts[a], to);
+            pts[a] = to;
+        }
+        let center = Point::new(probe.0, probe.1);
+        let mut got = Vec::new();
+        idx.query(center, units, &mut got);
+        for (i, p) in pts.iter().enumerate() {
+            if g.within_units(center, *p, units) {
+                prop_assert!(
+                    got.contains(&(i as u32)),
+                    "id {i} at {p:?} within {units} of {center:?} missing from query"
+                );
+            }
+        }
+    }
+}

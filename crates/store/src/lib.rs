@@ -51,11 +51,13 @@
 pub mod codec;
 mod db;
 mod error;
+mod key;
 mod queue;
 mod txn;
 
 pub use db::{Db, DbStats};
 pub use error::StoreError;
+pub use key::Key;
 pub use queue::{PopResult, PriorityQueue, QueueClosed};
 pub use txn::{Txn, DEFAULT_MAX_ATTEMPTS};
 

@@ -5,6 +5,7 @@ use parking_lot::RwLockWriteGuard;
 
 use crate::db::{Db, Entry, ShardInner};
 use crate::error::StoreError;
+use crate::key::Key;
 
 /// Default bound on optimistic retry attempts used by [`Db::transaction`].
 ///
@@ -40,7 +41,16 @@ impl<'db> Txn<'db> {
 
     /// Reads `key`, recording it in the transaction's read set.
     pub fn get(&mut self, key: impl AsRef<[u8]>) -> Option<Bytes> {
-        let key = Bytes::copy_from_slice(key.as_ref());
+        self.get_bytes(Bytes::copy_from_slice(key.as_ref()))
+    }
+
+    /// Like [`Txn::get`] for an interned [`Key`]: the key bytes are shared
+    /// into the read set instead of copied.
+    pub fn get_key(&mut self, key: &Key) -> Option<Bytes> {
+        self.get_bytes(key.bytes().clone())
+    }
+
+    fn get_bytes(&mut self, key: Bytes) -> Option<Bytes> {
         if let Some(buffered) = self.writes.get(&key) {
             return buffered.clone();
         }
@@ -60,6 +70,14 @@ impl<'db> Txn<'db> {
     pub fn set(&mut self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) {
         self.writes
             .insert(Bytes::copy_from_slice(key.as_ref()), Some(value.into()));
+    }
+
+    /// Like [`Txn::set`] for an interned [`Key`]: neither the key nor a
+    /// [`Bytes`] value is copied — both are refcount bumps, which is what
+    /// keeps the per-record cost of the dependency-graph commit loop flat
+    /// across transaction retries.
+    pub fn set_key(&mut self, key: &Key, value: impl Into<Bytes>) {
+        self.writes.insert(key.bytes().clone(), Some(value.into()));
     }
 
     /// Buffers a deletion of `key`.

@@ -244,6 +244,15 @@ impl Village {
         &self.map
     }
 
+    /// A [`aim_core::space::GridSpace`] sized to this village's map —
+    /// the space a scheduler over this world should be built with
+    /// (multi-ville worlds concatenate east, so the width grows with
+    /// `villes` and hand-written `GridSpace::new(100, 140)` would be
+    /// wrong for them).
+    pub fn space(&self) -> aim_core::space::GridSpace {
+        aim_core::space::GridSpace::new(self.map.width(), self.map.height())
+    }
+
     /// Number of agents.
     pub fn num_agents(&self) -> usize {
         self.agents.len()

@@ -3,10 +3,14 @@
 //! Exposes the `Criterion` / `BenchmarkGroup` / `Bencher` /
 //! `BenchmarkId` API plus the `criterion_group!`/`criterion_main!`
 //! macros, backed by a simple wall-clock harness: each benchmark is
-//! warmed up once, then timed over a fixed number of samples and the
-//! per-iteration median is printed as
-//! `bench <name> ... <time>`. No statistics or plots — the goal is that
-//! `cargo bench` runs and prints comparable numbers.
+//! warmed up for ~50 ms, then timed over a fixed number of samples, and
+//! the **fastest** per-iteration sample is printed as
+//! `bench <name> ... <time>`. The minimum — not the mean or median — is
+//! the deliberate choice for a statistic that feeds a CI regression
+//! gate: scheduling noise on a loaded (or single-CPU) runner only ever
+//! *adds* time, so the fastest observed sample is the most reproducible
+//! estimate of the code's actual cost. No plots — the goal is that
+//! `cargo bench` runs and prints comparable, gateable numbers.
 //!
 //! # Baselines: `--json`
 //!
@@ -14,15 +18,16 @@
 //! writes `BENCH_<target>.json` at the workspace root (the nearest
 //! ancestor directory holding a `Cargo.lock`), where `<target>` is the
 //! bench binary's name with cargo's trailing `-<hash>` stripped. The
-//! file maps every benchmark name to its median ns/iter:
+//! file maps every benchmark name to its ns/iter estimate:
 //!
 //! ```json
-//! { "bench": "fleet", "median_ns": { "fleet/route/round-robin/2": 65 } }
+//! { "bench": "fleet", "ns_per_iter": { "fleet/route/round-robin/2": 65 } }
 //! ```
 //!
 //! The file is rewritten after each measurement, so even an interrupted
 //! run leaves a valid baseline of what completed. Committed baselines
-//! plus this output are what CHANGES.md bench-delta notes diff against.
+//! plus this output are what CHANGES.md bench-delta notes and the CI
+//! `bench_gate` diff against.
 
 use std::collections::BTreeMap;
 use std::fmt::{self, Display};
@@ -80,18 +85,35 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`, recording the median per-iteration time over the
-    /// sample count.
+    /// Times `routine`, recording the fastest per-iteration sample over
+    /// the sample count.
     ///
     /// Each sample batches enough iterations to take roughly
     /// `TARGET_SAMPLE_TIME` (1 ms) so that fast routines (tens of
     /// nanoseconds) are not drowned out by clock-read overhead and
     /// timer quantization.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // Warm-up doubles as calibration: estimate one iteration's cost.
-        let start = Instant::now();
+        // Warm-up: run the routine for ~WARMUP_TIME before measuring so
+        // caches, branch predictors, and CPU frequency settle — the first
+        // calls after process start are reliably 30–60% slower and would
+        // otherwise poison the estimate (and any baseline gating built
+        // on it). The warm-up doubles as calibration for the batch size;
+        // routines slower than the warm-up budget pay a single call.
+        let warm_start = Instant::now();
         black_box(routine());
-        let once = start.elapsed().max(Duration::from_nanos(1));
+        let mut once = warm_start.elapsed().max(Duration::from_nanos(1));
+        if once < WARMUP_TIME {
+            let mut calls = 1u32;
+            while warm_start.elapsed() < WARMUP_TIME {
+                let t = Instant::now();
+                black_box(routine());
+                once = once.min(t.elapsed().max(Duration::from_nanos(1)));
+                calls += 1;
+                if calls >= 1_000_000 {
+                    break;
+                }
+            }
+        }
         let per_sample = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
         let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -101,13 +123,18 @@ impl Bencher {
             }
             times.push(start.elapsed() / per_sample as u32);
         }
-        times.sort();
-        self.last = Some(times[times.len() / 2]);
+        // Minimum, not median: interference from other processes only
+        // ever inflates a sample, so the fastest one is the stablest
+        // run-to-run estimate (see the module docs).
+        self.last = times.into_iter().min();
     }
 }
 
 /// Wall-clock time each measurement sample aims to occupy.
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(1);
+
+/// Wall-clock budget spent warming a benchmark up before sampling.
+const WARMUP_TIME: Duration = Duration::from_millis(50);
 
 fn human(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -143,7 +170,7 @@ fn json_sink() -> Option<&'static (PathBuf, String)> {
     .as_ref()
 }
 
-/// Collected `name → median ns/iter` results of this process.
+/// Collected `name → ns/iter` results of this process.
 static RESULTS: Mutex<BTreeMap<String, u128>> = Mutex::new(BTreeMap::new());
 
 /// Strips cargo's `-<16 hex digits>` binary-name suffix, if present.
@@ -176,7 +203,7 @@ fn workspace_root(from: &Path) -> PathBuf {
 fn render_json(target: &str, results: &BTreeMap<String, u128>) -> String {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = format!(
-        "{{\n  \"bench\": \"{}\",\n  \"median_ns\": {{\n",
+        "{{\n  \"bench\": \"{}\",\n  \"ns_per_iter\": {{\n",
         esc(target)
     );
     for (i, (name, ns)) in results.iter().enumerate() {
@@ -374,7 +401,7 @@ mod tests {
         let json = render_json("smoke", &results);
         assert_eq!(
             json,
-            "{\n  \"bench\": \"smoke\",\n  \"median_ns\": {\n    \"g/a\": 10,\n    \"g/b\": 20\n  }\n}\n"
+            "{\n  \"bench\": \"smoke\",\n  \"ns_per_iter\": {\n    \"g/a\": 10,\n    \"g/b\": 20\n  }\n}\n"
         );
     }
 }

@@ -177,6 +177,108 @@ fn heterogeneous_fleet_equals_lockstep_oracle() {
 }
 
 #[test]
+fn ooo_equals_lockstep_thousand_agents() {
+    // The scaling regime the spatial index exists for: 1000 agents across
+    // 40 concatenated villes, out-of-order under the threaded runtime,
+    // checked world-for-world against the lock-step oracle. The warmed-up
+    // morning world is built once and cloned per arm (the warm-up is the
+    // expensive part at this scale).
+    let start = clock_to_step(8, 0);
+    let mut base = Village::generate(&VillageConfig {
+        villes: 40,
+        agents_per_ville: 25,
+        seed: 17,
+    });
+    assert_eq!(base.num_agents(), 1000);
+    base.run_lockstep(0, start, |_, _, _, _| {});
+    let space = base.space();
+
+    let run = |village: Village, policy: DependencyPolicy, workers: usize| -> Village {
+        let program = Arc::new(VillageProgram::with_step_offset(village, start));
+        let initial = program.initial_positions();
+        let mut sched = Scheduler::new(
+            Arc::new(space),
+            RuleParams::genagent(),
+            policy,
+            Arc::new(Db::new()),
+            &initial,
+            Step(10),
+        )
+        .expect("scheduler");
+        run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            Arc::new(InstantBackend::new()),
+            ThreadedConfig {
+                workers,
+                priority_enabled: true,
+            },
+        )
+        .expect("threaded run");
+        assert!(sched.is_done());
+        assert!(
+            sched.graph().validate().is_ok(),
+            "causality invariant violated at 1000 agents"
+        );
+        Arc::try_unwrap(program)
+            .expect("workers joined")
+            .into_village()
+    };
+
+    let sync = run(base.clone(), DependencyPolicy::GlobalSync, 4);
+    let ooo = run(base, DependencyPolicy::Spatiotemporal, 8);
+    assert_worlds_equal(&sync, &ooo);
+    assert!(
+        !sync.events().is_empty(),
+        "a 1000-agent morning must produce events, or this proves nothing"
+    );
+}
+
+#[test]
+fn replayed_positions_match_generated_trace_thousand_agents() {
+    // Same scale under the discrete-event executor: a 1000-agent trace
+    // replayed out of order through the scheduler must land every agent
+    // exactly where the lock-step trace says it ends.
+    use ai_metropolis::core::exec::sim::{run_sim, SimConfig};
+    use ai_metropolis::core::workload::Workload;
+    use ai_metropolis::llm::{presets, ServerConfig, SimServer};
+    use ai_metropolis::trace::gen;
+
+    let trace = gen::generate(&GenConfig {
+        villes: 40,
+        agents_per_ville: 25,
+        seed: 33,
+        window_start: clock_to_step(8, 0),
+        window_len: 30,
+    });
+    let meta = trace.meta().clone();
+    assert_eq!(meta.num_agents, 1000);
+    let initial: Vec<Point> = (0..meta.num_agents)
+        .map(|a| trace.initial_position(a))
+        .collect();
+    let mut sched = Scheduler::new(
+        Arc::new(GridSpace::new(meta.map_width, meta.map_height)),
+        RuleParams::new(meta.radius_p, meta.max_vel),
+        DependencyPolicy::Spatiotemporal,
+        Arc::new(Db::new()),
+        &initial,
+        Workload::target_step(&trace),
+    )
+    .unwrap();
+    let mut server = SimServer::new(ServerConfig::from_preset(presets::tiny_test(), 8, true));
+    run_sim(&mut sched, &trace, &mut server, &SimConfig::default()).unwrap();
+    assert!(sched.is_done());
+    assert!(sched.graph().validate().is_ok());
+    for a in 0..meta.num_agents {
+        assert_eq!(
+            sched.graph().pos(AgentId(a)),
+            trace.position_after(a, meta.num_steps - 1),
+            "agent {a} ended in the wrong place"
+        );
+    }
+}
+
+#[test]
 fn replayed_positions_match_generated_trace() {
     // The DES executor feeds trace movements back through the scheduler;
     // after a metropolis replay the dependency graph's final positions must
