@@ -12,7 +12,8 @@
 //!                          fastest calibration-adjusted time is compared
 //!                          (noise bursts only ever slow a run down)
 //!   --targets a,b,c        allowlisted bench targets to gate
-//!                          (default: scheduler,depgraph,clustering)
+//!                          (default: scheduler,depgraph,clustering,
+//!                          store,snapshot)
 //!   --threshold <pct>      allowed regression, percent (default: 5)
 //!   --min-ns <ns>          ignore baselines below this (timer noise floor,
 //!                          default: 100)
@@ -112,7 +113,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         baseline: PathBuf::new(),
         fresh: Vec::new(),
-        targets: ["scheduler", "depgraph", "clustering"]
+        targets: ["scheduler", "depgraph", "clustering", "store", "snapshot"]
             .iter()
             .map(|s| s.to_string())
             .collect(),

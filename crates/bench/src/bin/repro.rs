@@ -1,12 +1,15 @@
-//! The reproduction driver: `repro <experiment> [--quick] [--out DIR]`.
+//! The reproduction driver: `repro <experiment> [--quick] [--out DIR]
+//! [--checkpoint-every K] [--resume SNAP]`.
 
 use aim_bench::experiments;
 use aim_bench::harness::RunEnv;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--quick] [--out DIR]\n\
-         experiments: calibrate fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet all"
+        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP]\n\
+         experiments: calibrate fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun all\n\
+         checkpoint flags apply to experiments that checkpoint (longrun): --checkpoint-every\n\
+         overrides the snapshot cadence, --resume restarts from an AIMSNAP v1 file"
     );
     std::process::exit(2);
 }
@@ -21,6 +24,17 @@ fn main() {
             "--quick" => env.quick = true,
             "--out" => {
                 env.out_dir = it.next().unwrap_or_else(|| usage()).into();
+            }
+            "--checkpoint-every" => {
+                env.checkpoint_every = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&k| k > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--resume" => {
+                env.resume = Some(it.next().unwrap_or_else(|| usage()).into());
             }
             name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
             _ => usage(),
@@ -52,6 +66,7 @@ fn run(exp: &str, env: &RunEnv) {
         "spec" => experiments::spec::run(env),
         "hybrid" => experiments::hybrid::run(env),
         "fleet" => experiments::fleet::run(env),
+        "longrun" => experiments::longrun::run(env),
         "all" => {
             for e in [
                 "calibrate",
@@ -69,6 +84,7 @@ fn run(exp: &str, env: &RunEnv) {
                 "spec",
                 "hybrid",
                 "fleet",
+                "longrun",
             ] {
                 println!("\n########## {e} ##########\n");
                 run(e, env);

@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fleet;
 pub mod hybrid;
+pub mod longrun;
 pub mod scaling;
 pub mod spec;
 pub mod tab1;

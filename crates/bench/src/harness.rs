@@ -68,6 +68,13 @@ pub struct RunEnv {
     /// calls, so at large agent counts the pool is contended and the
     /// priority order of the ready queue matters (Table 1).
     pub workers: Option<usize>,
+    /// Checkpoint cadence override in committed steps
+    /// (`repro --checkpoint-every K`); experiments that checkpoint pick
+    /// their own default when unset.
+    pub checkpoint_every: Option<u32>,
+    /// Resume an interrupted run from this `AIMSNAP v1` snapshot
+    /// (`repro --resume <snap>`), instead of starting fresh.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for RunEnv {
@@ -78,6 +85,8 @@ impl Default for RunEnv {
             step_cpu_us: 2_000,
             commit_cpu_us: 1_000,
             workers: Some(48),
+            checkpoint_every: None,
+            resume: None,
         }
     }
 }

@@ -44,6 +44,16 @@ use crate::space::{Space, SpatialIndex};
 /// Namespace tag of the per-agent node records (`Key::tagged_u32`).
 const AGENT_TAG: [u8; 4] = *b"dagt";
 
+/// Namespace tag of the per-step history records
+/// (`Key::tagged_u32_pair(HIST_TAG, step, agent)`). Step-major layout:
+/// an ordered prefix walk visits history oldest-step-first, so the
+/// eviction pass stops touching records at the first retained step.
+const HIST_TAG: [u8; 4] = *b"dhst";
+
+/// Store key of the history-eviction watermark: every history record at a
+/// step `< dep:hist_floor` has been compacted away.
+const HIST_FLOOR_KEY: &str = "dep:hist_floor";
+
 /// A dump of the graph for visualization (paper Fig. 3) and debugging.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphSnapshot {
@@ -77,6 +87,32 @@ pub enum EdgeMode {
     /// ([`DepGraph::first_blocker`], [`DepGraph::coupled_of`],
     /// [`DepGraph::blockers_of`], [`DepGraph::snapshot`]) panic.
     Off,
+}
+
+/// Construction options of a [`DepGraph`]: edge maintenance plus
+/// per-step history recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphOptions {
+    /// Whether derived blocked/coupled edges are maintained (see
+    /// [`EdgeMode`]).
+    pub edges: EdgeMode,
+    /// Whether every committed `(agent, step)` record is also written as
+    /// an immutable history record `dhst ‖ step ‖ agent` in the same
+    /// transaction. History is what long-horizon checkpoint/resume and
+    /// rollback auditing read; it grows O(agents × horizon) unless the
+    /// run periodically calls [`DepGraph::evict_history`], which compacts
+    /// it to O(agents × window). Off by default — the conservative
+    /// replay paths never read it.
+    pub history: bool,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        GraphOptions {
+            edges: EdgeMode::Maintained,
+            history: false,
+        }
+    }
 }
 
 /// The derived-edge state of a [`DepGraph`] in [`EdgeMode::Maintained`].
@@ -114,6 +150,11 @@ pub struct DepGraph<S: Space> {
     edges: Option<Edges<S>>,
     /// Reused `(agent, encoded record)` buffer for transactions.
     records: Vec<(u32, Bytes)>,
+    /// Whether per-step history records are written (see [`GraphOptions`]).
+    history: bool,
+    /// Reused history write/delete buffer: `(key, Some(value))` writes,
+    /// `(key, None)` deletes.
+    hist_records: Vec<(Key, Option<Bytes>)>,
 }
 
 impl<S: Space> std::fmt::Debug for DepGraph<S> {
@@ -155,6 +196,31 @@ impl<S: Space> DepGraph<S> {
         initial: &[S::Pos],
         mode: EdgeMode,
     ) -> Result<Self, StoreError> {
+        Self::new_with_options(
+            space,
+            params,
+            db,
+            initial,
+            GraphOptions {
+                edges: mode,
+                history: false,
+            },
+        )
+    }
+
+    /// [`DepGraph::new`] with full construction options (edge maintenance
+    /// and per-step history recording — see [`GraphOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates database errors from the initial population transaction.
+    pub fn new_with_options(
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        initial: &[S::Pos],
+        options: GraphOptions,
+    ) -> Result<Self, StoreError> {
         let nodes: Vec<Node<S::Pos>> = initial
             .iter()
             .map(|p| Node {
@@ -162,12 +228,19 @@ impl<S: Space> DepGraph<S> {
                 step: Step::ZERO,
             })
             .collect();
-        let graph = Self::assemble(space, params, db, nodes, mode);
+        let graph = Self::assemble(space, params, db, nodes, options);
         graph.db.transaction(|txn| {
             for (i, node) in graph.nodes.iter().enumerate() {
-                txn.set_key(&graph.keys[i], graph.encode_node(node));
+                let value = graph.encode_node(node);
+                if graph.history {
+                    txn.set_key(&Key::tagged_u32_pair(HIST_TAG, 0, i as u32), value.clone());
+                }
+                txn.set_key(&graph.keys[i], value);
             }
             txn.set_i64("dep:commits", 0);
+            if graph.history {
+                txn.set_i64(HIST_FLOOR_KEY, 0);
+            }
             Ok(())
         })?;
         Ok(graph)
@@ -180,7 +253,7 @@ impl<S: Space> DepGraph<S> {
         params: RuleParams,
         db: Arc<Db>,
         nodes: Vec<Node<S::Pos>>,
-        mode: EdgeMode,
+        options: GraphOptions,
     ) -> Self {
         let n = nodes.len();
         let step_index = nodes
@@ -191,7 +264,7 @@ impl<S: Space> DepGraph<S> {
         let keys = (0..n as u32)
             .map(|a| Key::tagged_u32(AGENT_TAG, a))
             .collect();
-        let edges = match mode {
+        let edges = match options.edges {
             EdgeMode::Off => None,
             EdgeMode::Maintained => {
                 let mut index = space.make_index(params.coupling_units());
@@ -219,6 +292,8 @@ impl<S: Space> DepGraph<S> {
             commits_key: Key::new("dep:commits"),
             edges,
             records: Vec::new(),
+            history: options.history,
+            hist_records: Vec::new(),
         };
         graph.rebuild_edges();
         graph
@@ -371,6 +446,24 @@ impl<S: Space> DepGraph<S> {
         db: Arc<Db>,
         num_agents: usize,
     ) -> Result<Self, StoreError> {
+        Self::recover_with_options(space, params, db, num_agents, GraphOptions::default())
+    }
+
+    /// [`DepGraph::recover`] with explicit [`GraphOptions`] — how a
+    /// restored snapshot resumes: the records (including history and the
+    /// eviction watermark) are already in `db`, so recovery just rebuilds
+    /// the in-process mirror around them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] if a record is missing or malformed.
+    pub fn recover_with_options(
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        num_agents: usize,
+        options: GraphOptions,
+    ) -> Result<Self, StoreError> {
         let mut nodes = Vec::with_capacity(num_agents);
         for i in 0..num_agents {
             let raw = db
@@ -381,13 +474,7 @@ impl<S: Space> DepGraph<S> {
             let pos = space.decode_pos(&mut rd)?;
             nodes.push(Node { pos, step });
         }
-        Ok(Self::assemble(
-            space,
-            params,
-            db,
-            nodes,
-            EdgeMode::Maintained,
-        ))
+        Ok(Self::assemble(space, params, db, nodes, options))
     }
 
     fn encode_node(&self, node: &Node<S::Pos>) -> Bytes {
@@ -476,25 +563,46 @@ impl<S: Space> DepGraph<S> {
             };
             (a.0, self.encode_node(&node))
         }));
-        let result = {
+        let result = if self.history {
+            // History rides in the same transaction: the step's record and
+            // its immutable history entry commit or retry together. This
+            // arm is deliberately separate from the history-off one below
+            // so runs without history keep the lean original closure on
+            // their per-commit hot path.
+            let mut hist = std::mem::take(&mut self.hist_records);
+            hist.clear();
+            hist.extend(updates.iter().zip(&records).map(|((a, _), (_, value))| {
+                let step = self.nodes[a.index()].step.next();
+                (
+                    Key::tagged_u32_pair(HIST_TAG, step.0, a.0),
+                    Some(value.clone()),
+                )
+            }));
+            let keys = &self.keys;
+            let commits_key = &self.commits_key;
+            let r = self.db.transaction(|txn| {
+                for (a, value) in &records {
+                    txn.set_key(&keys[*a as usize], value.clone());
+                }
+                for (key, value) in &hist {
+                    match value {
+                        Some(v) => txn.set_key(key, v.clone()),
+                        None => txn.del(key),
+                    }
+                }
+                bump_commit_counter(txn, commits_key)
+            });
+            hist.clear();
+            self.hist_records = hist;
+            r
+        } else {
             let keys = &self.keys;
             let commits_key = &self.commits_key;
             self.db.transaction(|txn| {
                 for (a, value) in &records {
                     txn.set_key(&keys[*a as usize], value.clone());
                 }
-                let commits = txn
-                    .get_key(commits_key)
-                    .map(|v| {
-                        v.as_ref()
-                            .try_into()
-                            .map(i64::from_be_bytes)
-                            .map_err(|_| StoreError::Codec("bad commit counter".into()))
-                    })
-                    .transpose()?
-                    .unwrap_or(0);
-                txn.set_key(commits_key, (commits + 1).to_be_bytes().to_vec());
-                Ok(())
+                bump_commit_counter(txn, commits_key)
             })
         };
         records.clear();
@@ -543,17 +651,42 @@ impl<S: Space> DepGraph<S> {
                 }),
             )
         }));
+        let mut hist = std::mem::take(&mut self.hist_records);
+        hist.clear();
+        if self.history {
+            // A squash rewrites history: the target step's record is
+            // replaced (its position may differ from the first visit) and
+            // every discarded future step's record is deleted, so history
+            // only ever describes committed, non-squashed state.
+            for ((a, step, _), (_, value)) in updates.iter().zip(&records) {
+                hist.push((
+                    Key::tagged_u32_pair(HIST_TAG, step.0, a.0),
+                    Some(value.clone()),
+                ));
+                for squashed in (step.0 + 1)..=self.nodes[a.index()].step.0 {
+                    hist.push((Key::tagged_u32_pair(HIST_TAG, squashed, a.0), None));
+                }
+            }
+        }
         let result = {
             let keys = &self.keys;
             self.db.transaction(|txn| {
                 for (a, value) in &records {
                     txn.set_key(&keys[*a as usize], value.clone());
                 }
+                for (key, value) in &hist {
+                    match value {
+                        Some(v) => txn.set_key(key, v.clone()),
+                        None => txn.del(key),
+                    }
+                }
                 Ok(())
             })
         };
         records.clear();
         self.records = records;
+        hist.clear();
+        self.hist_records = hist;
         result?;
         for &(a, step, pos) in updates {
             self.apply_node(a, step, pos);
@@ -570,6 +703,101 @@ impl<S: Space> DepGraph<S> {
             .get("dep:commits")
             .map(|v| i64::from_be_bytes(v.as_ref().try_into().unwrap_or([0; 8])))
             .unwrap_or(0)
+    }
+
+    /// Whether per-step history records are being written (see
+    /// [`GraphOptions`]).
+    pub fn history_enabled(&self) -> bool {
+        self.history
+    }
+
+    /// The eviction watermark: every history record at a step below this
+    /// has been compacted away. Read from the store (`dep:hist_floor`),
+    /// so it survives snapshot/restore.
+    pub fn history_floor(&self) -> Step {
+        Step(self.db.get_i64(HIST_FLOOR_KEY).unwrap_or(0).max(0) as u32)
+    }
+
+    /// Number of resident history records (an O(history) scan —
+    /// diagnostics and tests, not a hot path).
+    pub fn history_records(&self) -> u64 {
+        let mut n = 0u64;
+        self.db.for_each_prefix(HIST_TAG, |_, _| {
+            n += 1;
+            std::ops::ControlFlow::Continue(())
+        });
+        n
+    }
+
+    /// Decodes the historical `(step, position)` record of `a` at `step`,
+    /// if it is still resident (recorded and not evicted or squashed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] if the record exists but is
+    /// malformed.
+    pub fn history_at(&self, a: AgentId, step: Step) -> Result<Option<(Step, S::Pos)>, StoreError> {
+        let Some(raw) = self.db.get(Key::tagged_u32_pair(HIST_TAG, step.0, a.0)) else {
+            return Ok(None);
+        };
+        let mut rd = raw;
+        let s = Step(codec::get_u32(&mut rd)?);
+        let pos = self.space.decode_pos(&mut rd)?;
+        Ok(Some((s, pos)))
+    }
+
+    /// Compacts history records older than the deepest rollback any legal
+    /// schedule could still perform, returning the number evicted.
+    ///
+    /// # Eviction invariant
+    ///
+    /// **Never evict a record a legal rollback could read.** Rollbacks
+    /// (speculative squashes, [`crate::spec`]) always target a step at or
+    /// above the step of the lagging cluster whose commit raced them, and
+    /// that committing cluster is at or above the global minimum step —
+    /// so no rollback can ever rewind an agent below `min_step()`, and
+    /// `min_step` itself is monotone non-decreasing. Records at steps
+    /// `< min_step` are therefore dead for scheduling purposes (the
+    /// authoritative current record `dagt ‖ agent` is separate and never
+    /// evicted) and the pass deletes exactly those, advancing the
+    /// `dep:hist_floor` watermark. Resident history is then
+    /// O(agents × window) where the window is the step skew plus the
+    /// eviction cadence, instead of O(agents × horizon).
+    ///
+    /// Call from a quiesced writer (e.g. the threaded executor's
+    /// checkpoint barrier): the key walk and the deletes are not one
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors from the watermark read.
+    pub fn evict_history(&mut self) -> Result<u64, StoreError> {
+        if !self.history {
+            return Ok(0);
+        }
+        let floor = self.min_step().0;
+        let prev = self.db.get_i64(HIST_FLOOR_KEY)?.max(0) as u32;
+        if floor <= prev {
+            return Ok(0); // nothing new below the watermark
+        }
+        // Keys sort step-major, so value visits stop at the first
+        // retained step — the per-record work is O(evicted + 1). (The
+        // walk's key gather still scans the store's keys once; see
+        // `Db::for_each_prefix`.)
+        let mut doomed: Vec<Bytes> = Vec::new();
+        self.db.for_each_prefix(HIST_TAG, |k, _| {
+            let step = u32::from_be_bytes(k[4..8].try_into().expect("12-byte history key"));
+            if step >= floor {
+                return std::ops::ControlFlow::Break(());
+            }
+            doomed.push(k.clone());
+            std::ops::ControlFlow::Continue(())
+        });
+        for k in &doomed {
+            self.db.del(k);
+        }
+        self.db.set_i64(HIST_FLOOR_KEY, floor as i64);
+        Ok(doomed.len() as u64)
     }
 
     /// First agent (in `(step, id)` order) that blocks `a`, if any.
@@ -665,6 +893,23 @@ impl<S: Space> DepGraph<S> {
             coupled,
         }
     }
+}
+
+/// Reads, increments, and rewrites the cluster-commit counter inside a
+/// transaction (shared by both arms of the advance commit).
+fn bump_commit_counter(txn: &mut aim_store::Txn<'_>, commits_key: &Key) -> Result<(), StoreError> {
+    let commits = txn
+        .get_key(commits_key)
+        .map(|v| {
+            v.as_ref()
+                .try_into()
+                .map(i64::from_be_bytes)
+                .map_err(|_| StoreError::Codec("bad commit counter".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    txn.set_key(commits_key, (commits + 1).to_be_bytes().to_vec());
+    Ok(())
 }
 
 /// Inserts `x` into an id-sorted adjacency list, keeping it sorted;
@@ -833,6 +1078,111 @@ mod tests {
                 .unwrap();
         }));
         assert!(result.is_err());
+    }
+
+    fn history_graph(points: &[(i32, i32)]) -> DepGraph<GridSpace> {
+        let space = Arc::new(GridSpace::new(100, 140));
+        let db = Arc::new(Db::new());
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        DepGraph::new_with_options(
+            space,
+            RuleParams::genagent(),
+            db,
+            &initial,
+            GraphOptions {
+                edges: EdgeMode::Maintained,
+                history: true,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn history_records_every_committed_step() {
+        let mut g = history_graph(&[(0, 0), (50, 50)]);
+        assert!(g.history_enabled());
+        assert_eq!(g.history_records(), 2, "step-0 records written at init");
+        g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
+        g.advance(&[(AgentId(0), Point::new(2, 0))]).unwrap();
+        g.advance(&[(AgentId(1), Point::new(50, 51))]).unwrap();
+        assert_eq!(g.history_records(), 5);
+        let (s, p) = g.history_at(AgentId(0), Step(1)).unwrap().unwrap();
+        assert_eq!((s, p), (Step(1), Point::new(1, 0)));
+        assert!(g.history_at(AgentId(1), Step(2)).unwrap().is_none());
+        // Default-built graphs record nothing.
+        let plain = graph(&[(0, 0)]);
+        assert!(!plain.history_enabled());
+        assert_eq!(plain.history_records(), 0);
+    }
+
+    #[test]
+    fn rollback_rewrites_history() {
+        let mut g = history_graph(&[(0, 0)]);
+        g.advance(&[(AgentId(0), Point::new(1, 0))]).unwrap();
+        g.advance(&[(AgentId(0), Point::new(2, 0))]).unwrap();
+        g.advance(&[(AgentId(0), Point::new(3, 0))]).unwrap();
+        assert_eq!(g.history_records(), 4);
+        // Squash back to step 1 with a different position: future records
+        // vanish, the target record is replaced.
+        g.rollback(&[(AgentId(0), Step(1), Point::new(0, 1))])
+            .unwrap();
+        assert_eq!(g.history_records(), 2);
+        let (_, p) = g.history_at(AgentId(0), Step(1)).unwrap().unwrap();
+        assert_eq!(p, Point::new(0, 1));
+        assert!(g.history_at(AgentId(0), Step(2)).unwrap().is_none());
+        assert!(g.history_at(AgentId(0), Step(3)).unwrap().is_none());
+    }
+
+    #[test]
+    fn eviction_compacts_below_min_step_only() {
+        let mut g = history_graph(&[(0, 0), (50, 50)]);
+        // Advance both agents 3 steps, then agent 1 two more.
+        for i in 1..=3 {
+            g.advance(&[(AgentId(0), Point::new(i, 0))]).unwrap();
+            g.advance(&[(AgentId(1), Point::new(50, 50 + i))]).unwrap();
+        }
+        g.advance(&[(AgentId(1), Point::new(50, 54))]).unwrap();
+        g.advance(&[(AgentId(1), Point::new(50, 55))]).unwrap();
+        // History: agent 0 at steps 0..=3, agent 1 at steps 0..=5.
+        assert_eq!(g.history_records(), 10);
+        assert_eq!(g.history_floor(), Step(0));
+        // min_step = 3: steps 0..=2 are below any legal rollback.
+        let evicted = g.evict_history().unwrap();
+        assert_eq!(evicted, 6);
+        assert_eq!(g.history_floor(), Step(3));
+        assert_eq!(g.history_records(), 4); // agent0@3, agent1@{3,4,5}
+        assert!(g.history_at(AgentId(0), Step(2)).unwrap().is_none());
+        assert!(g.history_at(AgentId(0), Step(3)).unwrap().is_some());
+        // Idempotent until min_step moves again.
+        assert_eq!(g.evict_history().unwrap(), 0);
+        // Resident size is O(agents × window): current skew is 2.
+        let window = (g.max_step().0 - g.min_step().0 + 1) as u64;
+        assert!(g.history_records() <= g.len() as u64 * window);
+    }
+
+    #[test]
+    fn recover_preserves_history_and_floor() {
+        let mut g = history_graph(&[(0, 0), (50, 50)]);
+        for i in 1..=2 {
+            g.advance(&[(AgentId(0), Point::new(i, 0))]).unwrap();
+            g.advance(&[(AgentId(1), Point::new(50, 50 + i))]).unwrap();
+        }
+        g.evict_history().unwrap();
+        let (records, floor) = (g.history_records(), g.history_floor());
+        let r = DepGraph::recover_with_options(
+            Arc::new(GridSpace::new(100, 140)),
+            RuleParams::genagent(),
+            Arc::clone(g.db()),
+            2,
+            GraphOptions {
+                edges: EdgeMode::Maintained,
+                history: true,
+            },
+        )
+        .unwrap();
+        assert!(r.history_enabled());
+        assert_eq!(r.history_records(), records);
+        assert_eq!(r.history_floor(), floor);
     }
 
     #[test]

@@ -47,6 +47,14 @@ impl From<StoreError> for EngineError {
     }
 }
 
+/// Checkpoint hooks do snapshot file I/O; route those failures through
+/// the store's error type so `?` works inside the hook.
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Store(StoreError::from(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,38 @@ pub struct ThreadedReport {
     pub backend: String,
 }
 
+/// A periodic quiesced-checkpoint driver for
+/// [`run_threaded_with_checkpoints`].
+///
+/// Whenever the fully-committed step floor (`min_step`) reaches a
+/// multiple of `every_steps`, the runtime stops handing out new clusters,
+/// lets every in-flight cluster finish, and only then invokes `f` — so
+/// the callback observes a consistent commit-boundary cut: the store, the
+/// dependency graph, and the program's world all agree, and the
+/// controller thread is the sole owner. The callback typically evicts
+/// history and writes an [`aim_store::SnapshotBuilder`] through an
+/// [`aim_store::Checkpointer`]; failing it aborts the run.
+///
+/// Work lost to the barrier is bounded: in-flight clusters drain at their
+/// own pace and nothing is cancelled, the runtime merely defers *new*
+/// emissions until the capture is done.
+pub struct CheckpointHook<'a, S: Space> {
+    /// Fire whenever `min_step` first reaches a multiple of this
+    /// (must be positive).
+    pub every_steps: u32,
+    /// Invoked with the scheduler quiesced (no clusters in flight).
+    #[allow(clippy::type_complexity)]
+    pub f: &'a mut dyn FnMut(&mut Scheduler<S>) -> Result<(), EngineError>,
+}
+
+impl<S: Space> std::fmt::Debug for CheckpointHook<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointHook")
+            .field("every_steps", &self.every_steps)
+            .finish()
+    }
+}
+
 /// Runs `scheduler` to completion with `cfg.workers` worker threads
 /// executing `program` against `backend`.
 ///
@@ -104,7 +136,34 @@ where
     S: Space,
     P: ClusterProgram<S> + 'static,
 {
+    run_threaded_with_checkpoints(scheduler, program, backend, cfg, None)
+}
+
+/// [`run_threaded`] with an optional periodic [`CheckpointHook`] (see its
+/// docs for the quiesce protocol).
+///
+/// # Errors
+///
+/// As [`run_threaded`], plus any error the hook returns.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or the hook cadence is zero.
+pub fn run_threaded_with_checkpoints<S, P>(
+    scheduler: &mut Scheduler<S>,
+    program: Arc<P>,
+    backend: Arc<dyn LlmBackend>,
+    cfg: ThreadedConfig,
+    mut hook: Option<CheckpointHook<'_, S>>,
+) -> Result<ThreadedReport, EngineError>
+where
+    S: Space,
+    P: ClusterProgram<S> + 'static,
+{
     assert!(cfg.workers > 0, "at least one worker is required");
+    if let Some(h) = &hook {
+        assert!(h.every_steps > 0, "checkpoint cadence must be positive");
+    }
     type Ack<P2> = (crate::ids::ClusterId, Vec<(AgentId, P2)>);
     let ready: Arc<PriorityQueue<Cluster>> = Arc::new(PriorityQueue::new());
     let ack: Arc<PriorityQueue<Ack<S::Pos>>> = Arc::new(PriorityQueue::new());
@@ -162,31 +221,58 @@ where
             }
             n
         };
-        push_ready(scheduler);
-        while !scheduler.is_done() {
-            if scheduler.inflight_len() == 0 {
-                ready.close();
-                ack.close();
-                return Err(EngineError::Deadlock {
-                    detail: "no in-flight clusters and none ready".to_string(),
-                });
-            }
-            let Some((cid, new_pos)) = ack.pop() else {
-                return Err(EngineError::Deadlock {
-                    detail: "ack queue closed with work outstanding".to_string(),
-                });
-            };
-            clusters += 1;
-            agent_steps += new_pos.len() as u64;
-            scheduler.complete(&cid, &new_pos)?;
+        // Next committed-step multiple at which the checkpoint hook fires;
+        // computed from the *current* floor so resumed runs do not
+        // re-checkpoint their restore point.
+        let next_multiple = |step: u32, every: u32| step - step % every + every;
+        let mut next_due = hook
+            .as_ref()
+            .map(|h| next_multiple(scheduler.graph().min_step().0, h.every_steps));
+        let due = |sched: &Scheduler<S>, next_due: &Option<u32>| matches!(next_due, Some(d) if sched.graph().min_step().0 >= *d);
+        // Run the controller to an explicit result, then close the queues
+        // unconditionally so workers always exit (even on the error path)
+        // before the scope joins them.
+        let mut run = |scheduler: &mut Scheduler<S>| -> Result<(), EngineError> {
             push_ready(scheduler);
-        }
+            while !scheduler.is_done() {
+                if due(scheduler, &next_due) && scheduler.inflight_len() == 0 {
+                    // Quiesced: every emitted cluster has committed, so
+                    // store, graph, and world agree on one cut and this
+                    // thread is the sole writer.
+                    let h = hook.as_mut().expect("due implies a hook");
+                    (h.f)(scheduler)?;
+                    next_due = Some(next_multiple(scheduler.graph().min_step().0, h.every_steps));
+                    push_ready(scheduler);
+                    continue;
+                }
+                if scheduler.inflight_len() == 0 {
+                    return Err(EngineError::Deadlock {
+                        detail: "no in-flight clusters and none ready".to_string(),
+                    });
+                }
+                let Some((cid, new_pos)) = ack.pop() else {
+                    return Err(EngineError::Deadlock {
+                        detail: "ack queue closed with work outstanding".to_string(),
+                    });
+                };
+                clusters += 1;
+                agent_steps += new_pos.len() as u64;
+                scheduler.complete(&cid, &new_pos)?;
+                if !due(scheduler, &next_due) {
+                    push_ready(scheduler);
+                }
+                // else: a checkpoint is due — hold new work back and let
+                // the in-flight clusters drain.
+            }
+            Ok(())
+        };
+        let outcome = run(scheduler);
         ready.close();
         ack.close();
         for h in handles {
             h.join().expect("worker thread panicked");
         }
-        Ok(())
+        outcome
     });
     result?;
 
@@ -392,6 +478,69 @@ mod tests {
         );
         assert!(m.all_replicas_served(), "both replica types served: {m:?}");
         assert!(report.backend.starts_with("fleet(core-test, round-robin"));
+    }
+
+    #[test]
+    fn checkpoint_hook_fires_quiesced_on_cadence() {
+        let initial: Vec<Point> = (0..6).map(|i| Point::new(i * 100, 0)).collect();
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 9);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let mut fired: Vec<(u32, usize)> = Vec::new();
+        let mut hook_fn = |sched: &mut Scheduler<GridSpace>| {
+            fired.push((sched.graph().min_step().0, sched.inflight_len()));
+            Ok(())
+        };
+        run_threaded_with_checkpoints(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig::default(),
+            Some(CheckpointHook {
+                every_steps: 3,
+                f: &mut hook_fn,
+            }),
+        )
+        .unwrap();
+        assert!(sched.is_done());
+        // The hook fired at (at least) the multiples of 3 below the
+        // target, always quiesced, never at step 0.
+        assert!(!fired.is_empty());
+        for (step, inflight) in &fired {
+            assert_eq!(*inflight, 0, "hook must run with nothing in flight");
+            assert!(
+                *step >= 3 && *step % 3 == 0 && *step < 9,
+                "bad fire at {step}"
+            );
+        }
+        let steps: Vec<u32> = fired.iter().map(|(s, _)| *s).collect();
+        assert!(steps.contains(&3) && steps.contains(&6), "fires: {steps:?}");
+    }
+
+    #[test]
+    fn checkpoint_hook_error_aborts_cleanly() {
+        let initial = vec![Point::new(0, 0), Point::new(300, 300)];
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 6);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let mut hook_fn = |_: &mut Scheduler<GridSpace>| {
+            Err(EngineError::Deadlock {
+                detail: "hook says stop".to_string(),
+            })
+        };
+        let r = run_threaded_with_checkpoints(
+            &mut sched,
+            program,
+            backend,
+            ThreadedConfig::default(),
+            Some(CheckpointHook {
+                every_steps: 2,
+                f: &mut hook_fn,
+            }),
+        );
+        // The error propagates and the workers shut down (no hang).
+        assert!(matches!(r, Err(EngineError::Deadlock { .. })));
+        assert!(!sched.is_done());
     }
 
     #[test]

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod depgraph;
 pub mod engine;
@@ -99,11 +100,14 @@ pub use ids::{AgentId, ClusterId, Step};
 
 /// The commonly used names, for glob import in examples and tests.
 pub mod prelude {
+    pub use crate::checkpoint::CheckpointMeta;
     pub use crate::engine::{Engine, EngineBuilder};
     pub use crate::error::EngineError;
     pub use crate::exec::hybrid::{run_hybrid_sim, InteractiveLoad, InteractiveReport};
     pub use crate::exec::sim::{run_sim, SimConfig};
-    pub use crate::exec::threaded::{run_threaded, ClusterProgram, ThreadedConfig};
+    pub use crate::exec::threaded::{
+        run_threaded, run_threaded_with_checkpoints, CheckpointHook, ClusterProgram, ThreadedConfig,
+    };
     pub use crate::ids::{AgentId, ClusterId, Step};
     pub use crate::metrics::{RunReport, Timeline};
     pub use crate::policy::{DependencyPolicy, OracleGraph};

@@ -155,32 +155,127 @@ impl<S: Space> Scheduler<S> {
         initial: &[S::Pos],
         target_step: Step,
     ) -> Result<Self, StoreError> {
+        Self::new_with_history(space, params, policy, db, initial, target_step, false)
+    }
+
+    /// [`Scheduler::new`] with per-step history recording enabled when
+    /// `history` is set (see [`crate::depgraph::GraphOptions`]) — the
+    /// construction checkpointed long-horizon runs use, paired with
+    /// periodic [`Scheduler::evict_history`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors from the initial graph population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `target_step` is zero.
+    pub fn new_with_history(
+        space: Arc<S>,
+        params: RuleParams,
+        policy: DependencyPolicy,
+        db: Arc<Db>,
+        initial: &[S::Pos],
+        target_step: Step,
+        history: bool,
+    ) -> Result<Self, StoreError> {
         assert!(!initial.is_empty(), "at least one agent is required");
         assert!(target_step > Step::ZERO, "target_step must be positive");
-        // Only the spatiotemporal policy consults the graph's derived
-        // edges; the ablation policies schedule without them and skip the
-        // per-commit maintenance cost.
-        let mode = match policy {
+        let graph = DepGraph::new_with_options(
+            space,
+            params,
+            db,
+            initial,
+            crate::depgraph::GraphOptions {
+                edges: Self::edge_mode_for(&policy),
+                history,
+            },
+        )?;
+        Ok(Self::around_graph(graph, policy, target_step))
+    }
+
+    /// Rebuilds a scheduler from the authoritative records already in
+    /// `db` — the resume path of checkpoint/restore. Each agent picks up
+    /// at its recorded step: agents at or past `target_step` start
+    /// finished, everyone else is immediately evaluable.
+    ///
+    /// The caller chooses `target_step` for the *resumed* run, which may
+    /// exceed the target the snapshot was taken under (extending a
+    /// finished run is legal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] if an agent record is missing or
+    /// malformed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents` is zero or `target_step` is zero.
+    pub fn recover(
+        space: Arc<S>,
+        params: RuleParams,
+        policy: DependencyPolicy,
+        db: Arc<Db>,
+        num_agents: usize,
+        target_step: Step,
+        history: bool,
+    ) -> Result<Self, StoreError> {
+        assert!(num_agents > 0, "at least one agent is required");
+        assert!(target_step > Step::ZERO, "target_step must be positive");
+        let graph = DepGraph::recover_with_options(
+            space,
+            params,
+            db,
+            num_agents,
+            crate::depgraph::GraphOptions {
+                edges: Self::edge_mode_for(&policy),
+                history,
+            },
+        )?;
+        Ok(Self::around_graph(graph, policy, target_step))
+    }
+
+    /// Only the spatiotemporal policy consults the graph's derived
+    /// edges; the ablation policies schedule without them and skip the
+    /// per-commit maintenance cost.
+    fn edge_mode_for(policy: &DependencyPolicy) -> crate::depgraph::EdgeMode {
+        match policy {
             DependencyPolicy::Spatiotemporal => crate::depgraph::EdgeMode::Maintained,
             _ => crate::depgraph::EdgeMode::Off,
-        };
-        let graph = DepGraph::new_with_mode(space, params, db, initial, mode)?;
-        let n = initial.len();
-        Ok(Scheduler {
+        }
+    }
+
+    /// Builds the scheduler state machine around an assembled graph,
+    /// deriving agent states from the graph's (possibly recovered) steps.
+    fn around_graph(graph: DepGraph<S>, policy: DependencyPolicy, target_step: Step) -> Self {
+        let n = graph.len();
+        let mut state = vec![AgentState::Waiting; n];
+        let mut dirty = BTreeSet::new();
+        let mut finished = 0;
+        for a in 0..n as u32 {
+            let step = graph.step(AgentId(a));
+            if step >= target_step {
+                state[a as usize] = AgentState::Finished;
+                finished += 1;
+            } else {
+                dirty.insert((step.0, a));
+            }
+        }
+        Scheduler {
             graph,
             policy,
             target_step,
-            state: vec![AgentState::Waiting; n],
-            dirty: (0..n as u32).map(|a| (0u32, a)).collect(),
+            state,
+            dirty,
             watchers: vec![Vec::new(); n],
             inflight: std::collections::HashMap::new(),
             next_cluster: 0,
-            finished: 0,
+            finished,
             stats: SchedStats::default(),
             stamp: vec![0; n],
             epoch: 0,
             frontier: Vec::new(),
-        })
+        }
     }
 
     /// The dependency graph (positions, steps, edge queries).
@@ -291,6 +386,20 @@ impl<S: Space> Scheduler<S> {
     /// the graph's step index in O(log n).
     pub fn current_skew(&self) -> u32 {
         self.graph.max_step().0 - self.graph.min_step().0
+    }
+
+    /// Compacts dependency-graph history below the deepest legal rollback
+    /// (see [`DepGraph::evict_history`]); returns the records evicted.
+    /// No-op unless the scheduler was built with history recording.
+    ///
+    /// Call while quiesced — the threaded executor's checkpoint barrier
+    /// is the natural site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn evict_history(&mut self) -> Result<u64, StoreError> {
+        self.graph.evict_history()
     }
 
     fn emit(&mut self, step: Step, members: Vec<AgentId>) -> Cluster {

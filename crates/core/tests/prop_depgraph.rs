@@ -139,4 +139,97 @@ proptest! {
             prop_assert_eq!(g.snapshot(), rebuilt.snapshot());
         }
     }
+
+    /// AIMSNAP roundtrip under churn: after arbitrary history-recording
+    /// advance/rollback/eviction sequences, snapshotting the store,
+    /// restoring it, and recovering a graph from the restored store
+    /// yields a graph identical to the live one — same validated state,
+    /// same adjacency (against the rules oracle), byte-for-byte the same
+    /// re-snapshot, and the same resident history.
+    #[test]
+    fn snapshot_restore_recover_equals_live(
+        points in proptest::collection::vec((0i32..48, 0i32..48), 2..8),
+        ops in proptest::collection::vec(
+            (any::<u16>(), 0u8..12, -2i32..3, -2i32..3),
+            1..40
+        ),
+        params in (1u32..5, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        use aim_core::depgraph::{EdgeMode, GraphOptions};
+        use aim_store::{Snapshot, SnapshotBuilder};
+
+        let space = Arc::new(GridSpace::new(64, 64));
+        let db = Arc::new(Db::new());
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let options = GraphOptions { edges: EdgeMode::Maintained, history: true };
+        let mut g = DepGraph::new_with_options(
+            Arc::clone(&space),
+            params,
+            Arc::clone(&db),
+            &initial,
+            options,
+        ).unwrap();
+
+        for (pick, kind, dx, dy) in ops {
+            let a = AgentId(pick as u32 % g.len() as u32);
+            let cur = g.pos(a);
+            let moved = Point::new(cur.x + dx, cur.y + dy);
+            if kind < 8 || g.step(a) == Step::ZERO {
+                g.advance(&[(a, moved)]).unwrap();
+            } else if kind == 11 {
+                // Eviction is part of the churn, not just a final pass.
+                g.evict_history().unwrap();
+            } else {
+                // A *legal* rollback: schedulers only ever squash to a
+                // step at or above the global minimum (the eviction
+                // invariant), so the generated target is clamped there.
+                let lo = g.min_step().0;
+                let target = Step(lo + pick as u32 % (g.step(a).0 - lo + 1));
+                g.rollback(&[(a, target, moved)]).unwrap();
+            }
+        }
+        g.evict_history().unwrap();
+
+        let bytes = SnapshotBuilder::new().db(&db).to_bytes().unwrap();
+        let snap = Snapshot::from_bytes(bytes.clone()).unwrap();
+        let restored = Arc::new(snap.restore_db());
+        let r = DepGraph::recover_with_options(
+            Arc::clone(&space),
+            params,
+            Arc::clone(&restored),
+            g.len(),
+            options,
+        ).unwrap();
+
+        // Node-for-node, edge-for-edge identical…
+        prop_assert_eq!(g.snapshot(), r.snapshot(), "recovered graph diverged");
+        prop_assert_eq!(g.validate().is_ok(), r.validate().is_ok());
+        // …with identical resident history and watermark…
+        prop_assert_eq!(g.history_records(), r.history_records());
+        prop_assert_eq!(g.history_floor(), r.history_floor());
+        // …the eviction invariant intact (all resident steps ≥ floor, and
+        // every step in [min_step, agent step] resident per agent)…
+        let floor = r.history_floor();
+        prop_assert!(floor <= r.min_step());
+        for a in 0..r.len() as u32 {
+            for s in r.min_step().0..=r.step(AgentId(a)).0 {
+                prop_assert!(
+                    r.history_at(AgentId(a), Step(s)).unwrap().is_some(),
+                    "agent {} missing resident history at step {}", a, s
+                );
+            }
+        }
+        // …and the recovered adjacency still matches the rules oracle.
+        let (blocked, coupled) = oracle_edges(&r);
+        let live = r.snapshot();
+        let mut live_blocked = live.blocked.clone();
+        live_blocked.sort_unstable();
+        let mut live_coupled = live.coupled.clone();
+        live_coupled.sort_unstable();
+        prop_assert_eq!(live_blocked, blocked);
+        prop_assert_eq!(live_coupled, coupled);
+        // Restoring and re-snapshotting is byte-for-byte stable.
+        let again = SnapshotBuilder::new().db(&restored).to_bytes().unwrap();
+        prop_assert_eq!(bytes.as_ref(), again.as_ref());
+    }
 }

@@ -5,8 +5,7 @@
 //! `units` boundary, and on negative/extreme coordinates where naive
 //! arithmetic would overflow.
 
-use aim_core::prelude::*;
-use aim_core::space::{GridSpace, Point, Space, SpatialIndex};
+use aim_core::space::{GridSpace, Point, Space};
 use proptest::prelude::*;
 
 /// Brute-force oracle: every pair, exact check.

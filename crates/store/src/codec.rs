@@ -99,6 +99,32 @@ pub fn get_i64(buf: &mut Bytes) -> Result<i64, StoreError> {
     Ok(buf.get_i64())
 }
 
+/// Decodes a whole value as one big-endian `i64` (the on-disk shape of
+/// counters written by [`crate::Txn::set_i64`], [`crate::Db::set_i64`],
+/// and [`crate::Db::incr`]).
+///
+/// This is the single authority for the "integer value" encoding; the
+/// transaction and database layers both delegate here so the two can
+/// never drift.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Codec`] if the value is not exactly 8 bytes.
+pub fn i64_value(value: &[u8]) -> Result<i64, StoreError> {
+    let raw: [u8; 8] = value.try_into().map_err(|_| {
+        StoreError::Codec(format!(
+            "expected 8-byte integer value, got {}",
+            value.len()
+        ))
+    })?;
+    Ok(i64::from_be_bytes(raw))
+}
+
+/// Encodes an `i64` as the 8-byte big-endian value [`i64_value`] reads.
+pub fn i64_bytes(value: i64) -> [u8; 8] {
+    value.to_be_bytes()
+}
+
 /// Appends a UTF-8 string with a `u32` length prefix.
 pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);

@@ -181,15 +181,7 @@ impl Db {
         let mut shard = self.shards[Self::shard_index(key_ref)].write();
         let cur = match shard.map.get(key_ref) {
             None => 0,
-            Some(e) => {
-                let raw: [u8; 8] = e.value.as_ref().try_into().map_err(|_| {
-                    StoreError::Codec(format!(
-                        "incr on non-integer value of len {}",
-                        e.value.len()
-                    ))
-                })?;
-                i64::from_be_bytes(raw)
-            }
+            Some(e) => crate::codec::i64_value(&e.value)?,
         };
         let next = cur.wrapping_add(delta);
         let version = shard.bump();
@@ -208,7 +200,9 @@ impl Db {
     ///
     /// Scans are *not* transactional: concurrent writers may be observed
     /// partially. Use key-level reads inside [`Db::transaction`] when
-    /// consistency matters.
+    /// consistency matters. Large scans that only need to *visit* records
+    /// should prefer [`Db::for_each_prefix`], which does not materialize
+    /// the value handles up front.
     pub fn scan_prefix(&self, prefix: impl AsRef<[u8]>) -> Vec<(Bytes, Bytes)> {
         let prefix = prefix.as_ref();
         let mut out = Vec::new();
@@ -222,6 +216,78 @@ impl Db {
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Visits every `(key, value)` pair whose key starts with `prefix`, in
+    /// ascending key order, without materializing the result set.
+    ///
+    /// Only the (refcounted) key handles are gathered up front — an
+    /// unavoidable O(total keys) sweep of the hash-sharded store plus a
+    /// sort of the matches; each *value* is then fetched one at a time
+    /// while `f` runs, and no shard lock is held during the callback, so
+    /// `f` may freely read or write the database. Returning
+    /// [`std::ops::ControlFlow::Break`] stops the walk early, skipping
+    /// the remaining value fetches and callback work (the key gather has
+    /// already happened). What this buys over [`Db::scan_prefix`] is
+    /// peak memory — O(matching keys) handles instead of O(matching)
+    /// key+value pairs held alive at once — not asymptotic scan cost.
+    ///
+    /// Like [`Db::scan_prefix`] the walk is not transactional: pairs
+    /// deleted between the key gather and their visit are skipped, and
+    /// concurrent writes may or may not be observed. The snapshot writer
+    /// calls this from a quiesced controller thread, where the scan is
+    /// exact.
+    pub fn for_each_prefix(
+        &self,
+        prefix: impl AsRef<[u8]>,
+        mut f: impl FnMut(&Bytes, &Bytes) -> std::ops::ControlFlow<()>,
+    ) {
+        let prefix = prefix.as_ref();
+        let mut keys: Vec<Bytes> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for k in shard.map.keys() {
+                if k.starts_with(prefix) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+        keys.sort_unstable();
+        for k in keys {
+            // Uncounted read: the scan is instrumentation-neutral so a
+            // checkpoint pass does not distort the `gets` counter.
+            let value = {
+                let shard = self.shards[Self::shard_index(&k)].read();
+                match shard.map.get(&k) {
+                    Some(e) => e.value.clone(),
+                    None => continue, // deleted since the key gather
+                }
+            };
+            if f(&k, &value).is_break() {
+                return;
+            }
+        }
+    }
+
+    /// Reads `key` as a big-endian `i64` (absent counts as 0), without
+    /// opening a transaction — the counterpart of [`crate::Txn::get_i64`]
+    /// for single-key metadata such as eviction watermarks and checkpoint
+    /// cursors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] if the stored value is not 8 bytes.
+    pub fn get_i64(&self, key: impl AsRef<[u8]>) -> Result<i64, StoreError> {
+        match self.get(key) {
+            None => Ok(0),
+            Some(v) => crate::codec::i64_value(&v),
+        }
+    }
+
+    /// Stores `value` as a big-endian `i64` readable by [`Db::get_i64`],
+    /// [`Db::incr`], and [`crate::Txn::get_i64`].
+    pub fn set_i64(&self, key: impl AsRef<[u8]>, value: i64) {
+        self.set(key, crate::codec::i64_bytes(value).to_vec());
     }
 
     /// Number of keys currently stored.
@@ -358,6 +424,67 @@ mod tests {
             keys,
             vec![&b"agent:1"[..], &b"agent:10"[..], &b"agent:2"[..]]
         );
+    }
+
+    #[test]
+    fn for_each_prefix_streams_in_order_and_breaks() {
+        let db = Db::new();
+        for i in 0..50u32 {
+            db.set(format!("h:{i:04}"), i.to_be_bytes().to_vec());
+        }
+        db.set("other", vec![1]);
+        let mut seen = Vec::new();
+        db.for_each_prefix("h:", |k, v| {
+            seen.push((k.clone(), v.clone()));
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 50);
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "ascending keys");
+        assert_eq!(seen, db.scan_prefix("h:"), "same pairs as scan_prefix");
+        // Early termination visits only the requested range.
+        let mut visited = 0;
+        db.for_each_prefix("h:", |_, _| {
+            visited += 1;
+            if visited == 7 {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(visited, 7);
+    }
+
+    #[test]
+    fn for_each_prefix_skips_keys_deleted_mid_walk() {
+        let db = Db::new();
+        db.set("p:a", vec![1]);
+        db.set("p:b", vec![2]);
+        db.set("p:c", vec![3]);
+        let mut seen = Vec::new();
+        db.for_each_prefix("p:", |k, _| {
+            if k.as_ref() == b"p:a" {
+                db.del("p:b"); // the callback may write; b vanishes
+            }
+            seen.push(k.clone());
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].as_ref(), b"p:a");
+        assert_eq!(seen[1].as_ref(), b"p:c");
+    }
+
+    #[test]
+    fn db_level_i64_helpers_roundtrip_and_interop() {
+        let db = Db::new();
+        assert_eq!(db.get_i64("w").unwrap(), 0, "absent counts as zero");
+        db.set_i64("w", -7);
+        assert_eq!(db.get_i64("w").unwrap(), -7);
+        // Same encoding as incr and the transactional helpers.
+        assert_eq!(db.incr("w", 10).unwrap(), 3);
+        let v = db.transaction(|txn| txn.get_i64("w")).unwrap();
+        assert_eq!(v, 3);
+        db.set("bad", vec![1, 2]);
+        assert!(matches!(db.get_i64("bad"), Err(StoreError::Codec(_))));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum StoreError {
     /// A value could not be decoded as the requested type (e.g. an `incr`
     /// on a non-integer value).
     Codec(String),
+    /// A filesystem operation on a snapshot file failed.
+    ///
+    /// Carries the rendered [`std::io::Error`]; the store keeps its error
+    /// type `Clone + PartialEq`, which the raw `io::Error` is not.
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -33,7 +38,14 @@ impl fmt::Display for StoreError {
             }
             StoreError::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
             StoreError::Codec(msg) => write!(f, "value codec error: {msg}"),
+            StoreError::Io(msg) => write!(f, "snapshot i/o error: {msg}"),
         }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
     }
 }
 

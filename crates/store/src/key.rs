@@ -53,6 +53,19 @@ impl Key {
         Key(Bytes::copy_from_slice(&raw))
     }
 
+    /// Builds the fixed-width (12-byte) binary key `tag ‖ a_be ‖ b_be`: a
+    /// 4-byte namespace tag followed by two big-endian ids. Keys of one
+    /// tag sort by `a` first, then `b` — the layout of the dependency
+    /// graph's per-step history records (`a` = step, `b` = agent), which
+    /// makes an ordered prefix walk visit steps oldest-first.
+    pub fn tagged_u32_pair(tag: [u8; 4], a: u32, b: u32) -> Self {
+        let mut raw = [0u8; 12];
+        raw[..4].copy_from_slice(&tag);
+        raw[4..8].copy_from_slice(&a.to_be_bytes());
+        raw[8..].copy_from_slice(&b.to_be_bytes());
+        Key(Bytes::copy_from_slice(&raw))
+    }
+
     /// The interned bytes (shared, not copied).
     pub fn bytes(&self) -> &Bytes {
         &self.0
@@ -90,6 +103,17 @@ mod tests {
         assert_eq!(a.as_ref().len(), 8);
         assert_eq!(&a.as_ref()[..4], b"dagt");
         assert!(a < b, "keys of one tag must sort by id");
+    }
+
+    #[test]
+    fn tagged_pair_layout_and_order() {
+        let k = Key::tagged_u32_pair(*b"dhst", 2, 3);
+        assert_eq!(k.as_ref().len(), 12);
+        assert_eq!(&k.as_ref()[..4], b"dhst");
+        // Sorts by the first id, then the second.
+        let later_step = Key::tagged_u32_pair(*b"dhst", 3, 0);
+        let later_agent = Key::tagged_u32_pair(*b"dhst", 2, 4);
+        assert!(k < later_agent && later_agent < later_step);
     }
 
     #[test]

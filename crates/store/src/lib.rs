@@ -21,6 +21,10 @@
 //!   plain FIFO queue.
 //! * [`codec`] — minimal big-endian encode/decode helpers on top of
 //!   [`bytes`] for storing structured records as values.
+//! * [`snapshot`] — durable `AIMSNAP v1` snapshots of a [`Db`] (plus
+//!   named side sections) and the rotating [`Checkpointer`] executors
+//!   drive every K committed steps, enabling resumable long-horizon
+//!   runs.
 //!
 //! # Example
 //!
@@ -53,12 +57,14 @@ mod db;
 mod error;
 mod key;
 mod queue;
+pub mod snapshot;
 mod txn;
 
 pub use db::{Db, DbStats};
 pub use error::StoreError;
 pub use key::Key;
 pub use queue::{PopResult, PriorityQueue, QueueClosed};
+pub use snapshot::{Checkpointer, Snapshot, SnapshotBuilder, SnapshotInfo};
 pub use txn::{Txn, DEFAULT_MAX_ATTEMPTS};
 
 /// Convenient result alias for store operations.

@@ -94,19 +94,14 @@ impl<'db> Txn<'db> {
     pub fn get_i64(&mut self, key: impl AsRef<[u8]>) -> Result<i64, StoreError> {
         match self.get(key) {
             None => Ok(0),
-            Some(v) => {
-                let raw: [u8; 8] = v
-                    .as_ref()
-                    .try_into()
-                    .map_err(|_| StoreError::Codec(format!("expected 8 bytes, got {}", v.len())))?;
-                Ok(i64::from_be_bytes(raw))
-            }
+            Some(v) => crate::codec::i64_value(&v),
         }
     }
 
-    /// Buffers a write of `value` as a big-endian `i64`.
+    /// Buffers a write of `value` as a big-endian `i64` (the same encoding
+    /// as [`crate::Db::set_i64`], via [`crate::codec::i64_bytes`]).
     pub fn set_i64(&mut self, key: impl AsRef<[u8]>, value: i64) {
-        self.set(key, value.to_be_bytes().to_vec());
+        self.set(key, crate::codec::i64_bytes(value).to_vec());
     }
 
     /// Aborts the transaction with a message; the caller should propagate

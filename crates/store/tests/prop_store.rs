@@ -1,7 +1,7 @@
 //! Model-based property tests: the store behaves like a HashMap, the
 //! priority queue like a stable sort, and transactions serialize.
 
-use aim_store::{Db, PriorityQueue};
+use aim_store::{Db, PriorityQueue, Snapshot, SnapshotBuilder};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -74,6 +74,65 @@ proptest! {
             got.push((items[i], i));
         }
         prop_assert_eq!(got, expect);
+    }
+
+    /// AIMSNAP v1 roundtrips any database byte-for-byte: restoring a
+    /// snapshot and snapshotting again yields the identical stream, and
+    /// the restored contents equal the original exactly. Sections ride
+    /// along unchanged.
+    #[test]
+    fn snapshot_restore_roundtrips_byte_for_byte(
+        pairs in proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u8>(), 0..12),
+                proptest::collection::vec(any::<u8>(), 0..16),
+            ),
+            0..64
+        ),
+        section in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let entries: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
+            pairs.into_iter().collect();
+        let db = Db::new();
+        for (k, v) in &entries {
+            db.set(k, v.clone());
+        }
+        let bytes = SnapshotBuilder::new()
+            .section("meta", section.clone())
+            .db(&db)
+            .to_bytes()
+            .unwrap();
+        let snap = Snapshot::from_bytes(bytes.clone()).unwrap();
+        prop_assert_eq!(snap.info().db_records as usize, entries.len());
+        prop_assert_eq!(snap.section("meta").unwrap().as_ref(), section.as_slice());
+        let restored = snap.restore_db();
+        prop_assert_eq!(restored.scan_prefix(""), db.scan_prefix(""));
+        // Canonical encoding: the second snapshot is the same stream.
+        let again = SnapshotBuilder::new()
+            .section("meta", section)
+            .db(&restored)
+            .to_bytes()
+            .unwrap();
+        prop_assert_eq!(bytes.as_ref(), again.as_ref());
+    }
+
+    /// The streaming scan agrees with the materializing scan on every
+    /// prefix, including empty and non-matching ones.
+    #[test]
+    fn for_each_prefix_matches_scan_prefix(
+        keys in proptest::collection::vec(proptest::collection::vec(0u8..4, 0..5), 0..50),
+        prefix in proptest::collection::vec(0u8..4, 0..3),
+    ) {
+        let db = Db::new();
+        for (i, k) in keys.iter().enumerate() {
+            db.set(k, vec![i as u8]);
+        }
+        let mut streamed = Vec::new();
+        db.for_each_prefix(&prefix, |k, v| {
+            streamed.push((k.clone(), v.clone()));
+            std::ops::ControlFlow::Continue(())
+        });
+        prop_assert_eq!(streamed, db.scan_prefix(&prefix));
     }
 
     /// Concurrent transactional increments over random key sets lose no

@@ -10,11 +10,18 @@
 //! trace_tool replay out.trc --mode metropolis --gpus 4
 //! trace_tool replay out.trc --mode spec:4 --gpus 8 --preset l4
 //! trace_tool latency out.trc out.lat --preset l4 --gpus 2 --step-us 500000
+//! trace_tool snapshot ckpt-00000040.aimsnap --validate
 //! ```
 //!
 //! `latency` exports the serving-latency distribution the trace induces
 //! on a deployment as an `AIMLAT v1` profile, ready to be imported by
 //! `aim_llm::ReplayBackend` (e.g. as a fleet replica).
+//!
+//! `snapshot` inspects an `AIMSNAP v1` checkpoint file (sections, record
+//! counts, run metadata; the checksum is always verified on load);
+//! `--validate` additionally restores the store, recovers the scheduler
+//! from it, and checks the §3.2 validity condition plus the history
+//! eviction invariant over the recovered graph.
 
 use aim_trace::{codec, gen, stats, Trace};
 
@@ -26,7 +33,8 @@ fn usage() -> ! {
          trace_tool replay <file> [--mode single-thread|parallel-sync|metropolis|oracle|\
          no-dependency|spec:<k>] [--gpus N] [--preset l4|a100|mixtral|game|tiny] [--no-priority]\n  \
          trace_tool latency <file> <out.lat> [--preset l4|a100|mixtral|game|tiny] [--gpus N] \
-         [--step-us U] [--no-priority]"
+         [--step-us U] [--no-priority]\n  \
+         trace_tool snapshot <file.aimsnap> [--validate]"
     );
     std::process::exit(2);
 }
@@ -64,8 +72,124 @@ fn main() {
         Some("window") if args.len() == 5 => cmd_window(&args[1..]),
         Some("replay") if args.len() >= 2 => cmd_replay(&args[1..]),
         Some("latency") if args.len() >= 3 => cmd_latency(&args[1..]),
+        Some("snapshot") if args.len() >= 2 => cmd_snapshot(&args[1..]),
         _ => usage(),
     }
+}
+
+fn cmd_snapshot(args: &[String]) {
+    use aim_core::checkpoint::{self, CheckpointMeta, PolicyTag, SECTION_META, SECTION_WORLD};
+    use aim_core::policy::DependencyPolicy;
+    use aim_store::Snapshot;
+
+    let path = &args[0];
+    let mut validate = false;
+    for flag in &args[1..] {
+        match flag.as_str() {
+            "--validate" => validate = true,
+            _ => usage(),
+        }
+    }
+    // Parsing verifies the magic and checksum unconditionally.
+    let snap = match Snapshot::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let info = snap.info();
+    println!("file        : {path}");
+    println!("size        : {} bytes", info.total_bytes);
+    println!("checksum    : {:#018x} (verified)", info.checksum);
+    println!("db records  : {}", info.db_records);
+    for (name, len) in &info.sections {
+        println!("section     : {name} ({len} bytes)");
+    }
+    let meta = snap
+        .section(SECTION_META)
+        .cloned()
+        .map(CheckpointMeta::decode);
+    match &meta {
+        None => println!("meta        : absent (raw store snapshot)"),
+        Some(Err(e)) => {
+            eprintln!("error decoding meta section: {e}");
+            std::process::exit(1);
+        }
+        Some(Ok(m)) => {
+            println!("agents      : {}", m.num_agents);
+            println!("space       : {}x{}", m.width, m.height);
+            println!(
+                "rules       : radius_p={} max_vel={}",
+                m.radius_p, m.max_vel
+            );
+            println!(
+                "steps       : min={} max={} target={} (world offset {})",
+                m.min_step, m.max_step, m.target_step, m.step_offset
+            );
+            println!("history     : {}", if m.history { "on" } else { "off" });
+            println!("policy      : {:?}", m.policy);
+            println!(
+                "world state : {}",
+                if snap.section(SECTION_WORLD).is_some() {
+                    "present"
+                } else {
+                    "absent"
+                }
+            );
+        }
+    }
+    if !validate {
+        return;
+    }
+    let Some(Ok(m)) = meta else {
+        eprintln!("cannot --validate: snapshot has no run metadata");
+        std::process::exit(1);
+    };
+    // Restore the store and recover the scheduler from it; any missing or
+    // malformed record surfaces here. The recorded policy drives the
+    // recovery; oracle snapshots carry no mined graph, so recover their
+    // node table under a dependency-free stand-in.
+    let policy_override = match m.policy {
+        PolicyTag::Oracle => Some(DependencyPolicy::NoDependency),
+        _ => None,
+    };
+    let (_, sched) = match checkpoint::resume(&snap, policy_override, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("VALIDATE FAILED: scheduler recovery: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The §3.2 validity condition is an invariant only of schedules that
+    // respect the spatiotemporal rules; the ablation policies (oracle,
+    // no-dependency) legitimately violate it.
+    match m.policy {
+        PolicyTag::Spatiotemporal | PolicyTag::GlobalSync => {
+            if let Err(e) = sched.graph().validate() {
+                eprintln!("VALIDATE FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        tag => println!("validity    : skipped ({tag:?} schedules are not bound by §3.2)"),
+    }
+    if m.history {
+        let floor = sched.graph().history_floor();
+        if floor > sched.graph().min_step() {
+            eprintln!(
+                "VALIDATE FAILED: history floor {floor} above min step {} — \
+                 a record a legal rollback could read was evicted",
+                sched.graph().min_step()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "history     : {} resident records, floor {}",
+            sched.graph().history_records(),
+            floor
+        );
+    }
+    println!("validate    : OK (store restored, scheduler recovered)");
 }
 
 fn cmd_latency(args: &[String]) {

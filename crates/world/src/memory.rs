@@ -22,6 +22,29 @@ pub enum MemoryKind {
     Plan,
 }
 
+impl MemoryKind {
+    /// Stable one-byte code for the state codec (checkpoint capture).
+    pub fn code(self) -> u8 {
+        match self {
+            MemoryKind::Observation => 0,
+            MemoryKind::Conversation => 1,
+            MemoryKind::Reflection => 2,
+            MemoryKind::Plan => 3,
+        }
+    }
+
+    /// Inverse of [`MemoryKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => MemoryKind::Observation,
+            1 => MemoryKind::Conversation,
+            2 => MemoryKind::Reflection,
+            3 => MemoryKind::Plan,
+            _ => return None,
+        })
+    }
+}
+
 /// One record in the stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemoryEntry {
@@ -77,6 +100,23 @@ impl MemoryStream {
     /// All entries, oldest first.
     pub fn entries(&self) -> &[MemoryEntry] {
         &self.entries
+    }
+
+    /// Importance accumulated since the last reflection (the state behind
+    /// [`MemoryStream::should_reflect`]) — captured by checkpoints so a
+    /// restored agent reflects at the same step it would have.
+    pub fn since_reflection(&self) -> f32 {
+        self.since_reflection
+    }
+
+    /// Rebuilds a stream from captured state: the exact inverse of
+    /// reading [`MemoryStream::entries`] and
+    /// [`MemoryStream::since_reflection`].
+    pub fn from_parts(entries: Vec<MemoryEntry>, since_reflection: f32) -> Self {
+        MemoryStream {
+            entries,
+            since_reflection,
+        }
     }
 
     /// Appends a memory.

@@ -58,6 +58,21 @@ impl VillageProgram {
         self.calls_made.load(Ordering::Relaxed)
     }
 
+    /// The world-step offset this program was built with.
+    pub fn step_offset(&self) -> u32 {
+        self.step_offset
+    }
+
+    /// Serializes the village's runtime state
+    /// ([`Village::capture_state`]) under the world lock.
+    ///
+    /// Call from a quiesced executor (the threaded runtime's checkpoint
+    /// barrier): the capture is then a commit-boundary cut consistent
+    /// with the scheduler's store.
+    pub fn capture_state(&self) -> bytes::Bytes {
+        self.village.lock().capture_state()
+    }
+
     /// Consumes the program, returning the final world.
     pub fn into_village(self) -> Village {
         self.village.into_inner()

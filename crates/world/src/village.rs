@@ -165,6 +165,9 @@ pub struct Village {
 /// Spatial-hash cell side; ≥ the largest query radius used in planning.
 const BUCKET_CELL: i32 = 8;
 
+/// Version tag of the [`Village::capture_state`] encoding.
+const STATE_VERSION: u32 = 1;
+
 fn bucket_of(p: Point) -> (i32, i32) {
     (p.x.div_euclid(BUCKET_CELL), p.y.div_euclid(BUCKET_CELL))
 }
@@ -659,6 +662,196 @@ impl Village {
         events
     }
 
+    /// Serializes the village's **mutable runtime state** — everything
+    /// [`Village::generate`] cannot rederive from the config — into the
+    /// checkpoint world-section bytes read back by [`Village::restore`].
+    ///
+    /// Captured per agent: committed position, movement target and
+    /// remaining path, conversation cooldown, wakefulness, the current
+    /// activity-block marker, and the full memory stream (entries plus
+    /// the reflection accumulator). Plus the committed world-event log.
+    /// Personas, schedules, and the tile map are deterministic functions
+    /// of [`VillageConfig`] (embedded in the header) and are regenerated
+    /// on restore; the spatial hash is rebuilt from positions.
+    ///
+    /// The encoding is hand-written (the serde derives in this workspace
+    /// are structural annotations only): version-tagged, big-endian,
+    /// using [`aim_store::codec`].
+    pub fn capture_state(&self) -> bytes::Bytes {
+        use aim_store::codec::{put_u32, put_u64};
+        let mut buf = bytes::BytesMut::new();
+        put_u32(&mut buf, STATE_VERSION);
+        put_u32(&mut buf, self.cfg.villes);
+        put_u32(&mut buf, self.cfg.agents_per_ville);
+        put_u64(&mut buf, self.cfg.seed);
+        put_u32(&mut buf, self.agents.len() as u32);
+        let put_point = |buf: &mut bytes::BytesMut, p: Point| {
+            aim_store::codec::put_i32(buf, p.x);
+            aim_store::codec::put_i32(buf, p.y);
+        };
+        for a in &self.agents {
+            put_point(&mut buf, a.pos);
+            put_point(&mut buf, a.target);
+            put_u32(&mut buf, a.path.len() as u32);
+            for p in &a.path {
+                put_point(&mut buf, *p);
+            }
+            put_u32(&mut buf, a.cooldown_until);
+            put_u32(&mut buf, a.awake as u32);
+            put_u32(&mut buf, a.last_block_start);
+            put_u32(&mut buf, a.memory.since_reflection().to_bits());
+            put_u32(&mut buf, a.memory.len() as u32);
+            for e in a.memory.entries() {
+                put_u32(&mut buf, e.step);
+                put_u32(&mut buf, e.kind.code() as u32);
+                put_u32(&mut buf, e.importance.to_bits());
+                aim_store::codec::put_u32_list(&mut buf, &e.keywords);
+            }
+        }
+        put_u32(&mut buf, self.events.len() as u32);
+        for ev in &self.events {
+            put_u32(&mut buf, ev.step);
+            put_u32(&mut buf, ev.agent);
+            let (code, partner) = match ev.kind {
+                WorldEventKind::WokeUp => (0, 0),
+                WorldEventKind::Slept => (1, 0),
+                WorldEventKind::ConversationStarted { partner } => (2, partner),
+                WorldEventKind::ConversationEnded { partner } => (3, partner),
+                WorldEventKind::Reflected => (4, 0),
+            };
+            put_u32(&mut buf, code);
+            put_u32(&mut buf, partner);
+        }
+        buf.freeze()
+    }
+
+    /// Rebuilds a village from [`Village::capture_state`] bytes: the
+    /// embedded config regenerates the deterministic substrate, then the
+    /// captured runtime state is applied on top. The result is
+    /// plan-for-plan identical to the village that was captured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aim_store::StoreError::Codec`] on truncated or malformed
+    /// input or an unsupported state version.
+    pub fn restore(state: &bytes::Bytes) -> Result<Self, aim_store::StoreError> {
+        use aim_store::codec::{get_u32, get_u64};
+        use aim_store::StoreError;
+        let mut rd = state.clone();
+        let version = get_u32(&mut rd)?;
+        if version != STATE_VERSION {
+            return Err(StoreError::Codec(format!(
+                "unsupported village state version {version} (expected {STATE_VERSION})"
+            )));
+        }
+        let cfg = VillageConfig {
+            villes: get_u32(&mut rd)?,
+            agents_per_ville: get_u32(&mut rd)?,
+            seed: get_u64(&mut rd)?,
+        };
+        let mut village = Village::generate(&cfg);
+        let n = get_u32(&mut rd)? as usize;
+        if n != village.agents.len() {
+            return Err(StoreError::Codec(format!(
+                "state names {n} agents but the config generates {}",
+                village.agents.len()
+            )));
+        }
+        let get_point = |rd: &mut bytes::Bytes| -> Result<Point, StoreError> {
+            let x = aim_store::codec::get_i32(rd)?;
+            let y = aim_store::codec::get_i32(rd)?;
+            Ok(Point::new(x, y))
+        };
+        for a in village.agents.iter_mut() {
+            a.pos = get_point(&mut rd)?;
+            a.target = get_point(&mut rd)?;
+            let path_len = get_u32(&mut rd)? as usize;
+            a.path = (0..path_len)
+                .map(|_| get_point(&mut rd))
+                .collect::<Result<_, _>>()?;
+            a.cooldown_until = get_u32(&mut rd)?;
+            a.awake = get_u32(&mut rd)? != 0;
+            a.last_block_start = get_u32(&mut rd)?;
+            let since_reflection = f32::from_bits(get_u32(&mut rd)?);
+            let entries_len = get_u32(&mut rd)? as usize;
+            let mut entries = Vec::with_capacity(entries_len.min(1 << 16));
+            for _ in 0..entries_len {
+                let step = get_u32(&mut rd)?;
+                let code = get_u32(&mut rd)?;
+                let kind = MemoryKind::from_code(code as u8)
+                    .ok_or_else(|| StoreError::Codec(format!("unknown memory kind code {code}")))?;
+                let importance = f32::from_bits(get_u32(&mut rd)?);
+                let keywords = aim_store::codec::get_u32_list(&mut rd)?;
+                entries.push(crate::memory::MemoryEntry {
+                    step,
+                    kind,
+                    importance,
+                    keywords,
+                });
+            }
+            a.memory = MemoryStream::from_parts(entries, since_reflection);
+        }
+        let events_len = get_u32(&mut rd)? as usize;
+        village.events.clear();
+        for _ in 0..events_len {
+            let step = get_u32(&mut rd)?;
+            let agent = get_u32(&mut rd)?;
+            let code = get_u32(&mut rd)?;
+            let partner = get_u32(&mut rd)?;
+            let kind = match code {
+                0 => WorldEventKind::WokeUp,
+                1 => WorldEventKind::Slept,
+                2 => WorldEventKind::ConversationStarted { partner },
+                3 => WorldEventKind::ConversationEnded { partner },
+                4 => WorldEventKind::Reflected,
+                _ => {
+                    return Err(StoreError::Codec(format!(
+                        "unknown world event code {code}"
+                    )))
+                }
+            };
+            village.events.push(WorldEvent { step, agent, kind });
+        }
+        if !rd.is_empty() {
+            return Err(StoreError::Codec(format!(
+                "{} trailing bytes in village state",
+                rd.len()
+            )));
+        }
+        // Rebuild the derived spatial hash from the restored positions.
+        village.buckets.clear();
+        for i in 0..village.agents.len() {
+            let pos = village.agents[i].pos;
+            village
+                .buckets
+                .entry(bucket_of(pos))
+                .or_default()
+                .push(i as u32);
+        }
+        Ok(village)
+    }
+
+    /// In-place form of [`Village::restore`]: replaces this village's
+    /// runtime state with the captured one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Village::restore`], plus a codec error if the state was
+    /// captured from a village with a different [`VillageConfig`] — the
+    /// substrate (map, personas, schedules) is derived from the config,
+    /// so cross-config restores would silently mix worlds.
+    pub fn restore_state(&mut self, state: &bytes::Bytes) -> Result<(), aim_store::StoreError> {
+        let restored = Village::restore(state)?;
+        if restored.cfg != self.cfg {
+            return Err(aim_store::StoreError::Codec(format!(
+                "state belongs to config {:?}, this village is {:?}",
+                restored.cfg, self.cfg
+            )));
+        }
+        *self = restored;
+        Ok(())
+    }
+
     /// Runs the world in global lock-step over `[start, end)`, invoking
     /// `sink(step, agent, plan, new_pos)` for every agent-step — the
     /// self-play loop used for trace synthesis.
@@ -866,6 +1059,71 @@ mod tests {
         // Cooldown: the initiator of the first conversation is on cooldown.
         let first = started[0];
         assert!(v.conversation_cooldown(first.agent) > first.step);
+    }
+
+    #[test]
+    fn capture_restore_roundtrips_a_lived_in_world() {
+        let mut v = village();
+        // Run through a busy morning so every state field is exercised:
+        // wakes, paths mid-flight, conversations, memories, cooldowns.
+        v.run_lockstep(0, clock_to_step(12, 30), |_, _, _, _| {});
+        assert!(!v.events().is_empty());
+        let state = v.capture_state();
+        let r = Village::restore(&state).unwrap();
+        assert_eq!(r.positions(), v.positions());
+        assert_eq!(r.events(), v.events());
+        for agent in 0..v.num_agents() as u32 {
+            assert_eq!(
+                r.conversation_cooldown(agent),
+                v.conversation_cooldown(agent)
+            );
+            assert_eq!(
+                r.agents[agent as usize].memory, v.agents[agent as usize].memory,
+                "agent {agent} memory diverged"
+            );
+            assert_eq!(r.agents[agent as usize].path, v.agents[agent as usize].path);
+            assert_eq!(
+                r.agents[agent as usize].awake,
+                v.agents[agent as usize].awake
+            );
+        }
+        // The restored world *behaves* identically, not just looks it:
+        // continue both half an hour and compare everything again.
+        let mut live = v.clone();
+        let mut restored = r;
+        let end = clock_to_step(13, 0);
+        live.run_lockstep(clock_to_step(12, 30), end, |_, _, _, _| {});
+        restored.run_lockstep(clock_to_step(12, 30), end, |_, _, _, _| {});
+        assert_eq!(live.positions(), restored.positions());
+        assert_eq!(live.events(), restored.events());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let v = village();
+        let state = v.capture_state();
+        assert!(Village::restore(&state.slice(..state.len() - 2)).is_err());
+        let mut wrong_version = state.to_vec();
+        wrong_version[3] = 99;
+        assert!(Village::restore(&bytes::Bytes::from(wrong_version)).is_err());
+    }
+
+    #[test]
+    fn restore_state_in_place_and_config_guard() {
+        let mut v = village();
+        v.run_lockstep(0, clock_to_step(9, 0), |_, _, _, _| {});
+        let state = v.capture_state();
+        let mut fresh = village();
+        fresh.restore_state(&state).unwrap();
+        assert_eq!(fresh.positions(), v.positions());
+        assert_eq!(fresh.events(), v.events());
+        // A different config must be rejected, not silently mixed.
+        let mut other = Village::generate(&VillageConfig {
+            villes: 1,
+            agents_per_ville: 10,
+            seed: 1,
+        });
+        assert!(other.restore_state(&state).is_err());
     }
 
     #[test]
