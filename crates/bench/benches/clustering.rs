@@ -26,7 +26,7 @@ fn bench_geo_cluster(c: &mut Criterion) {
     let space = GridSpace::new(4000, 4000);
     let params = RuleParams::genagent();
     let mut g = c.benchmark_group("clustering/geo_cluster");
-    for n in [25u32, 100, 500, 1000, 2000, 5000] {
+    for n in [25u32, 100, 500, 1000, 2000, 5000, 10000] {
         let agents = crowd(n, (n / 20).max(1));
         g.bench_with_input(BenchmarkId::from_parameter(n), &agents, |b, agents| {
             b.iter(|| black_box(geo_cluster(&space, params, Step(0), black_box(agents))));
@@ -38,7 +38,7 @@ fn bench_geo_cluster(c: &mut Criterion) {
 fn bench_pairs_within(c: &mut Criterion) {
     let space = GridSpace::new(4000, 4000);
     let mut g = c.benchmark_group("clustering/pairs_within");
-    for n in [100u32, 1000, 5000] {
+    for n in [100u32, 1000, 5000, 10000] {
         let pts: Vec<Point> = crowd(n, (n / 20).max(1))
             .into_iter()
             .map(|(_, _, p)| p)

@@ -13,7 +13,7 @@
 //!                          (noise bursts only ever slow a run down)
 //!   --targets a,b,c        allowlisted bench targets to gate
 //!                          (default: scheduler,depgraph,clustering,
-//!                          store,snapshot)
+//!                          shard,store,snapshot)
 //!   --threshold <pct>      allowed regression, percent (default: 5)
 //!   --min-ns <ns>          ignore baselines below this (timer noise floor,
 //!                          default: 100)
@@ -113,10 +113,17 @@ fn parse_args() -> Options {
     let mut opts = Options {
         baseline: PathBuf::new(),
         fresh: Vec::new(),
-        targets: ["scheduler", "depgraph", "clustering", "store", "snapshot"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        targets: [
+            "scheduler",
+            "depgraph",
+            "clustering",
+            "shard",
+            "store",
+            "snapshot",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         threshold_pct: 5.0,
         min_ns: 100,
         allow: false,

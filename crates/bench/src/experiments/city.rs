@@ -1,0 +1,181 @@
+//! The city scaling experiment: an OpenCity-style district city driven
+//! live under the threaded OOO executor, swept over **agents × shard
+//! widths**. For each cell the table reports wall clock, throughput,
+//! and the store's resident-record footprint (history eviction runs at
+//! every checkpoint barrier, so resident state stays O(agents ×
+//! window) while the run commits agents × steps records' worth of
+//! history).
+//!
+//! Width 1 is the unsharded algorithm; wider rows show what spatial
+//! partitioning (per-shard step bounds + pruned relink queries, plus
+//! parallel relink on multi-core machines) buys on a live workload.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aim_core::depgraph::GraphOptions;
+use aim_core::exec::threaded::{run_threaded_with_checkpoints, CheckpointHook, ThreadedConfig};
+use aim_core::policy::DependencyPolicy;
+use aim_core::prelude::*;
+use aim_core::shard::ShardedDepGraph;
+use aim_llm::InstantBackend;
+use aim_store::Db;
+use aim_world::city::{self, CityConfig};
+use aim_world::clock_to_step;
+use aim_world::program::VillageProgram;
+
+use crate::harness::RunEnv;
+use crate::table::Table;
+
+/// One sweep cell result.
+struct Cell {
+    agents: u32,
+    shards: usize,
+    wall_s: f64,
+    steps_per_s: f64,
+    resident: u64,
+    keys: u64,
+    evicted: u64,
+    max_cluster: u32,
+    skew: u32,
+    events: usize,
+}
+
+/// Runs the experiment; prints the table and writes `city.csv`.
+///
+/// # Panics
+///
+/// Panics on internal engine errors or a failed world validity check.
+pub fn run(env: &RunEnv) {
+    let sizes: &[(u32, u32, u32)] = if env.quick {
+        &[(628, 2, 2), (2_512, 4, 4)]
+    } else {
+        &[(2_512, 4, 4), (10_048, 8, 8)]
+    };
+    let widths: &[usize] = if env.quick { &[1, 4] } else { &[1, 4, 16] };
+    let steps = if env.quick { 10 } else { 20 };
+    let every = env.checkpoint_every.unwrap_or(5);
+
+    let mut table = Table::new(
+        "city scaling (agents × shard width)",
+        &[
+            "agents",
+            "shards",
+            "wall s",
+            "agent-steps/s",
+            "resident hist",
+            "store keys",
+            "evicted",
+            "max cluster",
+            "skew",
+            "events",
+        ],
+    );
+    for &(agents, dx, dy) in sizes {
+        let cfg = CityConfig {
+            districts_x: dx,
+            districts_y: dy,
+            agents,
+            seed: 2_025,
+        };
+        println!(
+            "city: generating {agents} agents over {}×{} districts…",
+            dx, dy
+        );
+        let base = city::generate(&cfg);
+        for &shards in widths {
+            let cell = drive(&cfg, base.clone(), shards, steps, every);
+            println!(
+                "  w{shards:<3} {:.2} s wall, {:.0} agent-steps/s, {} resident records",
+                cell.wall_s, cell.steps_per_s, cell.resident
+            );
+            table.push_row(vec![
+                cell.agents.to_string(),
+                cell.shards.to_string(),
+                format!("{:.2}", cell.wall_s),
+                format!("{:.0}", cell.steps_per_s),
+                cell.resident.to_string(),
+                cell.keys.to_string(),
+                cell.evicted.to_string(),
+                cell.max_cluster.to_string(),
+                cell.skew.to_string(),
+                cell.events.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    if let Ok(path) = table.write_csv(&env.out_dir) {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Drives one (city, shard width) cell to completion.
+fn drive(
+    cfg: &CityConfig,
+    village: aim_world::Village,
+    shards: usize,
+    steps: u32,
+    every: u32,
+) -> Cell {
+    let start = clock_to_step(8, 0);
+    let space = village.space();
+    let program = Arc::new(VillageProgram::with_step_offset(village, start));
+    let initial = program.initial_positions();
+    let graph = ShardedDepGraph::new_with_options(
+        Arc::new(space),
+        RuleParams::genagent(),
+        Arc::new(Db::new()),
+        &initial,
+        Arc::new(cfg.shard_map(shards)),
+        GraphOptions {
+            edges: aim_core::depgraph::EdgeMode::Maintained,
+            history: true,
+        },
+    )
+    .expect("sharded graph");
+    let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
+    let started = Instant::now();
+    let mut evicted = 0u64;
+    {
+        let evicted = &mut evicted;
+        let mut hook_fn = move |sched: &mut Scheduler<GridSpace, ShardedDepGraph<GridSpace>>|
+              -> Result<(), EngineError> {
+            *evicted += sched.evict_history()?;
+            Ok(())
+        };
+        run_threaded_with_checkpoints(
+            &mut sched,
+            Arc::clone(&program),
+            Arc::new(InstantBackend::new()),
+            ThreadedConfig {
+                workers: 8,
+                priority_enabled: true,
+            },
+            Some(CheckpointHook {
+                every_steps: every,
+                f: &mut hook_fn,
+            }),
+        )
+        .expect("threaded city run");
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    assert!(sched.is_done());
+    assert!(sched.graph().validate().is_ok(), "validity violated");
+    sched.graph().check_invariants();
+    let stats = sched.stats();
+    let village = Arc::try_unwrap(program)
+        .expect("workers joined")
+        .into_village();
+    Cell {
+        agents: cfg.agents,
+        shards,
+        wall_s,
+        steps_per_s: (cfg.agents as u64 * steps as u64) as f64 / wall_s,
+        resident: sched.graph().history_records(),
+        keys: sched.graph().db().stats().keys as u64,
+        evicted,
+        max_cluster: stats.max_cluster_size,
+        skew: stats.max_step_skew,
+        events: village.events().len(),
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod ablate;
 pub mod calibrate;
+pub mod city;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -29,11 +29,13 @@ use bytes::{Bytes, BytesMut};
 
 use aim_store::{codec, Snapshot, SnapshotBuilder, StoreError};
 
+use crate::depgraph::GraphOptions;
 use crate::error::EngineError;
 use crate::ids::Step;
 use crate::policy::DependencyPolicy;
 use crate::rules::RuleParams;
 use crate::scheduler::Scheduler;
+use crate::shard::{ShardedDepGraph, StripShardMap};
 use crate::space::GridSpace;
 
 /// Snapshot section holding the encoded [`CheckpointMeta`].
@@ -43,8 +45,17 @@ pub const SECTION_META: &str = "meta";
 /// village).
 pub const SECTION_WORLD: &str = "world";
 
-/// Version tag leading the encoded metadata section.
-const META_VERSION: u32 = 1;
+/// Name prefix of the per-shard membership sections written by
+/// [`snapshot_sharded_run`]: section `shard/<i>` holds shard `i`'s
+/// member agent ids (a [`codec`] `u32` list). Membership is *derived*
+/// state — the authoritative records are shard-agnostic — recorded so
+/// [`resume_sharded`] rebuilds ownership without rescanning every
+/// agent's position.
+pub const SECTION_SHARD_PREFIX: &str = "shard/";
+
+/// Version tag leading the encoded metadata section. Version 2 appends
+/// the shard count (version-1 snapshots decode as unsharded).
+const META_VERSION: u32 = 2;
 
 /// Serializable identity of the [`DependencyPolicy`] a run was scheduled
 /// under — recorded in the snapshot so [`resume`] rebuilds the scheduler
@@ -137,6 +148,12 @@ pub struct CheckpointMeta {
     pub history: bool,
     /// The dependency policy the run was scheduled under.
     pub policy: PolicyTag,
+    /// Number of spatial shards the dependency tracker was partitioned
+    /// into (`0` = the single-shard [`crate::depgraph::DepGraph`]; `n ≥ 1`
+    /// = a [`ShardedDepGraph`] over [`StripShardMap::new(width, n)`],
+    /// with per-shard membership in the [`SECTION_SHARD_PREFIX`]
+    /// sections).
+    pub shards: u32,
 }
 
 impl CheckpointMeta {
@@ -157,6 +174,32 @@ impl CheckpointMeta {
             max_step: graph.max_step().0,
             history: graph.history_enabled(),
             policy: PolicyTag::of(sched.policy()),
+            shards: 0,
+        }
+    }
+
+    /// Reads the metadata off a live (quiesced) scheduler mounted on a
+    /// [`ShardedDepGraph`].
+    pub fn from_sharded_scheduler(
+        sched: &Scheduler<GridSpace, ShardedDepGraph<GridSpace>>,
+        step_offset: u32,
+    ) -> Self {
+        let graph = sched.graph();
+        let params = graph.params();
+        let space = graph.space();
+        CheckpointMeta {
+            num_agents: graph.len() as u32,
+            width: space.width(),
+            height: space.height(),
+            radius_p: params.radius_p,
+            max_vel: params.max_vel,
+            target_step: sched.target_step().0,
+            step_offset,
+            min_step: graph.min_step().0,
+            max_step: graph.max_step().0,
+            history: graph.history_enabled(),
+            policy: PolicyTag::of(sched.policy()),
+            shards: graph.num_shards() as u32,
         }
     }
 
@@ -175,19 +218,21 @@ impl CheckpointMeta {
         codec::put_u32(&mut buf, self.max_step);
         codec::put_u32(&mut buf, self.history as u32);
         codec::put_u32(&mut buf, self.policy.code());
+        codec::put_u32(&mut buf, self.shards);
         buf.freeze()
     }
 
-    /// Decodes a metadata section body.
+    /// Decodes a metadata section body (versions 1 and 2; version-1
+    /// snapshots predate sharding and decode with `shards = 0`).
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Codec`] on truncation or an unknown version.
     pub fn decode(mut body: Bytes) -> Result<Self, StoreError> {
         let version = codec::get_u32(&mut body)?;
-        if version != META_VERSION {
+        if version != 1 && version != META_VERSION {
             return Err(StoreError::Codec(format!(
-                "unsupported checkpoint meta version {version} (expected {META_VERSION})"
+                "unsupported checkpoint meta version {version} (expected ≤ {META_VERSION})"
             )));
         }
         Ok(CheckpointMeta {
@@ -202,6 +247,11 @@ impl CheckpointMeta {
             max_step: codec::get_u32(&mut body)?,
             history: codec::get_u32(&mut body)? != 0,
             policy: PolicyTag::from_code(codec::get_u32(&mut body)?)?,
+            shards: if version >= 2 {
+                codec::get_u32(&mut body)?
+            } else {
+                0
+            },
         })
     }
 }
@@ -220,6 +270,31 @@ pub fn snapshot_run<'a>(
 ) -> SnapshotBuilder<'a> {
     let meta = CheckpointMeta::from_scheduler(sched, step_offset);
     let mut builder = SnapshotBuilder::new().section(SECTION_META, meta.encode());
+    if let Some(world) = world {
+        builder = builder.section(SECTION_WORLD, world);
+    }
+    builder.db(sched.graph().db())
+}
+
+/// [`snapshot_run`] for a scheduler mounted on a [`ShardedDepGraph`]:
+/// the store image is identical (the authoritative records are
+/// shard-agnostic), the metadata records the shard count, and one
+/// `shard/<i>` section per shard serializes its member ids so
+/// [`resume_sharded`] rebuilds ownership without a global rescan.
+///
+/// Call only while quiesced, as with [`snapshot_run`].
+pub fn snapshot_sharded_run<'a>(
+    sched: &'a Scheduler<GridSpace, ShardedDepGraph<GridSpace>>,
+    step_offset: u32,
+    world: Option<Bytes>,
+) -> SnapshotBuilder<'a> {
+    let meta = CheckpointMeta::from_sharded_scheduler(sched, step_offset);
+    let mut builder = SnapshotBuilder::new().section(SECTION_META, meta.encode());
+    for shard in 0..sched.graph().num_shards() {
+        let mut body = BytesMut::new();
+        codec::put_u32_list(&mut body, &sched.graph().members(shard));
+        builder = builder.section(format!("{SECTION_SHARD_PREFIX}{shard}"), body.freeze());
+    }
     if let Some(world) = world {
         builder = builder.section(SECTION_WORLD, world);
     }
@@ -249,6 +324,99 @@ pub fn resume(
     policy: Option<DependencyPolicy>,
     target: Option<Step>,
 ) -> Result<(CheckpointMeta, Scheduler<GridSpace>), EngineError> {
+    let (meta, policy) = meta_and_policy(snap, policy)?;
+    let db = snap.restore_db();
+    let sched = Scheduler::recover(
+        Arc::new(GridSpace::new(meta.width, meta.height)),
+        RuleParams::new(meta.radius_p, meta.max_vel),
+        policy,
+        Arc::new(db),
+        meta.num_agents as usize,
+        target.unwrap_or(Step(meta.target_step)),
+        meta.history,
+    )?;
+    Ok((meta, sched))
+}
+
+/// [`resume`] for a snapshot written by [`snapshot_sharded_run`]:
+/// rebuilds a scheduler over a [`ShardedDepGraph`], restoring shard
+/// ownership from the recorded `shard/<i>` sections instead of
+/// re-deriving it from every agent's position.
+///
+/// The metadata records only the shard *count*, so the tracker is
+/// rebuilt on [`StripShardMap::new(width, shards)`] — the map every
+/// shipped writer uses. A snapshot written under a custom [`ShardMap`]
+/// whose membership disagrees with that geometry is rejected with a
+/// codec error (the membership/geometry cross-check in
+/// [`ShardedDepGraph::recover_with_members`]); rebuild such runs
+/// manually with `recover_with_members` and the original map.
+///
+/// [`ShardMap`]: crate::shard::ShardMap
+///
+/// The authoritative records are shard-agnostic, so a sharded snapshot
+/// can also be resumed unsharded with plain [`resume`] (the membership
+/// sections are simply ignored); the reverse is not possible — this
+/// function refuses snapshots without shard metadata.
+///
+/// # Errors
+///
+/// As [`resume`], plus a codec error when the snapshot records no shards
+/// or a membership section is missing or malformed.
+pub fn resume_sharded(
+    snap: &Snapshot,
+    policy: Option<DependencyPolicy>,
+    target: Option<Step>,
+) -> Result<
+    (
+        CheckpointMeta,
+        Scheduler<GridSpace, ShardedDepGraph<GridSpace>>,
+    ),
+    EngineError,
+> {
+    let (meta, policy) = meta_and_policy(snap, policy)?;
+    if meta.shards == 0 {
+        return Err(EngineError::Store(StoreError::Codec(
+            "snapshot was taken from an unsharded run; resume it with \
+             checkpoint::resume instead"
+                .to_string(),
+        )));
+    }
+    let mut members = Vec::with_capacity(meta.shards as usize);
+    for shard in 0..meta.shards {
+        let name = format!("{SECTION_SHARD_PREFIX}{shard}");
+        let mut body = snap
+            .section(&name)
+            .ok_or_else(|| {
+                EngineError::Store(StoreError::Codec(format!(
+                    "sharded snapshot is missing its \"{name}\" section"
+                )))
+            })?
+            .clone();
+        members.push(codec::get_u32_list(&mut body).map_err(EngineError::Store)?);
+    }
+    let db = snap.restore_db();
+    let graph = ShardedDepGraph::recover_with_members(
+        Arc::new(GridSpace::new(meta.width, meta.height)),
+        RuleParams::new(meta.radius_p, meta.max_vel),
+        Arc::new(db),
+        meta.num_agents as usize,
+        Arc::new(StripShardMap::new(meta.width, meta.shards as usize)),
+        GraphOptions {
+            edges: crate::depgraph::EdgeMode::Maintained,
+            history: meta.history,
+        },
+        &members,
+    )?;
+    let sched = Scheduler::from_graph(graph, policy, target.unwrap_or(Step(meta.target_step)));
+    Ok((meta, sched))
+}
+
+/// Decodes the metadata section and resolves the resume policy (shared
+/// by [`resume`] and [`resume_sharded`]).
+fn meta_and_policy(
+    snap: &Snapshot,
+    policy: Option<DependencyPolicy>,
+) -> Result<(CheckpointMeta, DependencyPolicy), EngineError> {
     let body = snap
         .section(SECTION_META)
         .ok_or_else(|| {
@@ -268,17 +436,7 @@ pub fn resume(
             ))
         })?,
     };
-    let db = snap.restore_db();
-    let sched = Scheduler::recover(
-        Arc::new(GridSpace::new(meta.width, meta.height)),
-        RuleParams::new(meta.radius_p, meta.max_vel),
-        policy,
-        Arc::new(db),
-        meta.num_agents as usize,
-        target.unwrap_or(Step(meta.target_step)),
-        meta.history,
-    )?;
-    Ok((meta, sched))
+    Ok((meta, policy))
 }
 
 #[cfg(test)]
@@ -420,6 +578,72 @@ mod tests {
         // Target override extends the horizon.
         let (_, extended) = resume(&snap, None, Some(Step(9))).unwrap();
         assert_eq!(extended.target_step(), Step(9));
+    }
+
+    #[test]
+    fn sharded_snapshot_roundtrips_membership() {
+        use crate::shard::{ShardedDepGraph, StripShardMap};
+
+        let initial = vec![
+            Point::new(5, 5),
+            Point::new(30, 5),
+            Point::new(60, 5),
+            Point::new(90, 5),
+        ];
+        let graph = ShardedDepGraph::new_with_options(
+            Arc::new(GridSpace::new(100, 140)),
+            RuleParams::genagent(),
+            Arc::new(aim_store::Db::new()),
+            &initial,
+            Arc::new(StripShardMap::new(100, 4)),
+            crate::depgraph::GraphOptions {
+                edges: crate::depgraph::EdgeMode::Maintained,
+                history: true,
+            },
+        )
+        .unwrap();
+        let mut sched = Scheduler::from_graph(
+            graph,
+            crate::policy::DependencyPolicy::Spatiotemporal,
+            Step(5),
+        );
+        // Advance agent 3 across a strip boundary so membership is
+        // non-trivial, then snapshot.
+        let mut pending = sched.ready_clusters();
+        for _ in 0..2 {
+            let at = pending
+                .iter()
+                .position(|c| c.members.contains(&AgentId(3)))
+                .expect("agent 3 ready");
+            let c = pending.swap_remove(at);
+            let pos = Point::new(sched.graph().pos(AgentId(3)).x - 15, 5);
+            sched.complete(&c.id, &[(AgentId(3), pos)]).unwrap();
+            pending.extend(sched.ready_clusters());
+        }
+        assert_eq!(sched.graph().shard_of_agent(AgentId(3)), 2, "migrated");
+        let bytes = snapshot_sharded_run(&sched, 7, None).to_bytes().unwrap();
+        let snap = Snapshot::from_bytes(bytes).unwrap();
+        assert!(snap.section("shard/0").is_some());
+        let (meta, resumed) = resume_sharded(&snap, None, None).unwrap();
+        assert_eq!(meta.shards, 4);
+        assert_eq!(meta.step_offset, 7);
+        assert_eq!(resumed.graph().num_shards(), 4);
+        assert_eq!(resumed.graph().snapshot(), sched.graph().snapshot());
+        assert_eq!(
+            resumed.graph().members(2),
+            sched.graph().members(2),
+            "membership restored from the sections"
+        );
+        assert!(resumed.graph().history_enabled());
+        // The same snapshot also resumes unsharded (records are
+        // shard-agnostic)…
+        let (_, unsharded) = resume(&snap, None, None).unwrap();
+        assert_eq!(unsharded.graph().snapshot(), sched.graph().snapshot());
+        // …but an unsharded snapshot refuses a sharded resume.
+        let plain = sched_with_history(&[(0, 0)], 2);
+        let psnap =
+            Snapshot::from_bytes(snapshot_run(&plain, 0, None).to_bytes().unwrap()).unwrap();
+        assert!(resume_sharded(&psnap, None, None).is_err());
     }
 
     #[test]

@@ -54,6 +54,63 @@ const HIST_TAG: [u8; 4] = *b"dhst";
 /// step `< dep:hist_floor` has been compacted away.
 const HIST_FLOOR_KEY: &str = "dep:hist_floor";
 
+/// The dependency-tracking surface the [`crate::scheduler::Scheduler`]
+/// and the executors consume, abstracted so the same state machine drives
+/// both the single-shard [`DepGraph`] and the partitioned
+/// [`crate::shard::ShardedDepGraph`].
+///
+/// Implementations must answer edge queries (`first_blocker`,
+/// `coupled_of`) **exactly** per the §3.2 rules — the scheduler's
+/// correctness argument assumes the tracker never misses an edge. How the
+/// adjacency is stored (one global index, spatial shards…) is the
+/// implementation's business; it changes cost, never a scheduling
+/// decision.
+pub trait DepTracker<S: Space>: Send {
+    /// Number of agents tracked.
+    fn len(&self) -> usize;
+
+    /// Current (next-to-execute) step of `a`.
+    fn step(&self, a: AgentId) -> Step;
+
+    /// Current position of `a`.
+    fn pos(&self, a: AgentId) -> S::Pos;
+
+    /// The lowest step any agent is at (the paper's `base_step`).
+    fn min_step(&self) -> Step;
+
+    /// The highest step any agent is at.
+    fn max_step(&self) -> Step;
+
+    /// Advances every `(agent, new_position)` one step as a single store
+    /// transaction and repairs the derived edges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store transaction failures.
+    fn advance(&mut self, updates: &[(AgentId, S::Pos)]) -> Result<(), StoreError>;
+
+    /// First agent (in `(step, id)` order) currently blocking `a`.
+    fn first_blocker(&self, a: AgentId) -> Option<AgentId>;
+
+    /// Same-step coupling partners of `a`, ascending by id.
+    fn coupled_of(&self, a: AgentId) -> &[AgentId];
+
+    /// Compacts per-step history below the deepest legal rollback (no-op
+    /// without history recording).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    fn evict_history(&mut self) -> Result<u64, StoreError>;
+
+    /// Checks the §3.2 validity condition over the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violating pair.
+    fn validate(&self) -> Result<(), String>;
+}
+
 /// A dump of the graph for visualization (paper Fig. 3) and debugging.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphSnapshot {
@@ -892,6 +949,58 @@ impl<S: Space> DepGraph<S> {
             blocked,
             coupled,
         }
+    }
+}
+
+impl<S: Space> DepTracker<S> for DepGraph<S> {
+    #[inline]
+    fn len(&self) -> usize {
+        DepGraph::len(self)
+    }
+
+    #[inline]
+    fn step(&self, a: AgentId) -> Step {
+        DepGraph::step(self, a)
+    }
+
+    #[inline]
+    fn pos(&self, a: AgentId) -> S::Pos {
+        DepGraph::pos(self, a)
+    }
+
+    #[inline]
+    fn min_step(&self) -> Step {
+        DepGraph::min_step(self)
+    }
+
+    #[inline]
+    fn max_step(&self) -> Step {
+        DepGraph::max_step(self)
+    }
+
+    #[inline]
+    fn advance(&mut self, updates: &[(AgentId, S::Pos)]) -> Result<(), StoreError> {
+        DepGraph::advance(self, updates)
+    }
+
+    #[inline]
+    fn first_blocker(&self, a: AgentId) -> Option<AgentId> {
+        DepGraph::first_blocker(self, a)
+    }
+
+    #[inline]
+    fn coupled_of(&self, a: AgentId) -> &[AgentId] {
+        DepGraph::coupled_of(self, a)
+    }
+
+    #[inline]
+    fn evict_history(&mut self) -> Result<u64, StoreError> {
+        DepGraph::evict_history(self)
+    }
+
+    #[inline]
+    fn validate(&self) -> Result<(), String> {
+        DepGraph::validate(self)
     }
 }
 

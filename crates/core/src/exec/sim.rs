@@ -5,6 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use aim_llm::{LlmRequest, RequestId, SimServer, VirtualTime};
 
+use crate::depgraph::DepTracker;
 use crate::error::EngineError;
 use crate::ids::{AgentId, ClusterId};
 use crate::metrics::{CallSpan, RunReport, Timeline};
@@ -107,14 +108,15 @@ struct Active {
 ///
 /// Propagates store failures and reports scheduler deadlock (which would
 /// indicate a rule-violation bug) as [`EngineError::Deadlock`].
-pub fn run_sim<S, W>(
-    scheduler: &mut Scheduler<S>,
+pub fn run_sim<S, G, W>(
+    scheduler: &mut Scheduler<S, G>,
     workload: &W,
     server: &mut SimServer,
     cfg: &SimConfig,
 ) -> Result<RunReport, EngineError>
 where
     S: Space,
+    G: DepTracker<S>,
     W: Workload<S::Pos> + ?Sized,
 {
     let mut exec = SimExec {
@@ -214,7 +216,7 @@ impl SimExec {
         self.events.push(Reverse(Ev { at, seq, kind }));
     }
 
-    fn pull_ready<S: Space>(&mut self, scheduler: &mut Scheduler<S>) {
+    fn pull_ready<S: Space, G: DepTracker<S>>(&mut self, scheduler: &mut Scheduler<S, G>) {
         for cluster in scheduler.ready_clusters() {
             let prio = if self.cfg.priority_ready_queue {
                 cluster.step.priority()
@@ -250,10 +252,10 @@ impl SimExec {
         }
     }
 
-    fn submit_call<S: Space>(
+    fn submit_call<S: Space, G: DepTracker<S>>(
         &mut self,
         server: &mut SimServer,
-        scheduler: &Scheduler<S>,
+        scheduler: &Scheduler<S, G>,
         cid: ClusterId,
         member_idx: usize,
         at: VirtualTime,
@@ -292,9 +294,9 @@ impl SimExec {
         server.submit(at, req);
     }
 
-    fn on_event<S: Space, W: Workload<S::Pos> + ?Sized>(
+    fn on_event<S: Space, G: DepTracker<S>, W: Workload<S::Pos> + ?Sized>(
         &mut self,
-        scheduler: &mut Scheduler<S>,
+        scheduler: &mut Scheduler<S, G>,
         server: &mut SimServer,
         workload: &W,
         ev: Ev,
@@ -370,9 +372,9 @@ impl SimExec {
         Ok(())
     }
 
-    fn on_completion<S: Space>(
+    fn on_completion<S: Space, G: DepTracker<S>>(
         &mut self,
-        scheduler: &mut Scheduler<S>,
+        scheduler: &mut Scheduler<S, G>,
         server: &mut SimServer,
         req: LlmRequest,
         at: VirtualTime,

@@ -16,6 +16,7 @@ use aim_llm::LlmBackend;
 use aim_store::PriorityQueue;
 use serde::{Deserialize, Serialize};
 
+use crate::depgraph::{DepGraph, DepTracker};
 use crate::error::EngineError;
 use crate::ids::{AgentId, Step};
 use crate::scheduler::{Cluster, Scheduler};
@@ -97,16 +98,16 @@ pub struct ThreadedReport {
 /// Work lost to the barrier is bounded: in-flight clusters drain at their
 /// own pace and nothing is cancelled, the runtime merely defers *new*
 /// emissions until the capture is done.
-pub struct CheckpointHook<'a, S: Space> {
+pub struct CheckpointHook<'a, S: Space, G: DepTracker<S> = DepGraph<S>> {
     /// Fire whenever `min_step` first reaches a multiple of this
     /// (must be positive).
     pub every_steps: u32,
     /// Invoked with the scheduler quiesced (no clusters in flight).
     #[allow(clippy::type_complexity)]
-    pub f: &'a mut dyn FnMut(&mut Scheduler<S>) -> Result<(), EngineError>,
+    pub f: &'a mut dyn FnMut(&mut Scheduler<S, G>) -> Result<(), EngineError>,
 }
 
-impl<S: Space> std::fmt::Debug for CheckpointHook<'_, S> {
+impl<S: Space, G: DepTracker<S>> std::fmt::Debug for CheckpointHook<'_, S, G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CheckpointHook")
             .field("every_steps", &self.every_steps)
@@ -126,14 +127,15 @@ impl<S: Space> std::fmt::Debug for CheckpointHook<'_, S> {
 /// # Panics
 ///
 /// Panics if a worker thread panics (the panic is resumed on the caller).
-pub fn run_threaded<S, P>(
-    scheduler: &mut Scheduler<S>,
+pub fn run_threaded<S, G, P>(
+    scheduler: &mut Scheduler<S, G>,
     program: Arc<P>,
     backend: Arc<dyn LlmBackend>,
     cfg: ThreadedConfig,
 ) -> Result<ThreadedReport, EngineError>
 where
     S: Space,
+    G: DepTracker<S>,
     P: ClusterProgram<S> + 'static,
 {
     run_threaded_with_checkpoints(scheduler, program, backend, cfg, None)
@@ -149,15 +151,16 @@ where
 /// # Panics
 ///
 /// Panics if a worker thread panics or the hook cadence is zero.
-pub fn run_threaded_with_checkpoints<S, P>(
-    scheduler: &mut Scheduler<S>,
+pub fn run_threaded_with_checkpoints<S, G, P>(
+    scheduler: &mut Scheduler<S, G>,
     program: Arc<P>,
     backend: Arc<dyn LlmBackend>,
     cfg: ThreadedConfig,
-    mut hook: Option<CheckpointHook<'_, S>>,
+    mut hook: Option<CheckpointHook<'_, S, G>>,
 ) -> Result<ThreadedReport, EngineError>
 where
     S: Space,
+    G: DepTracker<S>,
     P: ClusterProgram<S> + 'static,
 {
     assert!(cfg.workers > 0, "at least one worker is required");
@@ -208,7 +211,7 @@ where
         }
 
         // Controller loop on the calling thread.
-        let push_ready = |sched: &mut Scheduler<S>| {
+        let push_ready = |sched: &mut Scheduler<S, G>| {
             let mut n = 0;
             for c in sched.ready_clusters() {
                 let prio = if cfg.priority_enabled {
@@ -228,11 +231,11 @@ where
         let mut next_due = hook
             .as_ref()
             .map(|h| next_multiple(scheduler.graph().min_step().0, h.every_steps));
-        let due = |sched: &Scheduler<S>, next_due: &Option<u32>| matches!(next_due, Some(d) if sched.graph().min_step().0 >= *d);
+        let due = |sched: &Scheduler<S, G>, next_due: &Option<u32>| matches!(next_due, Some(d) if sched.graph().min_step().0 >= *d);
         // Run the controller to an explicit result, then close the queues
         // unconditionally so workers always exit (even on the error path)
         // before the scope joins them.
-        let mut run = |scheduler: &mut Scheduler<S>| -> Result<(), EngineError> {
+        let mut run = |scheduler: &mut Scheduler<S, G>| -> Result<(), EngineError> {
             push_ready(scheduler);
             while !scheduler.is_done() {
                 if due(scheduler, &next_due) && scheduler.inflight_len() == 0 {

@@ -20,6 +20,7 @@
 //! |---|---|---|
 //! | [`rules`] | §3.2, App. A | the coupled/blocked predicates and validity condition |
 //! | [`depgraph`] | §3.3 | store-backed spatiotemporal dependency graph |
+//! | [`shard`] | scale-out | spatially sharded dependency tracking for 10k+ agents |
 //! | [`cluster`] | §3.4 | geo-clustering of coupled agents (union-find) |
 //! | [`scheduler`] | §3.1 | the controller state machine emitting ready clusters |
 //! | [`exec`] | §3.5–3.6 | discrete-event (replay) and threaded (live) drivers |
@@ -41,6 +42,15 @@
 //! allocating). Both preserve *exactness* — every index candidate is
 //! re-checked with [`space::Space::within_units`], so spatial indexing
 //! can never flip a scheduling decision, only make it cheaper.
+//!
+//! Past 10k agents, [`shard`] partitions the tracker itself:
+//! [`shard::ShardedDepGraph`] owns agents by spatial region (strips,
+//! rebalanced on migration), keeps per-shard indexes and *step bounds*,
+//! prunes relink queries with them — a spatially local straggler no
+//! longer inflates every query radius on the map — and relinks large
+//! batches in parallel across shards. The [`scheduler::Scheduler`] is
+//! generic over its [`depgraph::DepTracker`], so both trackers drive
+//! the same state machine and executors unchanged.
 //!
 //! # Quick start
 //!
@@ -90,6 +100,7 @@ pub mod metrics;
 pub mod policy;
 pub mod rules;
 pub mod scheduler;
+pub mod shard;
 pub mod space;
 pub mod spec;
 pub mod workload;
@@ -101,6 +112,7 @@ pub use ids::{AgentId, ClusterId, Step};
 /// The commonly used names, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::checkpoint::CheckpointMeta;
+    pub use crate::depgraph::DepTracker;
     pub use crate::engine::{Engine, EngineBuilder};
     pub use crate::error::EngineError;
     pub use crate::exec::hybrid::{run_hybrid_sim, InteractiveLoad, InteractiveReport};
@@ -113,6 +125,7 @@ pub mod prelude {
     pub use crate::policy::{DependencyPolicy, OracleGraph};
     pub use crate::rules::RuleParams;
     pub use crate::scheduler::{Cluster, Scheduler};
+    pub use crate::shard::{ShardMap, ShardedDepGraph, StripShardMap};
     pub use crate::space::{GridSpace, NodeId, Point, SocialSpace, Space};
     pub use crate::spec::{run_spec_sim, SpecParams, SpecReport, SpecScheduler, SpecStats};
     pub use crate::workload::Workload;

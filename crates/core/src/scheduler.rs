@@ -19,7 +19,7 @@ use std::sync::Arc;
 use aim_store::{Db, StoreError};
 use serde::{Deserialize, Serialize};
 
-use crate::depgraph::DepGraph;
+use crate::depgraph::{DepGraph, DepTracker};
 use crate::ids::{AgentId, ClusterId, Step};
 use crate::policy::DependencyPolicy;
 use crate::rules::RuleParams;
@@ -96,8 +96,13 @@ pub struct SchedStats {
 /// # Ok(())
 /// # }
 /// ```
-pub struct Scheduler<S: Space> {
-    graph: DepGraph<S>,
+/// The scheduler is generic over its dependency tracker `G` — the
+/// single-shard [`DepGraph`] by default, or a
+/// [`ShardedDepGraph`](crate::shard::ShardedDepGraph) for 10k+-agent
+/// worlds (built via [`Scheduler::from_graph`]); the state machine is
+/// identical either way.
+pub struct Scheduler<S: Space, G: DepTracker<S> = DepGraph<S>> {
+    graph: G,
     policy: DependencyPolicy,
     target_step: Step,
     state: Vec<AgentState>,
@@ -116,9 +121,10 @@ pub struct Scheduler<S: Space> {
     epoch: u64,
     /// Reused BFS frontier for cluster growth.
     frontier: Vec<AgentId>,
+    _space: std::marker::PhantomData<fn() -> S>,
 }
 
-impl<S: Space> std::fmt::Debug for Scheduler<S> {
+impl<S: Space, G: DepTracker<S>> std::fmt::Debug for Scheduler<S, G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("policy", &self.policy)
@@ -244,10 +250,31 @@ impl<S: Space> Scheduler<S> {
             _ => crate::depgraph::EdgeMode::Off,
         }
     }
+}
+
+impl<S: Space, G: DepTracker<S>> Scheduler<S, G> {
+    /// Builds the scheduler state machine around an already-assembled
+    /// dependency tracker, deriving agent states from its (possibly
+    /// recovered) steps — how a scheduler is mounted on a
+    /// [`ShardedDepGraph`](crate::shard::ShardedDepGraph) (or any custom
+    /// [`DepTracker`]).
+    ///
+    /// The tracker must answer the edge queries the `policy` will ask:
+    /// under [`DependencyPolicy::Spatiotemporal`] that means maintained
+    /// blocked/coupled adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker is empty or `target_step` is zero.
+    pub fn from_graph(graph: G, policy: DependencyPolicy, target_step: Step) -> Self {
+        assert!(graph.len() > 0, "at least one agent is required");
+        assert!(target_step > Step::ZERO, "target_step must be positive");
+        Self::around_graph(graph, policy, target_step)
+    }
 
     /// Builds the scheduler state machine around an assembled graph,
     /// deriving agent states from the graph's (possibly recovered) steps.
-    fn around_graph(graph: DepGraph<S>, policy: DependencyPolicy, target_step: Step) -> Self {
+    fn around_graph(graph: G, policy: DependencyPolicy, target_step: Step) -> Self {
         let n = graph.len();
         let mut state = vec![AgentState::Waiting; n];
         let mut dirty = BTreeSet::new();
@@ -275,15 +302,16 @@ impl<S: Space> Scheduler<S> {
             stamp: vec![0; n],
             epoch: 0,
             frontier: Vec::new(),
+            _space: std::marker::PhantomData,
         }
     }
 
-    /// The dependency graph (positions, steps, edge queries).
+    /// The dependency tracker (positions, steps, edge queries).
     ///
     /// Edge queries (`first_blocker`, `coupled_of`, `blockers_of`,
     /// `snapshot`) are only available under
     /// [`DependencyPolicy::Spatiotemporal`] — see [`Scheduler::new`].
-    pub fn graph(&self) -> &DepGraph<S> {
+    pub fn graph(&self) -> &G {
         &self.graph
     }
 

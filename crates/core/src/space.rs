@@ -350,6 +350,12 @@ pub trait SpatialIndex<P>: Send + Sync + fmt::Debug {
     /// Moves a tracked `id` from `old` to `new`.
     fn update(&mut self, id: u32, old: P, new: P);
 
+    /// Stops tracking `id`, currently at `pos` — the migration half of
+    /// shard rebalancing ([`crate::shard`]): an agent crossing a shard
+    /// boundary is removed from its old shard's index and inserted into
+    /// the new one's.
+    fn remove(&mut self, id: u32, pos: P);
+
     /// Appends to `out` every tracked id within `units` of `center`
     /// (plus, possibly, nearby extras — see the trait docs). `out` is not
     /// cleared; the id at `center` itself may or may not be included.
@@ -415,6 +421,24 @@ impl UniformGrid {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Drops `id` from the cell bucket `key` (panicking if it was never
+    /// indexed there — that would mean the caller's position bookkeeping
+    /// and the index disagree).
+    fn remove_from_cell(&mut self, id: u32, pos: Point, key: u64) {
+        let bucket = self
+            .buckets
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("id {id} not indexed at {pos:?}"));
+        let at = bucket
+            .iter()
+            .position(|&x| x == id)
+            .unwrap_or_else(|| panic!("id {id} not indexed at {pos:?}"));
+        bucket.swap_remove(at);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+    }
 }
 
 impl SpatialIndex<Point> for UniformGrid {
@@ -432,19 +456,13 @@ impl SpatialIndex<Point> for UniformGrid {
         if from == to {
             return;
         }
-        let bucket = self
-            .buckets
-            .get_mut(&from)
-            .unwrap_or_else(|| panic!("id {id} not indexed at {old:?}"));
-        let at = bucket
-            .iter()
-            .position(|&x| x == id)
-            .unwrap_or_else(|| panic!("id {id} not indexed at {old:?}"));
-        bucket.swap_remove(at);
-        if bucket.is_empty() {
-            self.buckets.remove(&from);
-        }
+        self.remove_from_cell(id, old, from);
         self.buckets.entry(to).or_default().push(id);
+    }
+
+    fn remove(&mut self, id: u32, pos: Point) {
+        self.remove_from_cell(id, pos, cells::key_of(pos, self.cell));
+        self.len -= 1;
     }
 
     fn query(&self, center: Point, units: u64, out: &mut Vec<u32>) {
@@ -745,6 +763,25 @@ mod tests {
         out.clear();
         idx.query(Point::new(1, 1), u64::MAX, &mut out);
         assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn uniform_grid_remove_untracks() {
+        let g = GridSpace::new(100, 100);
+        let mut idx = g.make_index(5).expect("grid space is indexable");
+        for i in 0..20u32 {
+            idx.insert(i, Point::new(i as i32 * 3, 0));
+        }
+        idx.remove(7, Point::new(21, 0));
+        let mut out = Vec::new();
+        idx.query(Point::new(21, 0), u64::MAX, &mut out);
+        assert_eq!(out.len(), 19);
+        assert!(!out.contains(&7), "removed id must not be reported");
+        // Removing the last occupant of a cell leaves the bucket clean.
+        idx.remove(0, Point::new(0, 0));
+        out.clear();
+        idx.query(Point::new(0, 0), 2, &mut out);
+        assert!(!out.contains(&0));
     }
 
     #[test]

@@ -217,6 +217,9 @@ struct FleetReplica {
     interactive: bool,
     description: String,
     outstanding: AtomicUsize,
+    /// Prompt + decode tokens of the calls currently in flight — the
+    /// load estimate behind [`crate::TokenWeighted`] routing.
+    outstanding_tokens: AtomicU64,
     peak_outstanding: AtomicUsize,
     served: AtomicU64,
     interactive_served: AtomicU64,
@@ -312,6 +315,7 @@ impl Fleet {
                     backend,
                     interactive,
                     outstanding: AtomicUsize::new(0),
+                    outstanding_tokens: AtomicU64::new(0),
                     peak_outstanding: AtomicUsize::new(0),
                     served: AtomicU64::new(0),
                     interactive_served: AtomicU64::new(0),
@@ -363,6 +367,7 @@ impl Fleet {
             .map(|(id, r)| ReplicaView {
                 id,
                 outstanding: r.outstanding.load(Ordering::Relaxed),
+                outstanding_tokens: r.outstanding_tokens.load(Ordering::Relaxed),
                 served: r.served.load(Ordering::Relaxed),
                 interactive: r.interactive,
             })
@@ -382,9 +387,15 @@ impl LlmBackend for Fleet {
         );
         let replica = &self.replicas[id];
         let now = replica.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        replica
+            .outstanding_tokens
+            .fetch_add(req.total_tokens(), Ordering::Relaxed);
         replica.peak_outstanding.fetch_max(now, Ordering::Relaxed);
         let resp = replica.backend.call(req);
         replica.outstanding.fetch_sub(1, Ordering::Relaxed);
+        replica
+            .outstanding_tokens
+            .fetch_sub(req.total_tokens(), Ordering::Relaxed);
         replica.served.fetch_add(1, Ordering::Relaxed);
         if req.lane == Lane::Interactive {
             replica.interactive_served.fetch_add(1, Ordering::Relaxed);
@@ -554,6 +565,76 @@ mod tests {
             "least-outstanding must overflow to replica 1 under concurrency: {m:?}"
         );
         assert!(m.replicas.iter().all(|r| r.peak_outstanding >= 1));
+    }
+
+    #[test]
+    fn token_weighted_steers_around_heavy_inflight_work() {
+        use crate::request::Lane;
+
+        // Replica latencies are paced, so a heavy call parks its tokens
+        // on a replica long enough for a second caller to observe them.
+        let fleet = Arc::new(
+            FleetConfig::new("tok", RoutePolicyKind::TokenWeighted)
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("slow", 20_000),
+                    0,
+                    Some(1.0), // 20 ms wall
+                ))
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("slow", 20_000),
+                    0,
+                    Some(1.0),
+                ))
+                .build(),
+        );
+        // A 5000-token monster goes first (lands on replica 0 by the
+        // id tie-break)…
+        let heavy = {
+            let fleet = Arc::clone(&fleet);
+            std::thread::spawn(move || {
+                fleet.call(&LlmRequest::new(
+                    RequestId(1),
+                    0,
+                    0,
+                    4_900,
+                    100,
+                    CallKind::Converse,
+                ));
+            })
+        };
+        // Wait (bounded) until the heavy call's tokens are actually
+        // registered on a replica — no sleep-based race with the spawned
+        // thread's scheduling.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while fleet.views().iter().all(|v| v.outstanding_tokens == 0) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "heavy call never registered its tokens"
+            );
+            std::thread::yield_now();
+        }
+        // …so a light call issued while it is in flight must route to
+        // replica 1 even though both have one call outstanding — count
+        // alone cannot distinguish them, tokens can.
+        fleet.call(&LlmRequest::new(
+            RequestId(2),
+            1,
+            0,
+            40,
+            8,
+            CallKind::Perceive,
+        ));
+        heavy.join().unwrap();
+        let m = fleet.metrics();
+        assert_eq!(m.total_served(), 2);
+        assert_eq!(
+            m.replicas[1].served, 1,
+            "light call must avoid the token-heavy replica: {m:?}"
+        );
+        // Once drained, the outstanding-token estimate returns to zero.
+        let views: Vec<_> = fleet.views();
+        assert!(views.iter().all(|v| v.outstanding_tokens == 0), "{views:?}");
+        let _ = Lane::Background;
     }
 
     #[test]

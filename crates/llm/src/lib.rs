@@ -111,6 +111,7 @@ pub use replay::{LatencyProfile, ReplayBackend, ReplayMetrics};
 pub use request::{CallKind, Lane, LlmRequest, LlmResponse, RequestId};
 pub use router::{
     LaneAware, LeastOutstanding, ReplicaView, RoundRobin, RoutePolicy, RoutePolicyKind,
+    TokenWeighted,
 };
 pub use server::{Completion, ReplicaMetrics, ServerConfig, ServerMetrics, SimServer};
 pub use time::VirtualTime;

@@ -22,6 +22,11 @@ pub struct ReplicaView {
     pub id: usize,
     /// Calls currently in flight on this replica.
     pub outstanding: usize,
+    /// Estimated tokens (prompt + decode) of the calls currently in
+    /// flight on this replica — the load signal [`TokenWeighted`] routes
+    /// on: a replica chewing one 4k-token conversation is busier than one
+    /// serving three 60-token perceive calls.
+    pub outstanding_tokens: u64,
     /// Calls completed by this replica so far.
     pub served: u64,
     /// Whether the replica is tagged for interactive traffic (see
@@ -100,6 +105,41 @@ impl RoutePolicy for LeastOutstanding {
     }
 }
 
+/// Routes to the replica with the smallest **outstanding token
+/// estimate** (prompt + decode tokens of its in-flight calls), ties
+/// broken by fewest in-flight calls then lowest id.
+///
+/// Call *count* is a poor load proxy for LLM serving: per-request cost
+/// is dominated by token volume, and the workload mixes 60-token
+/// perceive calls with multi-thousand-token conversation chains (the
+/// Fig. 1 stragglers). Weighting by the tokens a replica still has in
+/// flight sends the next heavy call to the replica that will actually
+/// drain first. With a homogeneous all-light load it degrades to
+/// [`LeastOutstanding`].
+#[derive(Debug, Default)]
+pub struct TokenWeighted;
+
+impl TokenWeighted {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutePolicy for TokenWeighted {
+    fn route(&self, _req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
+        replicas
+            .iter()
+            .min_by_key(|r| (r.outstanding_tokens, r.outstanding, r.id))
+            .map(|r| r.id)
+            .expect("fleet has at least one replica")
+    }
+
+    fn name(&self) -> &'static str {
+        "token-weighted"
+    }
+}
+
 /// Partitions the fleet by service class (paper §6's hybrid deployment,
 /// fleet-level): [`Lane::Interactive`] requests go to replicas tagged
 /// `interactive`, background requests to the untagged rest, each side
@@ -144,15 +184,18 @@ pub enum RoutePolicyKind {
     /// [`LeastOutstanding`] (the default).
     #[default]
     LeastOutstanding,
+    /// [`TokenWeighted`].
+    TokenWeighted,
     /// [`LaneAware`].
     LaneAware,
 }
 
 impl RoutePolicyKind {
     /// All shipped policies, in display order.
-    pub const ALL: [RoutePolicyKind; 3] = [
+    pub const ALL: [RoutePolicyKind; 4] = [
         RoutePolicyKind::RoundRobin,
         RoutePolicyKind::LeastOutstanding,
+        RoutePolicyKind::TokenWeighted,
         RoutePolicyKind::LaneAware,
     ];
 
@@ -161,6 +204,7 @@ impl RoutePolicyKind {
         match self {
             RoutePolicyKind::RoundRobin => "round-robin",
             RoutePolicyKind::LeastOutstanding => "least-outstanding",
+            RoutePolicyKind::TokenWeighted => "token-weighted",
             RoutePolicyKind::LaneAware => "lane-aware",
         }
     }
@@ -175,6 +219,7 @@ impl RoutePolicyKind {
         match self {
             RoutePolicyKind::RoundRobin => Box::new(RoundRobin::new()),
             RoutePolicyKind::LeastOutstanding => Box::new(LeastOutstanding::new()),
+            RoutePolicyKind::TokenWeighted => Box::new(TokenWeighted::new()),
             RoutePolicyKind::LaneAware => Box::new(LaneAware::new()),
         }
     }
@@ -206,6 +251,7 @@ mod tests {
             .map(|(id, &o)| ReplicaView {
                 id,
                 outstanding: o,
+                outstanding_tokens: o as u64 * 100,
                 served: 0,
                 interactive: false,
             })
@@ -228,6 +274,25 @@ mod tests {
         assert_eq!(p.route(&req(Lane::Background), &views(&[3, 1, 2])), 1);
         assert_eq!(p.route(&req(Lane::Background), &views(&[2, 1, 1])), 1);
         assert_eq!(p.route(&req(Lane::Background), &views(&[0, 0, 0])), 0);
+    }
+
+    #[test]
+    fn token_weighted_prefers_lightest_token_load() {
+        let p = TokenWeighted::new();
+        // Token estimate dominates: replica 1 has more calls in flight
+        // but fewer outstanding tokens.
+        let mut v = views(&[1, 3]);
+        v[0].outstanding_tokens = 5_000;
+        v[1].outstanding_tokens = 400;
+        assert_eq!(p.route(&req(Lane::Background), &v), 1);
+        // Token tie → fewest calls → lowest id (degrades to
+        // least-outstanding on uniform loads).
+        let mut v = views(&[2, 1, 1]);
+        for r in &mut v {
+            r.outstanding_tokens = 700;
+        }
+        assert_eq!(p.route(&req(Lane::Background), &v), 1);
+        assert_eq!(p.route(&req(Lane::Background), &views(&[0, 0])), 0);
     }
 
     #[test]

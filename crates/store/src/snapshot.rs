@@ -404,6 +404,20 @@ impl Snapshot {
             .map(|(_, b)| b)
     }
 
+    /// Every `(name, body)` section whose name starts with `prefix`, in
+    /// file order — how shard-aware consumers walk a checkpoint's
+    /// `shard/<i>` membership family without knowing the shard count up
+    /// front.
+    pub fn sections_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a Bytes)> + 'a {
+        self.sections
+            .iter()
+            .filter(move |(n, _)| n.starts_with(prefix))
+            .map(|(n, b)| (n.as_str(), b))
+    }
+
     /// Parsed summary: sections, record count, checksum.
     pub fn info(&self) -> &SnapshotInfo {
         &self.info
@@ -561,6 +575,26 @@ mod tests {
         }
         db.set_i64("counter", 41);
         db
+    }
+
+    #[test]
+    fn sections_with_prefix_walks_the_family() {
+        let db = Db::new();
+        let bytes = SnapshotBuilder::new()
+            .section("meta", vec![1u8])
+            .section("shard/0", vec![2u8])
+            .section("shard/1", vec![3u8])
+            .section("world", vec![4u8])
+            .db(&db)
+            .to_bytes()
+            .unwrap();
+        let snap = Snapshot::from_bytes(bytes).unwrap();
+        let family: Vec<(&str, u8)> = snap
+            .sections_with_prefix("shard/")
+            .map(|(n, b)| (n, b[0]))
+            .collect();
+        assert_eq!(family, vec![("shard/0", 2), ("shard/1", 3)]);
+        assert_eq!(snap.sections_with_prefix("nope").count(), 0);
     }
 
     #[test]

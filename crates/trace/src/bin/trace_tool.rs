@@ -129,6 +129,13 @@ fn cmd_snapshot(args: &[String]) {
             );
             println!("history     : {}", if m.history { "on" } else { "off" });
             println!("policy      : {:?}", m.policy);
+            match m.shards {
+                0 => println!("shards      : unsharded"),
+                n => println!(
+                    "shards      : {n} (membership sections: {})",
+                    snap.sections_with_prefix("shard/").count()
+                ),
+            }
             println!(
                 "world state : {}",
                 if snap.section(SECTION_WORLD).is_some() {
@@ -154,11 +161,35 @@ fn cmd_snapshot(args: &[String]) {
         PolicyTag::Oracle => Some(DependencyPolicy::NoDependency),
         _ => None,
     };
-    let (_, sched) = match checkpoint::resume(&snap, policy_override, None) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("VALIDATE FAILED: scheduler recovery: {e}");
-            std::process::exit(1);
+    // Sharded snapshots recover through the membership sections (which
+    // also cross-checks that they partition the agents); unsharded ones
+    // through the plain path. Either way the downstream checks read the
+    // same quantities.
+    let (valid, floor, min_step, hist_records) = if m.shards > 0 {
+        match checkpoint::resume_sharded(&snap, policy_override, None) {
+            Ok((_, sched)) => (
+                sched.graph().validate(),
+                sched.graph().history_floor(),
+                sched.graph().min_step(),
+                sched.graph().history_records(),
+            ),
+            Err(e) => {
+                eprintln!("VALIDATE FAILED: sharded scheduler recovery: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match checkpoint::resume(&snap, policy_override, None) {
+            Ok((_, sched)) => (
+                sched.graph().validate(),
+                sched.graph().history_floor(),
+                sched.graph().min_step(),
+                sched.graph().history_records(),
+            ),
+            Err(e) => {
+                eprintln!("VALIDATE FAILED: scheduler recovery: {e}");
+                std::process::exit(1);
+            }
         }
     };
     // The §3.2 validity condition is an invariant only of schedules that
@@ -166,7 +197,7 @@ fn cmd_snapshot(args: &[String]) {
     // no-dependency) legitimately violate it.
     match m.policy {
         PolicyTag::Spatiotemporal | PolicyTag::GlobalSync => {
-            if let Err(e) = sched.graph().validate() {
+            if let Err(e) = valid {
                 eprintln!("VALIDATE FAILED: {e}");
                 std::process::exit(1);
             }
@@ -174,20 +205,14 @@ fn cmd_snapshot(args: &[String]) {
         tag => println!("validity    : skipped ({tag:?} schedules are not bound by §3.2)"),
     }
     if m.history {
-        let floor = sched.graph().history_floor();
-        if floor > sched.graph().min_step() {
+        if floor > min_step {
             eprintln!(
-                "VALIDATE FAILED: history floor {floor} above min step {} — \
-                 a record a legal rollback could read was evicted",
-                sched.graph().min_step()
+                "VALIDATE FAILED: history floor {floor} above min step {min_step} — \
+                 a record a legal rollback could read was evicted"
             );
             std::process::exit(1);
         }
-        println!(
-            "history     : {} resident records, floor {}",
-            sched.graph().history_records(),
-            floor
-        );
+        println!("history     : {hist_records} resident records, floor {floor}");
     }
     println!("validate    : OK (store restored, scheduler recovered)");
 }

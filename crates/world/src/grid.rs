@@ -169,6 +169,34 @@ impl TileMap {
         self.areas.len() - 1
     }
 
+    /// Adds an open (wall-free) named area — parks, plazas — whose tiles
+    /// keep their current walkability. `door` is the tile agents head to
+    /// when routing to the area's entrance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle or door is out of bounds.
+    pub fn add_park(
+        &mut self,
+        name: impl Into<String>,
+        min: Point,
+        max: Point,
+        door: Point,
+    ) -> usize {
+        assert!(
+            self.in_bounds(min) && self.in_bounds(max) && self.in_bounds(door),
+            "park out of bounds"
+        );
+        self.areas.push(Area {
+            name: name.into(),
+            kind: AreaKind::Park,
+            min,
+            max,
+            door,
+        });
+        self.areas.len() - 1
+    }
+
     /// Generates the deterministic SmallVille-like town: a 100×140 map with
     /// `houses` homes, a cafe, a bar, a park, a store, and two workplaces.
     ///
@@ -227,13 +255,12 @@ impl TileMap {
             Point::new(24, 112),
         );
         // The park is an open area (no walls), marked for schedules.
-        map.areas.push(Area {
-            name: "Johnson Park".into(),
-            kind: AreaKind::Park,
-            min: Point::new(30, 30),
-            max: Point::new(44, 60),
-            door: Point::new(37, 60),
-        });
+        map.add_park(
+            "Johnson Park",
+            Point::new(30, 30),
+            Point::new(44, 60),
+            Point::new(37, 60),
+        );
         map
     }
 

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod city;
 pub mod conversation;
 pub mod grid;
 pub mod memory;
@@ -48,6 +49,7 @@ pub mod schedule;
 pub mod scripted;
 pub mod village;
 
+pub use city::{CityConfig, RoadGraph};
 pub use grid::{Area, AreaKind, TileMap};
 pub use persona::Persona;
 pub use village::{Village, VillageConfig, WorldEvent};

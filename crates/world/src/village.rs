@@ -237,7 +237,76 @@ impl Village {
         village
     }
 
-    /// The configuration used to generate the village.
+    /// Assembles a world from an externally generated substrate — map
+    /// and personas supplied by the caller instead of the SmallVille
+    /// generator. This is how [`crate::city`] mounts an OpenCity-scale
+    /// district map with a template-pool population on the village
+    /// runtime (plan/commit, conversations, memory) unchanged.
+    ///
+    /// Schedules are derived deterministically from `seed` with the same
+    /// generator SmallVille uses, so a substrate world is reproducible
+    /// from `(seed, map, personas)`.
+    ///
+    /// Substrate worlds are marked with `villes == 0` in their config;
+    /// they support everything except [`Village::capture_state`] /
+    /// [`Village::restore`], whose encoding regenerates the substrate
+    /// from a [`VillageConfig`] alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `personas` is empty or references an area outside the
+    /// map.
+    pub fn from_substrate(seed: u64, map: TileMap, personas: Vec<Persona>) -> Self {
+        assert!(!personas.is_empty(), "at least one persona is required");
+        let cfg = VillageConfig {
+            villes: 0,
+            agents_per_ville: personas.len() as u32,
+            seed,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+        let agents: Vec<AgentRt> = personas
+            .into_iter()
+            .map(|persona| {
+                assert!(
+                    persona.home_area < map.areas().len() && persona.work_area < map.areas().len(),
+                    "persona {} references an area outside the map",
+                    persona.id
+                );
+                let schedule = DailySchedule::generate(&map, &persona, &mut rng);
+                let pos = Self::seat_static(&map, persona.id, persona.home_area);
+                AgentRt {
+                    pos,
+                    target: pos,
+                    path: Vec::new(),
+                    cooldown_until: 0,
+                    awake: false,
+                    last_block_start: u32::MAX,
+                    memory: MemoryStream::new(),
+                    schedule,
+                    persona,
+                }
+            })
+            .collect();
+        let mut village = Village {
+            cfg,
+            map,
+            agents,
+            events: Vec::new(),
+            buckets: Default::default(),
+        };
+        for i in 0..village.agents.len() {
+            let pos = village.agents[i].pos;
+            village
+                .buckets
+                .entry(bucket_of(pos))
+                .or_default()
+                .push(i as u32);
+        }
+        village
+    }
+
+    /// The configuration used to generate the village (`villes == 0`
+    /// marks a [`Village::from_substrate`] world).
     pub fn config(&self) -> &VillageConfig {
         &self.cfg
     }
@@ -677,7 +746,18 @@ impl Village {
     /// The encoding is hand-written (the serde derives in this workspace
     /// are structural annotations only): version-tagged, big-endian,
     /// using [`aim_store::codec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Village::from_substrate`] world — its map and
+    /// personas are not derivable from the config, so the encoding could
+    /// not be restored.
     pub fn capture_state(&self) -> bytes::Bytes {
+        assert!(
+            self.cfg.villes > 0,
+            "substrate-backed villages do not support capture_state \
+             (their map/personas are not derivable from the config)"
+        );
         use aim_store::codec::{put_u32, put_u64};
         let mut buf = bytes::BytesMut::new();
         put_u32(&mut buf, STATE_VERSION);
