@@ -13,7 +13,7 @@
 //!                          (noise bursts only ever slow a run down)
 //!   --targets a,b,c        allowlisted bench targets to gate
 //!                          (default: scheduler,depgraph,clustering,
-//!                          shard,store,snapshot)
+//!                          shard,store,snapshot,city_fleet)
 //!   --threshold <pct>      allowed regression, percent (default: 5)
 //!   --min-ns <ns>          ignore baselines below this (timer noise floor,
 //!                          default: 100)
@@ -120,6 +120,7 @@ fn parse_args() -> Options {
             "shard",
             "store",
             "snapshot",
+            "city_fleet",
         ]
         .iter()
         .map(|s| s.to_string())

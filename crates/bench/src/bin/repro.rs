@@ -7,7 +7,7 @@ use aim_bench::harness::RunEnv;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP]\n\
-         experiments: calibrate city fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun all\n\
+         experiments: calibrate city city-fleet fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun all\n\
          checkpoint flags apply to experiments that checkpoint (longrun): --checkpoint-every\n\
          overrides the snapshot cadence, --resume restarts from an AIMSNAP v1 file"
     );
@@ -49,6 +49,7 @@ fn run(exp: &str, env: &RunEnv) {
         "ablate" => experiments::ablate::run(env),
         "calibrate" => experiments::calibrate::run(env),
         "city" => experiments::city::run(env),
+        "city-fleet" => experiments::city_fleet::run(env),
         "fig1" => experiments::fig1::run(env),
         "fig2" => experiments::fig2::run(env),
         "fig3" => experiments::fig3::run(env),
@@ -72,6 +73,7 @@ fn run(exp: &str, env: &RunEnv) {
             for e in [
                 "calibrate",
                 "city",
+                "city-fleet",
                 "fig1",
                 "fig2",
                 "fig3",

@@ -4,6 +4,7 @@
 pub mod ablate;
 pub mod calibrate;
 pub mod city;
+pub mod city_fleet;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -81,6 +81,10 @@ pub struct ThreadedReport {
     /// [`aim_llm::Fleet`] backend this names every replica, so a report
     /// fully identifies the deployment that produced it.
     pub backend: String,
+    /// Fleet-level per-replica counters (routing, prefix cache, faults,
+    /// tail latency), when the backend is an [`aim_llm::Fleet`]; `None`
+    /// for plain backends.
+    pub fleet: Option<aim_llm::FleetMetrics>,
 }
 
 /// A periodic quiesced-checkpoint driver for
@@ -284,6 +288,7 @@ where
         clusters,
         agent_steps,
         backend: backend.describe(),
+        fleet: backend.fleet_metrics(),
     })
 }
 
@@ -481,6 +486,12 @@ mod tests {
         );
         assert!(m.all_replicas_served(), "both replica types served: {m:?}");
         assert!(report.backend.starts_with("fleet(core-test, round-robin"));
+        let fm = report
+            .fleet
+            .as_ref()
+            .expect("fleet backends report metrics");
+        assert_eq!(fm.total_served(), 32);
+        assert_eq!(fm.replicas.len(), 2);
     }
 
     #[test]

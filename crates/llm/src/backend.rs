@@ -31,6 +31,16 @@ pub trait LlmBackend: Send + Sync {
     /// fleets display it per replica, so a generic fallback string would
     /// make heterogeneous deployments unreadable.
     fn describe(&self) -> String;
+
+    /// Fleet-level counters, when this backend is a [`crate::Fleet`]
+    /// (or wraps one). Plain backends return `None` — the default.
+    ///
+    /// This is how the threaded runtime surfaces per-replica routing,
+    /// prefix-cache, and fault counters in its report without downcasting
+    /// through `Arc<dyn LlmBackend>`.
+    fn fleet_metrics(&self) -> Option<crate::FleetMetrics> {
+        None
+    }
 }
 
 /// A backend that completes every call immediately.

@@ -41,13 +41,19 @@
 //!    from a recorded [`LatencyProfile`], e.g. exported by `trace_tool
 //!    latency`);
 //! 2. **replica** — a [`ReplicaSpec`] wraps one backend plus fleet-level
-//!    tags (e.g. `interactive` for dedicated player-facing capacity);
+//!    tags (e.g. `interactive` for dedicated player-facing capacity) and
+//!    an optional [`FaultPlan`] (fail-after-N, transient unavailability,
+//!    latency spikes — injected at the fleet layer, gated *before* the
+//!    backend runs so retries are always state-safe);
 //! 3. **router** — a [`RoutePolicy`] ([`RoundRobin`], [`LeastOutstanding`],
-//!    [`LaneAware`]) picks the replica for each request from live
-//!    [`ReplicaView`]s;
-//! 4. **fleet** — [`Fleet`] owns the replicas and the policy, and is
-//!    itself an [`LlmBackend`], so the threaded runtime drives a mixed
-//!    fleet exactly like a single engine.
+//!    [`LaneAware`], [`PrefixAffinity`]) picks the replica for each
+//!    request from live [`ReplicaView`]s (which carry availability, so
+//!    degraded replicas shed load);
+//! 4. **fleet** — [`Fleet`] owns the replicas and the policy, retries
+//!    refused attempts with backoff, optionally hedges slow calls, keeps
+//!    per-replica prefix-cache ([`PrefixTracker`]) and latency counters,
+//!    and is itself an [`LlmBackend`], so the threaded runtime drives a
+//!    mixed fleet exactly like a single engine.
 //!
 //! # Example: a mixed fleet of a simulated engine and a latency replay
 //!
@@ -96,6 +102,7 @@
 mod backend;
 mod cost;
 mod fleet;
+mod prefix;
 pub mod presets;
 mod replay;
 mod request;
@@ -105,13 +112,17 @@ mod time;
 
 pub use backend::{InstantBackend, LlmBackend, RealtimeSimBackend};
 pub use cost::CostModel;
-pub use fleet::{BackendSpec, Fleet, FleetConfig, FleetMetrics, FleetReplicaMetrics, ReplicaSpec};
+pub use fleet::{
+    BackendSpec, FaultOutcome, FaultPlan, Fleet, FleetConfig, FleetMetrics, FleetReplicaMetrics,
+    ReplicaSpec,
+};
+pub use prefix::{PrefixLru, PrefixStats, PrefixTracker};
 pub use presets::Preset;
 pub use replay::{LatencyProfile, ReplayBackend, ReplayMetrics};
 pub use request::{CallKind, Lane, LlmRequest, LlmResponse, RequestId};
 pub use router::{
-    LaneAware, LeastOutstanding, ReplicaView, RoundRobin, RoutePolicy, RoutePolicyKind,
-    TokenWeighted,
+    LaneAware, LeastOutstanding, PrefixAffinity, ReplicaView, RoundRobin, RoutePolicy,
+    RoutePolicyKind, TokenWeighted,
 };
 pub use server::{Completion, ReplicaMetrics, ServerConfig, ServerMetrics, SimServer};
 pub use time::VirtualTime;

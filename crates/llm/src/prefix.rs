@@ -1,0 +1,299 @@
+//! Prefix-cache accounting: a bounded LRU of recently served prompt
+//! prefixes plus the per-replica hit/miss bookkeeping built on it.
+//!
+//! The paper benchmarks with SGLang's automatic prefix cache *disabled*
+//! for stability, while noting that "enabling the cache generally
+//! provides about a 20% throughput gain" (§4.1). Massive-agent cities
+//! make that gain *structural*: personas are instantiated from a small
+//! template pool, so same-template agents share a long prompt preamble,
+//! and an agent's own calls share its persona + accumulated-memory
+//! prefix. Modeling the cache explicitly (instead of a flat discount)
+//! makes routing experiments honest — a policy only earns a hit rate if
+//! it actually lands a request on a replica that still holds the prefix.
+//!
+//! Two layers:
+//!
+//! * [`PrefixLru`] — the mechanism: a bounded least-recently-*observed*
+//!   map from cache key to the longest prefix (in tokens) resident for
+//!   that key. Small enough to sit inside a simulated replica; exact
+//!   enough to property-test against a brute-force oracle.
+//! * [`PrefixTracker`] — the policy: composes an **agent-keyed** entry
+//!   (full prompt prefix: persona + memories) with an optional
+//!   **template-keyed** entry (the preamble shared by every instance of
+//!   a persona template, capped at the request's declared
+//!   `shared_prefix_tokens`), and keeps hit/miss/matched-token counters.
+//!
+//! A *hit* is counted only when the agent-keyed entry matches — i.e. the
+//! replica recently served this very agent, the signal affinity routing
+//! tries to maximize. A template match alone still discounts prefill
+//! (it contributes matched tokens) but is deliberately not a hit:
+//! with a handful of templates the template entries are hot on every
+//! replica under any policy, so counting them would saturate the metric
+//! and hide what routing actually changed.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Namespace bit distinguishing template-keyed entries from agent-keyed
+/// ones inside one [`PrefixLru`] (agent ids are `u32`, so the bit never
+/// collides).
+const TEMPLATE_NS: u64 = 1 << 63;
+
+/// A bounded least-recently-observed map `key → cached prefix tokens`.
+///
+/// Semantics of one [`PrefixLru::observe`] call, in order:
+///
+/// 1. the *matched* prefix is `min(cached, prompt_tokens)` for a
+///    resident key, `0` for an absent one;
+/// 2. the key's cached length becomes `max(cached, prompt_tokens)` and
+///    the key becomes most-recently observed;
+/// 3. if the map now exceeds its capacity, the least-recently observed
+///    key is evicted. An evicted key can never match again until it is
+///    re-observed (step 1 of a later call) — the invariant the
+///    `prop_fleet` suite checks against a brute-force oracle.
+///
+/// Recency is tracked with a lazy-deletion queue (each observation
+/// pushes a stamped entry; stale stamps are skipped at eviction time),
+/// so `observe` is amortized O(1).
+#[derive(Debug, Clone)]
+pub struct PrefixLru {
+    capacity: usize,
+    entries: HashMap<u64, (u32, u64)>,
+    recency: VecDeque<(u64, u64)>,
+    stamp: u64,
+}
+
+impl PrefixLru {
+    /// Creates an empty cache holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefix cache capacity must be positive");
+        PrefixLru {
+            capacity,
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Maximum number of resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached prefix length for `key` without touching recency.
+    pub fn peek(&self, key: u64) -> Option<u32> {
+        self.entries.get(&key).map(|&(tokens, _)| tokens)
+    }
+
+    /// Observes a prompt of `prompt_tokens` under `key`; returns the
+    /// matched (reusable) prefix length. See the type docs for the
+    /// exact match/update/evict order.
+    pub fn observe(&mut self, key: u64, prompt_tokens: u32) -> u32 {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let matched = match self.entries.get_mut(&key) {
+            Some(entry) => {
+                let matched = entry.0.min(prompt_tokens);
+                entry.0 = entry.0.max(prompt_tokens);
+                entry.1 = stamp;
+                matched
+            }
+            None => {
+                self.entries.insert(key, (prompt_tokens, stamp));
+                0
+            }
+        };
+        self.recency.push_back((key, stamp));
+        while self.entries.len() > self.capacity {
+            let (old_key, old_stamp) = self
+                .recency
+                .pop_front()
+                .expect("over capacity implies queued observations");
+            if self
+                .entries
+                .get(&old_key)
+                .is_some_and(|&(_, s)| s == old_stamp)
+            {
+                self.entries.remove(&old_key);
+            }
+        }
+        // Bound the lazy queue: compact once it is much larger than the
+        // live set, so long runs do not accumulate stale stamps.
+        if self.recency.len() > self.capacity.saturating_mul(4) + 16 {
+            let entries = &self.entries;
+            self.recency
+                .retain(|&(k, s)| entries.get(&k).is_some_and(|&(_, live)| live == s));
+        }
+        matched
+    }
+}
+
+/// Cumulative prefix-cache counters of one replica (engine- or
+/// fleet-level).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PrefixStats {
+    /// Requests whose **agent-keyed** prefix was resident.
+    pub hits: u64,
+    /// Requests whose agent-keyed prefix was absent (or evicted).
+    pub misses: u64,
+    /// Total matched prefix tokens (agent or template entries) — the
+    /// prefill tokens the replica did not recompute.
+    pub matched_tokens: u64,
+}
+
+impl PrefixStats {
+    /// Hit rate in `[0, 1]` (`0` before any request).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-replica prefix-cache model: a [`PrefixLru`] shared by agent- and
+/// template-keyed entries, plus [`PrefixStats`] counters.
+#[derive(Debug, Clone)]
+pub struct PrefixTracker {
+    lru: PrefixLru,
+    stats: PrefixStats,
+}
+
+impl PrefixTracker {
+    /// Creates a tracker over a cache of `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        PrefixTracker {
+            lru: PrefixLru::new(capacity),
+            stats: PrefixStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PrefixStats {
+        self.stats
+    }
+
+    /// Observes one request landing on this replica and returns the
+    /// matched prefix length in tokens (how much prefill the replica may
+    /// skip).
+    ///
+    /// `template` and `shared_prefix` come from
+    /// [`crate::LlmRequest::template`] /
+    /// [`crate::LlmRequest::shared_prefix_tokens`]: every instance of a
+    /// persona template shares a preamble of `shared_prefix` tokens, so
+    /// a template entry may match even when this agent has never hit
+    /// this replica. The returned match never exceeds `input_tokens`.
+    pub fn observe(
+        &mut self,
+        agent: u32,
+        template: Option<u32>,
+        input_tokens: u32,
+        shared_prefix: u32,
+    ) -> u32 {
+        let agent_matched = self.lru.observe(agent as u64, input_tokens);
+        let template_matched = match template {
+            Some(t) if shared_prefix > 0 => self
+                .lru
+                .observe(TEMPLATE_NS | t as u64, shared_prefix.min(input_tokens)),
+            _ => 0,
+        };
+        if agent_matched > 0 {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        let matched = agent_matched.max(template_matched).min(input_tokens);
+        self.stats.matched_tokens += matched as u64;
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_misses_then_hits() {
+        let mut lru = PrefixLru::new(4);
+        assert_eq!(lru.observe(7, 100), 0, "cold key cannot match");
+        assert_eq!(lru.observe(7, 100), 100);
+        assert_eq!(lru.observe(7, 40), 40, "shorter prompt matches fully");
+        assert_eq!(lru.observe(7, 200), 100, "cached prefix bounds the match");
+        assert_eq!(lru.observe(7, 150), 150, "cache grew to 200");
+    }
+
+    #[test]
+    fn eviction_is_least_recently_observed() {
+        let mut lru = PrefixLru::new(2);
+        lru.observe(1, 10);
+        lru.observe(2, 20);
+        lru.observe(1, 10); // refresh 1: now 2 is the LRU key
+        lru.observe(3, 30); // evicts 2
+        assert_eq!(lru.peek(2), None, "key 2 must be evicted");
+        assert_eq!(lru.observe(1, 10), 10);
+        assert_eq!(lru.observe(2, 20), 0, "evicted prefix never matches");
+    }
+
+    #[test]
+    fn lazy_queue_stays_bounded() {
+        let mut lru = PrefixLru::new(8);
+        for i in 0..100_000u64 {
+            lru.observe(i % 3, 10);
+        }
+        assert!(lru.recency.len() <= 8 * 4 + 16 + 1, "{}", lru.recency.len());
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn tracker_counts_agent_hits_only() {
+        let mut t = PrefixTracker::new(16);
+        // Agent 1, template 9: cold — miss, but the template entry seeds.
+        assert_eq!(t.observe(1, Some(9), 100, 60), 0);
+        // Agent 2, same template: still an agent miss, but the shared
+        // preamble matches (and is capped at shared_prefix).
+        assert_eq!(t.observe(2, Some(9), 100, 60), 60);
+        // Agent 1 again: agent hit, full prompt matched.
+        assert_eq!(t.observe(1, Some(9), 100, 60), 100);
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!(s.matched_tokens, 160);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untemplated_requests_use_agent_entries_only() {
+        let mut t = PrefixTracker::new(16);
+        assert_eq!(t.observe(5, None, 80, 0), 0);
+        assert_eq!(t.observe(6, None, 80, 0), 0, "no cross-agent sharing");
+        assert_eq!(t.observe(5, None, 80, 0), 80);
+    }
+
+    #[test]
+    fn match_never_exceeds_prompt() {
+        let mut t = PrefixTracker::new(16);
+        t.observe(1, Some(2), 500, 400);
+        assert_eq!(t.observe(3, Some(2), 100, 400), 100, "capped at prompt");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = PrefixLru::new(0);
+    }
+}

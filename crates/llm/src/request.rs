@@ -139,6 +139,17 @@ pub struct LlmRequest {
     pub kind: CallKind,
     /// Service class (background simulation by default).
     pub lane: Lane,
+    /// Persona template the issuing agent was instantiated from, if the
+    /// world exposes one. Same-template agents share a long prompt
+    /// preamble (system prompt + persona scaffold), which is what
+    /// prefix-affinity routing and the per-replica prefix cache exploit.
+    #[serde(default)]
+    pub template: Option<u32>,
+    /// Length in tokens of the preamble shared by all agents of
+    /// [`LlmRequest::template`]. `0` when untemplated; always capped at
+    /// `input_tokens` by consumers.
+    #[serde(default)]
+    pub shared_prefix_tokens: u32,
 }
 
 impl LlmRequest {
@@ -159,6 +170,8 @@ impl LlmRequest {
             output_tokens,
             kind,
             lane: Lane::Background,
+            template: None,
+            shared_prefix_tokens: 0,
         }
     }
 
@@ -166,6 +179,27 @@ impl LlmRequest {
     pub fn interactive(mut self) -> Self {
         self.lane = Lane::Interactive;
         self
+    }
+
+    /// Tags the request with the issuing agent's persona template and the
+    /// token length of the preamble all agents of that template share —
+    /// the inputs to prefix-affinity routing and the replica prefix cache.
+    pub fn with_template(mut self, template: u32, shared_prefix_tokens: u32) -> Self {
+        self.template = Some(template);
+        self.shared_prefix_tokens = shared_prefix_tokens;
+        self
+    }
+
+    /// The key prefix-affinity routing groups on: the persona template
+    /// when tagged, otherwise the issuing agent alone (an agent still
+    /// reuses *its own* prefix call-to-call, so keeping one agent on one
+    /// replica is the best untagged fallback). Disjoint by construction —
+    /// the agent fallback is namespaced above the `u32` template range.
+    pub fn routing_group(&self) -> u64 {
+        match self.template {
+            Some(t) => t as u64,
+            None => (1u64 << 32) | self.agent as u64,
+        }
     }
 
     /// Total tokens moved for this request (input + output).
@@ -213,6 +247,24 @@ mod tests {
         let r = LlmRequest::new(RequestId(1), 0, 3, 640, 20, CallKind::Plan);
         assert_eq!(r.lane, Lane::Background);
         assert_eq!(r.interactive().lane, Lane::Interactive);
+    }
+
+    #[test]
+    fn template_tagging_and_routing_groups() {
+        let bare = LlmRequest::new(RequestId(1), 7, 3, 640, 20, CallKind::Plan);
+        assert_eq!(bare.template, None);
+        assert_eq!(bare.shared_prefix_tokens, 0);
+        let tagged = bare.with_template(4, 320);
+        assert_eq!(tagged.template, Some(4));
+        assert_eq!(tagged.shared_prefix_tokens, 320);
+        assert_eq!(tagged.routing_group(), 4);
+        // Untagged requests group by agent, namespaced away from
+        // template ids so the two can never collide.
+        assert_eq!(bare.routing_group(), (1u64 << 32) | 7);
+        assert_ne!(
+            bare.routing_group(),
+            LlmRequest::new(RequestId(2), 8, 3, 640, 20, CallKind::Plan).routing_group()
+        );
     }
 
     #[test]

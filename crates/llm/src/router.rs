@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::request::{Lane, LlmRequest};
 
 /// A router's read-only view of one fleet replica at decision time.
+/// Plain data, constructible by custom fleets and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
 pub struct ReplicaView {
     /// Replica index within the fleet (stable across the run).
     pub id: usize,
@@ -32,6 +32,24 @@ pub struct ReplicaView {
     /// Whether the replica is tagged for interactive traffic (see
     /// [`LaneAware`]).
     pub interactive: bool,
+    /// Whether the replica is currently willing to accept traffic.
+    /// `false` while a fault window ([`crate::FaultPlan`]) holds it
+    /// unavailable, after it failed permanently, or — within a single
+    /// routing retry — once an attempt on it already failed. Every
+    /// shipped policy routes among available replicas first and falls
+    /// back to the full fleet only when none is available (the fleet's
+    /// retry loop then decides whether to back off or give up).
+    pub available: bool,
+}
+
+/// The available subset of `replicas`, or all of them when none is
+/// available (the caller still has to pick *something*; the fleet layer
+/// handles a truly dead fleet).
+fn available_or_all(replicas: &[ReplicaView]) -> impl Iterator<Item = &ReplicaView> + Clone {
+    let any_available = replicas.iter().any(|r| r.available);
+    replicas
+        .iter()
+        .filter(move |r| r.available || !any_available)
 }
 
 /// Picks the replica that serves the next request.
@@ -67,7 +85,12 @@ impl RoundRobin {
 
 impl RoutePolicy for RoundRobin {
     fn route(&self, _req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
-        self.next.fetch_add(1, Ordering::Relaxed) % replicas.len()
+        let n = available_or_all(replicas).count();
+        let pick = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        available_or_all(replicas)
+            .nth(pick)
+            .expect("pick < available count")
+            .id
     }
 
     fn name(&self) -> &'static str {
@@ -97,7 +120,7 @@ fn least_outstanding_of<'a>(replicas: impl Iterator<Item = &'a ReplicaView>) -> 
 
 impl RoutePolicy for LeastOutstanding {
     fn route(&self, _req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
-        least_outstanding_of(replicas.iter()).expect("fleet has at least one replica")
+        least_outstanding_of(available_or_all(replicas)).expect("fleet has at least one replica")
     }
 
     fn name(&self) -> &'static str {
@@ -128,8 +151,7 @@ impl TokenWeighted {
 
 impl RoutePolicy for TokenWeighted {
     fn route(&self, _req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
-        replicas
-            .iter()
+        available_or_all(replicas)
             .min_by_key(|r| (r.outstanding_tokens, r.outstanding, r.id))
             .map(|r| r.id)
             .expect("fleet has at least one replica")
@@ -162,17 +184,95 @@ impl RoutePolicy for LaneAware {
     fn route(&self, req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
         let wants_interactive = req.lane == Lane::Interactive;
         least_outstanding_of(
-            replicas
-                .iter()
-                .filter(|r| r.interactive == wants_interactive),
+            available_or_all(replicas).filter(|r| r.interactive == wants_interactive),
         )
-        .or_else(|| least_outstanding_of(replicas.iter()))
+        .or_else(|| least_outstanding_of(available_or_all(replicas)))
         .expect("fleet has at least one replica")
     }
 
     fn name(&self) -> &'static str {
         "lane-aware"
     }
+}
+
+/// Routes every request of one **routing group** (persona template when
+/// tagged, issuing agent otherwise — [`LlmRequest::routing_group`]) to
+/// the same replica, so the group's shared prompt prefix stays resident
+/// in that replica's cache.
+///
+/// The anchor replica is a seeded hash of the group
+/// (`splitmix64(seed ^ group) % fleet_size`), which spreads groups
+/// across the fleet without any shared mutable state — the policy is a
+/// pure function of (seed, group, replica count), hence deterministic
+/// for a fixed seed and replica set and stable across threads and runs.
+/// When the anchor is unavailable (fault window, failed attempt), the
+/// request probes linearly to the next available replica — its group's
+/// prefix is re-seeded there, degrading hit rate but never stalling a
+/// cluster on a dead replica.
+///
+/// This is the OpenCity observation operationalized: massive-city
+/// personas come from a small template pool, so same-template agents
+/// share a long preamble, and affinity converts that structure into
+/// per-replica prefix-cache hits — measurable via
+/// `FleetReplicaMetrics::hit_rate` and the `repro city-fleet` sweep.
+#[derive(Debug)]
+pub struct PrefixAffinity {
+    seed: u64,
+}
+
+impl PrefixAffinity {
+    /// Seed used by [`RoutePolicyKind::PrefixAffinity`] — chosen so the
+    /// five built-in city persona templates spread over small (2–4
+    /// replica) test fleets instead of all hashing onto one replica.
+    pub const DEFAULT_SEED: u64 = 0xA1;
+
+    /// Creates the policy with the default seed.
+    pub fn new() -> Self {
+        Self::with_seed(Self::DEFAULT_SEED)
+    }
+
+    /// Creates the policy with an explicit seed (exposed so experiments
+    /// can re-shuffle the group→replica assignment).
+    pub fn with_seed(seed: u64) -> Self {
+        PrefixAffinity { seed }
+    }
+
+    /// The replica the group would land on with every replica available.
+    fn anchor(&self, group: u64, n: usize) -> usize {
+        (splitmix64(self.seed ^ group) % n as u64) as usize
+    }
+}
+
+impl Default for PrefixAffinity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutePolicy for PrefixAffinity {
+    fn route(&self, req: &LlmRequest, replicas: &[ReplicaView]) -> usize {
+        let n = replicas.len();
+        let anchor = self.anchor(req.routing_group(), n);
+        // Linear probe from the anchor to the first available replica;
+        // a fully-unavailable fleet falls back to the anchor itself.
+        (0..n)
+            .map(|i| (anchor + i) % n)
+            .find(|&i| replicas[i].available)
+            .unwrap_or(anchor)
+    }
+
+    fn name(&self) -> &'static str {
+        "prefix-affinity"
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash for group→replica
+/// assignment (the same mixer the replay backend keys latencies with).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Declarative name for a shipped [`RoutePolicy`] — the serializable /
@@ -188,15 +288,18 @@ pub enum RoutePolicyKind {
     TokenWeighted,
     /// [`LaneAware`].
     LaneAware,
+    /// [`PrefixAffinity`] (with [`PrefixAffinity::DEFAULT_SEED`]).
+    PrefixAffinity,
 }
 
 impl RoutePolicyKind {
     /// All shipped policies, in display order.
-    pub const ALL: [RoutePolicyKind; 4] = [
+    pub const ALL: [RoutePolicyKind; 5] = [
         RoutePolicyKind::RoundRobin,
         RoutePolicyKind::LeastOutstanding,
         RoutePolicyKind::TokenWeighted,
         RoutePolicyKind::LaneAware,
+        RoutePolicyKind::PrefixAffinity,
     ];
 
     /// Stable name matching the built policy's [`RoutePolicy::name`].
@@ -206,6 +309,7 @@ impl RoutePolicyKind {
             RoutePolicyKind::LeastOutstanding => "least-outstanding",
             RoutePolicyKind::TokenWeighted => "token-weighted",
             RoutePolicyKind::LaneAware => "lane-aware",
+            RoutePolicyKind::PrefixAffinity => "prefix-affinity",
         }
     }
 
@@ -221,6 +325,7 @@ impl RoutePolicyKind {
             RoutePolicyKind::LeastOutstanding => Box::new(LeastOutstanding::new()),
             RoutePolicyKind::TokenWeighted => Box::new(TokenWeighted::new()),
             RoutePolicyKind::LaneAware => Box::new(LaneAware::new()),
+            RoutePolicyKind::PrefixAffinity => Box::new(PrefixAffinity::new()),
         }
     }
 }
@@ -254,6 +359,7 @@ mod tests {
                 outstanding_tokens: o as u64 * 100,
                 served: 0,
                 interactive: false,
+                available: true,
             })
             .collect()
     }
@@ -318,6 +424,93 @@ mod tests {
         v[0].interactive = true;
         v[1].interactive = true;
         assert_eq!(p.route(&req(Lane::Background), &v), 1);
+    }
+
+    #[test]
+    fn every_policy_avoids_unavailable_replicas() {
+        let mut v = views(&[0, 9]);
+        v[0].available = false;
+        for kind in RoutePolicyKind::ALL {
+            let p = kind.build();
+            for lane in [Lane::Background, Lane::Interactive] {
+                for _ in 0..4 {
+                    assert_eq!(
+                        p.route(&req(lane), &v),
+                        1,
+                        "{kind}: replica 0 is unavailable"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_unavailable_fleet_still_routes_somewhere() {
+        let mut v = views(&[1, 2]);
+        v[0].available = false;
+        v[1].available = false;
+        for kind in RoutePolicyKind::ALL {
+            let pick = kind.build().route(&req(Lane::Background), &v);
+            assert!(pick < v.len(), "{kind}: index out of range");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_over_available_subset() {
+        let p = RoundRobin::new();
+        let mut v = views(&[0, 0, 0]);
+        v[1].available = false;
+        let picks: Vec<usize> = (0..4)
+            .map(|_| p.route(&req(Lane::Background), &v))
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn prefix_affinity_is_deterministic_and_groups_stick() {
+        let p = PrefixAffinity::new();
+        let v = views(&[3, 0, 1, 0]);
+        let r = req(Lane::Background).with_template(2, 100);
+        let first = p.route(&r, &v);
+        for _ in 0..10 {
+            assert_eq!(p.route(&r, &v), first, "same group must pin");
+        }
+        // Same seed, fresh policy instance: identical assignment (no
+        // hidden mutable state).
+        assert_eq!(PrefixAffinity::new().route(&r, &v), first);
+        // Load never moves a group; only availability does.
+        let mut loaded = v.clone();
+        loaded[first].outstanding = 999;
+        loaded[first].outstanding_tokens = 1 << 40;
+        assert_eq!(p.route(&r, &loaded), first);
+    }
+
+    #[test]
+    fn prefix_affinity_spreads_groups_and_probes_on_failure() {
+        let p = PrefixAffinity::new();
+        let v = views(&[0, 0]);
+        // The five built-in city templates must not all collapse onto a
+        // single replica of a 2-fleet (the constant seed is picked for
+        // this; a collapse would make affinity == worst-case hotspot).
+        let anchors: Vec<usize> = (0..5u32)
+            .map(|t| p.route(&req(Lane::Background).with_template(t, 50), &v))
+            .collect();
+        assert!(anchors.contains(&0) && anchors.contains(&1), "{anchors:?}");
+        // Untagged requests group per agent and likewise spread.
+        let by_agent: Vec<usize> = (0..16u32)
+            .map(|a| {
+                let r = LlmRequest::new(RequestId(1), a, 0, 10, 2, CallKind::Plan);
+                p.route(&r, &v)
+            })
+            .collect();
+        assert!(by_agent.contains(&0) && by_agent.contains(&1));
+        // When the anchor goes unavailable the group probes to the next
+        // available replica instead of stalling.
+        let t0 = req(Lane::Background).with_template(0, 50);
+        let anchor = p.route(&t0, &v);
+        let mut degraded = v.clone();
+        degraded[anchor].available = false;
+        assert_eq!(p.route(&t0, &degraded), 1 - anchor);
     }
 
     #[test]

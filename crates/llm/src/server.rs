@@ -4,9 +4,14 @@ use std::collections::BinaryHeap;
 use serde::{Deserialize, Serialize};
 
 use crate::cost::CostModel;
+use crate::prefix::PrefixTracker;
 use crate::presets::Preset;
 use crate::request::LlmRequest;
 use crate::time::VirtualTime;
+
+fn default_prefix_cache_entries() -> u32 {
+    4096
+}
 
 /// Configuration of a [`SimServer`] deployment.
 ///
@@ -41,10 +46,20 @@ pub struct ServerConfig {
     /// Model automatic common-prefix caching (the SGLang feature the paper
     /// turned *off* for stable benchmarks, noting "enabling the cache
     /// generally provides about a 20% throughput gain", §4.1). When on,
-    /// each replica remembers the longest prompt prefix it has served per
-    /// agent (persona + instructions are shared across an agent's calls)
-    /// and skips recomputing it.
+    /// each replica keeps a bounded LRU of recently served prompt prefixes
+    /// (per agent, plus per persona template for tagged requests — see
+    /// [`crate::PrefixTracker`]) and skips re-prefilling the matched
+    /// prefix. A hit therefore discounts prefill cost proportionally to
+    /// the matched prefix length.
     pub prefix_caching: bool,
+    /// Capacity of each replica's prefix LRU, in cache keys (agents +
+    /// templates). Bounded because real KV-cache memory is: at city scale
+    /// an agent's entry is evicted between its visits unless routing keeps
+    /// the agent on one replica — which is exactly what
+    /// [`crate::PrefixAffinity`] is for. Values ≤ 1 behave as a
+    /// single-entry cache.
+    #[serde(default = "default_prefix_cache_entries")]
+    pub prefix_cache_entries: u32,
 }
 
 impl ServerConfig {
@@ -66,12 +81,20 @@ impl ServerConfig {
             lane_aware: false,
             interactive_reserve: 0,
             prefix_caching: false,
+            prefix_cache_entries: default_prefix_cache_entries(),
         }
     }
 
     /// Enables prefix caching (see [`ServerConfig::prefix_caching`]).
     pub fn with_prefix_caching(mut self) -> Self {
         self.prefix_caching = true;
+        self
+    }
+
+    /// Sets the per-replica prefix LRU capacity (see
+    /// [`ServerConfig::prefix_cache_entries`]).
+    pub fn with_prefix_cache_entries(mut self, entries: u32) -> Self {
+        self.prefix_cache_entries = entries;
         self
     }
 
@@ -133,6 +156,13 @@ pub struct ReplicaMetrics {
     pub peak_running: u32,
     /// Prefill tokens skipped thanks to prefix caching.
     pub cached_prefill_tokens: u64,
+    /// Admitted requests whose issuing agent's prefix was still resident
+    /// in this replica's LRU (see [`crate::PrefixStats::hits`]).
+    #[serde(default)]
+    pub prefix_hits: u64,
+    /// Admitted requests whose agent prefix was absent or evicted.
+    #[serde(default)]
+    pub prefix_misses: u64,
 }
 
 /// Aggregated view over all replicas (see [`SimServer::metrics`]).
@@ -235,12 +265,13 @@ struct Replica {
     kv_reserved: u64,
     iter_end: Option<VirtualTime>,
     metrics: ReplicaMetrics,
-    /// agent → longest prompt prefix cached on this replica (tokens).
-    prefix_cache: std::collections::HashMap<u32, u32>,
+    /// Bounded LRU of recently served prompt prefixes (agent + template
+    /// keyed) — the cache a prefix hit discounts prefill against.
+    prefix: PrefixTracker,
 }
 
 impl Replica {
-    fn new(id: usize) -> Self {
+    fn new(id: usize, prefix_entries: usize) -> Self {
         Replica {
             id,
             running: Vec::new(),
@@ -248,7 +279,7 @@ impl Replica {
             kv_reserved: 0,
             iter_end: None,
             metrics: ReplicaMetrics::default(),
-            prefix_cache: std::collections::HashMap::new(),
+            prefix: PrefixTracker::new(prefix_entries),
         }
     }
 
@@ -287,6 +318,7 @@ impl Replica {
 ///     lane_aware: false,
 ///     interactive_reserve: 0,
 ///     prefix_caching: false,
+///     prefix_cache_entries: 4096,
 /// };
 /// let mut s = SimServer::new(cfg);
 /// s.submit(VirtualTime::ZERO, LlmRequest::new(RequestId(0), 0, 0, 100, 4, CallKind::Plan));
@@ -322,7 +354,10 @@ impl SimServer {
         assert!(cfg.replicas > 0, "replicas must be positive");
         assert!(cfg.max_running > 0, "max_running must be positive");
         assert!(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
-        let replicas = (0..cfg.replicas as usize).map(Replica::new).collect();
+        let prefix_entries = cfg.prefix_cache_entries.max(1) as usize;
+        let replicas = (0..cfg.replicas as usize)
+            .map(|id| Replica::new(id, prefix_entries))
+            .collect();
         SimServer {
             cfg,
             replicas,
@@ -521,25 +556,27 @@ impl SimServer {
             }
             let Reverse(p) = replica.pending.pop().expect("peeked");
             replica.kv_reserved += need;
-            // Prefix caching: an agent's calls share a long persona/system
-            // prefix; model it as ~60% of the shorter of (cached, prompt).
+            // Prefix caching: the matched prefix (this agent's recent
+            // prompt, or the preamble shared by its persona template) is
+            // already resident, so the discount is proportional to the
+            // matched length — those tokens skip prefill entirely. The
+            // LRU is bounded, so a replica that has not seen this agent
+            // recently re-prefills from scratch.
             let prefilled = if prefix_caching {
-                let cached = replica.prefix_cache.get(&p.req.agent).copied().unwrap_or(0);
-                let reusable = (cached.min(p.req.input_tokens) as f64 * 0.6) as u32;
-                replica.metrics.cached_prefill_tokens += reusable as u64;
-                reusable
+                let matched = replica.prefix.observe(
+                    p.req.agent,
+                    p.req.template,
+                    p.req.input_tokens,
+                    p.req.shared_prefix_tokens,
+                );
+                let s = replica.prefix.stats();
+                replica.metrics.prefix_hits = s.hits;
+                replica.metrics.prefix_misses = s.misses;
+                replica.metrics.cached_prefill_tokens += matched as u64;
+                matched
             } else {
                 0
             };
-            replica.prefix_cache.insert(
-                p.req.agent,
-                replica
-                    .prefix_cache
-                    .get(&p.req.agent)
-                    .copied()
-                    .unwrap_or(0)
-                    .max(p.req.input_tokens),
-            );
             replica.running.push(Running {
                 req: p.req,
                 submitted_at: p.submitted_at,
@@ -603,6 +640,7 @@ mod tests {
             lane_aware: false,
             interactive_reserve: 0,
             prefix_caching: false,
+            prefix_cache_entries: 4096,
         }
     }
 
@@ -961,6 +999,72 @@ mod tests {
             s.metrics().replicas[0].cached_prefill_tokens,
             0,
             "agent 2 must not reuse agent 1's prefix"
+        );
+    }
+
+    #[test]
+    fn prefix_cache_counts_hits_and_misses() {
+        let mut cfg = toy_cfg(1, true);
+        cfg.prefix_caching = true;
+        let mut s = SimServer::new(cfg);
+        for i in 0..4u64 {
+            s.submit(
+                s.now(),
+                LlmRequest::new(RequestId(i), 9, 0, 300, 2, CallKind::Plan),
+            );
+            let _ = s.drain();
+        }
+        let m = s.metrics().replicas[0];
+        assert_eq!(m.prefix_misses, 1, "only the cold call misses");
+        assert_eq!(m.prefix_hits, 3);
+        assert_eq!(m.cached_prefill_tokens, 3 * 300);
+    }
+
+    #[test]
+    fn bounded_prefix_cache_evicts_between_agents() {
+        // Capacity 1: two agents alternating always evict each other, so
+        // the cache never helps — the bounded-LRU behavior affinity
+        // routing exists to exploit.
+        let mut cfg = toy_cfg(1, true);
+        cfg.prefix_caching = true;
+        cfg.prefix_cache_entries = 1;
+        let mut s = SimServer::new(cfg);
+        for i in 0..6u64 {
+            let agent = (i % 2) as u32 + 1;
+            s.submit(
+                s.now(),
+                LlmRequest::new(RequestId(i), agent, 0, 300, 2, CallKind::Plan),
+            );
+            let _ = s.drain();
+        }
+        let m = s.metrics().replicas[0];
+        assert_eq!(m.prefix_hits, 0, "alternating agents thrash a 1-entry LRU");
+        assert_eq!(m.cached_prefill_tokens, 0);
+    }
+
+    #[test]
+    fn template_prefix_shared_across_agents() {
+        // Different agents of one persona template share the preamble:
+        // the second agent's prefill is discounted by the shared prefix
+        // even though the agent itself is cold.
+        let mut cfg = toy_cfg(1, true);
+        cfg.prefix_caching = true;
+        let mut s = SimServer::new(cfg);
+        s.submit(
+            VirtualTime::ZERO,
+            LlmRequest::new(RequestId(0), 1, 0, 400, 2, CallKind::Plan).with_template(3, 250),
+        );
+        let _ = s.drain();
+        s.submit(
+            s.now(),
+            LlmRequest::new(RequestId(1), 2, 0, 400, 2, CallKind::Plan).with_template(3, 250),
+        );
+        let _ = s.drain();
+        let m = s.metrics().replicas[0];
+        assert_eq!(m.prefix_hits, 0, "agent entries were both cold");
+        assert_eq!(
+            m.cached_prefill_tokens, 250,
+            "the template preamble must be reused across agents"
         );
     }
 

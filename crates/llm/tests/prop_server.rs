@@ -38,6 +38,7 @@ fn cfg(replicas: u32, max_running: u32, kv: u64, priority: bool) -> ServerConfig
         lane_aware: false,
         interactive_reserve: 0,
         prefix_caching: false,
+        prefix_cache_entries: 4096,
     }
 }
 

@@ -236,6 +236,7 @@ pub fn generate_personas(map: &TileMap, cfg: &CityConfig) -> Vec<Persona> {
                 chattiness: t.chattiness.0
                     + rng.random::<f32>() * (t.chattiness.1 - t.chattiness.0),
                 friends: Vec::new(),
+                template: ((id / districts) as usize % pool.len()) as u32,
             }
         })
         .collect();

@@ -52,6 +52,13 @@ pub struct Persona {
     pub chattiness: f32,
     /// Friend agent ids (symmetric).
     pub friends: Vec<u32>,
+    /// Persona-template id this agent was instantiated from. Agents of
+    /// one template share a long prompt preamble (system prompt +
+    /// archetype scaffold), which prefix-affinity routing exploits; see
+    /// `aim_llm::LlmRequest::template`. Smallville personas are
+    /// hand-rolled rather than templated, so each uses its own id.
+    #[serde(default)]
+    pub template: u32,
 }
 
 impl Persona {
@@ -119,6 +126,7 @@ pub fn generate_personas(map: &TileMap, n: u32, rng: &mut StdRng) -> Vec<Persona
                 work_area,
                 chattiness: 0.4 + rng.random::<f32>() * 1.2,
                 friends: Vec::new(),
+                template: id,
             }
         })
         .collect();

@@ -84,21 +84,28 @@ impl ClusterProgram<GridSpace> for VillageProgram {
 
     fn agent_step(&self, agent: AgentId, step: Step, llm: &dyn LlmBackend) -> StepPlan {
         // Plan under the world lock (cheap, reads committed state only)…
-        let plan = self
-            .village
-            .lock()
-            .plan_step(agent.0, self.step_offset + step.0);
-        // …then issue the plan's LLM calls without holding it.
+        let (plan, template) = {
+            let village = self.village.lock();
+            let plan = village.plan_step(agent.0, self.step_offset + step.0);
+            (plan, village.persona(agent.0).template)
+        };
+        // …then issue the plan's LLM calls without holding it. Calls are
+        // tagged with the persona template so prefix-affinity routing and
+        // replica prefix caches see the shared preamble (modeled as half
+        // the prompt: system prompt + archetype scaffold).
         for call in &plan.calls {
             let id = RequestId(self.req_ids.fetch_add(1, Ordering::Relaxed));
-            llm.call(&LlmRequest::new(
-                id,
-                agent.0,
-                step.priority(),
-                call.input_tokens,
-                call.output_tokens,
-                call.kind,
-            ));
+            llm.call(
+                &LlmRequest::new(
+                    id,
+                    agent.0,
+                    step.priority(),
+                    call.input_tokens,
+                    call.output_tokens,
+                    call.kind,
+                )
+                .with_template(template, call.input_tokens / 2),
+            );
             self.calls_made.fetch_add(1, Ordering::Relaxed);
         }
         plan

@@ -184,7 +184,7 @@ fn main() {
         }
     }
 
-    println!("\nSame village, same player, four routing policies: the fleet");
+    println!("\nSame village, same player, five routing policies: the fleet");
     println!("abstraction makes deployment shape — replica mix and routing —");
     println!("a config knob instead of an engine rewrite.");
 }

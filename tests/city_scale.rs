@@ -101,6 +101,96 @@ fn ten_thousand_agent_city_ooo_equals_lockstep() {
 }
 
 #[test]
+fn city_through_fleet_serves_on_every_replica() {
+    // The closed loop in miniature: a (small) district city driven
+    // through a heterogeneous serving fleet — a simulated engine plus a
+    // latency-replay replica — completes, both replicas serve traffic,
+    // and the run's report surfaces each replica's describe() string and
+    // prefix-cache counters.
+    use ai_metropolis::llm::{
+        presets, FleetConfig, LatencyProfile, LlmBackend, ReplicaSpec, RoutePolicyKind,
+        ServerConfig,
+    };
+
+    let cfg = CityConfig {
+        districts_x: 2,
+        districts_y: 1,
+        agents: 160,
+        seed: 31,
+    };
+    let base = city::generate(&cfg);
+    let start = clock_to_step(8, 20);
+    let steps = 12u32;
+
+    let fleet = Arc::new(
+        FleetConfig::new("city-mini", RoutePolicyKind::RoundRobin)
+            .with_replica(ReplicaSpec::sim(
+                ServerConfig::from_preset(presets::tiny_test(), 1, true),
+                1_000_000.0,
+            ))
+            .with_replica(ReplicaSpec::replay(
+                LatencyProfile::constant("prod", 20_000),
+                5,
+                None,
+            ))
+            .build(),
+    );
+
+    let space = base.space();
+    let program = Arc::new(VillageProgram::with_step_offset(base, start));
+    let initial = program.initial_positions();
+    let graph = ShardedDepGraph::new(
+        Arc::new(space),
+        RuleParams::genagent(),
+        Arc::new(Db::new()),
+        &initial,
+        Arc::new(cfg.shard_map(2)),
+    )
+    .expect("sharded graph");
+    let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
+    let report = run_threaded(
+        &mut sched,
+        Arc::clone(&program),
+        Arc::clone(&fleet) as Arc<dyn LlmBackend>,
+        ThreadedConfig {
+            workers: 4,
+            priority_enabled: true,
+        },
+    )
+    .expect("threaded city-over-fleet run");
+    assert!(sched.is_done());
+    assert_eq!(report.agent_steps, cfg.agents as u64 * steps as u64);
+    assert!(sched.graph().validate().is_ok());
+
+    // The report carries the full deployment identity…
+    assert!(report.backend.contains("fleet(city-mini, round-robin"));
+    assert!(
+        report.backend.contains("realtime-sim"),
+        "{}",
+        report.backend
+    );
+    assert!(report.backend.contains("replay"), "{}", report.backend);
+    // …and the fleet counters, replica by replica.
+    let m = report.fleet.as_ref().expect("fleet metrics in the report");
+    assert!(m.all_replicas_served(), "{m:?}");
+    assert_eq!(m.total_served(), fleet.metrics().total_served());
+    assert!(m.replicas[0].description.contains("realtime-sim"));
+    assert!(m.replicas[1].description.contains("replay"));
+    assert!(
+        m.replicas.iter().any(|r| r.prefix.hits > 0),
+        "repeated agent calls must hit the prefix cache somewhere: {m:?}"
+    );
+
+    let village = Arc::try_unwrap(program)
+        .expect("workers joined")
+        .into_village();
+    assert!(
+        !village.events().is_empty(),
+        "a commuting morning must produce events"
+    );
+}
+
+#[test]
 fn sharded_scheduler_matches_unsharded_on_a_small_city() {
     // The same world driven by a sharded and an unsharded scheduler must
     // agree — cheap enough to run wide (more steps, walking commuters).

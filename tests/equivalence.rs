@@ -235,6 +235,117 @@ fn ooo_equals_lockstep_thousand_agents() {
 }
 
 #[test]
+fn fault_injected_fleet_equals_lockstep_thousand_agents() {
+    // Resilience must be invisible to the simulation outcome: a
+    // 1000-agent out-of-order run whose serving fleet loses a replica
+    // mid-run (fail-after-N fault plan) must land in the *identical*
+    // world state as the lock-step oracle, under every shipped routing
+    // policy. Retries and shedding may move latency around — never
+    // state: the fault gate runs before the backend, so a failed attempt
+    // provably produced nothing to duplicate, and the retried call
+    // commits exactly once in the worker that issued it.
+    use ai_metropolis::llm::{
+        FaultPlan, FleetConfig, LatencyProfile, ReplicaSpec, RoutePolicyKind,
+    };
+
+    let start = clock_to_step(8, 0);
+    let mut base = Village::generate(&VillageConfig {
+        villes: 40,
+        agents_per_ville: 25,
+        seed: 17,
+    });
+    assert_eq!(base.num_agents(), 1000);
+    base.run_lockstep(0, start, |_, _, _, _| {});
+    let space = base.space();
+
+    let run = |village: Village,
+               policy: DependencyPolicy,
+               workers: usize,
+               backend: Arc<dyn LlmBackend>|
+     -> Village {
+        let program = Arc::new(VillageProgram::with_step_offset(village, start));
+        let initial = program.initial_positions();
+        let mut sched = Scheduler::new(
+            Arc::new(space),
+            RuleParams::genagent(),
+            policy,
+            Arc::new(Db::new()),
+            &initial,
+            Step(10),
+        )
+        .expect("scheduler");
+        run_threaded(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig {
+                workers,
+                priority_enabled: true,
+            },
+        )
+        .expect("threaded run");
+        assert!(sched.is_done());
+        assert!(
+            sched.graph().validate().is_ok(),
+            "causality invariant violated at 1000 agents"
+        );
+        Arc::try_unwrap(program)
+            .expect("workers joined")
+            .into_village()
+    };
+
+    let oracle = run(
+        base.clone(),
+        DependencyPolicy::GlobalSync,
+        4,
+        Arc::new(InstantBackend::new()),
+    );
+    assert!(
+        !oracle.events().is_empty(),
+        "a 1000-agent morning must produce events, or this proves nothing"
+    );
+
+    for policy in RoutePolicyKind::ALL {
+        // Replica 0 serves exactly 150 attempts and then dies — well
+        // into the run for every policy (each sends it ≥ a third of the
+        // ~1.2k calls), well before the end.
+        let fleet = Arc::new(
+            FleetConfig::new("fault-equiv", policy)
+                .with_replica(ReplicaSpec::instant().with_fault(FaultPlan::none().fail_after(150)))
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("equiv", 5_000),
+                    3,
+                    None,
+                ))
+                .with_replica(ReplicaSpec::instant().interactive())
+                .build(),
+        );
+        let ooo = run(
+            base.clone(),
+            DependencyPolicy::Spatiotemporal,
+            8,
+            Arc::clone(&fleet) as Arc<dyn LlmBackend>,
+        );
+        assert_worlds_equal(&oracle, &ooo);
+        let m = fleet.metrics();
+        assert_eq!(
+            m.replicas[0].served, 150,
+            "{policy}: replica 0 must serve exactly its fail-after budget: {m:?}"
+        );
+        assert!(m.replicas[0].down, "{policy}: replica 0 must be down");
+        assert_eq!(
+            m.total_failed(),
+            1,
+            "{policy}: the failure costs exactly one retried attempt: {m:?}"
+        );
+        assert!(
+            m.replicas[1].served + m.replicas[2].served > 0,
+            "{policy}: survivors must absorb the shed load: {m:?}"
+        );
+    }
+}
+
+#[test]
 fn replayed_positions_match_generated_trace_thousand_agents() {
     // Same scale under the discrete-event executor: a 1000-agent trace
     // replayed out of order through the scheduler must land every agent
