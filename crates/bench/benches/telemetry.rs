@@ -1,0 +1,100 @@
+//! Microbenchmarks of the `aim_core::telemetry` hot path.
+//!
+//! The subsystem's contract is that observability is cheap enough to
+//! leave compiled in: an *enabled* span record is one clock read plus
+//! one lock-free slot claim (`fetch_add` + release store), and a
+//! *disabled* probe is a single relaxed atomic load returning `None`
+//! before any clock or buffer work happens. These benches pin both
+//! costs, plus the cold drain that `Telemetry::finish` pays once per
+//! run. `bench_gate` holds the numbers to the same 5% regression
+//! threshold as the scheduler benches — the disabled row is the one
+//! that guards "telemetry off costs nothing".
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use aim_core::telemetry::{SpanKind, Telemetry};
+use aim_llm::CallKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A representative hot-path span: the per-agent LLM call record.
+fn llm_span(i: u64) -> SpanKind {
+    SpanKind::LlmCall {
+        agent: (i % 1_000) as u32,
+        step: (i / 1_000) as u32,
+        request: i,
+        kind: CallKind::Plan,
+    }
+}
+
+/// Enabled-path record: `start()` + `record()` through a per-thread
+/// recorder, exactly as a worker thread emits spans mid-run. The buffer
+/// is sized so the loop never overflows (overflow is counted, not
+/// blocking, but we want the claim+store cost, not the drop path).
+fn bench_record_span(c: &mut Criterion) {
+    let tel = Arc::new(Telemetry::with_capacity(1 << 22));
+    let rec = tel.recorder();
+    let mut i = 0u64;
+    c.bench_function("telemetry/record_span", |b| {
+        b.iter(|| {
+            let t0 = rec.start().expect("enabled");
+            rec.record(t0, black_box(llm_span(i)));
+            i += 1;
+        });
+    });
+}
+
+/// Disabled-path probe: the exact instrumentation shape every hot site
+/// uses — `start()` returns `None` and the record never happens. This
+/// is the cost telemetry adds to a run that never asked for it, and the
+/// number that must not move for `scheduler/emit_complete_cycle_1000`
+/// to stay inside the gate.
+fn bench_disabled_noop(c: &mut Criterion) {
+    let tel = Arc::new(Telemetry::new());
+    tel.set_enabled(false);
+    let rec = tel.recorder();
+    let mut i = 0u64;
+    c.bench_function("telemetry/disabled_noop", |b| {
+        b.iter(|| {
+            if let Some(t0) = rec.start() {
+                rec.record(t0, llm_span(i));
+            }
+            i += 1;
+            black_box(i)
+        });
+    });
+}
+
+/// Cold drain: fill a buffer with 4096 spans and collect them sorted,
+/// the once-per-run cost `finish` pays. Per-iteration time therefore
+/// covers record×4096 + drain×1.
+fn bench_drain(c: &mut Criterion) {
+    let tel = Arc::new(Telemetry::with_capacity(1 << 13));
+    let rec = tel.recorder();
+    c.bench_function("telemetry/record_4096_drain", |b| {
+        b.iter(|| {
+            for i in 0..4_096u64 {
+                let t0 = rec.start().expect("enabled");
+                rec.record(t0, llm_span(i));
+            }
+            black_box(tel.drain_spans().len())
+        });
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    // Machine-speed reference for bench_gate normalization (see
+    // `aim_bench::calibration_spin`).
+    c.bench_function("calibration/spin", |b| {
+        b.iter(|| black_box(aim_bench::calibration_spin()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_record_span,
+    bench_disabled_noop,
+    bench_drain
+);
+criterion_main!(benches);

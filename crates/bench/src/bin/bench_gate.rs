@@ -13,7 +13,7 @@
 //!                          (noise bursts only ever slow a run down)
 //!   --targets a,b,c        allowlisted bench targets to gate
 //!                          (default: scheduler,depgraph,clustering,
-//!                          shard,store,snapshot,city_fleet)
+//!                          shard,store,snapshot,city_fleet,telemetry)
 //!   --threshold <pct>      allowed regression, percent (default: 5)
 //!   --min-ns <ns>          ignore baselines below this (timer noise floor,
 //!                          default: 100)
@@ -121,6 +121,7 @@ fn parse_args() -> Options {
             "store",
             "snapshot",
             "city_fleet",
+            "telemetry",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -1,15 +1,17 @@
 //! The reproduction driver: `repro <experiment> [--quick] [--out DIR]
-//! [--checkpoint-every K] [--resume SNAP]`.
+//! [--checkpoint-every K] [--resume SNAP] [--telemetry DIR]`.
 
 use aim_bench::experiments;
 use aim_bench::harness::RunEnv;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP]\n\
+        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP] [--telemetry DIR]\n\
          experiments: calibrate city city-fleet fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun all\n\
          checkpoint flags apply to experiments that checkpoint (longrun): --checkpoint-every\n\
-         overrides the snapshot cadence, --resume restarts from an AIMSNAP v1 file"
+         overrides the snapshot cadence, --resume restarts from an AIMSNAP v1 file;\n\
+         --telemetry records runtime spans on threaded experiments (city, city-fleet) and\n\
+         writes .telemetry + Perfetto trace.json files under DIR (see trace_tool timeline)"
     );
     std::process::exit(2);
 }
@@ -35,6 +37,9 @@ fn main() {
             }
             "--resume" => {
                 env.resume = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--telemetry" => {
+                env.telemetry = Some(it.next().unwrap_or_else(|| usage()).into());
             }
             name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
             _ => usage(),

@@ -14,10 +14,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use aim_core::depgraph::GraphOptions;
-use aim_core::exec::threaded::{run_threaded_with_checkpoints, CheckpointHook, ThreadedConfig};
+use aim_core::exec::threaded::{run_threaded_observed, CheckpointHook, ThreadedConfig};
 use aim_core::policy::DependencyPolicy;
 use aim_core::prelude::*;
 use aim_core::shard::ShardedDepGraph;
+use aim_core::telemetry::{RunTelemetry, Telemetry};
 use aim_llm::InstantBackend;
 use aim_store::Db;
 use aim_world::city::{self, CityConfig};
@@ -39,6 +40,7 @@ struct Cell {
     max_cluster: u32,
     skew: u32,
     events: usize,
+    telemetry: Option<RunTelemetry>,
 }
 
 /// Runs the experiment; prints the table and writes `city.csv`.
@@ -84,11 +86,21 @@ pub fn run(env: &RunEnv) {
         );
         let base = city::generate(&cfg);
         for &shards in widths {
-            let cell = drive(&cfg, base.clone(), shards, steps, every);
+            let cell = drive(
+                &cfg,
+                base.clone(),
+                shards,
+                steps,
+                every,
+                env.telemetry_sink(),
+            );
             println!(
                 "  w{shards:<3} {:.2} s wall, {:.0} agent-steps/s, {} resident records",
                 cell.wall_s, cell.steps_per_s, cell.resident
             );
+            if let Some(rt) = &cell.telemetry {
+                env.export_telemetry(&format!("city-{agents}-w{shards}"), rt);
+            }
             table.push_row(vec![
                 cell.agents.to_string(),
                 cell.shards.to_string(),
@@ -109,13 +121,15 @@ pub fn run(env: &RunEnv) {
     }
 }
 
-/// Drives one (city, shard width) cell to completion.
+/// Drives one (city, shard width) cell to completion. With a
+/// `telemetry` sink, the checkpointed run is observed end to end.
 fn drive(
     cfg: &CityConfig,
     village: aim_world::Village,
     shards: usize,
     steps: u32,
     every: u32,
+    telemetry: Option<Arc<Telemetry>>,
 ) -> Cell {
     let start = clock_to_step(8, 0);
     let space = village.space();
@@ -136,14 +150,14 @@ fn drive(
     let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
     let started = Instant::now();
     let mut evicted = 0u64;
-    {
+    let report = {
         let evicted = &mut evicted;
         let mut hook_fn = move |sched: &mut Scheduler<GridSpace, ShardedDepGraph<GridSpace>>|
               -> Result<(), EngineError> {
             *evicted += sched.evict_history()?;
             Ok(())
         };
-        run_threaded_with_checkpoints(
+        run_threaded_observed(
             &mut sched,
             Arc::clone(&program),
             Arc::new(InstantBackend::new()),
@@ -155,9 +169,10 @@ fn drive(
                 every_steps: every,
                 f: &mut hook_fn,
             }),
+            telemetry,
         )
-        .expect("threaded city run");
-    }
+        .expect("threaded city run")
+    };
     let wall_s = started.elapsed().as_secs_f64();
     assert!(sched.is_done());
     assert!(sched.graph().validate().is_ok(), "validity violated");
@@ -177,5 +192,6 @@ fn drive(
         max_cluster: stats.max_cluster_size,
         skew: stats.max_step_skew,
         events: village.events().len(),
+        telemetry: report.telemetry,
     }
 }

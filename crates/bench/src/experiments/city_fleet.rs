@@ -21,10 +21,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use aim_core::depgraph::GraphOptions;
-use aim_core::exec::threaded::{run_threaded, ThreadedConfig};
+use aim_core::exec::threaded::{run_threaded_observed, ThreadedConfig, ThreadedReport};
 use aim_core::policy::DependencyPolicy;
 use aim_core::prelude::*;
 use aim_core::shard::ShardedDepGraph;
+use aim_core::telemetry::Telemetry;
 use aim_llm::{
     presets, FaultPlan, Fleet, FleetConfig, FleetMetrics, LatencyProfile, LlmBackend, ReplicaSpec,
     RoutePolicyKind, ServerConfig,
@@ -77,15 +78,19 @@ struct Cell {
     wall_s: f64,
     calls: u64,
     metrics: FleetMetrics,
+    report: ThreadedReport,
 }
 
 /// Drives one city run over `fleet` and returns wall time + counters.
+/// With a `telemetry` sink, the run is observed end to end and the
+/// unified report lands in `Cell::report.telemetry`.
 fn drive(
     cfg: &CityConfig,
     village: aim_world::Village,
     shards: usize,
     steps: u32,
     fleet: Arc<Fleet>,
+    telemetry: Option<Arc<Telemetry>>,
 ) -> Cell {
     let start = clock_to_step(8, 0);
     let space = village.space();
@@ -106,7 +111,7 @@ fn drive(
     let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
     let backend: Arc<dyn LlmBackend> = Arc::clone(&fleet) as Arc<dyn LlmBackend>;
     let started = Instant::now();
-    let report = run_threaded(
+    let report = run_threaded_observed(
         &mut sched,
         Arc::clone(&program),
         backend,
@@ -114,6 +119,8 @@ fn drive(
             workers: 8,
             priority_enabled: true,
         },
+        None,
+        telemetry,
     )
     .expect("threaded city-fleet run");
     let wall_s = started.elapsed().as_secs_f64();
@@ -135,7 +142,8 @@ fn drive(
             .as_ref()
             .map(FleetMetrics::total_served)
             .unwrap_or(0),
-        metrics: report.fleet.expect("fleet backends report metrics"),
+        metrics: report.fleet.clone().expect("fleet backends report metrics"),
+        report,
     }
 }
 
@@ -202,31 +210,44 @@ pub fn run(env: &RunEnv) {
         let base = city::generate(&cfg);
         for policy in POLICIES {
             let fleet = fleet_for(policy, agents, FaultPlan::none());
-            let cell = drive(&cfg, base.clone(), shards, steps, Arc::clone(&fleet));
-            println!(
-                "  {:<18} {:.2} s wall, {} calls, {} fleet hit rate",
-                policy.as_str(),
-                cell.wall_s,
-                cell.calls,
-                pct(cell.metrics.hit_rate()),
+            let cell = drive(
+                &cfg,
+                base.clone(),
+                shards,
+                steps,
+                Arc::clone(&fleet),
+                env.telemetry_sink(),
             );
+            println!("  [{} · {agents} agents]", policy.as_str());
+            print!("{}", cell.report);
+            if let Some(rt) = &cell.report.telemetry {
+                env.export_telemetry(&format!("city-fleet-{agents}-{}", policy.as_str()), rt);
+            }
             push_rows(&mut table, policy.as_str(), agents, &cell);
         }
         // Fault arm: the sim replica dies a quarter of the way through;
         // prefix-affinity + the retry loop must absorb it.
         let fault = FaultPlan::none().fail_after(agents as u64 * 3 / 2);
         let fleet = fleet_for(RoutePolicyKind::PrefixAffinity, agents, fault);
-        let cell = drive(&cfg, base.clone(), shards, steps, Arc::clone(&fleet));
+        let cell = drive(
+            &cfg,
+            base.clone(),
+            shards,
+            steps,
+            Arc::clone(&fleet),
+            env.telemetry_sink(),
+        );
         assert_eq!(
             cell.metrics.total_failed(),
             1,
             "the failure is absorbed by exactly one retried attempt"
         );
         assert!(cell.metrics.replicas[0].down, "sim replica must be down");
-        println!(
-            "  {:<18} {:.2} s wall, {} calls, replica 0 failed and shed to replica 1",
-            "affinity+fault", cell.wall_s, cell.calls,
-        );
+        println!("  [affinity+fault · {agents} agents] replica 0 failed and shed to replica 1");
+        print!("{}", cell.report);
+        if let Some(rt) = &cell.report.telemetry {
+            env.export_telemetry(&format!("city-fleet-{agents}-affinity-fault"), rt);
+        }
         push_rows(&mut table, "affinity+fault", agents, &cell);
     }
 
@@ -268,6 +289,7 @@ mod tests {
             4,
             4,
             fleet_for(RoutePolicyKind::RoundRobin, cfg.agents, FaultPlan::none()),
+            None,
         );
         let aff = drive(
             &cfg,
@@ -279,6 +301,7 @@ mod tests {
                 cfg.agents,
                 FaultPlan::none(),
             ),
+            None,
         );
         assert!(rr.calls > 0 && aff.calls > 0);
         let (rr_rate, aff_rate) = (rr.metrics.hit_rate(), aff.metrics.hit_rate());
@@ -297,7 +320,7 @@ mod tests {
             cfg.agents,
             FaultPlan::none().fail_after(200),
         );
-        let cell = drive(&cfg, base, 4, 4, Arc::clone(&fleet));
+        let cell = drive(&cfg, base, 4, 4, Arc::clone(&fleet), None);
         assert_eq!(cell.metrics.total_failed(), 1, "{:?}", cell.metrics);
         assert!(cell.metrics.replicas[0].down);
         assert_eq!(cell.metrics.replicas[0].served, 200);

@@ -179,7 +179,7 @@ fn drive(env: &RunEnv, arm: &str, villes: u32, steps: u32, every: u32, evict: bo
             });
             Ok(())
         };
-        run_threaded_with_checkpoints(
+        let report = run_threaded_with_checkpoints(
             &mut sched,
             Arc::clone(&program),
             Arc::new(InstantBackend::new()),
@@ -193,15 +193,11 @@ fn drive(env: &RunEnv, arm: &str, villes: u32, steps: u32, every: u32, evict: bo
             }),
         )
         .expect("checkpointed threaded run");
+        print!("{report}");
     }
     assert!(sched.is_done());
     assert!(sched.graph().validate().is_ok());
-    println!(
-        "  done in {:.1}s wall, {} checkpoints under {}",
-        started.elapsed().as_secs_f64(),
-        ckpt.written(),
-        dir.display()
-    );
+    println!("  {} checkpoints under {}", ckpt.written(), dir.display());
     samples
 }
 

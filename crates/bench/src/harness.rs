@@ -75,6 +75,12 @@ pub struct RunEnv {
     /// Resume an interrupted run from this `AIMSNAP v1` snapshot
     /// (`repro --resume <snap>`), instead of starting fresh.
     pub resume: Option<PathBuf>,
+    /// Record runtime telemetry and export it under this directory
+    /// (`repro --telemetry <dir>`): per-arm `.telemetry` reports plus
+    /// Perfetto `trace.json` files, for experiments that run the threaded
+    /// executor (city, city-fleet). `None` leaves the spans subsystem
+    /// disabled — a single relaxed atomic load per would-be span.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for RunEnv {
@@ -87,11 +93,51 @@ impl Default for RunEnv {
             workers: Some(48),
             checkpoint_every: None,
             resume: None,
+            telemetry: None,
         }
     }
 }
 
 impl RunEnv {
+    /// When `--telemetry <dir>` is set, builds an enabled
+    /// [`aim_core::telemetry::Telemetry`] sink to pass to
+    /// [`aim_core::exec::threaded::run_threaded_observed`]; `None`
+    /// otherwise. One sink per run — do not share across arms.
+    pub fn telemetry_sink(&self) -> Option<Arc<aim_core::telemetry::Telemetry>> {
+        self.telemetry.as_ref()?;
+        Some(Arc::new(aim_core::telemetry::Telemetry::new()))
+    }
+
+    /// Exports one observed run's report under the `--telemetry` dir as
+    /// `<label>.telemetry` (AIMTEL v1) plus `<label>.trace.json`
+    /// (Perfetto), and checks the acceptance gate: the four stall
+    /// categories must cover ≥95% of the wall budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition covers less than 95% of the run or an
+    /// export file cannot be written.
+    pub fn export_telemetry(&self, label: &str, rt: &aim_core::telemetry::RunTelemetry) {
+        let Some(dir) = &self.telemetry else { return };
+        assert!(
+            rt.decomposition.coverage() >= 0.95,
+            "telemetry decomposition covers only {:.1}% of {label}",
+            100.0 * rt.decomposition.coverage()
+        );
+        std::fs::create_dir_all(dir).expect("telemetry dir");
+        let tel_path = dir.join(format!("{label}.telemetry"));
+        aim_trace::telemetry::save(rt, &tel_path).expect("write .telemetry");
+        let json_path = dir.join(format!("{label}.trace.json"));
+        let file = std::fs::File::create(&json_path).expect("create trace.json");
+        let mut w = std::io::BufWriter::new(file);
+        aim_trace::telemetry::write_chrome_trace(rt, &mut w).expect("write trace.json");
+        println!(
+            "  telemetry: wrote {} and {}",
+            tel_path.display(),
+            json_path.display()
+        );
+    }
+
     /// Returns a cached trace for `cfg`, generating (and saving) it on
     /// first use — generation of big villes takes a while and every
     /// experiment replays the same traces, exactly like the paper reuses

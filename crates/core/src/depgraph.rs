@@ -109,6 +109,14 @@ pub trait DepTracker<S: Space>: Send {
     ///
     /// Returns a human-readable description of the first violating pair.
     fn validate(&self) -> Result<(), String>;
+
+    /// Attaches a telemetry sink so the tracker can record its internal
+    /// work (relink batches, shard migrations) as spans. Default: ignore
+    /// — the single-shard [`DepGraph`]'s per-commit edge repair is folded
+    /// into the controller span, so only partitioned trackers override.
+    fn set_telemetry(&mut self, telemetry: std::sync::Arc<crate::telemetry::Telemetry>) {
+        let _ = telemetry;
+    }
 }
 
 /// A dump of the graph for visualization (paper Fig. 3) and debugging.

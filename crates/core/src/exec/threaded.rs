@@ -21,6 +21,9 @@ use crate::error::EngineError;
 use crate::ids::{AgentId, Step};
 use crate::scheduler::{Cluster, Scheduler};
 use crate::space::Space;
+use crate::telemetry::{
+    BlockReason, Counter, RunTelemetry, SpanKind, Telemetry, TelemetryBackend, TelemetryObserver,
+};
 
 /// User-defined agent/world logic executed by the threaded runtime.
 ///
@@ -68,7 +71,7 @@ impl Default for ThreadedConfig {
 }
 
 /// Wall-clock measurements of a threaded run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ThreadedReport {
     /// Wall time from start to completion.
@@ -85,6 +88,62 @@ pub struct ThreadedReport {
     /// tail latency), when the backend is an [`aim_llm::Fleet`]; `None`
     /// for plain backends.
     pub fleet: Option<aim_llm::FleetMetrics>,
+    /// The unified telemetry report (spans, histograms, wall-clock
+    /// decomposition), when the run was observed via
+    /// [`run_threaded_observed`]; `None` otherwise.
+    pub telemetry: Option<RunTelemetry>,
+}
+
+impl std::fmt::Display for ThreadedReport {
+    /// One-screen human-readable summary — what `repro` experiments print
+    /// instead of hand-formatting the fields.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "threaded run: {:.3} s wall · {} clusters · {} agent-steps",
+            self.wall.as_secs_f64(),
+            self.clusters,
+            self.agent_steps,
+        )?;
+        writeln!(f, "  backend: {}", self.backend)?;
+        if let Some(fleet) = &self.fleet {
+            let hedged: u64 = fleet.replicas.iter().map(|r| r.hedged).sum();
+            writeln!(
+                f,
+                "  fleet: served {} · prefix hit {:.1}% · p99 {:.1} ms · failed {} · hedged {}",
+                fleet.total_served(),
+                100.0 * fleet.hit_rate(),
+                fleet.max_p99_us() as f64 / 1000.0,
+                fleet.total_failed(),
+                hedged,
+            )?;
+        }
+        if let Some(t) = &self.telemetry {
+            writeln!(
+                f,
+                "  telemetry: {} spans ({} dropped) · skew {} · max cluster {}",
+                t.spans.len(),
+                t.dropped,
+                t.sched.max_step_skew,
+                t.sched.max_cluster_size,
+            )?;
+            writeln!(
+                f,
+                "  decomposition: {} (coverage {:.1}%)",
+                t.decomposition,
+                100.0 * t.decomposition.coverage(),
+            )?;
+            if let Some(slowdown) = t.slowdown_vs_critical() {
+                let bound = if t.critical_path_us.is_some() {
+                    "critical path"
+                } else {
+                    "llm floor"
+                };
+                writeln!(f, "  wall vs {bound}: {slowdown:.2}×")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A periodic quiesced-checkpoint driver for
@@ -160,7 +219,57 @@ pub fn run_threaded_with_checkpoints<S, G, P>(
     program: Arc<P>,
     backend: Arc<dyn LlmBackend>,
     cfg: ThreadedConfig,
+    hook: Option<CheckpointHook<'_, S, G>>,
+) -> Result<ThreadedReport, EngineError>
+where
+    S: Space,
+    G: DepTracker<S>,
+    P: ClusterProgram<S> + 'static,
+{
+    run_threaded_observed(scheduler, program, backend, cfg, hook, None)
+}
+
+/// [`run_threaded_with_checkpoints`] with an optional [`Telemetry`] sink.
+///
+/// When `telemetry` is `Some`, the runtime threads the sink through every
+/// layer before running:
+///
+/// - the scheduler records dependency-blocked waits with the blocking
+///   agent attached ([`SpanKind::Blocked`], dependency reason), and the
+///   dependency tracker records relink/migration passes if it is sharded;
+/// - the backend is wrapped in a [`TelemetryBackend`] so every blocking
+///   LLM call becomes a [`SpanKind::LlmCall`] span, and — if the backend
+///   is a serving fleet — a [`TelemetryObserver`] is installed so each
+///   per-replica attempt (primary, retry, hedge) becomes a
+///   [`SpanKind::FleetAttempt`] span linked to its parent call;
+/// - workers record cluster lifecycle spans (dispatch → agent steps →
+///   commit) plus barrier waits: in a multi-member cluster, each member
+///   that finished before the straggler gets a [`SpanKind::Blocked`] span
+///   (barrier reason) naming the straggler — this is where lock-step's
+///   cost shows up;
+/// - the controller records per-completion bookkeeping
+///   ([`SpanKind::Control`]) and the full quiesce→checkpoint barrier
+///   ([`SpanKind::Checkpoint`]), measured from the moment it first
+///   deferred ready work.
+///
+/// The finished [`RunTelemetry`] lands in [`ThreadedReport::telemetry`].
+/// When `telemetry` is `None` — or the sink is disabled — the hot path
+/// costs one relaxed atomic load per would-be span.
+///
+/// # Errors
+///
+/// As [`run_threaded_with_checkpoints`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or the hook cadence is zero.
+pub fn run_threaded_observed<S, G, P>(
+    scheduler: &mut Scheduler<S, G>,
+    program: Arc<P>,
+    backend: Arc<dyn LlmBackend>,
+    cfg: ThreadedConfig,
     mut hook: Option<CheckpointHook<'_, S, G>>,
+    telemetry: Option<Arc<Telemetry>>,
 ) -> Result<ThreadedReport, EngineError>
 where
     S: Space,
@@ -171,6 +280,18 @@ where
     if let Some(h) = &hook {
         assert!(h.every_steps > 0, "checkpoint cadence must be positive");
     }
+    // Instrument every layer up front; the raw backend stays reachable
+    // for the report's describe/fleet_metrics.
+    let raw_backend = Arc::clone(&backend);
+    let backend: Arc<dyn LlmBackend> = match &telemetry {
+        Some(t) => {
+            scheduler.set_telemetry(Arc::clone(t));
+            backend.install_observer(Arc::new(TelemetryObserver::new(Arc::clone(t))));
+            Arc::new(TelemetryBackend::new(backend, Arc::clone(t)))
+        }
+        None => backend,
+    };
+    let run_start_us = telemetry.as_ref().map(|t| t.now_us());
     type Ack<P2> = (crate::ids::ClusterId, Vec<(AgentId, P2)>);
     let ready: Arc<PriorityQueue<Cluster>> = Arc::new(PriorityQueue::new());
     let ack: Arc<PriorityQueue<Ack<S::Pos>>> = Arc::new(PriorityQueue::new());
@@ -187,25 +308,93 @@ where
             let program = Arc::clone(&program);
             let backend = Arc::clone(&backend);
             let priority = cfg.priority_enabled;
+            let telemetry = telemetry.clone();
             handles.push(scope.spawn(move || {
+                let rec = telemetry.as_ref().map(|t| t.recorder());
                 while let Some(cluster) = ready.pop() {
+                    let cluster_t0 = rec.as_ref().and_then(|r| r.start());
+                    // Per-member finish timestamps, collected only while
+                    // the sink is enabled (stays empty — no allocation —
+                    // on the disabled path).
+                    let mut finishes: Vec<(u32, u64)> = Vec::new();
                     let actions: Vec<(AgentId, P::Action)> = std::thread::scope(|agents| {
                         let mut joins = Vec::with_capacity(cluster.members.len());
                         for &m in &cluster.members {
                             let program = Arc::clone(&program);
                             let backend = Arc::clone(&backend);
                             let step = cluster.step;
+                            let tel = telemetry.as_deref().filter(|t| t.is_enabled());
                             joins.push((
                                 m,
-                                agents.spawn(move || program.agent_step(m, step, backend.as_ref())),
+                                agents.spawn(move || {
+                                    let action = program.agent_step(m, step, backend.as_ref());
+                                    (action, tel.map_or(0, Telemetry::now_us))
+                                }),
                             ));
                         }
                         joins
                             .into_iter()
-                            .map(|(m, j)| (m, j.join().expect("agent thread panicked")))
+                            .map(|(m, j)| {
+                                let (action, finished_us) =
+                                    j.join().expect("agent thread panicked");
+                                if finished_us > 0 {
+                                    finishes.push((m.0, finished_us));
+                                }
+                                (m, action)
+                            })
                             .collect()
                     });
+                    if let Some(r) = &rec {
+                        // Intra-cluster barrier: everyone who finished
+                        // before the straggler was blocked on it.
+                        if finishes.len() > 1 {
+                            let join_end = r.now_us();
+                            let straggler = finishes
+                                .iter()
+                                .max_by_key(|&&(_, f)| f)
+                                .map(|&(a, _)| a)
+                                .expect("non-empty");
+                            for &(a, f) in &finishes {
+                                if a != straggler && join_end > f {
+                                    r.record_at(
+                                        f,
+                                        join_end,
+                                        SpanKind::Blocked {
+                                            agent: a,
+                                            blocker: straggler,
+                                            step: cluster.step.0,
+                                            reason: BlockReason::Barrier,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let commit_t0 = rec.as_ref().and_then(|r| r.start());
                     let new_pos = program.commit(&cluster, actions);
+                    if let Some(r) = &rec {
+                        let members = cluster.members.len() as u32;
+                        if let Some(t0) = commit_t0 {
+                            r.record(
+                                t0,
+                                SpanKind::Commit {
+                                    cluster: cluster.id.0,
+                                    step: cluster.step.0,
+                                    members,
+                                },
+                            );
+                        }
+                        if let Some(t0) = cluster_t0 {
+                            r.record(
+                                t0,
+                                SpanKind::Cluster {
+                                    cluster: cluster.id.0,
+                                    step: cluster.step.0,
+                                    members,
+                                },
+                            );
+                        }
+                    }
                     let prio = if priority { cluster.step.priority() } else { 0 };
                     if ack.push(prio, (cluster.id, new_pos)).is_err() {
                         break; // controller gone
@@ -215,6 +404,7 @@ where
         }
 
         // Controller loop on the calling thread.
+        let ctl = telemetry.as_ref().map(|t| t.recorder());
         let push_ready = |sched: &mut Scheduler<S, G>| {
             let mut n = 0;
             for c in sched.ready_clusters() {
@@ -236,6 +426,9 @@ where
             .as_ref()
             .map(|h| next_multiple(scheduler.graph().min_step().0, h.every_steps));
         let due = |sched: &Scheduler<S, G>, next_due: &Option<u32>| matches!(next_due, Some(d) if sched.graph().min_step().0 >= *d);
+        // Opens when the controller first defers ready work for a due
+        // checkpoint; the Checkpoint span covers drain + hook.
+        let mut stall_start: Option<u64> = None;
         // Run the controller to an explicit result, then close the queues
         // unconditionally so workers always exit (even on the error path)
         // before the scope joins them.
@@ -246,8 +439,16 @@ where
                     // Quiesced: every emitted cluster has committed, so
                     // store, graph, and world agree on one cut and this
                     // thread is the sole writer.
+                    let barrier_t0 = stall_start
+                        .take()
+                        .or_else(|| ctl.as_ref().and_then(|r| r.start()));
+                    let step = scheduler.graph().min_step().0;
                     let h = hook.as_mut().expect("due implies a hook");
                     (h.f)(scheduler)?;
+                    if let (Some(r), Some(t0)) = (&ctl, barrier_t0) {
+                        r.telemetry().counter_add(Counter::CheckpointBarriers, 1);
+                        r.record(t0, SpanKind::Checkpoint { step });
+                    }
                     next_due = Some(next_multiple(scheduler.graph().min_step().0, h.every_steps));
                     push_ready(scheduler);
                     continue;
@@ -264,12 +465,25 @@ where
                 };
                 clusters += 1;
                 agent_steps += new_pos.len() as u64;
+                let ctl_t0 = ctl.as_ref().and_then(|r| r.start());
                 scheduler.complete(&cid, &new_pos)?;
                 if !due(scheduler, &next_due) {
                     push_ready(scheduler);
+                } else if stall_start.is_none() {
+                    // A checkpoint is due — hold new work back and let the
+                    // in-flight clusters drain; the stall clock starts at
+                    // the first deferred emission.
+                    stall_start = ctl.as_ref().and_then(|r| r.start());
                 }
-                // else: a checkpoint is due — hold new work back and let
-                // the in-flight clusters drain.
+                if let (Some(r), Some(t0)) = (&ctl, ctl_t0) {
+                    r.record(
+                        t0,
+                        SpanKind::Control {
+                            cluster: cid.0,
+                            members: new_pos.len() as u32,
+                        },
+                    );
+                }
             }
             Ok(())
         };
@@ -283,12 +497,22 @@ where
     });
     result?;
 
+    let telemetry = telemetry.map(|t| {
+        t.finish(
+            run_start_us.expect("set whenever telemetry is"),
+            t.now_us(),
+            scheduler.graph().len() as u32,
+            scheduler.stats(),
+            raw_backend.fleet_metrics(),
+        )
+    });
     Ok(ThreadedReport {
         wall: started.elapsed(),
         clusters,
         agent_steps,
-        backend: backend.describe(),
-        fleet: backend.fleet_metrics(),
+        backend: raw_backend.describe(),
+        fleet: raw_backend.fleet_metrics(),
+        telemetry,
     })
 }
 
@@ -555,6 +779,109 @@ mod tests {
         // The error propagates and the workers shut down (no hang).
         assert!(matches!(r, Err(EngineError::Deadlock { .. })));
         assert!(!sched.is_done());
+    }
+
+    #[test]
+    fn observed_run_produces_unified_telemetry() {
+        use crate::telemetry::Phase;
+
+        let initial: Vec<Point> = (0..6).map(|i| Point::new(i * 100, 0)).collect();
+        let mut sched = mk_sched(&initial, DependencyPolicy::Spatiotemporal, 4);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let backend: Arc<dyn LlmBackend> = Arc::new(InstantBackend::new());
+        let telemetry = Arc::new(Telemetry::new());
+        let report = run_threaded_observed(
+            &mut sched,
+            Arc::clone(&program),
+            backend,
+            ThreadedConfig::default(),
+            None,
+            Some(Arc::clone(&telemetry)),
+        )
+        .unwrap();
+        let t = report.telemetry.as_ref().expect("observed run reports");
+        assert_eq!(t.agents, 6);
+        assert_eq!(t.dropped, 0);
+        // 24 agent-steps → 24 cluster/commit/control/llm spans each
+        // (singleton clusters: far-apart agents).
+        for phase in [Phase::Cluster, Phase::Commit, Phase::Control, Phase::Llm] {
+            let h = t.phase(phase).unwrap_or_else(|| panic!("no {phase:?}"));
+            assert_eq!(h.count, 24, "{phase:?}");
+        }
+        assert_eq!(t.counter(crate::telemetry::Counter::LlmCalls), 24);
+        // Decomposition covers the run by construction.
+        assert!((t.decomposition.coverage() - 1.0).abs() < 1e-9);
+        // Display renders the one-screen summary.
+        let text = report.to_string();
+        assert!(text.contains("threaded run:"), "{text}");
+        assert!(text.contains("decomposition:"), "{text}");
+    }
+
+    #[test]
+    fn observed_global_sync_records_barrier_blocking() {
+        // Lock-step forces all agents into one barrier cluster per step;
+        // with a deliberately slow straggler the other members must show
+        // barrier-blocked spans naming it.
+        use aim_llm::{FleetConfig, LatencyProfile, ReplicaSpec, RoutePolicyKind};
+
+        let initial: Vec<Point> = (0..3).map(|i| Point::new(i * 300, 0)).collect();
+        let mut sched = mk_sched(&initial, DependencyPolicy::GlobalSync, 2);
+        let program = Arc::new(WalkProgram::new(&initial));
+        let fleet = Arc::new(
+            FleetConfig::new("barrier-test", RoutePolicyKind::RoundRobin)
+                .with_replica(ReplicaSpec::replay(
+                    LatencyProfile::constant("slowish", 2_000),
+                    64,
+                    None,
+                ))
+                .build(),
+        );
+        let telemetry = Arc::new(Telemetry::new());
+        let report = run_threaded_observed(
+            &mut sched,
+            Arc::clone(&program),
+            fleet as Arc<dyn LlmBackend>,
+            ThreadedConfig::default(),
+            None,
+            Some(Arc::clone(&telemetry)),
+        )
+        .unwrap();
+        let t = report.telemetry.as_ref().expect("observed run reports");
+        let barrier: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.kind,
+                    SpanKind::Blocked {
+                        reason: BlockReason::Barrier,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(!barrier.is_empty(), "lock-step must show barrier waits");
+        for s in &barrier {
+            let SpanKind::Blocked { agent, blocker, .. } = s.kind else {
+                unreachable!()
+            };
+            assert_ne!(agent, blocker, "straggler never blocks on itself");
+        }
+        // Fleet attempts were observed and linked by request id to calls.
+        assert_eq!(t.counter(crate::telemetry::Counter::FleetAttempts), 6);
+        let call_reqs: std::collections::HashSet<u64> = t
+            .spans
+            .iter()
+            .filter_map(|s| match s.kind {
+                SpanKind::LlmCall { request, .. } => Some(request),
+                _ => None,
+            })
+            .collect();
+        for s in &t.spans {
+            if let SpanKind::FleetAttempt { request, .. } = s.kind {
+                assert!(call_reqs.contains(&request), "orphan attempt {request}");
+            }
+        }
     }
 
     #[test]

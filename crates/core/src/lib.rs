@@ -103,6 +103,7 @@ pub mod scheduler;
 pub mod shard;
 pub mod space;
 pub mod spec;
+pub mod telemetry;
 pub mod workload;
 
 pub use engine::{Engine, EngineBuilder};
@@ -118,7 +119,8 @@ pub mod prelude {
     pub use crate::exec::hybrid::{run_hybrid_sim, InteractiveLoad, InteractiveReport};
     pub use crate::exec::sim::{run_sim, SimConfig};
     pub use crate::exec::threaded::{
-        run_threaded, run_threaded_with_checkpoints, CheckpointHook, ClusterProgram, ThreadedConfig,
+        run_threaded, run_threaded_observed, run_threaded_with_checkpoints, CheckpointHook,
+        ClusterProgram, ThreadedConfig, ThreadedReport,
     };
     pub use crate::ids::{AgentId, ClusterId, Step};
     pub use crate::metrics::{RunReport, Timeline};
@@ -128,5 +130,8 @@ pub mod prelude {
     pub use crate::shard::{ShardMap, ShardedDepGraph, StripShardMap};
     pub use crate::space::{GridSpace, NodeId, Point, SocialSpace, Space};
     pub use crate::spec::{run_spec_sim, SpecParams, SpecReport, SpecScheduler, SpecStats};
+    pub use crate::telemetry::{
+        Decomposition, Phase, PhaseHistogram, RunTelemetry, Span, SpanKind, StallEdge, Telemetry,
+    };
     pub use crate::workload::Workload;
 }

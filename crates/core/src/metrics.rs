@@ -49,10 +49,15 @@ impl Timeline {
             if a >= num_agents {
                 continue;
             }
-            let c0 = (span.start.as_micros() * columns as u64 / end) as usize;
-            let c1 = (span.end.as_micros() * columns as u64 / end) as usize;
+            // A span ending exactly at the run end maps to bucket
+            // `columns`, one past the last column — clamp both endpoints
+            // so edge spans land in the final column instead of
+            // disappearing (or indexing out of range).
+            let last = columns - 1;
+            let c0 = ((span.start.as_micros() * columns as u64 / end) as usize).min(last);
+            let c1 = ((span.end.as_micros() * columns as u64 / end) as usize).min(last);
             let glyph = span.kind.as_str().as_bytes()[0].to_ascii_uppercase();
-            for c in c0..=c1.min(columns - 1) {
+            for c in c0..=c1 {
                 rows[a][c] = glyph;
             }
         }
@@ -172,5 +177,56 @@ mod tests {
         let tl = Timeline::default();
         let art = tl.render_ascii(1, 10);
         assert!(art.contains("agent"));
+    }
+
+    #[test]
+    fn span_ending_at_run_end_fills_last_column() {
+        // Regression: `end == run_end` used to compute a bucket one past
+        // the last column; the span must render through the final column.
+        let tl = Timeline {
+            spans: vec![CallSpan {
+                agent: AgentId(0),
+                step: Step(0),
+                kind: CallKind::Plan,
+                start: VirtualTime::from_micros(90),
+                end: VirtualTime::from_micros(100),
+            }],
+            commits: vec![],
+        };
+        let art = tl.render_ascii(1, 10);
+        let row = art.lines().next().unwrap();
+        let bar = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
+        assert_eq!(bar.len(), 10);
+        assert_eq!(bar.as_bytes()[9], b'P', "last column must be filled");
+    }
+
+    #[test]
+    fn zero_width_span_at_run_end_still_renders() {
+        // The degenerate edge case: a span whose start *and* end both sit
+        // at the run end maps to an empty (previously out-of-range) bucket
+        // range; after clamping it renders as one glyph in the last column.
+        let tl = Timeline {
+            spans: vec![
+                CallSpan {
+                    agent: AgentId(0),
+                    step: Step(0),
+                    kind: CallKind::Plan,
+                    start: VirtualTime::ZERO,
+                    end: VirtualTime::from_micros(100),
+                },
+                CallSpan {
+                    agent: AgentId(1),
+                    step: Step(1),
+                    kind: CallKind::Converse,
+                    start: VirtualTime::from_micros(100),
+                    end: VirtualTime::from_micros(100),
+                },
+            ],
+            commits: vec![],
+        };
+        let art = tl.render_ascii(2, 8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('C'), "edge span must not vanish");
+        assert_eq!(lines[1].find('C').unwrap(), lines[1].rfind('C').unwrap());
     }
 }

@@ -121,8 +121,26 @@ pub struct Scheduler<S: Space, G: DepTracker<S> = DepGraph<S>> {
     epoch: u64,
     /// Reused BFS frontier for cluster growth.
     frontier: Vec<AgentId>,
+    /// Telemetry sink; when set, dependency-blocked waits are recorded
+    /// as spans (opened at the blocked verdict, closed at emission).
+    telemetry: Option<Arc<crate::telemetry::Telemetry>>,
+    /// Per-agent open blocked-wait marks (`since_us == u64::MAX` means
+    /// not blocked). Only populated when telemetry is attached.
+    block_mark: Vec<BlockMark>,
     _space: std::marker::PhantomData<fn() -> S>,
 }
+
+/// An open dependency-blocked wait: when it began and who blocked it.
+#[derive(Debug, Clone, Copy)]
+struct BlockMark {
+    since_us: u64,
+    blocker: u32,
+}
+
+const UNMARKED: BlockMark = BlockMark {
+    since_us: u64::MAX,
+    blocker: u32::MAX,
+};
 
 impl<S: Space, G: DepTracker<S>> std::fmt::Debug for Scheduler<S, G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -302,8 +320,21 @@ impl<S: Space, G: DepTracker<S>> Scheduler<S, G> {
             stamp: vec![0; n],
             epoch: 0,
             frontier: Vec::new(),
+            telemetry: None,
+            block_mark: Vec::new(),
             _space: std::marker::PhantomData,
         }
+    }
+
+    /// Attaches a telemetry sink: dependency-blocked waits become
+    /// [`crate::telemetry::SpanKind::Blocked`] spans with the blocking
+    /// agent attached, and the dependency tracker is given the same sink
+    /// for relink/migration spans (via
+    /// [`DepTracker::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Arc<crate::telemetry::Telemetry>) {
+        self.block_mark = vec![UNMARKED; self.state.len()];
+        self.graph.set_telemetry(Arc::clone(&telemetry));
+        self.telemetry = Some(telemetry);
     }
 
     /// The dependency tracker (positions, steps, edge queries).
@@ -430,12 +461,59 @@ impl<S: Space, G: DepTracker<S>> Scheduler<S, G> {
         self.graph.evict_history()
     }
 
+    /// Closes every member's open blocked-wait mark: the cluster is
+    /// executing again, so the dependency wait that kept it parked ends
+    /// now. Out of line so the telemetry-free emit loop keeps its shape.
+    #[cold]
+    #[inline(never)]
+    fn close_block_marks(&mut self, step: Step, members: &[AgentId]) {
+        let Some(t) = &self.telemetry else { return };
+        for m in members {
+            let mark = std::mem::replace(&mut self.block_mark[m.index()], UNMARKED);
+            if mark.since_us != u64::MAX {
+                t.record(
+                    mark.since_us,
+                    crate::telemetry::SpanKind::Blocked {
+                        agent: m.0,
+                        blocker: mark.blocker,
+                        step: step.0,
+                        reason: crate::telemetry::BlockReason::Dependency,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Opens a blocked-wait mark on every member that does not already
+    /// hold one (first verdict wins — re-evaluations that stay blocked
+    /// extend the same wait rather than splitting it). Out of line for
+    /// the same reason as [`Scheduler::close_block_marks`].
+    #[cold]
+    #[inline(never)]
+    fn open_block_marks(&mut self, members: &[AgentId], blocker: AgentId) {
+        let Some(now) = self.telemetry.as_ref().and_then(|t| t.start()) else {
+            return;
+        };
+        for m in members {
+            if self.block_mark[m.index()].since_us == u64::MAX {
+                self.block_mark[m.index()] = BlockMark {
+                    since_us: now,
+                    blocker: blocker.0,
+                };
+            }
+        }
+    }
+
     fn emit(&mut self, step: Step, members: Vec<AgentId>) -> Cluster {
         debug_assert!(!members.is_empty());
         for m in &members {
             debug_assert_eq!(self.state[m.index()], AgentState::Waiting);
             self.state[m.index()] = AgentState::InFlight;
             self.dirty.remove(&(step.0, m.0));
+        }
+        // Close open blocked waits: the agents are executing again.
+        if self.telemetry.is_some() {
+            self.close_block_marks(step, &members);
         }
         let id = ClusterId(self.next_cluster);
         self.next_cluster += 1;
@@ -555,6 +633,9 @@ impl<S: Space, G: DepTracker<S>> Scheduler<S, G> {
                         // The whole cluster was evaluated; drop stale
                         // entries so it is not rescanned until woken.
                         self.dirty.remove(&(s, m.0));
+                    }
+                    if self.telemetry.is_some() {
+                        self.open_block_marks(&members, b);
                     }
                 }
                 None => {

@@ -232,6 +232,10 @@ pub struct ShardedDepGraph<S: Space> {
     scratch: Vec<u32>,
     /// Reused edge buffer for serial relinks.
     edges_out: Vec<Edge>,
+    /// Telemetry sink; when set, migration passes and relink batches are
+    /// recorded as spans (the "controller/relink overhead" the paper's
+    /// decomposition charges to the tracker).
+    telemetry: Option<Arc<crate::telemetry::Telemetry>>,
 }
 
 impl<S: Space> fmt::Debug for ShardedDepGraph<S> {
@@ -435,6 +439,7 @@ impl<S: Space> ShardedDepGraph<S> {
             moved: Vec::new(),
             scratch: Vec::new(),
             edges_out: Vec::new(),
+            telemetry: None,
         };
         graph.refresh_edges();
         graph
@@ -445,6 +450,13 @@ impl<S: Space> ShardedDepGraph<S> {
     /// benches; the default is right for production.
     pub fn set_relink_threads(&mut self, threads: usize) {
         self.relink_threads = threads;
+    }
+
+    /// Attaches a telemetry sink: every migration pass and relink batch
+    /// on the advance/rollback path is recorded as a span (with agent and
+    /// shard-crossing counts attached) plus the matching counters.
+    pub fn set_telemetry(&mut self, telemetry: Arc<crate::telemetry::Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Number of shards.
@@ -618,12 +630,17 @@ impl<S: Space> ShardedDepGraph<S> {
                 .map(|&(a, _)| (a, self.base.pos(a), self.base.step(a).0)),
         );
         self.base.advance(updates)?;
+        let migrate_t0 = self.telemetry.as_ref().and_then(|t| t.start());
+        let mut crossings = 0u32;
         for &(a, old, old_step) in &moved {
-            self.migrate(a, old, old_step);
+            crossings += u32::from(self.migrate(a, old, old_step));
         }
+        self.record_migrate(migrate_t0, moved.len() as u32, crossings);
         moved.clear();
         self.moved = moved;
-        self.relink_batch(updates.iter().map(|&(a, _)| a));
+        let relink_t0 = self.telemetry.as_ref().and_then(|t| t.start());
+        let workers = self.relink_batch(updates.iter().map(|&(a, _)| a));
+        self.record_relink(relink_t0, updates.len() as u32, workers);
         Ok(())
     }
 
@@ -648,19 +665,51 @@ impl<S: Space> ShardedDepGraph<S> {
                 .map(|&(a, _, _)| (a, self.base.pos(a), self.base.step(a).0)),
         );
         self.base.rollback(updates)?;
+        let migrate_t0 = self.telemetry.as_ref().and_then(|t| t.start());
+        let mut crossings = 0u32;
         for &(a, old, old_step) in &moved {
-            self.migrate(a, old, old_step);
+            crossings += u32::from(self.migrate(a, old, old_step));
         }
+        self.record_migrate(migrate_t0, moved.len() as u32, crossings);
         moved.clear();
         self.moved = moved;
-        self.relink_batch(updates.iter().map(|&(a, _, _)| a));
+        let relink_t0 = self.telemetry.as_ref().and_then(|t| t.start());
+        let workers = self.relink_batch(updates.iter().map(|&(a, _, _)| a));
+        self.record_relink(relink_t0, updates.len() as u32, workers);
         Ok(())
+    }
+
+    fn record_migrate(&self, t0: Option<u64>, agents: u32, crossings: u32) {
+        if let (Some(t), Some(t0)) = (&self.telemetry, t0) {
+            t.counter_add(
+                crate::telemetry::Counter::ShardMigrations,
+                u64::from(crossings),
+            );
+            t.record(
+                t0,
+                crate::telemetry::SpanKind::Migrate { agents, crossings },
+            );
+        }
+    }
+
+    fn record_relink(&self, t0: Option<u64>, agents: u32, workers: usize) {
+        if let (Some(t), Some(t0)) = (&self.telemetry, t0) {
+            t.counter_add(crate::telemetry::Counter::RelinkBatches, 1);
+            t.record(
+                t0,
+                crate::telemetry::SpanKind::Relink {
+                    agents,
+                    workers: workers as u32,
+                },
+            );
+        }
     }
 
     /// Moves `a`'s derived shard state (ownership, index entry, step
     /// bound) to match its just-committed node state; `old`/`old_step`
-    /// are its pre-commit position and step.
-    fn migrate(&mut self, a: AgentId, old: S::Pos, old_step: u32) {
+    /// are its pre-commit position and step. Returns whether the agent
+    /// crossed into a different shard.
+    fn migrate(&mut self, a: AgentId, old: S::Pos, old_step: u32) -> bool {
         let new_pos = self.base.pos(a);
         let from = self.owner[a.index()] as usize;
         let to = self.map.shard_of(new_pos);
@@ -672,6 +721,7 @@ impl<S: Space> ShardedDepGraph<S> {
             if let Some(idx) = self.shards[from].index.as_mut() {
                 idx.update(a.0, old, new_pos);
             }
+            false
         } else {
             if let Some(idx) = self.shards[from].index.as_mut() {
                 idx.remove(a.0, old);
@@ -680,6 +730,7 @@ impl<S: Space> ShardedDepGraph<S> {
                 idx.insert(a.0, new_pos);
             }
             self.owner[a.index()] = to as u32;
+            true
         }
     }
 
@@ -773,7 +824,8 @@ impl<S: Space> ShardedDepGraph<S> {
     /// Detaches and relinks a batch of agents whose node states already
     /// moved. Large batches compute their edge sets in parallel, one task
     /// per shard-partition of the batch; mutations apply serially.
-    fn relink_batch(&mut self, agents: impl Iterator<Item = AgentId> + Clone) {
+    /// Returns the worker-task count used (1 = serial path).
+    fn relink_batch(&mut self, agents: impl Iterator<Item = AgentId> + Clone) -> usize {
         for a in agents.clone() {
             self.detach(a);
         }
@@ -792,7 +844,7 @@ impl<S: Space> ShardedDepGraph<S> {
             out.clear();
             self.scratch = scratch;
             self.edges_out = out;
-            return;
+            return 1;
         }
         // Parallel phase A: partition the batch by owning shard so each
         // task reads a coherent slice of the world, then chunk the
@@ -838,6 +890,7 @@ impl<S: Space> ShardedDepGraph<S> {
                 self.apply_edge(e);
             }
         }
+        threads
     }
 
     /// Rebuilds every derived edge from the current node states —
@@ -985,6 +1038,11 @@ impl<S: Space> DepTracker<S> for ShardedDepGraph<S> {
     #[inline]
     fn validate(&self) -> Result<(), String> {
         ShardedDepGraph::validate(self)
+    }
+
+    #[inline]
+    fn set_telemetry(&mut self, telemetry: Arc<crate::telemetry::Telemetry>) {
+        ShardedDepGraph::set_telemetry(self, telemetry)
     }
 }
 

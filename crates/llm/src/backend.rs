@@ -41,6 +41,16 @@ pub trait LlmBackend: Send + Sync {
     fn fleet_metrics(&self) -> Option<crate::FleetMetrics> {
         None
     }
+
+    /// Installs a [`crate::CallObserver`] that will see every per-replica
+    /// call attempt, when this backend is a [`crate::Fleet`] (or wraps
+    /// one). Plain backends have no attempt structure to observe and
+    /// return `false` — the default. Installing again replaces the
+    /// previous observer.
+    fn install_observer(&self, observer: std::sync::Arc<dyn crate::CallObserver>) -> bool {
+        let _ = observer;
+        false
+    }
 }
 
 /// A backend that completes every call immediately.

@@ -47,9 +47,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::backend::{InstantBackend, LlmBackend, RealtimeSimBackend};
+use crate::observer::{AttemptOutcome, CallObserver};
 use crate::prefix::{PrefixStats, PrefixTracker};
 use crate::presets::Preset;
 use crate::replay::{LatencyProfile, ReplayBackend};
@@ -556,6 +557,13 @@ struct FleetInner {
     hedge_after: Option<Duration>,
     /// Fleet-wide attempt tick (indexes transient fault windows).
     ticks: AtomicU64,
+    /// Telemetry hook: sees every claimed attempt (begin/end). Read-locked
+    /// on the call path — uncontended once installed, and never held
+    /// across a backend call.
+    observer: RwLock<Option<Arc<dyn CallObserver>>>,
+    /// Fast-path gate for `observer`: an unobserved fleet pays one atomic
+    /// load per attempt instead of a read-lock acquire.
+    observed: AtomicBool,
 }
 
 /// The serving fleet: replicas + routing policy, itself an
@@ -640,6 +648,8 @@ impl Fleet {
                     .collect(),
                 hedge_after,
                 ticks: AtomicU64::new(0),
+                observer: RwLock::new(None),
+                observed: AtomicBool::new(false),
             }),
         }
     }
@@ -720,18 +730,33 @@ impl FleetInner {
     /// consults the fault plan, and only on `Serve` invokes the backend —
     /// the retry-safety invariant: a `None` return means the backend was
     /// never called, so no state exists to duplicate.
-    fn attempt(&self, id: usize, req: &LlmRequest) -> Option<LlmResponse> {
+    fn attempt(&self, id: usize, req: &LlmRequest, hedge: bool) -> Option<LlmResponse> {
         let replica = &self.replicas[id];
+        let observer = if self.observed.load(Ordering::Acquire) {
+            self.observer.read().clone()
+        } else {
+            None
+        };
+        let token = observer
+            .as_ref()
+            .map(|o| o.begin_attempt(req, id as u32, hedge));
+        let finish = |outcome: AttemptOutcome| {
+            if let (Some(o), Some(t)) = (&observer, token) {
+                o.end_attempt(t, req, id as u32, hedge, outcome);
+            }
+        };
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
         let attempt = replica.attempts.fetch_add(1, Ordering::Relaxed);
         let extra_latency_us = match replica.fault.outcome(attempt, tick) {
             FaultOutcome::Fail => {
                 replica.down.store(true, Ordering::Relaxed);
                 replica.failed.fetch_add(1, Ordering::Relaxed);
+                finish(AttemptOutcome::Failed);
                 return None;
             }
             FaultOutcome::Unavailable => {
                 replica.failed.fetch_add(1, Ordering::Relaxed);
+                finish(AttemptOutcome::Refused);
                 return None;
             }
             FaultOutcome::Serve { extra_latency_us } => extra_latency_us,
@@ -761,6 +786,7 @@ impl FleetInner {
         if req.lane == Lane::Interactive {
             replica.interactive_served.fetch_add(1, Ordering::Relaxed);
         }
+        finish(AttemptOutcome::Served);
         Some(resp)
     }
 
@@ -811,7 +837,7 @@ impl FleetInner {
                     self.replicas[id].hedged.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            if let Some(resp) = self.attempt(id, req) {
+            if let Some(resp) = self.attempt(id, req, is_hedge) {
                 return resp;
             }
             tried[id] = true;
@@ -904,6 +930,12 @@ impl LlmBackend for Fleet {
 
     fn fleet_metrics(&self) -> Option<FleetMetrics> {
         Some(self.metrics())
+    }
+
+    fn install_observer(&self, observer: Arc<dyn CallObserver>) -> bool {
+        *self.inner.observer.write() = Some(observer);
+        self.inner.observed.store(true, Ordering::Release);
+        true
     }
 }
 

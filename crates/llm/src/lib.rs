@@ -102,6 +102,7 @@
 mod backend;
 mod cost;
 mod fleet;
+mod observer;
 mod prefix;
 pub mod presets;
 mod replay;
@@ -116,6 +117,7 @@ pub use fleet::{
     BackendSpec, FaultOutcome, FaultPlan, Fleet, FleetConfig, FleetMetrics, FleetReplicaMetrics,
     ReplicaSpec,
 };
+pub use observer::{AttemptOutcome, CallObserver};
 pub use prefix::{PrefixLru, PrefixStats, PrefixTracker};
 pub use presets::Preset;
 pub use replay::{LatencyProfile, ReplayBackend, ReplayMetrics};

@@ -11,6 +11,8 @@
 //! trace_tool replay out.trc --mode spec:4 --gpus 8 --preset l4
 //! trace_tool latency out.trc out.lat --preset l4 --gpus 2 --step-us 500000
 //! trace_tool snapshot ckpt-00000040.aimsnap --validate
+//! trace_tool timeline run.telemetry --out traces/ --validate
+//! trace_tool stalls run.telemetry --top 10
 //! ```
 //!
 //! `latency` exports the serving-latency distribution the trace induces
@@ -22,6 +24,17 @@
 //! `--validate` additionally restores the store, recovers the scheduler
 //! from it, and checks the §3.2 validity condition plus the history
 //! eviction invariant over the recovered graph.
+//!
+//! `timeline` loads an `AIMTEL v1` telemetry report (written by
+//! `repro … --telemetry <dir>`), prints its summary (wall-clock
+//! decomposition, per-phase histograms), and exports `trace.json`
+//! (Perfetto / `chrome://tracing`) plus `spans.jsonl` next to the input
+//! (or under `--out`); `--validate` re-reads the exported `trace.json`
+//! and checks it parses as a well-formed trace-event file.
+//!
+//! `stalls` prints the top-K aggregated blocking edges — who waited on
+//! whom, how often, for how long — the paper's blocked-time story for one
+//! run.
 
 use aim_trace::{codec, gen, stats, Trace};
 
@@ -34,7 +47,9 @@ fn usage() -> ! {
          no-dependency|spec:<k>] [--gpus N] [--preset l4|a100|mixtral|game|tiny] [--no-priority]\n  \
          trace_tool latency <file> <out.lat> [--preset l4|a100|mixtral|game|tiny] [--gpus N] \
          [--step-us U] [--no-priority]\n  \
-         trace_tool snapshot <file.aimsnap> [--validate]"
+         trace_tool snapshot <file.aimsnap> [--validate]\n  \
+         trace_tool timeline <run.telemetry> [--out <dir>] [--validate]\n  \
+         trace_tool stalls <run.telemetry> [--top K]"
     );
     std::process::exit(2);
 }
@@ -73,7 +88,183 @@ fn main() {
         Some("replay") if args.len() >= 2 => cmd_replay(&args[1..]),
         Some("latency") if args.len() >= 3 => cmd_latency(&args[1..]),
         Some("snapshot") if args.len() >= 2 => cmd_snapshot(&args[1..]),
+        Some("timeline") if args.len() >= 2 => cmd_timeline(&args[1..]),
+        Some("stalls") if args.len() >= 2 => cmd_stalls(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn load_telemetry(path: &str) -> aim_core::telemetry::RunTelemetry {
+    match aim_trace::telemetry::load(path) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_timeline(args: &[String]) {
+    use aim_trace::telemetry as tel;
+
+    let path = &args[0];
+    let mut out_dir: Option<&str> = None;
+    let mut validate = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_dir = Some(it.next().map(String::as_str).unwrap_or_else(|| usage())),
+            "--validate" => validate = true,
+            _ => usage(),
+        }
+    }
+    let rt = load_telemetry(path);
+    let dir = out_dir.map_or_else(
+        || {
+            std::path::Path::new(path)
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("."))
+                .to_path_buf()
+        },
+        std::path::PathBuf::from,
+    );
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error creating {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+
+    println!("run         : {path}");
+    println!(
+        "wall        : {:.3} s · {} agents · {} spans ({} dropped)",
+        rt.wall_us as f64 / 1e6,
+        rt.agents,
+        rt.spans.len(),
+        rt.dropped
+    );
+    println!(
+        "sched       : {} clusters · {} agent-steps · skew {} · max cluster {}",
+        rt.sched.clusters_emitted,
+        rt.sched.agent_steps,
+        rt.sched.max_step_skew,
+        rt.sched.max_cluster_size
+    );
+    for (c, n) in &rt.counters {
+        if *n > 0 {
+            println!("counter     : {} = {n}", c.as_str());
+        }
+    }
+    println!(
+        "decompose   : {} (coverage {:.1}%)",
+        rt.decomposition,
+        100.0 * rt.decomposition.coverage()
+    );
+    if let Some(slowdown) = rt.slowdown_vs_critical() {
+        println!("wall vs lb  : {slowdown:.2}×");
+    }
+    println!("phases      :");
+    for (phase, h) in &rt.phases {
+        println!(
+            "  {:<11} {:>8} spans · mean {:>8} µs · p99 {:>8} µs · max {:>8} µs",
+            phase.as_str(),
+            h.count,
+            h.mean_us(),
+            h.p99_us(),
+            h.max_us
+        );
+    }
+
+    let json_path = dir.join("trace.json");
+    let jsonl_path = dir.join("spans.jsonl");
+    let write = |f: &dyn Fn(
+        &mut std::io::BufWriter<std::fs::File>,
+    ) -> Result<(), aim_trace::TraceError>,
+                 p: &std::path::Path| {
+        let file = match std::fs::File::create(p) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error creating {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        };
+        let mut w = std::io::BufWriter::new(file);
+        if let Err(e) = f(&mut w) {
+            eprintln!("error writing {}: {e}", p.display());
+            std::process::exit(1);
+        }
+    };
+    write(&|w| tel::write_chrome_trace(&rt, w), &json_path);
+    write(&|w| tel::write_jsonl(&rt, w), &jsonl_path);
+    eprintln!(
+        "wrote {} (open in Perfetto) and {}",
+        json_path.display(),
+        jsonl_path.display()
+    );
+
+    if validate {
+        let text = match std::fs::read_to_string(&json_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error re-reading {}: {e}", json_path.display());
+                std::process::exit(1);
+            }
+        };
+        match tel::validate_chrome_trace(&text) {
+            Ok(events) => println!("validate    : OK ({events} complete events)"),
+            Err(e) => {
+                eprintln!("VALIDATE FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn cmd_stalls(args: &[String]) {
+    let path = &args[0];
+    let mut top = 10usize;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let rt = load_telemetry(path);
+    println!(
+        "blocked     : {:.1}% of agent time ({} agents over {:.3} s)",
+        100.0 * rt.decomposition.blocked_frac(),
+        rt.agents,
+        rt.wall_us as f64 / 1e6
+    );
+    let edges = rt.stall_edges(top);
+    if edges.is_empty() {
+        println!("no blocking edges recorded — nothing ever waited");
+        return;
+    }
+    println!(
+        "{:<9} {:<9} {:<11} {:>7} {:>12}",
+        "agent", "blocker", "reason", "waits", "total µs"
+    );
+    for e in edges {
+        let fmt_id = |id: u32| {
+            if id == u32::MAX {
+                "*".to_string()
+            } else {
+                format!("a{id}")
+            }
+        };
+        println!(
+            "{:<9} {:<9} {:<11} {:>7} {:>12}",
+            fmt_id(e.agent),
+            fmt_id(e.blocker),
+            e.reason.as_str(),
+            e.count,
+            e.total_us
+        );
     }
 }
 

@@ -27,6 +27,9 @@
 //! * [`latency`] — mining [`aim_llm::LatencyProfile`]s from traces so a
 //!   [`aim_llm::ReplayBackend`] (or a whole heterogeneous fleet replica)
 //!   can serve the latency distribution a reference deployment measured.
+//! * [`telemetry`] — exporting [`aim_core::telemetry::RunTelemetry`]
+//!   reports: the `AIMTEL v1` `.telemetry` file format, Perfetto/Chrome
+//!   `trace.json`, and span JSONL (see `trace_tool timeline` / `stalls`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,6 +42,7 @@ pub mod latency;
 pub mod oracle;
 pub mod serving;
 pub mod stats;
+pub mod telemetry;
 
 pub use format::{CallEvent, Trace, TraceBuilder, TraceMeta};
 

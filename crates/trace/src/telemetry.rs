@@ -1,0 +1,877 @@
+//! Telemetry export: the `.telemetry` file format, Chrome/Perfetto
+//! `trace.json`, and span JSONL.
+//!
+//! [`aim_core::telemetry::RunTelemetry`] is the in-memory unified report;
+//! this module moves it across process boundaries:
+//!
+//! * [`save`]/[`load`] — the `AIMTEL v1` line-oriented file format, same
+//!   philosophy as [`crate::codec`]: inspectable with a pager, parseable
+//!   without external dependencies, exact round-trip of spans, counters,
+//!   and scheduler stats. (Live-only fields — fleet and server metric
+//!   structs — are not persisted; everything derived from spans, including
+//!   the decomposition and per-phase histograms, is recomputed on load.)
+//! * [`write_chrome_trace`] — Perfetto/`chrome://tracing` complete events
+//!   (`"ph":"X"`, µs timestamps), one trace row per telemetry track:
+//!   track 0 is the shared cross-thread buffer (controller, scheduler,
+//!   backend, fleet), tracks 1.. are worker threads.
+//! * [`write_jsonl`] — one flat JSON object per span, for ad-hoc
+//!   `jq`-style analysis.
+//! * [`validate_chrome_trace`] — a minimal JSON parser (no serde_json in
+//!   the workspace) that checks an exported `trace.json` is well-formed
+//!   and shaped like a trace-event file; CI runs this on the `repro`
+//!   telemetry arm.
+
+use std::io::{BufRead, Write};
+
+use aim_core::telemetry::{BlockReason, Counter, RunTelemetry, Span, SpanKind};
+use aim_llm::{AttemptOutcome, CallKind};
+
+use crate::TraceError;
+
+const MAGIC: &str = "AIMTEL v1";
+
+/// Serializes `rt` to `w` in the `AIMTEL v1` format.
+///
+/// ```text
+/// AIMTEL v1
+/// M wall_us=<u64> agents=<u32> dropped=<u64> critical_us=<u64|none>
+/// K <counter-name> <u64>
+/// D <clusters_emitted> <agent_steps> <watcher_wakes> <blocked_evals> <max_step_skew> <max_cluster_size>
+/// S <track> <start_us> <end_us> <kind> <kind-fields…>
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_telemetry(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), TraceError> {
+    writeln!(w, "{MAGIC}")?;
+    write!(
+        w,
+        "M wall_us={} agents={} dropped={} critical_us=",
+        rt.wall_us, rt.agents, rt.dropped
+    )?;
+    match rt.critical_path_us {
+        Some(us) => writeln!(w, "{us}")?,
+        None => writeln!(w, "none")?,
+    }
+    for (c, n) in &rt.counters {
+        writeln!(w, "K {} {n}", c.as_str())?;
+    }
+    let d = &rt.sched;
+    writeln!(
+        w,
+        "D {} {} {} {} {} {}",
+        d.clusters_emitted,
+        d.agent_steps,
+        d.watcher_wakes,
+        d.blocked_evals,
+        d.max_step_skew,
+        d.max_cluster_size
+    )?;
+    for s in &rt.spans {
+        write!(w, "S {} {} {} ", s.track, s.start_us, s.end_us)?;
+        match s.kind {
+            SpanKind::Cluster {
+                cluster,
+                step,
+                members,
+            } => writeln!(w, "cluster {cluster} {step} {members}")?,
+            SpanKind::LlmCall {
+                agent,
+                step,
+                request,
+                kind,
+            } => writeln!(w, "llm {agent} {step} {request} {}", kind.as_str())?,
+            SpanKind::Commit {
+                cluster,
+                step,
+                members,
+            } => writeln!(w, "commit {cluster} {step} {members}")?,
+            SpanKind::Blocked {
+                agent,
+                blocker,
+                step,
+                reason,
+            } => writeln!(w, "blocked {agent} {blocker} {step} {}", reason.as_str())?,
+            SpanKind::Relink { agents, workers } => writeln!(w, "relink {agents} {workers}")?,
+            SpanKind::Migrate { agents, crossings } => {
+                writeln!(w, "migrate {agents} {crossings}")?;
+            }
+            SpanKind::Checkpoint { step } => writeln!(w, "checkpoint {step}")?,
+            SpanKind::FleetAttempt {
+                request,
+                replica,
+                hedge,
+                outcome,
+            } => writeln!(
+                w,
+                "attempt {request} {replica} {} {}",
+                u8::from(hedge),
+                outcome.as_str()
+            )?,
+            SpanKind::Control { cluster, members } => {
+                writeln!(w, "control {cluster} {members}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_err(line_no: usize, msg: impl std::fmt::Display) -> TraceError {
+    TraceError::Parse(format!("line {line_no}: {msg}"))
+}
+
+fn next_u64_from<'a>(
+    f: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    what: &str,
+) -> Result<u64, TraceError> {
+    f.next()
+        .ok_or_else(|| parse_err(line_no, format!("missing {what}")))?
+        .parse::<u64>()
+        .map_err(|e| parse_err(line_no, format!("bad {what}: {e}")))
+}
+
+fn outcome_from_str(s: &str) -> Option<AttemptOutcome> {
+    match s {
+        "served" => Some(AttemptOutcome::Served),
+        "failed" => Some(AttemptOutcome::Failed),
+        "refused" => Some(AttemptOutcome::Refused),
+        _ => None,
+    }
+}
+
+fn reason_from_str(s: &str) -> Option<BlockReason> {
+    match s {
+        "dependency" => Some(BlockReason::Dependency),
+        "barrier" => Some(BlockReason::Barrier),
+        _ => None,
+    }
+}
+
+/// Deserializes a report written by [`write_telemetry`].
+///
+/// The decomposition, per-phase histograms, and span ordering are
+/// recomputed through [`RunTelemetry::from_spans`], so a loaded report
+/// answers the same queries as the live one (minus fleet/server structs).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on any malformed line and
+/// [`TraceError::Io`] on read failures.
+pub fn read_telemetry(r: &mut impl BufRead) -> Result<RunTelemetry, TraceError> {
+    let mut lines = r.lines().enumerate();
+    let (_, first) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
+    if first?.trim() != MAGIC {
+        return Err(parse_err(1, "bad magic (expected AIMTEL v1)"));
+    }
+    let mut wall_us = 0u64;
+    let mut agents = 0u32;
+    let mut dropped = 0u64;
+    let mut critical: Option<u64> = None;
+    let mut seen_meta = false;
+    let mut counters: Vec<(Counter, u64)> = Vec::new();
+    let mut sched = aim_core::scheduler::SchedStats::default();
+    let mut spans: Vec<Span> = Vec::new();
+
+    for (no, line) in lines {
+        let no = no + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_ascii_whitespace();
+        let tag = f.next().expect("nonempty line has a tag");
+        match tag {
+            "M" => {
+                seen_meta = true;
+                for kv in line[2..].split_ascii_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| parse_err(no, format!("bad meta field {kv}")))?;
+                    let parse = |v: &str| -> Result<u64, TraceError> {
+                        v.parse()
+                            .map_err(|e| parse_err(no, format!("bad meta field {k}: {e}")))
+                    };
+                    match k {
+                        "wall_us" => wall_us = parse(v)?,
+                        "agents" => agents = parse(v)? as u32,
+                        "dropped" => dropped = parse(v)?,
+                        "critical_us" => {
+                            critical = if v == "none" { None } else { Some(parse(v)?) };
+                        }
+                        other => return Err(parse_err(no, format!("unknown meta field {other}"))),
+                    }
+                }
+            }
+            "K" => {
+                let name = f.next().ok_or_else(|| parse_err(no, "missing counter"))?;
+                let c = Counter::from_str(name)
+                    .ok_or_else(|| parse_err(no, format!("unknown counter {name}")))?;
+                let n = next_u64_from(&mut f, no, "counter value")?;
+                counters.push((c, n));
+            }
+            "D" => {
+                sched.clusters_emitted = next_u64_from(&mut f, no, "clusters_emitted")?;
+                sched.agent_steps = next_u64_from(&mut f, no, "agent_steps")?;
+                sched.watcher_wakes = next_u64_from(&mut f, no, "watcher_wakes")?;
+                sched.blocked_evals = next_u64_from(&mut f, no, "blocked_evals")?;
+                sched.max_step_skew = next_u64_from(&mut f, no, "max_step_skew")? as u32;
+                sched.max_cluster_size = next_u64_from(&mut f, no, "max_cluster_size")? as u32;
+            }
+            "S" => {
+                let track = next_u64_from(&mut f, no, "track")? as u32;
+                let start_us = next_u64_from(&mut f, no, "start_us")?;
+                let end_us = next_u64_from(&mut f, no, "end_us")?;
+                if end_us < start_us {
+                    return Err(parse_err(no, "span ends before it starts"));
+                }
+                let kind_s = f.next().ok_or_else(|| parse_err(no, "missing span kind"))?;
+                let kind = match kind_s {
+                    "cluster" => SpanKind::Cluster {
+                        cluster: next_u64_from(&mut f, no, "cluster")?,
+                        step: next_u64_from(&mut f, no, "step")? as u32,
+                        members: next_u64_from(&mut f, no, "members")? as u32,
+                    },
+                    "llm" => {
+                        let agent = next_u64_from(&mut f, no, "agent")? as u32;
+                        let step = next_u64_from(&mut f, no, "step")? as u32;
+                        let request = next_u64_from(&mut f, no, "request")?;
+                        let k = f.next().ok_or_else(|| parse_err(no, "missing call kind"))?;
+                        SpanKind::LlmCall {
+                            agent,
+                            step,
+                            request,
+                            kind: CallKind::from_str_opt(k)
+                                .ok_or_else(|| parse_err(no, format!("unknown call kind {k}")))?,
+                        }
+                    }
+                    "commit" => SpanKind::Commit {
+                        cluster: next_u64_from(&mut f, no, "cluster")?,
+                        step: next_u64_from(&mut f, no, "step")? as u32,
+                        members: next_u64_from(&mut f, no, "members")? as u32,
+                    },
+                    "blocked" => {
+                        let agent = next_u64_from(&mut f, no, "agent")? as u32;
+                        let blocker = next_u64_from(&mut f, no, "blocker")? as u32;
+                        let step = next_u64_from(&mut f, no, "step")? as u32;
+                        let r = f.next().ok_or_else(|| parse_err(no, "missing reason"))?;
+                        SpanKind::Blocked {
+                            agent,
+                            blocker,
+                            step,
+                            reason: reason_from_str(r)
+                                .ok_or_else(|| parse_err(no, format!("unknown reason {r}")))?,
+                        }
+                    }
+                    "relink" => SpanKind::Relink {
+                        agents: next_u64_from(&mut f, no, "agents")? as u32,
+                        workers: next_u64_from(&mut f, no, "workers")? as u32,
+                    },
+                    "migrate" => SpanKind::Migrate {
+                        agents: next_u64_from(&mut f, no, "agents")? as u32,
+                        crossings: next_u64_from(&mut f, no, "crossings")? as u32,
+                    },
+                    "checkpoint" => SpanKind::Checkpoint {
+                        step: next_u64_from(&mut f, no, "step")? as u32,
+                    },
+                    "attempt" => {
+                        let request = next_u64_from(&mut f, no, "request")?;
+                        let replica = next_u64_from(&mut f, no, "replica")? as u32;
+                        let hedge = next_u64_from(&mut f, no, "hedge")? != 0;
+                        let o = f.next().ok_or_else(|| parse_err(no, "missing outcome"))?;
+                        SpanKind::FleetAttempt {
+                            request,
+                            replica,
+                            hedge,
+                            outcome: outcome_from_str(o)
+                                .ok_or_else(|| parse_err(no, format!("unknown outcome {o}")))?,
+                        }
+                    }
+                    "control" => SpanKind::Control {
+                        cluster: next_u64_from(&mut f, no, "cluster")?,
+                        members: next_u64_from(&mut f, no, "members")? as u32,
+                    },
+                    other => return Err(parse_err(no, format!("unknown span kind {other}"))),
+                };
+                spans.push(Span {
+                    start_us,
+                    end_us,
+                    track,
+                    kind,
+                });
+            }
+            other => return Err(parse_err(no, format!("unknown record tag {other}"))),
+        }
+    }
+    if !seen_meta {
+        return Err(TraceError::Parse("missing M meta line".to_string()));
+    }
+    let mut rt = RunTelemetry::from_spans(spans, wall_us, agents, dropped, counters, sched, None);
+    if let Some(us) = critical {
+        rt.set_critical_path(us);
+    }
+    Ok(rt)
+}
+
+/// Writes `rt` to a `.telemetry` file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save(rt: &RunTelemetry, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_telemetry(rt, &mut w)
+}
+
+/// Reads a `.telemetry` file written by [`save`].
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<RunTelemetry, TraceError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    read_telemetry(&mut r)
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-facing event name and `args` payload for one span.
+fn span_name_args(kind: &SpanKind) -> (String, String) {
+    match *kind {
+        SpanKind::Cluster {
+            cluster,
+            step,
+            members,
+        } => (
+            format!("cluster {cluster} @{step}"),
+            format!("{{\"cluster\":{cluster},\"step\":{step},\"members\":{members}}}"),
+        ),
+        SpanKind::LlmCall {
+            agent,
+            step,
+            request,
+            kind,
+        } => (
+            format!("llm {} a{agent}", kind.as_str()),
+            format!(
+                "{{\"agent\":{agent},\"step\":{step},\"request\":{request},\"call\":\"{}\"}}",
+                kind.as_str()
+            ),
+        ),
+        SpanKind::Commit {
+            cluster,
+            step,
+            members,
+        } => (
+            format!("commit {cluster} @{step}"),
+            format!("{{\"cluster\":{cluster},\"step\":{step},\"members\":{members}}}"),
+        ),
+        SpanKind::Blocked {
+            agent,
+            blocker,
+            step,
+            reason,
+        } => (
+            format!("a{agent} blocked on a{blocker}"),
+            format!(
+                "{{\"agent\":{agent},\"blocker\":{blocker},\"step\":{step},\"reason\":\"{}\"}}",
+                reason.as_str()
+            ),
+        ),
+        SpanKind::Relink { agents, workers } => (
+            format!("relink ×{agents}"),
+            format!("{{\"agents\":{agents},\"workers\":{workers}}}"),
+        ),
+        SpanKind::Migrate { agents, crossings } => (
+            format!("migrate ×{agents}"),
+            format!("{{\"agents\":{agents},\"crossings\":{crossings}}}"),
+        ),
+        SpanKind::Checkpoint { step } => (
+            format!("checkpoint @{step}"),
+            format!("{{\"step\":{step}}}"),
+        ),
+        SpanKind::FleetAttempt {
+            request,
+            replica,
+            hedge,
+            outcome,
+        } => (
+            format!("attempt r{replica} req{request}"),
+            format!(
+                "{{\"request\":{request},\"replica\":{replica},\"hedge\":{hedge},\"outcome\":\"{}\"}}",
+                outcome.as_str()
+            ),
+        ),
+        SpanKind::Control { cluster, members } => (
+            format!("control {cluster}"),
+            format!("{{\"cluster\":{cluster},\"members\":{members}}}"),
+        ),
+    }
+}
+
+/// Writes `rt` as a Chrome trace-event file (Perfetto,
+/// `chrome://tracing`, and Speedscope all load it).
+///
+/// Every span becomes a complete event (`"ph":"X"`) with µs `ts`/`dur`;
+/// `tid` is the telemetry track (0 = shared cross-thread buffer, 1.. =
+/// workers), labeled via metadata events. The phase name goes in `cat`,
+/// so Perfetto can filter by phase.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), TraceError> {
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let tracks: std::collections::BTreeSet<u32> = rt.spans.iter().map(|s| s.track).collect();
+    let mut first = true;
+    let mut sep = |w: &mut dyn Write| -> std::io::Result<()> {
+        if first {
+            first = false;
+            Ok(())
+        } else {
+            writeln!(w, ",")
+        }
+    };
+    for t in tracks {
+        let name = if t == 0 {
+            "shared (controller/backend/fleet)".to_string()
+        } else {
+            format!("worker {t}")
+        };
+        sep(w)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&name)
+        )?;
+    }
+    for s in &rt.spans {
+        let (name, args) = span_name_args(&s.kind);
+        sep(w)?;
+        write!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":{},\"args\":{args}}}",
+            json_escape(&name),
+            s.kind.phase().as_str(),
+            s.start_us,
+            s.end_us.saturating_sub(s.start_us),
+            s.track,
+        )?;
+    }
+    writeln!(w, "\n]}}")?;
+    Ok(())
+}
+
+/// Writes one flat JSON object per span (JSONL) — `track`, `start_us`,
+/// `end_us`, `phase`, plus the kind payload of [`write_chrome_trace`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), TraceError> {
+    for s in &rt.spans {
+        let (_, args) = span_name_args(&s.kind);
+        writeln!(
+            w,
+            "{{\"track\":{},\"start_us\":{},\"end_us\":{},\"phase\":\"{}\",\"args\":{args}}}",
+            s.track,
+            s.start_us,
+            s.end_us,
+            s.kind.phase().as_str(),
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON validation (the workspace has no serde_json).
+// ---------------------------------------------------------------------
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json offset {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    /// Parses one JSON value, returning how many values it contained
+    /// (itself plus descendants); object keys are validated as strings.
+    fn value(&mut self) -> Result<u64, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut n = 1;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(n);
+                }
+                loop {
+                    self.string()?;
+                    self.expect(b':')?;
+                    n += self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(n);
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut n = 1;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(n);
+                }
+                loop {
+                    n += self.value()?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(n);
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.string()?;
+                Ok(1)
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => {
+                self.number()?;
+                Ok(1)
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<u64, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(1)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 2; // escape + escaped byte
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            Err(self.err("expected a number"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Validates that `text` is well-formed JSON shaped like a Chrome
+/// trace-event file: a top-level object with a `"traceEvents"` array whose
+/// complete events carry `ts`/`dur`/`pid`/`tid`. Returns the event count.
+///
+/// # Errors
+///
+/// Returns a description with byte offset of the first problem.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let mut p = JsonParser::new(text);
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after the top-level value"));
+    }
+    if !text.contains("\"traceEvents\"") {
+        return Err("no \"traceEvents\" key".to_string());
+    }
+    // Count complete events and spot-check their required keys with a
+    // cheap scan (structure already proven well-formed above).
+    let mut events = 0usize;
+    for chunk in text.split("\"ph\":\"X\"").skip(1) {
+        events += 1;
+        let head = &chunk[..chunk.len().min(160)];
+        for key in ["\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"] {
+            if !head.contains(key) {
+                return Err(format!("complete event #{events} missing {key}"));
+            }
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_core::scheduler::SchedStats;
+
+    fn sample() -> RunTelemetry {
+        let spans = vec![
+            Span {
+                start_us: 0,
+                end_us: 50,
+                track: 1,
+                kind: SpanKind::Cluster {
+                    cluster: 7,
+                    step: 2,
+                    members: 3,
+                },
+            },
+            Span {
+                start_us: 5,
+                end_us: 25,
+                track: 1,
+                kind: SpanKind::LlmCall {
+                    agent: 4,
+                    step: 2,
+                    request: 99,
+                    kind: CallKind::Plan,
+                },
+            },
+            Span {
+                start_us: 25,
+                end_us: 40,
+                track: 1,
+                kind: SpanKind::Blocked {
+                    agent: 4,
+                    blocker: 5,
+                    step: 2,
+                    reason: BlockReason::Barrier,
+                },
+            },
+            Span {
+                start_us: 40,
+                end_us: 48,
+                track: 1,
+                kind: SpanKind::Commit {
+                    cluster: 7,
+                    step: 2,
+                    members: 3,
+                },
+            },
+            Span {
+                start_us: 10,
+                end_us: 22,
+                track: 0,
+                kind: SpanKind::FleetAttempt {
+                    request: 99,
+                    replica: 1,
+                    hedge: true,
+                    outcome: AttemptOutcome::Served,
+                },
+            },
+            Span {
+                start_us: 50,
+                end_us: 55,
+                track: 0,
+                kind: SpanKind::Control {
+                    cluster: 7,
+                    members: 3,
+                },
+            },
+            Span {
+                start_us: 60,
+                end_us: 80,
+                track: 0,
+                kind: SpanKind::Checkpoint { step: 3 },
+            },
+            Span {
+                start_us: 56,
+                end_us: 59,
+                track: 0,
+                kind: SpanKind::Relink {
+                    agents: 12,
+                    workers: 2,
+                },
+            },
+            Span {
+                start_us: 55,
+                end_us: 56,
+                track: 0,
+                kind: SpanKind::Migrate {
+                    agents: 12,
+                    crossings: 1,
+                },
+            },
+        ];
+        let mut sched = SchedStats::default();
+        sched.clusters_emitted = 1;
+        sched.agent_steps = 3;
+        sched.watcher_wakes = 2;
+        sched.blocked_evals = 4;
+        sched.max_step_skew = 1;
+        sched.max_cluster_size = 3;
+        let counters = vec![(Counter::LlmCalls, 1), (Counter::FleetHedges, 1)];
+        let mut rt = RunTelemetry::from_spans(spans, 100, 6, 2, counters, sched, None);
+        rt.set_critical_path(42);
+        rt
+    }
+
+    #[test]
+    fn telemetry_roundtrip_exact() {
+        let rt = sample();
+        let mut buf = Vec::new();
+        write_telemetry(&rt, &mut buf).unwrap();
+        let back = read_telemetry(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(rt, back);
+    }
+
+    #[test]
+    fn telemetry_text_is_human_readable() {
+        let rt = sample();
+        let mut buf = Vec::new();
+        write_telemetry(&rt, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("AIMTEL v1\n"), "{text}");
+        assert!(text.contains("K llm_calls 1"), "{text}");
+        assert!(text.contains("blocked 4 5 2 barrier"), "{text}");
+        assert!(text.contains("attempt 99 1 1 served"), "{text}");
+    }
+
+    #[test]
+    fn corrupt_lines_are_located() {
+        let rt = sample();
+        let mut buf = Vec::new();
+        write_telemetry(&rt, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("S 0 5 3 checkpoint 1\n"); // ends before it starts
+        let err = read_telemetry(&mut std::io::Cursor::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("line"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut cur = std::io::Cursor::new(b"NOTTEL\n".to_vec());
+        assert!(matches!(
+            read_telemetry(&mut cur),
+            Err(TraceError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_counts_events() {
+        let rt = sample();
+        let mut buf = Vec::new();
+        write_chrome_trace(&rt, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let events = validate_chrome_trace(&text).expect("well-formed");
+        assert_eq!(events, rt.spans.len());
+    }
+
+    #[test]
+    fn chrome_trace_rejects_garbage() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[").is_err());
+        assert!(validate_chrome_trace("[]").is_err(), "no traceEvents key");
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_ok());
+    }
+
+    #[test]
+    fn jsonl_one_line_per_span() {
+        let rt = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&rt, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), rt.spans.len());
+        for line in text.lines() {
+            let mut p = JsonParser::new(line);
+            p.value().expect("each line is one json object");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let rt = sample();
+        let dir = std::env::temp_dir().join("aim-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.telemetry");
+        save(&rt, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(rt, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,22 +1,26 @@
 //! A district city morning on the sharded engine, end to end: generate
 //! an OpenCity-style city (template-pool personas, road-grid districts),
 //! drive it out of order on the threaded runtime over a
-//! `ShardedDepGraph`, take a **sharded checkpoint** mid-run machinery
-//! (per-shard membership sections in the `AIMSNAP` stream), and prove
-//! the checkpoint resumes to an identical tracker.
+//! `ShardedDepGraph` — fully **observed** by the telemetry subsystem —
+//! take a **sharded checkpoint** mid-run machinery (per-shard
+//! membership sections in the `AIMSNAP` stream), and prove the
+//! checkpoint resumes to an identical tracker.
 //!
 //! ```text
 //! cargo run --release --example city_day
 //! ```
 //!
 //! The checkpoint is left at `target/city_day/ckpt-city.aimsnap` so
-//! `trace_tool snapshot <file> --validate` can inspect it (CI does).
+//! `trace_tool snapshot <file> --validate` can inspect it (CI does),
+//! and the observed run's spans at `target/city_day/city.telemetry` /
+//! `city.trace.json` for `trace_tool timeline` / Perfetto.
 
 use std::sync::Arc;
 
 use ai_metropolis::core::checkpoint;
-use ai_metropolis::core::exec::threaded::{run_threaded, ThreadedConfig};
+use ai_metropolis::core::exec::threaded::{run_threaded_observed, ThreadedConfig};
 use ai_metropolis::core::shard::ShardedDepGraph;
+use ai_metropolis::core::telemetry::Telemetry;
 use ai_metropolis::llm::InstantBackend;
 use ai_metropolis::prelude::*;
 use ai_metropolis::store::{Db, Snapshot};
@@ -73,7 +77,7 @@ fn main() {
     )
     .expect("sharded graph");
     let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
-    let report = run_threaded(
+    let report = run_threaded_observed(
         &mut sched,
         Arc::clone(&program),
         Arc::new(InstantBackend::new()),
@@ -81,6 +85,8 @@ fn main() {
             workers: 8,
             priority_enabled: true,
         },
+        None,
+        Some(Arc::new(Telemetry::new())),
     )
     .expect("threaded run");
     assert!(sched.is_done());
@@ -96,6 +102,26 @@ fn main() {
         stats.max_step_skew,
         report.wall.as_secs_f64() * 1e3
     );
+    print!("{report}");
+
+    // The observed run's unified telemetry: save the span log and a
+    // Perfetto-loadable trace next to the checkpoint.
+    let rt = report.telemetry.as_ref().expect("run was observed");
+    assert!(
+        rt.decomposition.coverage() >= 0.95,
+        "stall decomposition must cover the budget"
+    );
+    let dir = std::path::Path::new("target/city_day");
+    std::fs::create_dir_all(dir).expect("mkdir");
+    ai_metropolis::trace::telemetry::save(rt, &dir.join("city.telemetry")).expect("telemetry");
+    let mut json = std::io::BufWriter::new(
+        std::fs::File::create(dir.join("city.trace.json")).expect("trace.json"),
+    );
+    ai_metropolis::trace::telemetry::write_chrome_trace(rt, &mut json).expect("chrome trace");
+    println!(
+        "telemetry: {} spans → target/city_day/city.telemetry + city.trace.json",
+        rt.spans.len()
+    );
     for shard in 0..shards {
         print!(
             "{}shard {shard}: {} agents",
@@ -106,8 +132,6 @@ fn main() {
     println!();
 
     // Sharded checkpoint: write, reload, resume, compare edge-for-edge.
-    let dir = std::path::Path::new("target/city_day");
-    std::fs::create_dir_all(dir).expect("mkdir");
     let path = dir.join("ckpt-city.aimsnap");
     checkpoint::snapshot_sharded_run(&sched, start, None)
         .save(&path)
