@@ -1,0 +1,215 @@
+//! Microbenchmarks of the distributed tracker (`aim_core::dist`): what
+//! the typed message boundary costs relative to the shared-memory
+//! sharded tracker, and what a protocol round-trip itself costs.
+//!
+//! Three questions, one group each:
+//!
+//! - `dist/roundtrip` — the floor: one no-payload request–reply cycle
+//!   through a channel-backed worker (send + worker dispatch + reply).
+//! - `dist/codec` — `AIMMSG v1` encode+decode of a realistic relink
+//!   batch, the phase-2 per-message serialization cost.
+//! - `dist/leader_commit_skewed` — steady-state advance+rollback of one
+//!   leader in the skewed-straggler regime (the `shard` bench workload)
+//!   on channel-isolated workers vs the shared-memory
+//!   [`ShardedDepGraph`] at the same width: the price of full isolation
+//!   on the hot path.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use aim_core::depgraph::{EdgeMode, GraphOptions};
+use aim_core::dist::{codec, CtrlMsg, DistTracker, Probe, ShardMsg};
+use aim_core::prelude::*;
+use aim_core::shard::{ShardedDepGraph, StripShardMap};
+use aim_core::space::{GridSpace, Point};
+use aim_store::Db;
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const MAP_W: u32 = 2_000;
+const MAP_H: u32 = 600;
+
+/// Steps the leaders run ahead of the straggler pocket (see the `shard`
+/// bench for the workload's rationale).
+const SKEW: u32 = 48;
+const STRAGGLER_X: i32 = 100;
+
+fn scatter(n: u32) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let x = (i as i64).wrapping_mul(2654435761).rem_euclid(MAP_W as i64) as i32;
+            let y = (i as i64).wrapping_mul(40503).rem_euclid(MAP_H as i64) as i32;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+fn options() -> GraphOptions {
+    GraphOptions {
+        edges: EdgeMode::Maintained,
+        history: false,
+    }
+}
+
+fn leaders(pts: &[Point]) -> Vec<(AgentId, Point)> {
+    pts.iter()
+        .enumerate()
+        .filter(|(_, p)| p.x >= STRAGGLER_X)
+        .map(|(i, p)| (AgentId(i as u32), *p))
+        .collect()
+}
+
+fn mk_dist_skewed(n: u32, width: usize) -> DistTracker<GridSpace> {
+    let pts = scatter(n);
+    let mut g = DistTracker::new(
+        Arc::new(GridSpace::new(MAP_W, MAP_H)),
+        RuleParams::genagent(),
+        &pts,
+        Arc::new(StripShardMap::new(MAP_W, width)),
+        options(),
+    )
+    .unwrap();
+    let batch = leaders(&pts);
+    for _ in 0..SKEW {
+        g.advance(&batch).unwrap();
+    }
+    g
+}
+
+fn mk_shared_skewed(n: u32, width: usize) -> ShardedDepGraph<GridSpace> {
+    let pts = scatter(n);
+    let mut g = ShardedDepGraph::new_with_options(
+        Arc::new(GridSpace::new(MAP_W, MAP_H)),
+        RuleParams::genagent(),
+        Arc::new(Db::new()),
+        &pts,
+        Arc::new(StripShardMap::new(MAP_W, width)),
+        options(),
+    )
+    .unwrap();
+    let batch = leaders(&pts);
+    for _ in 0..SKEW {
+        g.advance(&batch).unwrap();
+    }
+    g
+}
+
+/// One request–reply cycle through a channel-isolated worker, no
+/// payload: the message boundary's latency floor.
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("dist/roundtrip");
+    // A one-worker tracker over a handful of agents; Quiesce is the
+    // smallest request whose reply still proves the worker dispatched.
+    let pts: Vec<Point> = (0..8).map(|i| Point::new(i * 8, 10)).collect();
+    let mut g = DistTracker::new(
+        Arc::new(GridSpace::new(64, 64)),
+        RuleParams::genagent(),
+        &pts,
+        Arc::new(StripShardMap::new(64, 1)),
+        options(),
+    )
+    .unwrap();
+    grp.bench_function("quiesce", |b| {
+        b.iter(|| {
+            g.check_invariants();
+            black_box(g.len())
+        });
+    });
+    grp.finish();
+}
+
+/// `AIMMSG v1` encode+decode of a 64-probe relink query and its 64-edge
+/// reply — the phase-2 serialization cost of one realistic exchange.
+fn bench_codec(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("dist/codec");
+    let space = GridSpace::new(MAP_W, MAP_H);
+    let query: CtrlMsg<Point> = CtrlMsg::RelinkQuery {
+        probes: (0..64)
+            .map(|i| Probe {
+                agent: i,
+                step: i % 7,
+                pos: Point::new(i as i32 * 3, i as i32 % 100),
+            })
+            .collect(),
+    };
+    let reply: ShardMsg<Point> = ShardMsg::Edges {
+        edges: (0..64)
+            .map(|i| aim_core::dist::WireEdge {
+                coupled: i % 2 == 0,
+                a: i,
+                b: i + 1,
+            })
+            .collect(),
+    };
+    grp.bench_function("relink_exchange", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            codec::encode_ctrl(&space, black_box(&query), &mut buf);
+            codec::encode_shard(&space, black_box(&reply), &mut buf);
+            let mut rd = Bytes::from(buf.freeze());
+            let q = codec::decode_ctrl(&space, &mut rd).unwrap();
+            let r = codec::decode_shard(&space, &mut rd).unwrap();
+            black_box((q, r))
+        });
+    });
+    grp.finish();
+}
+
+/// Steady-state single-leader commit in the skewed regime: the
+/// channel-isolated tracker against the shared-memory sharded tracker
+/// at the same width (advance one leader, roll it straight back).
+fn bench_leader_commit_skewed(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("dist/leader_commit_skewed");
+    grp.sample_size(20);
+    for n in [1_000u32, 10_000] {
+        let width = 4usize;
+        {
+            let mut g = mk_dist_skewed(n, width);
+            let a = (0..n)
+                .find(|&i| g.pos(AgentId(i)).x >= MAP_W as i32 / 2)
+                .map(AgentId)
+                .expect("a leader exists");
+            let pos = g.pos(a);
+            let step = g.step(a);
+            grp.bench_with_input(BenchmarkId::new(format!("{n}"), "dist-w4"), &n, |b, _| {
+                b.iter(|| {
+                    g.advance(black_box(&[(a, pos)])).unwrap();
+                    g.rollback(&[(a, step, pos)]).unwrap();
+                });
+            });
+        }
+        {
+            let mut g = mk_shared_skewed(n, width);
+            let a = (0..n)
+                .find(|&i| g.pos(AgentId(i)).x >= MAP_W as i32 / 2)
+                .map(AgentId)
+                .expect("a leader exists");
+            let pos = g.pos(a);
+            let step = g.step(a);
+            grp.bench_with_input(BenchmarkId::new(format!("{n}"), "shared-w4"), &n, |b, _| {
+                b.iter(|| {
+                    g.advance(black_box(&[(a, pos)])).unwrap();
+                    g.rollback(&[(a, step, pos)]).unwrap();
+                });
+            });
+        }
+    }
+    grp.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    // Machine-speed reference for bench_gate normalization (see
+    // `aim_bench::calibration_spin`).
+    c.bench_function("calibration/spin", |b| {
+        b.iter(|| black_box(aim_bench::calibration_spin()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_roundtrip,
+    bench_codec,
+    bench_leader_commit_skewed
+);
+criterion_main!(benches);

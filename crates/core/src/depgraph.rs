@@ -42,17 +42,19 @@ use crate::rules::{self, RuleParams};
 use crate::space::{Space, SpatialIndex};
 
 /// Namespace tag of the per-agent node records (`Key::tagged_u32`).
-const AGENT_TAG: [u8; 4] = *b"dagt";
+/// Crate-visible so the distributed shard workers ([`crate::dist`]) write
+/// the identical authoritative layout into their own databases.
+pub(crate) const AGENT_TAG: [u8; 4] = *b"dagt";
 
 /// Namespace tag of the per-step history records
 /// (`Key::tagged_u32_pair(HIST_TAG, step, agent)`). Step-major layout:
 /// an ordered prefix walk visits history oldest-step-first, so the
 /// eviction pass stops touching records at the first retained step.
-const HIST_TAG: [u8; 4] = *b"dhst";
+pub(crate) const HIST_TAG: [u8; 4] = *b"dhst";
 
 /// Store key of the history-eviction watermark: every history record at a
 /// step `< dep:hist_floor` has been compacted away.
-const HIST_FLOOR_KEY: &str = "dep:hist_floor";
+pub(crate) const HIST_FLOOR_KEY: &str = "dep:hist_floor";
 
 /// The dependency-tracking surface the [`crate::scheduler::Scheduler`]
 /// and the executors consume, abstracted so the same state machine drives
@@ -1013,8 +1015,12 @@ impl<S: Space> DepTracker<S> for DepGraph<S> {
 }
 
 /// Reads, increments, and rewrites the cluster-commit counter inside a
-/// transaction (shared by both arms of the advance commit).
-fn bump_commit_counter(txn: &mut aim_store::Txn<'_>, commits_key: &Key) -> Result<(), StoreError> {
+/// transaction (shared by both arms of the advance commit, and by the
+/// [`crate::dist`] shard workers for their per-worker counters).
+pub(crate) fn bump_commit_counter(
+    txn: &mut aim_store::Txn<'_>,
+    commits_key: &Key,
+) -> Result<(), StoreError> {
     let commits = txn
         .get_key(commits_key)
         .map(|v| {

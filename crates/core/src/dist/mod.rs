@@ -1,0 +1,47 @@
+//! Distributed shards: isolated workers behind a typed message boundary.
+//!
+//! [`crate::shard::ShardedDepGraph`] shards the dependency graph inside
+//! one address space — shard state lives behind `&mut self` and the
+//! "protocol" in its module docs is an argument about which state each
+//! boundary operation may touch. This module makes that protocol
+//! **load-bearing**: each shard becomes a [`ShardWorker`] owning its
+//! members, spatial index, step bounds, and its *own* [`aim_store::Db`]
+//! instance, and the controller-side [`DistTracker`] may only reach it
+//! through the [`msg::CtrlMsg`] / [`msg::ShardMsg`] request–reply
+//! protocol. No memory is shared between workers or with the controller
+//! (the one observability-only exception is the [`SharedTelemetry`]
+//! cell), so the exactness argument now rests on the message types
+//! alone.
+//!
+//! Two transports implement the boundary:
+//!
+//! - **Phase 1 (always on):** [`ChannelLink`] — each worker is a thread
+//!   driven over in-process channels. [`DistTracker`] implements
+//!   [`crate::depgraph::DepTracker`], so
+//!   [`crate::scheduler::Scheduler`] and both executors drive it
+//!   unchanged;
+//!   the property suite proves it world-for-world equal to the
+//!   single-shard oracle.
+//! - **Phase 2 (`dist-socket` feature):** the [`codec`] module frames
+//!   every message as `AIMMSG v1` bytes, and the feature-gated `socket`
+//!   module carries those frames over a TCP stream so a worker can run
+//!   in a **separate process** (`socket::SocketLink` on the controller
+//!   side, `socket::serve_connection` worker side).
+//!
+//! Because every worker keeps the authoritative `dagt`/`dhst` records
+//! for its members in its own store (byte-identical to the single-shard
+//! layout), a crashed worker is recoverable from its database alone:
+//! [`DistTracker::kill_worker`] severs a link,
+//! [`DistTracker::respawn_worker`] heals it through the
+//! [`msg::CtrlMsg::Recover`] handshake.
+
+pub mod codec;
+pub mod msg;
+#[cfg(feature = "dist-socket")]
+pub mod socket;
+mod tracker;
+mod worker;
+
+pub use msg::{CtrlMsg, NodeRecord, Probe, ShardMsg, WireEdge};
+pub use tracker::DistTracker;
+pub use worker::{ChannelLink, SeveredLink, ShardWorker, SharedTelemetry, WorkerLink};

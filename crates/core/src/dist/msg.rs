@@ -1,0 +1,181 @@
+//! The typed controller ↔ worker message protocol.
+//!
+//! These enums are the **entire** interface between the controller-side
+//! [`crate::dist::DistTracker`] and a shard worker: no other state
+//! crosses the boundary, which is what makes the channel transport of
+//! phase 1 and the socket transport of phase 2 interchangeable. Every
+//! variant is plain data (`u32` ids, raw steps, positions) so the whole
+//! protocol serializes through the `AIMMSG v1` codec
+//! ([`crate::dist::codec`]) without referencing in-process state.
+//!
+//! # Protocol invariants
+//!
+//! The exactness argument of [`crate::shard`]'s boundary-edge protocol
+//! carries over message for message:
+//!
+//! 1. **Ownership is total and current.** Every agent is owned by
+//!    exactly one worker. A commit ([`CtrlMsg::Commit`] /
+//!    [`CtrlMsg::Rollback`]) is always sent to the agent's *current*
+//!    owner (which holds its authoritative record); if the committed
+//!    position crosses a shard boundary the controller then moves the
+//!    agent with a [`CtrlMsg::Depart`] → [`ShardMsg::Departed`] →
+//!    [`CtrlMsg::Arrive`] handshake **before** issuing any
+//!    [`CtrlMsg::RelinkQuery`], so a query never misses a mid-migration
+//!    agent.
+//! 2. **Pruning is conservative.** The controller skips a worker
+//!    entirely only when [`crate::shard::ShardMap::min_distance`] (a
+//!    lower bound) exceeds the pair-gap radius derived from the
+//!    worker's step bounds (an upper bound) — the same proof as the
+//!    in-process sharded tracker. A worker that *is* queried
+//!    re-derives its own step bounds and re-checks every candidate with
+//!    the exact [`crate::space::Space::within_units`] predicates before
+//!    emitting a [`WireEdge`].
+//! 3. **Replies are complete.** A worker answers every request with
+//!    exactly one reply, in order; [`ShardMsg::Failed`] is the only
+//!    error channel, and the controller converts it into a store error
+//!    rather than applying a partial result.
+
+/// One agent's authoritative state in transit between two workers (the
+/// migration payload of [`ShardMsg::Departed`] / [`CtrlMsg::Arrive`]).
+///
+/// Carries everything the receiving worker must write into its own
+/// database: the current `dagt` record plus every resident `dhst`
+/// history record, so a migrated agent remains rollback-able and
+/// recoverable from its *new* owner's store alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord<P> {
+    /// Agent id.
+    pub agent: u32,
+    /// Current (next-to-execute) step.
+    pub step: u32,
+    /// Committed position.
+    pub pos: P,
+    /// Resident per-step history `(step, position)` records, if the run
+    /// records history (empty otherwise).
+    pub history: Vec<(u32, P)>,
+}
+
+/// One relink query: "which of your members have a rule edge with this
+/// agent?" The worker answers from its own index with the exact
+/// predicates; the probe carries the agent's committed state so the
+/// worker never needs foreign lookups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe<P> {
+    /// The relinking agent.
+    pub agent: u32,
+    /// Its committed (next-to-execute) step.
+    pub step: u32,
+    /// Its committed position.
+    pub pos: P,
+}
+
+/// One derived edge crossing the boundary in a [`ShardMsg::Edges`]
+/// reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEdge {
+    /// `true` for a same-step coupling edge `{a, b}`; `false` for a
+    /// blocking edge where `a` (the lower-step agent) blocks `b`.
+    pub coupled: bool,
+    /// First endpoint (the blocker when `coupled` is `false`).
+    pub a: u32,
+    /// Second endpoint (the blocked agent when `coupled` is `false`).
+    pub b: u32,
+}
+
+/// Controller → worker requests. Each request receives exactly one
+/// [`ShardMsg`] reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlMsg<P> {
+    /// Advance every `(agent, new_position)` by one step as a single
+    /// transaction against the worker's own database. Every agent must
+    /// be a current member. Reply: [`ShardMsg::Done`].
+    Commit {
+        /// `(agent, new_position)` per advancing member.
+        updates: Vec<(u32, P)>,
+    },
+    /// Rewind every `(agent, target_step, position)` — the speculative
+    /// squash path. Target steps must not exceed the agents' current
+    /// steps. Reply: [`ShardMsg::Done`].
+    Rollback {
+        /// `(agent, target_step, position)` per rewinding member.
+        updates: Vec<(u32, u32, P)>,
+    },
+    /// Remove the agents from this worker and return their full
+    /// authoritative records for re-homing. Reply:
+    /// [`ShardMsg::Departed`].
+    Depart {
+        /// Members crossing out of this worker's region.
+        agents: Vec<u32>,
+    },
+    /// Adopt the records (writing them into this worker's database) as
+    /// new members. Reply: [`ShardMsg::Done`].
+    Arrive {
+        /// Records handed over by the departing workers.
+        records: Vec<NodeRecord<P>>,
+    },
+    /// Compute the rule edges between each probe and this worker's
+    /// members. Reply: [`ShardMsg::Edges`].
+    RelinkQuery {
+        /// Agents whose incident edges are being rebuilt.
+        probes: Vec<Probe<P>>,
+    },
+    /// Compact history records below `floor` (the controller's global
+    /// minimum step — the deepest legal rollback). Reply:
+    /// [`ShardMsg::Evicted`].
+    EvictHistory {
+        /// Steps strictly below this are dead for scheduling purposes.
+        floor: u32,
+    },
+    /// Report the worker's full member state (checkpoint barriers and
+    /// invariant checks). Reply: [`ShardMsg::Quiesced`].
+    Quiesce,
+    /// Rebuild the worker's in-memory state (members, spatial index,
+    /// step bounds) from its own database, given the member list the
+    /// controller expects it to own. Reply: [`ShardMsg::Recovered`].
+    Recover {
+        /// The agents this worker must own per the controller's mirror.
+        expected: Vec<u32>,
+    },
+    /// Terminate the worker loop after one final [`ShardMsg::Done`].
+    Shutdown,
+}
+
+/// Worker → controller replies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardMsg<P> {
+    /// The request was applied in full.
+    Done,
+    /// Reply to [`CtrlMsg::Depart`]: the removed agents' full records.
+    Departed {
+        /// One record per departed agent, in request order.
+        records: Vec<NodeRecord<P>>,
+    },
+    /// Reply to [`CtrlMsg::RelinkQuery`]: every exact rule edge between
+    /// a probe and a member.
+    Edges {
+        /// The verified edges (possibly empty).
+        edges: Vec<WireEdge>,
+    },
+    /// Reply to [`CtrlMsg::EvictHistory`].
+    Evicted {
+        /// History records deleted by this pass.
+        removed: u64,
+    },
+    /// Reply to [`CtrlMsg::Quiesce`]: `(agent, step, position)` of every
+    /// member, ascending by agent id.
+    Quiesced {
+        /// The worker's complete member state.
+        states: Vec<(u32, u32, P)>,
+    },
+    /// Reply to [`CtrlMsg::Recover`]: the rebuilt member states,
+    /// ascending by agent id.
+    Recovered {
+        /// `(agent, step, position)` per recovered member.
+        states: Vec<(u32, u32, P)>,
+    },
+    /// The request could not be applied; nothing was committed.
+    Failed {
+        /// Human-readable cause.
+        message: String,
+    },
+}

@@ -1,0 +1,163 @@
+//! Socket transport for the worker protocol (`dist-socket` feature).
+//!
+//! Carries `AIMMSG v1` frames ([`super::codec`]) over a byte stream so a
+//! shard worker can live in a **separate process**: the worker process
+//! binds a listener and runs [`serve_connection`] over its accepted
+//! stream; the controller process connects a [`SocketLink`] and plugs it
+//! in wherever a [`WorkerLink`] is expected. Both sides exchange the
+//! [`PREAMBLE`] before the first frame, so a mis-wired stream fails
+//! immediately instead of misparsing.
+//!
+//! Everything here is plain blocking `std::net` — no async runtime — and
+//! I/O failures surface as [`StoreError::Io`], which the controller
+//! treats exactly like a severed channel link (the worker's database
+//! survives, so the [`super::msg::CtrlMsg::Recover`] handshake can heal
+//! the shard).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+
+use aim_store::StoreError;
+
+use crate::space::Space;
+
+use super::codec::{decode_ctrl, decode_shard, encode_ctrl, encode_shard, PREAMBLE};
+use super::msg::{CtrlMsg, ShardMsg};
+use super::worker::{ShardWorker, WorkerLink};
+
+/// Writes one already-encoded frame to the stream.
+fn write_all(stream: &mut TcpStream, frame: &BytesMut) -> Result<(), StoreError> {
+    stream.write_all(frame)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame (prefix included) into an owned
+/// buffer, or `None` on a clean EOF at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Bytes>, StoreError> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        let n = stream.read(&mut len[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(StoreError::Codec(
+                "stream closed inside a frame length prefix".into(),
+            ));
+        }
+        filled += n;
+    }
+    let body_len = u32::from_be_bytes(len) as usize;
+    let mut buf = vec![0u8; 4 + body_len];
+    buf[..4].copy_from_slice(&len);
+    stream
+        .read_exact(&mut buf[4..])
+        .map_err(|e| StoreError::Codec(format!("stream closed inside a frame body: {e}")))?;
+    Ok(Some(Bytes::from(buf)))
+}
+
+/// Exchanges the protocol preamble: writes ours, requires theirs.
+fn handshake(stream: &mut TcpStream) -> Result<(), StoreError> {
+    stream.write_all(PREAMBLE)?;
+    stream.flush()?;
+    let mut got = [0u8; PREAMBLE.len()];
+    stream.read_exact(&mut got)?;
+    if &got != PREAMBLE {
+        return Err(StoreError::Codec(format!(
+            "bad protocol preamble {:?}",
+            String::from_utf8_lossy(&got)
+        )));
+    }
+    Ok(())
+}
+
+/// Runs a worker's serve loop over one controller connection: handshake,
+/// then decode request → [`ShardWorker::handle`] → encode reply, until a
+/// [`CtrlMsg::Shutdown`] has been acknowledged or the controller
+/// disconnects at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on transport failure and
+/// [`StoreError::Codec`] on a malformed or truncated frame. Request-level
+/// failures do **not** end the loop — they are answered with
+/// [`ShardMsg::Failed`] like any in-process worker.
+pub fn serve_connection<S: Space>(
+    mut stream: TcpStream,
+    worker: &mut ShardWorker<S>,
+) -> Result<(), StoreError> {
+    handshake(&mut stream)?;
+    let space = Arc::clone(worker.space());
+    while let Some(frame) = read_frame(&mut stream)? {
+        let mut rd = frame;
+        let msg = decode_ctrl(space.as_ref(), &mut rd)?;
+        let last = matches!(msg, CtrlMsg::Shutdown);
+        let reply = worker.handle(msg);
+        let mut out = BytesMut::new();
+        encode_shard(space.as_ref(), &reply, &mut out);
+        write_all(&mut stream, &out)?;
+        if last {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Controller-side [`WorkerLink`] over a TCP stream: each request is one
+/// `AIMMSG v1` frame, each reply one frame back.
+#[derive(Debug)]
+pub struct SocketLink<S: Space> {
+    worker: u32,
+    space: Arc<S>,
+    stream: TcpStream,
+}
+
+impl<S: Space> SocketLink<S> {
+    /// Wraps a connected stream as the link to worker `worker`, running
+    /// the preamble handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on transport failure and
+    /// [`StoreError::Codec`] if the peer does not speak `AIMMSG v1`.
+    pub fn connect(worker: u32, space: Arc<S>, mut stream: TcpStream) -> Result<Self, StoreError> {
+        handshake(&mut stream)?;
+        Ok(SocketLink {
+            worker,
+            space,
+            stream,
+        })
+    }
+}
+
+impl<S: Space> WorkerLink<S::Pos> for SocketLink<S> {
+    fn send(&mut self, msg: CtrlMsg<S::Pos>) -> Result<(), StoreError> {
+        let mut out = BytesMut::new();
+        encode_ctrl(self.space.as_ref(), &msg, &mut out);
+        write_all(&mut self.stream, &out)
+    }
+
+    fn recv(&mut self) -> Result<ShardMsg<S::Pos>, StoreError> {
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            StoreError::Codec(format!(
+                "shard worker {} closed its stream mid-request",
+                self.worker
+            ))
+        })?;
+        let mut rd = frame;
+        let msg = decode_shard(self.space.as_ref(), &mut rd)?;
+        if rd.len() > 0 {
+            return Err(StoreError::Codec(format!(
+                "shard worker {} sent {} bytes past its reply frame",
+                self.worker,
+                rd.len()
+            )));
+        }
+        Ok(msg)
+    }
+}

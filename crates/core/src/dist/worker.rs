@@ -1,0 +1,633 @@
+//! The shard worker: an isolated owner of one shard's agents.
+//!
+//! A [`ShardWorker`] holds everything a shard needs to serve the
+//! [`super::msg`] protocol — its members' committed states, a spatial
+//! index over exactly those members, their `(step, agent)` step bounds,
+//! and **its own [`Db`] instance** holding the authoritative `dagt` /
+//! `dhst` records for its members (the same layout as the single-shard
+//! [`crate::depgraph::DepGraph`], so per-worker stores snapshot and
+//! recover with the existing tooling). Nothing is shared with other
+//! workers or with the controller: every state transfer is a protocol
+//! message, which is what lets phase 2 move a worker out of process
+//! behind the `dist-socket` transport without touching this file's
+//! logic.
+//!
+//! The one deliberate exception is telemetry: workers observe the
+//! controller's [`Telemetry`] sink through a [`SharedTelemetry`] cell so
+//! `trace_tool stalls` can attribute apply time per worker. That cell is
+//! observability-only — no simulation state flows through it, and a
+//! socket-served worker (a different process) simply runs without it.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use aim_store::{codec, Db, Key, StoreError};
+
+use crate::depgraph::{bump_commit_counter, AGENT_TAG, HIST_FLOOR_KEY, HIST_TAG};
+use crate::rules::RuleParams;
+use crate::space::{Space, SpatialIndex};
+use crate::telemetry::{BoundaryOp, SpanKind, Telemetry};
+
+use super::msg::{CtrlMsg, NodeRecord, Probe, ShardMsg, WireEdge};
+
+/// The controller's telemetry sink as seen by workers: filled in by
+/// [`crate::dist::DistTracker::set_telemetry`], read by every worker
+/// before handling a message. Observability-only — the message protocol
+/// remains the sole channel for simulation state.
+pub type SharedTelemetry = Arc<Mutex<Option<Arc<Telemetry>>>>;
+
+/// One side of the message boundary: how the controller reaches a shard
+/// worker. Phase 1 is the in-process [`ChannelLink`]; phase 2 adds the
+/// socket transport behind the `dist-socket` feature. `send` and `recv`
+/// are split so the controller can fan a batch out to every worker
+/// before collecting any reply (the workers then run concurrently).
+pub trait WorkerLink<P>: Send {
+    /// Enqueues one request. Must not block on the worker applying it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the worker is unreachable (dead thread, severed link,
+    /// closed connection).
+    fn send(&mut self, msg: CtrlMsg<P>) -> Result<(), StoreError>;
+
+    /// Blocks for the next reply, in request order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the worker is unreachable.
+    fn recv(&mut self) -> Result<ShardMsg<P>, StoreError>;
+}
+
+/// Encodes one `(step, pos)` state in the authoritative record layout
+/// shared with [`crate::depgraph::DepGraph`].
+fn encode_state<S: Space>(space: &S, step: u32, pos: S::Pos) -> Bytes {
+    let mut buf = BytesMut::new();
+    codec::put_u32(&mut buf, step);
+    space.encode_pos(pos, &mut buf);
+    buf.freeze()
+}
+
+/// An isolated shard worker (see the [module docs](super)).
+pub struct ShardWorker<S: Space> {
+    id: u32,
+    space: Arc<S>,
+    params: RuleParams,
+    db: Arc<Db>,
+    history: bool,
+    /// Committed `(position, step)` per member.
+    members: HashMap<u32, (S::Pos, u32)>,
+    /// Spatial index over the members (`None` for spaces without one —
+    /// relink queries then scan the member set).
+    index: Option<Box<dyn SpatialIndex<S::Pos>>>,
+    /// `(step, agent)` of every member — this worker's step bounds.
+    steps: BTreeSet<(u32, u32)>,
+    commits_key: Key,
+    telemetry: SharedTelemetry,
+    /// Reused candidate buffer for relink queries.
+    scratch: Vec<u32>,
+}
+
+impl<S: Space> fmt::Debug for ShardWorker<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardWorker")
+            .field("id", &self.id)
+            .field("members", &self.members.len())
+            .field("history", &self.history)
+            .finish()
+    }
+}
+
+impl<S: Space> ShardWorker<S> {
+    /// Creates an empty worker over its own database. Members arrive via
+    /// [`CtrlMsg::Arrive`] (initial population and migrations alike) or
+    /// [`CtrlMsg::Recover`] (rebuild from `db` after a crash).
+    pub fn new(
+        id: u32,
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        history: bool,
+        telemetry: SharedTelemetry,
+    ) -> Self {
+        let index = space.make_index(params.coupling_units());
+        ShardWorker {
+            id,
+            space,
+            params,
+            db,
+            history,
+            members: HashMap::new(),
+            index,
+            steps: BTreeSet::new(),
+            commits_key: Key::new("dep:commits"),
+            telemetry,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// This worker's shard id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The space this worker's positions live in (used by byte
+    /// transports to encode and decode protocol frames).
+    pub fn space(&self) -> &Arc<S> {
+        &self.space
+    }
+
+    /// Applies one request and produces its reply. Failures are returned
+    /// as [`ShardMsg::Failed`] (the worker never panics on protocol
+    /// input); a failed request commits nothing.
+    pub fn handle(&mut self, msg: CtrlMsg<S::Pos>) -> ShardMsg<S::Pos> {
+        let sink = self.telemetry.lock().clone();
+        let t0 = sink.as_ref().and_then(|t| t.start());
+        let reply = match self.dispatch(msg) {
+            Ok(reply) => reply,
+            Err(e) => ShardMsg::Failed {
+                message: format!("worker {}: {e}", self.id),
+            },
+        };
+        if let (Some(t), Some(t0)) = (sink, t0) {
+            t.record(
+                t0,
+                SpanKind::Boundary {
+                    worker: self.id,
+                    op: BoundaryOp::Apply,
+                    messages: 1,
+                },
+            );
+        }
+        reply
+    }
+
+    fn dispatch(&mut self, msg: CtrlMsg<S::Pos>) -> Result<ShardMsg<S::Pos>, StoreError> {
+        match msg {
+            CtrlMsg::Commit { updates } => {
+                self.commit(&updates)?;
+                Ok(ShardMsg::Done)
+            }
+            CtrlMsg::Rollback { updates } => {
+                self.rollback(&updates)?;
+                Ok(ShardMsg::Done)
+            }
+            CtrlMsg::Depart { agents } => {
+                let records = self.depart(&agents)?;
+                Ok(ShardMsg::Departed { records })
+            }
+            CtrlMsg::Arrive { records } => {
+                self.arrive(records)?;
+                Ok(ShardMsg::Done)
+            }
+            CtrlMsg::RelinkQuery { probes } => {
+                let edges = self.relink(&probes);
+                Ok(ShardMsg::Edges { edges })
+            }
+            CtrlMsg::EvictHistory { floor } => {
+                let removed = self.evict_history(floor);
+                Ok(ShardMsg::Evicted { removed })
+            }
+            CtrlMsg::Quiesce => Ok(ShardMsg::Quiesced {
+                states: self.states(),
+            }),
+            CtrlMsg::Recover { expected } => {
+                let states = self.recover(&expected)?;
+                Ok(ShardMsg::Recovered { states })
+            }
+            CtrlMsg::Shutdown => Ok(ShardMsg::Done),
+        }
+    }
+
+    /// `(agent, step, position)` of every member, ascending by agent.
+    fn states(&self) -> Vec<(u32, u32, S::Pos)> {
+        let mut out: Vec<(u32, u32, S::Pos)> = self
+            .members
+            .iter()
+            .map(|(&a, &(pos, step))| (a, step, pos))
+            .collect();
+        out.sort_unstable_by_key(|&(a, _, _)| a);
+        out
+    }
+
+    /// The member state of `a`, or a protocol error naming the worker.
+    fn member(&self, a: u32) -> Result<(S::Pos, u32), StoreError> {
+        self.members
+            .get(&a)
+            .copied()
+            .ok_or_else(|| StoreError::Codec(format!("agent {a} is not a member")))
+    }
+
+    fn commit(&mut self, updates: &[(u32, S::Pos)]) -> Result<(), StoreError> {
+        // Encode outside the transaction closure: retries must be
+        // idempotent, and the in-memory state untouched until commit —
+        // the same discipline as `DepGraph::advance`.
+        let mut records = Vec::with_capacity(updates.len());
+        for &(a, pos) in updates {
+            let (_, step) = self.member(a)?;
+            let next = step + 1;
+            records.push((a, next, encode_state(&*self.space, next, pos)));
+        }
+        let history = self.history;
+        let commits_key = &self.commits_key;
+        self.db.transaction(|txn| {
+            for (a, next, value) in &records {
+                txn.set_key(&Key::tagged_u32(AGENT_TAG, *a), value.clone());
+                if history {
+                    txn.set_key(&Key::tagged_u32_pair(HIST_TAG, *next, *a), value.clone());
+                }
+            }
+            bump_commit_counter(txn, commits_key)
+        })?;
+        for (&(a, pos), &(_, next, _)) in updates.iter().zip(&records) {
+            self.apply_state(a, next, pos);
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self, updates: &[(u32, u32, S::Pos)]) -> Result<(), StoreError> {
+        let mut records = Vec::with_capacity(updates.len());
+        // `(key, None)` deletes of squashed future history.
+        let mut doomed: Vec<Key> = Vec::new();
+        for &(a, step, pos) in updates {
+            let (_, current) = self.member(a)?;
+            if step > current {
+                return Err(StoreError::Codec(format!(
+                    "rollback of agent {a} to step {step} is ahead of current {current}"
+                )));
+            }
+            records.push((a, step, encode_state(&*self.space, step, pos)));
+            if self.history {
+                for squashed in (step + 1)..=current {
+                    doomed.push(Key::tagged_u32_pair(HIST_TAG, squashed, a));
+                }
+            }
+        }
+        let history = self.history;
+        self.db.transaction(|txn| {
+            for (a, step, value) in &records {
+                txn.set_key(&Key::tagged_u32(AGENT_TAG, *a), value.clone());
+                if history {
+                    // A squash rewrites history: the target step's record
+                    // is replaced and discarded future steps vanish.
+                    txn.set_key(&Key::tagged_u32_pair(HIST_TAG, *step, *a), value.clone());
+                }
+            }
+            for key in &doomed {
+                txn.del(key);
+            }
+            Ok(())
+        })?;
+        for &(a, step, pos) in updates {
+            self.apply_state(a, step, pos);
+        }
+        Ok(())
+    }
+
+    /// Moves one member's in-memory state to its committed `(step, pos)`.
+    fn apply_state(&mut self, a: u32, step: u32, pos: S::Pos) {
+        let (old_pos, old_step) = self.members[&a];
+        let removed = self.steps.remove(&(old_step, a));
+        debug_assert!(removed, "agent {a} missing from worker step set");
+        self.steps.insert((step, a));
+        if let Some(idx) = self.index.as_mut() {
+            idx.update(a, old_pos, pos);
+        }
+        self.members.insert(a, (pos, step));
+    }
+
+    fn depart(&mut self, agents: &[u32]) -> Result<Vec<NodeRecord<S::Pos>>, StoreError> {
+        for &a in agents {
+            self.member(a)?; // validate the whole batch before mutating
+        }
+        // Gather resident history in one prefix walk (migrations are rare
+        // next to commits; an O(worker history) sweep per batch is fine).
+        let mut history: HashMap<u32, Vec<(u32, S::Pos)>> = HashMap::new();
+        let mut doomed: Vec<Key> = Vec::new();
+        if self.history {
+            let departing: BTreeSet<u32> = agents.iter().copied().collect();
+            let space = &*self.space;
+            let mut walk_err = None;
+            self.db.for_each_prefix(HIST_TAG, |k, v| {
+                let agent = u32::from_be_bytes(k[8..12].try_into().expect("12-byte history key"));
+                if !departing.contains(&agent) {
+                    return std::ops::ControlFlow::Continue(());
+                }
+                let step = u32::from_be_bytes(k[4..8].try_into().expect("12-byte history key"));
+                let mut rd = v.clone();
+                match codec::get_u32(&mut rd).and_then(|_| space.decode_pos(&mut rd)) {
+                    Ok(pos) => history.entry(agent).or_default().push((step, pos)),
+                    Err(e) => {
+                        walk_err = Some(e);
+                        return std::ops::ControlFlow::Break(());
+                    }
+                }
+                doomed.push(Key::new(k.clone()));
+                std::ops::ControlFlow::Continue(())
+            });
+            if let Some(e) = walk_err {
+                return Err(e);
+            }
+        }
+        let agent_keys: Vec<Key> = agents
+            .iter()
+            .map(|&a| Key::tagged_u32(AGENT_TAG, a))
+            .collect();
+        self.db.transaction(|txn| {
+            for key in agent_keys.iter().chain(&doomed) {
+                txn.del(key);
+            }
+            Ok(())
+        })?;
+        let mut records = Vec::with_capacity(agents.len());
+        for &a in agents {
+            let (pos, step) = self.members.remove(&a).expect("validated above");
+            self.steps.remove(&(step, a));
+            if let Some(idx) = self.index.as_mut() {
+                idx.remove(a, pos);
+            }
+            records.push(NodeRecord {
+                agent: a,
+                step,
+                pos,
+                history: history.remove(&a).unwrap_or_default(),
+            });
+        }
+        Ok(records)
+    }
+
+    fn arrive(&mut self, records: Vec<NodeRecord<S::Pos>>) -> Result<(), StoreError> {
+        for r in &records {
+            if self.members.contains_key(&r.agent) {
+                return Err(StoreError::Codec(format!(
+                    "agent {} arrived but is already a member",
+                    r.agent
+                )));
+            }
+        }
+        let mut writes: Vec<(Key, Bytes)> = Vec::with_capacity(records.len());
+        for r in &records {
+            writes.push((
+                Key::tagged_u32(AGENT_TAG, r.agent),
+                encode_state(&*self.space, r.step, r.pos),
+            ));
+            for &(step, pos) in &r.history {
+                writes.push((
+                    Key::tagged_u32_pair(HIST_TAG, step, r.agent),
+                    encode_state(&*self.space, step, pos),
+                ));
+            }
+        }
+        self.db.transaction(|txn| {
+            for (key, value) in &writes {
+                txn.set_key(key, value.clone());
+            }
+            Ok(())
+        })?;
+        for r in records {
+            self.members.insert(r.agent, (r.pos, r.step));
+            self.steps.insert((r.step, r.agent));
+            if let Some(idx) = self.index.as_mut() {
+                idx.insert(r.agent, r.pos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers relink probes with the exact rule edges between each probe
+    /// and this worker's members — the same candidate enumeration and
+    /// re-check as [`crate::shard::ShardedDepGraph`]'s per-shard pass,
+    /// with the step bounds re-derived worker-side from its own members.
+    fn relink(&mut self, probes: &[Probe<S::Pos>]) -> Vec<WireEdge> {
+        let mut out = Vec::new();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for probe in probes {
+            let (Some(&(lo, _)), Some(&(hi, _))) =
+                (self.steps.iter().next(), self.steps.iter().next_back())
+            else {
+                break; // no members: no edges
+            };
+            // Largest step gap between the probe and any member bounds
+            // every pair rule radius for candidates here.
+            let gap = probe.step.abs_diff(lo).max(probe.step.abs_diff(hi));
+            let units = self.params.blocking_units(gap);
+            scratch.clear();
+            let candidates: &[u32] = match self.index.as_ref() {
+                Some(idx) => {
+                    idx.query(probe.pos, units, &mut scratch);
+                    &scratch
+                }
+                None => {
+                    scratch.extend(self.steps.iter().map(|&(_, a)| a));
+                    &scratch
+                }
+            };
+            for &c in candidates {
+                if c == probe.agent {
+                    continue;
+                }
+                let (cpos, cstep) = self.members[&c];
+                if cstep == probe.step {
+                    if self
+                        .space
+                        .within_units(probe.pos, cpos, self.params.coupling_units())
+                    {
+                        out.push(WireEdge {
+                            coupled: true,
+                            a: probe.agent,
+                            b: c,
+                        });
+                    }
+                } else {
+                    // The lower-step agent blocks the higher-step one
+                    // inside the gap-widened radius.
+                    let gap = probe.step.abs_diff(cstep);
+                    if self
+                        .space
+                        .within_units(probe.pos, cpos, self.params.blocking_units(gap))
+                    {
+                        let (a, b) = if probe.step < cstep {
+                            (probe.agent, c)
+                        } else {
+                            (c, probe.agent)
+                        };
+                        out.push(WireEdge {
+                            coupled: false,
+                            a,
+                            b,
+                        });
+                    }
+                }
+            }
+        }
+        self.scratch = scratch;
+        out
+    }
+
+    fn evict_history(&mut self, floor: u32) -> u64 {
+        if !self.history {
+            return 0;
+        }
+        // Keys sort step-major: stop at the first retained step.
+        let mut doomed: Vec<Bytes> = Vec::new();
+        self.db.for_each_prefix(HIST_TAG, |k, _| {
+            let step = u32::from_be_bytes(k[4..8].try_into().expect("12-byte history key"));
+            if step >= floor {
+                return std::ops::ControlFlow::Break(());
+            }
+            doomed.push(k.clone());
+            std::ops::ControlFlow::Continue(())
+        });
+        for k in &doomed {
+            self.db.del(k);
+        }
+        self.db.set_i64(HIST_FLOOR_KEY, i64::from(floor));
+        doomed.len() as u64
+    }
+
+    fn recover(&mut self, expected: &[u32]) -> Result<Vec<(u32, u32, S::Pos)>, StoreError> {
+        self.members.clear();
+        self.steps.clear();
+        self.index = self.space.make_index(self.params.coupling_units());
+        for &a in expected {
+            let raw = self
+                .db
+                .get(Key::tagged_u32(AGENT_TAG, a))
+                .ok_or_else(|| StoreError::Codec(format!("missing record for agent {a}")))?;
+            let mut rd = raw;
+            let step = codec::get_u32(&mut rd)?;
+            let pos = self.space.decode_pos(&mut rd)?;
+            self.members.insert(a, (pos, step));
+            self.steps.insert((step, a));
+            if let Some(idx) = self.index.as_mut() {
+                idx.insert(a, pos);
+            }
+        }
+        Ok(self.states())
+    }
+}
+
+/// Phase-1 transport: a worker thread owning a [`ShardWorker`], driven
+/// over a pair of in-process channels. The only shared memory between
+/// the controller and the worker is the channel itself (plus the
+/// observability-only [`SharedTelemetry`] cell) — state crosses the
+/// boundary exclusively as [`CtrlMsg`] / [`ShardMsg`] values, which is
+/// what the `prop_dist` equivalence tests rely on.
+pub struct ChannelLink<P> {
+    worker: u32,
+    tx: Option<mpsc::Sender<CtrlMsg<P>>>,
+    rx: mpsc::Receiver<ShardMsg<P>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<P> fmt::Debug for ChannelLink<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelLink")
+            .field("worker", &self.worker)
+            .field("alive", &self.tx.is_some())
+            .finish()
+    }
+}
+
+impl<P> ChannelLink<P> {
+    /// Spawns a shard-worker thread over its own database and returns the
+    /// controller's end of the link.
+    pub fn spawn<S: Space<Pos = P>>(
+        id: u32,
+        space: Arc<S>,
+        params: RuleParams,
+        db: Arc<Db>,
+        history: bool,
+        telemetry: SharedTelemetry,
+    ) -> Self
+    where
+        P: Send + 'static,
+    {
+        let (tx, worker_rx) = mpsc::channel::<CtrlMsg<P>>();
+        let (worker_tx, rx) = mpsc::channel::<ShardMsg<P>>();
+        let handle = std::thread::Builder::new()
+            .name(format!("aim-dist-{id}"))
+            .spawn(move || {
+                let mut worker = ShardWorker::new(id, space, params, db, history, telemetry);
+                while let Ok(msg) = worker_rx.recv() {
+                    let shutdown = matches!(msg, CtrlMsg::Shutdown);
+                    let reply = worker.handle(msg);
+                    if worker_tx.send(reply).is_err() || shutdown {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn shard worker thread");
+        ChannelLink {
+            worker: id,
+            tx: Some(tx),
+            rx,
+            handle: Some(handle),
+        }
+    }
+
+    fn severed(&self) -> StoreError {
+        StoreError::Codec(format!("shard worker {} link severed", self.worker))
+    }
+}
+
+impl<P: Send> WorkerLink<P> for ChannelLink<P> {
+    fn send(&mut self, msg: CtrlMsg<P>) -> Result<(), StoreError> {
+        self.tx
+            .as_ref()
+            .ok_or_else(|| self.severed())?
+            .send(msg)
+            .map_err(|_| self.severed())
+    }
+
+    fn recv(&mut self) -> Result<ShardMsg<P>, StoreError> {
+        self.rx.recv().map_err(|_| self.severed())
+    }
+}
+
+impl<P> Drop for ChannelLink<P> {
+    fn drop(&mut self) {
+        // Closing the request channel stops the worker loop; its database
+        // outlives it (the controller holds the other Arc), so a dropped
+        // link models a crash the Recover message can heal from.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A dead link: every operation fails. [`crate::dist::DistTracker`]
+/// installs one when a worker is killed, until the worker is respawned
+/// from its retained database.
+#[derive(Debug)]
+pub struct SeveredLink {
+    worker: u32,
+}
+
+impl SeveredLink {
+    /// A severed link for worker `worker`.
+    pub fn new(worker: u32) -> Self {
+        SeveredLink { worker }
+    }
+}
+
+impl<P: Send> WorkerLink<P> for SeveredLink {
+    fn send(&mut self, _msg: CtrlMsg<P>) -> Result<(), StoreError> {
+        Err(StoreError::Codec(format!(
+            "shard worker {} is down",
+            self.worker
+        )))
+    }
+
+    fn recv(&mut self) -> Result<ShardMsg<P>, StoreError> {
+        Err(StoreError::Codec(format!(
+            "shard worker {} is down",
+            self.worker
+        )))
+    }
+}

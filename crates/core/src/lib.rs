@@ -92,6 +92,7 @@
 pub mod checkpoint;
 pub mod cluster;
 pub mod depgraph;
+pub mod dist;
 pub mod engine;
 mod error;
 pub mod exec;
@@ -114,6 +115,7 @@ pub use ids::{AgentId, ClusterId, Step};
 pub mod prelude {
     pub use crate::checkpoint::CheckpointMeta;
     pub use crate::depgraph::DepTracker;
+    pub use crate::dist::{DistTracker, ShardWorker};
     pub use crate::engine::{Engine, EngineBuilder};
     pub use crate::error::EngineError;
     pub use crate::exec::hybrid::{run_hybrid_sim, InteractiveLoad, InteractiveReport};

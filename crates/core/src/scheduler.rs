@@ -346,6 +346,17 @@ impl<S: Space, G: DepTracker<S>> Scheduler<S, G> {
         &self.graph
     }
 
+    /// Mutable access to the dependency tracker, for maintenance
+    /// operations between scheduling rounds that need `&mut` on the
+    /// tracker itself — e.g. the distributed tracker's quiesce-based
+    /// invariant check or worker kill/respawn during fault-injection
+    /// tests. Scheduling state (ready sets, in-flight clusters) is not
+    /// touched, so callers must not advance or roll back agents through
+    /// this handle while clusters are in flight.
+    pub fn graph_mut(&mut self) -> &mut G {
+        &mut self.graph
+    }
+
     /// The policy in force.
     pub fn policy(&self) -> &DependencyPolicy {
         &self.policy

@@ -131,11 +131,24 @@ impl StripShardMap {
     /// (the last strip absorbs the remainder and everything beyond the
     /// advisory width).
     ///
+    /// The effective shard count is clamped to `max(width, 1)`: with
+    /// more shards than columns, strips would degenerate to width 1 and
+    /// every shard at index `>= width` would own an empty half-open
+    /// band that [`StripShardMap::shard_of`]'s clamp can never assign —
+    /// yet [`StripShardMap::min_distance`] would keep bounding distances
+    /// to those phantom regions as if they were real, and every consumer
+    /// sizing per-shard state off [`ShardMap::num_shards`] (the sharded
+    /// tracker, checkpoint member sections, the distributed workers)
+    /// would carry permanently empty shards. Clamping keeps
+    /// `num_shards()` the single source of truth: every reported shard
+    /// owns a non-empty strip of at least one column.
+    ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn new(width: u32, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard is required");
+        let shards = shards.min(width.max(1) as usize);
         let strip = (width as i64 / shards as i64).max(1);
         StripShardMap { strip, shards }
     }
@@ -1106,6 +1119,69 @@ mod tests {
         for x in [-500, 0, 50, 99, 150, 100_000] {
             assert_eq!(one.shard_of(Point::new(x, 0)), 0);
             assert_eq!(one.min_distance(Point::new(x, 0), 0), 0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn oversharded_map_clamps_to_width_and_owns_no_phantom_regions() {
+        // Regression: `shards > width` used to leave high-index shards
+        // owning empty regions that `shard_of` could never assign while
+        // `min_distance` still treated them as real, so per-shard state
+        // sized off `num_shards()` carried phantom shards forever.
+        let m = StripShardMap::new(4, 16);
+        assert_eq!(m.num_shards(), 4, "effective shard count clamps to width");
+        assert_eq!(m.strip_width(), 1);
+        // Every reported shard is reachable through shard_of.
+        let mut seen = vec![false; m.num_shards()];
+        for x in -5i32..10 {
+            seen[m.shard_of(Point::new(x, 0))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards own real positions");
+        // The lower bound stays sound for every (position, shard) pair.
+        for x in -5i32..10 {
+            let p = Point::new(x, 3);
+            for j in 0..m.num_shards() {
+                for q in -5i32..10 {
+                    let qp = Point::new(q, -2);
+                    if m.shard_of(qp) == j {
+                        assert!(m.min_distance(p, j) as f64 <= p.dist(qp) + 1e-9);
+                    }
+                }
+            }
+        }
+        // A zero-width world still yields a usable single-shard map.
+        let degenerate = StripShardMap::new(0, 8);
+        assert_eq!(degenerate.num_shards(), 1);
+        assert_eq!(degenerate.shard_of(Point::new(-100, 0)), 0);
+        assert_eq!(degenerate.min_distance(Point::new(7, 7), 0), 0);
+        // And the sharded tracker built over an oversharded map stays
+        // exact against the unsharded graph.
+        let pts = [(0, 0), (1, 0), (3, 2), (2, 1)];
+        let mut sharded = {
+            let space = Arc::new(GridSpace::new(4, 140));
+            let initial: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            ShardedDepGraph::new(
+                space,
+                RuleParams::genagent(),
+                Arc::new(Db::new()),
+                &initial,
+                Arc::new(StripShardMap::new(4, 16)),
+            )
+            .unwrap()
+        };
+        let mut single = {
+            let space = Arc::new(GridSpace::new(4, 140));
+            let initial: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            DepGraph::new(space, RuleParams::genagent(), Arc::new(Db::new()), &initial).unwrap()
+        };
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.snapshot(), single.snapshot());
+        for (a, x, y) in [(0u32, 1, 0), (2, 3, 1), (1, 0, 0)] {
+            let to = Point::new(x, y);
+            sharded.advance(&[(AgentId(a), to)]).unwrap();
+            single.advance(&[(AgentId(a), to)]).unwrap();
+            sharded.check_invariants();
+            assert_eq!(sharded.snapshot(), single.snapshot());
         }
     }
 

@@ -86,6 +86,39 @@ impl BlockReason {
     }
 }
 
+/// Which side of the worker message boundary a [`SpanKind::Boundary`]
+/// span measured (the `dist` controller/worker protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundaryOp {
+    /// Controller-side: encoding + enqueueing a request to a worker.
+    Send,
+    /// Controller-side: blocked waiting for a worker's reply.
+    Wait,
+    /// Worker-side: decoding + applying a request against local state.
+    Apply,
+}
+
+impl BoundaryOp {
+    /// Stable lowercase name (used by exporters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundaryOp::Send => "send",
+            BoundaryOp::Wait => "wait",
+            BoundaryOp::Apply => "apply",
+        }
+    }
+
+    /// Inverse of [`BoundaryOp::as_str`].
+    pub fn from_str(name: &str) -> Option<BoundaryOp> {
+        match name {
+            "send" => Some(BoundaryOp::Send),
+            "wait" => Some(BoundaryOp::Wait),
+            "apply" => Some(BoundaryOp::Apply),
+            _ => None,
+        }
+    }
+}
+
 /// What a [`Span`] measured. All payloads are small `Copy` data — ids and
 /// counts only — so recording never touches the heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +207,17 @@ pub enum SpanKind {
         /// Member count.
         members: u32,
     },
+    /// Time spent at the distributed-shard message boundary (the `dist`
+    /// controller/worker protocol): one send, reply-wait, or apply
+    /// interval, attributed to the worker involved.
+    Boundary {
+        /// Worker (shard) index the messages crossed to or from.
+        worker: u32,
+        /// Which side of the boundary was measured.
+        op: BoundaryOp,
+        /// Protocol messages covered by the interval.
+        messages: u32,
+    },
 }
 
 /// Coarse grouping of [`SpanKind`]s for per-phase histograms.
@@ -197,11 +241,13 @@ pub enum Phase {
     Attempt,
     /// Controller bookkeeping.
     Control,
+    /// Distributed-shard message-boundary time (send/wait/apply).
+    Boundary,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Cluster,
         Phase::Llm,
         Phase::Commit,
@@ -211,6 +257,7 @@ impl Phase {
         Phase::Checkpoint,
         Phase::Attempt,
         Phase::Control,
+        Phase::Boundary,
     ];
 
     /// Stable lowercase name (used by exporters).
@@ -225,6 +272,7 @@ impl Phase {
             Phase::Checkpoint => "checkpoint",
             Phase::Attempt => "attempt",
             Phase::Control => "control",
+            Phase::Boundary => "boundary",
         }
     }
 }
@@ -242,6 +290,7 @@ impl SpanKind {
             SpanKind::Checkpoint { .. } => Phase::Checkpoint,
             SpanKind::FleetAttempt { .. } => Phase::Attempt,
             SpanKind::Control { .. } => Phase::Control,
+            SpanKind::Boundary { .. } => Phase::Boundary,
         }
     }
 }
@@ -399,17 +448,20 @@ pub enum Counter {
     ShardMigrations,
     /// Quiesce + checkpoint barriers taken.
     CheckpointBarriers,
+    /// Protocol messages crossing the distributed-shard boundary.
+    BoundaryMessages,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 7] = [
         Counter::LlmCalls,
         Counter::FleetAttempts,
         Counter::FleetHedges,
         Counter::RelinkBatches,
         Counter::ShardMigrations,
         Counter::CheckpointBarriers,
+        Counter::BoundaryMessages,
     ];
 
     /// Stable snake_case name (used by exporters).
@@ -421,6 +473,7 @@ impl Counter {
             Counter::RelinkBatches => "relink_batches",
             Counter::ShardMigrations => "shard_migrations",
             Counter::CheckpointBarriers => "checkpoint_barriers",
+            Counter::BoundaryMessages => "boundary_messages",
         }
     }
 

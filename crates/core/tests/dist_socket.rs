@@ -1,0 +1,167 @@
+//! Two-process smoke test for the `AIMMSG v1` socket transport
+//! (`dist-socket` feature): a [`ShardWorker`] served from a **separate
+//! OS process** answers the full protocol — arrive, commit, relink,
+//! quiesce, history eviction, recover, shutdown — over a TCP stream.
+//!
+//! Topology: the controller (this test) binds a loopback listener and
+//! re-executes its own test binary filtered to [`socket_worker_child`]
+//! with the address in an environment variable; the child connects back
+//! and serves the connection, so no port discovery is needed. When the
+//! child test runs as part of a normal `cargo test` pass (no variable
+//! set) it is a no-op.
+#![cfg(feature = "dist-socket")]
+
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+use std::sync::Arc;
+
+use aim_core::dist::socket::{serve_connection, SocketLink};
+use aim_core::dist::{CtrlMsg, NodeRecord, Probe, ShardMsg, ShardWorker, WireEdge, WorkerLink};
+use aim_core::prelude::*;
+use aim_core::space::GridSpace;
+use aim_store::Db;
+
+const ADDR_VAR: &str = "AIM_DIST_WORKER_ADDR";
+
+fn space() -> Arc<GridSpace> {
+    Arc::new(GridSpace::new(64, 64))
+}
+
+fn params() -> RuleParams {
+    RuleParams::new(2, 1)
+}
+
+/// The worker half: only active when re-executed by the controller test
+/// with [`ADDR_VAR`] set; a plain `cargo test` run sees it pass as a
+/// no-op.
+#[test]
+fn socket_worker_child() {
+    let Ok(addr) = std::env::var(ADDR_VAR) else {
+        return;
+    };
+    let stream = TcpStream::connect(addr).expect("child connects to controller");
+    let mut worker = ShardWorker::new(
+        7,
+        space(),
+        params(),
+        Arc::new(Db::new()),
+        true,
+        Arc::default(),
+    );
+    serve_connection(stream, &mut worker).expect("serve loop");
+}
+
+#[test]
+fn worker_in_a_separate_process_serves_the_full_protocol() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["--exact", "socket_worker_child", "--nocapture"])
+        .env(ADDR_VAR, &addr)
+        .spawn()
+        .expect("spawn worker process");
+
+    let (stream, _) = listener.accept().expect("worker connects");
+    let s = space();
+    let mut link = SocketLink::connect(7, Arc::clone(&s), stream).expect("AIMMSG handshake");
+
+    // Populate: three agents, two adjacent (they will couple), one far.
+    let records: Vec<NodeRecord<Point>> = [(0, 10, 10), (1, 11, 10), (2, 50, 50)]
+        .into_iter()
+        .map(|(agent, x, y)| NodeRecord {
+            agent,
+            step: 0,
+            pos: Point::new(x, y),
+            history: vec![(0, Point::new(x, y))],
+        })
+        .collect();
+    link.send(CtrlMsg::Arrive { records }).unwrap();
+    assert_eq!(link.recv().unwrap(), ShardMsg::Done);
+
+    // Commit one step for agent 0 across the wire.
+    link.send(CtrlMsg::Commit {
+        updates: vec![(0, Point::new(10, 11))],
+    })
+    .unwrap();
+    assert_eq!(link.recv().unwrap(), ShardMsg::Done);
+
+    // Relink probe for agent 1 (still at step 0): agent 2 is far away,
+    // agent 0 is one step ahead — a blocking edge with the lower-step
+    // agent 1 as the blocker.
+    link.send(CtrlMsg::RelinkQuery {
+        probes: vec![Probe {
+            agent: 1,
+            step: 0,
+            pos: Point::new(11, 10),
+        }],
+    })
+    .unwrap();
+    let reply = link.recv().unwrap();
+    assert_eq!(
+        reply,
+        ShardMsg::Edges {
+            edges: vec![WireEdge {
+                coupled: false,
+                a: 1,
+                b: 0,
+            }],
+        },
+        "expected agent 1 to block run-ahead agent 0"
+    );
+
+    // Quiesce: the worker's ground truth reflects the commit.
+    link.send(CtrlMsg::Quiesce).unwrap();
+    assert_eq!(
+        link.recv().unwrap(),
+        ShardMsg::Quiesced {
+            states: vec![
+                (0, 1, Point::new(10, 11)),
+                (1, 0, Point::new(11, 10)),
+                (2, 0, Point::new(50, 50)),
+            ],
+        }
+    );
+
+    // A protocol-level failure crosses the wire as Failed, not a panic
+    // or a dropped connection.
+    link.send(CtrlMsg::Commit {
+        updates: vec![(99, Point::new(0, 0))],
+    })
+    .unwrap();
+    match link.recv().unwrap() {
+        ShardMsg::Failed { message } => {
+            assert!(message.contains("not a member"), "{message}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // Recover rebuilds in-memory state from the worker's own database —
+    // the same handshake a respawn after a crash uses.
+    link.send(CtrlMsg::Recover {
+        expected: vec![0, 1, 2],
+    })
+    .unwrap();
+    assert_eq!(
+        link.recv().unwrap(),
+        ShardMsg::Recovered {
+            states: vec![
+                (0, 1, Point::new(10, 11)),
+                (1, 0, Point::new(11, 10)),
+                (2, 0, Point::new(50, 50)),
+            ],
+        }
+    );
+
+    // History eviction over the wire (floor 1 drops the three step-0
+    // records; agent 0's step-1 record survives).
+    link.send(CtrlMsg::EvictHistory { floor: 1 }).unwrap();
+    assert_eq!(link.recv().unwrap(), ShardMsg::Evicted { removed: 3 });
+
+    link.send(CtrlMsg::Shutdown).unwrap();
+    assert_eq!(link.recv().unwrap(), ShardMsg::Done);
+
+    let status = child.wait().expect("child exit status");
+    assert!(status.success(), "worker process failed: {status}");
+}

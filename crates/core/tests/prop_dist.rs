@@ -1,0 +1,231 @@
+//! Property tests for the distributed tracker: a [`DistTracker`] — shard
+//! workers isolated behind the typed message protocol, each with its own
+//! database — driven by arbitrary advance/rollback/evict churn must look
+//! **identical** to a single-shard [`DepGraph`] fed the same operations.
+//! Strips are narrow relative to the move distribution, so migrations
+//! (the depart/arrive handshake) are routine; after every operation the
+//! controller mirror is cross-checked against the workers' ground truth
+//! via the quiesce protocol.
+
+use std::sync::Arc;
+
+use aim_core::depgraph::{DepGraph, EdgeMode, GraphOptions};
+use aim_core::dist::DistTracker;
+use aim_core::prelude::*;
+use aim_core::shard::StripShardMap;
+use aim_core::space::{GridSpace, Point};
+use aim_store::Db;
+use proptest::prelude::*;
+
+const W: u32 = 64;
+
+fn options() -> GraphOptions {
+    GraphOptions {
+        edges: EdgeMode::Maintained,
+        history: true,
+    }
+}
+
+fn build_pair(
+    points: &[(i32, i32)],
+    params: RuleParams,
+    shards: usize,
+) -> (DistTracker<GridSpace>, DepGraph<GridSpace>) {
+    let space = Arc::new(GridSpace::new(W, W));
+    let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let dist = DistTracker::new(
+        Arc::clone(&space),
+        params,
+        &initial,
+        Arc::new(StripShardMap::new(W, shards)),
+        options(),
+    )
+    .unwrap();
+    let single =
+        DepGraph::new_with_options(space, params, Arc::new(Db::new()), &initial, options())
+            .unwrap();
+    (dist, single)
+}
+
+/// Full equivalence check between the distributed tracker and the oracle.
+fn assert_equivalent(dist: &mut DistTracker<GridSpace>, single: &DepGraph<GridSpace>) {
+    dist.check_invariants();
+    assert_eq!(dist.snapshot(), single.snapshot(), "graphs diverged");
+    assert_eq!(dist.min_step(), single.min_step());
+    assert_eq!(dist.max_step(), single.max_step());
+    assert_eq!(dist.validate().is_ok(), single.validate().is_ok());
+    for a in 0..dist.len() as u32 {
+        let a = AgentId(a);
+        assert_eq!(
+            dist.first_blocker(a),
+            single.first_blocker(a),
+            "first blocker of {a} diverged"
+        );
+        assert_eq!(dist.coupled_of(a), single.coupled_of(a));
+        assert_eq!(dist.blockers_of(a), single.blockers_of(a));
+    }
+    assert_eq!(dist.history_records(), single.history_records());
+    assert_eq!(dist.history_floor(), single.history_floor());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random single-agent churn — advances, legal rollbacks, history
+    /// evictions — leaves the worker-backed tracker world-for-world equal
+    /// to the single-shard oracle. Moves of up to ±6 against narrow
+    /// strips make boundary migrations routine.
+    #[test]
+    fn dist_tracker_equals_single_shard_under_churn(
+        points in proptest::collection::vec((0i32..W as i32, 0i32..W as i32), 2..10),
+        shards in 1usize..7,
+        ops in proptest::collection::vec(
+            (any::<u16>(), 0u8..12, -6i32..7, -4i32..5),
+            1..40
+        ),
+        params in (1u32..5, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let (mut dist, mut single) = build_pair(&points, params, shards);
+        assert_equivalent(&mut dist, &single);
+
+        for (pick, kind, dx, dy) in ops {
+            let a = AgentId(pick as u32 % dist.len() as u32);
+            let cur = dist.pos(a);
+            let moved = Point::new(cur.x + dx, cur.y + dy);
+            if kind < 8 || dist.step(a) == Step::ZERO {
+                dist.advance(&[(a, moved)]).unwrap();
+                single.advance(&[(a, moved)]).unwrap();
+            } else if kind == 11 {
+                let e1 = dist.evict_history().unwrap();
+                let e2 = single.evict_history().unwrap();
+                prop_assert_eq!(e1, e2, "evicted counts diverged");
+            } else {
+                let lo = dist.min_step().0;
+                let target = Step(lo + pick as u32 % (dist.step(a).0 - lo + 1));
+                dist.rollback(&[(a, target, moved)]).unwrap();
+                single.rollback(&[(a, target, moved)]).unwrap();
+            }
+            assert_equivalent(&mut dist, &single);
+        }
+    }
+
+    /// Batch commits with members scattered across (and crossing) worker
+    /// boundaries — the grouped commit fan-out plus the depart/arrive
+    /// handshake — keep the trackers identical.
+    #[test]
+    fn dist_batch_commits_cross_boundaries_exactly(
+        points in proptest::collection::vec((0i32..W as i32, 0i32..W as i32), 4..12),
+        shards in 2usize..6,
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u16>(), -5i32..6, -3i32..4), 1..5),
+            1..16
+        ),
+        params in (1u32..4, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let (mut dist, mut single) = build_pair(&points, params, shards);
+        for batch in batches {
+            let mut updates: Vec<(AgentId, Point)> = Vec::new();
+            for (pick, dx, dy) in batch {
+                let a = AgentId(pick as u32 % dist.len() as u32);
+                if updates.iter().any(|(x, _)| *x == a) {
+                    continue;
+                }
+                let cur = dist.pos(a);
+                updates.push((a, Point::new(cur.x + dx, cur.y + dy)));
+            }
+            dist.advance(&updates).unwrap();
+            single.advance(&updates).unwrap();
+            assert_equivalent(&mut dist, &single);
+        }
+    }
+
+    /// Asking for more workers than the strip map can cut (`shards >
+    /// width`) clamps instead of creating phantom regions, and the
+    /// clamped worker fleet still matches the oracle exactly — the
+    /// distributed arm of the `StripShardMap` oversharding regression.
+    #[test]
+    fn oversharded_dist_tracker_equals_oracle(
+        points in proptest::collection::vec((0i32..8, 0i32..8), 2..8),
+        excess in 0usize..40,
+        ops in proptest::collection::vec((any::<u16>(), -3i32..4, -3i32..4), 1..20),
+        params in (1u32..4, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let narrow: u32 = 8;
+        let space = Arc::new(GridSpace::new(narrow, W));
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let map = Arc::new(StripShardMap::new(narrow, narrow as usize + excess));
+        prop_assert!(map.num_shards() <= narrow as usize);
+        let mut dist = DistTracker::new(
+            Arc::clone(&space),
+            params,
+            &initial,
+            map,
+            options(),
+        )
+        .unwrap();
+        let mut single = DepGraph::new_with_options(
+            space,
+            params,
+            Arc::new(Db::new()),
+            &initial,
+            options(),
+        )
+        .unwrap();
+        for (pick, dx, dy) in ops {
+            let a = AgentId(pick as u32 % dist.len() as u32);
+            let cur = dist.pos(a);
+            let moved = Point::new(cur.x + dx, cur.y + dy);
+            dist.advance(&[(a, moved)]).unwrap();
+            single.advance(&[(a, moved)]).unwrap();
+            assert_equivalent(&mut dist, &single);
+        }
+    }
+
+    /// Rebuilding a tracker from the per-worker databases and member
+    /// lists ([`DistTracker::recover`]) reproduces the live tracker after
+    /// churn — every worker recovers from its own store alone, including
+    /// agents that migrated (their history moved with them).
+    #[test]
+    fn dist_recovery_from_worker_stores(
+        points in proptest::collection::vec((0i32..W as i32, 0i32..W as i32), 2..8),
+        shards in 2usize..6,
+        ops in proptest::collection::vec((any::<u16>(), -5i32..6, -3i32..4), 1..25),
+        params in (1u32..5, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let space = Arc::new(GridSpace::new(W, W));
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let map = Arc::new(StripShardMap::new(W, shards));
+        let mut live = DistTracker::new(
+            Arc::clone(&space),
+            params,
+            &initial,
+            Arc::clone(&map) as Arc<dyn aim_core::shard::ShardMap<Point>>,
+            options(),
+        )
+        .unwrap();
+        for (pick, dx, dy) in ops {
+            let a = AgentId(pick as u32 % live.len() as u32);
+            let cur = live.pos(a);
+            live.advance(&[(a, Point::new(cur.x + dx, cur.y + dy))]).unwrap();
+        }
+        let dbs: Vec<Arc<Db>> =
+            (0..live.num_shards()).map(|j| Arc::clone(live.worker_db(j))).collect();
+        let members: Vec<Vec<u32>> =
+            (0..live.num_shards()).map(|j| live.members(j)).collect();
+        let mut rebuilt = DistTracker::recover(
+            space,
+            params,
+            dbs,
+            map,
+            options(),
+            &members,
+        )
+        .unwrap();
+        rebuilt.check_invariants();
+        prop_assert_eq!(live.snapshot(), rebuilt.snapshot());
+        prop_assert_eq!(live.history_records(), rebuilt.history_records());
+        for j in 0..live.num_shards() {
+            prop_assert_eq!(live.members(j), rebuilt.members(j));
+        }
+    }
+}

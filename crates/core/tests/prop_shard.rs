@@ -151,6 +151,49 @@ proptest! {
         }
     }
 
+    /// Requesting more shards than the map width can cut clamps the
+    /// effective shard count (`StripShardMap` oversharding regression)
+    /// and the clamped tracker still matches the single-shard oracle
+    /// exactly under churn.
+    #[test]
+    fn oversharded_map_equals_single_shard_oracle(
+        points in proptest::collection::vec((0i32..8, 0i32..8), 2..8),
+        excess in 0usize..40,
+        ops in proptest::collection::vec((any::<u16>(), -3i32..4, -3i32..4), 1..25),
+        params in (1u32..4, 1u32..3).prop_map(|(r, v)| RuleParams::new(r, v)),
+    ) {
+        let narrow: u32 = 8;
+        let space = Arc::new(GridSpace::new(narrow, W));
+        let initial: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let map = Arc::new(StripShardMap::new(narrow, narrow as usize + excess));
+        prop_assert!(map.num_shards() <= narrow as usize, "oversharding must clamp");
+        let mut sharded = ShardedDepGraph::new_with_options(
+            Arc::clone(&space),
+            params,
+            Arc::new(Db::new()),
+            &initial,
+            map,
+            options(),
+        )
+        .unwrap();
+        let mut single = DepGraph::new_with_options(
+            space,
+            params,
+            Arc::new(Db::new()),
+            &initial,
+            options(),
+        )
+        .unwrap();
+        for (pick, dx, dy) in ops {
+            let a = AgentId(pick as u32 % sharded.len() as u32);
+            let cur = sharded.pos(a);
+            let moved = Point::new(cur.x + dx, cur.y + dy);
+            sharded.advance(&[(a, moved)]).unwrap();
+            single.advance(&[(a, moved)]).unwrap();
+            assert_equivalent(&sharded, &single);
+        }
+    }
+
     /// Recovery from the store (with and without recorded membership)
     /// rebuilds a tracker identical to the live one after churn.
     #[test]

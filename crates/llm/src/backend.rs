@@ -51,6 +51,16 @@ pub trait LlmBackend: Send + Sync {
         let _ = observer;
         false
     }
+
+    /// Virtual seconds this backend simulates per wall-clock second, when
+    /// it paces a simulated/replayed deployment against the wall clock
+    /// (`None` — the default — for backends that serve in real time or
+    /// never sleep). The fleet reads this to compress its wall-clock
+    /// retry backoff by the same factor, so a quick-mode run doesn't
+    /// sleep 100 virtual seconds to let a transient fault window pass.
+    fn time_scale(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A backend that completes every call immediately.
@@ -220,6 +230,10 @@ impl LlmBackend for RealtimeSimBackend {
 
     fn describe(&self) -> String {
         self.name.clone()
+    }
+
+    fn time_scale(&self) -> Option<f64> {
+        Some(self.time_scale)
     }
 }
 

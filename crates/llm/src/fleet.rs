@@ -557,6 +557,12 @@ struct FleetInner {
     hedge_after: Option<Duration>,
     /// Fleet-wide attempt tick (indexes transient fault windows).
     ticks: AtomicU64,
+    /// Wall-clock divisor for the retry backoff: the largest replica
+    /// [`LlmBackend::time_scale`], or 1 when every replica serves in real
+    /// time. Fault windows are *tick*-indexed (ticks advance per attempt,
+    /// never with the clock), so the sweep sleep is pure CPU-courtesy
+    /// pacing and can safely be compressed by the simulation speed-up.
+    backoff_div: f64,
     /// Telemetry hook: sees every claimed attempt (begin/end). Read-locked
     /// on the call path — uncontended once installed, and never held
     /// across a backend call.
@@ -622,6 +628,11 @@ impl Fleet {
     ) -> Self {
         assert!(!backends.is_empty(), "fleet needs at least one replica");
         let prefix_entries = prefix_lru_entries.max(1) as usize;
+        let backoff_div = backends
+            .iter()
+            .filter_map(|(b, _, _)| b.time_scale())
+            .filter(|s| s.is_finite() && *s > 1.0)
+            .fold(1.0, f64::max);
         Fleet {
             inner: Arc::new(FleetInner {
                 name: name.into(),
@@ -648,6 +659,7 @@ impl Fleet {
                     .collect(),
                 hedge_after,
                 ticks: AtomicU64::new(0),
+                backoff_div,
                 observer: RwLock::new(None),
                 observed: AtomicBool::new(false),
             }),
@@ -667,6 +679,15 @@ impl Fleet {
     /// Active routing policy name.
     pub fn policy_name(&self) -> &'static str {
         self.inner.policy.name()
+    }
+
+    /// Divisor applied to the wall-clock retry backoff: the largest
+    /// replica [`LlmBackend::time_scale`] (clamped to at least 1). Fault
+    /// windows are indexed by attempt *ticks*, so compressing the sleep
+    /// never changes which attempts a transient window refuses — it only
+    /// stops a sped-up simulation from sleeping at real-deployment pace.
+    pub fn backoff_divisor(&self) -> f64 {
+        self.inner.backoff_div
     }
 
     /// Per-replica counters so far.
@@ -797,7 +818,9 @@ impl FleetInner {
     /// `exclude` pre-marks one replica (hedging diversity), dropped after
     /// the first full sweep. `first_pick` reports the first routed
     /// replica to the hedging caller; `is_hedge` counts the attempt as a
-    /// backup on whichever replica it lands.
+    /// backup on the replica that actually *serves* it — a first pick
+    /// whose fault gate refuses never touched the request, so the hedge
+    /// is attributed to wherever the retry loop lands it.
     ///
     /// # Panics
     ///
@@ -833,11 +856,11 @@ impl FleetInner {
                 if let Some(p) = first_pick {
                     p.store(id, Ordering::Relaxed);
                 }
+            }
+            if let Some(resp) = self.attempt(id, req, is_hedge) {
                 if is_hedge {
                     self.replicas[id].hedged.fetch_add(1, Ordering::Relaxed);
                 }
-            }
-            if let Some(resp) = self.attempt(id, req, is_hedge) {
                 return resp;
             }
             tried[id] = true;
@@ -848,9 +871,14 @@ impl FleetInner {
                     self.name
                 );
                 // Transient windows may pass as ticks advance — clear the
-                // per-round marks and back off before sweeping again.
+                // per-round marks and back off before sweeping again. The
+                // sleep is wall-clock pacing only (windows are indexed by
+                // attempt ticks, not time), so divide it by the fleet's
+                // simulation speed-up: a replayed deployment running 100
+                // virtual seconds per wall second should not make callers
+                // wait 100x longer than the deployment it models would.
                 tried = vec![false; n];
-                std::thread::sleep(backoff);
+                std::thread::sleep(backoff.div_f64(self.backoff_div));
                 backoff = (backoff * 2).min(BACKOFF_CAP);
             }
         }
@@ -936,6 +964,14 @@ impl LlmBackend for Fleet {
         *self.inner.observer.write() = Some(observer);
         self.inner.observed.store(true, Ordering::Release);
         true
+    }
+
+    fn time_scale(&self) -> Option<f64> {
+        if self.inner.backoff_div > 1.0 {
+            Some(self.inner.backoff_div)
+        } else {
+            None
+        }
     }
 }
 
@@ -1258,6 +1294,82 @@ mod tests {
             "the backup must land on the other replica: {m:?}"
         );
         assert!(m.replicas[1].served >= 1);
+    }
+
+    #[test]
+    fn hedge_refused_by_first_pick_lands_on_the_serving_replica() {
+        // Regression: the hedge counter used to be bumped on the backup's
+        // *first-picked* replica even when that replica's fault gate
+        // refused the attempt and the retry loop served it elsewhere.
+        //
+        // Primary = replica 0 (slow, least-outstanding tie-break). The
+        // backup excludes it, first-picks replica 1 — which fails on its
+        // very first attempt — and must be attributed to replica 2, the
+        // one that actually serves it.
+        let fleet = FleetConfig::new("hedge-attr", RoutePolicyKind::LeastOutstanding)
+            .with_replica(ReplicaSpec::replay(
+                LatencyProfile::constant("slow", 200_000),
+                0,
+                Some(1.0),
+            ))
+            .with_replica(ReplicaSpec::instant().with_fault(FaultPlan::none().fail_after(0)))
+            .with_replica(ReplicaSpec::instant())
+            .with_hedging(Duration::from_millis(5))
+            .build();
+        let r = fleet.call(&req(1));
+        assert_eq!(r.output_tokens, 2);
+        let m = fleet.metrics();
+        assert!(m.replicas[1].down, "first pick must have failed: {m:?}");
+        assert_eq!(m.replicas[1].served, 0);
+        assert_eq!(
+            m.replicas[1].hedged, 0,
+            "a refused first pick never served the hedge: {m:?}"
+        );
+        assert_eq!(
+            m.replicas[2].hedged, 1,
+            "the hedge belongs to the replica that served it: {m:?}"
+        );
+        assert_eq!(m.replicas[2].served, 1);
+    }
+
+    #[test]
+    fn scaled_backoff_compresses_sweep_sleeps_for_paced_fleets() {
+        // Regression: the all-refused sweep used to sleep the raw
+        // BACKOFF_START..BACKOFF_CAP schedule even when every replica is
+        // a sped-up simulation. Fault windows are tick-indexed, so the
+        // compressed sleep refuses exactly the same attempts — only the
+        // wall clock differs.
+        let fleet = FleetConfig::new("paced", RoutePolicyKind::RoundRobin)
+            .with_replica(
+                ReplicaSpec::replay(LatencyProfile::constant("fast", 1_000), 0, Some(1_000.0))
+                    .with_fault(FaultPlan::none().unavailable_between(0, 40)),
+            )
+            .build();
+        assert_eq!(fleet.backoff_divisor(), 1_000.0);
+        assert_eq!(LlmBackend::time_scale(&fleet), Some(1_000.0));
+        let started = Instant::now();
+        let r = fleet.call(&req(1));
+        let elapsed = started.elapsed();
+        assert_eq!(r.output_tokens, 2);
+        // Unscaled, 40 refused sweeps sleep ~170 ms (the schedule caps at
+        // 5 ms); at 1000x the total pacing is well under a millisecond.
+        assert!(
+            elapsed < Duration::from_millis(60),
+            "scaled backoff must not sleep at real-deployment pace: {elapsed:?}"
+        );
+        let m = fleet.metrics();
+        assert_eq!(
+            m.replicas[0].failed, 40,
+            "window length is tick-exact: {m:?}"
+        );
+        assert!(!m.replicas[0].down);
+    }
+
+    #[test]
+    fn realtime_fleets_keep_the_unscaled_backoff() {
+        let fleet = instant_fleet(2, RoutePolicyKind::RoundRobin);
+        assert_eq!(fleet.backoff_divisor(), 1.0);
+        assert_eq!(LlmBackend::time_scale(&fleet), None);
     }
 
     #[test]

@@ -357,6 +357,10 @@ impl LlmBackend for ReplayBackend {
             ),
         }
     }
+
+    fn time_scale(&self) -> Option<f64> {
+        self.time_scale
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 //! an evicted prefix must never report a hit, hit/miss counters must be
 //! exact over arbitrary prompt streams — including through a real
 //! [`Fleet`] — and affinity routing must be a pure function of
-//! (seed, group, replica set).
+//! (seed, group, replica set). Also checks the fleet's retry-backoff
+//! divisor: exactly the largest replica time scale, clamped to ≥ 1.
 
 use std::sync::Arc;
 
@@ -232,6 +233,42 @@ proptest! {
                 "replica {} matched tokens",
                 r.replica
             );
+        }
+    }
+
+    /// The fleet's retry-backoff divisor is exactly the largest replica
+    /// time scale (clamped to at least 1): a mixed fleet compresses its
+    /// sweep sleep by the fastest simulation it fronts, and an all-
+    /// realtime fleet advertises no time scale at all.
+    #[test]
+    fn backoff_divisor_is_the_max_replica_time_scale(
+        scales in proptest::collection::vec(
+            (1u32..5_000, any::<bool>()).prop_map(|(s, paced)| paced.then_some(s as f64)),
+            1..6,
+        ),
+    ) {
+        let mut cfg = FleetConfig::new("scales", RoutePolicyKind::RoundRobin);
+        for scale in &scales {
+            cfg = cfg.with_replica(match scale {
+                Some(s) => ReplicaSpec::replay(
+                    aim_llm::LatencyProfile::constant("paced", 100),
+                    0,
+                    Some(*s),
+                ),
+                None => ReplicaSpec::instant(),
+            });
+        }
+        let fleet = cfg.build();
+        let want = scales
+            .iter()
+            .flatten()
+            .fold(1.0f64, |acc, &s| acc.max(s));
+        prop_assert_eq!(fleet.backoff_divisor(), want);
+        let advertised = LlmBackend::time_scale(&fleet);
+        if want > 1.0 {
+            prop_assert_eq!(advertised, Some(want), "fleet must re-export its pacing");
+        } else {
+            prop_assert_eq!(advertised, None, "an unpaced fleet has no time scale");
         }
     }
 }

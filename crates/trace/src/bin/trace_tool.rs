@@ -240,6 +240,12 @@ fn cmd_stalls(args: &[String]) {
         rt.agents,
         rt.wall_us as f64 / 1e6
     );
+    if let Some(h) = rt.phase(aim_core::telemetry::Phase::Boundary) {
+        println!(
+            "boundary    : {} µs over {} message-boundary spans (dist workers)",
+            h.total_us, h.count
+        );
+    }
     let edges = rt.stall_edges(top);
     if edges.is_empty() {
         println!("no blocking edges recorded — nothing ever waited");

@@ -23,7 +23,7 @@
 
 use std::io::{BufRead, Write};
 
-use aim_core::telemetry::{BlockReason, Counter, RunTelemetry, Span, SpanKind};
+use aim_core::telemetry::{BlockReason, BoundaryOp, Counter, RunTelemetry, Span, SpanKind};
 use aim_llm::{AttemptOutcome, CallKind};
 
 use crate::TraceError;
@@ -112,6 +112,11 @@ pub fn write_telemetry(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), Trac
             SpanKind::Control { cluster, members } => {
                 writeln!(w, "control {cluster} {members}")?;
             }
+            SpanKind::Boundary {
+                worker,
+                op,
+                messages,
+            } => writeln!(w, "boundary {worker} {} {messages}", op.as_str())?,
         }
     }
     Ok(())
@@ -293,6 +298,19 @@ pub fn read_telemetry(r: &mut impl BufRead) -> Result<RunTelemetry, TraceError> 
                         cluster: next_u64_from(&mut f, no, "cluster")?,
                         members: next_u64_from(&mut f, no, "members")? as u32,
                     },
+                    "boundary" => {
+                        let worker = next_u64_from(&mut f, no, "worker")? as u32;
+                        let o = f
+                            .next()
+                            .ok_or_else(|| parse_err(no, "missing boundary op"))?;
+                        let op = BoundaryOp::from_str(o)
+                            .ok_or_else(|| parse_err(no, format!("unknown boundary op {o}")))?;
+                        SpanKind::Boundary {
+                            worker,
+                            op,
+                            messages: next_u64_from(&mut f, no, "messages")? as u32,
+                        }
+                    }
                     other => return Err(parse_err(no, format!("unknown span kind {other}"))),
                 };
                 spans.push(Span {
@@ -424,6 +442,17 @@ fn span_name_args(kind: &SpanKind) -> (String, String) {
         SpanKind::Control { cluster, members } => (
             format!("control {cluster}"),
             format!("{{\"cluster\":{cluster},\"members\":{members}}}"),
+        ),
+        SpanKind::Boundary {
+            worker,
+            op,
+            messages,
+        } => (
+            format!("boundary {} w{worker}", op.as_str()),
+            format!(
+                "{{\"worker\":{worker},\"op\":\"{}\",\"messages\":{messages}}}",
+                op.as_str()
+            ),
         ),
     }
 }
@@ -778,6 +807,16 @@ mod tests {
                     crossings: 1,
                 },
             },
+            Span {
+                start_us: 81,
+                end_us: 90,
+                track: 0,
+                kind: SpanKind::Boundary {
+                    worker: 3,
+                    op: BoundaryOp::Wait,
+                    messages: 4,
+                },
+            },
         ];
         let mut sched = SchedStats::default();
         sched.clusters_emitted = 1;
@@ -811,6 +850,7 @@ mod tests {
         assert!(text.contains("K llm_calls 1"), "{text}");
         assert!(text.contains("blocked 4 5 2 barrier"), "{text}");
         assert!(text.contains("attempt 99 1 1 served"), "{text}");
+        assert!(text.contains("boundary 3 wait 4"), "{text}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use ai_metropolis::core::depgraph::{EdgeMode, GraphOptions};
+use ai_metropolis::core::dist::DistTracker;
 use ai_metropolis::core::exec::threaded::{run_threaded, ThreadedConfig};
 use ai_metropolis::core::shard::ShardedDepGraph;
 use ai_metropolis::llm::InstantBackend;
@@ -93,6 +95,91 @@ fn ten_thousand_agent_city_ooo_equals_lockstep() {
         );
     }
     // A waking city is not silent — otherwise this proves nothing.
+    assert!(
+        lockstep.events().len() > 5_000,
+        "expected a city-scale morning, got {} events",
+        lockstep.events().len()
+    );
+}
+
+#[test]
+fn ten_thousand_agent_city_on_isolated_workers_equals_lockstep() {
+    // The same 10k+ bar as above, but with the dependency tracker split
+    // into channel-isolated shard *workers* — each owning its members,
+    // spatial index, and its own database, reachable only through the
+    // typed message protocol. The scheduler and executor are unchanged;
+    // the final world must still be exactly the lock-step world.
+    let cfg = CityConfig::default();
+    assert!(cfg.agents >= 10_000, "the bar is 10k+ agents");
+    let base = city::generate(&cfg);
+
+    let start = clock_to_step(8, 0);
+    let steps = 6u32;
+
+    let mut lockstep = base.clone();
+    lockstep.run_lockstep(start, start + steps, |_, _, _, _| {});
+
+    let shards = 16usize;
+    let space = base.space();
+    let program = Arc::new(VillageProgram::with_step_offset(base, start));
+    let initial = program.initial_positions();
+    let graph = DistTracker::new(
+        Arc::new(space),
+        RuleParams::genagent(),
+        &initial,
+        Arc::new(cfg.shard_map(shards)),
+        GraphOptions {
+            edges: EdgeMode::Maintained,
+            history: false,
+        },
+    )
+    .expect("distributed tracker");
+    let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
+    let report = run_threaded(
+        &mut sched,
+        Arc::clone(&program),
+        Arc::new(InstantBackend::new()),
+        ThreadedConfig {
+            workers: 4,
+            priority_enabled: true,
+        },
+    )
+    .expect("threaded worker-backed run");
+    assert!(sched.is_done());
+    assert_eq!(report.agent_steps, cfg.agents as u64 * steps as u64);
+    assert!(
+        sched.graph().validate().is_ok(),
+        "causality invariant violated at 10k agents"
+    );
+    assert_eq!(sched.graph().num_shards(), shards);
+    // Commit transactions really landed in the per-worker stores.
+    assert!(sched.graph().commits() > 0);
+    let populated = (0..shards)
+        .filter(|&j| !sched.graph().members(j).is_empty())
+        .count();
+    assert!(
+        populated >= shards / 2,
+        "only {populated} workers populated"
+    );
+    // Mirror vs worker ground truth (quiesce protocol) at full scale.
+    sched.graph_mut().check_invariants();
+
+    let ooo = Arc::try_unwrap(program)
+        .expect("workers joined")
+        .into_village();
+    assert_eq!(
+        ooo.positions(),
+        lockstep.positions(),
+        "final positions diverged"
+    );
+    assert_eq!(ooo.events(), lockstep.events(), "world event logs diverged");
+    for agent in 0..cfg.agents {
+        assert_eq!(
+            ooo.conversation_cooldown(agent),
+            lockstep.conversation_cooldown(agent),
+            "agent {agent} conversation state diverged"
+        );
+    }
     assert!(
         lockstep.events().len() > 5_000,
         "expected a city-scale morning, got {} events",
