@@ -197,6 +197,44 @@ fn bench_leader_commit_skewed(c: &mut Criterion) {
     grp.finish();
 }
 
+/// Per-message dispatch through [`ShardWorker::handle`] with no
+/// telemetry installed: the path every protocol message pays. The sink
+/// is cached behind a generation counter, so this is one relaxed atomic
+/// load per message — not a mutex acquire plus an `Arc` clone. A
+/// regression here means the lock crept back onto the per-message path.
+fn bench_handle_no_telemetry(c: &mut Criterion) {
+    use aim_core::dist::ShardWorker;
+    let mut grp = c.benchmark_group("dist/handle");
+    let pts: Vec<Point> = (0..8).map(|i| Point::new(i * 8, 10)).collect();
+    let mut worker = ShardWorker::new(
+        0,
+        Arc::new(GridSpace::new(64, 64)),
+        RuleParams::genagent(),
+        Arc::new(Db::new()),
+        false,
+        Arc::default(),
+    );
+    let records = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| aim_core::dist::NodeRecord {
+            agent: i as u32,
+            step: 0,
+            pos: p,
+            history: vec![],
+        })
+        .collect();
+    assert_eq!(
+        worker.handle(CtrlMsg::Arrive { records }),
+        ShardMsg::Done,
+        "worker populated"
+    );
+    grp.bench_function("quiesce_no_telemetry", |b| {
+        b.iter(|| black_box(worker.handle(CtrlMsg::Quiesce)));
+    });
+    grp.finish();
+}
+
 fn bench_calibration(c: &mut Criterion) {
     // Machine-speed reference for bench_gate normalization (see
     // `aim_bench::calibration_spin`).
@@ -210,6 +248,7 @@ criterion_group!(
     bench_calibration,
     bench_roundtrip,
     bench_codec,
-    bench_leader_commit_skewed
+    bench_leader_commit_skewed,
+    bench_handle_no_telemetry
 );
 criterion_main!(benches);

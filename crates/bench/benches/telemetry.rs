@@ -82,6 +82,67 @@ fn bench_drain(c: &mut Criterion) {
     });
 }
 
+/// A realistic harvest reply: 256 worker-side apply spans plus the
+/// counter deltas one quiesce-barrier drain ships.
+fn harvest_reply() -> aim_core::dist::ShardMsg<aim_core::space::Point> {
+    use aim_core::telemetry::{BoundaryOp, Counter, Span};
+    aim_core::dist::ShardMsg::Telemetry {
+        worker: 3,
+        now_us: 123_456_789,
+        spans: (0..256u64)
+            .map(|i| Span {
+                start_us: i * 100,
+                end_us: i * 100 + 37,
+                track: 0,
+                kind: SpanKind::Boundary {
+                    worker: 3,
+                    op: BoundaryOp::Apply,
+                    messages: 1,
+                },
+            })
+            .collect(),
+        counters: vec![
+            (Counter::BoundaryMessages, 256),
+            (Counter::RelinkBatches, 16),
+        ],
+        dropped: 0,
+    }
+}
+
+/// `AIMMSG v1` encode of one harvest reply — the wire cost a worker pays
+/// per quiesce-barrier drain (256 spans ≈ a full barrier interval).
+fn bench_harvest_encode(c: &mut Criterion) {
+    use aim_core::dist::codec;
+    use bytes::BytesMut;
+    let space = aim_core::space::GridSpace::new(64, 64);
+    let msg = harvest_reply();
+    c.bench_function("telemetry/harvest_encode", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            codec::encode_shard(&space, black_box(&msg), &mut buf);
+            black_box(buf.len())
+        });
+    });
+}
+
+/// `AIMMSG v1` decode of the same harvest reply — the controller-side
+/// cost of folding one worker's drain into the merged timeline.
+fn bench_harvest_decode(c: &mut Criterion) {
+    use aim_core::dist::codec;
+    use bytes::{Bytes, BytesMut};
+    let space = aim_core::space::GridSpace::new(64, 64);
+    let msg = harvest_reply();
+    let mut buf = BytesMut::new();
+    codec::encode_shard(&space, &msg, &mut buf);
+    let encoded = Bytes::from(buf.freeze());
+    c.bench_function("telemetry/harvest_decode", |b| {
+        b.iter(|| {
+            let mut rd = encoded.clone();
+            black_box(codec::decode_shard(&space, &mut rd).unwrap())
+        });
+    });
+}
+
 fn bench_calibration(c: &mut Criterion) {
     // Machine-speed reference for bench_gate normalization (see
     // `aim_bench::calibration_spin`).
@@ -95,6 +156,8 @@ criterion_group!(
     bench_calibration,
     bench_record_span,
     bench_disabled_noop,
-    bench_drain
+    bench_drain,
+    bench_harvest_encode,
+    bench_harvest_decode
 );
 criterion_main!(benches);

@@ -1,17 +1,20 @@
 //! The reproduction driver: `repro <experiment> [--quick] [--out DIR]
-//! [--checkpoint-every K] [--resume SNAP] [--telemetry DIR]`.
+//! [--checkpoint-every K] [--resume SNAP] [--telemetry DIR]
+//! [--live-stats N]`.
 
 use aim_bench::experiments;
 use aim_bench::harness::RunEnv;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP] [--telemetry DIR]\n\
+        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP] [--telemetry DIR] [--live-stats N]\n\
          experiments: calibrate city city-fleet fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun all\n\
          checkpoint flags apply to experiments that checkpoint (longrun): --checkpoint-every\n\
          overrides the snapshot cadence, --resume restarts from an AIMSNAP v1 file;\n\
          --telemetry records runtime spans on threaded experiments (city, city-fleet) and\n\
-         writes .telemetry + Perfetto trace.json files under DIR (see trace_tool timeline)"
+         writes .telemetry + Perfetto trace.json files under DIR (see trace_tool timeline);\n\
+         --live-stats prints a Prometheus-style metrics heartbeat every N seconds while an\n\
+         observed run is in flight (needs --telemetry; sampled without quiescing)"
     );
     std::process::exit(2);
 }
@@ -40,6 +43,14 @@ fn main() {
             }
             "--telemetry" => {
                 env.telemetry = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--live-stats" => {
+                env.live_stats = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
             }
             name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
             _ => usage(),

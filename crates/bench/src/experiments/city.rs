@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use aim_core::depgraph::GraphOptions;
+use aim_core::dist::DistTracker;
 use aim_core::exec::threaded::{run_threaded_observed, CheckpointHook, ThreadedConfig};
 use aim_core::policy::DependencyPolicy;
 use aim_core::prelude::*;
@@ -86,14 +87,9 @@ pub fn run(env: &RunEnv) {
         );
         let base = city::generate(&cfg);
         for &shards in widths {
-            let cell = drive(
-                &cfg,
-                base.clone(),
-                shards,
-                steps,
-                every,
-                env.telemetry_sink(),
-            );
+            let sink = env.telemetry_sink();
+            let _live = env.live_stats_guard(sink.as_ref());
+            let cell = drive(&cfg, base.clone(), shards, steps, every, sink);
             println!(
                 "  w{shards:<3} {:.2} s wall, {:.0} agent-steps/s, {} resident records",
                 cell.wall_s, cell.steps_per_s, cell.resident
@@ -104,6 +100,37 @@ pub fn run(env: &RunEnv) {
             table.push_row(vec![
                 cell.agents.to_string(),
                 cell.shards.to_string(),
+                format!("{:.2}", cell.wall_s),
+                format!("{:.0}", cell.steps_per_s),
+                cell.resident.to_string(),
+                cell.keys.to_string(),
+                cell.evicted.to_string(),
+                cell.max_cluster.to_string(),
+                cell.skew.to_string(),
+                cell.events.to_string(),
+            ]);
+        }
+        // Distributed arm (smallest size only — the isolation boundary
+        // costs ~10× per commit): the same city over [`DistTracker`]'s
+        // message-driven shard workers, observed end to end. The shared
+        // sink reaches the channel workers through their telemetry cell,
+        // and quiesce-barrier harvests fold any worker-local spans into
+        // the same merged report the in-process arms export.
+        if agents == sizes[0].0 {
+            let dist_shards = 4;
+            let sink = env.telemetry_sink();
+            let _live = env.live_stats_guard(sink.as_ref());
+            let cell = drive_dist(&cfg, base.clone(), dist_shards, steps, every, sink);
+            println!(
+                "  dist w{dist_shards} {:.2} s wall, {:.0} agent-steps/s, {} resident records",
+                cell.wall_s, cell.steps_per_s, cell.resident
+            );
+            if let Some(rt) = &cell.telemetry {
+                env.export_telemetry(&format!("city-{agents}-dist-w{dist_shards}"), rt);
+            }
+            table.push_row(vec![
+                cell.agents.to_string(),
+                format!("dist-{}", cell.shards),
                 format!("{:.2}", cell.wall_s),
                 format!("{:.0}", cell.steps_per_s),
                 cell.resident.to_string(),
@@ -188,6 +215,85 @@ fn drive(
         steps_per_s: (cfg.agents as u64 * steps as u64) as f64 / wall_s,
         resident: sched.graph().history_records(),
         keys: sched.graph().db().stats().keys as u64,
+        evicted,
+        max_cluster: stats.max_cluster_size,
+        skew: stats.max_step_skew,
+        events: village.events().len(),
+        telemetry: report.telemetry,
+    }
+}
+
+/// Drives one cell over [`DistTracker`]: every shard is a message-driven
+/// worker behind a channel link, so all writes and edge computations
+/// cross the typed `dist` protocol. History eviction at each checkpoint
+/// barrier doubles as the telemetry harvest barrier.
+fn drive_dist(
+    cfg: &CityConfig,
+    village: aim_world::Village,
+    shards: usize,
+    steps: u32,
+    every: u32,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Cell {
+    let start = clock_to_step(8, 0);
+    let space = village.space();
+    let program = Arc::new(VillageProgram::with_step_offset(village, start));
+    let initial = program.initial_positions();
+    let graph = DistTracker::new(
+        Arc::new(space),
+        RuleParams::genagent(),
+        &initial,
+        Arc::new(cfg.shard_map(shards)),
+        GraphOptions {
+            edges: aim_core::depgraph::EdgeMode::Maintained,
+            history: true,
+        },
+    )
+    .expect("dist tracker");
+    let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
+    let started = Instant::now();
+    let mut evicted = 0u64;
+    let report = {
+        let evicted = &mut evicted;
+        let mut hook_fn = move |sched: &mut Scheduler<GridSpace, DistTracker<GridSpace>>|
+              -> Result<(), EngineError> {
+            *evicted += sched.evict_history()?;
+            Ok(())
+        };
+        run_threaded_observed(
+            &mut sched,
+            Arc::clone(&program),
+            Arc::new(InstantBackend::new()),
+            ThreadedConfig {
+                workers: 8,
+                priority_enabled: true,
+            },
+            Some(CheckpointHook {
+                every_steps: every,
+                f: &mut hook_fn,
+            }),
+            telemetry,
+        )
+        .expect("threaded dist city run")
+    };
+    let wall_s = started.elapsed().as_secs_f64();
+    assert!(sched.is_done());
+    assert!(sched.graph().validate().is_ok(), "validity violated");
+    sched.graph_mut().check_invariants();
+    let stats = sched.stats();
+    let keys = (0..shards)
+        .map(|i| sched.graph().worker_db(i).stats().keys as u64)
+        .sum();
+    let village = Arc::try_unwrap(program)
+        .expect("workers joined")
+        .into_village();
+    Cell {
+        agents: cfg.agents,
+        shards,
+        wall_s,
+        steps_per_s: (cfg.agents as u64 * steps as u64) as f64 / wall_s,
+        resident: sched.graph().history_records(),
+        keys,
         evicted,
         max_cluster: stats.max_cluster_size,
         skew: stats.max_step_skew,

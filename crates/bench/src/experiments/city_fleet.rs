@@ -210,14 +210,9 @@ pub fn run(env: &RunEnv) {
         let base = city::generate(&cfg);
         for policy in POLICIES {
             let fleet = fleet_for(policy, agents, FaultPlan::none());
-            let cell = drive(
-                &cfg,
-                base.clone(),
-                shards,
-                steps,
-                Arc::clone(&fleet),
-                env.telemetry_sink(),
-            );
+            let sink = env.telemetry_sink();
+            let _live = env.live_stats_guard(sink.as_ref());
+            let cell = drive(&cfg, base.clone(), shards, steps, Arc::clone(&fleet), sink);
             println!("  [{} · {agents} agents]", policy.as_str());
             print!("{}", cell.report);
             if let Some(rt) = &cell.report.telemetry {
@@ -229,14 +224,9 @@ pub fn run(env: &RunEnv) {
         // prefix-affinity + the retry loop must absorb it.
         let fault = FaultPlan::none().fail_after(agents as u64 * 3 / 2);
         let fleet = fleet_for(RoutePolicyKind::PrefixAffinity, agents, fault);
-        let cell = drive(
-            &cfg,
-            base.clone(),
-            shards,
-            steps,
-            Arc::clone(&fleet),
-            env.telemetry_sink(),
-        );
+        let sink = env.telemetry_sink();
+        let _live = env.live_stats_guard(sink.as_ref());
+        let cell = drive(&cfg, base.clone(), shards, steps, Arc::clone(&fleet), sink);
         assert_eq!(
             cell.metrics.total_failed(),
             1,

@@ -81,6 +81,13 @@ pub struct RunEnv {
     /// executor (city, city-fleet). `None` leaves the spans subsystem
     /// disabled — a single relaxed atomic load per would-be span.
     pub telemetry: Option<PathBuf>,
+    /// Heartbeat period in seconds for the live metrics surface
+    /// (`repro --live-stats N`): while an observed threaded run is in
+    /// flight, a sampler thread prints a Prometheus-style exposition of
+    /// the current [`aim_core::telemetry::MetricsSnapshot`] every `N`
+    /// seconds — sampled without quiescing the run. Requires
+    /// `--telemetry`; `None` disables the heartbeat.
+    pub live_stats: Option<u64>,
 }
 
 impl Default for RunEnv {
@@ -94,6 +101,26 @@ impl Default for RunEnv {
             checkpoint_every: None,
             resume: None,
             telemetry: None,
+            live_stats: None,
+        }
+    }
+}
+
+/// A running `--live-stats` heartbeat: samples the observed run's
+/// [`aim_core::telemetry::Telemetry`] sink on a fixed period and prints
+/// the Prometheus-style exposition. Dropping the guard stops the sampler
+/// thread and joins it, so heartbeats never outlive the run they watch.
+#[derive(Debug)]
+pub struct LiveStats {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for LiveStats {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
         }
     }
 }
@@ -106,6 +133,41 @@ impl RunEnv {
     pub fn telemetry_sink(&self) -> Option<Arc<aim_core::telemetry::Telemetry>> {
         self.telemetry.as_ref()?;
         Some(Arc::new(aim_core::telemetry::Telemetry::new()))
+    }
+
+    /// Starts the `--live-stats` heartbeat over `telemetry`, returning a
+    /// guard that stops the sampler when dropped (hold it across the
+    /// run). `None` when either `--live-stats` or `--telemetry` is off —
+    /// the heartbeat samples the observed sink, so it needs both.
+    pub fn live_stats_guard(
+        &self,
+        telemetry: Option<&Arc<aim_core::telemetry::Telemetry>>,
+    ) -> Option<LiveStats> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let period = self.live_stats?;
+        let t = Arc::clone(telemetry?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut beat = 0u64;
+            loop {
+                // 100 ms granularity keeps guard drop prompt at run end.
+                for _ in 0..period.max(1) * 10 {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                beat += 1;
+                let snap = t.snapshot();
+                println!("--- live stats · beat {beat} ---");
+                print!("{}", aim_trace::telemetry::prometheus_text(&snap));
+            }
+        });
+        Some(LiveStats {
+            stop,
+            handle: Some(handle),
+        })
     }
 
     /// Exports one observed run's report under the `--telemetry` dir as

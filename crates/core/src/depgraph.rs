@@ -119,6 +119,13 @@ pub trait DepTracker<S: Space>: Send {
     fn set_telemetry(&mut self, telemetry: std::sync::Arc<crate::telemetry::Telemetry>) {
         let _ = telemetry;
     }
+
+    /// Drains any telemetry buffered outside the attached sink into it
+    /// (end-of-run and on-demand hook). Default: no-op — only trackers
+    /// whose workers record into their own buffers
+    /// ([`crate::dist::DistTracker`]) have anything to collect; harvest
+    /// is best-effort observability and must never fail a run.
+    fn harvest_telemetry(&mut self) {}
 }
 
 /// A dump of the graph for visualization (paper Fig. 3) and debugging.

@@ -25,16 +25,18 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use aim_llm::{AttemptOutcome, CallKind};
 use aim_store::{codec, StoreError};
 
 use crate::space::Space;
+use crate::telemetry::{BlockReason, BoundaryOp, Counter, Span, SpanKind};
 
 use super::msg::{CtrlMsg, NodeRecord, Probe, ShardMsg, WireEdge};
 
 /// Stream preamble exchanged once per connection before any frame.
 pub const PREAMBLE: &[u8; 10] = b"AIMMSG v1\n";
 
-// Controller-request tags (1–9).
+// Controller-request tags (1–10).
 const TAG_COMMIT: u8 = 1;
 const TAG_ROLLBACK: u8 = 2;
 const TAG_DEPART: u8 = 3;
@@ -44,8 +46,9 @@ const TAG_EVICT_HISTORY: u8 = 6;
 const TAG_QUIESCE: u8 = 7;
 const TAG_RECOVER: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
+const TAG_HARVEST_TELEMETRY: u8 = 10;
 
-// Worker-reply tags (65–71).
+// Worker-reply tags (65–72).
 const TAG_DONE: u8 = 65;
 const TAG_DEPARTED: u8 = 66;
 const TAG_EDGES: u8 = 67;
@@ -53,6 +56,7 @@ const TAG_EVICTED: u8 = 68;
 const TAG_QUIESCED: u8 = 69;
 const TAG_RECOVERED: u8 = 70;
 const TAG_FAILED: u8 = 71;
+const TAG_TELEMETRY: u8 = 72;
 
 fn get_u8(buf: &mut Bytes) -> Result<u8, StoreError> {
     if !buf.has_remaining() {
@@ -144,6 +148,257 @@ fn get_states<S: Space>(space: &S, buf: &mut Bytes) -> Result<Vec<(u32, u32, S::
     Ok(out)
 }
 
+// Span-kind tags inside a [`ShardMsg::Telemetry`] frame, in
+// [`SpanKind`] declaration order.
+const SPAN_CLUSTER: u8 = 1;
+const SPAN_LLM_CALL: u8 = 2;
+const SPAN_COMMIT: u8 = 3;
+const SPAN_BLOCKED: u8 = 4;
+const SPAN_RELINK: u8 = 5;
+const SPAN_MIGRATE: u8 = 6;
+const SPAN_CHECKPOINT: u8 = 7;
+const SPAN_FLEET_ATTEMPT: u8 = 8;
+const SPAN_CONTROL: u8 = 9;
+const SPAN_BOUNDARY: u8 = 10;
+
+fn put_span(s: &Span, buf: &mut BytesMut) {
+    codec::put_u64(buf, s.start_us);
+    codec::put_u64(buf, s.end_us);
+    codec::put_u32(buf, s.track);
+    match s.kind {
+        SpanKind::Cluster {
+            cluster,
+            step,
+            members,
+        } => {
+            buf.put_u8(SPAN_CLUSTER);
+            codec::put_u64(buf, cluster);
+            codec::put_u32(buf, step);
+            codec::put_u32(buf, members);
+        }
+        SpanKind::LlmCall {
+            agent,
+            step,
+            request,
+            kind,
+        } => {
+            buf.put_u8(SPAN_LLM_CALL);
+            codec::put_u32(buf, agent);
+            codec::put_u32(buf, step);
+            codec::put_u64(buf, request);
+            buf.put_u8(kind.index() as u8);
+        }
+        SpanKind::Commit {
+            cluster,
+            step,
+            members,
+        } => {
+            buf.put_u8(SPAN_COMMIT);
+            codec::put_u64(buf, cluster);
+            codec::put_u32(buf, step);
+            codec::put_u32(buf, members);
+        }
+        SpanKind::Blocked {
+            agent,
+            blocker,
+            step,
+            reason,
+        } => {
+            buf.put_u8(SPAN_BLOCKED);
+            codec::put_u32(buf, agent);
+            codec::put_u32(buf, blocker);
+            codec::put_u32(buf, step);
+            buf.put_u8(match reason {
+                BlockReason::Dependency => 0,
+                BlockReason::Barrier => 1,
+            });
+        }
+        SpanKind::Relink { agents, workers } => {
+            buf.put_u8(SPAN_RELINK);
+            codec::put_u32(buf, agents);
+            codec::put_u32(buf, workers);
+        }
+        SpanKind::Migrate { agents, crossings } => {
+            buf.put_u8(SPAN_MIGRATE);
+            codec::put_u32(buf, agents);
+            codec::put_u32(buf, crossings);
+        }
+        SpanKind::Checkpoint { step } => {
+            buf.put_u8(SPAN_CHECKPOINT);
+            codec::put_u32(buf, step);
+        }
+        SpanKind::FleetAttempt {
+            request,
+            replica,
+            hedge,
+            outcome,
+        } => {
+            buf.put_u8(SPAN_FLEET_ATTEMPT);
+            codec::put_u64(buf, request);
+            codec::put_u32(buf, replica);
+            buf.put_u8(u8::from(hedge));
+            buf.put_u8(match outcome {
+                AttemptOutcome::Served => 0,
+                AttemptOutcome::Failed => 1,
+                AttemptOutcome::Refused => 2,
+                _ => 0,
+            });
+        }
+        SpanKind::Control { cluster, members } => {
+            buf.put_u8(SPAN_CONTROL);
+            codec::put_u64(buf, cluster);
+            codec::put_u32(buf, members);
+        }
+        SpanKind::Boundary {
+            worker,
+            op,
+            messages,
+        } => {
+            buf.put_u8(SPAN_BOUNDARY);
+            codec::put_u32(buf, worker);
+            buf.put_u8(match op {
+                BoundaryOp::Send => 0,
+                BoundaryOp::Wait => 1,
+                BoundaryOp::Apply => 2,
+            });
+            codec::put_u32(buf, messages);
+        }
+    }
+}
+
+fn get_span(buf: &mut Bytes) -> Result<Span, StoreError> {
+    let start_us = codec::get_u64(buf)?;
+    let end_us = codec::get_u64(buf)?;
+    let track = codec::get_u32(buf)?;
+    let kind = match get_u8(buf)? {
+        SPAN_CLUSTER => SpanKind::Cluster {
+            cluster: codec::get_u64(buf)?,
+            step: codec::get_u32(buf)?,
+            members: codec::get_u32(buf)?,
+        },
+        SPAN_LLM_CALL => SpanKind::LlmCall {
+            agent: codec::get_u32(buf)?,
+            step: codec::get_u32(buf)?,
+            request: codec::get_u64(buf)?,
+            kind: {
+                let idx = get_u8(buf)?;
+                *CallKind::ALL
+                    .get(idx as usize)
+                    .ok_or_else(|| StoreError::Codec(format!("invalid call kind index {idx}")))?
+            },
+        },
+        SPAN_COMMIT => SpanKind::Commit {
+            cluster: codec::get_u64(buf)?,
+            step: codec::get_u32(buf)?,
+            members: codec::get_u32(buf)?,
+        },
+        SPAN_BLOCKED => SpanKind::Blocked {
+            agent: codec::get_u32(buf)?,
+            blocker: codec::get_u32(buf)?,
+            step: codec::get_u32(buf)?,
+            reason: match get_u8(buf)? {
+                0 => BlockReason::Dependency,
+                1 => BlockReason::Barrier,
+                bad => {
+                    return Err(StoreError::Codec(format!("invalid block reason {bad}")));
+                }
+            },
+        },
+        SPAN_RELINK => SpanKind::Relink {
+            agents: codec::get_u32(buf)?,
+            workers: codec::get_u32(buf)?,
+        },
+        SPAN_MIGRATE => SpanKind::Migrate {
+            agents: codec::get_u32(buf)?,
+            crossings: codec::get_u32(buf)?,
+        },
+        SPAN_CHECKPOINT => SpanKind::Checkpoint {
+            step: codec::get_u32(buf)?,
+        },
+        SPAN_FLEET_ATTEMPT => SpanKind::FleetAttempt {
+            request: codec::get_u64(buf)?,
+            replica: codec::get_u32(buf)?,
+            hedge: match get_u8(buf)? {
+                0 => false,
+                1 => true,
+                bad => {
+                    return Err(StoreError::Codec(format!("invalid hedge flag {bad}")));
+                }
+            },
+            outcome: match get_u8(buf)? {
+                0 => AttemptOutcome::Served,
+                1 => AttemptOutcome::Failed,
+                2 => AttemptOutcome::Refused,
+                bad => {
+                    return Err(StoreError::Codec(format!("invalid attempt outcome {bad}")));
+                }
+            },
+        },
+        SPAN_CONTROL => SpanKind::Control {
+            cluster: codec::get_u64(buf)?,
+            members: codec::get_u32(buf)?,
+        },
+        SPAN_BOUNDARY => SpanKind::Boundary {
+            worker: codec::get_u32(buf)?,
+            op: match get_u8(buf)? {
+                0 => BoundaryOp::Send,
+                1 => BoundaryOp::Wait,
+                2 => BoundaryOp::Apply,
+                bad => {
+                    return Err(StoreError::Codec(format!("invalid boundary op {bad}")));
+                }
+            },
+            messages: codec::get_u32(buf)?,
+        },
+        other => {
+            return Err(StoreError::Codec(format!("unknown span kind tag {other}")));
+        }
+    };
+    Ok(Span {
+        start_us,
+        end_us,
+        track,
+        kind,
+    })
+}
+
+fn put_spans(spans: &[Span], buf: &mut BytesMut) {
+    codec::put_u32(buf, spans.len() as u32);
+    for s in spans {
+        put_span(s, buf);
+    }
+}
+
+fn get_spans(buf: &mut Bytes) -> Result<Vec<Span>, StoreError> {
+    let n = get_count(buf, "span list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_span(buf)?);
+    }
+    Ok(out)
+}
+
+fn put_counters(counters: &[(Counter, u64)], buf: &mut BytesMut) {
+    codec::put_u32(buf, counters.len() as u32);
+    for &(c, n) in counters {
+        buf.put_u8(c as u8);
+        codec::put_u64(buf, n);
+    }
+}
+
+fn get_counters(buf: &mut Bytes) -> Result<Vec<(Counter, u64)>, StoreError> {
+    let n = get_count(buf, "counter list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = get_u8(buf)?;
+        let c = *Counter::ALL
+            .get(idx as usize)
+            .ok_or_else(|| StoreError::Codec(format!("invalid counter index {idx}")))?;
+        out.push((c, codec::get_u64(buf)?));
+    }
+    Ok(out)
+}
+
 /// Finalizes a frame: length prefix followed by the body.
 fn put_frame(body: BytesMut, out: &mut BytesMut) {
     codec::put_u32(out, body.len() as u32);
@@ -216,6 +471,10 @@ pub fn encode_ctrl<S: Space>(space: &S, msg: &CtrlMsg<S::Pos>, out: &mut BytesMu
             codec::put_u32_list(&mut body, expected);
         }
         CtrlMsg::Shutdown => body.put_u8(TAG_SHUTDOWN),
+        CtrlMsg::HarvestTelemetry { now_us } => {
+            body.put_u8(TAG_HARVEST_TELEMETRY);
+            codec::put_u64(&mut body, *now_us);
+        }
     }
     put_frame(body, out);
 }
@@ -268,6 +527,9 @@ pub fn decode_ctrl<S: Space>(space: &S, buf: &mut Bytes) -> Result<CtrlMsg<S::Po
             expected: codec::get_u32_list(&mut body)?,
         },
         TAG_SHUTDOWN => CtrlMsg::Shutdown,
+        TAG_HARVEST_TELEMETRY => CtrlMsg::HarvestTelemetry {
+            now_us: codec::get_u64(&mut body)?,
+        },
         other => {
             return Err(StoreError::Codec(format!(
                 "unknown controller message tag {other}"
@@ -307,6 +569,20 @@ pub fn encode_shard<S: Space>(space: &S, msg: &ShardMsg<S::Pos>, out: &mut Bytes
         ShardMsg::Recovered { states } => {
             body.put_u8(TAG_RECOVERED);
             put_states(space, states, &mut body);
+        }
+        ShardMsg::Telemetry {
+            worker,
+            now_us,
+            spans,
+            counters,
+            dropped,
+        } => {
+            body.put_u8(TAG_TELEMETRY);
+            codec::put_u32(&mut body, *worker);
+            codec::put_u64(&mut body, *now_us);
+            codec::put_u64(&mut body, *dropped);
+            put_spans(spans, &mut body);
+            put_counters(counters, &mut body);
         }
         ShardMsg::Failed { message } => {
             body.put_u8(TAG_FAILED);
@@ -355,6 +631,20 @@ pub fn decode_shard<S: Space>(space: &S, buf: &mut Bytes) -> Result<ShardMsg<S::
         TAG_RECOVERED => ShardMsg::Recovered {
             states: get_states(space, &mut body)?,
         },
+        TAG_TELEMETRY => {
+            let worker = codec::get_u32(&mut body)?;
+            let now_us = codec::get_u64(&mut body)?;
+            let dropped = codec::get_u64(&mut body)?;
+            let spans = get_spans(&mut body)?;
+            let counters = get_counters(&mut body)?;
+            ShardMsg::Telemetry {
+                worker,
+                now_us,
+                spans,
+                counters,
+                dropped,
+            }
+        }
         TAG_FAILED => ShardMsg::Failed {
             message: codec::get_str(&mut body)?,
         },
@@ -477,6 +767,98 @@ mod tests {
         assert!(decode_ctrl(&s, &mut rd).is_err());
     }
 
+    fn telemetry_reply() -> ShardMsg<Point> {
+        ShardMsg::Telemetry {
+            worker: 3,
+            now_us: 12_345,
+            spans: vec![Span {
+                start_us: 10,
+                end_us: 40,
+                track: 0,
+                kind: SpanKind::Boundary {
+                    worker: 3,
+                    op: BoundaryOp::Apply,
+                    messages: 2,
+                },
+            }],
+            counters: vec![(Counter::BoundaryMessages, 7)],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn telemetry_reply_roundtrips_and_truncation_is_rejected() {
+        let msg = telemetry_reply();
+        roundtrip_shard(msg.clone());
+        let s = space();
+        let mut buf = BytesMut::new();
+        encode_shard(&s, &msg, &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut rd = full.slice(..cut);
+            assert!(
+                decode_shard(&s, &mut rd).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_span_kind_tag_is_rejected() {
+        let s = space();
+        let mut body = BytesMut::new();
+        body.put_u8(super::TAG_TELEMETRY);
+        codec::put_u32(&mut body, 0); // worker
+        codec::put_u64(&mut body, 0); // now_us
+        codec::put_u64(&mut body, 0); // dropped
+        codec::put_u32(&mut body, 1); // one span
+        codec::put_u64(&mut body, 0); // start
+        codec::put_u64(&mut body, 1); // end
+        codec::put_u32(&mut body, 0); // track
+        body.put_u8(200); // bogus span kind tag
+        let mut framed = BytesMut::new();
+        put_frame(body, &mut framed);
+        let mut rd = Bytes::from(framed.freeze());
+        let err = decode_shard(&s, &mut rd).unwrap_err();
+        assert!(err.to_string().contains("unknown span kind tag"));
+    }
+
+    #[test]
+    fn bad_counter_index_is_rejected() {
+        let s = space();
+        let mut body = BytesMut::new();
+        body.put_u8(super::TAG_TELEMETRY);
+        codec::put_u32(&mut body, 0); // worker
+        codec::put_u64(&mut body, 0); // now_us
+        codec::put_u64(&mut body, 0); // dropped
+        codec::put_u32(&mut body, 0); // no spans
+        codec::put_u32(&mut body, 1); // one counter
+        body.put_u8(Counter::ALL.len() as u8); // first invalid index
+        codec::put_u64(&mut body, 5);
+        let mut framed = BytesMut::new();
+        put_frame(body, &mut framed);
+        let mut rd = Bytes::from(framed.freeze());
+        let err = decode_shard(&s, &mut rd).unwrap_err();
+        assert!(err.to_string().contains("invalid counter index"));
+    }
+
+    #[test]
+    fn harvest_request_roundtrips_with_disjoint_tag() {
+        roundtrip_ctrl(CtrlMsg::HarvestTelemetry { now_us: 987_654 });
+        // The new request must stay on the controller side of the tag
+        // split: decoding it as a worker reply fails loudly.
+        let s = space();
+        let mut buf = BytesMut::new();
+        encode_ctrl(
+            &s,
+            &CtrlMsg::<Point>::HarvestTelemetry { now_us: 1 },
+            &mut buf,
+        );
+        let mut rd = Bytes::from(buf.freeze());
+        let err = decode_shard(&s, &mut rd).unwrap_err();
+        assert!(err.to_string().contains("unknown worker message tag"));
+    }
+
     fn arb_point() -> impl Strategy<Value = Point> {
         (-500i32..500, -500i32..500).prop_map(|(x, y)| Point::new(x, y))
     }
@@ -520,7 +902,123 @@ mod tests {
             proptest::collection::vec(0u32..10_000, 0..16)
                 .prop_map(|expected| CtrlMsg::Recover { expected }),
             Just(CtrlMsg::Shutdown),
+            (0u64..1_000_000_000).prop_map(|now_us| CtrlMsg::HarvestTelemetry { now_us }),
         ]
+    }
+
+    fn arb_span_kind() -> impl Strategy<Value = SpanKind> {
+        prop_oneof![
+            (0u64..1_000, 0u32..100, 1u32..64).prop_map(|(cluster, step, members)| {
+                SpanKind::Cluster {
+                    cluster,
+                    step,
+                    members,
+                }
+            }),
+            (
+                0u32..10_000,
+                0u32..100,
+                0u64..1_000,
+                0usize..CallKind::ALL.len()
+            )
+                .prop_map(|(agent, step, request, kind)| SpanKind::LlmCall {
+                    agent,
+                    step,
+                    request,
+                    kind: CallKind::ALL[kind],
+                }),
+            (0u64..1_000, 0u32..100, 1u32..64).prop_map(|(cluster, step, members)| {
+                SpanKind::Commit {
+                    cluster,
+                    step,
+                    members,
+                }
+            }),
+            (0u32..10_000, 0u32..10_000, 0u32..100, any::<bool>()).prop_map(
+                |(agent, blocker, step, barrier)| SpanKind::Blocked {
+                    agent,
+                    blocker,
+                    step,
+                    reason: if barrier {
+                        BlockReason::Barrier
+                    } else {
+                        BlockReason::Dependency
+                    },
+                }
+            ),
+            (0u32..10_000, 1u32..32)
+                .prop_map(|(agents, workers)| SpanKind::Relink { agents, workers }),
+            (0u32..10_000, 0u32..100)
+                .prop_map(|(agents, crossings)| SpanKind::Migrate { agents, crossings }),
+            (0u32..100).prop_map(|step| SpanKind::Checkpoint { step }),
+            (
+                0u64..1_000,
+                0u32..16,
+                any::<bool>(),
+                prop_oneof![
+                    Just(AttemptOutcome::Served),
+                    Just(AttemptOutcome::Failed),
+                    Just(AttemptOutcome::Refused)
+                ]
+            )
+                .prop_map(|(request, replica, hedge, outcome)| {
+                    SpanKind::FleetAttempt {
+                        request,
+                        replica,
+                        hedge,
+                        outcome,
+                    }
+                }),
+            (0u64..1_000, 1u32..64)
+                .prop_map(|(cluster, members)| SpanKind::Control { cluster, members }),
+            (
+                0u32..16,
+                prop_oneof![
+                    Just(BoundaryOp::Send),
+                    Just(BoundaryOp::Wait),
+                    Just(BoundaryOp::Apply)
+                ],
+                1u32..100
+            )
+                .prop_map(|(worker, op, messages)| SpanKind::Boundary {
+                    worker,
+                    op,
+                    messages,
+                }),
+        ]
+    }
+
+    fn arb_span() -> impl Strategy<Value = Span> {
+        (0u64..1_000_000, 0u64..1_000_000, 0u32..8, arb_span_kind()).prop_map(
+            |(a, b, track, kind)| Span {
+                start_us: a.min(b),
+                end_us: a.max(b),
+                track,
+                kind,
+            },
+        )
+    }
+
+    fn arb_telemetry_reply() -> impl Strategy<Value = ShardMsg<Point>> {
+        (
+            0u32..16,
+            0u64..1_000_000_000,
+            proptest::collection::vec(arb_span(), 0..12),
+            proptest::collection::vec(
+                (0usize..Counter::ALL.len(), 0u64..1_000).prop_map(|(i, n)| (Counter::ALL[i], n)),
+                0..4,
+            ),
+            0u64..1_000,
+        )
+            .prop_map(
+                |(worker, now_us, spans, counters, dropped)| ShardMsg::Telemetry {
+                    worker,
+                    now_us,
+                    spans,
+                    counters,
+                    dropped,
+                },
+            )
     }
 
     fn arb_shard() -> impl Strategy<Value = ShardMsg<Point>> {
@@ -545,6 +1043,7 @@ mod tests {
             (0u32..1_000).prop_map(|n| ShardMsg::Failed {
                 message: format!("worker error ({n})"),
             }),
+            arb_telemetry_reply(),
         ]
     }
 

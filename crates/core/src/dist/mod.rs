@@ -44,4 +44,6 @@ mod worker;
 
 pub use msg::{CtrlMsg, NodeRecord, Probe, ShardMsg, WireEdge};
 pub use tracker::DistTracker;
-pub use worker::{ChannelLink, SeveredLink, ShardWorker, SharedTelemetry, WorkerLink};
+pub use worker::{
+    ChannelLink, SeveredLink, ShardWorker, SharedTelemetry, TelemetryCell, WorkerLink,
+};

@@ -34,6 +34,15 @@
 //!    exactly one reply, in order; [`ShardMsg::Failed`] is the only
 //!    error channel, and the controller converts it into a store error
 //!    rather than applying a partial result.
+//! 4. **Harvest never blocks commits, and drops are counted, never
+//!    silent.** [`CtrlMsg::HarvestTelemetry`] is an ordinary
+//!    request–reply on the same ordered stream — it never preempts,
+//!    cancels, or delays protocol work, and a worker with nothing
+//!    recorded answers with an empty [`ShardMsg::Telemetry`] rather
+//!    than stalling. Spans the worker's fixed-size buffer overflowed
+//!    before a harvest are reported in the reply's running `dropped`
+//!    total, so observability loss is always visible in the merged
+//!    report.
 
 /// One agent's authoritative state in transit between two workers (the
 /// migration payload of [`ShardMsg::Departed`] / [`CtrlMsg::Arrive`]).
@@ -136,6 +145,20 @@ pub enum CtrlMsg<P> {
         /// The agents this worker must own per the controller's mirror.
         expected: Vec<u32>,
     },
+    /// Drain the spans and counter increments the worker has recorded
+    /// since the previous harvest (protocol invariant 4: this is an
+    /// ordinary in-order request that never blocks or reorders commits,
+    /// and worker-side buffer overflow is reported, never silent).
+    /// Reply: [`ShardMsg::Telemetry`].
+    ///
+    /// `now_us` is the controller's clock at send time; together with
+    /// the reply's `now_us` (the worker's clock) and the reply's arrival
+    /// time it forms the per-harvest clock-offset handshake that lands
+    /// spans from both clock domains on one timeline.
+    HarvestTelemetry {
+        /// Controller clock (µs on its telemetry epoch) at send time.
+        now_us: u64,
+    },
     /// Terminate the worker loop after one final [`ShardMsg::Done`].
     Shutdown,
 }
@@ -172,6 +195,24 @@ pub enum ShardMsg<P> {
     Recovered {
         /// `(agent, step, position)` per recovered member.
         states: Vec<(u32, u32, P)>,
+    },
+    /// Reply to [`CtrlMsg::HarvestTelemetry`]: everything the worker
+    /// recorded since the previous harvest. Spans and counters are
+    /// *increments* (drained exactly once); `dropped` is the worker's
+    /// running overflow total (absolute, so a lost harvest can only
+    /// over-report, never hide, a drop).
+    Telemetry {
+        /// The replying worker's shard index.
+        worker: u32,
+        /// Worker clock (µs on its telemetry epoch) at reply time — the
+        /// other half of the clock-offset handshake.
+        now_us: u64,
+        /// Spans recorded since the previous harvest, worker clock.
+        spans: Vec<crate::telemetry::Span>,
+        /// Counter increments since the previous harvest.
+        counters: Vec<(crate::telemetry::Counter, u64)>,
+        /// Running total of spans the worker's buffer overflowed.
+        dropped: u64,
     },
     /// The request could not be applied; nothing was committed.
     Failed {

@@ -502,10 +502,77 @@ impl<S: Space> DistTracker<S> {
     /// Attaches a telemetry sink: the controller records every protocol
     /// send and reply-wait as [`SpanKind::Boundary`] spans (plus the
     /// [`Counter::BoundaryMessages`] counter), and workers record their
-    /// apply time through the shared cell.
+    /// apply time through the shared cell. Workers that cannot see the
+    /// cell (out-of-process transports) buffer locally instead and are
+    /// drained by [`DistTracker::harvest_telemetry`].
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
-        *self.shared_telemetry.lock() = Some(Arc::clone(&telemetry));
+        self.shared_telemetry.set(Some(Arc::clone(&telemetry)));
         self.telemetry = Some(telemetry);
+    }
+
+    /// Drains every worker's locally-buffered telemetry into the attached
+    /// sink via the [`CtrlMsg::HarvestTelemetry`] round, returning the
+    /// number of spans merged. Runs automatically after each history
+    /// eviction barrier and at end of run; call it directly for an
+    /// on-demand drain.
+    ///
+    /// Each round performs the clock-offset handshake: the worker's
+    /// reply clock is assumed to land at the midpoint of the observed
+    /// round trip on the controller clock, and its spans are rebased by
+    /// that offset before merging. Workers sharing the in-process sink
+    /// reply empty (their spans never cross the wire), and severed
+    /// workers are skipped — harvest is best-effort observability and
+    /// never fails a run. The raw links are used (not the recorded
+    /// send/recv paths) so harvest traffic never inflates the
+    /// [`SpanKind::Boundary`] accounting it exists to collect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Codec`] only on a protocol violation (a
+    /// live worker answering with something other than
+    /// [`ShardMsg::Telemetry`]).
+    pub fn harvest_telemetry(&mut self) -> Result<u64, StoreError> {
+        let Some(t) = self.telemetry.clone() else {
+            return Ok(0);
+        };
+        let mut merged = 0u64;
+        for j in 0..self.links.len() {
+            let t_send = t.now_us();
+            if self.links[j]
+                .send(CtrlMsg::HarvestTelemetry { now_us: t_send })
+                .is_err()
+            {
+                continue; // severed: its buffer drains on a later round
+            }
+            let reply = match self.links[j].recv() {
+                Ok(reply) => reply,
+                Err(_) => continue,
+            };
+            let t_recv = t.now_us();
+            let ShardMsg::Telemetry {
+                worker,
+                now_us,
+                spans,
+                counters,
+                dropped,
+            } = reply
+            else {
+                return Err(protocol_err("Telemetry", &reply));
+            };
+            if spans.is_empty() && counters.is_empty() && dropped == 0 {
+                continue; // shared-sink worker: nothing crossed the wire
+            }
+            let midpoint = t_send + (t_recv - t_send) / 2;
+            let offset = midpoint as i64 - now_us as i64;
+            let track = t.remote_track(&format!("worker {worker} (remote)"));
+            merged += spans.len() as u64;
+            t.ingest(track, &spans, offset);
+            t.set_remote_dropped(track, dropped);
+            for (c, n) in counters {
+                t.counter_add(c, n);
+            }
+        }
+        Ok(merged)
     }
 
     /// Sends one request to worker `j`, recorded as a boundary-send span.
@@ -846,6 +913,10 @@ impl<S: Space> DistTracker<S> {
             total += removed;
         }
         self.hist_floor = floor;
+        // Eviction is the run's natural quiesce barrier: piggyback a
+        // telemetry harvest so out-of-process buffers drain steadily
+        // instead of ballooning until end of run.
+        self.harvest_telemetry()?;
         Ok(total)
     }
 
@@ -993,6 +1064,13 @@ impl<S: Space> DepTracker<S> for DistTracker<S> {
     #[inline]
     fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         DistTracker::set_telemetry(self, telemetry)
+    }
+
+    #[inline]
+    fn harvest_telemetry(&mut self) {
+        // Best-effort by contract: a protocol violation here is surfaced
+        // by the next real request, not by the harvest.
+        let _ = DistTracker::harvest_telemetry(self);
     }
 }
 

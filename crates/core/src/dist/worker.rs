@@ -12,14 +12,19 @@
 //! behind the `dist-socket` transport without touching this file's
 //! logic.
 //!
-//! The one deliberate exception is telemetry: workers observe the
-//! controller's [`Telemetry`] sink through a [`SharedTelemetry`] cell so
-//! `trace_tool stalls` can attribute apply time per worker. That cell is
-//! observability-only — no simulation state flows through it, and a
-//! socket-served worker (a different process) simply runs without it.
+//! The one deliberate exception is telemetry: a same-process worker
+//! observes the controller's [`Telemetry`] sink through a
+//! [`SharedTelemetry`] cell so `trace_tool stalls` can attribute apply
+//! time per worker. That cell is observability-only — no simulation
+//! state flows through it — and it cannot cross an OS-process boundary:
+//! a socket-served worker instead records into its **own** local
+//! `Telemetry` buffer (armed lazily by the first
+//! [`CtrlMsg::HarvestTelemetry`]) which the controller drains over the
+//! wire and merges onto its timeline.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -31,15 +36,49 @@ use aim_store::{codec, Db, Key, StoreError};
 use crate::depgraph::{bump_commit_counter, AGENT_TAG, HIST_FLOOR_KEY, HIST_TAG};
 use crate::rules::RuleParams;
 use crate::space::{Space, SpatialIndex};
-use crate::telemetry::{BoundaryOp, SpanKind, Telemetry};
+use crate::telemetry::{BoundaryOp, Counter, SpanKind, Telemetry};
 
 use super::msg::{CtrlMsg, NodeRecord, Probe, ShardMsg, WireEdge};
 
+/// A generation-counted slot for the controller's in-process telemetry
+/// sink: set by [`crate::dist::DistTracker::set_telemetry`] (and cleared
+/// on teardown), observed by workers. The generation counter lets a
+/// worker cache the `Arc` locally and refresh with a single relaxed
+/// atomic load per message — the mutex is touched only when the sink
+/// actually changes, keeping the lock off the per-message hot path
+/// (`dist/handle` in the bench suite pins this).
+#[derive(Debug, Default)]
+pub struct TelemetryCell {
+    generation: AtomicU64,
+    sink: Mutex<Option<Arc<Telemetry>>>,
+}
+
+impl TelemetryCell {
+    /// Installs (or clears) the shared sink, bumping the generation so
+    /// workers refresh their cached copy on their next message.
+    pub fn set(&self, sink: Option<Arc<Telemetry>>) {
+        *self.sink.lock() = sink;
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current generation (one relaxed-cost load; changes exactly
+    /// when [`TelemetryCell::set`] is called).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Clones the current sink out of the cell (locks; workers call this
+    /// only on a generation change).
+    pub fn get(&self) -> Option<Arc<Telemetry>> {
+        self.sink.lock().clone()
+    }
+}
+
 /// The controller's telemetry sink as seen by workers: filled in by
-/// [`crate::dist::DistTracker::set_telemetry`], read by every worker
-/// before handling a message. Observability-only — the message protocol
+/// [`crate::dist::DistTracker::set_telemetry`], cached per worker via the
+/// cell's generation counter. Observability-only — the message protocol
 /// remains the sole channel for simulation state.
-pub type SharedTelemetry = Arc<Mutex<Option<Arc<Telemetry>>>>;
+pub type SharedTelemetry = Arc<TelemetryCell>;
 
 /// One side of the message boundary: how the controller reaches a shard
 /// worker. Phase 1 is the in-process [`ChannelLink`]; phase 2 adds the
@@ -88,6 +127,20 @@ pub struct ShardWorker<S: Space> {
     steps: BTreeSet<(u32, u32)>,
     commits_key: Key,
     telemetry: SharedTelemetry,
+    /// Cached copy of the shared sink, refreshed when the cell's
+    /// generation counter changes — keeps the cell's mutex off the
+    /// per-message hot path.
+    cached_sink: Option<Arc<Telemetry>>,
+    cached_generation: u64,
+    /// The worker's own recording buffer, used when no in-process sink
+    /// is shared (the socket transport). Created disabled; the first
+    /// [`CtrlMsg::HarvestTelemetry`] arms it.
+    local: Arc<Telemetry>,
+    /// Per-buffer drain watermarks: spans below these were already
+    /// shipped in a previous harvest.
+    harvest_cursor: Vec<usize>,
+    /// Counter values as of the previous harvest (deltas go on the wire).
+    harvest_counters: [u64; Counter::ALL.len()],
     /// Reused candidate buffer for relink queries.
     scratch: Vec<u32>,
 }
@@ -115,6 +168,8 @@ impl<S: Space> ShardWorker<S> {
         telemetry: SharedTelemetry,
     ) -> Self {
         let index = space.make_index(params.coupling_units());
+        let local = Arc::new(Telemetry::new());
+        local.set_enabled(false); // armed by the first HarvestTelemetry
         ShardWorker {
             id,
             space,
@@ -126,6 +181,11 @@ impl<S: Space> ShardWorker<S> {
             steps: BTreeSet::new(),
             commits_key: Key::new("dep:commits"),
             telemetry,
+            cached_sink: None,
+            cached_generation: 0,
+            local,
+            harvest_cursor: Vec::new(),
+            harvest_counters: [0; Counter::ALL.len()],
             scratch: Vec::new(),
         }
     }
@@ -145,16 +205,30 @@ impl<S: Space> ShardWorker<S> {
     /// as [`ShardMsg::Failed`] (the worker never panics on protocol
     /// input); a failed request commits nothing.
     pub fn handle(&mut self, msg: CtrlMsg<S::Pos>) -> ShardMsg<S::Pos> {
-        let sink = self.telemetry.lock().clone();
-        let t0 = sink.as_ref().and_then(|t| t.start());
+        // One relaxed-cost atomic load per message; the cell's mutex is
+        // taken only when the installed sink actually changed.
+        let generation = self.telemetry.generation();
+        if generation != self.cached_generation {
+            self.cached_sink = self.telemetry.get();
+            self.cached_generation = generation;
+        }
+        // Harvest replies are bookkeeping, not protocol work: answer
+        // before the Apply-span bracket so harvests never appear as (or
+        // inflate) apply time on the merged timeline.
+        if matches!(msg, CtrlMsg::HarvestTelemetry { .. }) {
+            return self.harvest();
+        }
+        let sink = self.cached_sink.as_deref().unwrap_or(&self.local);
+        let t0 = sink.start();
         let reply = match self.dispatch(msg) {
             Ok(reply) => reply,
             Err(e) => ShardMsg::Failed {
                 message: format!("worker {}: {e}", self.id),
             },
         };
-        if let (Some(t), Some(t0)) = (sink, t0) {
-            t.record(
+        if let Some(t0) = t0 {
+            let sink = self.cached_sink.as_deref().unwrap_or(&self.local);
+            sink.record(
                 t0,
                 SpanKind::Boundary {
                     worker: self.id,
@@ -162,8 +236,50 @@ impl<S: Space> ShardWorker<S> {
                     messages: 1,
                 },
             );
+            if self.cached_sink.is_none() {
+                // The controller counts boundary messages on its side of
+                // a shared sink; only the wire-harvested local buffer
+                // must count its own.
+                sink.counter_add(Counter::BoundaryMessages, 1);
+            }
         }
         reply
+    }
+
+    /// Drains everything recorded since the previous harvest into a
+    /// [`ShardMsg::Telemetry`] reply. With a shared in-process sink the
+    /// worker's spans already live in the controller's buffers, so the
+    /// reply is empty (merging it would double-count); without one, the
+    /// first harvest arms the local buffer and each harvest ships the
+    /// increment plus the running overflow total.
+    fn harvest(&mut self) -> ShardMsg<S::Pos> {
+        if self.cached_sink.is_some() {
+            return ShardMsg::Telemetry {
+                worker: self.id,
+                now_us: self.local.now_us(),
+                spans: Vec::new(),
+                counters: Vec::new(),
+                dropped: 0,
+            };
+        }
+        self.local.set_enabled(true);
+        let spans = self.local.drain_new_spans(&mut self.harvest_cursor);
+        let mut counters = Vec::new();
+        for (slot, &c) in self.harvest_counters.iter_mut().zip(Counter::ALL.iter()) {
+            let total = self.local.counter(c);
+            let delta = total - *slot;
+            if delta > 0 {
+                counters.push((c, delta));
+            }
+            *slot = total;
+        }
+        ShardMsg::Telemetry {
+            worker: self.id,
+            now_us: self.local.now_us(),
+            spans,
+            counters,
+            dropped: self.local.dropped(),
+        }
     }
 
     fn dispatch(&mut self, msg: CtrlMsg<S::Pos>) -> Result<ShardMsg<S::Pos>, StoreError> {
@@ -199,6 +315,9 @@ impl<S: Space> ShardWorker<S> {
                 let states = self.recover(&expected)?;
                 Ok(ShardMsg::Recovered { states })
             }
+            // Normally intercepted in `handle` (before the Apply-span
+            // bracket); kept here so the match stays exhaustive.
+            CtrlMsg::HarvestTelemetry { .. } => Ok(self.harvest()),
             CtrlMsg::Shutdown => Ok(ShardMsg::Done),
         }
     }

@@ -498,6 +498,10 @@ where
     result?;
 
     let telemetry = telemetry.map(|t| {
+        // Final harvest: drain any telemetry the tracker's workers
+        // buffered outside the sink (out-of-process shards) before the
+        // report is assembled.
+        scheduler.graph_mut().harvest_telemetry();
         t.finish(
             run_start_us.expect("set whenever telemetry is"),
             t.now_us(),

@@ -431,6 +431,28 @@ impl SpanBuf {
             }
         }
     }
+
+    /// Copies published spans from slot `from` on into `out`, stopping at
+    /// the first unpublished slot — an incremental reader must never skip
+    /// a slot it will not revisit. Returns the new watermark. With a
+    /// single producer (a `dist` worker records only on its message
+    /// thread) every claimed slot below `next` is already published, so
+    /// the watermark always reaches the full used count.
+    fn drain_range_into(&self, from: usize, out: &mut Vec<Span>) -> usize {
+        let used = self.next.load(Ordering::Relaxed).min(self.slots.len());
+        let mut pos = from.min(used);
+        while pos < used {
+            let slot = &self.slots[pos];
+            if !slot.ready.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: the Acquire load synchronizes with the producer's
+            // Release store (invariant 3).
+            out.push(unsafe { (*slot.span.get()).assume_init() });
+            pos += 1;
+        }
+        pos
+    }
 }
 
 /// Named monotonic counters recorded alongside spans.
@@ -503,7 +525,23 @@ pub struct Telemetry {
     /// All buffers, `shared` first; recorders append under the lock
     /// (registration only — never on the span hot path).
     buffers: Mutex<Vec<Arc<SpanBuf>>>,
+    /// Named tracks fed by harvested remote producers (`dist` workers in
+    /// other threads or processes); their buffers are also in `buffers`
+    /// so drains and drop accounting see them uniformly.
+    remote: Mutex<Vec<RemoteTrack>>,
     counters: [AtomicU64; Counter::ALL.len()],
+}
+
+/// One remote producer merged into this sink: the Perfetto track name
+/// plus the worker-reported drop count (spans its *local* buffer
+/// overflowed before they ever reached the wire — distinct from drops in
+/// `buf`, which mean the controller-side ingest buffer overflowed).
+#[derive(Debug)]
+struct RemoteTrack {
+    track: u32,
+    name: String,
+    reported_dropped: u64,
+    buf: Arc<SpanBuf>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -541,6 +579,7 @@ impl Telemetry {
             capacity,
             buffers: Mutex::new(vec![Arc::clone(&shared)]),
             shared,
+            remote: Mutex::new(Vec::new()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -625,9 +664,73 @@ impl Telemetry {
         }
     }
 
-    /// Spans dropped to overflow across all buffers so far.
+    /// Registers (or looks up) a named track for spans harvested from a
+    /// remote producer — a `dist` worker in another thread or OS
+    /// process. Idempotent by name, so harvesting the same worker
+    /// repeatedly keeps appending to one track. Registration locks;
+    /// never call it on a span hot path.
+    pub fn remote_track(&self, name: &str) -> u32 {
+        let mut remote = self.remote.lock();
+        if let Some(r) = remote.iter().find(|r| r.name == name) {
+            return r.track;
+        }
+        let mut buffers = self.buffers.lock();
+        let buf = Arc::new(SpanBuf::new(buffers.len() as u32, self.capacity));
+        buffers.push(Arc::clone(&buf));
+        let track = buf.track;
+        remote.push(RemoteTrack {
+            track,
+            name: name.to_string(),
+            reported_dropped: 0,
+            buf,
+        });
+        track
+    }
+
+    /// Merges spans harvested from the remote producer registered as
+    /// `track`, rebasing each timestamp from the remote clock onto this
+    /// sink's by `offset_us` (`local ≈ remote + offset`; see the
+    /// harvest handshake in `dist::DistTracker` for how the offset is
+    /// estimated). Unknown tracks are ignored; overflow is counted in
+    /// the track's buffer, never silent.
+    pub fn ingest(&self, track: u32, spans: &[Span], offset_us: i64) {
+        let Some(buf) = self
+            .remote
+            .lock()
+            .iter()
+            .find(|r| r.track == track)
+            .map(|r| Arc::clone(&r.buf))
+        else {
+            return;
+        };
+        let rebase = |us: u64| -> u64 { (us as i64).saturating_add(offset_us).max(0) as u64 };
+        for s in spans {
+            let start_us = rebase(s.start_us);
+            buf.push(Span {
+                start_us,
+                end_us: rebase(s.end_us).max(start_us),
+                track,
+                kind: s.kind,
+            });
+        }
+    }
+
+    /// Records the drop count a remote producer reported for its own
+    /// local buffer. The count is absolute (a running total on the
+    /// worker side), so repeated harvests keep the maximum.
+    pub fn set_remote_dropped(&self, track: u32, dropped: u64) {
+        let mut remote = self.remote.lock();
+        if let Some(r) = remote.iter_mut().find(|r| r.track == track) {
+            r.reported_dropped = r.reported_dropped.max(dropped);
+        }
+    }
+
+    /// Spans dropped to overflow across all buffers so far, plus every
+    /// drop a remote producer reported for its own local buffer.
     pub fn dropped(&self) -> u64 {
-        self.buffers.lock().iter().map(|b| b.dropped()).sum()
+        let local: u64 = self.buffers.lock().iter().map(|b| b.dropped()).sum();
+        let remote: u64 = self.remote.lock().iter().map(|r| r.reported_dropped).sum();
+        local + remote
     }
 
     /// Copies every published span out of every buffer, sorted by start
@@ -642,12 +745,50 @@ impl Telemetry {
         out
     }
 
+    /// Incremental drain for harvests: copies only spans recorded since
+    /// the previous call with the same `cursor` (one watermark per
+    /// buffer; start from an empty vec). A slot still being written is
+    /// left for the next harvest rather than skipped, so no span is ever
+    /// lost between harvests. Spans come back sorted by start time.
+    pub fn drain_new_spans(&self, cursor: &mut Vec<usize>) -> Vec<Span> {
+        let buffers = self.buffers.lock().clone();
+        cursor.resize(buffers.len(), 0);
+        let mut out = Vec::new();
+        for (i, buf) in buffers.iter().enumerate() {
+            cursor[i] = buf.drain_range_into(cursor[i], &mut out);
+        }
+        out.sort_unstable_by_key(|s| (s.start_us, s.end_us, s.track));
+        out
+    }
+
     /// Snapshot of all counters in display order.
     pub fn counters(&self) -> Vec<(Counter, u64)> {
         Counter::ALL
             .into_iter()
             .map(|c| (c, self.counter(c)))
             .collect()
+    }
+
+    /// A cheap point-in-time sample for live surfaces
+    /// (`repro --live-stats`, Prometheus exposition): counts only — no
+    /// span copying, no quiesce — safe to take from any thread mid-run.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (spans, dropped, buffers) = {
+            let bufs = self.buffers.lock();
+            let spans = bufs
+                .iter()
+                .map(|b| b.next.load(Ordering::Relaxed).min(b.slots.len()) as u64)
+                .sum();
+            let dropped = bufs.iter().map(|b| b.dropped()).sum();
+            (spans, dropped, bufs.len() as u32)
+        };
+        MetricsSnapshot {
+            at_us: self.now_us(),
+            spans,
+            dropped,
+            buffers,
+            counters: self.counters(),
+        }
     }
 
     /// Assembles the unified report for a run spanning
@@ -673,7 +814,17 @@ impl Telemetry {
                 s
             })
             .collect();
-        RunTelemetry::from_spans(
+        let worker_tracks: Vec<WorkerTrack> = self
+            .remote
+            .lock()
+            .iter()
+            .map(|r| WorkerTrack {
+                track: r.track,
+                name: r.name.clone(),
+                dropped: r.reported_dropped + r.buf.dropped(),
+            })
+            .collect();
+        let mut rt = RunTelemetry::from_spans(
             spans,
             wall_us,
             agents,
@@ -681,8 +832,52 @@ impl Telemetry {
             self.counters(),
             sched,
             fleet,
-        )
+        );
+        rt.worker_tracks = worker_tracks;
+        rt
     }
+}
+
+/// A cheap statistics sample taken mid-run without quiescing — the live
+/// metrics surface behind `repro --live-stats` and the Prometheus-style
+/// exposition in `aim-trace`. Everything here is a counter read; taking
+/// one never copies spans or perturbs producers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sample time, µs on the sink's clock.
+    pub at_us: u64,
+    /// Spans published across all buffers so far.
+    pub spans: u64,
+    /// Spans dropped to buffer overflow so far.
+    pub dropped: u64,
+    /// Buffers registered (shared + per-worker + remote tracks).
+    pub buffers: u32,
+    /// Counter snapshot, display order.
+    pub counters: Vec<(Counter, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of `counter` (0 when never bumped).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(c, _)| *c == counter)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+/// One named per-worker track in a merged report: which Perfetto track a
+/// harvested worker's spans landed on, and how many of its spans were
+/// lost before reaching the report (worker-local buffer overflow plus
+/// controller-side ingest overflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerTrack {
+    /// Track id carried by this worker's spans.
+    pub track: u32,
+    /// Display name for the track (becomes the Perfetto thread name).
+    pub name: String,
+    /// Spans lost before reaching this report.
+    pub dropped: u64,
 }
 
 /// A per-thread handle: one lock-free [`SpanBuf`] plus the shared sink.
@@ -953,6 +1148,9 @@ pub struct RunTelemetry {
     /// Critical-path lower bound (µs) from `aim-trace::critical`, when
     /// the workload has a trace to derive it from.
     pub critical_path_us: Option<u64>,
+    /// Named per-worker tracks with drop accounting, for merged
+    /// distributed runs (empty when every producer was in-process).
+    pub worker_tracks: Vec<WorkerTrack>,
     /// Every recorded span, sorted by start time.
     pub spans: Vec<Span>,
 }
@@ -997,8 +1195,23 @@ impl RunTelemetry {
             decomposition,
             phases,
             critical_path_us: None,
+            worker_tracks: Vec::new(),
             spans,
         }
+    }
+
+    /// Attaches per-worker track names and drop accounting (merged
+    /// distributed runs; see [`WorkerTrack`]).
+    pub fn set_worker_tracks(&mut self, tracks: Vec<WorkerTrack>) {
+        self.worker_tracks = tracks;
+    }
+
+    /// The registered name of `track`, when a worker track matches.
+    pub fn track_name(&self, track: u32) -> Option<&str> {
+        self.worker_tracks
+            .iter()
+            .find(|t| t.track == track)
+            .map(|t| t.name.as_str())
     }
 
     /// The histogram for `phase`, if any span fell in it.
@@ -1563,6 +1776,86 @@ mod tests {
                 kind: CallKind::Reflect
             }
         );
+    }
+
+    #[test]
+    fn remote_tracks_merge_rebased_and_account_drops() {
+        let tel = Arc::new(Telemetry::new());
+        let track = tel.remote_track("worker 7 (remote)");
+        assert!(track > 0, "remote tracks never alias the shared buffer");
+        assert_eq!(
+            tel.remote_track("worker 7 (remote)"),
+            track,
+            "idempotent by name"
+        );
+        // Remote clock runs 50µs behind: offset +50 lands it on ours.
+        tel.ingest(track, &[span(10, 30, SpanKind::Checkpoint { step: 2 })], 50);
+        // A negative offset that would underflow clamps to 0.
+        tel.ingest(
+            track,
+            &[span(10, 30, SpanKind::Checkpoint { step: 3 })],
+            -20,
+        );
+        tel.set_remote_dropped(track, 4);
+        tel.set_remote_dropped(track, 2); // absolute: keeps the max
+        let spans = tel.drain_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start_us, spans[0].end_us), (0, 10));
+        assert_eq!((spans[1].start_us, spans[1].end_us), (60, 80));
+        assert!(spans.iter().all(|s| s.track == track));
+        assert_eq!(tel.dropped(), 4, "worker-reported drops are counted");
+        let rt = tel.finish(0, 100, 1, SchedStats::default(), None);
+        assert_eq!(rt.dropped, 4);
+        assert_eq!(
+            rt.worker_tracks,
+            vec![WorkerTrack {
+                track,
+                name: "worker 7 (remote)".to_string(),
+                dropped: 4,
+            }]
+        );
+        assert_eq!(rt.track_name(track), Some("worker 7 (remote)"));
+        assert_eq!(rt.track_name(0), None);
+    }
+
+    #[test]
+    fn ingest_unknown_track_is_ignored() {
+        let tel = Arc::new(Telemetry::new());
+        tel.ingest(9, &[span(0, 1, SpanKind::Checkpoint { step: 0 })], 0);
+        tel.set_remote_dropped(9, 100);
+        assert!(tel.drain_spans().is_empty());
+        assert_eq!(tel.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_new_spans_is_incremental() {
+        let tel = Arc::new(Telemetry::new());
+        let rec = tel.recorder();
+        let mut cursor = Vec::new();
+        tel.record_at(0, 1, SpanKind::Checkpoint { step: 0 });
+        rec.record_at(2, 3, SpanKind::Checkpoint { step: 1 });
+        assert_eq!(tel.drain_new_spans(&mut cursor).len(), 2);
+        assert_eq!(tel.drain_new_spans(&mut cursor).len(), 0, "nothing new");
+        tel.record_at(4, 5, SpanKind::Checkpoint { step: 2 });
+        let fresh = tel.drain_new_spans(&mut cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].kind, SpanKind::Checkpoint { step: 2 });
+        // The full drain still sees everything (non-destructive).
+        assert_eq!(tel.drain_spans().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_samples_counts_without_spans() {
+        let tel = Arc::new(Telemetry::new());
+        tel.record_at(0, 1, SpanKind::Checkpoint { step: 0 });
+        tel.counter_add(Counter::LlmCalls, 3);
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans, 1);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.buffers, 1);
+        assert_eq!(snap.counter(Counter::LlmCalls), 3);
+        assert_eq!(snap.counter(Counter::FleetHedges), 0);
+        assert!(snap.at_us >= 1 || snap.at_us == 0);
     }
 
     #[test]

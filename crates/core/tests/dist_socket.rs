@@ -18,7 +18,9 @@ use std::sync::Arc;
 use aim_core::dist::socket::{serve_connection, SocketLink};
 use aim_core::dist::{CtrlMsg, NodeRecord, Probe, ShardMsg, ShardWorker, WireEdge, WorkerLink};
 use aim_core::prelude::*;
+use aim_core::scheduler::SchedStats;
 use aim_core::space::GridSpace;
+use aim_core::telemetry::{BoundaryOp, SpanKind, Telemetry};
 use aim_store::Db;
 
 const ADDR_VAR: &str = "AIM_DIST_WORKER_ADDR";
@@ -66,6 +68,25 @@ fn worker_in_a_separate_process_serves_the_full_protocol() {
     let (stream, _) = listener.accept().expect("worker connects");
     let s = space();
     let mut link = SocketLink::connect(7, Arc::clone(&s), stream).expect("AIMMSG handshake");
+
+    // Arm the worker's local telemetry buffer: the process boundary makes
+    // the in-process SharedTelemetry cell unreachable, so the first
+    // harvest enables worker-side recording (and returns nothing — the
+    // worker recorded nothing before it).
+    let telemetry = Telemetry::new();
+    link.send(CtrlMsg::HarvestTelemetry {
+        now_us: telemetry.now_us(),
+    })
+    .unwrap();
+    match link.recv().unwrap() {
+        ShardMsg::Telemetry {
+            worker: 7,
+            spans,
+            dropped: 0,
+            ..
+        } => assert!(spans.is_empty(), "nothing recorded before arming"),
+        other => panic!("expected an empty Telemetry reply, got {other:?}"),
+    }
 
     // Populate: three agents, two adjacent (they will couple), one far.
     let records: Vec<NodeRecord<Point>> = [(0, 10, 10), (1, 11, 10), (2, 50, 50)]
@@ -159,8 +180,82 @@ fn worker_in_a_separate_process_serves_the_full_protocol() {
     link.send(CtrlMsg::EvictHistory { floor: 1 }).unwrap();
     assert_eq!(link.recv().unwrap(), ShardMsg::Evicted { removed: 3 });
 
+    // Second harvest: everything the armed worker applied above crosses
+    // the wire as spans on its own clock; the midpoint-of-RTT offset
+    // rebases them onto the controller's timeline.
+    let t_send = telemetry.now_us();
+    link.send(CtrlMsg::HarvestTelemetry { now_us: t_send })
+        .unwrap();
+    let reply = link.recv().unwrap();
+    let t_recv = telemetry.now_us();
+    let ShardMsg::Telemetry {
+        worker,
+        now_us,
+        spans,
+        counters,
+        dropped,
+    } = reply
+    else {
+        panic!("expected Telemetry, got {reply:?}");
+    };
+    assert_eq!(worker, 7);
+    assert!(
+        !spans.is_empty(),
+        "the armed worker recorded its protocol applies"
+    );
+    assert!(
+        spans.iter().all(|sp| matches!(
+            sp.kind,
+            SpanKind::Boundary {
+                worker: 7,
+                op: BoundaryOp::Apply,
+                ..
+            }
+        )),
+        "worker-side spans are all remote applies: {spans:?}"
+    );
+    assert!(
+        counters
+            .iter()
+            .any(|&(c, n)| c == aim_core::telemetry::Counter::BoundaryMessages && n > 0),
+        "worker counts its own boundary messages: {counters:?}"
+    );
+
+    // Merge into the controller sink exactly as DistTracker::
+    // harvest_telemetry does, then check the remote applies survive into
+    // the finished report on their own named track.
+    let midpoint = t_send + (t_recv - t_send) / 2;
+    let offset = midpoint as i64 - now_us as i64;
+    let track = telemetry.remote_track("worker 7 (remote)");
+    telemetry.ingest(track, &spans, offset);
+    telemetry.set_remote_dropped(track, dropped);
+    let wire_spans = spans.len();
+
     link.send(CtrlMsg::Shutdown).unwrap();
     assert_eq!(link.recv().unwrap(), ShardMsg::Done);
+
+    let end = telemetry.now_us();
+    let rt = telemetry.finish(0, end, 3, SchedStats::default(), None);
+    assert_eq!(rt.track_name(track), Some("worker 7 (remote)"));
+    let remote_applies = rt
+        .spans
+        .iter()
+        .filter(|sp| {
+            sp.track == track
+                && matches!(
+                    sp.kind,
+                    SpanKind::Boundary {
+                        worker: 7,
+                        op: BoundaryOp::Apply,
+                        ..
+                    }
+                )
+        })
+        .count();
+    assert_eq!(
+        remote_applies, wire_spans,
+        "every harvested remote apply lands in the merged report"
+    );
 
     let status = child.wait().expect("child exit status");
     assert!(status.success(), "worker process failed: {status}");

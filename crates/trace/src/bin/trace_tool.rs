@@ -13,6 +13,7 @@
 //! trace_tool snapshot ckpt-00000040.aimsnap --validate
 //! trace_tool timeline run.telemetry --out traces/ --validate
 //! trace_tool stalls run.telemetry --top 10
+//! trace_tool stalls --diff before.telemetry after.telemetry
 //! ```
 //!
 //! `latency` exports the serving-latency distribution the trace induces
@@ -49,7 +50,8 @@ fn usage() -> ! {
          [--step-us U] [--no-priority]\n  \
          trace_tool snapshot <file.aimsnap> [--validate]\n  \
          trace_tool timeline <run.telemetry> [--out <dir>] [--validate]\n  \
-         trace_tool stalls <run.telemetry> [--top K]"
+         trace_tool stalls <run.telemetry> [--top K]\n  \
+         trace_tool stalls --diff <a.telemetry> <b.telemetry>"
     );
     std::process::exit(2);
 }
@@ -219,6 +221,13 @@ fn cmd_timeline(args: &[String]) {
 }
 
 fn cmd_stalls(args: &[String]) {
+    if args[0] == "--diff" {
+        if args.len() != 3 {
+            usage();
+        }
+        cmd_stalls_diff(&args[1], &args[2]);
+        return;
+    }
     let path = &args[0];
     let mut top = 10usize;
     let mut it = args[1..].iter();
@@ -246,6 +255,12 @@ fn cmd_stalls(args: &[String]) {
             h.total_us, h.count
         );
     }
+    for t in &rt.worker_tracks {
+        println!(
+            "worker      : {} (track {}) · {} spans overflowed worker-side",
+            t.name, t.track, t.dropped
+        );
+    }
     let edges = rt.stall_edges(top);
     if edges.is_empty() {
         println!("no blocking edges recorded — nothing ever waited");
@@ -271,6 +286,86 @@ fn cmd_stalls(args: &[String]) {
             e.count,
             e.total_us
         );
+    }
+}
+
+/// `stalls --diff a b`: side-by-side stall decomposition of two runs for
+/// regression triage — which phase grew, which counters moved.
+fn cmd_stalls_diff(path_a: &str, path_b: &str) {
+    use aim_core::telemetry::Phase;
+
+    let a = load_telemetry(path_a);
+    let b = load_telemetry(path_b);
+    println!("a           : {path_a}");
+    println!("b           : {path_b}");
+    let pct = |x: f64| 100.0 * x;
+    let row = |label: &str, va: f64, vb: f64| {
+        println!(
+            "{label:<11} : {va:>7.1}% -> {vb:>7.1}%  ({:+.1} pp)",
+            vb - va
+        );
+    };
+    row(
+        "llm",
+        pct(a.decomposition.llm_frac()),
+        pct(b.decomposition.llm_frac()),
+    );
+    row(
+        "blocked",
+        pct(a.decomposition.blocked_frac()),
+        pct(b.decomposition.blocked_frac()),
+    );
+    row(
+        "overhead",
+        pct(a.decomposition.overhead_frac()),
+        pct(b.decomposition.overhead_frac()),
+    );
+    row(
+        "checkpoint",
+        pct(a.decomposition.checkpoint_frac()),
+        pct(b.decomposition.checkpoint_frac()),
+    );
+    println!(
+        "wall        : {:>9.3} s -> {:>9.3} s  ({:+.1}%)",
+        a.wall_us as f64 / 1e6,
+        b.wall_us as f64 / 1e6,
+        100.0 * (b.wall_us as f64 - a.wall_us as f64) / a.wall_us.max(1) as f64
+    );
+    println!("dropped     : {:>9} -> {:>9}", a.dropped, b.dropped);
+    println!("phases      : (total µs per phase)");
+    for phase in Phase::ALL {
+        let ta = a.phase(phase).map_or(0, |h| h.total_us);
+        let tb = b.phase(phase).map_or(0, |h| h.total_us);
+        if ta == 0 && tb == 0 {
+            continue;
+        }
+        println!(
+            "  {:<11} {ta:>12} -> {tb:>12}  ({:+})",
+            phase.as_str(),
+            tb as i64 - ta as i64
+        );
+    }
+    let counters: std::collections::BTreeSet<&str> = a
+        .counters
+        .iter()
+        .chain(b.counters.iter())
+        .map(|(c, _)| c.as_str())
+        .collect();
+    if !counters.is_empty() {
+        println!("counters    :");
+        for name in counters {
+            let find = |rt: &aim_core::telemetry::RunTelemetry| {
+                rt.counters
+                    .iter()
+                    .find(|(c, _)| c.as_str() == name)
+                    .map_or(0, |(_, n)| *n)
+            };
+            let (na, nb) = (find(&a), find(&b));
+            println!(
+                "  {name:<18} {na:>12} -> {nb:>12}  ({:+})",
+                nb as i64 - na as i64
+            );
+        }
     }
 }
 

@@ -23,7 +23,9 @@
 
 use std::io::{BufRead, Write};
 
-use aim_core::telemetry::{BlockReason, BoundaryOp, Counter, RunTelemetry, Span, SpanKind};
+use aim_core::telemetry::{
+    BlockReason, BoundaryOp, Counter, MetricsSnapshot, RunTelemetry, Span, SpanKind, WorkerTrack,
+};
 use aim_llm::{AttemptOutcome, CallKind};
 
 use crate::TraceError;
@@ -37,8 +39,13 @@ const MAGIC: &str = "AIMTEL v1";
 /// M wall_us=<u64> agents=<u32> dropped=<u64> critical_us=<u64|none>
 /// K <counter-name> <u64>
 /// D <clusters_emitted> <agent_steps> <watcher_wakes> <blocked_evals> <max_step_skew> <max_cluster_size>
+/// W <track> <dropped> <name…>
 /// S <track> <start_us> <end_us> <kind> <kind-fields…>
 /// ```
+///
+/// `W` records name the per-worker tracks of a merged distributed run
+/// and carry each worker's span-buffer overflow count (the name runs to
+/// end of line).
 ///
 /// # Errors
 ///
@@ -68,6 +75,9 @@ pub fn write_telemetry(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), Trac
         d.max_step_skew,
         d.max_cluster_size
     )?;
+    for t in &rt.worker_tracks {
+        writeln!(w, "W {} {} {}", t.track, t.dropped, t.name)?;
+    }
     for s in &rt.spans {
         write!(w, "S {} {} {} ", s.track, s.start_us, s.end_us)?;
         match s.kind {
@@ -177,6 +187,7 @@ pub fn read_telemetry(r: &mut impl BufRead) -> Result<RunTelemetry, TraceError> 
     let mut seen_meta = false;
     let mut counters: Vec<(Counter, u64)> = Vec::new();
     let mut sched = aim_core::scheduler::SchedStats::default();
+    let mut worker_tracks: Vec<WorkerTrack> = Vec::new();
     let mut spans: Vec<Span> = Vec::new();
 
     for (no, line) in lines {
@@ -224,6 +235,31 @@ pub fn read_telemetry(r: &mut impl BufRead) -> Result<RunTelemetry, TraceError> 
                 sched.blocked_evals = next_u64_from(&mut f, no, "blocked_evals")?;
                 sched.max_step_skew = next_u64_from(&mut f, no, "max_step_skew")? as u32;
                 sched.max_cluster_size = next_u64_from(&mut f, no, "max_cluster_size")? as u32;
+            }
+            "W" => {
+                // The track name runs to end of line (it may contain
+                // spaces), so split the fixed fields off by hand.
+                let mut parts = line.splitn(4, ' ');
+                parts.next(); // "W"
+                let track = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "missing track"))?
+                    .parse::<u32>()
+                    .map_err(|e| parse_err(no, format!("bad track: {e}")))?;
+                let dropped = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "missing dropped"))?
+                    .parse::<u64>()
+                    .map_err(|e| parse_err(no, format!("bad dropped: {e}")))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(no, "missing track name"))?
+                    .to_string();
+                worker_tracks.push(WorkerTrack {
+                    track,
+                    name,
+                    dropped,
+                });
             }
             "S" => {
                 let track = next_u64_from(&mut f, no, "track")? as u32;
@@ -330,6 +366,7 @@ pub fn read_telemetry(r: &mut impl BufRead) -> Result<RunTelemetry, TraceError> 
     if let Some(us) = critical {
         rt.set_critical_path(us);
     }
+    rt.set_worker_tracks(worker_tracks);
     Ok(rt)
 }
 
@@ -470,7 +507,10 @@ fn span_name_args(kind: &SpanKind) -> (String, String) {
 /// Propagates I/O errors from `w`.
 pub fn write_chrome_trace(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), TraceError> {
     writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
-    let tracks: std::collections::BTreeSet<u32> = rt.spans.iter().map(|s| s.track).collect();
+    let mut tracks: std::collections::BTreeSet<u32> = rt.spans.iter().map(|s| s.track).collect();
+    // Registered worker tracks get a name row even if they shipped no
+    // spans this run (their drop count may still be the story).
+    tracks.extend(rt.worker_tracks.iter().map(|t| t.track));
     let mut first = true;
     let mut sep = |w: &mut dyn Write| -> std::io::Result<()> {
         if first {
@@ -481,10 +521,10 @@ pub fn write_chrome_trace(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), T
         }
     };
     for t in tracks {
-        let name = if t == 0 {
-            "shared (controller/backend/fleet)".to_string()
-        } else {
-            format!("worker {t}")
+        let name = match rt.track_name(t) {
+            Some(n) => n.to_string(),
+            None if t == 0 => "shared (controller/backend/fleet)".to_string(),
+            None => format!("worker {t}"),
         };
         sep(w)?;
         write!(
@@ -531,6 +571,30 @@ pub fn write_jsonl(rt: &RunTelemetry, w: &mut impl Write) -> Result<(), TraceErr
         )?;
     }
     Ok(())
+}
+
+/// Renders a live [`MetricsSnapshot`] in the Prometheus text exposition
+/// format (version 0.0.4): one `# TYPE` line per series, counters
+/// suffixed `_total`. The snapshot is sampled without quiescing, so the
+/// values are monotone but may lag each other by a few microseconds —
+/// fine for a heartbeat, not for invariant checks.
+#[must_use]
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut series = |name: &str, kind: &str, value: u64| {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    series("aim_uptime_microseconds", "gauge", snap.at_us);
+    series("aim_spans_total", "counter", snap.spans);
+    series("aim_spans_dropped_total", "counter", snap.dropped);
+    series("aim_span_buffers", "gauge", u64::from(snap.buffers));
+    for &(c, n) in &snap.counters {
+        let name = format!("aim_{}_total", c.as_str());
+        series(&name, "counter", n);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -828,6 +892,11 @@ mod tests {
         let counters = vec![(Counter::LlmCalls, 1), (Counter::FleetHedges, 1)];
         let mut rt = RunTelemetry::from_spans(spans, 100, 6, 2, counters, sched, None);
         rt.set_critical_path(42);
+        rt.set_worker_tracks(vec![WorkerTrack {
+            track: 1,
+            name: "worker 0 (remote)".to_string(),
+            dropped: 2,
+        }]);
         rt
     }
 
@@ -851,6 +920,40 @@ mod tests {
         assert!(text.contains("blocked 4 5 2 barrier"), "{text}");
         assert!(text.contains("attempt 99 1 1 served"), "{text}");
         assert!(text.contains("boundary 3 wait 4"), "{text}");
+        assert!(text.contains("W 1 2 worker 0 (remote)"), "{text}");
+    }
+
+    #[test]
+    fn worker_track_names_reach_chrome_trace() {
+        let rt = sample();
+        let mut buf = Vec::new();
+        write_chrome_trace(&rt, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("worker 0 (remote)"), "{text}");
+        assert!(text.contains("shared (controller/backend/fleet)"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_typed_and_complete() {
+        let snap = MetricsSnapshot {
+            at_us: 1_234,
+            spans: 10,
+            dropped: 1,
+            buffers: 3,
+            counters: vec![(Counter::LlmCalls, 5), (Counter::BoundaryMessages, 7)],
+        };
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE aim_spans_total counter"), "{text}");
+        assert!(text.contains("aim_spans_total 10"), "{text}");
+        assert!(text.contains("aim_spans_dropped_total 1"), "{text}");
+        assert!(text.contains("aim_llm_calls_total 5"), "{text}");
+        assert!(text.contains("aim_boundary_messages_total 7"), "{text}");
+        // Every series line is `name value` and every value parses.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            value.parse::<u64>().expect("numeric value");
+        }
     }
 
     #[test]

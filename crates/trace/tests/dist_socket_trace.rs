@@ -1,0 +1,197 @@
+//! End-to-end merged Perfetto export for a **two-OS-process** socket
+//! run: the controller (this test) drives a [`ShardWorker`] living in a
+//! separate process over `AIMMSG v1` TCP, records its own send/wait
+//! spans, harvests the worker's apply spans over the wire, and exports
+//! ONE validated `trace.json` in which both processes appear on
+//! distinct, named tracks.
+//!
+//! Same re-exec topology as `aim-core`'s `dist_socket.rs` smoke test:
+//! the controller binds a loopback listener and re-executes its own test
+//! binary filtered to [`trace_worker_child`] with the address in an
+//! environment variable. A plain `cargo test` pass sees the child test
+//! as a no-op.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::process::Command;
+use std::sync::Arc;
+
+use aim_core::dist::socket::{serve_connection, SocketLink};
+use aim_core::dist::{CtrlMsg, NodeRecord, ShardMsg, ShardWorker, WorkerLink};
+use aim_core::prelude::*;
+use aim_core::scheduler::SchedStats;
+use aim_core::space::GridSpace;
+use aim_core::telemetry::{BoundaryOp, SpanKind, Telemetry};
+use aim_store::Db;
+use aim_trace::telemetry::{
+    read_telemetry, validate_chrome_trace, write_chrome_trace, write_telemetry,
+};
+
+const ADDR_VAR: &str = "AIM_TRACE_WORKER_ADDR";
+
+fn space() -> Arc<GridSpace> {
+    Arc::new(GridSpace::new(64, 64))
+}
+
+/// The worker half; only active when re-executed with [`ADDR_VAR`] set.
+#[test]
+fn trace_worker_child() {
+    let Ok(addr) = std::env::var(ADDR_VAR) else {
+        return;
+    };
+    let stream = TcpStream::connect(addr).expect("child connects to controller");
+    let mut worker = ShardWorker::new(
+        3,
+        space(),
+        RuleParams::new(2, 1),
+        Arc::new(Db::new()),
+        true,
+        Arc::default(),
+    );
+    serve_connection(stream, &mut worker).expect("serve loop");
+}
+
+#[test]
+fn two_process_run_exports_one_merged_validated_trace() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["--exact", "trace_worker_child", "--nocapture"])
+        .env(ADDR_VAR, &addr)
+        .spawn()
+        .expect("spawn worker process");
+
+    let (stream, _) = listener.accept().expect("worker connects");
+    let mut link = SocketLink::connect(3, space(), stream).expect("AIMMSG handshake");
+
+    let telemetry = Telemetry::new();
+    let start = telemetry.now_us();
+
+    // Arming harvest: the process boundary hides the in-process sink, so
+    // the first harvest switches on worker-side recording.
+    link.send(CtrlMsg::HarvestTelemetry {
+        now_us: telemetry.now_us(),
+    })
+    .unwrap();
+    assert!(matches!(
+        link.recv().unwrap(),
+        ShardMsg::Telemetry { worker: 3, .. }
+    ));
+
+    // Controller-side spans: bracket each request with the same
+    // send/wait accounting DistTracker keeps, so the shared track has
+    // something to interleave with the remote applies.
+    let records: Vec<NodeRecord<Point>> = [(0, 8, 8), (1, 9, 8), (2, 40, 40)]
+        .into_iter()
+        .map(|(agent, x, y)| NodeRecord {
+            agent,
+            step: 0,
+            pos: Point::new(x, y),
+            history: vec![(0, Point::new(x, y))],
+        })
+        .collect();
+    let requests: Vec<CtrlMsg<Point>> = vec![
+        CtrlMsg::Arrive { records },
+        CtrlMsg::Commit {
+            updates: vec![(0, Point::new(8, 9))],
+        },
+        CtrlMsg::Quiesce,
+        CtrlMsg::EvictHistory { floor: 1 },
+    ];
+    for msg in requests {
+        let t0 = telemetry.start();
+        link.send(msg).unwrap();
+        if let Some(t0) = t0 {
+            telemetry.record(
+                t0,
+                SpanKind::Boundary {
+                    worker: 3,
+                    op: BoundaryOp::Send,
+                    messages: 1,
+                },
+            );
+        }
+        let t1 = telemetry.start();
+        let reply = link.recv().unwrap();
+        assert!(
+            !matches!(reply, ShardMsg::Failed { .. }),
+            "protocol failure: {reply:?}"
+        );
+        if let Some(t1) = t1 {
+            telemetry.record(
+                t1,
+                SpanKind::Boundary {
+                    worker: 3,
+                    op: BoundaryOp::Wait,
+                    messages: 1,
+                },
+            );
+        }
+    }
+
+    // Harvest the worker's applies with the clock-offset handshake.
+    let t_send = telemetry.now_us();
+    link.send(CtrlMsg::HarvestTelemetry { now_us: t_send })
+        .unwrap();
+    let reply = link.recv().unwrap();
+    let t_recv = telemetry.now_us();
+    let ShardMsg::Telemetry {
+        worker: 3,
+        now_us,
+        spans,
+        counters,
+        dropped,
+    } = reply
+    else {
+        panic!("expected Telemetry, got {reply:?}");
+    };
+    assert!(!spans.is_empty(), "armed worker recorded its applies");
+    let midpoint = t_send + (t_recv - t_send) / 2;
+    let offset = midpoint as i64 - now_us as i64;
+    let track = telemetry.remote_track("worker 3 (remote)");
+    telemetry.ingest(track, &spans, offset);
+    telemetry.set_remote_dropped(track, dropped);
+    for (c, n) in counters {
+        telemetry.counter_add(c, n);
+    }
+
+    link.send(CtrlMsg::Shutdown).unwrap();
+    assert_eq!(link.recv().unwrap(), ShardMsg::Done);
+    let status = child.wait().expect("child exit status");
+    assert!(status.success(), "worker process failed: {status}");
+
+    let end = telemetry.now_us();
+    let rt = telemetry.finish(start, end, 3, SchedStats::default(), None);
+
+    // The merged report round-trips through AIMTEL v1 with its worker
+    // track intact before it is exported.
+    let mut text = Vec::new();
+    write_telemetry(&rt, &mut text).expect("AIMTEL write");
+    let rt = read_telemetry(&mut BufReader::new(text.as_slice())).expect("AIMTEL read");
+    assert_eq!(rt.track_name(track), Some("worker 3 (remote)"));
+
+    // ONE trace.json, Perfetto-loadable, with spans from both processes
+    // on distinct named tracks.
+    let mut json = Vec::new();
+    write_chrome_trace(&rt, &mut json).expect("chrome trace write");
+    let json = String::from_utf8(json).expect("utf8");
+    let events = validate_chrome_trace(&json).expect("trace.json validates");
+    assert!(events > 0);
+    assert!(
+        json.contains("\"worker 3 (remote)\""),
+        "remote worker track is named in the export"
+    );
+    assert!(
+        json.contains("\"shared (controller/backend/fleet)\""),
+        "controller track is named in the export"
+    );
+
+    let controller_spans = rt.spans.iter().filter(|s| s.track != track).count();
+    let remote_spans = rt.spans.iter().filter(|s| s.track == track).count();
+    assert!(
+        controller_spans > 0 && remote_spans > 0,
+        "both processes contribute spans ({controller_spans} local, {remote_spans} remote)"
+    );
+}
