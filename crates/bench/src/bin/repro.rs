@@ -1,20 +1,24 @@
 //! The reproduction driver: `repro <experiment> [--quick] [--out DIR]
 //! [--checkpoint-every K] [--resume SNAP] [--telemetry DIR]
-//! [--live-stats N]`.
+//! [--live-stats N] [--serve PORT]`.
 
 use aim_bench::experiments;
 use aim_bench::harness::RunEnv;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP] [--telemetry DIR] [--live-stats N]\n\
-         experiments: calibrate city city-fleet fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun all\n\
+        "usage: repro <experiment> [--quick] [--out DIR] [--checkpoint-every K] [--resume SNAP] [--telemetry DIR] [--live-stats N] [--serve PORT]\n\
+         experiments: calibrate city city-fleet fig1 fig2 fig3 fig4a fig4b fig4c fig5 fig6 fig7 tab1 ablate spec hybrid fleet longrun smoke crash all\n\
          checkpoint flags apply to experiments that checkpoint (longrun): --checkpoint-every\n\
          overrides the snapshot cadence, --resume restarts from an AIMSNAP v1 file;\n\
          --telemetry records runtime spans on threaded experiments (city, city-fleet) and\n\
          writes .telemetry + Perfetto trace.json files under DIR (see trace_tool timeline);\n\
-         --live-stats prints a Prometheus-style metrics heartbeat every N seconds while an\n\
-         observed run is in flight (needs --telemetry; sampled without quiescing)"
+         --live-stats prints a Prometheus-style metrics heartbeat on stderr every N seconds\n\
+         while an observed run is in flight (needs --telemetry; sampled without quiescing);\n\
+         --serve exposes /metrics, /status, /healthz on 127.0.0.1:PORT for each observed\n\
+         run, with worker heartbeats and the stall watchdog (needs --telemetry);\n\
+         smoke is a small observed run for exercising the live flags; crash deliberately\n\
+         panics with the flight recorder armed (exits 101 leaving crash.* dumps)"
     );
     std::process::exit(2);
 }
@@ -52,6 +56,13 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--serve" => {
+                env.serve = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             name if !name.starts_with('-') && exp.is_none() => exp = Some(name.to_string()),
             _ => usage(),
         }
@@ -85,6 +96,8 @@ fn run(exp: &str, env: &RunEnv) {
         "hybrid" => experiments::hybrid::run(env),
         "fleet" => experiments::fleet::run(env),
         "longrun" => experiments::longrun::run(env),
+        "smoke" => experiments::smoke::run(env),
+        "crash" => experiments::smoke::crash(env),
         "all" => {
             for e in [
                 "calibrate",

@@ -29,19 +29,20 @@ use aim_world::program::VillageProgram;
 use crate::harness::RunEnv;
 use crate::table::Table;
 
-/// One sweep cell result.
-struct Cell {
-    agents: u32,
-    shards: usize,
-    wall_s: f64,
-    steps_per_s: f64,
-    resident: u64,
-    keys: u64,
-    evicted: u64,
-    max_cluster: u32,
-    skew: u32,
-    events: usize,
-    telemetry: Option<RunTelemetry>,
+/// One sweep cell result (shared with the `smoke` experiment, which
+/// drives a single small cell through the same machinery).
+pub(crate) struct Cell {
+    pub(crate) agents: u32,
+    pub(crate) shards: usize,
+    pub(crate) wall_s: f64,
+    pub(crate) steps_per_s: f64,
+    pub(crate) resident: u64,
+    pub(crate) keys: u64,
+    pub(crate) evicted: u64,
+    pub(crate) max_cluster: u32,
+    pub(crate) skew: u32,
+    pub(crate) events: usize,
+    pub(crate) telemetry: Option<RunTelemetry>,
 }
 
 /// Runs the experiment; prints the table and writes `city.csv`.
@@ -120,7 +121,26 @@ pub fn run(env: &RunEnv) {
             let dist_shards = 4;
             let sink = env.telemetry_sink();
             let _live = env.live_stats_guard(sink.as_ref());
-            let cell = drive_dist(&cfg, base.clone(), dist_shards, steps, every, sink);
+            // The health plane rides the dist arm: heartbeat polls feed
+            // the guard's board at every checkpoint barrier, and a
+            // severed worker link dumps the flight recorder.
+            let serve = env.status_guard(
+                &format!("city-{agents}-dist-w{dist_shards}"),
+                agents,
+                sink.as_ref(),
+                None,
+            );
+            let board = serve.as_ref().map(|g| Arc::clone(&g.board));
+            let cell = drive_dist(
+                &cfg,
+                base.clone(),
+                dist_shards,
+                steps,
+                every,
+                sink,
+                board,
+                env.telemetry.clone(),
+            );
             println!(
                 "  dist w{dist_shards} {:.2} s wall, {:.0} agent-steps/s, {} resident records",
                 cell.wall_s, cell.steps_per_s, cell.resident
@@ -150,7 +170,7 @@ pub fn run(env: &RunEnv) {
 
 /// Drives one (city, shard width) cell to completion. With a
 /// `telemetry` sink, the checkpointed run is observed end to end.
-fn drive(
+pub(crate) fn drive(
     cfg: &CityConfig,
     village: aim_world::Village,
     shards: usize,
@@ -226,7 +246,10 @@ fn drive(
 /// Drives one cell over [`DistTracker`]: every shard is a message-driven
 /// worker behind a channel link, so all writes and edge computations
 /// cross the typed `dist` protocol. History eviction at each checkpoint
-/// barrier doubles as the telemetry harvest barrier.
+/// barrier doubles as the telemetry harvest barrier; with a `board`,
+/// the same barrier also polls worker heartbeats into it, and with a
+/// `crash_dir` a severed worker link dumps the flight recorder there.
+#[allow(clippy::too_many_arguments)]
 fn drive_dist(
     cfg: &CityConfig,
     village: aim_world::Village,
@@ -234,12 +257,14 @@ fn drive_dist(
     steps: u32,
     every: u32,
     telemetry: Option<Arc<Telemetry>>,
+    board: Option<Arc<aim_core::health::HealthBoard>>,
+    crash_dir: Option<std::path::PathBuf>,
 ) -> Cell {
     let start = clock_to_step(8, 0);
     let space = village.space();
     let program = Arc::new(VillageProgram::with_step_offset(village, start));
     let initial = program.initial_positions();
-    let graph = DistTracker::new(
+    let mut graph = DistTracker::new(
         Arc::new(space),
         RuleParams::genagent(),
         &initial,
@@ -250,6 +275,16 @@ fn drive_dist(
         },
     )
     .expect("dist tracker");
+    if let (Some(dir), Some(t)) = (crash_dir, telemetry.as_ref()) {
+        let t = Arc::clone(t);
+        let agents = cfg.agents;
+        graph.set_severed_hook(Box::new(move |worker| {
+            eprintln!("[city] worker {worker} link severed — dumping flight recorder");
+            if let Err(e) = aim_serve::flight::write_crash_dump(&t, &dir, agents) {
+                eprintln!("[city] flight recorder dump failed: {e}");
+            }
+        }));
+    }
     let mut sched = Scheduler::from_graph(graph, DependencyPolicy::Spatiotemporal, Step(steps));
     let started = Instant::now();
     let mut evicted = 0u64;
@@ -258,6 +293,9 @@ fn drive_dist(
         let mut hook_fn = move |sched: &mut Scheduler<GridSpace, DistTracker<GridSpace>>|
               -> Result<(), EngineError> {
             *evicted += sched.evict_history()?;
+            if let Some(board) = &board {
+                sched.graph_mut().poll_heartbeats(board);
+            }
             Ok(())
         };
         run_threaded_observed(

@@ -212,6 +212,13 @@ pub fn run(env: &RunEnv) {
             let fleet = fleet_for(policy, agents, FaultPlan::none());
             let sink = env.telemetry_sink();
             let _live = env.live_stats_guard(sink.as_ref());
+            // `--serve` exposes this arm live, fleet gauges included.
+            let _serve = env.status_guard(
+                &format!("city-fleet-{agents}-{}", policy.as_str()),
+                agents,
+                sink.as_ref(),
+                Some(Arc::clone(&fleet) as Arc<dyn LlmBackend>),
+            );
             let cell = drive(&cfg, base.clone(), shards, steps, Arc::clone(&fleet), sink);
             println!("  [{} · {agents} agents]", policy.as_str());
             print!("{}", cell.report);
@@ -226,6 +233,12 @@ pub fn run(env: &RunEnv) {
         let fleet = fleet_for(RoutePolicyKind::PrefixAffinity, agents, fault);
         let sink = env.telemetry_sink();
         let _live = env.live_stats_guard(sink.as_ref());
+        let _serve = env.status_guard(
+            &format!("city-fleet-{agents}-affinity-fault"),
+            agents,
+            sink.as_ref(),
+            Some(Arc::clone(&fleet) as Arc<dyn LlmBackend>),
+        );
         let cell = drive(&cfg, base.clone(), shards, steps, Arc::clone(&fleet), sink);
         assert_eq!(
             cell.metrics.total_failed(),

@@ -16,5 +16,6 @@ pub mod fleet;
 pub mod hybrid;
 pub mod longrun;
 pub mod scaling;
+pub mod smoke;
 pub mod spec;
 pub mod tab1;

@@ -88,6 +88,12 @@ pub struct RunEnv {
     /// seconds — sampled without quiescing the run. Requires
     /// `--telemetry`; `None` disables the heartbeat.
     pub live_stats: Option<u64>,
+    /// Port for the live health plane (`repro --serve PORT`): observed
+    /// experiments bind an `aim-serve` [`aim_serve::StatusServer`] on
+    /// `127.0.0.1:PORT` for the duration of each observed run, exposing
+    /// `/metrics`, `/status`, and `/healthz` plus the stall watchdog.
+    /// Requires `--telemetry`; `None` disables the endpoint.
+    pub serve: Option<u16>,
 }
 
 impl Default for RunEnv {
@@ -102,14 +108,16 @@ impl Default for RunEnv {
             resume: None,
             telemetry: None,
             live_stats: None,
+            serve: None,
         }
     }
 }
 
 /// A running `--live-stats` heartbeat: samples the observed run's
-/// [`aim_core::telemetry::Telemetry`] sink on a fixed period and prints
-/// the Prometheus-style exposition. Dropping the guard stops the sampler
-/// thread and joins it, so heartbeats never outlive the run they watch.
+/// [`aim_core::telemetry::Telemetry`] sink (once immediately, then on a
+/// fixed period) and prints the Prometheus-style exposition on stderr.
+/// Dropping the guard stops the sampler thread and joins it, so
+/// heartbeats never outlive the run they watch.
 #[derive(Debug)]
 pub struct LiveStats {
     stop: Arc<std::sync::atomic::AtomicBool>,
@@ -125,7 +133,86 @@ impl Drop for LiveStats {
     }
 }
 
+/// The wall budget after which a run with no commits is declared
+/// stalled by the `--serve` watchdog (30 s: a healthy quick run commits
+/// several times a second, so this only trips on genuine wedges).
+pub const WATCHDOG_BUDGET_US: u64 = 30_000_000;
+
+/// A running `--serve` health plane: holds the HTTP status server for
+/// the duration of one observed run, plus the [`HealthBoard`] that
+/// distributed experiments feed from heartbeat polls. Dropping the
+/// guard shuts the server down.
+///
+/// [`HealthBoard`]: aim_core::health::HealthBoard
+#[derive(Debug)]
+pub struct StatusGuard {
+    /// Per-worker liveness board; pass to
+    /// `DistTracker::poll_heartbeats` from a checkpoint hook.
+    pub board: Arc<aim_core::health::HealthBoard>,
+    source: Arc<aim_serve::RunStatus>,
+    server: aim_serve::StatusServer,
+}
+
+impl StatusGuard {
+    /// The bound port (`--serve 0` binds an ephemeral one).
+    pub fn port(&self) -> u16 {
+        self.server.port()
+    }
+
+    /// Whether the stall watchdog has fired during this run.
+    pub fn stalled(&self) -> bool {
+        self.source.stall_report().is_some()
+    }
+}
+
 impl RunEnv {
+    /// Starts the `--serve` health plane for one observed run,
+    /// returning a guard that keeps the HTTP endpoint up until dropped.
+    /// `None` when either `--serve` or `--telemetry` is off (the
+    /// status page renders the observed sink), or when the bind fails
+    /// (reported on stderr — a health plane must never kill the run it
+    /// watches).
+    pub fn status_guard(
+        &self,
+        label: &str,
+        agents: u32,
+        telemetry: Option<&Arc<aim_core::telemetry::Telemetry>>,
+        backend: Option<Arc<dyn aim_llm::LlmBackend>>,
+    ) -> Option<StatusGuard> {
+        use aim_core::health::{HealthBoard, Watchdog};
+        let port = self.serve?;
+        let t = telemetry?;
+        let board = Arc::new(HealthBoard::new());
+        let mut status = aim_serve::RunStatus::new(label, agents)
+            .with_telemetry(Arc::clone(t))
+            .with_board(Arc::clone(&board))
+            .with_watchdog(Arc::new(Watchdog::new(WATCHDOG_BUDGET_US)));
+        if let Some(b) = backend {
+            status = status.with_backend(b);
+        }
+        let source = Arc::new(status);
+        match aim_serve::StatusServer::start(
+            port,
+            Arc::clone(&source) as Arc<dyn aim_serve::StatusSource>,
+        ) {
+            Ok(server) => {
+                eprintln!(
+                    "[serve] {label}: status endpoint on http://127.0.0.1:{}",
+                    server.port()
+                );
+                Some(StatusGuard {
+                    board,
+                    source,
+                    server,
+                })
+            }
+            Err(e) => {
+                eprintln!("[serve] {label}: could not bind 127.0.0.1:{port}: {e}");
+                None
+            }
+        }
+    }
+
     /// When `--telemetry <dir>` is set, builds an enabled
     /// [`aim_core::telemetry::Telemetry`] sink to pass to
     /// [`aim_core::exec::threaded::run_threaded_observed`]; `None`
@@ -151,6 +238,14 @@ impl RunEnv {
         let handle = std::thread::spawn(move || {
             let mut beat = 0u64;
             loop {
+                // Beat first, then sleep: even a run shorter than one
+                // period emits at least one heartbeat.
+                beat += 1;
+                let snap = t.snapshot();
+                // Stderr, not stdout: the tables and CSV paths on stdout
+                // must stay machine-consumable even with the heartbeat on.
+                eprintln!("--- live stats · beat {beat} ---");
+                eprint!("{}", aim_trace::telemetry::prometheus_text(&snap));
                 // 100 ms granularity keeps guard drop prompt at run end.
                 for _ in 0..period.max(1) * 10 {
                     if flag.load(Ordering::Relaxed) {
@@ -158,10 +253,6 @@ impl RunEnv {
                     }
                     std::thread::sleep(std::time::Duration::from_millis(100));
                 }
-                beat += 1;
-                let snap = t.snapshot();
-                println!("--- live stats · beat {beat} ---");
-                print!("{}", aim_trace::telemetry::prometheus_text(&snap));
             }
         });
         Some(LiveStats {

@@ -1,0 +1,49 @@
+//! Stream separation for live operations: `--live-stats` heartbeats go
+//! to **stderr** while the experiment's tables, CSV paths, and summary
+//! lines stay on **stdout**, so piping `repro`'s stdout into a file or
+//! a parser never interleaves sampler output with the results.
+
+use std::process::Command;
+
+/// Runs the smoke experiment with a 1-second heartbeat and asserts the
+/// heartbeat never leaks onto stdout (and does reach stderr — the
+/// sampler beats once immediately at startup, so even a fast quick run
+/// emits at least one).
+#[test]
+fn live_stats_heartbeat_goes_to_stderr_not_stdout() {
+    let dir = std::env::temp_dir().join(format!("aim-live-streams-{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "smoke",
+            "--quick",
+            "--telemetry",
+            dir.to_str().unwrap(),
+            "--live-stats",
+            "1",
+        ])
+        .output()
+        .expect("run repro smoke");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "smoke run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("smoke:"),
+        "results must land on stdout:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("live stats"),
+        "heartbeats leaked onto stdout:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("live stats · beat 1"),
+        "at least one heartbeat must reach stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("aim_spans_total"),
+        "heartbeats carry the Prometheus exposition:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

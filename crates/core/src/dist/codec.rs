@@ -47,6 +47,7 @@ const TAG_QUIESCE: u8 = 7;
 const TAG_RECOVER: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_HARVEST_TELEMETRY: u8 = 10;
+const TAG_HEARTBEAT: u8 = 11;
 
 // Worker-reply tags (65–72).
 const TAG_DONE: u8 = 65;
@@ -57,6 +58,7 @@ const TAG_QUIESCED: u8 = 69;
 const TAG_RECOVERED: u8 = 70;
 const TAG_FAILED: u8 = 71;
 const TAG_TELEMETRY: u8 = 72;
+const TAG_HEARTBEAT_REPLY: u8 = 73;
 
 fn get_u8(buf: &mut Bytes) -> Result<u8, StoreError> {
     if !buf.has_remaining() {
@@ -475,6 +477,10 @@ pub fn encode_ctrl<S: Space>(space: &S, msg: &CtrlMsg<S::Pos>, out: &mut BytesMu
             body.put_u8(TAG_HARVEST_TELEMETRY);
             codec::put_u64(&mut body, *now_us);
         }
+        CtrlMsg::Heartbeat { now_us } => {
+            body.put_u8(TAG_HEARTBEAT);
+            codec::put_u64(&mut body, *now_us);
+        }
     }
     put_frame(body, out);
 }
@@ -530,6 +536,9 @@ pub fn decode_ctrl<S: Space>(space: &S, buf: &mut Bytes) -> Result<CtrlMsg<S::Po
         TAG_HARVEST_TELEMETRY => CtrlMsg::HarvestTelemetry {
             now_us: codec::get_u64(&mut body)?,
         },
+        TAG_HEARTBEAT => CtrlMsg::Heartbeat {
+            now_us: codec::get_u64(&mut body)?,
+        },
         other => {
             return Err(StoreError::Codec(format!(
                 "unknown controller message tag {other}"
@@ -583,6 +592,22 @@ pub fn encode_shard<S: Space>(space: &S, msg: &ShardMsg<S::Pos>, out: &mut Bytes
             codec::put_u64(&mut body, *dropped);
             put_spans(spans, &mut body);
             put_counters(counters, &mut body);
+        }
+        ShardMsg::Heartbeat {
+            worker,
+            now_us,
+            handled,
+            last_step,
+            members,
+            dropped,
+        } => {
+            body.put_u8(TAG_HEARTBEAT_REPLY);
+            codec::put_u32(&mut body, *worker);
+            codec::put_u64(&mut body, *now_us);
+            codec::put_u64(&mut body, *handled);
+            codec::put_u32(&mut body, *last_step);
+            codec::put_u32(&mut body, *members);
+            codec::put_u64(&mut body, *dropped);
         }
         ShardMsg::Failed { message } => {
             body.put_u8(TAG_FAILED);
@@ -642,6 +667,22 @@ pub fn decode_shard<S: Space>(space: &S, buf: &mut Bytes) -> Result<ShardMsg<S::
                 now_us,
                 spans,
                 counters,
+                dropped,
+            }
+        }
+        TAG_HEARTBEAT_REPLY => {
+            let worker = codec::get_u32(&mut body)?;
+            let now_us = codec::get_u64(&mut body)?;
+            let handled = codec::get_u64(&mut body)?;
+            let last_step = codec::get_u32(&mut body)?;
+            let members = codec::get_u32(&mut body)?;
+            let dropped = codec::get_u64(&mut body)?;
+            ShardMsg::Heartbeat {
+                worker,
+                now_us,
+                handled,
+                last_step,
+                members,
                 dropped,
             }
         }
@@ -859,6 +900,51 @@ mod tests {
         assert!(err.to_string().contains("unknown worker message tag"));
     }
 
+    fn heartbeat_reply() -> ShardMsg<Point> {
+        ShardMsg::Heartbeat {
+            worker: 5,
+            now_us: 44_000,
+            handled: 129,
+            last_step: 17,
+            members: 1250,
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn heartbeat_roundtrips_with_disjoint_tags() {
+        roundtrip_ctrl(CtrlMsg::Heartbeat { now_us: 123_456 });
+        roundtrip_shard(heartbeat_reply());
+        // The request and reply must stay on their own sides of the tag
+        // split: decoding either in the other direction fails loudly.
+        let s = space();
+        let mut buf = BytesMut::new();
+        encode_ctrl(&s, &CtrlMsg::<Point>::Heartbeat { now_us: 1 }, &mut buf);
+        let mut rd = Bytes::from(buf.freeze());
+        let err = decode_shard(&s, &mut rd).unwrap_err();
+        assert!(err.to_string().contains("unknown worker message tag"));
+        let mut buf = BytesMut::new();
+        encode_shard(&s, &heartbeat_reply(), &mut buf);
+        let mut rd = Bytes::from(buf.freeze());
+        let err = decode_ctrl(&s, &mut rd).unwrap_err();
+        assert!(err.to_string().contains("unknown controller message tag"));
+    }
+
+    #[test]
+    fn heartbeat_truncation_is_rejected() {
+        let s = space();
+        let mut buf = BytesMut::new();
+        encode_shard(&s, &heartbeat_reply(), &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut rd = full.slice(..cut);
+            assert!(
+                decode_shard(&s, &mut rd).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
     fn arb_point() -> impl Strategy<Value = Point> {
         (-500i32..500, -500i32..500).prop_map(|(x, y)| Point::new(x, y))
     }
@@ -903,6 +989,7 @@ mod tests {
                 .prop_map(|expected| CtrlMsg::Recover { expected }),
             Just(CtrlMsg::Shutdown),
             (0u64..1_000_000_000).prop_map(|now_us| CtrlMsg::HarvestTelemetry { now_us }),
+            (0u64..1_000_000_000).prop_map(|now_us| CtrlMsg::Heartbeat { now_us }),
         ]
     }
 
@@ -1044,6 +1131,24 @@ mod tests {
                 message: format!("worker error ({n})"),
             }),
             arb_telemetry_reply(),
+            (
+                0u32..16,
+                0u64..1_000_000_000,
+                0u64..1_000_000,
+                0u32..1_000,
+                0u32..10_000,
+                0u64..1_000
+            )
+                .prop_map(|(worker, now_us, handled, last_step, members, dropped)| {
+                    ShardMsg::Heartbeat {
+                        worker,
+                        now_us,
+                        handled,
+                        last_step,
+                        members,
+                        dropped,
+                    }
+                }),
         ]
     }
 

@@ -42,7 +42,12 @@
 //!    than stalling. Spans the worker's fixed-size buffer overflowed
 //!    before a harvest are reported in the reply's running `dropped`
 //!    total, so observability loss is always visible in the merged
-//!    report.
+//!    report. [`CtrlMsg::Heartbeat`] follows the same discipline: an
+//!    ordinary in-order request answered from gauges the worker
+//!    maintains anyway ([`ShardMsg::Heartbeat`]), so liveness polling
+//!    is cheap, never reorders protocol work, and a severed link shows
+//!    up as a poll failure on the controller's health board rather
+//!    than a hang.
 
 /// One agent's authoritative state in transit between two workers (the
 /// migration payload of [`ShardMsg::Departed`] / [`CtrlMsg::Arrive`]).
@@ -159,6 +164,13 @@ pub enum CtrlMsg<P> {
         /// Controller clock (µs on its telemetry epoch) at send time.
         now_us: u64,
     },
+    /// Poll the worker's liveness/lag gauges (protocol invariant 4: an
+    /// ordinary in-order request answered without touching the
+    /// database). Reply: [`ShardMsg::Heartbeat`].
+    Heartbeat {
+        /// Controller clock (µs on its telemetry epoch) at send time.
+        now_us: u64,
+    },
     /// Terminate the worker loop after one final [`ShardMsg::Done`].
     Shutdown,
 }
@@ -212,6 +224,26 @@ pub enum ShardMsg<P> {
         /// Counter increments since the previous harvest.
         counters: Vec<(crate::telemetry::Counter, u64)>,
         /// Running total of spans the worker's buffer overflowed.
+        dropped: u64,
+    },
+    /// Reply to [`CtrlMsg::Heartbeat`]: the worker's liveness/lag
+    /// gauges. All counts are running totals or current values — the
+    /// controller derives queue depth as its own sent-count minus
+    /// `handled`, which on a healthy lock-step link is ≈ 0.
+    Heartbeat {
+        /// The replying worker's shard index.
+        worker: u32,
+        /// Worker clock (µs on its telemetry epoch) at reply time.
+        now_us: u64,
+        /// Messages the worker has handled since it started, this
+        /// heartbeat included.
+        handled: u64,
+        /// Highest step any member has applied; `u32::MAX` when the
+        /// worker currently owns no agents.
+        last_step: u32,
+        /// Current member count.
+        members: u32,
+        /// Running total of spans the worker's local buffer overflowed.
         dropped: u64,
     },
     /// The request could not be applied; nothing was committed.

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use aim_store::{Db, StoreError};
 
 use crate::depgraph::{DepTracker, GraphOptions, GraphSnapshot, HIST_FLOOR_KEY, HIST_TAG};
+use crate::health::{HealthBoard, WorkerHealth};
 use crate::ids::{AgentId, Step};
 use crate::rules::{self, RuleParams};
 use crate::shard::ShardMap;
@@ -76,6 +77,14 @@ pub struct DistTracker<S: Space> {
     telemetry: Option<Arc<Telemetry>>,
     /// The cell worker threads read their telemetry sink from.
     shared_telemetry: SharedTelemetry,
+    /// Messages sent per link since its worker (re)started; heartbeat
+    /// replies subtract the worker's handled count from this to derive
+    /// queue depth.
+    sent: Vec<u64>,
+    /// Invoked with the worker id when a link is severed
+    /// ([`DistTracker::kill_worker`]) — the flight recorder's dump
+    /// trigger.
+    on_severed: Option<Box<dyn FnMut(u32) + Send>>,
 }
 
 impl<S: Space> fmt::Debug for DistTracker<S> {
@@ -164,6 +173,8 @@ impl<S: Space> DistTracker<S> {
             hist_floor: 0,
             telemetry: None,
             shared_telemetry,
+            sent: vec![0; shards],
+            on_severed: None,
         };
         // Initial population: hand every agent's step-0 record to its
         // owner (with its step-0 history record when history is on).
@@ -261,6 +272,8 @@ impl<S: Space> DistTracker<S> {
             hist_floor: 0,
             telemetry: None,
             shared_telemetry,
+            sent: vec![0; shards],
+            on_severed: None,
         };
         // Recover every worker (fan-out), then assemble the mirror from
         // the authoritative states they report.
@@ -544,6 +557,7 @@ impl<S: Space> DistTracker<S> {
             {
                 continue; // severed: its buffer drains on a later round
             }
+            self.sent[j] += 1;
             let reply = match self.links[j].recv() {
                 Ok(reply) => reply,
                 Err(_) => continue,
@@ -575,10 +589,64 @@ impl<S: Space> DistTracker<S> {
         Ok(merged)
     }
 
+    /// Polls every worker with a [`CtrlMsg::Heartbeat`] and records the
+    /// gauges on `board`. Best-effort, like harvest: a severed or
+    /// misbehaving link marks the worker not-alive instead of failing
+    /// the run, and the raw links are used so liveness polling never
+    /// inflates the boundary accounting. Queue depth is derived
+    /// controller-side as sent-count minus the worker's handled count —
+    /// ≈ 0 on a healthy lock-step link. Returns how many workers
+    /// answered.
+    pub fn poll_heartbeats(&mut self, board: &HealthBoard) -> usize {
+        let mut live = 0;
+        for j in 0..self.links.len() {
+            let now_us = board.now_us();
+            if self.links[j].send(CtrlMsg::Heartbeat { now_us }).is_err() {
+                board.mark_severed(j as u32);
+                continue;
+            }
+            self.sent[j] += 1;
+            let Ok(ShardMsg::Heartbeat {
+                worker,
+                handled,
+                last_step,
+                members,
+                dropped,
+                ..
+            }) = self.links[j].recv()
+            else {
+                board.mark_severed(j as u32);
+                continue;
+            };
+            board.record_heartbeat(WorkerHealth {
+                worker,
+                name: format!("worker {worker}"),
+                alive: true,
+                last_seen_us: board.now_us(),
+                last_applied_step: (last_step != u32::MAX).then_some(last_step),
+                queue_depth: self.sent[j].saturating_sub(handled),
+                members,
+                span_overflow: dropped,
+            });
+            live += 1;
+        }
+        live
+    }
+
+    /// Installs the hook invoked (with the worker id) whenever a link is
+    /// severed via [`DistTracker::kill_worker`] — the flight recorder
+    /// dumps its tail from here.
+    pub fn set_severed_hook(&mut self, hook: Box<dyn FnMut(u32) + Send>) {
+        self.on_severed = Some(hook);
+    }
+
     /// Sends one request to worker `j`, recorded as a boundary-send span.
     fn send_to(&mut self, j: usize, msg: CtrlMsg<S::Pos>) -> Result<(), StoreError> {
         let t0 = self.telemetry.as_ref().and_then(|t| t.start());
         let result = self.links[j].send(msg);
+        if result.is_ok() {
+            self.sent[j] += 1;
+        }
         if let (Some(t), Some(t0)) = (&self.telemetry, t0) {
             t.counter_add(Counter::BoundaryMessages, 1);
             t.record(
@@ -926,6 +994,9 @@ impl<S: Space> DistTracker<S> {
     /// worker's database (its durable storage) is retained.
     pub fn kill_worker(&mut self, shard: usize) {
         self.links[shard] = Box::new(SeveredLink::new(shard as u32));
+        if let Some(hook) = self.on_severed.as_mut() {
+            hook(shard as u32);
+        }
     }
 
     /// Respawns worker `shard` over its retained database and replays the
@@ -939,6 +1010,10 @@ impl<S: Space> DistTracker<S> {
     /// Returns [`StoreError::Codec`] if the recovered states disagree
     /// with the mirror or a record is missing.
     pub fn respawn_worker(&mut self, shard: usize) -> Result<(), StoreError> {
+        // The fresh worker restarts its handled count at zero, so the
+        // controller-side sent counter must follow or queue depth would
+        // read as permanently backed up.
+        self.sent[shard] = 0;
         self.links[shard] = Box::new(ChannelLink::spawn(
             shard as u32,
             Arc::clone(&self.space),

@@ -141,6 +141,10 @@ pub struct ShardWorker<S: Space> {
     harvest_cursor: Vec<usize>,
     /// Counter values as of the previous harvest (deltas go on the wire).
     harvest_counters: [u64; Counter::ALL.len()],
+    /// Messages handled since the worker started (heartbeats included);
+    /// reported in [`ShardMsg::Heartbeat`] so the controller can derive
+    /// queue depth as sent − handled.
+    handled: u64,
     /// Reused candidate buffer for relink queries.
     scratch: Vec<u32>,
 }
@@ -186,6 +190,7 @@ impl<S: Space> ShardWorker<S> {
             local,
             harvest_cursor: Vec::new(),
             harvest_counters: [0; Counter::ALL.len()],
+            handled: 0,
             scratch: Vec::new(),
         }
     }
@@ -212,11 +217,15 @@ impl<S: Space> ShardWorker<S> {
             self.cached_sink = self.telemetry.get();
             self.cached_generation = generation;
         }
-        // Harvest replies are bookkeeping, not protocol work: answer
-        // before the Apply-span bracket so harvests never appear as (or
-        // inflate) apply time on the merged timeline.
+        self.handled += 1;
+        // Harvest and heartbeat replies are bookkeeping, not protocol
+        // work: answer before the Apply-span bracket so neither appears
+        // as (or inflates) apply time on the merged timeline.
         if matches!(msg, CtrlMsg::HarvestTelemetry { .. }) {
             return self.harvest();
+        }
+        if matches!(msg, CtrlMsg::Heartbeat { .. }) {
+            return self.heartbeat();
         }
         let sink = self.cached_sink.as_deref().unwrap_or(&self.local);
         let t0 = sink.start();
@@ -282,6 +291,25 @@ impl<S: Space> ShardWorker<S> {
         }
     }
 
+    /// Answers a liveness poll from gauges the worker maintains anyway
+    /// (no database access; protocol invariant 4). `last_step` is the
+    /// highest applied member step — `u32::MAX` flags an empty worker.
+    fn heartbeat(&self) -> ShardMsg<S::Pos> {
+        let last_step = self
+            .steps
+            .iter()
+            .next_back()
+            .map_or(u32::MAX, |&(step, _)| step);
+        ShardMsg::Heartbeat {
+            worker: self.id,
+            now_us: self.local.now_us(),
+            handled: self.handled,
+            last_step,
+            members: self.members.len() as u32,
+            dropped: self.local.dropped(),
+        }
+    }
+
     fn dispatch(&mut self, msg: CtrlMsg<S::Pos>) -> Result<ShardMsg<S::Pos>, StoreError> {
         match msg {
             CtrlMsg::Commit { updates } => {
@@ -318,6 +346,7 @@ impl<S: Space> ShardWorker<S> {
             // Normally intercepted in `handle` (before the Apply-span
             // bracket); kept here so the match stays exhaustive.
             CtrlMsg::HarvestTelemetry { .. } => Ok(self.harvest()),
+            CtrlMsg::Heartbeat { .. } => Ok(self.heartbeat()),
             CtrlMsg::Shutdown => Ok(ShardMsg::Done),
         }
     }

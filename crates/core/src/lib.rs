@@ -96,6 +96,7 @@ pub mod dist;
 pub mod engine;
 mod error;
 pub mod exec;
+pub mod health;
 mod ids;
 pub mod metrics;
 pub mod policy;
@@ -124,6 +125,7 @@ pub mod prelude {
         run_threaded, run_threaded_observed, run_threaded_with_checkpoints, CheckpointHook,
         ClusterProgram, ThreadedConfig, ThreadedReport,
     };
+    pub use crate::health::{HealthBoard, StallReport, Watchdog, WorkerHealth};
     pub use crate::ids::{AgentId, ClusterId, Step};
     pub use crate::metrics::{RunReport, Timeline};
     pub use crate::policy::{DependencyPolicy, OracleGraph};

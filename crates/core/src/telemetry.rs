@@ -62,6 +62,123 @@ use crate::scheduler::SchedStats;
 /// never blocking.
 pub const DEFAULT_BUFFER_SPANS: usize = 1 << 16;
 
+/// Default flight-recorder ring capacity: the retained tail of recent
+/// spans kept after the fixed buffers fill, so a crash dump always has
+/// the *latest* activity even on a long overflowing run.
+pub const DEFAULT_FLIGHT_SPANS: usize = 1 << 12;
+
+/// The always-on flight recorder: a bounded ring fed with the spans the
+/// fixed [`SpanBuf`]s could no longer hold, so the most recent activity
+/// survives for a crash dump.
+///
+/// The ring sits strictly *behind* the overflow branch of
+/// [`SpanBuf::push`]: the non-overflow hot path never touches it, and
+/// the overflow path stays lock-free — each slot is a tiny **seqlock**
+/// claimed by one CAS, so an offer costs about as much as a normal
+/// buffer push. A slot another overflowing producer is mid-write on is
+/// counted in [`FlightRing::missed`] and skipped, preserving invariant
+/// 4 (overflow drops, never blocks).
+pub struct FlightRing {
+    slots: Box<[FlightSlot]>,
+    next: AtomicUsize,
+    missed: AtomicU64,
+}
+
+/// One seqlock slot: `seq` is even when the payload is stable (`>= 2`
+/// once written), odd while a writer owns it. Readers keep a copy only
+/// if `seq` was even and unchanged across the read, so a concurrent
+/// overwrite invalidates rather than tears it.
+struct FlightSlot {
+    seq: AtomicU64,
+    span: UnsafeCell<MaybeUninit<Span>>,
+}
+
+// SAFETY: slot payloads are only written by the producer that won the
+// seq CAS (odd = owned), and readers discard any copy whose sequence
+// word changed across the read — see the seqlock protocol on `offer`
+// and `tail`.
+unsafe impl Sync for FlightRing {}
+unsafe impl Send for FlightRing {}
+
+impl std::fmt::Debug for FlightRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRing")
+            .field("capacity", &self.slots.len())
+            .field("missed", &self.missed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRing {
+    /// A ring retaining the most recent `capacity` overflow spans.
+    fn new(capacity: usize) -> FlightRing {
+        let slots = (0..capacity.max(1))
+            .map(|_| FlightSlot {
+                seq: AtomicU64::new(0),
+                span: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FlightRing {
+            slots,
+            next: AtomicUsize::new(0),
+            missed: AtomicU64::new(0),
+        }
+    }
+
+    /// Offers one span without ever blocking: one fetch-add to pick the
+    /// slot, one CAS to own it. A slot another producer is mid-write on
+    /// counts the span as missed and discards it.
+    fn offer(&self, span: Span) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let slot = &self.slots[idx];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if seq & 1 != 0
+            || slot
+                .seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.missed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: the CAS above made `seq` odd, so this producer owns
+        // the payload until the Release store below republishes it.
+        unsafe {
+            (*slot.span.get()).write(span);
+        }
+        slot.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// Copies the retained spans (unordered; [`Telemetry::flight_tail`]
+    /// sorts by start time). Safe against concurrent offers: a slot
+    /// whose sequence word moved mid-read is dropped, never torn.
+    fn tail(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before & 1 != 0 {
+                continue;
+            }
+            // SAFETY: seqlock read — the volatile copy is kept only if
+            // the sequence word is unchanged (and even) afterwards, so
+            // a concurrent writer invalidates the copy instead of
+            // tearing it.
+            let span = unsafe { std::ptr::read_volatile(slot.span.get()).assume_init() };
+            if slot.seq.load(Ordering::Acquire) == before {
+                out.push(span);
+            }
+        }
+        out
+    }
+
+    /// Overflow spans the ring itself could not retain because the slot
+    /// was contended at offer time.
+    pub fn missed(&self) -> u64 {
+        self.missed.load(Ordering::Relaxed)
+    }
+}
+
 /// Why an agent was waiting instead of executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockReason {
@@ -339,12 +456,15 @@ impl Span {
 ///    finishing after the run) sees either a complete span or none.
 /// 4. **Overflow drops, never blocks.** When the buffer is full the span
 ///    is counted in [`SpanBuf::dropped`] and discarded — backpressure
-///    must never change the timing being measured.
+///    must never change the timing being measured. A dropped span is
+///    first *offered* to the owning [`FlightRing`]'s lock-free seqlock
+///    slots, which likewise never block.
 pub struct SpanBuf {
     track: u32,
     slots: Box<[SpanSlot]>,
     next: AtomicUsize,
     dropped: AtomicU64,
+    flight: Option<Arc<FlightRing>>,
 }
 
 struct SpanSlot {
@@ -373,7 +493,7 @@ impl std::fmt::Debug for SpanBuf {
 }
 
 impl SpanBuf {
-    fn new(track: u32, capacity: usize) -> SpanBuf {
+    fn new(track: u32, capacity: usize, flight: Option<Arc<FlightRing>>) -> SpanBuf {
         assert!(capacity > 0, "span buffer needs at least one slot");
         let slots = (0..capacity)
             .map(|_| SpanSlot {
@@ -387,16 +507,21 @@ impl SpanBuf {
             slots,
             next: AtomicUsize::new(0),
             dropped: AtomicU64::new(0),
+            flight,
         }
     }
 
     /// Records one span (invariants above: one fetch-add, one Release
-    /// store, no allocation). Full buffers count the span as dropped.
+    /// store, no allocation). Full buffers count the span as dropped
+    /// after offering it to the flight recorder (invariant 4).
     pub fn push(&self, mut span: Span) {
         span.track = self.track;
         let idx = self.next.fetch_add(1, Ordering::Relaxed);
         if idx >= self.slots.len() {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(flight) = &self.flight {
+                flight.offer(span);
+            }
             return;
         }
         let slot = &self.slots[idx];
@@ -522,6 +647,15 @@ pub struct Telemetry {
     epoch: Instant,
     capacity: usize,
     shared: Arc<SpanBuf>,
+    /// The always-on flight recorder fed by every buffer's overflow
+    /// branch; crash dumps read its tail via
+    /// [`flight_tail`](Telemetry::flight_tail).
+    flight: Arc<FlightRing>,
+    /// Commit watermark gauges for the stall watchdog: total commits
+    /// seen, plus the end timestamp and step of the latest one.
+    commits: AtomicU64,
+    last_commit_us: AtomicU64,
+    last_commit_step: AtomicU64,
     /// All buffers, `shared` first; recorders append under the lock
     /// (registration only — never on the span hot path).
     buffers: Mutex<Vec<Arc<SpanBuf>>>,
@@ -572,16 +706,103 @@ impl Telemetry {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Telemetry {
-        let shared = Arc::new(SpanBuf::new(0, capacity));
+        let flight = Arc::new(FlightRing::new(DEFAULT_FLIGHT_SPANS));
+        let shared = Arc::new(SpanBuf::new(0, capacity, Some(Arc::clone(&flight))));
         Telemetry {
             enabled: AtomicBool::new(true),
             epoch: Instant::now(),
             capacity,
             buffers: Mutex::new(vec![Arc::clone(&shared)]),
             shared,
+            flight,
+            commits: AtomicU64::new(0),
+            last_commit_us: AtomicU64::new(0),
+            last_commit_step: AtomicU64::new(0),
             remote: Mutex::new(Vec::new()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Updates the commit watermark when `kind` is a commit span. Called
+    /// from every record path (sink-level and per-thread recorders) so
+    /// the stall watchdog sees progress regardless of which buffer the
+    /// span landed in — two relaxed stores, nothing else.
+    fn note(&self, kind: &SpanKind, end_us: u64) {
+        if let SpanKind::Commit { step, .. } = kind {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+            self.last_commit_us.fetch_max(end_us, Ordering::Relaxed);
+            self.last_commit_step
+                .fetch_max(*step as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The commit watermark: `(end_us, step)` of the latest commit span
+    /// recorded through this sink, or `None` when no agent has committed
+    /// yet. The watchdog treats `None` as "stalled since the epoch".
+    pub fn last_commit(&self) -> Option<(u64, u32)> {
+        if self.commits.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some((
+            self.last_commit_us.load(Ordering::Relaxed),
+            self.last_commit_step.load(Ordering::Relaxed) as u32,
+        ))
+    }
+
+    /// Overflow spans the flight recorder could not retain because its
+    /// ring was contended at offer time.
+    pub fn flight_missed(&self) -> u64 {
+        self.flight.missed()
+    }
+
+    /// The retained tail of recent spans: everything still held in the
+    /// buffers plus the flight ring's overflow tail, sorted by start
+    /// time, truncated to the *last* `limit` spans. This is the crash
+    /// dump's source — even after long overflow the latest activity is
+    /// here.
+    pub fn flight_tail(&self, limit: usize) -> Vec<Span> {
+        let mut spans = Vec::new();
+        for buf in self.buffers.lock().iter() {
+            buf.drain_into(&mut spans);
+        }
+        spans.extend(self.flight.tail());
+        spans.sort_by_key(|s| (s.start_us, s.end_us));
+        if spans.len() > limit {
+            spans.drain(..spans.len() - limit);
+        }
+        spans
+    }
+
+    /// Builds a best-effort [`RunTelemetry`] from the flight tail for a
+    /// crash dump: timestamps are rebased to the earliest retained span
+    /// and the wall clock is the retained extent. Never panics — an
+    /// empty tail yields an empty report.
+    pub fn flight_report(&self, agents: u32) -> RunTelemetry {
+        let spans = self.flight_tail(usize::MAX);
+        let base = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        let end = spans.iter().map(|s| s.end_us).max().unwrap_or(base);
+        let spans: Vec<Span> = spans
+            .into_iter()
+            .map(|s| Span {
+                start_us: s.start_us - base,
+                end_us: s.end_us - base,
+                ..s
+            })
+            .collect();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c, self.counter(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        RunTelemetry::from_spans(
+            spans,
+            end.saturating_sub(base),
+            agents,
+            self.dropped(),
+            counters,
+            SchedStats::default(),
+            None,
+        )
     }
 
     /// Toggles recording at runtime. Spans already recorded are kept.
@@ -618,6 +839,7 @@ impl Telemetry {
             return;
         }
         let end_us = self.now_us();
+        self.note(&kind, end_us);
         self.shared.push(Span {
             start_us,
             end_us,
@@ -631,9 +853,11 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
+        let end_us = end_us.max(start_us);
+        self.note(&kind, end_us);
         self.shared.push(Span {
             start_us,
-            end_us: end_us.max(start_us),
+            end_us,
             track: 0,
             kind,
         });
@@ -656,7 +880,11 @@ impl Telemetry {
     /// never does).
     pub fn recorder(self: &Arc<Self>) -> TelemetryRecorder {
         let mut buffers = self.buffers.lock();
-        let buf = Arc::new(SpanBuf::new(buffers.len() as u32, self.capacity));
+        let buf = Arc::new(SpanBuf::new(
+            buffers.len() as u32,
+            self.capacity,
+            Some(Arc::clone(&self.flight)),
+        ));
         buffers.push(Arc::clone(&buf));
         TelemetryRecorder {
             telemetry: Arc::clone(self),
@@ -675,7 +903,11 @@ impl Telemetry {
             return r.track;
         }
         let mut buffers = self.buffers.lock();
-        let buf = Arc::new(SpanBuf::new(buffers.len() as u32, self.capacity));
+        let buf = Arc::new(SpanBuf::new(
+            buffers.len() as u32,
+            self.capacity,
+            Some(Arc::clone(&self.flight)),
+        ));
         buffers.push(Arc::clone(&buf));
         let track = buf.track;
         remote.push(RemoteTrack {
@@ -913,6 +1145,7 @@ impl TelemetryRecorder {
             return;
         }
         let end_us = self.telemetry.now_us();
+        self.telemetry.note(&kind, end_us);
         self.buf.push(Span {
             start_us,
             end_us,
@@ -926,9 +1159,11 @@ impl TelemetryRecorder {
         if !self.telemetry.is_enabled() {
             return;
         }
+        let end_us = end_us.max(start_us);
+        self.telemetry.note(&kind, end_us);
         self.buf.push(Span {
             start_us,
-            end_us: end_us.max(start_us),
+            end_us,
             track: self.buf.track,
             kind,
         });
@@ -1595,6 +1830,110 @@ mod tests {
         }
         assert_eq!(tel.drain_spans().len(), 2);
         assert_eq!(tel.dropped(), 3);
+    }
+
+    #[test]
+    fn flight_ring_retains_overflow_tail() {
+        let tel = Arc::new(Telemetry::with_capacity(2));
+        for i in 0..10u64 {
+            tel.record_at(i * 10, i * 10 + 5, SpanKind::Checkpoint { step: i as u32 });
+        }
+        assert_eq!(tel.dropped(), 8);
+        assert_eq!(tel.flight_missed(), 0);
+        // Buffered head plus every overflow span is retained.
+        assert_eq!(tel.flight_tail(usize::MAX).len(), 10);
+        // The limit keeps the *latest* spans, not the earliest.
+        let tail = tel.flight_tail(3);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].start_us, 70);
+        assert_eq!(tail[2].start_us, 90);
+        // The crash report rebases to the earliest retained span.
+        let report = tel.flight_report(4);
+        assert_eq!(report.spans.len(), 10);
+        assert_eq!(report.spans[0].start_us, 0);
+        assert_eq!(report.agents, 4);
+        assert_eq!(report.dropped, 8);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_to_latest() {
+        let tel = Arc::new(Telemetry::with_capacity(1));
+        for i in 0..(DEFAULT_FLIGHT_SPANS as u64 + 100) {
+            tel.record_at(i, i + 1, SpanKind::Checkpoint { step: 0 });
+        }
+        let tail = tel.flight_tail(usize::MAX);
+        // 1 buffered + a full ring of the most recent overflow spans.
+        assert_eq!(tail.len(), 1 + DEFAULT_FLIGHT_SPANS);
+        assert_eq!(
+            tail.last().unwrap().start_us,
+            DEFAULT_FLIGHT_SPANS as u64 + 99
+        );
+    }
+
+    #[test]
+    fn commit_watermark_tracks_every_record_path() {
+        let tel = Arc::new(Telemetry::new());
+        assert_eq!(tel.last_commit(), None);
+        tel.record_at(
+            5,
+            9,
+            SpanKind::Commit {
+                cluster: 1,
+                step: 3,
+                members: 2,
+            },
+        );
+        assert_eq!(tel.last_commit(), Some((9, 3)));
+        // Commits flow through per-thread recorders in the threaded
+        // executor — the watermark must see those too.
+        let rec = tel.recorder();
+        rec.record_at(
+            10,
+            20,
+            SpanKind::Commit {
+                cluster: 2,
+                step: 7,
+                members: 1,
+            },
+        );
+        assert_eq!(tel.last_commit(), Some((20, 7)));
+        // Non-commit spans never move the watermark.
+        tel.record_at(30, 40, SpanKind::Checkpoint { step: 9 });
+        assert_eq!(tel.last_commit(), Some((20, 7)));
+    }
+
+    #[test]
+    fn overflow_accounting_is_consistent_across_harvests() {
+        // Worker side: a small local buffer harvested incrementally.
+        let worker = Arc::new(Telemetry::with_capacity(4));
+        let mut cursor = Vec::new();
+        for i in 0..3u64 {
+            worker.record_at(i, i + 1, SpanKind::Checkpoint { step: 0 });
+        }
+        let first = worker.drain_new_spans(&mut cursor);
+        assert_eq!(first.len(), 3);
+        assert_eq!(worker.dropped(), 0);
+        // Overflow between harvests: one more slot fits, three drop.
+        for i in 3..7u64 {
+            worker.record_at(i, i + 1, SpanKind::Checkpoint { step: 0 });
+        }
+        let second = worker.drain_new_spans(&mut cursor);
+        assert_eq!(second.len(), 1, "incremental drain never re-ships");
+        assert_eq!(worker.dropped(), 3, "dropped is an absolute total");
+        let third = worker.drain_new_spans(&mut cursor);
+        assert!(third.is_empty());
+        assert_eq!(worker.dropped(), 3, "absolute total is monotone");
+
+        // Controller side: repeated absolute reports never double-count.
+        let ctrl = Arc::new(Telemetry::new());
+        let track = ctrl.remote_track("worker 0 (remote)");
+        ctrl.ingest(track, &first, 0);
+        ctrl.set_remote_dropped(track, 0);
+        ctrl.ingest(track, &second, 0);
+        ctrl.set_remote_dropped(track, 3);
+        ctrl.set_remote_dropped(track, 3); // next harvest, unchanged
+        assert_eq!(ctrl.dropped(), 3);
+        assert_eq!(ctrl.drain_spans().len(), 4);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Shared test helper: a minimal blocking HTTP GET against the status
+//! server (the tests talk real TCP, not an in-process shortcut).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Issues `GET path` and returns `(status_code, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to status server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let code = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}

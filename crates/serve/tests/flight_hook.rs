@@ -1,0 +1,56 @@
+//! The crash flight recorder end to end: a panicked run leaves
+//! `crash.telemetry` + `crash.trace.json` dumps that the trace tooling
+//! accepts.
+//!
+//! The panic hook is process-global, so this file holds exactly one
+//! test (integration test files run as separate processes).
+
+use std::sync::Arc;
+
+use aim_core::telemetry::{SpanKind, Telemetry};
+use aim_serve::flight::{install_panic_hook, CRASH_TELEMETRY, CRASH_TRACE};
+use aim_trace::telemetry::{load, validate_chrome_trace};
+
+#[test]
+fn panicked_run_leaves_a_loadable_flight_dump() {
+    // A tiny buffer so the run overflows into the flight ring: the dump
+    // must cover both the retained tail and the live buffer.
+    let telemetry = Arc::new(Telemetry::with_capacity(4));
+    for i in 0..32u64 {
+        let start = 100 + i * 10;
+        telemetry.record_at(
+            start,
+            start + 5,
+            SpanKind::Commit {
+                cluster: 0,
+                step: i as u32,
+                members: 1,
+            },
+        );
+    }
+    assert!(telemetry.dropped() > 0, "the live buffer must overflow");
+
+    let dir = std::env::temp_dir().join(format!("aim-flight-hook-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    install_panic_hook(Arc::clone(&telemetry), dir.clone(), 1);
+    let crashed = std::panic::catch_unwind(|| panic!("synthetic crash"));
+    assert!(crashed.is_err());
+    // Restore the default hook for any later panic in this process.
+    let _ = std::panic::take_hook();
+
+    let rt = load(dir.join(CRASH_TELEMETRY)).expect("crash.telemetry loads");
+    assert_eq!(rt.agents, 1);
+    assert_eq!(
+        rt.spans.len(),
+        32,
+        "flight ring preserved every overflowed span"
+    );
+    assert_eq!(rt.spans[0].start_us, 0, "the dump is rebased to zero");
+    assert_eq!(rt.dropped, 28, "overflow accounting survives the dump");
+
+    let trace = std::fs::read_to_string(dir.join(CRASH_TRACE)).expect("crash.trace.json exists");
+    let events = validate_chrome_trace(&trace).expect("chrome trace validates");
+    assert!(events >= 32, "every span became a trace event: {events}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

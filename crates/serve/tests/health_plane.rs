@@ -1,0 +1,151 @@
+//! End-to-end tests for the HTTP health plane: a healthy observed run
+//! serves all three routes, and a wedged run (completed waits, no
+//! commits) trips the stall watchdog via the server's own ticker —
+//! `/healthz` flips to 503 and `/status` names the blocking edge.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aim_core::health::{HealthBoard, Watchdog, WorkerHealth};
+use aim_core::telemetry::{BlockReason, SpanKind, Telemetry};
+use aim_serve::{RunStatus, StatusServer, StatusSource};
+use aim_trace::telemetry::validate_json;
+
+mod common;
+use common::get;
+
+#[test]
+fn healthy_run_serves_all_three_routes() {
+    let telemetry = Arc::new(Telemetry::new());
+    telemetry.record(
+        telemetry.now_us(),
+        SpanKind::Commit {
+            cluster: 0,
+            step: 3,
+            members: 2,
+        },
+    );
+    let board = Arc::new(HealthBoard::new());
+    board.record_heartbeat(WorkerHealth {
+        worker: 0,
+        name: "worker 0".into(),
+        alive: true,
+        last_seen_us: board.now_us(),
+        last_applied_step: Some(3),
+        queue_depth: 0,
+        members: 2,
+        span_overflow: 0,
+    });
+    let source = Arc::new(
+        RunStatus::new("observed run", 2)
+            .with_telemetry(Arc::clone(&telemetry))
+            .with_board(Arc::clone(&board))
+            .with_watchdog(Arc::new(Watchdog::new(60_000_000))),
+    );
+    let server = StatusServer::start(0, Arc::clone(&source) as Arc<dyn StatusSource>)
+        .expect("bind an ephemeral loopback port");
+
+    let (code, body) = get(server.addr(), "/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+    let (code, metrics) = get(server.addr(), "/metrics");
+    assert_eq!(code, 200);
+    assert!(metrics.contains("aim_spans_total"), "{metrics}");
+    assert!(metrics.contains("aim_stalled 0\n"), "{metrics}");
+    assert!(
+        metrics.contains("aim_worker_alive{worker=\"worker 0\"} 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("aim_worker_members{worker=\"worker 0\"} 2\n"),
+        "{metrics}"
+    );
+    // Well-formed exposition: every non-comment line ends in a numeric
+    // sample value.
+    for line in metrics.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in {line:?}"
+        );
+    }
+
+    let (code, status) = get(server.addr(), "/status");
+    assert_eq!(code, 200);
+    validate_json(&status).expect("/status is valid JSON");
+    assert!(status.contains("\"label\":\"observed run\""), "{status}");
+    assert!(status.contains("\"healthy\":true"), "{status}");
+    assert!(status.contains("\"last_commit\":{\"us\":"), "{status}");
+    assert!(status.contains("\"stall\":null"), "{status}");
+    assert!(status.contains("\"worker\":0"), "{status}");
+    assert!(status.contains("\"last_applied_step\":3"), "{status}");
+
+    let (code, _) = get(server.addr(), "/nope");
+    assert_eq!(code, 404);
+
+    // Satellite check: a healthy run's watchdog never fires, no matter
+    // how many ticks and scrapes have run it.
+    assert!(source.stall_report().is_none());
+    drop(server);
+}
+
+#[test]
+fn wedged_run_flips_healthz_and_names_the_blocking_edge() {
+    let telemetry = Arc::new(Telemetry::new());
+    // Completed waits but no commit, ever: agent 4 waited on agent 6.
+    let start = telemetry.now_us();
+    telemetry.record_at(
+        start,
+        start + 800,
+        SpanKind::Blocked {
+            agent: 4,
+            blocker: 6,
+            step: 2,
+            reason: BlockReason::Dependency,
+        },
+    );
+    let source = Arc::new(
+        RunStatus::new("wedged run", 8)
+            .with_telemetry(Arc::clone(&telemetry))
+            .with_watchdog(Arc::new(Watchdog::new(1_000))),
+    );
+    std::thread::sleep(Duration::from_millis(5));
+    let server = StatusServer::start(0, Arc::clone(&source) as Arc<dyn StatusSource>)
+        .expect("bind an ephemeral loopback port");
+
+    // The server's own ticker must run the watchdog — no /status scrape
+    // before the flip, only the passive health probe.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (code, _) = get(server.addr(), "/healthz");
+        if code == 503 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never fired within its budget"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (code, status) = get(server.addr(), "/status");
+    assert_eq!(code, 200);
+    validate_json(&status).expect("/status is valid JSON");
+    assert!(status.contains("\"healthy\":false"), "{status}");
+    assert!(status.contains("\"stall\":{\"stalled_us\":"), "{status}");
+    assert!(status.contains("\"last_step\":null"), "{status}");
+    assert!(
+        status.contains("\"agent\":4,\"blocker\":6,\"reason\":\"dependency\""),
+        "{status}"
+    );
+
+    let (_, metrics) = get(server.addr(), "/metrics");
+    assert!(metrics.contains("aim_stalled 1\n"), "{metrics}");
+
+    let report = source.stall_report().expect("report cached for /status");
+    assert!(report.stalled_us >= 1_000);
+    drop(server);
+}

@@ -13,7 +13,9 @@
 //! trace_tool snapshot ckpt-00000040.aimsnap --validate
 //! trace_tool timeline run.telemetry --out traces/ --validate
 //! trace_tool stalls run.telemetry --top 10
-//! trace_tool stalls --diff before.telemetry after.telemetry
+//! trace_tool stalls --diff before.telemetry after.telemetry --fail-over 5
+//! trace_tool top http://127.0.0.1:18080 --interval 2
+//! trace_tool top target/telemetry --count 1
 //! ```
 //!
 //! `latency` exports the serving-latency distribution the trace induces
@@ -35,7 +37,16 @@
 //!
 //! `stalls` prints the top-K aggregated blocking edges — who waited on
 //! whom, how often, for how long — the paper's blocked-time story for one
-//! run.
+//! run. `stalls --diff` compares two runs; with `--fail-over PCT` it
+//! exits nonzero when the blocked share regressed by more than PCT
+//! percentage points — a CI tripwire for synchronization regressions.
+//!
+//! `top` is the live-operations dashboard: given an `http://` URL it
+//! polls a running simulation's `/status` endpoint (the `aim-serve`
+//! health plane, `repro … --serve PORT`); given a directory it digests
+//! the newest `.telemetry` export there. It refreshes every
+//! `--interval` seconds until `--count` renders have been printed
+//! (default: forever).
 
 use aim_trace::{codec, gen, stats, Trace};
 
@@ -51,7 +62,8 @@ fn usage() -> ! {
          trace_tool snapshot <file.aimsnap> [--validate]\n  \
          trace_tool timeline <run.telemetry> [--out <dir>] [--validate]\n  \
          trace_tool stalls <run.telemetry> [--top K]\n  \
-         trace_tool stalls --diff <a.telemetry> <b.telemetry>"
+         trace_tool stalls --diff <a.telemetry> <b.telemetry> [--fail-over PCT]\n  \
+         trace_tool top <http://host:port | telemetry-dir> [--interval S] [--count N]"
     );
     std::process::exit(2);
 }
@@ -92,6 +104,7 @@ fn main() {
         Some("snapshot") if args.len() >= 2 => cmd_snapshot(&args[1..]),
         Some("timeline") if args.len() >= 2 => cmd_timeline(&args[1..]),
         Some("stalls") if args.len() >= 2 => cmd_stalls(&args[1..]),
+        Some("top") if args.len() >= 2 => cmd_top(&args[1..]),
         _ => usage(),
     }
 }
@@ -222,10 +235,25 @@ fn cmd_timeline(args: &[String]) {
 
 fn cmd_stalls(args: &[String]) {
     if args[0] == "--diff" {
-        if args.len() != 3 {
+        if args.len() < 3 {
             usage();
         }
-        cmd_stalls_diff(&args[1], &args[2]);
+        let mut fail_over: Option<f64> = None;
+        let mut it = args[3..].iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--fail-over" => {
+                    fail_over = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|p: &f64| *p >= 0.0)
+                            .unwrap_or_else(|| usage()),
+                    );
+                }
+                _ => usage(),
+            }
+        }
+        cmd_stalls_diff(&args[1], &args[2], fail_over);
         return;
     }
     let path = &args[0];
@@ -290,8 +318,10 @@ fn cmd_stalls(args: &[String]) {
 }
 
 /// `stalls --diff a b`: side-by-side stall decomposition of two runs for
-/// regression triage — which phase grew, which counters moved.
-fn cmd_stalls_diff(path_a: &str, path_b: &str) {
+/// regression triage — which phase grew, which counters moved. With
+/// `--fail-over PCT`, exits nonzero when the blocked share grew by more
+/// than PCT percentage points from `a` to `b`.
+fn cmd_stalls_diff(path_a: &str, path_b: &str, fail_over: Option<f64>) {
     use aim_core::telemetry::Phase;
 
     let a = load_telemetry(path_a);
@@ -366,6 +396,183 @@ fn cmd_stalls_diff(path_a: &str, path_b: &str) {
                 nb as i64 - na as i64
             );
         }
+    }
+    if let Some(limit) = fail_over {
+        let drift = pct(b.decomposition.blocked_frac()) - pct(a.decomposition.blocked_frac());
+        if drift > limit {
+            eprintln!("FAIL: blocked share regressed by {drift:+.1} pp (limit {limit:.1} pp)");
+            std::process::exit(1);
+        }
+        println!("gate        : blocked drift {drift:+.1} pp within {limit:.1} pp");
+    }
+}
+
+/// `top <url-or-dir>`: the live-operations dashboard. A URL polls a
+/// running simulation's `/status` endpoint; a directory digests its
+/// newest `.telemetry` export. Refreshes every `--interval` seconds,
+/// `--count` times (default: forever).
+fn cmd_top(args: &[String]) {
+    let target = &args[0];
+    let mut interval = 2u64;
+    let mut count: Option<u64> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--interval" => {
+                interval = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--count" => {
+                count = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    let mut rendered = 0u64;
+    loop {
+        if target.starts_with("http://") {
+            top_live(target);
+        } else {
+            top_dir(target);
+        }
+        rendered += 1;
+        if count == Some(rendered) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+}
+
+/// Fetches `url`'s `/status` JSON over a plain TCP GET (the status
+/// server speaks `Connection: close` HTTP/1.1) and prints a digest.
+fn top_live(url: &str) {
+    use std::io::{Read, Write};
+
+    let host = url.trim_start_matches("http://");
+    let host = host.split('/').next().unwrap_or(host);
+    let mut stream = match std::net::TcpStream::connect(host) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error connecting to {host}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let request = format!("GET /status HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    let mut body = String::new();
+    let ok = stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.read_to_string(&mut body));
+    if let Err(e) = ok {
+        eprintln!("error talking to {host}: {e}");
+        std::process::exit(1);
+    }
+    let body = body.split_once("\r\n\r\n").map_or("", |(_, b)| b);
+    // The digest scans scalar fields out of the JSON; anything missing
+    // (a run without that subsystem attached) just doesn't print.
+    let field = |key: &str| -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let i = body.find(&pat)? + pat.len();
+        let rest = &body[i..];
+        let end = rest.find(|c| c == ',' || c == '}').unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    println!("--- {url} ---");
+    if let (Some(label), Some(healthy)) = (field("label"), field("healthy")) {
+        println!(
+            "run         : {label} ({})",
+            if healthy == "true" {
+                "healthy"
+            } else {
+                "STALLED"
+            }
+        );
+    }
+    if let Some(uptime) = field("uptime_us").and_then(|v| v.parse::<u64>().ok()) {
+        println!("uptime      : {:.1} s", uptime as f64 / 1e6);
+    }
+    if let (Some(spans), Some(dropped)) = (field("spans"), field("dropped")) {
+        println!("spans       : {spans} recorded · {dropped} dropped");
+    }
+    let frac = |key: &str| field(key).and_then(|v| v.parse::<f64>().ok());
+    if let (Some(llm), Some(blocked), Some(overhead), Some(ckpt)) = (
+        frac("llm"),
+        frac("blocked"),
+        frac("overhead"),
+        frac("checkpoint"),
+    ) {
+        println!(
+            "decompose   : llm {:.1}% · blocked {:.1}% · overhead {:.1}% · checkpoint {:.1}%",
+            100.0 * llm,
+            100.0 * blocked,
+            100.0 * overhead,
+            100.0 * ckpt
+        );
+    }
+    let alive = body.matches("\"alive\":true").count();
+    let dead = body.matches("\"alive\":false").count();
+    if alive + dead > 0 {
+        println!("workers     : {alive} alive · {dead} severed");
+    }
+    if let Some(stalled) = field("stalled_us").and_then(|v| v.parse::<u64>().ok()) {
+        println!(
+            "STALL       : no commit for {:.1} s — see /status edges",
+            stalled as f64 / 1e6
+        );
+    }
+}
+
+/// Digests the newest `.telemetry` export under `dir`.
+fn top_dir(dir: &str) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error reading {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let newest = entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "telemetry"))
+        .max_by_key(|e| e.metadata().and_then(|m| m.modified()).ok());
+    let Some(newest) = newest else {
+        eprintln!("no .telemetry files under {dir}");
+        std::process::exit(1);
+    };
+    let path = newest.path();
+    let rt = load_telemetry(&path.display().to_string());
+    println!("--- {} ---", path.display());
+    println!(
+        "wall        : {:.3} s · {} agents · {} spans ({} dropped)",
+        rt.wall_us as f64 / 1e6,
+        rt.agents,
+        rt.spans.len(),
+        rt.dropped
+    );
+    println!("decompose   : {}", rt.decomposition);
+    for e in rt.stall_edges(5) {
+        let fmt_id = |id: u32| {
+            if id == u32::MAX {
+                "*".to_string()
+            } else {
+                format!("a{id}")
+            }
+        };
+        println!(
+            "edge        : {} waited on {} ({}) ×{} for {} µs",
+            fmt_id(e.agent),
+            fmt_id(e.blocker),
+            e.reason.as_str(),
+            e.count,
+            e.total_us
+        );
     }
 }
 

@@ -392,8 +392,11 @@ pub fn load(path: impl AsRef<std::path::Path>) -> Result<RunTelemetry, TraceErro
     read_telemetry(&mut r)
 }
 
-/// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+/// Escapes `s` for inclusion in a JSON string literal (quotes,
+/// backslashes, and control characters; the result is safe to embed
+/// between double quotes). Used by every JSON exporter here and by the
+/// live `/status` endpoint in `aim-serve`.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -597,6 +600,47 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and line feed must be escaped (`\\`, `\"`,
+/// `\n`); everything else passes through verbatim.
+#[must_use]
+pub fn prometheus_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one labeled Prometheus sample line,
+/// `name{key="value",...} value`, escaping every label value with
+/// [`prometheus_escape_label`]. Label *names* are the caller's static
+/// identifiers and are not escaped.
+#[must_use]
+pub fn prometheus_sample(name: &str, labels: &[(&str, &str)], value: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", prometheus_escape_label(v));
+        }
+        out.push('}');
+    }
+    let _ = write!(out, " {value}");
+    out.push('\n');
+    out
+}
+
 // ---------------------------------------------------------------------
 // Minimal JSON validation (the workspace has no serde_json).
 // ---------------------------------------------------------------------
@@ -744,6 +788,24 @@ impl<'a> JsonParser<'a> {
             Ok(())
         }
     }
+}
+
+/// Validates that `text` is one complete well-formed JSON value with no
+/// trailing data (the workspace has no serde_json; this is the same
+/// hand-rolled parser behind [`validate_chrome_trace`]). Used by the
+/// `aim-serve` tests to prove the `/status` payload parses.
+///
+/// # Errors
+///
+/// Returns a description with byte offset of the first problem.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = JsonParser::new(text);
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after the top-level value"));
+    }
+    Ok(())
 }
 
 /// Validates that `text` is well-formed JSON shaped like a Chrome
@@ -954,6 +1016,33 @@ mod tests {
             assert!(!name.is_empty());
             value.parse::<u64>().expect("numeric value");
         }
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        // Per the exposition format, only \, ", and newline are escaped
+        // in label values; everything else passes through.
+        assert_eq!(prometheus_escape_label("worker 3"), "worker 3");
+        assert_eq!(
+            prometheus_escape_label("worker \"3\" (remote)"),
+            "worker \\\"3\\\" (remote)"
+        );
+        assert_eq!(prometheus_escape_label("a\\b"), "a\\\\b");
+        assert_eq!(prometheus_escape_label("line\nbreak"), "line\\nbreak");
+        let line = prometheus_sample(
+            "aim_worker_spans_dropped_total",
+            &[("worker", "evil\"name\\with\nnewline")],
+            7,
+        );
+        assert_eq!(
+            line,
+            "aim_worker_spans_dropped_total{worker=\"evil\\\"name\\\\with\\nnewline\"} 7\n"
+        );
+        // The rendered line stays a single physical line: the raw
+        // newline never survives into the exposition.
+        assert_eq!(line.matches('\n').count(), 1);
+        // No labels → no braces.
+        assert_eq!(prometheus_sample("aim_up", &[], 1), "aim_up 1\n");
     }
 
     #[test]
